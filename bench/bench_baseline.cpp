@@ -1,0 +1,102 @@
+// Experiment E8 — paper §5 / claim C7:
+//   "Directly applying current explainable program synthesis tools to
+//    network synthesis problems does not adequately address these
+//    challenges. While these tools can simplify SMT constraints, the
+//    resulting subspecifications remain ... difficult to interpret."
+//
+// Compares three simplifiers on the same seed specifications:
+//   localized   — the full pipeline (rules + conjunction-context
+//                 propagation + state-variable projection)
+//   local-rules — the 15 rules without cross-constraint propagation
+//                 (a generic, context-free simplifier)
+//   Z3 simplify — Z3's built-in generic `simplify` on the monolithic seed
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "explain/report.hpp"
+
+namespace {
+
+using namespace ns;
+
+void PrintTable() {
+  struct Row {
+    const char* label;
+    synth::Scenario scenario;
+    explain::Selection selection;
+    std::vector<std::string> requirements;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"S1: R1/R1_to_P1", synth::Scenario1(),
+                  explain::Selection::Map("R1", "R1_to_P1"), {}});
+  rows.push_back({"S2: R3", synth::Scenario2(),
+                  explain::Selection::Router("R3"), {}});
+  rows.push_back({"S3: R2_to_P2 (Req1)", synth::Scenario3(),
+                  explain::Selection::Map("R2", "R2_to_P2"), {"Req1"}});
+
+  std::printf("E8 | localized pipeline vs generic simplification "
+              "(claim C7; sizes = expression tree nodes)\n");
+  ns::bench::Rule('=');
+  std::printf("%-22s %10s %12s %14s %12s %9s\n", "question", "seed",
+              "localized", "local-rules", "Z3 simplify", "factor");
+  ns::bench::Rule();
+  for (const Row& row : rows) {
+    const config::NetworkConfig solved = ns::bench::MustSynthesize(row.scenario);
+    explain::Explainer explainer(row.scenario.topo, row.scenario.spec, solved);
+    explain::SubspecOptions options;
+    options.requirements = row.requirements;
+    options.compute_baselines = true;
+    auto subspec = explainer.Explain(row.selection, options);
+    NS_ASSERT(subspec.ok());
+    const auto& m = subspec.value().metrics;
+    const double factor =
+        m.residual_size == 0
+            ? static_cast<double>(m.baseline_local_rules_size)
+            : static_cast<double>(m.baseline_local_rules_size) /
+                  static_cast<double>(m.residual_size);
+    std::printf("%-22s %10zu %12zu %14zu %12zu %8.0fx\n", row.label,
+                m.seed_size, m.residual_size, m.baseline_local_rules_size,
+                m.baseline_z3_size, factor);
+  }
+  ns::bench::Rule();
+  std::printf("paper: generic simplifiers lack the network context (the "
+              "concrete rest-of-network)\nthat lets the localized pipeline "
+              "collapse the seed; their output stays low-level\nand orders "
+              "of magnitude larger.\n\n");
+}
+
+void BM_LocalizedSimplify(benchmark::State& state) {
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig solved = ns::bench::MustSynthesize(s);
+  for (auto _ : state) {
+    explain::Explainer explainer(s.topo, s.spec, solved);
+    auto subspec = explainer.Explain(explain::Selection::Map("R1", "R1_to_P1"));
+    benchmark::DoNotOptimize(subspec.value().metrics.residual_size);
+  }
+}
+BENCHMARK(BM_LocalizedSimplify)->Unit(benchmark::kMillisecond);
+
+void BM_GenericZ3Simplify(benchmark::State& state) {
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig solved = ns::bench::MustSynthesize(s);
+  for (auto _ : state) {
+    explain::Explainer explainer(s.topo, s.spec, solved);
+    explain::SubspecOptions options;
+    options.compute_baselines = true;
+    auto subspec =
+        explainer.Explain(explain::Selection::Map("R1", "R1_to_P1"), options);
+    benchmark::DoNotOptimize(subspec.value().metrics.baseline_z3_size);
+  }
+}
+BENCHMARK(BM_GenericZ3Simplify)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

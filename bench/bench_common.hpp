@@ -1,0 +1,39 @@
+// Shared helpers for the bench binaries: each bench prints the table or
+// series the corresponding paper artifact reports (see DESIGN.md §3), then
+// runs its google-benchmark timings.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/status.hpp"
+
+namespace ns::bench {
+
+/// Synthesizes a scenario, aborting the bench on failure.
+inline config::NetworkConfig MustSynthesize(const synth::Scenario& scenario) {
+  synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+  auto result = synthesizer.Synthesize(scenario.sketch);
+  NS_ASSERT_MSG(result.ok(), "bench scenario failed to synthesize: " +
+                                 (result.ok() ? "" : result.error().ToString()));
+  return std::move(result).value().network;
+}
+
+/// Milliseconds spent in `fn()`.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+inline void Rule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace ns::bench

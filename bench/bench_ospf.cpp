@@ -1,0 +1,114 @@
+// OSPF-side measurements: the explanation pipeline on weight synthesis
+// (the other half of NetComplete's synthesis surface), swept over ring
+// sizes. Complements E6/E9 with the IGP substrate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "net/builders.hpp"
+#include "ospf/synth.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace ns;
+
+struct OspfProblem {
+  net::Topology topo;
+  spec::Spec spec;
+  ospf::WeightConfig solved;
+  ospf::EdgeKey question;
+};
+
+OspfProblem MakeRingProblem(int n) {
+  net::Topology topo = net::Ring(n);
+  // Require the clockwise half-ring path R1 -> R2 -> ... -> R(n/2+1).
+  std::string pattern = "R1";
+  for (int i = 2; i <= n / 2 + 1; ++i) {
+    pattern += "->R" + std::to_string(i);
+  }
+  auto spec = spec::ParseSpec("Req { (" + pattern + ") }");
+  NS_ASSERT(spec.ok());
+  ospf::OspfSynthesizer synthesizer(topo, spec.value());
+  auto solved = synthesizer.Synthesize(ospf::WeightConfig::SketchFor(topo));
+  NS_ASSERT_MSG(solved.ok(), solved.ok() ? "" : solved.error().ToString());
+  const ospf::EdgeKey question =
+      ospf::MakeEdge(topo.FindRouter("R1"), topo.FindRouter("R2"));
+  return OspfProblem{std::move(topo), std::move(spec).value(),
+                     std::move(solved).value(), question};
+}
+
+void PrintTable() {
+  std::printf("OSPF | weight-explanation pipeline on ring(n) "
+              "(IGP half of the synthesis surface)\n");
+  ns::bench::Rule('=');
+  std::printf("%-10s %10s %12s %12s %12s\n", "topology", "seed#",
+              "seed size", "residual#", "explain ms");
+  ns::bench::Rule();
+  for (int n : {4, 6, 8, 10}) {
+    OspfProblem problem = MakeRingProblem(n);
+    std::size_t seed = 0;
+    std::size_t seed_size = 0;
+    std::size_t residual = 0;
+    const double ms = ns::bench::TimeMs([&] {
+      smt::ExprPool pool;
+      auto subspec = ospf::ExplainWeights(pool, problem.topo, problem.spec,
+                                          problem.solved, {problem.question});
+      NS_ASSERT(subspec.ok());
+      seed = subspec.value().metrics.seed_constraints;
+      seed_size = subspec.value().metrics.seed_size;
+      residual = subspec.value().metrics.residual_constraints;
+    });
+    std::printf("ring(%-2d)   %10zu %12zu %12zu %12.1f\n", n, seed, seed_size,
+                residual, ms);
+  }
+  ns::bench::Rule();
+  std::printf("\n");
+}
+
+void BM_OspfSynthesizeRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  net::Topology topo = net::Ring(n);
+  std::string pattern = "R1";
+  for (int i = 2; i <= n / 2 + 1; ++i) pattern += "->R" + std::to_string(i);
+  auto spec = spec::ParseSpec("Req { (" + pattern + ") }");
+  for (auto _ : state) {
+    ospf::OspfSynthesizer synthesizer(topo, spec.value());
+    auto solved = synthesizer.Synthesize(ospf::WeightConfig::SketchFor(topo));
+    benchmark::DoNotOptimize(solved.ok());
+  }
+}
+BENCHMARK(BM_OspfSynthesizeRing)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_OspfExplainWeight(benchmark::State& state) {
+  OspfProblem problem = MakeRingProblem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    smt::ExprPool pool;
+    auto subspec = ospf::ExplainWeights(pool, problem.topo, problem.spec,
+                                        problem.solved, {problem.question});
+    benchmark::DoNotOptimize(subspec.value().metrics.residual_size);
+  }
+}
+BENCHMARK(BM_OspfExplainWeight)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Dijkstra(benchmark::State& state) {
+  const net::Topology topo = net::Fabric(3, 4);
+  const ospf::WeightConfig weights = ospf::WeightConfig::DefaultsFor(topo);
+  for (auto _ : state) {
+    for (net::RouterId id : topo.AllRouters()) {
+      auto tree = ospf::ShortestPaths(topo, weights, id);
+      benchmark::DoNotOptimize(tree.value().cost.size());
+    }
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Experiment E10 — simplifier micro-measurements supporting E6: which of
+// the 15 rewrite rules do the work on real seed specifications, and how
+// fast is the engine on a random-formula corpus.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "explain/report.hpp"
+#include "simplify/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ns;
+using smt::Expr;
+using smt::Sort;
+
+void PrintRuleTable() {
+  std::printf("E10 | rewrite-rule firings while simplifying the scenario "
+              "seed specifications\n");
+  ns::bench::Rule('=');
+  std::printf("%-20s %12s %12s %12s\n", "rule", "S1 (R1 map)", "S2 (R3)",
+              "S3 (R2 map)");
+  ns::bench::Rule();
+
+  std::vector<simplify::RuleStats> per_scenario;
+  std::vector<int> passes;
+  const std::vector<std::pair<synth::Scenario, explain::Selection>> questions{
+      {synth::Scenario1(), explain::Selection::Map("R1", "R1_to_P1")},
+      {synth::Scenario2(), explain::Selection::Router("R3")},
+      {synth::Scenario3(), explain::Selection::Map("R2", "R2_to_P2")},
+  };
+  for (const auto& [scenario, selection] : questions) {
+    const config::NetworkConfig solved = ns::bench::MustSynthesize(scenario);
+    explain::Explainer explainer(scenario.topo, scenario.spec, solved);
+    auto subspec = explainer.Explain(selection);
+    NS_ASSERT(subspec.ok());
+    per_scenario.push_back(subspec.value().metrics.rule_stats);
+    passes.push_back(subspec.value().metrics.simplify_passes);
+  }
+
+  for (int rule = 0; rule < simplify::kNumRules; ++rule) {
+    std::printf("%-20s %12zu %12zu %12zu\n",
+                simplify::RuleName(static_cast<simplify::RuleId>(rule)),
+                per_scenario[0][static_cast<std::size_t>(rule)],
+                per_scenario[1][static_cast<std::size_t>(rule)],
+                per_scenario[2][static_cast<std::size_t>(rule)]);
+  }
+  ns::bench::Rule();
+  std::printf("%-20s %12d %12d %12d\n", "fixpoint passes", passes[0],
+              passes[1], passes[2]);
+  std::printf("\nconstant folding plus the two conjunction-context rules "
+              "(unit/eq propagation)\ncarry the partial evaluation; the "
+              "boolean identities mop up what remains.\n\n");
+}
+
+Expr RandomFormula(smt::ExprPool& pool, util::Rng& rng, int depth) {
+  if (depth == 0 || rng.Chance(1, 4)) {
+    switch (rng.Below(3)) {
+      case 0:
+        return pool.Var("b" + std::to_string(rng.Below(6)), Sort::kBool);
+      case 1:
+        return pool.Bool(rng.Coin());
+      default: {
+        const Expr x = pool.Var("x" + std::to_string(rng.Below(4)), Sort::kInt);
+        return pool.Eq(x, pool.Int(rng.Range(0, 3)));
+      }
+    }
+  }
+  switch (rng.Below(5)) {
+    case 0: return pool.Not(RandomFormula(pool, rng, depth - 1));
+    case 1:
+      return pool.And({RandomFormula(pool, rng, depth - 1),
+                       RandomFormula(pool, rng, depth - 1),
+                       RandomFormula(pool, rng, depth - 1)});
+    case 2:
+      return pool.Or({RandomFormula(pool, rng, depth - 1),
+                      RandomFormula(pool, rng, depth - 1)});
+    case 3:
+      return pool.Implies(RandomFormula(pool, rng, depth - 1),
+                          RandomFormula(pool, rng, depth - 1));
+    default:
+      return pool.Ite(RandomFormula(pool, rng, depth - 1),
+                      RandomFormula(pool, rng, depth - 1),
+                      RandomFormula(pool, rng, depth - 1));
+  }
+}
+
+void BM_SimplifyRandomFormula(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  smt::ExprPool pool;
+  util::Rng rng(42);
+  std::vector<Expr> corpus;
+  for (int i = 0; i < 32; ++i) {
+    corpus.push_back(RandomFormula(pool, rng, depth));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    simplify::Engine engine(pool);
+    benchmark::DoNotOptimize(
+        engine.Simplify(corpus[i++ % corpus.size()]).expr.raw());
+  }
+}
+BENCHMARK(BM_SimplifyRandomFormula)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_HashConsing(benchmark::State& state) {
+  for (auto _ : state) {
+    smt::ExprPool pool;
+    Expr acc = pool.True();
+    for (int i = 0; i < 1000; ++i) {
+      const Expr x = pool.Var("x" + std::to_string(i % 10), Sort::kInt);
+      acc = pool.And({acc, pool.Le(x, pool.Int(i))});
+    }
+    benchmark::DoNotOptimize(acc.raw());
+  }
+}
+BENCHMARK(BM_HashConsing);
+
+void BM_SubstituteLargeEnv(benchmark::State& state) {
+  smt::ExprPool pool;
+  util::Rng rng(7);
+  const Expr formula = RandomFormula(pool, rng, 10);
+  std::unordered_map<std::string, Expr> env;
+  for (int i = 0; i < 6; ++i) {
+    env.emplace("b" + std::to_string(i), pool.Bool(rng.Coin()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smt::Substitute(pool, formula, env).raw());
+  }
+}
+BENCHMARK(BM_SubstituteLargeEnv);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintRuleTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

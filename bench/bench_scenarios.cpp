@@ -1,0 +1,90 @@
+// Experiments E2/E3/E4 — regenerates the paper's figure artifacts:
+//   Fig. 2  subspecification at R1 (scenario 1, faithful mode)
+//   Fig. 4  subspecification at R3 (scenario 2, exact mode)
+//   Fig. 5  subspecification at R2 towards P2 (scenario 3, Req1 projection)
+// and times one full question per scenario.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "explain/report.hpp"
+
+namespace {
+
+using namespace ns;
+
+void PrintFigures() {
+  std::printf("E2 | paper Fig. 2 — scenario 1, ask about R1 (faithful)\n");
+  ns::bench::Rule('=');
+  {
+    const synth::Scenario s = synth::Scenario1();
+    explain::Session session(s.topo, s.spec, synth::Scenario1PaperConfig());
+    auto answer = session.Ask(explain::Selection::Map("R1", "R1_to_P1"),
+                              explain::LiftMode::kFaithful);
+    NS_ASSERT(answer.ok());
+    std::printf("%s\n", answer.value().SubspecText().c_str());
+    std::printf("(paper Fig. 2: R1 { !(R1->P1) })\n\n");
+  }
+
+  std::printf("E3 | paper Fig. 4 — scenario 2, ask about R3 (exact)\n");
+  ns::bench::Rule('=');
+  {
+    const synth::Scenario s = synth::Scenario2();
+    explain::Session session(s.topo, s.spec, ns::bench::MustSynthesize(s));
+    auto answer =
+        session.Ask(explain::Selection::Router("R3"), explain::LiftMode::kExact);
+    NS_ASSERT(answer.ok());
+    std::printf("%s\n", answer.value().SubspecText().c_str());
+    std::printf("(paper Fig. 4: preference through P1 over P2 plus the two "
+                "detour drops)\n\n");
+  }
+
+  std::printf("E4 | paper Fig. 5 — scenario 3, ask about R2 towards P2, "
+              "no-transit only\n");
+  ns::bench::Rule('=');
+  {
+    const synth::Scenario s = synth::Scenario3();
+    explain::Session session(s.topo, s.spec, ns::bench::MustSynthesize(s));
+    auto answer = session.Ask(explain::Selection::Map("R2", "R2_to_P2"),
+                              explain::LiftMode::kExact, {"Req1"});
+    NS_ASSERT(answer.ok());
+    std::printf("%s\n", answer.value().SubspecText().c_str());
+    std::printf("(paper Fig. 5: R2 to P2 { !(P1->R1->R2->P2) "
+                "!(P1->R1->R3->R2->P2) })\n");
+
+    auto r3 = session.Ask(explain::Selection::Router("R3"),
+                          explain::LiftMode::kExact, {"Req1"});
+    NS_ASSERT(r3.ok());
+    std::printf("\nand R3 for the same question: %s\n\n",
+                r3.value().subspec.IsEmpty()
+                    ? "empty — \"R3 can do anything\""
+                    : r3.value().SubspecText().c_str());
+  }
+}
+
+void BM_AskScenario(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const synth::Scenario s = synth::GetScenario(index);
+  const config::NetworkConfig solved = ns::bench::MustSynthesize(s);
+  const explain::Selection selection =
+      index == 2 ? explain::Selection::Router("R3")
+                 : explain::Selection::Map(index == 3 ? "R2" : "R1",
+                                           index == 3 ? "R2_to_P2" : "R1_to_P1");
+  for (auto _ : state) {
+    explain::Session session(s.topo, s.spec, solved);
+    auto answer = session.Ask(selection, explain::LiftMode::kExact);
+    benchmark::DoNotOptimize(answer.ok());
+  }
+}
+BENCHMARK(BM_AskScenario)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "bgp/decision.hpp"
+
+namespace ns::bgp {
+
+bool BetterThan(const Route& a, const Route& b) noexcept {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.HopCount() != b.HopCount()) return a.HopCount() < b.HopCount();
+  if (a.med != b.med) return a.med < b.med;
+  return a.via < b.via;
+}
+
+std::optional<Route> SelectBest(const std::vector<Route>& candidates) {
+  const int index = SelectBestIndex(candidates);
+  if (index < 0) return std::nullopt;
+  return candidates[static_cast<std::size_t>(index)];
+}
+
+int SelectBestIndex(const std::vector<Route>& candidates) noexcept {
+  int best = -1;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best < 0 ||
+        BetterThan(candidates[i], candidates[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace ns::bgp

@@ -1,0 +1,27 @@
+// The BGP decision process: picks the best route among candidates for the
+// same destination prefix. Deterministic by construction so the simulator
+// is reproducible and the SMT encoder can mirror the exact same order.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace ns::bgp {
+
+/// Strict-weak "is `a` better than `b`" ordering:
+///   1. higher local-pref wins;
+///   2. fewer hops wins;
+///   3. lower MED wins;
+///   4. lexicographically smaller propagation path wins (deterministic
+///      stand-in for router-id tie-breaking).
+bool BetterThan(const Route& a, const Route& b) noexcept;
+
+/// Best route among `candidates` (nullopt when empty).
+std::optional<Route> SelectBest(const std::vector<Route>& candidates);
+
+/// Index of the best route; -1 when empty.
+int SelectBestIndex(const std::vector<Route>& candidates) noexcept;
+
+}  // namespace ns::bgp

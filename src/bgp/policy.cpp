@@ -1,0 +1,57 @@
+#include "bgp/policy.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace ns::bgp {
+
+using config::MatchClause;
+using config::MatchField;
+using config::RmAction;
+using config::RouteMap;
+using config::SetClause;
+
+bool Matches(const MatchClause& match, const Route& route) {
+  NS_ASSERT_MSG(!match.HasHole(), "concrete policy evaluation on a sketch");
+  switch (match.field.value()) {
+    case MatchField::kAny:
+      return true;
+    case MatchField::kPrefix:
+      return match.prefix.value() == route.prefix;
+    case MatchField::kCommunity:
+      return route.communities.count(match.community.value()) > 0;
+    case MatchField::kNextHop:
+      return match.next_hop.value() == route.next_hop;
+    case MatchField::kViaContains:
+      return std::find(route.via.begin(), route.via.end(),
+                       match.via.value()) != route.via.end();
+  }
+  return false;
+}
+
+void ApplySets(const SetClause& sets, Route& route) {
+  NS_ASSERT_MSG(!sets.HasHole(), "concrete policy evaluation on a sketch");
+  if (sets.local_pref) route.local_pref = sets.local_pref->value();
+  if (sets.add_community) route.communities.insert(sets.add_community->value());
+  if (sets.next_hop) route.next_hop = sets.next_hop->value();
+  if (sets.med) route.med = sets.med->value();
+}
+
+std::optional<Route> ApplyRouteMap(const RouteMap* map, Route route,
+                                   bool* set_next_hop) {
+  if (set_next_hop != nullptr) *set_next_hop = false;
+  if (map == nullptr) return route;  // no policy: permit unmodified
+  for (const config::RouteMapEntry& entry : map->entries) {
+    if (!Matches(entry.match, route)) continue;
+    if (entry.action.value() == RmAction::kDeny) return std::nullopt;
+    ApplySets(entry.sets, route);
+    if (set_next_hop != nullptr) {
+      *set_next_hop = entry.sets.next_hop.has_value();
+    }
+    return route;
+  }
+  return std::nullopt;  // implicit deny
+}
+
+}  // namespace ns::bgp

@@ -1,0 +1,32 @@
+// Concrete route-map semantics: the reference implementation the SMT
+// encoder must agree with (tests cross-check the two on random inputs).
+#pragma once
+
+#include <optional>
+
+#include "bgp/route.hpp"
+#include "config/routemap.hpp"
+
+namespace ns::bgp {
+
+/// Whether a (hole-free) match clause matches the route.
+bool Matches(const config::MatchClause& match, const Route& route);
+
+/// Applies a (hole-free) set clause in place.
+void ApplySets(const config::SetClause& sets, Route& route);
+
+/// Runs `map` over `route`: first entry whose match clause accepts the
+/// route decides (permit => sets applied, route returned; deny => nullopt).
+/// A route matching no entry is denied (Cisco default). `map == nullptr`
+/// (session without policy) permits the route unmodified.
+///
+/// `set_next_hop` (optional) reports whether the applied entry rewrote the
+/// next-hop — the simulator uses this to decide whether the default
+/// next-hop-self rewrite still applies after an export map.
+///
+/// Requires the map to be hole-free; call sites working with sketches go
+/// through the encoder instead.
+std::optional<Route> ApplyRouteMap(const config::RouteMap* map, Route route,
+                                   bool* set_next_hop = nullptr);
+
+}  // namespace ns::bgp

@@ -1,0 +1,36 @@
+#include "bgp/route.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ns::bgp {
+
+bool Route::WouldLoop(const std::string& router) const noexcept {
+  return std::find(via.begin(), via.end(), router) != via.end();
+}
+
+std::vector<std::string> Route::TrafficPath() const {
+  return {via.rbegin(), via.rend()};
+}
+
+std::string Route::ToString() const {
+  std::ostringstream os;
+  os << prefix.ToString() << " via " << util::Join(via, "->")
+     << " lp=" << local_pref << " med=" << med;
+  if (!communities.empty()) {
+    os << " comm={";
+    bool first = true;
+    for (config::Community c : communities) {
+      if (!first) os << ",";
+      os << config::FormatCommunity(c);
+      first = false;
+    }
+    os << "}";
+  }
+  os << " nh=" << next_hop.ToString();
+  return os.str();
+}
+
+}  // namespace ns::bgp

@@ -1,0 +1,46 @@
+// Concrete BGP route state as it propagates through the network.
+//
+// Modeling notes (shared with the SMT encoder — see DESIGN.md §4):
+//  - propagation is path-vector over *routers* (the paper's requirement
+//    language speaks about router-level paths like P1->R1->R2->P2);
+//  - every accepted route is re-advertised (add-path-style flooding), so
+//    the set of usable paths equals the set of policy-surviving simple
+//    paths — exactly what the NetComplete-style encoder enumerates;
+//  - local-pref travels with the route and import maps may overwrite it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/attrs.hpp"
+#include "net/prefix.hpp"
+
+namespace ns::bgp {
+
+struct Route {
+  net::Prefix prefix;                      ///< announced destination
+  std::vector<std::string> via;            ///< propagation path, origin first
+  int local_pref = config::kDefaultLocalPref;
+  int med = 0;
+  config::CommunitySet communities;
+  net::Ipv4Addr next_hop;                  ///< address of the advertising hop
+
+  /// Router currently holding the route (last element of `via`).
+  const std::string& AtRouter() const { return via.back(); }
+
+  /// Number of links traversed so far.
+  std::size_t HopCount() const noexcept { return via.size() - 1; }
+
+  /// True if advertising to `router` would form a loop.
+  bool WouldLoop(const std::string& router) const noexcept;
+
+  /// Traffic-direction node sequence: reverse of `via` (router towards
+  /// origin), used for spec checking.
+  std::vector<std::string> TrafficPath() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+}  // namespace ns::bgp

@@ -1,0 +1,200 @@
+#include "bgp/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "bgp/decision.hpp"
+#include "bgp/policy.hpp"
+#include "util/logging.hpp"
+
+namespace ns::bgp {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+util::Status Validate(const net::Topology& topo,
+                      const config::NetworkConfig& network) {
+  if (network.HasHole()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot simulate a configuration with holes; synthesize or "
+                 "fill the sketch first");
+  }
+  for (const auto& [name, router] : network.routers) {
+    const net::RouterId id = topo.FindRouter(name);
+    if (id == net::kInvalidRouter) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "configured router '" + name + "' is not in the topology");
+    }
+    for (const config::Neighbor& neighbor : router.neighbors) {
+      const net::RouterId peer = topo.FindRouter(neighbor.peer);
+      if (peer == net::kInvalidRouter || !topo.Adjacent(id, peer)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "router '" + name + "' has a BGP session with '" +
+                         neighbor.peer + "' but no link to it");
+      }
+      if (neighbor.import_map && !router.FindRouteMap(*neighbor.import_map)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     name + ": missing route-map '" + *neighbor.import_map + "'");
+      }
+      if (neighbor.export_map && !router.FindRouteMap(*neighbor.export_map)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     name + ": missing route-map '" + *neighbor.export_map + "'");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+/// Identity of a route within a RIB: destination + propagation path.
+/// Attributes are a function of (prefix, path) under concrete policies.
+using RouteKey = std::pair<net::Prefix, std::vector<std::string>>;
+
+RouteKey KeyOf(const Route& route) { return {route.prefix, route.via}; }
+
+}  // namespace
+
+const Route* SimulationResult::BestRoute(const std::string& router,
+                                         const net::Prefix& prefix) const {
+  const auto rib_it = rib.find(router);
+  const auto best_it = best.find(router);
+  if (rib_it == rib.end() || best_it == best.end()) return nullptr;
+  const auto idx_it = best_it->second.find(prefix);
+  if (idx_it == best_it->second.end()) return nullptr;
+  return &rib_it->second[static_cast<std::size_t>(idx_it->second)];
+}
+
+std::vector<Route> SimulationResult::RoutesFor(const net::Prefix& prefix) const {
+  std::vector<Route> out;
+  for (const auto& [router, routes] : rib) {
+    for (const Route& route : routes) {
+      if (route.prefix == prefix) out.push_back(route);
+    }
+  }
+  return out;
+}
+
+Result<SimulationResult> Simulate(const net::Topology& topo,
+                                  const config::NetworkConfig& network) {
+  if (auto status = Validate(topo, network); !status.ok()) {
+    return status.error();
+  }
+
+  SimulationResult result;
+  std::map<std::string, std::set<RouteKey>> seen;
+
+  // Originate local networks.
+  for (const auto& [name, router] : network.routers) {
+    for (const net::Prefix& prefix : router.networks) {
+      Route route;
+      route.prefix = prefix;
+      route.via = {name};
+      result.rib[name].push_back(route);
+      seen[name].insert(KeyOf(route));
+    }
+    result.rib.try_emplace(name);  // every router gets a (possibly empty) RIB
+  }
+
+  // Synchronous rounds to fixpoint. Each new route extends a simple path,
+  // so the number of rounds is bounded by the longest simple path.
+  const int max_rounds = static_cast<int>(topo.NumRouters()) + 2;
+  bool changed = true;
+  while (changed) {
+    NS_ASSERT_MSG(result.rounds <= max_rounds, "simulation failed to converge");
+    changed = false;
+    ++result.rounds;
+
+    std::vector<Route> additions;
+    std::vector<std::string> addition_owner;
+
+    for (const auto& [sender_name, sender_cfg] : network.routers) {
+      const net::RouterId sender_id = topo.FindRouter(sender_name);
+      for (const Route& route : result.rib[sender_name]) {
+        for (const config::Neighbor& session : sender_cfg.neighbors) {
+          if (route.WouldLoop(session.peer)) continue;
+          const auto* receiver_cfg = network.FindRouter(session.peer);
+          if (receiver_cfg == nullptr) continue;  // peer outside managed set
+
+          // The export map matches on the route as held (received
+          // next-hop); next-hop-self is applied afterwards unless the map
+          // rewrote the next-hop explicitly.
+          bool map_set_nh = false;
+          auto exported = ApplyRouteMap(sender_cfg.ExportPolicy(session.peer),
+                                        route, &map_set_nh);
+          if (!exported) continue;
+          if (!map_set_nh) {
+            const net::RouterId peer_id = topo.FindRouter(session.peer);
+            if (const auto addr = topo.InterfaceAddr(sender_id, peer_id)) {
+              exported->next_hop = *addr;
+            }
+          }
+          exported->via.push_back(session.peer);
+          auto imported = ApplyRouteMap(
+              receiver_cfg->ImportPolicy(sender_name), std::move(*exported));
+          if (!imported) continue;
+
+          if (seen[session.peer].insert(KeyOf(*imported)).second) {
+            additions.push_back(std::move(*imported));
+            addition_owner.push_back(session.peer);
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < additions.size(); ++i) {
+      result.rib[addition_owner[i]].push_back(std::move(additions[i]));
+    }
+  }
+
+  // Decision process per (router, prefix).
+  for (auto& [router, routes] : result.rib) {
+    std::map<net::Prefix, std::vector<int>> by_prefix;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      by_prefix[routes[i].prefix].push_back(static_cast<int>(i));
+    }
+    for (const auto& [prefix, indices] : by_prefix) {
+      int best = indices.front();
+      for (int idx : indices) {
+        if (BetterThan(routes[static_cast<std::size_t>(idx)],
+                       routes[static_cast<std::size_t>(best)])) {
+          best = idx;
+        }
+      }
+      result.best[router][prefix] = best;
+    }
+  }
+
+  NS_DEBUG << "simulation converged after " << result.rounds << " rounds";
+  return result;
+}
+
+spec::RoutingOutcome ToRoutingOutcome(const SimulationResult& sim,
+                                      const spec::Spec& spec) {
+  spec::RoutingOutcome outcome;
+  for (const spec::DestDecl& dest : spec.destinations) {
+    auto& usable = outcome.usable[dest.name];
+    auto& forwarding = outcome.forwarding[dest.name];
+    const auto originates = [&](const std::string& router) {
+      return std::find(dest.origins.begin(), dest.origins.end(), router) !=
+             dest.origins.end();
+    };
+    for (const auto& [router, routes] : sim.rib) {
+      for (const Route& route : routes) {
+        if (route.prefix != dest.prefix) continue;
+        if (!originates(route.via.front())) continue;
+        usable.push_back(route.via);
+      }
+      const Route* best = sim.BestRoute(router, dest.prefix);
+      if (best != nullptr && originates(best->via.front())) {
+        forwarding.emplace(router, best->via);
+      }
+    }
+    std::sort(usable.begin(), usable.end());
+  }
+  return outcome;
+}
+
+}  // namespace ns::bgp

@@ -1,0 +1,58 @@
+// Concrete control-plane simulator.
+//
+// Synchronous-round path-vector propagation: every router re-advertises all
+// accepted routes (add-path-style; see route.hpp for why) to every neighbor
+// each round, with export/import route-maps applied and loop prevention by
+// path inspection. Simple paths are finite, so a fixpoint always exists; we
+// additionally bound rounds at #routers + 2 and assert stability.
+//
+// The simulator shares only the config model with the SMT encoder — no
+// encoding code — so it serves as an independent oracle for synthesized
+// configurations (the paper's "verifiers and synthesizers can contain
+// bugs" concern).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "config/device.hpp"
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+#include "spec/checker.hpp"
+#include "util/status.hpp"
+
+namespace ns::bgp {
+
+/// Converged control-plane state.
+struct SimulationResult {
+  /// router name -> every accepted route (its Adj-RIB-In across peers,
+  /// plus locally originated routes), deterministic order.
+  std::map<std::string, std::vector<Route>> rib;
+
+  /// router name -> prefix -> best route index into rib[router] (per the
+  /// decision process); absent when no route is known.
+  std::map<std::string, std::map<net::Prefix, int>> best;
+
+  int rounds = 0;  ///< rounds until fixpoint
+
+  const Route* BestRoute(const std::string& router,
+                         const net::Prefix& prefix) const;
+
+  /// All accepted routes for `prefix` anywhere in the network.
+  std::vector<Route> RoutesFor(const net::Prefix& prefix) const;
+};
+
+/// Runs the simulation. Fails (kInvalidArgument) if `network` still
+/// contains holes, or references routers absent from `topo`.
+util::Result<SimulationResult> Simulate(const net::Topology& topo,
+                                        const config::NetworkConfig& network);
+
+/// Projects a simulation result onto the spec checker's view: traffic-
+/// direction paths per declared destination, with the destination name
+/// appended to each node sequence.
+spec::RoutingOutcome ToRoutingOutcome(const SimulationResult& sim,
+                                      const spec::Spec& spec);
+
+}  // namespace ns::bgp

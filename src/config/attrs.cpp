@@ -1,0 +1,42 @@
+#include "config/attrs.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace ns::config {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+std::string FormatCommunity(Community community) {
+  return std::to_string(community >> 16) + ":" +
+         std::to_string(community & 0xFFFF);
+}
+
+Result<Community> ParseCommunity(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return Error(ErrorCode::kParse,
+                 "community missing ':': '" + std::string(text) + "'");
+  }
+  const std::string_view asn_text = text.substr(0, colon);
+  const std::string_view tag_text = text.substr(colon + 1);
+  if (!util::IsAllDigits(asn_text) || !util::IsAllDigits(tag_text)) {
+    return Error(ErrorCode::kParse,
+                 "bad community '" + std::string(text) + "'");
+  }
+  unsigned asn = 0;
+  unsigned tag = 0;
+  std::from_chars(asn_text.data(), asn_text.data() + asn_text.size(), asn);
+  std::from_chars(tag_text.data(), tag_text.data() + tag_text.size(), tag);
+  if (asn > 0xFFFF || tag > 0xFFFF) {
+    return Error(ErrorCode::kParse,
+                 "community component out of range: '" + std::string(text) + "'");
+  }
+  return MakeCommunity(static_cast<std::uint16_t>(asn),
+                       static_cast<std::uint16_t>(tag));
+}
+
+}  // namespace ns::config

@@ -1,0 +1,38 @@
+// BGP route attributes shared by the configuration model, the concrete
+// simulator, and the SMT encoder.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ns::config {
+
+/// A BGP community value `asn:tag`, packed into 32 bits (RFC 1997 layout).
+using Community = std::uint32_t;
+
+constexpr Community MakeCommunity(std::uint16_t asn, std::uint16_t tag) noexcept {
+  return (static_cast<Community>(asn) << 16) | tag;
+}
+
+/// "100:2" form.
+std::string FormatCommunity(Community community);
+
+/// Parses "asn:tag".
+util::Result<Community> ParseCommunity(std::string_view text);
+
+/// Set of communities carried by an announcement.
+using CommunitySet = std::set<Community>;
+
+/// Default BGP local preference when no policy sets one.
+inline constexpr int kDefaultLocalPref = 100;
+
+/// Bounds for synthesized local-preference values. NetComplete similarly
+/// restricts the search space to small integers.
+inline constexpr int kMinLocalPref = 1;
+inline constexpr int kMaxLocalPref = 1000;
+
+}  // namespace ns::config

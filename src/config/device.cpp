@@ -1,0 +1,131 @@
+#include "config/device.hpp"
+
+namespace ns::config {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Neighbor* RouterConfig::FindNeighbor(std::string_view peer) noexcept {
+  for (Neighbor& n : neighbors) {
+    if (n.peer == peer) return &n;
+  }
+  return nullptr;
+}
+
+const Neighbor* RouterConfig::FindNeighbor(std::string_view peer) const noexcept {
+  for (const Neighbor& n : neighbors) {
+    if (n.peer == peer) return &n;
+  }
+  return nullptr;
+}
+
+RouteMap* RouterConfig::FindRouteMap(std::string_view name) noexcept {
+  const auto it = route_maps.find(std::string(name));
+  return it == route_maps.end() ? nullptr : &it->second;
+}
+
+const RouteMap* RouterConfig::FindRouteMap(std::string_view name) const noexcept {
+  const auto it = route_maps.find(std::string(name));
+  return it == route_maps.end() ? nullptr : &it->second;
+}
+
+const RouteMap* RouterConfig::ImportPolicy(std::string_view peer) const noexcept {
+  const Neighbor* n = FindNeighbor(peer);
+  if (n == nullptr || !n->import_map) return nullptr;
+  return FindRouteMap(*n->import_map);
+}
+
+const RouteMap* RouterConfig::ExportPolicy(std::string_view peer) const noexcept {
+  const Neighbor* n = FindNeighbor(peer);
+  if (n == nullptr || !n->export_map) return nullptr;
+  return FindRouteMap(*n->export_map);
+}
+
+bool RouterConfig::HasHole() const noexcept {
+  for (const auto& [name, map] : route_maps) {
+    if (map.HasHole()) return true;
+  }
+  return false;
+}
+
+RouterConfig* NetworkConfig::FindRouter(std::string_view name) noexcept {
+  const auto it = routers.find(std::string(name));
+  return it == routers.end() ? nullptr : &it->second;
+}
+
+const RouterConfig* NetworkConfig::FindRouter(std::string_view name) const noexcept {
+  const auto it = routers.find(std::string(name));
+  return it == routers.end() ? nullptr : &it->second;
+}
+
+Result<const RouterConfig*> NetworkConfig::RequireRouter(
+    std::string_view name) const {
+  const RouterConfig* config = FindRouter(name);
+  if (config == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 "no configuration for router '" + std::string(name) + "'");
+  }
+  return config;
+}
+
+bool NetworkConfig::HasHole() const noexcept {
+  for (const auto& [name, router] : routers) {
+    if (router.HasHole()) return true;
+  }
+  return false;
+}
+
+NetworkConfig SkeletonFor(const net::Topology& topo) {
+  NetworkConfig network;
+  for (net::RouterId id : topo.AllRouters()) {
+    const net::Router& router = topo.GetRouter(id);
+    RouterConfig config;
+    config.router = router.name;
+    config.asn = router.asn;
+    if (router.external) {
+      // Give each external AS a stable originated prefix so announcements
+      // exist without further setup: 10.(200 + id).0.0/24.
+      config.networks.push_back(net::Prefix(
+          net::Ipv4Addr(10, static_cast<std::uint8_t>(200 + id), 0, 0), 24));
+    }
+    for (net::RouterId nbr : topo.Neighbors(id)) {
+      config.neighbors.push_back(Neighbor{topo.NameOf(nbr), std::nullopt,
+                                          std::nullopt});
+    }
+    network.routers.emplace(router.name, std::move(config));
+  }
+  return network;
+}
+
+std::string ExportMapName(std::string_view router, std::string_view peer) {
+  return std::string(router) + "_to_" + std::string(peer);
+}
+
+std::string ImportMapName(std::string_view router, std::string_view peer) {
+  return std::string(router) + "_from_" + std::string(peer);
+}
+
+namespace {
+RouteMap& EnsureMap(RouterConfig& config, std::string_view peer,
+                    std::string name, bool is_export) {
+  Neighbor* neighbor = config.FindNeighbor(peer);
+  NS_ASSERT_MSG(neighbor != nullptr,
+                config.router + " has no session with " + std::string(peer));
+  auto& slot = is_export ? neighbor->export_map : neighbor->import_map;
+  if (!slot) slot = name;
+  auto [it, inserted] = config.route_maps.try_emplace(*slot);
+  if (inserted) it->second.name = *slot;
+  return it->second;
+}
+}  // namespace
+
+RouteMap& EnsureExportMap(RouterConfig& config, std::string_view peer) {
+  return EnsureMap(config, peer, ExportMapName(config.router, peer), true);
+}
+
+RouteMap& EnsureImportMap(RouterConfig& config, std::string_view peer) {
+  return EnsureMap(config, peer, ImportMapName(config.router, peer), false);
+}
+
+}  // namespace ns::config

@@ -1,0 +1,79 @@
+// Per-router BGP configuration and the whole-network configuration map.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/routemap.hpp"
+#include "net/prefix.hpp"
+#include "net/topology.hpp"
+#include "util/status.hpp"
+
+namespace ns::config {
+
+/// A BGP session to one peer. Route-maps are referenced by name and live in
+/// the owning RouterConfig's `route_maps` table.
+struct Neighbor {
+  std::string peer;  ///< topology router name
+  std::optional<std::string> import_map;  ///< applied to routes received
+  std::optional<std::string> export_map;  ///< applied to routes advertised
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+struct RouterConfig {
+  std::string router;  ///< topology router name
+  net::Asn asn = 0;
+  std::vector<net::Prefix> networks;  ///< prefixes originated here
+  std::vector<Neighbor> neighbors;
+  std::map<std::string, RouteMap> route_maps;
+
+  Neighbor* FindNeighbor(std::string_view peer) noexcept;
+  const Neighbor* FindNeighbor(std::string_view peer) const noexcept;
+  RouteMap* FindRouteMap(std::string_view name) noexcept;
+  const RouteMap* FindRouteMap(std::string_view name) const noexcept;
+
+  /// Fetches the import/export route-map for a peer; nullptr when the
+  /// session has no policy in that direction (then everything is permitted
+  /// unmodified — the BGP default for sessions without route-maps).
+  const RouteMap* ImportPolicy(std::string_view peer) const noexcept;
+  const RouteMap* ExportPolicy(std::string_view peer) const noexcept;
+
+  bool HasHole() const noexcept;
+
+  friend bool operator==(const RouterConfig&, const RouterConfig&) = default;
+};
+
+struct NetworkConfig {
+  std::map<std::string, RouterConfig> routers;
+
+  RouterConfig* FindRouter(std::string_view name) noexcept;
+  const RouterConfig* FindRouter(std::string_view name) const noexcept;
+  util::Result<const RouterConfig*> RequireRouter(std::string_view name) const;
+
+  bool HasHole() const noexcept;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
+};
+
+/// Builds a configuration skeleton for `topo`: every router gets a BGP
+/// process with its AS number, a session per link, and empty policy (no
+/// route-maps — everything permitted). External routers originate one /24
+/// each (10.2xx.<id>.0/24) so announcements exist from the start.
+NetworkConfig SkeletonFor(const net::Topology& topo);
+
+/// Route-map naming convention shared by the synthesizer, the renderer and
+/// the explainer: "<router>_to_<peer>" (export) and "<router>_from_<peer>"
+/// (import). Matches the paper's `R1_to_P1` / `R1_export_to_Provider1`.
+std::string ExportMapName(std::string_view router, std::string_view peer);
+std::string ImportMapName(std::string_view router, std::string_view peer);
+
+/// Ensures the (import|export) route-map for (router, peer) exists with the
+/// conventional name and is referenced by the session; returns it.
+RouteMap& EnsureExportMap(RouterConfig& config, std::string_view peer);
+RouteMap& EnsureImportMap(RouterConfig& config, std::string_view peer);
+
+}  // namespace ns::config

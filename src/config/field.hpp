@@ -1,0 +1,75 @@
+// `Field<T>`: a configuration field that is either a concrete value or a
+// named hole (symbolic variable).
+//
+// This single type carries the whole lifecycle the paper describes:
+//  - a *sketch* is a NetworkConfig whose fields may be holes (synthesis
+//    input, NetComplete's "configuration sketch");
+//  - the *synthesized* configuration has every hole filled with a concrete
+//    value from the solver model;
+//  - a *partially symbolic configuration* (paper Fig. 6b) is a synthesized
+//    configuration in which the fields under explanation were re-opened as
+//    holes (Var_Attr, Var_Action, Var_Val, Var_Param).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/status.hpp"
+
+namespace ns::config {
+
+/// Distinct wrapper so Field<std::string> would still be unambiguous.
+struct HoleName {
+  std::string name;
+  friend bool operator==(const HoleName&, const HoleName&) = default;
+  friend auto operator<=>(const HoleName&, const HoleName&) = default;
+};
+
+template <typename T>
+class Field {
+ public:
+  Field() : storage_(T{}) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): `entry.action = RmAction::kDeny`
+  Field(T value) : storage_(std::move(value)) {}
+
+  static Field Hole(std::string name) {
+    Field f;
+    f.storage_ = HoleName{std::move(name)};
+    return f;
+  }
+
+  bool is_hole() const noexcept {
+    return std::holds_alternative<HoleName>(storage_);
+  }
+  bool is_concrete() const noexcept { return !is_hole(); }
+
+  const T& value() const {
+    NS_ASSERT_MSG(is_concrete(), "Field::value() on hole " + DebugName());
+    return std::get<T>(storage_);
+  }
+
+  const std::string& hole() const {
+    NS_ASSERT_MSG(is_hole(), "Field::hole() on concrete field");
+    return std::get<HoleName>(storage_).name;
+  }
+
+  /// Replaces a hole with a concrete value (used when decoding a model).
+  void Fill(T value) { storage_ = std::move(value); }
+
+  /// Replaces a concrete value with a hole (used when symbolizing).
+  void Open(std::string hole_name) {
+    storage_ = HoleName{std::move(hole_name)};
+  }
+
+  friend bool operator==(const Field&, const Field&) = default;
+
+ private:
+  std::string DebugName() const {
+    return is_hole() ? std::get<HoleName>(storage_).name : std::string("<concrete>");
+  }
+
+  std::variant<T, HoleName> storage_;
+};
+
+}  // namespace ns::config

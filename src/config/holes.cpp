@@ -1,0 +1,210 @@
+#include "config/holes.hpp"
+
+#include <sstream>
+
+namespace ns::config {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+const char* HoleTypeName(HoleType type) noexcept {
+  switch (type) {
+    case HoleType::kAction: return "action";
+    case HoleType::kMatchField: return "match-field";
+    case HoleType::kPrefix: return "prefix";
+    case HoleType::kCommunity: return "community";
+    case HoleType::kAddress: return "address";
+    case HoleType::kLocalPref: return "local-pref";
+    case HoleType::kMed: return "med";
+    case HoleType::kRouter: return "router";
+  }
+  return "?";
+}
+
+std::string FormatHoleValue(const HoleValue& value) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, RmAction>) {
+          os << RmActionName(v);
+        } else if constexpr (std::is_same_v<T, MatchField>) {
+          os << MatchFieldName(v);
+        } else if constexpr (std::is_same_v<T, net::Prefix>) {
+          os << v.ToString();
+        } else if constexpr (std::is_same_v<T, Community>) {
+          os << FormatCommunity(v);
+        } else if constexpr (std::is_same_v<T, net::Ipv4Addr>) {
+          os << v.ToString();
+        } else {
+          os << v;  // int or std::string
+        }
+      },
+      value);
+  return os.str();
+}
+
+namespace {
+
+struct Visitor {
+  std::vector<HoleInfo>* out;
+  const std::string* router;
+  const std::string* map;
+  int seq = 0;
+
+  template <typename T>
+  void Visit(const Field<T>& field, HoleType type, const char* slot) const {
+    if (!field.is_hole()) return;
+    out->push_back(HoleInfo{field.hole(), type, *router, *map, seq, slot});
+  }
+
+  void VisitEntry(const RouteMapEntry& entry) {
+    seq = entry.seq;
+    Visit(entry.action, HoleType::kAction, "action");
+    Visit(entry.match.field, HoleType::kMatchField, "match.field");
+    Visit(entry.match.prefix, HoleType::kPrefix, "match.prefix");
+    Visit(entry.match.community, HoleType::kCommunity, "match.community");
+    Visit(entry.match.next_hop, HoleType::kAddress, "match.next-hop");
+    Visit(entry.match.via, HoleType::kRouter, "match.via");
+    if (entry.sets.local_pref) {
+      Visit(*entry.sets.local_pref, HoleType::kLocalPref, "set.local-pref");
+    }
+    if (entry.sets.add_community) {
+      Visit(*entry.sets.add_community, HoleType::kCommunity, "set.community");
+    }
+    if (entry.sets.next_hop) {
+      Visit(*entry.sets.next_hop, HoleType::kAddress, "set.next-hop");
+    }
+    if (entry.sets.med) {
+      Visit(*entry.sets.med, HoleType::kMed, "set.med");
+    }
+  }
+};
+
+template <typename T>
+Status FillField(Field<T>& field, const HoleInfo& info, const HoleValue& value) {
+  const T* typed = std::get_if<T>(&value);
+  if (typed == nullptr) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "hole '" + info.name + "' expects " +
+                     HoleTypeName(info.type) + ", got " +
+                     FormatHoleValue(value));
+  }
+  field.Fill(*typed);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<HoleInfo> CollectHoles(const NetworkConfig& network) {
+  std::vector<HoleInfo> out;
+  for (const auto& [router_name, router] : network.routers) {
+    for (const auto& [map_name, map] : router.route_maps) {
+      Visitor visitor{&out, &router_name, &map_name};
+      for (const RouteMapEntry& entry : map.entries) {
+        visitor.VisitEntry(entry);
+      }
+    }
+  }
+  return out;
+}
+
+Status FillHoles(NetworkConfig& network,
+                 const std::map<std::string, HoleValue>& values) {
+  // Index holes by name, then fill through mutable traversal.
+  std::map<std::string, HoleInfo> index;
+  for (HoleInfo& info : CollectHoles(network)) {
+    const auto [it, inserted] = index.emplace(info.name, info);
+    if (!inserted) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "duplicate hole name '" + info.name + "'");
+    }
+  }
+  for (const auto& [name, value] : values) {
+    const auto it = index.find(name);
+    if (it == index.end()) {
+      return Error(ErrorCode::kNotFound, "no hole named '" + name + "'");
+    }
+    const HoleInfo& info = it->second;
+    RouterConfig* router = network.FindRouter(info.router);
+    NS_ASSERT(router != nullptr);
+    RouteMap* map = router->FindRouteMap(info.route_map);
+    NS_ASSERT(map != nullptr);
+    RouteMapEntry* entry = map->FindEntry(info.seq);
+    NS_ASSERT(entry != nullptr);
+
+    Status status = Status::Ok();
+    if (info.slot == "action") {
+      status = FillField(entry->action, info, value);
+    } else if (info.slot == "match.field") {
+      status = FillField(entry->match.field, info, value);
+    } else if (info.slot == "match.prefix") {
+      status = FillField(entry->match.prefix, info, value);
+    } else if (info.slot == "match.community") {
+      status = FillField(entry->match.community, info, value);
+    } else if (info.slot == "match.next-hop") {
+      status = FillField(entry->match.next_hop, info, value);
+    } else if (info.slot == "match.via") {
+      status = FillField(entry->match.via, info, value);
+    } else if (info.slot == "set.local-pref") {
+      status = FillField(*entry->sets.local_pref, info, value);
+    } else if (info.slot == "set.community") {
+      status = FillField(*entry->sets.add_community, info, value);
+    } else if (info.slot == "set.next-hop") {
+      status = FillField(*entry->sets.next_hop, info, value);
+    } else if (info.slot == "set.med") {
+      status = FillField(*entry->sets.med, info, value);
+    } else {
+      return Error(ErrorCode::kInternal, "unknown hole slot " + info.slot);
+    }
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+util::Result<HoleValue> ReadSlotValue(const NetworkConfig& network,
+                                      const HoleInfo& info) {
+  const RouterConfig* router = network.FindRouter(info.router);
+  if (router == nullptr) {
+    return Error(ErrorCode::kNotFound, "no router '" + info.router + "'");
+  }
+  const RouteMap* map = router->FindRouteMap(info.route_map);
+  if (map == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 info.router + ": no route-map '" + info.route_map + "'");
+  }
+  const RouteMapEntry* entry = map->FindEntry(info.seq);
+  if (entry == nullptr) {
+    return Error(ErrorCode::kNotFound, info.route_map + ": no entry seq " +
+                                           std::to_string(info.seq));
+  }
+
+  const auto read = [&](const auto& field) -> util::Result<HoleValue> {
+    if (field.is_hole()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "slot " + info.slot + " is still symbolic");
+    }
+    return HoleValue(field.value());
+  };
+  const auto read_opt = [&](const auto& opt) -> util::Result<HoleValue> {
+    if (!opt) {
+      return Error(ErrorCode::kNotFound, "entry has no " + info.slot);
+    }
+    return read(*opt);
+  };
+
+  if (info.slot == "action") return read(entry->action);
+  if (info.slot == "match.field") return read(entry->match.field);
+  if (info.slot == "match.prefix") return read(entry->match.prefix);
+  if (info.slot == "match.community") return read(entry->match.community);
+  if (info.slot == "match.next-hop") return read(entry->match.next_hop);
+  if (info.slot == "match.via") return read(entry->match.via);
+  if (info.slot == "set.local-pref") return read_opt(entry->sets.local_pref);
+  if (info.slot == "set.community") return read_opt(entry->sets.add_community);
+  if (info.slot == "set.next-hop") return read_opt(entry->sets.next_hop);
+  if (info.slot == "set.med") return read_opt(entry->sets.med);
+  return Error(ErrorCode::kInvalidArgument, "unknown slot '" + info.slot + "'");
+}
+
+}  // namespace ns::config

@@ -1,0 +1,66 @@
+// Hole discovery and filling. The synthesizer collects every hole in a
+// sketch, allocates a solver variable per hole, and writes model values back
+// through FillHoles; the explainer opens holes on a solved configuration and
+// reuses the same machinery.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "config/device.hpp"
+#include "util/status.hpp"
+
+namespace ns::config {
+
+/// The sort of value a hole ranges over.
+enum class HoleType {
+  kAction,      ///< permit/deny            (paper: Var_Action)
+  kMatchField,  ///< which attribute        (paper: Var_Attr)
+  kPrefix,      ///< prefix-list entry      (paper: Var_Val, prefix form)
+  kCommunity,   ///< community value        (paper: Var_Val, community form)
+  kAddress,     ///< next-hop address       (paper: Var_Param)
+  kLocalPref,   ///< integer local-pref
+  kMed,         ///< integer MED
+  kRouter,      ///< router name (as-path / via matching)
+};
+
+const char* HoleTypeName(HoleType type) noexcept;
+
+/// Where a hole lives inside the configuration (provenance for reports).
+struct HoleInfo {
+  std::string name;
+  HoleType type = HoleType::kAction;
+  std::string router;
+  std::string route_map;
+  int seq = 0;
+  std::string slot;  ///< "action", "match.field", "set.local-pref", ...
+
+  friend bool operator==(const HoleInfo&, const HoleInfo&) = default;
+};
+
+/// A concrete value for a hole.
+using HoleValue = std::variant<RmAction, MatchField, net::Prefix, Community,
+                               net::Ipv4Addr, int, std::string>;
+
+std::string FormatHoleValue(const HoleValue& value);
+
+/// Every hole in the network configuration, in deterministic order
+/// (router name, then route-map name, then sequence, then slot).
+std::vector<HoleInfo> CollectHoles(const NetworkConfig& network);
+
+/// Fills holes with model values. Fails if a value's type does not match
+/// the hole, or a named hole does not exist. Holes absent from `values`
+/// are left open.
+util::Status FillHoles(NetworkConfig& network,
+                       const std::map<std::string, HoleValue>& values);
+
+/// Reads the *concrete* value currently stored at the slot `info`
+/// describes (on a solved configuration). Fails if the slot is absent or
+/// still a hole. Used by the explainer to evaluate lifted statements
+/// against what the synthesized configuration actually does.
+util::Result<HoleValue> ReadSlotValue(const NetworkConfig& network,
+                                      const HoleInfo& info);
+
+}  // namespace ns::config

@@ -1,0 +1,338 @@
+#include "config/parse.hpp"
+
+#include <charconv>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace ns::config {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Line-oriented parser with one token of lookahead inside each line.
+class ConfigParser {
+ public:
+  explicit ConfigParser(std::string_view text)
+      : lines_(util::Split(text, '\n')) {}
+
+  Result<NetworkConfig> Run() {
+    for (line_no_ = 1; line_no_ <= static_cast<int>(lines_.size()); ++line_no_) {
+      const std::string_view raw = lines_[static_cast<std::size_t>(line_no_ - 1)];
+      const std::string_view line = util::Trim(raw);
+      if (line.empty() || line[0] == '!') continue;
+      const auto words = util::SplitWhitespace(line);
+      Status status = Status::Ok();
+      if (words[0] == "hostname") {
+        status = OnHostname(words);
+      } else if (words[0] == "router") {
+        status = OnRouterBgp(words);
+      } else if (words[0] == "network") {
+        status = OnNetwork(words);
+      } else if (words[0] == "neighbor") {
+        status = OnNeighbor(words);
+      } else if (words[0] == "ip" && words.size() > 1 &&
+                 words[1] == "prefix-list") {
+        status = OnPrefixList(words);
+      } else if (words[0] == "route-map") {
+        status = OnRouteMapHeader(words);
+      } else if (words[0] == "match") {
+        status = OnMatch(words);
+      } else if (words[0] == "set") {
+        status = OnSet(words);
+      } else {
+        status = Fail("unrecognized directive '" + words[0] + "'");
+      }
+      if (!status.ok()) return status.error();
+    }
+    if (current_ != nullptr) {
+      if (Status s = ResolvePending(); !s.ok()) return s.error();
+    }
+    return std::move(network_);
+  }
+
+ private:
+  Error Fail(std::string message) const {
+    return Error(ErrorCode::kParse, std::move(message), line_no_, 1);
+  }
+
+  Status OnHostname(const std::vector<std::string>& words) {
+    if (words.size() != 2) return Fail("hostname expects one argument");
+    if (current_ != nullptr) {
+      if (Status s = ResolvePending(); !s.ok()) return s;
+    }
+    RouterConfig config;
+    config.router = words[1];
+    auto [it, inserted] = network_.routers.emplace(words[1], std::move(config));
+    if (!inserted) return Fail("duplicate hostname '" + words[1] + "'");
+    current_ = &it->second;
+    current_entry_ = nullptr;
+    prefix_lists_.clear();
+    pending_refs_.clear();
+    return Status::Ok();
+  }
+
+  Status RequireRouter() {
+    if (current_ == nullptr) return Fail("directive outside a hostname block");
+    return Status::Ok();
+  }
+
+  Status OnRouterBgp(const std::vector<std::string>& words) {
+    if (Status s = RequireRouter(); !s.ok()) return s;
+    if (words.size() != 3 || words[1] != "bgp" || !util::IsAllDigits(words[2])) {
+      return Fail("expected 'router bgp <asn>'");
+    }
+    current_->asn = static_cast<net::Asn>(std::stoul(words[2]));
+    current_entry_ = nullptr;
+    return Status::Ok();
+  }
+
+  Status OnNetwork(const std::vector<std::string>& words) {
+    if (Status s = RequireRouter(); !s.ok()) return s;
+    if (words.size() != 2) return Fail("expected 'network <prefix>'");
+    auto prefix = net::Prefix::Parse(words[1]);
+    if (!prefix) return Fail(prefix.error().message());
+    current_->networks.push_back(prefix.value());
+    return Status::Ok();
+  }
+
+  Status OnNeighbor(const std::vector<std::string>& words) {
+    if (Status s = RequireRouter(); !s.ok()) return s;
+    if (words.size() < 3) return Fail("truncated neighbor line");
+    const std::string& peer = words[1];
+    Neighbor* neighbor = current_->FindNeighbor(peer);
+    if (neighbor == nullptr) {
+      current_->neighbors.push_back(Neighbor{peer, std::nullopt, std::nullopt});
+      neighbor = &current_->neighbors.back();
+    }
+    if (words[2] == "remote-as") {
+      return Status::Ok();  // informational; the peer's config carries its ASN
+    }
+    if (words[2] == "route-map") {
+      if (words.size() != 5 || (words[4] != "in" && words[4] != "out")) {
+        return Fail("expected 'neighbor <peer> route-map <name> in|out'");
+      }
+      (words[4] == "in" ? neighbor->import_map : neighbor->export_map) =
+          words[3];
+      return Status::Ok();
+    }
+    return Fail("unknown neighbor directive '" + words[2] + "'");
+  }
+
+  // ip prefix-list <name> seq <n> permit <prefix>
+  Status OnPrefixList(const std::vector<std::string>& words) {
+    if (Status s = RequireRouter(); !s.ok()) return s;
+    if (words.size() != 7 || words[3] != "seq" || words[5] != "permit") {
+      return Fail("expected 'ip prefix-list <name> seq <n> permit <prefix>'");
+    }
+    auto prefix = net::Prefix::Parse(words[6]);
+    if (!prefix) return Fail(prefix.error().message());
+    prefix_lists_[words[2]] = prefix.value();
+    return Status::Ok();
+  }
+
+  // route-map <name> <permit|deny|?hole> <seq>
+  Status OnRouteMapHeader(const std::vector<std::string>& words) {
+    if (Status s = RequireRouter(); !s.ok()) return s;
+    if (words.size() != 4 || !util::IsAllDigits(words[3])) {
+      return Fail("expected 'route-map <name> <action> <seq>'");
+    }
+    auto [it, inserted] = current_->route_maps.try_emplace(words[1]);
+    if (inserted) it->second.name = words[1];
+    RouteMapEntry entry;
+    entry.seq = std::stoi(words[3]);
+    if (it->second.FindEntry(entry.seq) != nullptr) {
+      return Fail("duplicate sequence number " + words[3] + " in route-map " +
+                  words[1]);
+    }
+    // Cisco applies entries in sequence order regardless of declaration
+    // order; keep the in-memory order canonical.
+    if (!it->second.entries.empty() &&
+        it->second.entries.back().seq > entry.seq) {
+      // Insert in sorted position (rare: out-of-order input).
+      auto pos = it->second.entries.begin();
+      while (pos != it->second.entries.end() && pos->seq < entry.seq) ++pos;
+      pos = it->second.entries.insert(pos, std::move(entry));
+      current_entry_ = &*pos;
+      current_map_name_ = words[1];
+      return Status::Ok();
+    }
+    if (words[2] == "permit") {
+      entry.action = RmAction::kPermit;
+    } else if (words[2] == "deny") {
+      entry.action = RmAction::kDeny;
+    } else if (words[2].starts_with('?')) {
+      entry.action = Field<RmAction>::Hole(words[2].substr(1));
+    } else {
+      return Fail("bad route-map action '" + words[2] + "'");
+    }
+    it->second.entries.push_back(std::move(entry));
+    current_entry_ = &it->second.entries.back();
+    current_map_name_ = words[1];
+    return Status::Ok();
+  }
+
+  Status RequireEntry() {
+    if (current_entry_ == nullptr) {
+      return Fail("match/set outside a route-map entry");
+    }
+    return Status::Ok();
+  }
+
+  template <typename T, typename ParseFn>
+  Status ParseValueField(const std::string& word, Field<T>& out,
+                         ParseFn&& parse) {
+    if (word.starts_with('?')) {
+      out = Field<T>::Hole(word.substr(1));
+      return Status::Ok();
+    }
+    auto value = parse(word);
+    if (!value) return Fail(value.error().message());
+    out = Field<T>(std::move(value).value());
+    return Status::Ok();
+  }
+
+  Status ParseIntField(const std::string& word, Field<int>& out) {
+    if (word.starts_with('?')) {
+      out = Field<int>::Hole(word.substr(1));
+      return Status::Ok();
+    }
+    if (!util::IsAllDigits(word)) return Fail("expected integer, got " + word);
+    out = Field<int>(std::stoi(word));
+    return Status::Ok();
+  }
+
+  Status OnMatch(const std::vector<std::string>& words) {
+    if (Status s = RequireEntry(); !s.ok()) return s;
+    MatchClause& match = current_entry_->match;
+    if (words.size() >= 2 && words[1].starts_with('?')) {
+      // `match ?attrhole prefix <p> community <c> next-hop <a> via <r>`
+      if (words.size() != 10 || words[2] != "prefix" ||
+          words[4] != "community" || words[6] != "next-hop" ||
+          words[8] != "via") {
+        return Fail("malformed symbolic match line");
+      }
+      match.field = Field<MatchField>::Hole(words[1].substr(1));
+      if (Status s = ParseValueField(words[3], match.prefix, net::Prefix::Parse);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = ParseValueField(words[5], match.community, ParseCommunity);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s =
+              ParseValueField(words[7], match.next_hop, net::Ipv4Addr::Parse);
+          !s.ok()) {
+        return s;
+      }
+      if (words[9].starts_with('?')) {
+        match.via = Field<std::string>::Hole(words[9].substr(1));
+      } else {
+        match.via = words[9] == "-" ? std::string{} : words[9];
+      }
+      return Status::Ok();
+    }
+    if (words.size() == 5 && words[1] == "ip" && words[2] == "address" &&
+        words[3] == "prefix-list") {
+      match.field = MatchField::kPrefix;
+      if (words[4].starts_with('?')) {
+        match.prefix = Field<net::Prefix>::Hole(words[4].substr(1));
+        return Status::Ok();
+      }
+      // The prefix-list may not be declared yet; resolve at end of block.
+      // Keyed by (map, seq) — entry pointers can dangle as vectors grow.
+      pending_refs_.push_back(PendingRef{current_map_name_,
+                                         current_entry_->seq, words[4],
+                                         line_no_});
+      return Status::Ok();
+    }
+    if (words.size() == 3 && words[1] == "community") {
+      match.field = MatchField::kCommunity;
+      return ParseValueField(words[2], match.community, ParseCommunity);
+    }
+    if (words.size() == 4 && words[1] == "ip" && words[2] == "next-hop") {
+      match.field = MatchField::kNextHop;
+      return ParseValueField(words[3], match.next_hop, net::Ipv4Addr::Parse);
+    }
+    if (words.size() == 4 && words[1] == "as-path" && words[2] == "contains") {
+      match.field = MatchField::kViaContains;
+      if (words[3].starts_with('?')) {
+        match.via = Field<std::string>::Hole(words[3].substr(1));
+      } else {
+        match.via = words[3] == "-" ? std::string{} : words[3];
+      }
+      return Status::Ok();
+    }
+    return Fail("unrecognized match line");
+  }
+
+  Status OnSet(const std::vector<std::string>& words) {
+    if (Status s = RequireEntry(); !s.ok()) return s;
+    SetClause& sets = current_entry_->sets;
+    if (words.size() == 3 && words[1] == "local-preference") {
+      sets.local_pref.emplace();
+      return ParseIntField(words[2], *sets.local_pref);
+    }
+    if (words.size() == 4 && words[1] == "community" && words[3] == "additive") {
+      sets.add_community.emplace();
+      return ParseValueField(words[2], *sets.add_community, ParseCommunity);
+    }
+    if (words.size() == 4 && words[1] == "ip" && words[2] == "next-hop") {
+      sets.next_hop.emplace();
+      return ParseValueField(words[3], *sets.next_hop, net::Ipv4Addr::Parse);
+    }
+    if (words.size() == 3 && words[1] == "metric") {
+      sets.med.emplace();
+      return ParseIntField(words[2], *sets.med);
+    }
+    return Fail("unrecognized set line");
+  }
+
+  Status ResolvePending() {
+    for (const PendingRef& ref : pending_refs_) {
+      const auto it = prefix_lists_.find(ref.list_name);
+      if (it == prefix_lists_.end()) {
+        return Error(ErrorCode::kParse,
+                     "route-map references undeclared prefix-list '" +
+                         ref.list_name + "'",
+                     ref.line, 1);
+      }
+      RouteMap* map = current_->FindRouteMap(ref.map_name);
+      NS_ASSERT(map != nullptr);
+      RouteMapEntry* entry = map->FindEntry(ref.seq);
+      NS_ASSERT(entry != nullptr);
+      entry->match.prefix = Field<net::Prefix>(it->second);
+    }
+    pending_refs_.clear();
+    return Status::Ok();
+  }
+
+  struct PendingRef {
+    std::string map_name;
+    int seq = 0;
+    std::string list_name;
+    int line = 0;
+  };
+
+  std::vector<std::string> lines_;
+  int line_no_ = 0;
+  NetworkConfig network_;
+  RouterConfig* current_ = nullptr;
+  RouteMapEntry* current_entry_ = nullptr;
+  std::string current_map_name_;
+  std::map<std::string, net::Prefix> prefix_lists_;
+  std::vector<PendingRef> pending_refs_;
+};
+
+}  // namespace
+
+Result<NetworkConfig> ParseNetworkConfig(std::string_view text) {
+  return ConfigParser(text).Run();
+}
+
+}  // namespace ns::config

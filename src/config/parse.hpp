@@ -1,0 +1,16 @@
+// Parser for the Cisco-style configuration text produced by
+// config::RenderNetwork / RenderRouter. ParseNetworkConfig(RenderNetwork(c))
+// reproduces `c` exactly, including holes (`?name` fields).
+#pragma once
+
+#include <string_view>
+
+#include "config/device.hpp"
+#include "util/status.hpp"
+
+namespace ns::config {
+
+/// Parses one or more rendered router configurations.
+util::Result<NetworkConfig> ParseNetworkConfig(std::string_view text);
+
+}  // namespace ns::config

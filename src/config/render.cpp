@@ -1,0 +1,201 @@
+#include "config/render.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ns::config {
+
+namespace {
+
+template <typename T, typename Fn>
+std::string RenderField(const Field<T>& field, Fn&& format) {
+  if (field.is_hole()) return "?" + field.hole();
+  return format(field.value());
+}
+
+std::string RenderPrefixField(const Field<net::Prefix>& field) {
+  return RenderField(field, [](const net::Prefix& p) { return p.ToString(); });
+}
+
+std::string RenderAddrField(const Field<net::Ipv4Addr>& field) {
+  return RenderField(field, [](const net::Ipv4Addr& a) { return a.ToString(); });
+}
+
+std::string RenderCommunityField(const Field<Community>& field) {
+  return RenderField(field, [](Community c) { return FormatCommunity(c); });
+}
+
+std::string RenderIntField(const Field<int>& field) {
+  return RenderField(field, [](int v) { return std::to_string(v); });
+}
+
+std::string RenderNameField(const Field<std::string>& field) {
+  // "-" stands for an empty (unused) name so the line stays tokenizable.
+  return RenderField(field,
+                     [](const std::string& v) { return v.empty() ? "-" : v; });
+}
+
+/// Stable prefix-list naming per router: pl_<router>_<index>, first-use
+/// order. Mirrors the paper's `ip_list_R1_1`.
+class PrefixLists {
+ public:
+  explicit PrefixLists(std::string router) : router_(std::move(router)) {}
+
+  const std::string& NameFor(const net::Prefix& prefix) {
+    auto [it, inserted] = names_.try_emplace(
+        prefix, "pl_" + router_ + "_" + std::to_string(names_.size() + 1));
+    if (inserted) order_.push_back(prefix);
+    return it->second;
+  }
+
+  std::string RenderDeclarations() const {
+    std::ostringstream os;
+    for (const net::Prefix& prefix : order_) {
+      os << "ip prefix-list " << names_.at(prefix) << " seq 10 permit "
+         << prefix.ToString() << "\n";
+    }
+    return os.str();
+  }
+
+  bool Empty() const noexcept { return order_.empty(); }
+
+ private:
+  std::string router_;
+  std::map<net::Prefix, std::string> names_;
+  std::vector<net::Prefix> order_;
+};
+
+void RenderMatch(std::ostringstream& os, const MatchClause& match,
+                 PrefixLists& lists) {
+  if (match.field.is_hole()) {
+    // Partially symbolic `match Var_Attr Var_Val` (paper Fig. 6b): list each
+    // candidate value slot.
+    os << " match ?" << match.field.hole() << " prefix "
+       << RenderPrefixField(match.prefix) << " community "
+       << RenderCommunityField(match.community) << " next-hop "
+       << RenderAddrField(match.next_hop) << " via "
+       << RenderNameField(match.via) << "\n";
+    return;
+  }
+  switch (match.field.value()) {
+    case MatchField::kAny:
+      break;  // no match line: entry applies to all routes
+    case MatchField::kPrefix:
+      if (match.prefix.is_hole()) {
+        os << " match ip address prefix-list ?" << match.prefix.hole() << "\n";
+      } else {
+        os << " match ip address prefix-list "
+           << lists.NameFor(match.prefix.value()) << "\n";
+      }
+      break;
+    case MatchField::kCommunity:
+      os << " match community " << RenderCommunityField(match.community)
+         << "\n";
+      break;
+    case MatchField::kNextHop:
+      os << " match ip next-hop " << RenderAddrField(match.next_hop) << "\n";
+      break;
+    case MatchField::kViaContains:
+      os << " match as-path contains " << RenderNameField(match.via) << "\n";
+      break;
+  }
+}
+
+void RenderSets(std::ostringstream& os, const SetClause& sets) {
+  if (sets.local_pref) {
+    os << " set local-preference " << RenderIntField(*sets.local_pref) << "\n";
+  }
+  if (sets.add_community) {
+    os << " set community " << RenderCommunityField(*sets.add_community)
+       << " additive\n";
+  }
+  if (sets.next_hop) {
+    os << " set ip next-hop " << RenderAddrField(*sets.next_hop) << "\n";
+  }
+  if (sets.med) {
+    os << " set metric " << RenderIntField(*sets.med) << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderRouter(const RouterConfig& config,
+                         const net::Topology* topo) {
+  std::ostringstream maps;
+  PrefixLists lists(config.router);
+
+  for (const auto& [name, map] : config.route_maps) {
+    for (const RouteMapEntry& entry : map.entries) {
+      maps << "route-map " << name << " ";
+      if (entry.action.is_hole()) {
+        maps << "?" << entry.action.hole();
+      } else {
+        maps << RmActionName(entry.action.value());
+      }
+      maps << " " << entry.seq << "\n";
+      RenderMatch(maps, entry.match, lists);
+      RenderSets(maps, entry.sets);
+      maps << "!\n";
+    }
+  }
+
+  std::ostringstream os;
+  os << "! configuration for " << config.router << " (AS " << config.asn
+     << ")\n";
+  os << "hostname " << config.router << "\n";
+  os << "router bgp " << config.asn << "\n";
+  for (const net::Prefix& network : config.networks) {
+    os << " network " << network.ToString() << "\n";
+  }
+  for (const Neighbor& neighbor : config.neighbors) {
+    // The peer's AS number lives in its own config; when a topology is
+    // provided we resolve it for a faithful `remote-as` line.
+    std::string remote_as = "?";
+    if (topo != nullptr) {
+      const net::RouterId id = topo->FindRouter(neighbor.peer);
+      if (id != net::kInvalidRouter) {
+        remote_as = std::to_string(topo->GetRouter(id).asn);
+      }
+    }
+    os << " neighbor " << neighbor.peer << " remote-as " << remote_as << "\n";
+    if (neighbor.import_map) {
+      os << " neighbor " << neighbor.peer << " route-map "
+         << *neighbor.import_map << " in\n";
+    }
+    if (neighbor.export_map) {
+      os << " neighbor " << neighbor.peer << " route-map "
+         << *neighbor.export_map << " out\n";
+    }
+  }
+  os << "!\n";
+  if (!lists.Empty()) {
+    os << lists.RenderDeclarations() << "!\n";
+  }
+  os << maps.str();
+  return os.str();
+}
+
+std::string RenderNetwork(const NetworkConfig& network,
+                          const net::Topology* topo) {
+  std::ostringstream os;
+  for (const auto& [name, router] : network.routers) {
+    os << RenderRouter(router, topo);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::size_t CountConfigLines(const NetworkConfig& network) {
+  const std::string text = RenderNetwork(network);
+  std::size_t count = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '!') continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace ns::config

@@ -1,0 +1,30 @@
+// Rendering configurations as Cisco-style text (the form shown in the
+// paper's Fig. 1c). The output is deterministic and round-trips through
+// config::ParseNetworkConfig.
+//
+// Divergences from real IOS, chosen for readability of explanations:
+//  - neighbors are referenced by router name instead of interface address
+//    (the address appears in a trailing comment);
+//  - holes (symbolic fields) render as `?<hole-name>`.
+#pragma once
+
+#include <string>
+
+#include "config/device.hpp"
+#include "net/topology.hpp"
+
+namespace ns::config {
+
+/// Renders a single router's configuration.
+std::string RenderRouter(const RouterConfig& config,
+                         const net::Topology* topo = nullptr);
+
+/// Renders every router, separated by banner comments.
+std::string RenderNetwork(const NetworkConfig& network,
+                          const net::Topology* topo = nullptr);
+
+/// Counts rendered configuration lines (excluding comments/banners) —
+/// the "volume of configuration" metric used in scenario 3.
+std::size_t CountConfigLines(const NetworkConfig& network);
+
+}  // namespace ns::config

@@ -1,0 +1,91 @@
+#include "config/routemap.hpp"
+
+namespace ns::config {
+
+const char* MatchFieldName(MatchField field) noexcept {
+  switch (field) {
+    case MatchField::kAny: return "any";
+    case MatchField::kPrefix: return "prefix";
+    case MatchField::kCommunity: return "community";
+    case MatchField::kNextHop: return "next-hop";
+    case MatchField::kViaContains: return "via";
+  }
+  return "?";
+}
+
+const char* RmActionName(RmAction action) noexcept {
+  switch (action) {
+    case RmAction::kPermit: return "permit";
+    case RmAction::kDeny: return "deny";
+  }
+  return "?";
+}
+
+bool MatchClause::HasHole() const noexcept {
+  return field.is_hole() || prefix.is_hole() || community.is_hole() ||
+         next_hop.is_hole() || via.is_hole();
+}
+
+bool SetClause::HasHole() const noexcept {
+  return (local_pref && local_pref->is_hole()) ||
+         (add_community && add_community->is_hole()) ||
+         (next_hop && next_hop->is_hole()) || (med && med->is_hole());
+}
+
+bool RouteMapEntry::HasHole() const noexcept {
+  return action.is_hole() || match.HasHole() || sets.HasHole();
+}
+
+bool RouteMap::HasHole() const noexcept {
+  for (const RouteMapEntry& entry : entries) {
+    if (entry.HasHole()) return true;
+  }
+  return false;
+}
+
+RouteMapEntry* RouteMap::FindEntry(int seq) noexcept {
+  for (RouteMapEntry& entry : entries) {
+    if (entry.seq == seq) return &entry;
+  }
+  return nullptr;
+}
+
+const RouteMapEntry* RouteMap::FindEntry(int seq) const noexcept {
+  for (const RouteMapEntry& entry : entries) {
+    if (entry.seq == seq) return &entry;
+  }
+  return nullptr;
+}
+
+RouteMapEntry PermitAll(int seq) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = RmAction::kPermit;
+  entry.match.field = MatchField::kAny;
+  return entry;
+}
+
+RouteMapEntry DenyAll(int seq) {
+  RouteMapEntry entry = PermitAll(seq);
+  entry.action = RmAction::kDeny;
+  return entry;
+}
+
+void NormalizeUnusedMatchSlots(MatchClause& match) noexcept {
+  if (match.field.is_hole()) return;
+  const MatchField field = match.field.value();
+  if (field != MatchField::kPrefix && match.prefix.is_concrete()) {
+    match.prefix = net::Prefix{};
+  }
+  if (field != MatchField::kCommunity && match.community.is_concrete()) {
+    match.community = Community{0};
+  }
+  if (field != MatchField::kNextHop && match.next_hop.is_concrete()) {
+    match.next_hop = net::Ipv4Addr{};
+  }
+  if (field != MatchField::kViaContains && match.via.is_concrete()) {
+    match.via = std::string{};
+  }
+}
+
+}  // namespace ns::config

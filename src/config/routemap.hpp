@@ -1,0 +1,101 @@
+// Route-maps: the per-session routing policies the synthesizer fills in and
+// the explainer symbolizes. The model follows the Cisco/NetComplete shape
+// visible in the paper's Fig. 1c:
+//
+//   route-map R1_to_P1 deny 10
+//    match ip address prefix-list ip_list_R1_1
+//    set next-hop 10.0.0.1
+//
+// An entry has a sequence number, a permit/deny action, at most one match
+// clause, and a set of attribute rewrites. Entries apply first-match-wins;
+// a route matching no entry is denied (Cisco default).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/attrs.hpp"
+#include "config/field.hpp"
+#include "net/prefix.hpp"
+
+namespace ns::config {
+
+/// Which route attribute an entry matches on (the paper's `Var_Attr`).
+enum class MatchField {
+  kAny,          ///< no match clause: entry applies to every route
+  kPrefix,       ///< match ip address prefix-list ...
+  kCommunity,    ///< match community ...
+  kNextHop,      ///< match ip next-hop ...
+  kViaContains,  ///< match as-path contains <router> — NetComplete-style
+                 ///< AS-path matching, at router granularity
+};
+
+const char* MatchFieldName(MatchField field) noexcept;
+
+/// Permit/deny (the paper's `Var_Action`).
+enum class RmAction { kPermit, kDeny };
+
+const char* RmActionName(RmAction action) noexcept;
+
+/// The match side of an entry. `field` selects which of the value slots is
+/// consulted; unused slots keep defaults. Each slot can independently be a
+/// hole, which is exactly the paper's partially symbolic configuration:
+/// `match Var_Attr Var_Val`.
+struct MatchClause {
+  Field<MatchField> field = MatchField::kAny;
+  Field<net::Prefix> prefix{};        ///< used when field == kPrefix
+  Field<Community> community = 0;     ///< used when field == kCommunity
+  Field<net::Ipv4Addr> next_hop{};    ///< used when field == kNextHop
+  Field<std::string> via{};           ///< used when field == kViaContains
+
+  bool HasHole() const noexcept;
+  friend bool operator==(const MatchClause&, const MatchClause&) = default;
+};
+
+/// Attribute rewrites applied when a permit entry matches (`Var_Action
+/// Var_Param` in Fig. 6b). Absent optional = attribute untouched.
+struct SetClause {
+  std::optional<Field<int>> local_pref;
+  std::optional<Field<Community>> add_community;
+  std::optional<Field<net::Ipv4Addr>> next_hop;
+  std::optional<Field<int>> med;
+
+  bool HasHole() const noexcept;
+  bool Empty() const noexcept {
+    return !local_pref && !add_community && !next_hop && !med;
+  }
+  friend bool operator==(const SetClause&, const SetClause&) = default;
+};
+
+struct RouteMapEntry {
+  int seq = 10;
+  Field<RmAction> action = RmAction::kPermit;
+  MatchClause match;
+  SetClause sets;
+
+  bool HasHole() const noexcept;
+  friend bool operator==(const RouteMapEntry&, const RouteMapEntry&) = default;
+};
+
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapEntry> entries;
+
+  bool HasHole() const noexcept;
+  RouteMapEntry* FindEntry(int seq) noexcept;
+  const RouteMapEntry* FindEntry(int seq) const noexcept;
+  friend bool operator==(const RouteMap&, const RouteMap&) = default;
+};
+
+/// Convenience builders used by tests and sketch construction.
+RouteMapEntry PermitAll(int seq);
+RouteMapEntry DenyAll(int seq);
+
+/// Resets the value slots a concrete match field does not consult back to
+/// their defaults. Synthesis fills *every* hole of a symbolic entry, but
+/// only the slot selected by the match field is meaningful configuration;
+/// normalizing makes rendering canonical (render/parse round-trips).
+void NormalizeUnusedMatchSlots(MatchClause& match) noexcept;
+
+}  // namespace ns::config

@@ -1,0 +1,419 @@
+#include "explain/lift.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "smt/eval.hpp"
+#include "spec/matcher.hpp"
+#include "smt/z3bridge.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ns::explain {
+
+using smt::Expr;
+using smt::ExprPool;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* LiftModeName(LiftMode mode) noexcept {
+  return mode == LiftMode::kExact ? "exact" : "faithful";
+}
+
+namespace {
+
+/// A candidate statement with its compiled (pre-projection) constraints.
+/// Priority groups order the greedy pass so the output takes the paper's
+/// presentation forms: preferences (Fig. 4) first, then traffic-direction
+/// forbids for declared destinations (Fig. 4's drops), then announcement-
+/// direction forbids (Figs. 2/5), then allows; length breaks ties.
+struct RawCandidate {
+  spec::Statement statement;
+  std::vector<Expr> compiled;
+  std::string rendered;
+  int priority = 2;
+};
+
+/// Pulls "R2 to P2"-style scope out of the conventional map names.
+std::optional<std::string> PeerFromMapName(const std::string& router,
+                                           const std::string& map) {
+  const std::string exp = router + "_to_";
+  const std::string imp = router + "_from_";
+  if (util::StartsWith(map, exp)) return map.substr(exp.size());
+  if (util::StartsWith(map, imp)) return map.substr(imp.size());
+  return std::nullopt;
+}
+
+spec::PathPattern ConcretePattern(const std::vector<std::string>& nodes) {
+  spec::PathPattern pattern;
+  pattern.elems.reserve(nodes.size());
+  for (const std::string& node : nodes) {
+    pattern.elems.push_back(spec::PathElem::Node(node));
+  }
+  return pattern;
+}
+
+}  // namespace
+
+std::string LiftResult::ToString() const {
+  std::ostringstream os;
+  os << requirement.ToString();
+  if (!complete) {
+    os << "\n// (incomplete lift: the low-level constraints carry more "
+          "information)";
+  }
+  return os.str();
+}
+
+Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
+                                const SubspecOptions& options) {
+  if (subspec.selection.complement) {
+    return Error(ErrorCode::kUnsupported,
+                 "lifting a rest-of-network summary is not supported: its "
+                 "scope spans several components (present the low-level "
+                 "constraints instead)");
+  }
+  const std::string& scope_router = subspec.selection.router;
+
+  LiftResult result;
+  result.requirement.name = scope_router;
+  result.requirement.scope_router = scope_router;
+  if (subspec.selection.route_map) {
+    result.requirement.scope_peer =
+        PeerFromMapName(scope_router, *subspec.selection.route_map);
+  }
+
+  if (subspec.IsUnsatisfiable()) {
+    // Nothing the component can do satisfies the projected spec; there is
+    // no statement set to lift.
+    result.complete = false;
+    return result;
+  }
+
+  // Re-derive the protocol-mechanics encoding for the same partially
+  // symbolic configuration (same pool => identical variables).
+  config::NetworkConfig partial = solved_;
+  if (auto holes = Symbolize(partial, subspec.selection); !holes) {
+    return holes.error();
+  }
+  auto destinations = synth::BuildDestinations(topo_, partial, spec_);
+  if (!destinations) return destinations.error();
+  synth::EnsureOriginated(partial, destinations.value());
+
+  synth::EncoderOptions encoder_options = options.encoder;
+  encoder_options.skip_requirements = true;
+  encoder_options.only_requirements.clear();
+  auto encoded = synth::Encode(pool_, topo_, partial, spec_, encoder_options);
+  if (!encoded) return encoded.error();
+  const synth::Encoding& encoding = encoded.value();
+
+  std::vector<Expr> definitions;
+  for (Expr c : encoding.constraints) {
+    const bool is_domain =
+        std::find(encoding.domain_constraints.begin(),
+                  encoding.domain_constraints.end(),
+                  c) != encoding.domain_constraints.end();
+    if (!is_domain) definitions.push_back(c);
+  }
+
+  // One-time closure of the state-variable definitions: each candidate
+  // statement is then projected by a single substitution + simplification
+  // instead of a fresh run over the whole seed.
+  const std::unordered_map<std::string, Expr> closed =
+      CloseAuxDefinitions(pool_, definitions);
+
+  // ------------------------------------------------ candidate statements
+
+  const auto dest_of = [&](const synth::Candidate& c) -> const synth::Destination& {
+    return encoding.destinations[static_cast<std::size_t>(c.dest_index)];
+  };
+
+  const auto compile_forbid = [&](const spec::PathPattern& pattern) {
+    std::vector<Expr> compiled;
+    for (const synth::Candidate& candidate : encoding.candidates) {
+      if (!synth::PatternHitsCandidate(spec_, pattern, candidate,
+                                       dest_of(candidate))) {
+        continue;
+      }
+      compiled.push_back(
+          pool_.Not(encoding.alive_vars.at(candidate.Label(dest_of(candidate)))));
+    }
+    return compiled;
+  };
+
+  std::vector<RawCandidate> pool_candidates;
+  const auto add_forbid = [&](spec::PathPattern pattern, int priority) {
+    auto compiled = compile_forbid(pattern);
+    if (compiled.empty()) return;  // pattern matches nothing: vacuous
+    spec::Statement stmt{spec::ForbidStmt{std::move(pattern)}};
+    std::string rendered = spec::ToString(stmt);
+    pool_candidates.push_back(RawCandidate{std::move(stmt), std::move(compiled),
+                                           std::move(rendered), priority});
+  };
+  const auto add_allow = [&](spec::PathPattern pattern) {
+    std::vector<Expr> alive_options;
+    for (const synth::Candidate& candidate : encoding.candidates) {
+      if (synth::PatternHitsCandidate(spec_, pattern, candidate,
+                                      dest_of(candidate))) {
+        alive_options.push_back(
+            encoding.alive_vars.at(candidate.Label(dest_of(candidate))));
+      }
+    }
+    if (alive_options.empty()) return;
+    spec::Statement stmt{spec::AllowStmt{std::move(pattern)}};
+    std::string rendered = spec::ToString(stmt);
+    pool_candidates.push_back(RawCandidate{std::move(stmt),
+                                           {pool_.Or(alive_options)},
+                                           std::move(rendered), 3});
+  };
+
+  // (a) Deny-everything across one adjacency: !(R->N) and !(N->R).
+  const net::RouterId scope_id = topo_.FindRouter(scope_router);
+  if (scope_id == net::kInvalidRouter) {
+    return Error(ErrorCode::kNotFound, "unknown router " + scope_router);
+  }
+  for (const net::RouterId neighbor : topo_.Neighbors(scope_id)) {
+    const std::string& peer = topo_.NameOf(neighbor);
+    add_forbid(ConcretePattern({scope_router, peer}), 2);
+    add_forbid(ConcretePattern({peer, scope_router}), 2);
+  }
+
+  // (b) Per-path forbids for every candidate path that traverses the scope
+  // router: announcement form always; traffic form (Fig. 4 style) when the
+  // destination is declared.
+  std::set<std::vector<std::string>> seen_vias;
+  for (const synth::Candidate& candidate : encoding.candidates) {
+    const bool through_scope =
+        std::find(candidate.via.begin(), candidate.via.end(), scope_router) !=
+        candidate.via.end();
+    if (!through_scope) continue;
+    if (seen_vias.insert(candidate.via).second) {
+      add_forbid(ConcretePattern(candidate.via), 2);
+      add_allow(ConcretePattern(candidate.via));
+    }
+    const synth::Destination& dest = dest_of(candidate);
+    if (dest.declared) {
+      // reverse(via) ++ [..., destname]
+      spec::PathPattern pattern =
+          ConcretePattern({candidate.via.rbegin(), candidate.via.rend()});
+      pattern.elems.push_back(spec::PathElem::Wildcard());
+      pattern.elems.push_back(spec::PathElem::Node(dest.name));
+      add_allow(pattern);
+      add_forbid(std::move(pattern), 1);
+    }
+  }
+
+  // (c) Local preferences: global `>>` statements truncated at the scope
+  // router (Fig. 4's `preference { (R3->...) >> (R3->...) }`).
+  for (const spec::Requirement& req : spec_.requirements) {
+    if (req.IsLocalized()) continue;
+    for (const spec::Statement& stmt : req.statements) {
+      const auto* prefer = std::get_if<spec::PreferStmt>(&stmt);
+      if (prefer == nullptr) continue;
+      spec::PreferStmt local;
+      bool ok = true;
+      for (const spec::PathPattern& pattern : prefer->ranking) {
+        spec::PathPattern truncated;
+        bool found = false;
+        for (const spec::PathElem& elem : pattern.elems) {
+          if (!found && !(elem.kind == spec::PathElem::Kind::kNode &&
+                          elem.name == scope_router)) {
+            continue;
+          }
+          found = true;
+          truncated.elems.push_back(elem);
+        }
+        if (!found || truncated.elems.size() < 2) {
+          ok = false;
+          break;
+        }
+        local.ranking.push_back(std::move(truncated));
+      }
+      if (!ok) continue;
+
+      // Compile: pairwise decision ordering between candidates realizing
+      // differently ranked truncated patterns (matched at the scope
+      // router, where the routes are compared).
+      std::vector<std::vector<const synth::Candidate*>> classes(
+          local.ranking.size());
+      for (const synth::Candidate& candidate : encoding.candidates) {
+        if (candidate.via.back() != scope_router) continue;
+        const synth::Destination& dest = dest_of(candidate);
+        const auto traffic = candidate.TrafficSeq(dest);
+        for (std::size_t i = 0; i < local.ranking.size(); ++i) {
+          if (spec::MatchesExactly(local.ranking[i], traffic)) {
+            classes[i].push_back(&candidate);
+            break;
+          }
+        }
+      }
+      std::vector<Expr> compiled;
+      // "Prefer p1 over p2" presumes the ranked paths are available:
+      // every matched ranked candidate must be alive...
+      for (const auto& cls : classes) {
+        for (const synth::Candidate* c : cls) {
+          compiled.push_back(encoding.alive_vars.at(c->Label(dest_of(*c))));
+        }
+      }
+      // ...and the decision process must order them.
+      for (std::size_t hi = 0; hi < classes.size(); ++hi) {
+        for (std::size_t lo = hi + 1; lo < classes.size(); ++lo) {
+          for (const synth::Candidate* a : classes[hi]) {
+            for (const synth::Candidate* b : classes[lo]) {
+              const std::string la = a->Label(dest_of(*a));
+              const std::string lb = b->Label(dest_of(*b));
+              const Expr alive_a = encoding.alive_vars.at(la);
+              const Expr alive_b = encoding.alive_vars.at(lb);
+              const Expr lp_a = encoding.lp_vars.at(la);
+              const Expr lp_b = encoding.lp_vars.at(lb);
+              const Expr med_a = encoding.med_vars.at(la);
+              const Expr med_b = encoding.med_vars.at(lb);
+              const Expr len_a = encoding.len_vars.at(la);
+              const Expr len_b = encoding.len_vars.at(lb);
+              const Expr lex = pool_.Bool(a->via < b->via);
+              const Expr med_tie = pool_.Or(
+                  {pool_.Lt(med_a, med_b),
+                   pool_.And({pool_.Eq(med_a, med_b), lex})});
+              const Expr len_tie = pool_.Or(
+                  {pool_.Lt(len_a, len_b),
+                   pool_.And({pool_.Eq(len_a, len_b), med_tie})});
+              const Expr better =
+                  pool_.Or({pool_.Gt(lp_a, lp_b),
+                            pool_.And({pool_.Eq(lp_a, lp_b), len_tie})});
+              compiled.push_back(
+                  pool_.Implies(pool_.And({alive_a, alive_b}), better));
+            }
+          }
+        }
+      }
+      if (compiled.empty()) continue;
+      spec::Statement local_stmt{std::move(local)};
+      std::string rendered = spec::ToString(local_stmt);
+      pool_candidates.push_back(RawCandidate{std::move(local_stmt),
+                                             std::move(compiled),
+                                             std::move(rendered), 0});
+    }
+  }
+
+  // Priority groups first, shortest statements within a group ("!(R1->P1)"
+  // before an enumeration of paths).
+  std::stable_sort(pool_candidates.begin(), pool_candidates.end(),
+                   [](const RawCandidate& a, const RawCandidate& b) {
+                     if (a.priority != b.priority) {
+                       return a.priority < b.priority;
+                     }
+                     return a.rendered.size() < b.rendered.size();
+                   });
+
+  // --------------------------------------------------- greedy assembly
+
+  smt::Z3Session z3;
+  const Expr domain = subspec.domains.empty()
+                          ? pool_.True()
+                          : pool_.And(subspec.domains);
+  const Expr target = subspec.constraints.empty()
+                          ? pool_.True()
+                          : pool_.And(subspec.constraints);
+
+  // Faithful mode evaluates candidate residuals on the solved values of
+  // the symbolized fields.
+  smt::Assignment solved_values;
+  if (mode == LiftMode::kFaithful) {
+    for (const config::HoleInfo& info : subspec.holes) {
+      auto value = config::ReadSlotValue(solved_, info);
+      if (!value) return value.error();
+      solved_values[info.name] = subspec.values.EncodeValue(value.value());
+    }
+  }
+
+  std::vector<Expr> acc;  // conjunction of accepted residuals
+  const auto acc_expr = [&] {
+    return acc.empty() ? pool_.True() : pool_.And(acc);
+  };
+
+  for (const RawCandidate& candidate : pool_candidates) {
+    ++result.candidates_tried;
+
+    // Project the candidate onto the explanation variables via the closed
+    // definitions.
+    std::vector<Expr> substituted;
+    substituted.reserve(candidate.compiled.size());
+    for (Expr c : candidate.compiled) {
+      substituted.push_back(smt::Substitute(pool_, c, closed));
+    }
+    simplify::Engine engine(pool_);
+    std::vector<Expr> residual =
+        engine.SimplifyConstraints(std::move(substituted));
+    const Expr meaning = residual.empty() ? pool_.True() : pool_.And(residual);
+    if (meaning.IsTrue()) continue;  // vacuous here
+    if (meaning.IsFalse()) continue;  // unenforceable by these fields
+
+    // Soundness per mode.
+    if (mode == LiftMode::kExact) {
+      if (!z3.Implies(pool_.And({domain, target}), meaning)) continue;
+    } else {
+      // Faithful: the statement must describe the solved configuration...
+      const auto holds = smt::Eval(meaning, solved_values);
+      if (!holds.ok() || holds.value() == 0) continue;
+      // ...and be on-topic: either sufficient for the subspec by itself
+      // (possibly stronger than necessary — Fig. 2's "drop ALL routes"),
+      // or a consequence of it (a necessary fragment).
+      const bool sufficient = z3.Implies(pool_.And({domain, meaning}), target);
+      const bool necessary = z3.Implies(pool_.And({domain, target}), meaning);
+      if (!sufficient && !necessary) continue;
+    }
+
+    // Skip statements already implied by what we have.
+    if (z3.Implies(pool_.And({domain, acc_expr()}), meaning)) continue;
+
+    acc.push_back(meaning);
+    result.used.push_back(LiftedStatement{candidate.statement, residual});
+
+    if (z3.Implies(pool_.And({domain, acc_expr()}), target)) {
+      result.complete = true;
+      break;
+    }
+  }
+
+  if (!result.complete) {
+    result.complete = z3.Implies(pool_.And({domain, acc_expr()}), target);
+  }
+
+  // Prune redundant statements (longest first) while completeness holds.
+  if (result.complete && result.used.size() > 1) {
+    for (std::size_t i = result.used.size(); i-- > 0;) {
+      std::vector<Expr> rest;
+      for (std::size_t j = 0; j < result.used.size(); ++j) {
+        if (j == i) continue;
+        const auto& residual = result.used[j].residual;
+        rest.push_back(residual.empty() ? pool_.True() : pool_.And(residual));
+      }
+      const Expr rest_expr = rest.empty() ? pool_.True() : pool_.And(rest);
+      if (z3.Implies(pool_.And({domain, rest_expr}), target)) {
+        result.used.erase(result.used.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+
+  // Assemble the requirement: preferences first (Fig. 4 layout).
+  for (const LiftedStatement& lifted : result.used) {
+    if (std::holds_alternative<spec::PreferStmt>(lifted.statement)) {
+      result.requirement.statements.push_back(lifted.statement);
+    }
+  }
+  for (const LiftedStatement& lifted : result.used) {
+    if (!std::holds_alternative<spec::PreferStmt>(lifted.statement)) {
+      result.requirement.statements.push_back(lifted.statement);
+    }
+  }
+
+  NS_INFO << "lift (" << LiftModeName(mode) << ") for " << scope_router
+          << ": " << result.used.size() << " statements from "
+          << result.candidates_tried << " candidates, complete="
+          << (result.complete ? "yes" : "no");
+  return result;
+}
+
+}  // namespace ns::explain

@@ -1,0 +1,73 @@
+// Lifting (paper §3 step 4, left as future work there; implemented here):
+// searching the specification language for a localized subspecification
+// consistent with the simplified low-level constraints.
+//
+// The lifter enumerates candidate local statements (deny-all towards a
+// neighbor, per-path forbids, truncated preferences), compiles each through
+// the *same* pipeline as the seed specification (encode -> simplify ->
+// project onto the Var_* variables), and assembles a statement set whose
+// compiled meaning matches the low-level subspecification:
+//
+//  - kExact    : conjunction of lifted statements  <=>  subspec
+//                (the minimal necessary-and-sufficient local contract;
+//                 paper Figs. 4 and 5)
+//  - kFaithful : conjunction  =>  subspec, and the solved configuration
+//                satisfies every lifted statement (describes what the
+//                config actually guarantees; paper Fig. 2's
+//                "drop ALL routes to Provider1")
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explain/subspec.hpp"
+#include "spec/ast.hpp"
+
+namespace ns::explain {
+
+enum class LiftMode { kExact, kFaithful };
+
+const char* LiftModeName(LiftMode mode) noexcept;
+
+struct LiftedStatement {
+  spec::Statement statement;
+  /// The statement's compiled meaning over the explanation variables.
+  std::vector<smt::Expr> residual;
+};
+
+struct LiftResult {
+  /// The localized subspecification in the DSL (paper Figs. 2/4/5).
+  spec::Requirement requirement;
+  /// Whether the lifted statements fully capture the low-level subspec
+  /// (in exact mode: equivalence; in faithful mode: sufficiency). When
+  /// false the paper's open problem bit — "generating high-level
+  /// subspecifications ... remains a challenge" — showed up; callers
+  /// should fall back to presenting Subspec::ToString().
+  bool complete = false;
+  std::vector<LiftedStatement> used;
+  int candidates_tried = 0;
+
+  std::string ToString() const;
+};
+
+class Lifter {
+ public:
+  /// `pool` must be the pool the subspec's expressions live in — i.e. the
+  /// Explainer's pool (Explainer::pool()).
+  Lifter(smt::ExprPool& pool, const net::Topology& topo,
+         const spec::Spec& spec, const config::NetworkConfig& solved)
+      : pool_(pool), topo_(topo), spec_(spec), solved_(solved) {}
+
+  /// Lifts `subspec` (produced by Explainer::Explain with `options` —
+  /// pass the same options so the projection matches).
+  util::Result<LiftResult> Lift(const Subspec& subspec, LiftMode mode,
+                                const SubspecOptions& options = {});
+
+ private:
+  smt::ExprPool& pool_;
+  const net::Topology& topo_;
+  const spec::Spec& spec_;
+  const config::NetworkConfig& solved_;
+};
+
+}  // namespace ns::explain

@@ -1,0 +1,100 @@
+#include "explain/pretty.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace ns::explain {
+
+using smt::Expr;
+using smt::Op;
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const std::vector<config::HoleInfo>& holes,
+          const synth::ValueTable& values)
+      : values_(values) {
+    for (const config::HoleInfo& info : holes) {
+      types_.emplace(info.name, info.type);
+    }
+  }
+
+  std::string Print(Expr e) {
+    std::ostringstream os;
+    Visit(os, e);
+    return os.str();
+  }
+
+ private:
+  /// The hole type of `e` if it is an explanation variable we know.
+  std::optional<config::HoleType> TypeOf(Expr e) const {
+    if (!e.IsVar()) return std::nullopt;
+    const auto it = types_.find(e.name());
+    if (it == types_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Renders an integer constant in the value language of `type`.
+  std::string Decode(config::HoleType type, std::int64_t value) const {
+    auto decoded = values_.DecodeValue(type, value);
+    if (!decoded.ok()) return std::to_string(value);  // out-of-domain
+    return config::FormatHoleValue(decoded.value());
+  }
+
+  void Visit(std::ostringstream& os, Expr e) {
+    switch (e.op()) {
+      case Op::kBoolConst:
+        os << (e.IsTrue() ? "true" : "false");
+        return;
+      case Op::kIntConst:
+        os << e.value();
+        return;
+      case Op::kVar:
+        os << e.name();
+        return;
+      case Op::kEq:
+      case Op::kLt:
+      case Op::kLe: {
+        // If one side is a typed explanation variable and the other a
+        // constant, decode the constant.
+        const Expr a = e.Child(0);
+        const Expr b = e.Child(1);
+        const auto type_a = TypeOf(a);
+        const auto type_b = TypeOf(b);
+        if (type_a && b.IsIntConst()) {
+          os << '(' << OpName(e.op()) << ' ' << a.name() << ' '
+             << Decode(*type_a, b.value()) << ')';
+          return;
+        }
+        if (type_b && a.IsIntConst()) {
+          os << '(' << OpName(e.op()) << ' ' << Decode(*type_b, a.value())
+             << ' ' << b.name() << ')';
+          return;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    os << '(' << OpName(e.op());
+    for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+      os << ' ';
+      Visit(os, e.Child(i));
+    }
+    os << ')';
+  }
+
+  const synth::ValueTable& values_;
+  std::map<std::string, config::HoleType> types_;
+};
+
+}  // namespace
+
+std::string PrettyConstraint(Expr e,
+                             const std::vector<config::HoleInfo>& holes,
+                             const synth::ValueTable& values) {
+  return Printer(holes, values).Print(e);
+}
+
+}  // namespace ns::explain

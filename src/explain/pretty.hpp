@@ -1,0 +1,28 @@
+// Pretty-printing of residual constraints: integer-coded values are
+// rendered back in configuration terms, so the low-level subspecification
+// reads like the paper's Fig. 6c —
+//
+//   (Var_Attr@R1_to_P1.10 = next-hop ∧ Var_Val_nexthop@R1_to_P1.10 =
+//    10.2.0.2 ∧ Var_Action@R1_to_P1.10 = deny)
+//
+// instead of `(= Var_Val_nexthop@R1_to_P1.10 167903234)`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/holes.hpp"
+#include "smt/expr.hpp"
+#include "synth/vartable.hpp"
+
+namespace ns::explain {
+
+/// Renders `e` with constants appearing next to a known explanation
+/// variable decoded through the value table (prefix ids, packed
+/// addresses/communities, action/attribute codes). Unknown contexts fall
+/// back to plain integers.
+std::string PrettyConstraint(smt::Expr e,
+                             const std::vector<config::HoleInfo>& holes,
+                             const synth::ValueTable& values);
+
+}  // namespace ns::explain

@@ -1,0 +1,139 @@
+#include "explain/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "explain/pretty.hpp"
+#include "util/strings.hpp"
+
+namespace ns::explain {
+
+using util::Result;
+
+std::string FormatMetrics(const SubspecMetrics& metrics) {
+  std::ostringstream os;
+  os << "  seed specification : " << metrics.seed_constraints
+     << " constraints (size " << metrics.seed_size << ")\n";
+  os << "  after rewriting    : " << metrics.simplified_constraints
+     << " constraints (size " << metrics.simplified_size << ", "
+     << metrics.simplify_passes << " passes)\n";
+  os << "  residual (Var_*)   : " << metrics.residual_constraints
+     << " constraints (size " << metrics.residual_size << ")\n";
+  if (metrics.baseline_z3_size != 0 || metrics.baseline_local_rules_size != 0) {
+    os << "  baseline Z3 simplify        : size " << metrics.baseline_z3_size
+       << "\n";
+    os << "  baseline local-rules only   : size "
+       << metrics.baseline_local_rules_size << "\n";
+  }
+  return os.str();
+}
+
+std::string Explanation::Report() const {
+  std::ostringstream os;
+  os << "================================================================\n";
+  os << "Q: I want to make changes to " << selection.ToString()
+     << ". What should I keep in mind";
+  if (!requirements.empty()) {
+    os << " (regarding " << util::Join(requirements, ", ") << ")";
+  }
+  os << "?\n";
+  os << "----------------------------------------------------------------\n";
+  os << FormatMetrics(subspec.metrics);
+  os << "----------------------------------------------------------------\n";
+  if (subspec.IsEmpty()) {
+    os << "A: nothing — this component is unconstrained by the "
+       << (requirements.empty() ? "specification"
+                                : "selected requirements")
+       << ".\n";
+    return os.str();
+  }
+  if (subspec.IsUnsatisfiable()) {
+    os << "A: no assignment of these fields can satisfy the selected "
+          "requirements (over-constrained question).\n";
+    return os.str();
+  }
+  os << "low-level subspecification (simplified seed constraints):\n";
+  for (const smt::Expr& c : subspec.constraints) {
+    os << "  " << PrettyConstraint(c, subspec.holes, subspec.values) << "\n";
+  }
+  os << "----------------------------------------------------------------\n";
+  if (lifted.requirement.statements.empty() && !lifted.complete) {
+    os << "A: (could not lift to the specification language; inspect the "
+          "low-level constraints above)\n";
+    return os.str();
+  }
+  os << "A: " << lifted.ToString() << "\n";
+  return os.str();
+}
+
+std::string SurveyRow::ToString() const {
+  std::ostringstream os;
+  os << router << ": seed " << metrics.seed_size << ", residual "
+     << metrics.residual_size
+     << (unconstrained ? " (unconstrained)" : " (carries requirements)");
+  return os.str();
+}
+
+std::string FormatSurvey(const std::vector<SurveyRow>& rows) {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "router" << std::setw(12) << "seed size"
+     << std::setw(15) << "residual size" << "verdict\n";
+  for (const SurveyRow& row : rows) {
+    os << std::left << std::setw(10) << row.router << std::setw(12)
+       << row.metrics.seed_size << std::setw(15) << row.metrics.residual_size
+       << (row.unconstrained ? "unconstrained — skip it"
+                             : "carries the requirements")
+       << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<SurveyRow>> Session::Survey(
+    std::vector<std::string> requirements) {
+  SubspecOptions options;
+  options.requirements = requirements;
+  std::vector<SurveyRow> rows;
+  for (const auto& [router, cfg] : explainer_.solved().routers) {
+    if (cfg.route_maps.empty()) continue;  // nothing to ask about
+    auto subspec = explainer_.Explain(Selection::Router(router), options);
+    if (!subspec) return subspec.error();
+    rows.push_back(SurveyRow{router, subspec.value().metrics,
+                             subspec.value().IsEmpty()});
+  }
+  return rows;
+}
+
+Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
+                                 std::vector<std::string> requirements,
+                                 bool compute_baselines) {
+  SubspecOptions options;
+  options.requirements = requirements;
+  options.compute_baselines = compute_baselines;
+
+  auto subspec = explainer_.Explain(selection, options);
+  if (!subspec) return subspec.error();
+
+  Explanation explanation;
+  explanation.selection = selection;
+  explanation.requirements = std::move(requirements);
+  explanation.mode = mode;
+
+  if (selection.complement) {
+    // Rest-of-network summaries span several components; no single-scope
+    // lift exists — present the low-level constraints.
+    explanation.lifted.requirement.name = "rest-of-network";
+    explanation.lifted.complete = false;
+    explanation.subspec = std::move(subspec).value();
+    return explanation;
+  }
+
+  Lifter lifter(explainer_.pool(), topo_, spec_, explainer_.solved());
+  auto lifted = lifter.Lift(subspec.value(), mode, options);
+  if (!lifted) return lifted.error();
+
+  explanation.subspec = std::move(subspec).value();
+  explanation.lifted = std::move(lifted).value();
+  return explanation;
+}
+
+}  // namespace ns::explain

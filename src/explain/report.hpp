@@ -1,0 +1,78 @@
+// Session-level API: answers the administrator's questions about a
+// synthesized configuration (the dialogue of the paper's Fig. 1d) and
+// renders the full explanation — seed sizes, simplified constraints, the
+// lifted subspecification — as a readable report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explain/lift.hpp"
+#include "explain/subspec.hpp"
+
+namespace ns::explain {
+
+/// One answered question.
+struct Explanation {
+  Selection selection;
+  std::vector<std::string> requirements;  ///< projection (empty = all)
+  Subspec subspec;
+  LiftResult lifted;
+  LiftMode mode = LiftMode::kExact;
+
+  /// Full report: pipeline metrics, low-level constraints, lifted DSL.
+  std::string Report() const;
+  /// Just the DSL block (Figs. 2/4/5 form).
+  std::string SubspecText() const { return lifted.ToString(); }
+};
+
+/// One row of a per-router survey.
+struct SurveyRow {
+  std::string router;
+  SubspecMetrics metrics;
+  bool unconstrained = false;  ///< empty subspecification
+
+  std::string ToString() const;
+};
+
+/// Binds a solved configuration to its topology/spec and answers
+/// questions about it.
+class Session {
+ public:
+  Session(const net::Topology& topo, const spec::Spec& spec,
+          config::NetworkConfig solved)
+      : topo_(topo),
+        spec_(spec),
+        explainer_(topo, spec, std::move(solved)) {}
+
+  /// "If I want to make changes to <selection>, what should I keep in
+  /// mind?" — optionally restricted to some requirements (scenario 3).
+  util::Result<Explanation> Ask(const Selection& selection,
+                                LiftMode mode = LiftMode::kExact,
+                                std::vector<std::string> requirements = {},
+                                bool compute_baselines = false);
+
+  /// Scenario 3's triage: for every router that carries routing policy,
+  /// how constrained is it by the given requirements? Routers with an
+  /// empty subspecification can be skipped during review.
+  util::Result<std::vector<SurveyRow>> Survey(
+      std::vector<std::string> requirements = {});
+
+  const config::NetworkConfig& solved() const noexcept {
+    return explainer_.solved();
+  }
+
+ private:
+  const net::Topology& topo_;
+  const spec::Spec& spec_;
+  Explainer explainer_;
+};
+
+/// Renders pipeline metrics as an aligned table fragment.
+std::string FormatMetrics(const SubspecMetrics& metrics);
+
+/// Renders survey rows as an aligned table (scenario 3's "which routers
+/// matter for this requirement?" view).
+std::string FormatSurvey(const std::vector<SurveyRow>& rows);
+
+}  // namespace ns::explain

@@ -1,0 +1,266 @@
+#include "explain/subspec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "explain/pretty.hpp"
+#include "smt/z3bridge.hpp"
+#include "util/logging.hpp"
+
+namespace ns::explain {
+
+using smt::Expr;
+using smt::ExprPool;
+using smt::Op;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+bool ContainsAuxVar(Expr e) {
+  for (const Expr var : e.FreeVars()) {
+    if (synth::IsAuxVar(var.name())) return true;
+  }
+  return false;
+}
+
+/// If `e` pins down an aux variable, returns (v, rhs):
+///   v = rhs / rhs = v   — definitional equation;
+///   v / ¬v              — boolean literal (v := true / false). Literals
+///                         arise when unit propagation rewrites a state
+///                         definition away but keeps the unit.
+/// Existentially projecting v with [v := rhs] is sound in all three forms.
+std::optional<std::pair<Expr, Expr>> AsAuxDefinition(ExprPool& pool, Expr e) {
+  if (e.IsVar() && synth::IsAuxVar(e.name()) && e.sort() == smt::Sort::kBool) {
+    return std::make_pair(e, pool.True());
+  }
+  if (e.op() == Op::kNot && e.Child(0).IsVar() &&
+      synth::IsAuxVar(e.Child(0).name())) {
+    return std::make_pair(e.Child(0), pool.False());
+  }
+  if (e.op() != Op::kEq) return std::nullopt;
+  for (int side = 0; side < 2; ++side) {
+    const Expr v = e.Child(static_cast<std::size_t>(side));
+    const Expr rhs = e.Child(static_cast<std::size_t>(1 - side));
+    if (!v.IsVar() || !synth::IsAuxVar(v.name())) continue;
+    bool self = false;
+    for (const Expr var : rhs.FreeVars()) {
+      if (var == v) {
+        self = true;
+        break;
+      }
+    }
+    if (!self) return std::make_pair(v, rhs);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Expr> EliminateAuxVars(ExprPool& pool,
+                                   std::vector<Expr> constraints) {
+  // Each round: collect one definition per aux variable, substitute into
+  // everything else, drop the definitions (existential projection), and
+  // re-simplify. Definitions may reference other aux variables, so iterate;
+  // the definition graph is acyclic (state variables are defined along
+  // paths), hence this terminates.
+  for (int round = 0; round < 64; ++round) {
+    std::unordered_map<std::string, Expr> env;
+    std::vector<Expr> rest;
+    for (Expr c : constraints) {
+      if (const auto def = AsAuxDefinition(pool, c)) {
+        const bool fresh =
+            env.emplace(def->first.name(), def->second).second;
+        if (fresh) continue;  // consumed as a definition
+      }
+      rest.push_back(c);
+    }
+    if (env.empty()) break;
+
+    // Close the environment under itself: a definition's right-hand side
+    // may reference other defined variables (state chains along paths).
+    // The definition graph is acyclic, so this converges.
+    for (std::size_t iter = 0; iter < env.size() + 1; ++iter) {
+      bool changed = false;
+      for (auto& [name, rhs] : env) {
+        const Expr next = smt::Substitute(pool, rhs, env);
+        if (next != rhs) {
+          rhs = next;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+
+    std::vector<Expr> substituted;
+    substituted.reserve(rest.size());
+    for (Expr c : rest) {
+      substituted.push_back(smt::Substitute(pool, c, env));
+    }
+    simplify::Engine engine(pool);
+    constraints = engine.SimplifyConstraints(std::move(substituted));
+  }
+
+  // Whatever still mentions an aux variable at this point had no usable
+  // definition — that would be an encoder invariant violation.
+  for (Expr c : constraints) {
+    NS_ASSERT_MSG(!ContainsAuxVar(c),
+                  "aux variable survived elimination: " + c.ToString());
+  }
+  return constraints;
+}
+
+std::unordered_map<std::string, Expr> CloseAuxDefinitions(
+    ExprPool& pool, const std::vector<Expr>& definitions) {
+  std::unordered_map<std::string, Expr> env;
+  for (Expr c : definitions) {
+    // An equation between two state variables (e.g. `lp_new = lp_prev`,
+    // oriented arbitrarily by hash-consing) must bind the side that is
+    // still undefined, or a variable would silently lose its only
+    // definition.
+    if (c.op() == Op::kEq) {
+      bool bound = false;
+      for (int side = 0; side < 2 && !bound; ++side) {
+        const Expr v = c.Child(static_cast<std::size_t>(side));
+        const Expr rhs = c.Child(static_cast<std::size_t>(1 - side));
+        if (!v.IsVar() || !synth::IsAuxVar(v.name())) continue;
+        if (env.count(v.name()) > 0) continue;
+        bool self = false;
+        for (const Expr var : rhs.FreeVars()) {
+          if (var == v) {
+            self = true;
+            break;
+          }
+        }
+        if (self) continue;
+        env.emplace(v.name(), rhs);
+        bound = true;
+      }
+      continue;
+    }
+    if (const auto def = AsAuxDefinition(pool, c)) {
+      env.emplace(def->first.name(), def->second);
+    }
+  }
+  // Close under itself; keep right-hand sides small by simplifying as we
+  // go (everything concrete folds away immediately).
+  simplify::Engine engine(pool);
+  for (std::size_t iter = 0; iter < env.size() + 1; ++iter) {
+    bool changed = false;
+    for (auto& [name, rhs] : env) {
+      Expr next = smt::Substitute(pool, rhs, env);
+      if (next != rhs) {
+        next = engine.Simplify(next).expr;
+        changed = changed || next != rhs;
+        rhs = next;
+      }
+    }
+    if (!changed) break;
+  }
+  for (auto& [name, rhs] : env) {
+    rhs = engine.Simplify(rhs).expr;
+    NS_ASSERT_MSG(!ContainsAuxVar(rhs),
+                  "definition closure left an aux variable in " + name);
+  }
+  return env;
+}
+
+Explainer::Explainer(const net::Topology& topo, const spec::Spec& spec,
+                     config::NetworkConfig solved)
+    : topo_(topo), spec_(spec), solved_(std::move(solved)) {
+  NS_ASSERT_MSG(!solved_.HasHole(),
+                "Explainer expects a fully solved configuration");
+}
+
+Result<Subspec> Explainer::Explain(const Selection& selection,
+                                   const SubspecOptions& options) {
+  // (1) Partially symbolic configuration.
+  config::NetworkConfig partial = solved_;
+  auto holes = Symbolize(partial, selection);
+  if (!holes) return holes.error();
+
+  // Keep the two views consistent: originate declared destinations.
+  auto destinations = synth::BuildDestinations(topo_, partial, spec_);
+  if (!destinations) return destinations.error();
+  synth::EnsureOriginated(partial, destinations.value());
+
+  // (2) Seed specification via the synthesizer's encoder.
+  synth::EncoderOptions encoder_options = options.encoder;
+  encoder_options.only_requirements = options.requirements;
+  auto encoding = synth::Encode(pool_, topo_, partial, spec_, encoder_options);
+  if (!encoding) return encoding.error();
+
+  Subspec subspec;
+  subspec.selection = selection;
+  subspec.holes = std::move(holes).value();
+  subspec.domains = encoding.value().domain_constraints;
+  subspec.values = encoding.value().values;
+
+  // The seed proper: state definitions + requirement assertions. Domains
+  // are side conditions (kept separately so the subspecification is not
+  // cluttered by `0 <= Var_Action <= 1` bounds).
+  std::vector<Expr> seed;
+  seed.reserve(encoding.value().constraints.size());
+  for (Expr c : encoding.value().constraints) {
+    const bool is_domain =
+        std::find(encoding.value().domain_constraints.begin(),
+                  encoding.value().domain_constraints.end(),
+                  c) != encoding.value().domain_constraints.end();
+    if (!is_domain) seed.push_back(c);
+  }
+  subspec.metrics.seed_constraints = seed.size();
+  subspec.metrics.seed_size = simplify::ConstraintSetSize(seed);
+
+  if (options.compute_baselines) {
+    smt::Z3Session z3;
+    subspec.metrics.baseline_z3_size = z3.GenericSimplifiedSize(seed);
+    simplify::Engine local_only(
+        pool_, simplify::EngineOptions{.max_passes = 64,
+                                       .propagate_units = false});
+    const auto local = local_only.SimplifyConstraints(seed);
+    subspec.metrics.baseline_local_rules_size =
+        simplify::ConstraintSetSize(local);
+  }
+
+  // (3) Rewrite rules to fixpoint — partial evaluation does the heavy
+  // lifting because every other router's fields are concrete.
+  simplify::Engine engine(pool_);
+  std::vector<Expr> simplified = engine.SimplifyConstraints(std::move(seed));
+  subspec.metrics.simplified_constraints = simplified.size();
+  subspec.metrics.simplified_size = simplify::ConstraintSetSize(simplified);
+  subspec.metrics.rule_stats = engine.stats();
+  subspec.metrics.simplify_passes = engine.last_passes();
+
+  // (4) Project away the route-state variables; what remains speaks only
+  // about the Var_* fields — the low-level subspecification.
+  subspec.constraints = EliminateAuxVars(pool_, std::move(simplified));
+  subspec.metrics.residual_constraints = subspec.constraints.size();
+  subspec.metrics.residual_size =
+      simplify::ConstraintSetSize(subspec.constraints);
+
+  NS_INFO << "subspec for " << selection.ToString() << ": "
+          << subspec.metrics.seed_constraints << " seed constraints -> "
+          << subspec.metrics.residual_constraints << " residual";
+  return subspec;
+}
+
+std::string Subspec::ToString() const {
+  std::ostringstream os;
+  os << "subspecification for " << selection.ToString() << ":\n";
+  if (IsEmpty()) {
+    os << "  (empty — any values satisfy the specification)\n";
+    return os.str();
+  }
+  if (IsUnsatisfiable()) {
+    os << "  (unsatisfiable — no values can satisfy the specification)\n";
+    return os.str();
+  }
+  for (const smt::Expr& c : constraints) {
+    os << "  " << PrettyConstraint(c, holes, values) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ns::explain

@@ -1,0 +1,120 @@
+// The explanation pipeline (paper §3, Fig. 6):
+//
+//   solved config --Symbolize--> partially symbolic config
+//     --Encode (same encoder as synthesis)--> seed specification
+//     --15 rewrite rules to fixpoint-->        simplified constraints
+//     --auxiliary-variable elimination-->      residual constraints over the
+//                                              Var_* explanation variables
+//                                              (the low-level subspecification,
+//                                               Fig. 6c)
+//
+// Auxiliary-variable elimination is sound existential projection: every
+// `st.*` route-state variable has exactly one defining equation, so
+// substituting the definition and dropping it preserves the constraint on
+// the explanation variables.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explain/symbolize.hpp"
+#include "net/topology.hpp"
+#include "simplify/engine.hpp"
+#include "smt/expr.hpp"
+#include "spec/ast.hpp"
+#include "synth/encoder.hpp"
+#include "util/status.hpp"
+
+namespace ns::explain {
+
+struct SubspecOptions {
+  /// Restrict the question to these requirement blocks (scenario 3's
+  /// per-requirement questions). Empty = the whole specification.
+  std::vector<std::string> requirements;
+  synth::EncoderOptions encoder;
+  /// Also compute the generic-baseline metrics (E8): Z3 `simplify` on the
+  /// monolithic seed, and the rule engine without the conjunction-context
+  /// rules (no partial evaluation across constraints).
+  bool compute_baselines = false;
+};
+
+/// Size/effort measurements across the pipeline stages.
+struct SubspecMetrics {
+  std::size_t seed_constraints = 0;
+  std::size_t seed_size = 0;  ///< total tree size (paper's size notion)
+  std::size_t simplified_constraints = 0;
+  std::size_t simplified_size = 0;
+  std::size_t residual_constraints = 0;
+  std::size_t residual_size = 0;
+  int simplify_passes = 0;
+  simplify::RuleStats rule_stats{};
+
+  // Baselines (populated when compute_baselines is set):
+  std::size_t baseline_z3_size = 0;          ///< Z3 generic simplify
+  std::size_t baseline_local_rules_size = 0; ///< rules w/o unit propagation
+};
+
+/// A low-level subspecification: the residual constraints over the Var_*
+/// explanation variables.
+struct Subspec {
+  Selection selection;
+  std::vector<config::HoleInfo> holes;   ///< the symbolized fields
+  std::vector<smt::Expr> constraints;    ///< residual (empty = unconstrained)
+  std::vector<smt::Expr> domains;        ///< hole-domain side conditions
+  SubspecMetrics metrics;
+
+  /// "R3 can do anything to meet this requirement" (scenario 3).
+  bool IsEmpty() const noexcept { return constraints.empty(); }
+  /// The question has no answer: no values of the symbolized fields can
+  /// satisfy the (projected) specification.
+  bool IsUnsatisfiable() const noexcept {
+    return constraints.size() == 1 && constraints.front().IsFalse();
+  }
+
+  /// Human-readable rendering (Fig. 6c style), with encoded integer values
+  /// translated back to prefixes/addresses/communities where possible.
+  std::string ToString() const;
+
+  /// The value tables used to pretty-print and to lift.
+  synth::ValueTable values;
+};
+
+/// Drives explanations against one solved configuration.
+class Explainer {
+ public:
+  /// `solved` must be hole-free and satisfy `spec` (synthesizer output).
+  Explainer(const net::Topology& topo, const spec::Spec& spec,
+            config::NetworkConfig solved);
+
+  /// Runs the full pipeline for one question.
+  util::Result<Subspec> Explain(const Selection& selection,
+                                const SubspecOptions& options = {});
+
+  const config::NetworkConfig& solved() const noexcept { return solved_; }
+  /// Pool backing the most recent Explain call (lift reuses it).
+  smt::ExprPool& pool() noexcept { return pool_; }
+
+ private:
+  const net::Topology& topo_;
+  const spec::Spec& spec_;
+  config::NetworkConfig solved_;
+  smt::ExprPool pool_;
+};
+
+/// Existentially eliminates `st.*` route-state variables from a simplified
+/// constraint set by inlining their (unique) definitions; re-simplifies
+/// after each substitution round. Exposed for tests and the lifter.
+std::vector<smt::Expr> EliminateAuxVars(smt::ExprPool& pool,
+                                        std::vector<smt::Expr> constraints);
+
+/// Closes the `st.*` definition chain: maps every route-state variable to
+/// a simplified expression over the Var_* explanation variables only.
+/// Computed once per partially symbolic configuration, it lets the lifter
+/// project a candidate statement in one substitution instead of a full
+/// simplification run over the whole seed.
+std::unordered_map<std::string, smt::Expr> CloseAuxDefinitions(
+    smt::ExprPool& pool, const std::vector<smt::Expr>& definitions);
+
+}  // namespace ns::explain

@@ -1,0 +1,111 @@
+#include "explain/symbolize.hpp"
+
+#include <sstream>
+
+namespace ns::explain {
+
+using config::Field;
+using config::MatchField;
+using config::RouteMapEntry;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+std::string Selection::ToString() const {
+  std::ostringstream os;
+  if (complement) os << "the rest of the network besides ";
+  os << router;
+  if (route_map) os << " / " << *route_map;
+  if (seq) os << " seq " << *seq;
+  if (slot) os << " [" << *slot << "]";
+  return os.str();
+}
+
+std::string ExplainVarName(std::string_view kind, std::string_view map,
+                           int seq) {
+  return "Var_" + std::string(kind) + "@" + std::string(map) + "." +
+         std::to_string(seq);
+}
+
+namespace {
+
+/// Opens the whole match clause: Var_Attr plus every value slot. A
+/// symbolic attribute makes every slot relevant, so they open together —
+/// the paper's `match Var_Attr Var_Val`.
+void OpenMatch(RouteMapEntry& entry, const std::string& map) {
+  entry.match.field.Open(ExplainVarName("Attr", map, entry.seq));
+  entry.match.prefix.Open(ExplainVarName("Val_prefix", map, entry.seq));
+  entry.match.community.Open(ExplainVarName("Val_community", map, entry.seq));
+  entry.match.next_hop.Open(ExplainVarName("Val_nexthop", map, entry.seq));
+  entry.match.via.Open(ExplainVarName("Val_via", map, entry.seq));
+}
+
+/// Opens the slots of one entry per the (optional) slot filter. Returns
+/// false if the filter named a slot the entry does not have.
+bool OpenEntry(RouteMapEntry& entry, const std::string& map,
+               const std::optional<std::string>& slot) {
+  const int seq = entry.seq;
+  const bool all = !slot.has_value();
+  bool any = false;
+  if (all || *slot == "action") {
+    entry.action.Open(ExplainVarName("Action", map, seq));
+    any = true;
+  }
+  if (all || *slot == "match") {
+    OpenMatch(entry, map);
+    any = true;
+  }
+  if ((all || *slot == "set.local-pref") && entry.sets.local_pref) {
+    entry.sets.local_pref->Open(ExplainVarName("Param_lp", map, seq));
+    any = true;
+  }
+  if ((all || *slot == "set.community") && entry.sets.add_community) {
+    entry.sets.add_community->Open(ExplainVarName("Param_community", map, seq));
+    any = true;
+  }
+  if ((all || *slot == "set.next-hop") && entry.sets.next_hop) {
+    entry.sets.next_hop->Open(ExplainVarName("Param_nexthop", map, seq));
+    any = true;
+  }
+  if ((all || *slot == "set.med") && entry.sets.med) {
+    entry.sets.med->Open(ExplainVarName("Param_med", map, seq));
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+Result<std::vector<config::HoleInfo>> Symbolize(
+    config::NetworkConfig& network, const Selection& selection) {
+  if (network.HasHole()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "symbolization expects a fully solved configuration");
+  }
+  if (network.FindRouter(selection.router) == nullptr) {
+    return Error(ErrorCode::kNotFound,
+                 "no router '" + selection.router + "' in the configuration");
+  }
+
+  bool opened = false;
+  for (auto& [router_name, router] : network.routers) {
+    const bool selected = selection.complement
+                              ? router_name != selection.router
+                              : router_name == selection.router;
+    if (!selected) continue;
+    for (auto& [map_name, map] : router.route_maps) {
+      if (selection.route_map && *selection.route_map != map_name) continue;
+      for (RouteMapEntry& entry : map.entries) {
+        if (selection.seq && *selection.seq != entry.seq) continue;
+        opened = OpenEntry(entry, map_name, selection.slot) || opened;
+      }
+    }
+  }
+  if (!opened) {
+    return Error(ErrorCode::kNotFound, "selection matched no field: " +
+                                           selection.ToString());
+  }
+  return config::CollectHoles(network);
+}
+
+}  // namespace ns::explain

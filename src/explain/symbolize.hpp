@@ -1,0 +1,72 @@
+// Symbolization (paper §3 step 1): re-opening fields of a *solved*
+// configuration as symbolic variables, producing the partially symbolic
+// configuration of Fig. 6b.
+//
+// Explanation variables follow the paper's naming: Var_Action (permit/deny),
+// Var_Attr (which attribute is matched), Var_Val_* (the match values), and
+// Var_Param_* (set-line parameters), each suffixed with @<map>.<seq> so
+// several symbolized entries stay distinguishable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/device.hpp"
+#include "config/holes.hpp"
+#include "util/status.hpp"
+
+namespace ns::explain {
+
+/// Which fields of the configuration to re-open. Narrower selections are
+/// the paper's "one variable at a time" strategy; wider ones explain a
+/// whole entry, route-map, or router.
+struct Selection {
+  std::string router;
+  std::optional<std::string> route_map;  ///< all of the router's maps if unset
+  std::optional<int> seq;                ///< all entries of the map if unset
+  std::optional<std::string> slot;       ///< all slots of the entry if unset;
+                                         ///< one of "action", "match",
+                                         ///< "set.local-pref", "set.community",
+                                         ///< "set.next-hop", "set.med"
+  /// Invert the selection: open every field of every router EXCEPT
+  /// `router` — the rest-of-network summary of the paper's §5 ("view the
+  /// rest of the network as a single component and determine the necessary
+  /// actions of other devices").
+  bool complement = false;
+
+  static Selection Router(std::string router) {
+    return Selection{std::move(router), std::nullopt, std::nullopt,
+                     std::nullopt};
+  }
+  static Selection Map(std::string router, std::string map) {
+    return Selection{std::move(router), std::move(map), std::nullopt,
+                     std::nullopt};
+  }
+  static Selection Entry(std::string router, std::string map, int seq) {
+    return Selection{std::move(router), std::move(map), seq, std::nullopt};
+  }
+  static Selection Slot(std::string router, std::string map, int seq,
+                        std::string slot) {
+    return Selection{std::move(router), std::move(map), seq, std::move(slot)};
+  }
+  static Selection Rest(std::string router) {
+    Selection s{std::move(router), std::nullopt, std::nullopt, std::nullopt};
+    s.complement = true;
+    return s;
+  }
+
+  std::string ToString() const;
+};
+
+/// Name of an explanation variable, e.g. "Var_Action@R1_to_P1.10".
+std::string ExplainVarName(std::string_view kind, std::string_view map,
+                           int seq);
+
+/// Opens the selected fields as holes in place. Returns the holes opened,
+/// in deterministic order. Fails (kNotFound) when the selection matches
+/// nothing, or (kInvalidArgument) when the configuration already has holes.
+util::Result<std::vector<config::HoleInfo>> Symbolize(
+    config::NetworkConfig& network, const Selection& selection);
+
+}  // namespace ns::explain

@@ -1,0 +1,117 @@
+#include "explain/verify.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "smt/eval.hpp"
+#include "smt/z3bridge.hpp"
+#include "synth/encoder.hpp"
+#include "util/strings.hpp"
+
+namespace ns::explain {
+
+using smt::Expr;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+/// "st.alive|D1|P1.R1.R3" -> "D1: P1 -> R1 -> R3".
+std::string PathFromStateVar(const std::string& name) {
+  const auto parts = util::Split(name, '|');
+  if (parts.size() < 3) return name;
+  std::string hops = parts[2];
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (hops[i] == '.') {
+      hops.replace(i, 1, " -> ");
+      i += 3;
+    }
+  }
+  return parts[1] + ": " + hops;
+}
+
+}  // namespace
+
+std::string VerificationFinding::ToString() const {
+  std::ostringstream os;
+  os << requirement << " violated";
+  if (!paths.empty()) {
+    os << " along " << util::Join(paths, "; ");
+  }
+  return os.str();
+}
+
+std::string VerificationResult::ToString() const {
+  if (ok()) return "configuration satisfies the specification";
+  std::ostringstream os;
+  os << util::Plural(findings.size(), "violated requirement constraint")
+     << ":\n";
+  for (const VerificationFinding& finding : findings) {
+    os << "  " << finding.ToString() << "\n";
+  }
+  return os.str();
+}
+
+Result<VerificationResult> VerifyWithEncoder(
+    const net::Topology& topo, const spec::Spec& spec,
+    const config::NetworkConfig& network) {
+  if (network.HasHole()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "verification expects a fully concrete configuration");
+  }
+  config::NetworkConfig prepared = network;
+  auto destinations = synth::BuildDestinations(topo, prepared, spec);
+  if (!destinations) return destinations.error();
+  synth::EnsureOriginated(prepared, destinations.value());
+
+  smt::ExprPool pool;
+  auto encoding = synth::Encode(pool, topo, prepared, spec);
+  if (!encoding) return encoding.error();
+
+  // The definitions pin every state variable (the config is concrete), so
+  // one model gives the whole control-plane state.
+  std::set<Expr> requirement_set(
+      encoding.value().requirement_constraints.begin(),
+      encoding.value().requirement_constraints.end());
+  std::vector<Expr> definitions;
+  std::set<std::string> state_var_names;
+  for (Expr c : encoding.value().constraints) {
+    if (requirement_set.count(c) != 0) continue;
+    definitions.push_back(c);
+  }
+  std::vector<Expr> state_vars;
+  for (Expr c : encoding.value().requirement_constraints) {
+    for (const Expr var : c.FreeVars()) {
+      if (state_var_names.insert(var.name()).second) {
+        state_vars.push_back(var);
+      }
+    }
+  }
+
+  smt::Z3Session z3;
+  auto model = z3.Solve(definitions, state_vars);
+  if (!model) return model.error();
+
+  VerificationResult result;
+  for (std::size_t i = 0;
+       i < encoding.value().requirement_constraints.size(); ++i) {
+    const Expr constraint = encoding.value().requirement_constraints[i];
+    const auto holds = smt::Eval(constraint, model.value());
+    if (!holds) return holds.error();
+    if (holds.value() != 0) continue;
+
+    VerificationFinding finding;
+    finding.requirement = encoding.value().requirement_names[i];
+    finding.constraint = constraint.ToString();
+    for (const Expr var : constraint.FreeVars()) {
+      if (synth::IsAuxVar(var.name())) {
+        finding.paths.push_back(PathFromStateVar(var.name()));
+      }
+    }
+    result.findings.push_back(std::move(finding));
+  }
+  return result;
+}
+
+}  // namespace ns::explain

@@ -1,0 +1,89 @@
+#include "net/builders.hpp"
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ns::net {
+
+Topology PaperFig1b() {
+  Topology topo;
+  const RouterId r1 = topo.AddRouter("R1", 100);
+  const RouterId r2 = topo.AddRouter("R2", 100);
+  const RouterId r3 = topo.AddRouter("R3", 100);
+  const RouterId p1 = topo.AddRouter("P1", 500, /*external=*/true);
+  const RouterId p2 = topo.AddRouter("P2", 800, /*external=*/true);
+  const RouterId cust = topo.AddRouter("Cust", 600, /*external=*/true);
+  topo.AddLink(r1, r2);
+  topo.AddLink(r1, r3);
+  topo.AddLink(r2, r3);
+  topo.AddLink(p1, r1);
+  topo.AddLink(p2, r2);
+  topo.AddLink(cust, r3);
+  return topo;
+}
+
+Topology Chain(int n) {
+  NS_ASSERT_MSG(n >= 1, "chain needs at least one router");
+  Topology topo;
+  std::vector<RouterId> routers;
+  routers.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    routers.push_back(topo.AddRouter("R" + std::to_string(i), 100));
+  }
+  for (int i = 1; i < n; ++i) {
+    topo.AddLink(routers[static_cast<std::size_t>(i - 1)],
+                 routers[static_cast<std::size_t>(i)]);
+  }
+  const RouterId left = topo.AddRouter("Left", 500, /*external=*/true);
+  const RouterId right = topo.AddRouter("Right", 800, /*external=*/true);
+  topo.AddLink(left, routers.front());
+  topo.AddLink(right, routers.back());
+  return topo;
+}
+
+Topology Ring(int n) {
+  NS_ASSERT_MSG(n >= 3, "ring needs at least three routers");
+  Topology topo;
+  std::vector<RouterId> routers;
+  routers.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    routers.push_back(topo.AddRouter("R" + std::to_string(i), 100));
+  }
+  for (int i = 0; i < n; ++i) {
+    topo.AddLink(routers[static_cast<std::size_t>(i)],
+                 routers[static_cast<std::size_t>((i + 1) % n)]);
+  }
+  const RouterId peer_a = topo.AddRouter("PeerA", 500, /*external=*/true);
+  const RouterId peer_b = topo.AddRouter("PeerB", 800, /*external=*/true);
+  topo.AddLink(peer_a, routers[0]);
+  topo.AddLink(peer_b, routers[static_cast<std::size_t>(n / 2)]);
+  return topo;
+}
+
+Topology Fabric(int spines, int leaves) {
+  NS_ASSERT_MSG(spines >= 1 && leaves >= 1, "fabric needs >=1 spine and leaf");
+  Topology topo;
+  std::vector<RouterId> spine_ids;
+  std::vector<RouterId> leaf_ids;
+  for (int s = 1; s <= spines; ++s) {
+    spine_ids.push_back(topo.AddRouter("S" + std::to_string(s), 100));
+  }
+  for (int l = 1; l <= leaves; ++l) {
+    leaf_ids.push_back(topo.AddRouter("L" + std::to_string(l), 100));
+  }
+  for (RouterId s : spine_ids) {
+    for (RouterId l : leaf_ids) {
+      topo.AddLink(s, l);
+    }
+  }
+  for (int l = 1; l <= leaves; ++l) {
+    const RouterId peer = topo.AddRouter("Ext" + std::to_string(l),
+                                         static_cast<Asn>(500 + l),
+                                         /*external=*/true);
+    topo.AddLink(peer, leaf_ids[static_cast<std::size_t>(l - 1)]);
+  }
+  return topo;
+}
+
+}  // namespace ns::net

@@ -1,0 +1,44 @@
+// Canonical topologies used throughout the tests, examples, and benches.
+#pragma once
+
+#include "net/topology.hpp"
+
+namespace ns::net {
+
+/// The paper's Fig. 1b topology:
+///
+///   Provider1 (AS500)   Provider2 (AS800)
+///        |                   |
+///        R1 ----------------- R2          (AS100: R1, R2, R3)
+///          \                 /
+///           \               /
+///            +---- R3 ----+
+///                  |
+///               Customer (AS600)
+///
+/// R1-R2, R1-R3, R2-R3 are internal links; P1-R1, P2-R2, Cust-R3 external.
+Topology PaperFig1b();
+
+/// Router names used by PaperFig1b, for convenience in tests.
+struct Fig1bNames {
+  static constexpr const char* kR1 = "R1";
+  static constexpr const char* kR2 = "R2";
+  static constexpr const char* kR3 = "R3";
+  static constexpr const char* kProvider1 = "P1";
+  static constexpr const char* kProvider2 = "P2";
+  static constexpr const char* kCustomer = "Cust";
+};
+
+/// A chain of n internal routers R1-...-Rn with an external peer on each end
+/// (Left attached to R1, Right attached to Rn). Used by the scaling bench.
+Topology Chain(int n);
+
+/// A ring of n internal routers with two external peers attached to opposite
+/// sides of the ring. Provides path diversity for preference requirements.
+Topology Ring(int n);
+
+/// A two-tier fabric: `spines` spine routers each connected to `leaves` leaf
+/// routers; one external peer per leaf. Denser topologies for scaling tests.
+Topology Fabric(int spines, int leaves);
+
+}  // namespace ns::net

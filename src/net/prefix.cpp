@@ -1,0 +1,70 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ns::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+Result<int> ParseOctetOrLength(std::string_view text, int max,
+                               std::string_view what) {
+  if (!util::IsAllDigits(text) || text.size() > 3) {
+    return Error(ErrorCode::kParse,
+                 "bad " + std::string(what) + " '" + std::string(text) + "'");
+  }
+  int value = 0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  if (value > max) {
+    return Error(ErrorCode::kParse, std::string(what) + " out of range: " +
+                                        std::string(text));
+  }
+  return value;
+}
+}  // namespace
+
+Result<Ipv4Addr> Ipv4Addr::Parse(std::string_view text) {
+  const auto parts = util::Split(text, '.');
+  if (parts.size() != 4) {
+    return Error(ErrorCode::kParse,
+                 "expected dotted quad, got '" + std::string(text) + "'");
+  }
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    auto octet = ParseOctetOrLength(part, 255, "octet");
+    if (!octet) return octet.error();
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet.value());
+  }
+  return Ipv4Addr(bits);
+}
+
+std::string Ipv4Addr::ToString() const {
+  std::ostringstream os;
+  os << ((bits_ >> 24) & 0xFF) << '.' << ((bits_ >> 16) & 0xFF) << '.'
+     << ((bits_ >> 8) & 0xFF) << '.' << (bits_ & 0xFF);
+  return os.str();
+}
+
+Result<Prefix> Prefix::Parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Error(ErrorCode::kParse,
+                 "prefix missing '/length': '" + std::string(text) + "'");
+  }
+  auto addr = Ipv4Addr::Parse(text.substr(0, slash));
+  if (!addr) return addr.error();
+  auto length = ParseOctetOrLength(text.substr(slash + 1), 32, "prefix length");
+  if (!length) return length.error();
+  return Prefix(addr.value(), length.value());
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(length_);
+}
+
+}  // namespace ns::net

@@ -1,0 +1,89 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Announced destinations, prefix-list entries, and originated networks are
+// all `Prefix` values. The representation is canonical: host bits below the
+// prefix length are forced to zero, so equality is structural.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ns::net {
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) noexcept : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+
+  /// Parses dotted-quad notation ("10.0.0.1").
+  static util::Result<Ipv4Addr> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix, e.g. 128.0.1.0/24. Always stored canonically (host bits
+/// cleared), so two prefixes compare equal iff they denote the same set.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalizes: bits below (32 - length) are cleared.
+  constexpr Prefix(Ipv4Addr addr, int length) noexcept
+      : addr_(Ipv4Addr(length == 0 ? 0 : (addr.bits() & MaskFor(length)))),
+        length_(length) {}
+
+  constexpr Ipv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// Network mask for this prefix length (e.g. /24 -> 255.255.255.0).
+  constexpr std::uint32_t mask() const noexcept { return MaskFor(length_); }
+
+  /// True if `addr` falls inside this prefix.
+  constexpr bool Contains(Ipv4Addr addr) const noexcept {
+    return (addr.bits() & mask()) == addr_.bits();
+  }
+
+  /// True if `other` is fully contained in this prefix (subnet-of test).
+  constexpr bool Covers(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && Contains(other.addr_);
+  }
+
+  /// True if the two prefixes share any address.
+  constexpr bool Overlaps(const Prefix& other) const noexcept {
+    return Covers(other) || other.Covers(*this);
+  }
+
+  /// Parses "a.b.c.d/len". Rejects length outside [0,32].
+  static util::Result<Prefix> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  static constexpr std::uint32_t MaskFor(int length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Addr addr_{};
+  int length_ = 0;
+};
+
+}  // namespace ns::net

@@ -1,0 +1,106 @@
+#include "net/topo_text.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ns::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<Topology> ParseTopology(std::string_view text) {
+  Topology topo;
+  int line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    // Strip comments, then whitespace.
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto words = util::SplitWhitespace(line);
+    if (words.empty()) continue;
+
+    if (words[0] == "router") {
+      // router <name> as <asn> [external]
+      if (words.size() < 4 || words[2] != "as" || !util::IsAllDigits(words[3])) {
+        return Error(ErrorCode::kParse,
+                     "expected 'router <name> as <asn> [external]'", line_no, 1);
+      }
+      const bool external = words.size() == 5 && words[4] == "external";
+      if (words.size() > 5 || (words.size() == 5 && !external)) {
+        return Error(ErrorCode::kParse,
+                     "unexpected tokens after router declaration", line_no, 1);
+      }
+      if (topo.FindRouter(words[1]) != kInvalidRouter) {
+        return Error(ErrorCode::kParse, "duplicate router '" + words[1] + "'",
+                     line_no, 1);
+      }
+      topo.AddRouter(words[1], static_cast<Asn>(std::stoul(words[3])),
+                     external);
+      continue;
+    }
+
+    if (words[0] == "link") {
+      // link <a> <b> [<addr_a> <addr_b>]
+      if (words.size() != 3 && words.size() != 5) {
+        return Error(ErrorCode::kParse,
+                     "expected 'link <a> <b> [<addr_a> <addr_b>]'", line_no, 1);
+      }
+      const RouterId a = topo.FindRouter(words[1]);
+      const RouterId b = topo.FindRouter(words[2]);
+      if (a == kInvalidRouter || b == kInvalidRouter) {
+        return Error(ErrorCode::kParse,
+                     "link references undeclared router", line_no, 1);
+      }
+      if (a == b) {
+        return Error(ErrorCode::kParse, "self-link on '" + words[1] + "'",
+                     line_no, 1);
+      }
+      if (topo.Adjacent(a, b)) {
+        return Error(ErrorCode::kParse,
+                     "duplicate link " + words[1] + " -- " + words[2], line_no,
+                     1);
+      }
+      if (words.size() == 5) {
+        const auto addr_a = Ipv4Addr::Parse(words[3]);
+        const auto addr_b = Ipv4Addr::Parse(words[4]);
+        if (!addr_a || !addr_b) {
+          return Error(ErrorCode::kParse, "bad interface address", line_no, 1);
+        }
+        topo.AddLink(a, b, addr_a.value(), addr_b.value());
+      } else {
+        topo.AddLink(a, b);
+      }
+      continue;
+    }
+
+    return Error(ErrorCode::kParse,
+                 "unknown directive '" + words[0] + "' (expected 'router' or "
+                 "'link')",
+                 line_no, 1);
+  }
+  if (topo.NumRouters() == 0) {
+    return Error(ErrorCode::kParse, "topology declares no routers");
+  }
+  return topo;
+}
+
+std::string ToText(const Topology& topo) {
+  std::ostringstream os;
+  for (RouterId id : topo.AllRouters()) {
+    const Router& router = topo.GetRouter(id);
+    os << "router " << router.name << " as " << router.asn;
+    if (router.external) os << " external";
+    os << "\n";
+  }
+  for (const Link& link : topo.links()) {
+    os << "link " << topo.NameOf(link.a) << " " << topo.NameOf(link.b) << " "
+       << link.addr_a.ToString() << " " << link.addr_b.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ns::net

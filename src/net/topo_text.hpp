@@ -1,0 +1,25 @@
+// Plain-text topology format used by the command-line tool:
+//
+//   # the paper's Fig. 1b
+//   router R1 as 100
+//   router P1 as 500 external
+//   link R1 P1
+//   link R1 R2 10.4.0.1 10.4.0.2     # optional interface addresses
+//
+// Routers must be declared before links mention them. `ToText` serializes
+// a topology back into this format (round-trips through Parse).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/topology.hpp"
+#include "util/status.hpp"
+
+namespace ns::net {
+
+util::Result<Topology> ParseTopology(std::string_view text);
+
+std::string ToText(const Topology& topo);
+
+}  // namespace ns::net

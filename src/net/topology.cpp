@@ -1,0 +1,190 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace ns::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+RouterId Topology::AddRouter(std::string name, Asn asn, bool external) {
+  NS_ASSERT_MSG(by_name_.find(name) == by_name_.end(),
+                "duplicate router name: " + name);
+  const RouterId id = static_cast<RouterId>(routers_.size());
+  by_name_.emplace(name, id);
+  routers_.push_back(Router{std::move(name), asn, external});
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Topology::AddLink(RouterId a, RouterId b) {
+  // Auto-assign a /30: 10.<link>.0.1 and 10.<link>.0.2.
+  const auto link_index = static_cast<std::uint8_t>(links_.size() + 1);
+  AddLink(a, b, Ipv4Addr(10, link_index, 0, 1), Ipv4Addr(10, link_index, 0, 2));
+}
+
+void Topology::AddLink(RouterId a, RouterId b, Ipv4Addr addr_a,
+                       Ipv4Addr addr_b) {
+  CheckId(a);
+  CheckId(b);
+  NS_ASSERT_MSG(a != b, "self-link on " + routers_[static_cast<size_t>(a)].name);
+  NS_ASSERT_MSG(!Adjacent(a, b), "duplicate link");
+  links_.push_back(Link{a, b, addr_a, addr_b});
+  adjacency_[static_cast<std::size_t>(a)].push_back(b);
+  adjacency_[static_cast<std::size_t>(b)].push_back(a);
+}
+
+void Topology::AddLink(std::string_view name_a, std::string_view name_b) {
+  const RouterId a = FindRouter(name_a);
+  const RouterId b = FindRouter(name_b);
+  NS_ASSERT_MSG(a != kInvalidRouter, "unknown router " + std::string(name_a));
+  NS_ASSERT_MSG(b != kInvalidRouter, "unknown router " + std::string(name_b));
+  AddLink(a, b);
+}
+
+const Router& Topology::GetRouter(RouterId id) const {
+  CheckId(id);
+  return routers_[static_cast<std::size_t>(id)];
+}
+
+RouterId Topology::FindRouter(std::string_view name) const noexcept {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidRouter : it->second;
+}
+
+Result<RouterId> Topology::RequireRouter(std::string_view name) const {
+  const RouterId id = FindRouter(name);
+  if (id == kInvalidRouter) {
+    return Error(ErrorCode::kNotFound,
+                 "no router named '" + std::string(name) + "' in topology");
+  }
+  return id;
+}
+
+const std::vector<RouterId>& Topology::Neighbors(RouterId id) const {
+  CheckId(id);
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+bool Topology::Adjacent(RouterId a, RouterId b) const noexcept {
+  if (a < 0 || static_cast<std::size_t>(a) >= adjacency_.size()) return false;
+  const auto& nbrs = adjacency_[static_cast<std::size_t>(a)];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+std::optional<Ipv4Addr> Topology::InterfaceAddr(RouterId on,
+                                                RouterId neighbor) const {
+  for (const Link& link : links_) {
+    if (link.a == on && link.b == neighbor) return link.addr_a;
+    if (link.b == on && link.a == neighbor) return link.addr_b;
+  }
+  return std::nullopt;
+}
+
+namespace {
+void Dfs(const Topology& topo, RouterId dst, int max_hops, Path& current,
+         std::vector<bool>& visited, std::vector<Path>& out) {
+  const RouterId last = current.back();
+  const bool match_all = dst == kInvalidRouter;
+  if ((match_all || last == dst) && current.size() >= 1) {
+    if (!match_all && last == dst) {
+      out.push_back(current);
+      return;  // simple paths: don't extend past the destination
+    }
+    out.push_back(current);
+  }
+  if (static_cast<int>(current.size()) - 1 >= max_hops) return;
+  // Neighbor order is insertion order; sort a copy for determinism across
+  // topologies built in different orders.
+  std::vector<RouterId> nbrs = topo.Neighbors(last);
+  std::sort(nbrs.begin(), nbrs.end());
+  for (RouterId next : nbrs) {
+    if (visited[static_cast<std::size_t>(next)]) continue;
+    visited[static_cast<std::size_t>(next)] = true;
+    current.push_back(next);
+    Dfs(topo, dst, max_hops, current, visited, out);
+    current.pop_back();
+    visited[static_cast<std::size_t>(next)] = false;
+  }
+}
+}  // namespace
+
+std::vector<Path> Topology::SimplePaths(RouterId src, RouterId dst,
+                                        int max_hops) const {
+  CheckId(src);
+  CheckId(dst);
+  std::vector<Path> out;
+  std::vector<bool> visited(routers_.size(), false);
+  visited[static_cast<std::size_t>(src)] = true;
+  Path current{src};
+  Dfs(*this, dst, max_hops, current, visited, out);
+  // Dfs with a concrete dst records only paths ending at dst; drop the
+  // degenerate single-node path unless src == dst.
+  std::erase_if(out, [&](const Path& p) { return p.back() != dst; });
+  return out;
+}
+
+std::vector<Path> Topology::SimplePathsFrom(RouterId src, int max_hops) const {
+  CheckId(src);
+  std::vector<Path> out;
+  std::vector<bool> visited(routers_.size(), false);
+  visited[static_cast<std::size_t>(src)] = true;
+  Path current{src};
+  Dfs(*this, kInvalidRouter, max_hops, current, visited, out);
+  return out;
+}
+
+bool Topology::IsSimplePath(const Path& path) const {
+  if (path.empty()) return false;
+  std::vector<bool> seen(routers_.size(), false);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const RouterId id = path[i];
+    if (id < 0 || static_cast<std::size_t>(id) >= routers_.size()) return false;
+    if (seen[static_cast<std::size_t>(id)]) return false;
+    seen[static_cast<std::size_t>(id)] = true;
+    if (i > 0 && !Adjacent(path[i - 1], id)) return false;
+  }
+  return true;
+}
+
+std::string Topology::FormatPath(const Path& path) const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << NameOf(path[i]);
+  }
+  return os.str();
+}
+
+std::string Topology::ToDot() const {
+  std::ostringstream os;
+  os << "graph topology {\n";
+  for (const Router& r : routers_) {
+    os << "  \"" << r.name << "\" [label=\"" << r.name << "\\nAS" << r.asn
+       << "\"";
+    if (r.external) os << ", shape=box";
+    os << "];\n";
+  }
+  for (const Link& link : links_) {
+    os << "  \"" << NameOf(link.a) << "\" -- \"" << NameOf(link.b) << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<RouterId> Topology::AllRouters() const {
+  std::vector<RouterId> out(routers_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<RouterId>(i);
+  return out;
+}
+
+void Topology::CheckId(RouterId id) const {
+  NS_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < routers_.size(),
+                "router id out of range: " + std::to_string(id));
+}
+
+}  // namespace ns::net

@@ -1,0 +1,112 @@
+// Network topology: routers grouped into autonomous systems, connected by
+// bidirectional links. Routers are identified by name; the topology assigns
+// dense ids for fast adjacency queries.
+//
+// Path enumeration here is the substrate for the NetComplete-style encoder:
+// candidate announcement-propagation paths are simple paths from a prefix's
+// origin router outward (see synth/candidates.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "util/status.hpp"
+
+namespace ns::net {
+
+/// Dense router identifier within one Topology.
+using RouterId = std::int32_t;
+inline constexpr RouterId kInvalidRouter = -1;
+
+/// Autonomous-system number.
+using Asn = std::uint32_t;
+
+/// A router: name, owning AS, and optionally an external role marker
+/// (providers/customers in the paper's Fig. 1b are external peers).
+struct Router {
+  std::string name;
+  Asn asn = 0;
+  bool external = false;  ///< belongs to a neighboring AS (provider/customer)
+};
+
+/// Undirected link between two routers, with the /30-style interface
+/// addresses used on each side (these show up in rendered configs).
+struct Link {
+  RouterId a = kInvalidRouter;
+  RouterId b = kInvalidRouter;
+  Ipv4Addr addr_a;  ///< address of the interface on router `a`
+  Ipv4Addr addr_b;  ///< address of the interface on router `b`
+};
+
+/// A hop sequence through the topology (router ids, adjacent pairs linked).
+using Path = std::vector<RouterId>;
+
+class Topology {
+ public:
+  /// Adds a router; names must be unique. Returns its id.
+  RouterId AddRouter(std::string name, Asn asn, bool external = false);
+
+  /// Connects two routers. Interface addresses are auto-assigned from
+  /// 10.L.0.0/30 where L is the link index, unless provided.
+  void AddLink(RouterId a, RouterId b);
+  void AddLink(RouterId a, RouterId b, Ipv4Addr addr_a, Ipv4Addr addr_b);
+  void AddLink(std::string_view name_a, std::string_view name_b);
+
+  std::size_t NumRouters() const noexcept { return routers_.size(); }
+  std::size_t NumLinks() const noexcept { return links_.size(); }
+
+  const Router& GetRouter(RouterId id) const;
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Name -> id lookup; kInvalidRouter if absent.
+  RouterId FindRouter(std::string_view name) const noexcept;
+  /// Like FindRouter but an error mentioning the name.
+  util::Result<RouterId> RequireRouter(std::string_view name) const;
+
+  const std::string& NameOf(RouterId id) const { return GetRouter(id).name; }
+
+  /// Neighbors of `id`, in insertion order (deterministic).
+  const std::vector<RouterId>& Neighbors(RouterId id) const;
+
+  bool Adjacent(RouterId a, RouterId b) const noexcept;
+
+  /// Interface address of `on` for the link (on, neighbor); nullopt if the
+  /// two routers are not adjacent.
+  std::optional<Ipv4Addr> InterfaceAddr(RouterId on, RouterId neighbor) const;
+
+  /// All simple paths from `src` to `dst` with at most `max_hops` edges,
+  /// in deterministic (lexicographic by router id) order.
+  std::vector<Path> SimplePaths(RouterId src, RouterId dst, int max_hops) const;
+
+  /// All simple paths starting at `src`, any endpoint, <= max_hops edges.
+  /// Includes the trivial single-node path {src}.
+  std::vector<Path> SimplePathsFrom(RouterId src, int max_hops) const;
+
+  /// True iff consecutive routers in `path` are adjacent and no router
+  /// repeats.
+  bool IsSimplePath(const Path& path) const;
+
+  /// Pretty "R1 -> R2 -> P1" form.
+  std::string FormatPath(const Path& path) const;
+
+  /// Graphviz dot output (for documentation/debugging).
+  std::string ToDot() const;
+
+  /// All router ids, 0..n-1.
+  std::vector<RouterId> AllRouters() const;
+
+ private:
+  void CheckId(RouterId id) const;
+
+  std::vector<Router> routers_;
+  std::vector<Link> links_;
+  std::vector<std::vector<RouterId>> adjacency_;
+  std::map<std::string, RouterId, std::less<>> by_name_;
+};
+
+}  // namespace ns::net

@@ -1,0 +1,370 @@
+#include "ospf/synth.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "simplify/engine.hpp"
+#include "synth/encoder.hpp"  // kAuxPrefix / IsAuxVar convention
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ns::ospf {
+
+using smt::Expr;
+using smt::ExprPool;
+using spec::PathPattern;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+/// Resolves a (must-be-concrete) pattern to a topology path.
+Result<net::Path> ResolvePattern(const net::Topology& topo,
+                                 const PathPattern& pattern) {
+  if (pattern.HasWildcard()) {
+    return Error(ErrorCode::kUnsupported,
+                 "OSPF requirements need concrete paths (no '...'): " +
+                     pattern.ToString());
+  }
+  net::Path path;
+  for (const spec::PathElem& elem : pattern.elems) {
+    const net::RouterId id = topo.FindRouter(elem.name);
+    if (id == net::kInvalidRouter) {
+      return Error(ErrorCode::kNotFound,
+                   "unknown router '" + elem.name + "' in " +
+                       pattern.ToString());
+    }
+    path.push_back(id);
+  }
+  if (!topo.IsSimplePath(path)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "not a simple path in the topology: " + pattern.ToString());
+  }
+  return path;
+}
+
+class OspfEncoder {
+ public:
+  OspfEncoder(ExprPool& pool, const net::Topology& topo,
+              const WeightConfig& weights, const spec::Spec& spec,
+              OspfEncoderOptions options)
+      : pool_(pool),
+        topo_(topo),
+        weights_(weights),
+        spec_(spec),
+        options_(options) {}
+
+  Result<OspfEncoding> Run() {
+    for (const spec::Requirement& req : spec_.requirements) {
+      if (req.IsLocalized()) continue;
+      if (!options_.only_requirements.empty() &&
+          std::find(options_.only_requirements.begin(),
+                    options_.only_requirements.end(),
+                    req.name) == options_.only_requirements.end()) {
+        continue;
+      }
+      for (const spec::Statement& stmt : req.statements) {
+        util::Status status = std::visit(
+            [&](const auto& s) { return EncodeStmt(req.name, s); }, stmt);
+        if (!status.ok()) return status.error();
+      }
+    }
+    // Domains for every weight hole (also the untouched ones).
+    for (const auto& [edge, weight] : weights_.weights()) {
+      if (weight.is_hole()) WeightTerm(edge);
+    }
+
+    encoding_.constraints = definitions_;
+    encoding_.constraints.insert(encoding_.constraints.end(),
+                                 requirements_.begin(), requirements_.end());
+    encoding_.constraints.insert(encoding_.constraints.end(),
+                                 domains_.begin(), domains_.end());
+    encoding_.requirement_constraints = std::move(requirements_);
+    encoding_.requirement_names = std::move(names_);
+    encoding_.domain_constraints = std::move(domains_);
+    return std::move(encoding_);
+  }
+
+ private:
+  Expr WeightTerm(const EdgeKey& edge) {
+    const config::Field<int>& weight = weights_.weights().at(edge);
+    if (weight.is_concrete()) return pool_.Int(weight.value());
+    const auto it = encoding_.weight_vars.find(weight.hole());
+    if (it != encoding_.weight_vars.end()) return it->second;
+    const Expr var = pool_.Var(weight.hole(), smt::Sort::kInt);
+    encoding_.weight_vars.emplace(weight.hole(), var);
+    domains_.push_back(pool_.And({pool_.Le(pool_.Int(kMinWeight), var),
+                                  pool_.Le(var, pool_.Int(kMaxWeight))}));
+    return var;
+  }
+
+  /// Cost variable for a path, defined once as the sum of its weights
+  /// (NetComplete-style auxiliary-variable encoding).
+  Expr CostVar(const net::Path& path) {
+    std::vector<std::string> names;
+    for (net::RouterId id : path) names.push_back(topo_.NameOf(id));
+    const std::string key =
+        std::string(synth::kAuxPrefix) + "cost|" + util::Join(names, ".");
+    const auto it = cost_vars_.find(key);
+    if (it != cost_vars_.end()) return it->second;
+
+    Expr sum = pool_.Int(0);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      sum = pool_.Add(sum, WeightTerm(MakeEdge(path[i], path[i + 1])));
+    }
+    const Expr var = pool_.Var(key, smt::Sort::kInt);
+    definitions_.push_back(pool_.Eq(var, sum));
+    ++encoding_.num_cost_vars;
+    cost_vars_.emplace(key, var);
+    return var;
+  }
+
+  std::vector<net::Path> Alternatives(const net::Path& path) {
+    const int max_hops = options_.max_hops > 0
+                             ? options_.max_hops
+                             : static_cast<int>(topo_.NumRouters());
+    std::vector<net::Path> out;
+    for (net::Path& candidate :
+         topo_.SimplePaths(path.front(), path.back(), max_hops)) {
+      if (candidate != path) out.push_back(std::move(candidate));
+    }
+    return out;
+  }
+
+  void AddRequirement(const std::string& name, Expr constraint) {
+    requirements_.push_back(constraint);
+    names_.push_back(name);
+  }
+
+  // Required path: strictly cheaper than every alternative (unique
+  // shortest path, so Dijkstra picks it regardless of tie-breaking).
+  util::Status EncodeStmt(const std::string& name,
+                          const spec::AllowStmt& allow) {
+    auto path = ResolvePattern(topo_, allow.path);
+    if (!path) return path.error();
+    const Expr cost = CostVar(path.value());
+    for (const net::Path& alternative : Alternatives(path.value())) {
+      AddRequirement(name, pool_.Lt(cost, CostVar(alternative)));
+    }
+    return util::Status::Ok();
+  }
+
+  // Forbidden path: some alternative is strictly cheaper.
+  util::Status EncodeStmt(const std::string& name,
+                          const spec::ForbidStmt& forbid) {
+    auto path = ResolvePattern(topo_, forbid.path);
+    if (!path) return path.error();
+    const Expr cost = CostVar(path.value());
+    std::vector<Expr> cheaper;
+    for (const net::Path& alternative : Alternatives(path.value())) {
+      cheaper.push_back(pool_.Lt(CostVar(alternative), cost));
+    }
+    if (cheaper.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   name + ": cannot forbid the only path between its "
+                          "endpoints: " + forbid.path.ToString());
+    }
+    AddRequirement(name, pool_.Or(cheaper));
+    return util::Status::Ok();
+  }
+
+  // Ordered paths: strictly increasing cost along the ranking.
+  util::Status EncodeStmt(const std::string& name,
+                          const spec::PreferStmt& prefer) {
+    std::vector<Expr> costs;
+    for (const PathPattern& pattern : prefer.ranking) {
+      auto path = ResolvePattern(topo_, pattern);
+      if (!path) return path.error();
+      costs.push_back(CostVar(path.value()));
+    }
+    for (std::size_t i = 0; i + 1 < costs.size(); ++i) {
+      AddRequirement(name, pool_.Lt(costs[i], costs[i + 1]));
+    }
+    return util::Status::Ok();
+  }
+
+  ExprPool& pool_;
+  const net::Topology& topo_;
+  const WeightConfig& weights_;
+  const spec::Spec& spec_;
+  OspfEncoderOptions options_;
+
+  OspfEncoding encoding_;
+  std::map<std::string, Expr> cost_vars_;
+  std::vector<Expr> definitions_;
+  std::vector<Expr> requirements_;
+  std::vector<std::string> names_;
+  std::vector<Expr> domains_;
+};
+
+}  // namespace
+
+std::vector<Expr> OspfEncoding::WeightVarList() const {
+  std::vector<Expr> out;
+  out.reserve(weight_vars.size());
+  for (const auto& [name, var] : weight_vars) out.push_back(var);
+  return out;
+}
+
+Result<OspfEncoding> EncodeOspf(ExprPool& pool, const net::Topology& topo,
+                                const WeightConfig& weights,
+                                const spec::Spec& spec,
+                                OspfEncoderOptions options) {
+  return OspfEncoder(pool, topo, weights, spec, options).Run();
+}
+
+Result<spec::CheckResult> ValidateOspf(const net::Topology& topo,
+                                       const WeightConfig& weights,
+                                       const spec::Spec& spec) {
+  spec::CheckResult result;
+  const auto violate = [&](const spec::Requirement& req,
+                           const spec::Statement& stmt, std::string detail) {
+    result.violations.push_back(
+        spec::Violation{req.name, spec::ToString(stmt), std::move(detail)});
+  };
+
+  for (const spec::Requirement& req : spec.requirements) {
+    if (req.IsLocalized()) continue;
+    for (const spec::Statement& stmt : req.statements) {
+      if (const auto* allow = std::get_if<spec::AllowStmt>(&stmt)) {
+        auto path = ResolvePattern(topo, allow->path);
+        if (!path) return path.error();
+        auto tree = ShortestPaths(topo, weights, path.value().front());
+        if (!tree) return tree.error();
+        const auto it = tree.value().path.find(path.value().back());
+        if (it == tree.value().path.end() || it->second != path.value()) {
+          violate(req, stmt,
+                  "shortest path is " +
+                      (it == tree.value().path.end()
+                           ? std::string("absent")
+                           : topo.FormatPath(it->second)));
+        }
+      } else if (const auto* forbid = std::get_if<spec::ForbidStmt>(&stmt)) {
+        auto path = ResolvePattern(topo, forbid->path);
+        if (!path) return path.error();
+        auto tree = ShortestPaths(topo, weights, path.value().front());
+        if (!tree) return tree.error();
+        const auto it = tree.value().path.find(path.value().back());
+        if (it != tree.value().path.end() && it->second == path.value()) {
+          violate(req, stmt, "the forbidden path IS the shortest path");
+        }
+      } else if (const auto* prefer = std::get_if<spec::PreferStmt>(&stmt)) {
+        int previous = -1;
+        for (const PathPattern& pattern : prefer->ranking) {
+          auto path = ResolvePattern(topo, pattern);
+          if (!path) return path.error();
+          auto cost = PathCost(topo, weights, path.value());
+          if (!cost) return cost.error();
+          if (previous >= 0 && previous >= cost.value()) {
+            violate(req, stmt, "costs are not strictly increasing along the "
+                               "ranking");
+            break;
+          }
+          previous = cost.value();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<WeightConfig> OspfSynthesizer::Synthesize(WeightConfig sketch) {
+  auto encoding = EncodeOspf(pool_, topo_, sketch, spec_, options_);
+  if (!encoding) return encoding.error();
+
+  const std::vector<Expr> vars = encoding.value().WeightVarList();
+  auto model = z3_.Solve(encoding.value().constraints, vars);
+  if (!model) {
+    if (model.error().code() == ErrorCode::kUnsat) {
+      return Error(ErrorCode::kUnsat,
+                   "no weight assignment satisfies the path requirements");
+    }
+    return model.error();
+  }
+
+  std::vector<EdgeKey> edges;
+  for (const auto& [edge, weight] : sketch.weights()) {
+    if (weight.is_hole()) edges.push_back(edge);
+  }
+  for (const EdgeKey& edge : edges) {
+    config::Field<int>& weight = sketch.GetMutable(edge.first, edge.second);
+    const auto it = model.value().find(weight.hole());
+    if (it == model.value().end()) {
+      // Unconstrained weight: any in-range value works; pick the default.
+      weight.Fill(10);
+    } else {
+      weight.Fill(static_cast<int>(it->second));
+    }
+  }
+
+  auto check = ValidateOspf(topo_, sketch, spec_);
+  if (!check) return check.error();
+  if (!check.value().ok()) {
+    return Error(ErrorCode::kInternal,
+                 "synthesized weights fail Dijkstra validation: " +
+                     check.value().ToString());
+  }
+  return sketch;
+}
+
+std::string OspfSubspec::ToString() const {
+  std::ostringstream os;
+  if (IsEmpty()) {
+    os << "(empty — these weights are unconstrained)\n";
+    return os.str();
+  }
+  for (const Expr& c : constraints) os << c.ToString() << "\n";
+  return os.str();
+}
+
+Result<OspfSubspec> ExplainWeights(ExprPool& pool, const net::Topology& topo,
+                                   const spec::Spec& spec,
+                                   const WeightConfig& solved,
+                                   const std::vector<EdgeKey>& edges,
+                                   OspfEncoderOptions options) {
+  if (solved.HasHole()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "weight explanation expects a solved configuration");
+  }
+  // Symbolize the selected links as Var_-prefixed weight variables.
+  WeightConfig partial = solved;
+  OspfSubspec subspec;
+  for (const EdgeKey& edge : edges) {
+    const std::string name =
+        "Var_" + WeightConfig::HoleName(topo, edge.first, edge.second);
+    partial.GetMutable(edge.first, edge.second).Open(name);
+    subspec.holes.push_back(name);
+  }
+
+  auto encoding = EncodeOspf(pool, topo, partial, spec, options);
+  if (!encoding) return encoding.error();
+  subspec.domains = encoding.value().domain_constraints;
+
+  std::vector<Expr> seed;
+  for (Expr c : encoding.value().constraints) {
+    const bool is_domain =
+        std::find(encoding.value().domain_constraints.begin(),
+                  encoding.value().domain_constraints.end(),
+                  c) != encoding.value().domain_constraints.end();
+    if (!is_domain) seed.push_back(c);
+  }
+  subspec.metrics.seed_constraints = seed.size();
+  subspec.metrics.seed_size = simplify::ConstraintSetSize(seed);
+
+  simplify::Engine engine(pool);
+  std::vector<Expr> simplified = engine.SimplifyConstraints(std::move(seed));
+  subspec.metrics.simplified_constraints = simplified.size();
+  subspec.metrics.simplified_size = simplify::ConstraintSetSize(simplified);
+  subspec.metrics.rule_stats = engine.stats();
+  subspec.metrics.simplify_passes = engine.last_passes();
+
+  subspec.constraints = explain::EliminateAuxVars(pool, std::move(simplified));
+  subspec.metrics.residual_constraints = subspec.constraints.size();
+  subspec.metrics.residual_size =
+      simplify::ConstraintSetSize(subspec.constraints);
+  return subspec;
+}
+
+}  // namespace ns::ospf

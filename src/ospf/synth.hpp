@@ -1,0 +1,102 @@
+// OSPF weight synthesis and localized weight explanations.
+//
+// Requirements reuse the specification DSL, interpreted over shortest
+// paths (all patterns must be concrete router paths):
+//
+//   Req1 {
+//     (A->B->C)              // required path: the unique shortest A~>C
+//                            // path is exactly A->B->C
+//     (A->B->C) >> (A->D->C) // ordered: cost(A->B->C) < cost(A->D->C)
+//     !(A->D->C)             // forbidden: A->D->C is not the shortest
+//   }
+//
+// The encoding mirrors the BGP side's architecture: one `st.cost|…`
+// auxiliary variable per candidate path defined as the sum of its link
+// weights, requirement inequalities over those variables, and weight-hole
+// domains. Explanation = re-open solved weights as `Var_w_*`, re-encode,
+// simplify with the 15 rules, and project out the cost variables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explain/subspec.hpp"
+#include "ospf/weights.hpp"
+#include "smt/expr.hpp"
+#include "smt/z3bridge.hpp"
+#include "spec/ast.hpp"
+#include "spec/checker.hpp"
+
+namespace ns::ospf {
+
+struct OspfEncoding {
+  std::vector<smt::Expr> constraints;  ///< definitions + requirements + domains
+  std::vector<smt::Expr> requirement_constraints;
+  std::vector<std::string> requirement_names;
+  std::vector<smt::Expr> domain_constraints;
+  std::map<std::string, smt::Expr> weight_vars;  ///< hole name -> variable
+  std::size_t num_cost_vars = 0;
+
+  std::vector<smt::Expr> WeightVarList() const;
+};
+
+struct OspfEncoderOptions {
+  /// Bound on candidate-path edges between requirement endpoints;
+  /// 0 = #routers.
+  int max_hops = 0;
+  /// Restrict to these requirement blocks (projection); empty = all.
+  std::vector<std::string> only_requirements;
+};
+
+/// Builds the weight-constraint encoding. Fails (kUnsupported) on patterns
+/// with wildcards or non-router names, (kInvalidArgument) on paths absent
+/// from the topology.
+util::Result<OspfEncoding> EncodeOspf(smt::ExprPool& pool,
+                                      const net::Topology& topo,
+                                      const WeightConfig& weights,
+                                      const spec::Spec& spec,
+                                      OspfEncoderOptions options = {});
+
+/// Checks a concrete weight assignment against the spec via the Dijkstra
+/// semantics (independent of the encoder).
+util::Result<spec::CheckResult> ValidateOspf(const net::Topology& topo,
+                                             const WeightConfig& weights,
+                                             const spec::Spec& spec);
+
+class OspfSynthesizer {
+ public:
+  OspfSynthesizer(const net::Topology& topo, const spec::Spec& spec,
+                  OspfEncoderOptions options = {})
+      : topo_(topo), spec_(spec), options_(options) {}
+
+  /// Fills every weight hole so the spec holds; validates via Dijkstra.
+  util::Result<WeightConfig> Synthesize(WeightConfig sketch);
+
+ private:
+  const net::Topology& topo_;
+  const spec::Spec& spec_;
+  OspfEncoderOptions options_;
+  smt::ExprPool pool_;
+  smt::Z3Session z3_;
+};
+
+/// Localized weight explanation: re-opens the weights of `edges` on the
+/// solved configuration and runs the paper's pipeline. The residual
+/// constraints (over `Var_w_*` variables) are the subspecification for
+/// those links — e.g. "Var_w_R1_R2 < 12".
+struct OspfSubspec {
+  std::vector<std::string> holes;
+  std::vector<smt::Expr> constraints;
+  std::vector<smt::Expr> domains;
+  explain::SubspecMetrics metrics;
+
+  bool IsEmpty() const noexcept { return constraints.empty(); }
+  std::string ToString() const;
+};
+
+util::Result<OspfSubspec> ExplainWeights(
+    smt::ExprPool& pool, const net::Topology& topo, const spec::Spec& spec,
+    const WeightConfig& solved, const std::vector<EdgeKey>& edges,
+    OspfEncoderOptions options = {});
+
+}  // namespace ns::ospf

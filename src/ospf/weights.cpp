@@ -1,0 +1,172 @@
+#include "ospf/weights.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ns::ospf {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+EdgeKey MakeEdge(net::RouterId a, net::RouterId b) noexcept {
+  return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+}
+
+WeightConfig WeightConfig::DefaultsFor(const net::Topology& topo) {
+  WeightConfig config;
+  for (const net::Link& link : topo.links()) {
+    config.weights_.emplace(MakeEdge(link.a, link.b), config::Field<int>(10));
+  }
+  return config;
+}
+
+WeightConfig WeightConfig::SketchFor(const net::Topology& topo) {
+  WeightConfig config;
+  for (const net::Link& link : topo.links()) {
+    config.weights_.emplace(
+        MakeEdge(link.a, link.b),
+        config::Field<int>::Hole(HoleName(topo, link.a, link.b)));
+  }
+  return config;
+}
+
+void WeightConfig::Set(net::RouterId a, net::RouterId b,
+                       config::Field<int> weight) {
+  weights_[MakeEdge(a, b)] = std::move(weight);
+}
+
+const config::Field<int>& WeightConfig::Get(net::RouterId a,
+                                            net::RouterId b) const {
+  const auto it = weights_.find(MakeEdge(a, b));
+  NS_ASSERT_MSG(it != weights_.end(), "no weight for that link");
+  return it->second;
+}
+
+config::Field<int>& WeightConfig::GetMutable(net::RouterId a,
+                                             net::RouterId b) {
+  const auto it = weights_.find(MakeEdge(a, b));
+  NS_ASSERT_MSG(it != weights_.end(), "no weight for that link");
+  return it->second;
+}
+
+bool WeightConfig::HasHole() const noexcept {
+  for (const auto& [edge, weight] : weights_) {
+    if (weight.is_hole()) return true;
+  }
+  return false;
+}
+
+std::string WeightConfig::HoleName(const net::Topology& topo, net::RouterId a,
+                                   net::RouterId b) {
+  const EdgeKey edge = MakeEdge(a, b);
+  return "w_" + topo.NameOf(edge.first) + "_" + topo.NameOf(edge.second);
+}
+
+std::string WeightConfig::ToText(const net::Topology& topo) const {
+  std::ostringstream os;
+  for (const auto& [edge, weight] : weights_) {
+    os << "weight " << topo.NameOf(edge.first) << " "
+       << topo.NameOf(edge.second) << " ";
+    if (weight.is_hole()) {
+      os << "?" << weight.hole();
+    } else {
+      os << weight.value();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<WeightConfig> WeightConfig::Parse(const net::Topology& topo,
+                                         std::string_view text) {
+  WeightConfig config = DefaultsFor(topo);
+  int line_no = 0;
+  for (const std::string& raw : util::Split(text, '\n')) {
+    ++line_no;
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto words = util::SplitWhitespace(line);
+    if (words.empty()) continue;
+    if (words[0] != "weight" || words.size() != 4) {
+      return Error(ErrorCode::kParse, "expected 'weight <a> <b> <value>'",
+                   line_no, 1);
+    }
+    const net::RouterId a = topo.FindRouter(words[1]);
+    const net::RouterId b = topo.FindRouter(words[2]);
+    if (a == net::kInvalidRouter || b == net::kInvalidRouter ||
+        !topo.Adjacent(a, b)) {
+      return Error(ErrorCode::kParse,
+                   "weight references a non-existent link", line_no, 1);
+    }
+    if (words[3].starts_with('?')) {
+      config.Set(a, b, config::Field<int>::Hole(words[3].substr(1)));
+    } else if (util::IsAllDigits(words[3])) {
+      config.Set(a, b, config::Field<int>(std::stoi(words[3])));
+    } else {
+      return Error(ErrorCode::kParse, "bad weight value", line_no, 1);
+    }
+  }
+  return config;
+}
+
+Result<ShortestPathTree> ShortestPaths(const net::Topology& topo,
+                                       const WeightConfig& weights,
+                                       net::RouterId source) {
+  if (weights.HasHole()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "shortest paths need concrete weights; synthesize first");
+  }
+
+  ShortestPathTree tree;
+  tree.source = source;
+
+  // Dijkstra keyed by (cost, path) so equal-cost ties break towards the
+  // lexicographically smallest router-id sequence — deterministic, and
+  // mirrored exactly by the encoder's strict-inequality requirements.
+  using Entry = std::pair<int, net::Path>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  queue.push({0, net::Path{source}});
+
+  while (!queue.empty()) {
+    const auto [cost, path] = queue.top();
+    queue.pop();
+    const net::RouterId node = path.back();
+    if (tree.cost.count(node) > 0) continue;  // already settled
+    tree.cost.emplace(node, cost);
+    tree.path.emplace(node, path);
+    for (net::RouterId next : topo.Neighbors(node)) {
+      if (tree.cost.count(next) > 0) continue;
+      const int weight = weights.Get(node, next).value();
+      net::Path extended = path;
+      extended.push_back(next);
+      queue.push({cost + weight, std::move(extended)});
+    }
+  }
+  return tree;
+}
+
+Result<int> PathCost(const net::Topology& topo, const WeightConfig& weights,
+                     const net::Path& path) {
+  if (!topo.IsSimplePath(path) || path.size() < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "not a simple topology path: " + topo.FormatPath(path));
+  }
+  int total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto& weight = weights.Get(path[i], path[i + 1]);
+    if (weight.is_hole()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "path crosses a symbolic weight: " + weight.hole());
+    }
+    total += weight.value();
+  }
+  return total;
+}
+
+}  // namespace ns::ospf

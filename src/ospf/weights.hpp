@@ -1,0 +1,85 @@
+// OSPF substrate: link weights and shortest-path routing.
+//
+// NetComplete's synthesis surface covers both BGP policies and IGP link
+// weights; the paper's explanation pipeline applies unchanged to either
+// ("our approach is based on constraint-based configuration synthesizers").
+// This module provides the weight configuration model (weights may be
+// holes, like every other configuration field) and the concrete
+// shortest-path semantics used to validate synthesized weights.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/field.hpp"
+#include "net/topology.hpp"
+#include "util/status.hpp"
+
+namespace ns::ospf {
+
+/// Canonical undirected edge key: endpoints ordered by router id.
+using EdgeKey = std::pair<net::RouterId, net::RouterId>;
+
+EdgeKey MakeEdge(net::RouterId a, net::RouterId b) noexcept;
+
+/// OSPF weight range (Cisco: 1..65535).
+inline constexpr int kMinWeight = 1;
+inline constexpr int kMaxWeight = 65535;
+
+/// Per-link weights; symmetric (one weight per undirected link). Any
+/// weight may be a hole for the synthesizer to fill.
+class WeightConfig {
+ public:
+  /// Every link of `topo` gets the default weight (concrete 10).
+  static WeightConfig DefaultsFor(const net::Topology& topo);
+
+  /// Every link of `topo` gets a weight hole named "w_<A>_<B>".
+  static WeightConfig SketchFor(const net::Topology& topo);
+
+  void Set(net::RouterId a, net::RouterId b, config::Field<int> weight);
+  const config::Field<int>& Get(net::RouterId a, net::RouterId b) const;
+  config::Field<int>& GetMutable(net::RouterId a, net::RouterId b);
+
+  const std::map<EdgeKey, config::Field<int>>& weights() const noexcept {
+    return weights_;
+  }
+  bool HasHole() const noexcept;
+
+  /// Conventional hole/variable name for a link weight.
+  static std::string HoleName(const net::Topology& topo, net::RouterId a,
+                              net::RouterId b);
+
+  /// Text rendering ("weight R1 R2 10" lines); parse round-trips.
+  std::string ToText(const net::Topology& topo) const;
+  static util::Result<WeightConfig> Parse(const net::Topology& topo,
+                                          std::string_view text);
+
+ private:
+  std::map<EdgeKey, config::Field<int>> weights_;
+};
+
+/// Result of a concrete shortest-path computation from one source.
+struct ShortestPathTree {
+  net::RouterId source = net::kInvalidRouter;
+  /// Per destination: total cost (absent = unreachable).
+  std::map<net::RouterId, int> cost;
+  /// Per destination: the (deterministically tie-broken) shortest path,
+  /// source first.
+  std::map<net::RouterId, net::Path> path;
+};
+
+/// Dijkstra with deterministic tie-breaking: among equal-cost paths the
+/// lexicographically smallest router-id sequence wins. Requires a
+/// hole-free weight configuration.
+util::Result<ShortestPathTree> ShortestPaths(const net::Topology& topo,
+                                             const WeightConfig& weights,
+                                             net::RouterId source);
+
+/// Total cost of `path` under `weights` (concrete); kInvalidArgument if the
+/// path is not a simple topology path.
+util::Result<int> PathCost(const net::Topology& topo,
+                           const WeightConfig& weights, const net::Path& path);
+
+}  // namespace ns::ospf

@@ -1,0 +1,221 @@
+#include "simplify/engine.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+#include "util/status.hpp"
+
+namespace ns::simplify {
+
+using smt::Expr;
+using smt::ExprPool;
+using smt::Op;
+
+Engine::Engine(ExprPool& pool, EngineOptions options)
+    : pool_(pool), options_(options) {}
+
+std::string TraceEntry::ToString() const {
+  return std::string(RuleName(rule)) + ": " + before.ToString() + "  ==>  " +
+         after.ToString();
+}
+
+std::size_t Engine::TotalRuleHits() const noexcept {
+  return std::accumulate(stats_.begin(), stats_.end(), std::size_t{0});
+}
+
+SimplifyOutcome Engine::Simplify(Expr e) {
+  SimplifyOutcome outcome{e, 0, true};
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    pass_memo_.clear();
+    const Expr next = PassOnce(outcome.expr);
+    ++outcome.passes;
+    if (next == outcome.expr) {
+      last_passes_ = outcome.passes;
+      return outcome;  // fixpoint
+    }
+    outcome.expr = next;
+  }
+  outcome.converged = false;
+  last_passes_ = outcome.passes;
+  NS_WARN << "simplifier hit pass limit (" << options_.max_passes
+          << ") before reaching a fixpoint";
+  return outcome;
+}
+
+Expr Engine::PassOnce(Expr e) {
+  const auto it = pass_memo_.find(e.raw());
+  if (it != pass_memo_.end()) return it->second;
+
+  Expr result = e;
+  if (e.NumChildren() > 0) {
+    // Bottom-up: children first.
+    std::vector<Expr> children;
+    children.reserve(e.NumChildren());
+    bool changed = false;
+    for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+      const Expr child = PassOnce(e.Child(i));
+      changed = changed || child != e.Child(i);
+      children.push_back(child);
+    }
+    if (changed) {
+      switch (e.op()) {
+        case Op::kNot: result = pool_.Not(children[0]); break;
+        case Op::kAnd: result = pool_.And(children); break;
+        case Op::kOr: result = pool_.Or(children); break;
+        case Op::kImplies: result = pool_.Implies(children[0], children[1]); break;
+        case Op::kIte:
+          result = pool_.Ite(children[0], children[1], children[2]);
+          break;
+        case Op::kEq: result = pool_.Eq(children[0], children[1]); break;
+        case Op::kLt: result = pool_.Lt(children[0], children[1]); break;
+        case Op::kLe: result = pool_.Le(children[0], children[1]); break;
+        case Op::kAdd: result = pool_.Add(children[0], children[1]); break;
+        case Op::kSub: result = pool_.Sub(children[0], children[1]); break;
+        case Op::kMul: result = pool_.Mul(children[0], children[1]); break;
+        default: break;
+      }
+    }
+  }
+  result = RewriteNode(result);
+  pass_memo_.emplace(e.raw(), result);
+  return result;
+}
+
+Expr Engine::RewriteNode(Expr e) {
+  // Apply local rules repeatedly at this node; each application may expose
+  // another (e.g. flatten then identity). Bounded by the node's size.
+  for (int guard = 0; guard < 1024; ++guard) {
+    if (e.op() == Op::kAnd && options_.propagate_units) {
+      const Expr propagated = PropagateWithinAnd(e);
+      if (propagated != e) {
+        if (options_.record_trace && trace_.size() < options_.max_trace_entries) {
+          trace_.push_back(TraceEntry{RuleId::kUnitPropagation, e, propagated});
+        }
+        e = propagated;
+        if (e.op() != Op::kAnd) continue;
+      }
+    }
+    // Snapshot the per-rule counters so the fired rule can be identified
+    // for the trace without changing ApplyLocalRules' interface.
+    const RuleStats before_stats = stats_;
+    const auto rewritten = ApplyLocalRules(pool_, e, &stats_);
+    if (!rewritten) return e;
+    if (options_.record_trace && trace_.size() < options_.max_trace_entries) {
+      RuleId fired = RuleId::kConstFold;
+      for (int rule = 0; rule < kNumRules; ++rule) {
+        if (stats_[static_cast<std::size_t>(rule)] !=
+            before_stats[static_cast<std::size_t>(rule)]) {
+          fired = static_cast<RuleId>(rule);
+          break;
+        }
+      }
+      trace_.push_back(TraceEntry{fired, e, *rewritten});
+    }
+    e = *rewritten;
+    if (e.NumChildren() == 0) return e;  // constant/leaf: done
+  }
+  NS_WARN << "node rewrite guard tripped";
+  return e;
+}
+
+Expr Engine::PropagateWithinAnd(Expr e) {
+  // R13/R14: collect units among the conjuncts —
+  //   boolean literal  v      =>  v := true
+  //   boolean literal  ¬v     =>  v := false
+  //   equality         x = c  =>  x := c
+  // and substitute them into every *other*, non-unit conjunct. Units are
+  // preserved verbatim so no information is lost.
+  const std::vector<Expr> children = e.Children();
+  std::unordered_map<std::string, Expr> env;
+  // Variable each unit conjunct binds; empty for non-units.
+  std::vector<std::string> unit_var(children.size());
+
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const Expr c = children[i];
+    if (c.IsVar() && c.sort() == smt::Sort::kBool) {
+      if (env.emplace(c.name(), pool_.True()).second) unit_var[i] = c.name();
+    } else if (c.op() == Op::kNot && c.Child(0).IsVar()) {
+      if (env.emplace(c.Child(0).name(), pool_.False()).second) {
+        unit_var[i] = c.Child(0).name();
+      }
+    } else if (c.op() == Op::kEq) {
+      const Expr lhs = c.Child(0);
+      const Expr rhs = c.Child(1);
+      if (lhs.IsVar() && rhs.IsConst()) {
+        if (env.emplace(lhs.name(), rhs).second) unit_var[i] = lhs.name();
+      } else if (rhs.IsVar() && lhs.IsConst()) {
+        if (env.emplace(rhs.name(), lhs).second) unit_var[i] = rhs.name();
+      }
+    }
+  }
+  if (env.empty()) return e;
+
+  bool changed = false;
+  bool bool_unit_fired = false;
+  bool eq_unit_fired = false;
+  std::vector<Expr> rebuilt;
+  rebuilt.reserve(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    // A unit is substituted with everything except its *own* binding, so
+    // `x=3 ∧ x=4` collapses to `x=3 ∧ false` while `x=3` itself survives.
+    Expr substituted = children[i];
+    if (unit_var[i].empty()) {
+      substituted = smt::Substitute(pool_, children[i], env);
+    } else if (env.size() > 1) {
+      auto reduced = env;
+      reduced.erase(unit_var[i]);
+      substituted = smt::Substitute(pool_, children[i], reduced);
+    }
+    if (substituted != children[i]) {
+      changed = true;
+      // Attribute the hit: equality bindings vs boolean literals.
+      for (const Expr var : children[i].FreeVars()) {
+        const auto found = env.find(var.name());
+        if (found == env.end()) continue;
+        (found->second.IsBoolConst() && var.sort() == smt::Sort::kBool
+             ? bool_unit_fired
+             : eq_unit_fired) = true;
+      }
+    }
+    rebuilt.push_back(substituted);
+  }
+  if (!changed) return e;
+  if (bool_unit_fired) {
+    stats_[static_cast<std::size_t>(RuleId::kUnitPropagation)] += 1;
+  }
+  if (eq_unit_fired) {
+    stats_[static_cast<std::size_t>(RuleId::kEqPropagation)] += 1;
+  }
+  return pool_.And(rebuilt);
+}
+
+std::vector<Expr> Engine::SimplifyConstraints(std::vector<Expr> constraints) {
+  if (constraints.empty()) return constraints;
+  const Expr conjunction =
+      constraints.size() == 1 ? constraints.front() : pool_.And(constraints);
+  const Expr simplified = Simplify(conjunction).expr;
+
+  std::vector<Expr> out;
+  if (simplified.op() == Op::kAnd) {
+    for (Expr c : simplified.Children()) {
+      if (!c.IsTrue()) out.push_back(c);
+    }
+  } else if (!simplified.IsTrue()) {
+    out.push_back(simplified);
+  }
+  return out;
+}
+
+Expr Simplify(ExprPool& pool, Expr e) {
+  Engine engine(pool);
+  return engine.Simplify(e).expr;
+}
+
+std::size_t ConstraintSetSize(const std::vector<Expr>& constraints) {
+  std::size_t total = 0;
+  for (Expr e : constraints) total += e.TreeSize();
+  return total;
+}
+
+}  // namespace ns::simplify

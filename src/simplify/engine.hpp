@@ -1,0 +1,85 @@
+// Fixpoint rewrite engine (paper §3 step 3): applies the 15 rules
+// bottom-up, pass after pass, "until no further rules could be applied".
+//
+// The two conjunction-context rules (unit propagation, equality
+// propagation) live here rather than in rules.cpp because they need the
+// sibling conjuncts: a ∧ φ[a] ≡ a ∧ φ[a:=true], (x=c) ∧ φ[x] ≡ (x=c) ∧ φ[x:=c].
+// They are what makes *partial evaluation* work when the explainer pins
+// every other router's configuration to concrete values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simplify/rules.hpp"
+#include "smt/expr.hpp"
+
+namespace ns::simplify {
+
+struct EngineOptions {
+  /// Upper bound on full passes; the scenarios converge in < 10.
+  int max_passes = 64;
+  /// Enable the conjunction-context rules (R13/R14). The E8 baseline turns
+  /// them off to mimic a purely local generic simplifier.
+  bool propagate_units = true;
+  /// Record a bounded audit trail of rule applications (Engine::trace()).
+  /// Off by default: large seeds fire thousands of rules.
+  bool record_trace = false;
+  std::size_t max_trace_entries = 4096;
+};
+
+/// One recorded rewrite step: `rule` turned `before` into `after`.
+struct TraceEntry {
+  RuleId rule;
+  smt::Expr before;
+  smt::Expr after;
+
+  std::string ToString() const;
+};
+
+struct SimplifyOutcome {
+  smt::Expr expr;
+  int passes = 0;        ///< passes actually run (last one is a no-op check)
+  bool converged = true; ///< false iff max_passes was hit while still changing
+};
+
+class Engine {
+ public:
+  explicit Engine(smt::ExprPool& pool, EngineOptions options = {});
+
+  /// Simplifies one expression to fixpoint.
+  SimplifyOutcome Simplify(smt::Expr e);
+
+  /// Simplifies a constraint *set*: the set is treated as one conjunction
+  /// (so units in one constraint propagate into the others), then split
+  /// back into top-level conjuncts. Tautological conjuncts disappear; an
+  /// inconsistent set collapses to the single constraint `false`.
+  std::vector<smt::Expr> SimplifyConstraints(std::vector<smt::Expr> constraints);
+
+  const RuleStats& stats() const noexcept { return stats_; }
+  std::size_t TotalRuleHits() const noexcept;
+  /// Passes run by the most recent Simplify/SimplifyConstraints call.
+  int last_passes() const noexcept { return last_passes_; }
+  /// Audit trail (only populated with EngineOptions::record_trace).
+  const std::vector<TraceEntry>& trace() const noexcept { return trace_; }
+
+ private:
+  smt::Expr PassOnce(smt::Expr e);
+  smt::Expr RewriteNode(smt::Expr e);
+  smt::Expr PropagateWithinAnd(smt::Expr e);
+
+  smt::ExprPool& pool_;
+  EngineOptions options_;
+  RuleStats stats_{};
+  int last_passes_ = 0;
+  std::vector<TraceEntry> trace_;
+  std::unordered_map<const smt::Node*, smt::Expr> pass_memo_;
+};
+
+/// Convenience: one-shot simplification with default options.
+smt::Expr Simplify(smt::ExprPool& pool, smt::Expr e);
+
+/// Total *tree* size of a constraint set (the paper's size metric).
+std::size_t ConstraintSetSize(const std::vector<smt::Expr>& constraints);
+
+}  // namespace ns::simplify

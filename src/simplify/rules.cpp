@@ -1,0 +1,319 @@
+#include "simplify/rules.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ns::simplify {
+
+using smt::Expr;
+using smt::ExprPool;
+using smt::Op;
+
+const char* RuleName(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::kNotConst: return "not-const";
+    case RuleId::kDoubleNegation: return "double-negation";
+    case RuleId::kAndIdentity: return "and-identity";
+    case RuleId::kOrIdentity: return "or-identity";
+    case RuleId::kIdempotence: return "idempotence";
+    case RuleId::kComplement: return "complement";
+    case RuleId::kAbsorption: return "absorption";
+    case RuleId::kImplication: return "implication";
+    case RuleId::kIteReduction: return "ite-reduction";
+    case RuleId::kReflexivity: return "reflexivity";
+    case RuleId::kConstFold: return "const-fold";
+    case RuleId::kFlatten: return "flatten";
+    case RuleId::kUnitPropagation: return "unit-propagation";
+    case RuleId::kEqPropagation: return "eq-propagation";
+    case RuleId::kFactoring: return "factoring";
+  }
+  return "?";
+}
+
+namespace {
+
+void Bump(RuleStats* stats, RuleId rule) {
+  if (stats != nullptr) (*stats)[static_cast<std::size_t>(rule)] += 1;
+}
+
+std::optional<Expr> SimplifyNot(ExprPool& pool, Expr e, RuleStats* stats) {
+  const Expr a = e.Child(0);
+  if (a.IsBoolConst()) {  // R1: ¬true ≡ false, ¬false ≡ true
+    Bump(stats, RuleId::kNotConst);
+    return pool.Bool(!a.IsTrue());
+  }
+  if (a.op() == Op::kNot) {  // R2: ¬¬a ≡ a
+    Bump(stats, RuleId::kDoubleNegation);
+    return a.Child(0);
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> SimplifyAndOr(ExprPool& pool, Expr e, RuleStats* stats) {
+  const bool is_and = e.op() == Op::kAnd;
+  const Expr neutral = is_and ? pool.True() : pool.False();
+  const Expr absorbing = is_and ? pool.False() : pool.True();
+  const std::vector<Expr> children = e.Children();
+
+  // R12: flatten nested conjunctions/disjunctions.
+  if (std::any_of(children.begin(), children.end(),
+                  [&](Expr c) { return c.op() == e.op(); })) {
+    std::vector<Expr> flat;
+    for (Expr c : children) {
+      if (c.op() == e.op()) {
+        for (Expr grandchild : c.Children()) flat.push_back(grandchild);
+      } else {
+        flat.push_back(c);
+      }
+    }
+    Bump(stats, RuleId::kFlatten);
+    return is_and ? pool.And(flat) : pool.Or(flat);
+  }
+
+  // R3/R4: identity and annihilation by constants.
+  if (std::any_of(children.begin(), children.end(),
+                  [&](Expr c) { return c.IsBoolConst(); })) {
+    std::vector<Expr> kept;
+    for (Expr c : children) {
+      if (c == absorbing) {
+        Bump(stats, is_and ? RuleId::kAndIdentity : RuleId::kOrIdentity);
+        return absorbing;
+      }
+      if (c != neutral) kept.push_back(c);
+    }
+    Bump(stats, is_and ? RuleId::kAndIdentity : RuleId::kOrIdentity);
+    if (kept.empty()) return neutral;
+    return is_and ? pool.And(kept) : pool.Or(kept);
+  }
+
+  // R5: idempotence (duplicates are pointer-equal thanks to hash-consing).
+  {
+    std::set<Expr> unique(children.begin(), children.end());
+    if (unique.size() < children.size()) {
+      std::vector<Expr> kept;
+      std::set<Expr> seen;
+      for (Expr c : children) {
+        if (seen.insert(c).second) kept.push_back(c);
+      }
+      Bump(stats, RuleId::kIdempotence);
+      return is_and ? pool.And(kept) : pool.Or(kept);
+    }
+  }
+
+  // R6: complementation — a together with ¬a.
+  {
+    std::set<Expr> operand_set(children.begin(), children.end());
+    for (Expr c : children) {
+      if (c.op() == Op::kNot && operand_set.count(c.Child(0)) > 0) {
+        Bump(stats, RuleId::kComplement);
+        return absorbing;
+      }
+    }
+  }
+
+  // R7: absorption — drop an inner dual node containing a sibling.
+  {
+    const Op dual = is_and ? Op::kOr : Op::kAnd;
+    std::set<Expr> operand_set(children.begin(), children.end());
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const Expr c = children[i];
+      if (c.op() != dual) continue;
+      const auto inner = c.Children();
+      const bool absorbs =
+          std::any_of(inner.begin(), inner.end(), [&](Expr in) {
+            return in != c && operand_set.count(in) > 0;
+          });
+      if (absorbs) {
+        std::vector<Expr> kept;
+        for (std::size_t j = 0; j < children.size(); ++j) {
+          if (j != i) kept.push_back(children[j]);
+        }
+        Bump(stats, RuleId::kAbsorption);
+        if (kept.size() == 1) return kept.front();
+        return is_and ? pool.And(kept) : pool.Or(kept);
+      }
+    }
+  }
+
+  // R15: factoring (Or of Ands with a common conjunct):
+  //      (a ∧ b) ∨ (a ∧ c) ≡ a ∧ (b ∨ c).
+  if (!is_and && children.size() >= 2 &&
+      std::all_of(children.begin(), children.end(),
+                  [](Expr c) { return c.op() == Op::kAnd; })) {
+    const auto first = children.front().Children();
+    std::set<Expr> common(first.begin(), first.end());
+    for (std::size_t i = 1; i < children.size() && !common.empty(); ++i) {
+      const auto parts = children[i].Children();
+      const std::set<Expr> part_set(parts.begin(), parts.end());
+      std::set<Expr> still;
+      for (Expr f : common) {
+        if (part_set.count(f) > 0) still.insert(f);
+      }
+      common = std::move(still);
+    }
+    if (!common.empty()) {
+      std::vector<Expr> residual_disjuncts;
+      for (Expr c : children) {
+        std::vector<Expr> rest;
+        for (Expr part : c.Children()) {
+          if (common.count(part) == 0) rest.push_back(part);
+        }
+        if (rest.empty()) {
+          // A disjunct that *is* the common factor: the whole Or reduces
+          // to the factor (a ∨ (a ∧ c) case caught by absorption, but be
+          // safe here too).
+          Bump(stats, RuleId::kFactoring);
+          std::vector<Expr> factor(common.begin(), common.end());
+          return pool.And(factor);
+        }
+        residual_disjuncts.push_back(rest.size() == 1 ? rest.front()
+                                                      : pool.And(rest));
+      }
+      std::vector<Expr> conjuncts(common.begin(), common.end());
+      conjuncts.push_back(pool.Or(residual_disjuncts));
+      Bump(stats, RuleId::kFactoring);
+      return pool.And(conjuncts);
+    }
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Expr> SimplifyImplies(ExprPool& pool, Expr e, RuleStats* stats) {
+  const Expr a = e.Child(0);
+  const Expr b = e.Child(1);
+  // R8 — includes the paper's quoted rule `false -> a ≡ true`.
+  if (a.IsFalse() || b.IsTrue() || a == b) {
+    Bump(stats, RuleId::kImplication);
+    return pool.True();
+  }
+  if (a.IsTrue()) {
+    Bump(stats, RuleId::kImplication);
+    return b;
+  }
+  if (b.IsFalse()) {
+    Bump(stats, RuleId::kImplication);
+    return pool.Not(a);
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> SimplifyIte(ExprPool& pool, Expr e, RuleStats* stats) {
+  const Expr cond = e.Child(0);
+  const Expr then_e = e.Child(1);
+  const Expr else_e = e.Child(2);
+  if (cond.IsBoolConst()) {
+    Bump(stats, RuleId::kIteReduction);
+    return cond.IsTrue() ? then_e : else_e;
+  }
+  if (then_e == else_e) {
+    Bump(stats, RuleId::kIteReduction);
+    return then_e;
+  }
+  if (then_e.IsTrue() && else_e.IsFalse()) {
+    Bump(stats, RuleId::kIteReduction);
+    return cond;
+  }
+  if (then_e.IsFalse() && else_e.IsTrue()) {
+    Bump(stats, RuleId::kIteReduction);
+    return pool.Not(cond);
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> SimplifyAtom(ExprPool& pool, Expr e, RuleStats* stats) {
+  const Expr a = e.Child(0);
+  const Expr b = e.Child(1);
+  // R10: reflexivity.
+  if (a == b) {
+    Bump(stats, RuleId::kReflexivity);
+    switch (e.op()) {
+      case Op::kEq:
+      case Op::kLe: return pool.True();
+      case Op::kLt: return pool.False();
+      default: break;
+    }
+  }
+  // R11: constant folding.
+  if (a.IsConst() && b.IsConst()) {
+    Bump(stats, RuleId::kConstFold);
+    switch (e.op()) {
+      case Op::kEq: return pool.Bool(a.value() == b.value());
+      case Op::kLt: return pool.Bool(a.value() < b.value());
+      case Op::kLe: return pool.Bool(a.value() <= b.value());
+      default: break;
+    }
+  }
+  // R11 (boolean equations): true = x ≡ x, false = x ≡ ¬x.
+  if (e.op() == Op::kEq && a.sort() == smt::Sort::kBool) {
+    if (a.IsBoolConst()) {
+      Bump(stats, RuleId::kConstFold);
+      return a.IsTrue() ? b : pool.Not(b);
+    }
+    if (b.IsBoolConst()) {
+      Bump(stats, RuleId::kConstFold);
+      return b.IsTrue() ? a : pool.Not(a);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Expr> SimplifyArith(ExprPool& pool, Expr e, RuleStats* stats) {
+  const Expr a = e.Child(0);
+  const Expr b = e.Child(1);
+  // R11: constant folding, including neutral/absorbing elements.
+  if (a.IsIntConst() && b.IsIntConst()) {
+    Bump(stats, RuleId::kConstFold);
+    switch (e.op()) {
+      case Op::kAdd: return pool.Int(a.value() + b.value());
+      case Op::kSub: return pool.Int(a.value() - b.value());
+      case Op::kMul: return pool.Int(a.value() * b.value());
+      default: break;
+    }
+  }
+  const auto is_zero = [](Expr x) { return x.IsIntConst() && x.value() == 0; };
+  const auto is_one = [](Expr x) { return x.IsIntConst() && x.value() == 1; };
+  switch (e.op()) {
+    case Op::kAdd:
+      if (is_zero(a)) { Bump(stats, RuleId::kConstFold); return b; }
+      if (is_zero(b)) { Bump(stats, RuleId::kConstFold); return a; }
+      break;
+    case Op::kSub:
+      if (is_zero(b)) { Bump(stats, RuleId::kConstFold); return a; }
+      if (a == b) { Bump(stats, RuleId::kConstFold); return pool.Int(0); }
+      break;
+    case Op::kMul:
+      if (is_zero(a) || is_zero(b)) {
+        Bump(stats, RuleId::kConstFold);
+        return pool.Int(0);
+      }
+      if (is_one(a)) { Bump(stats, RuleId::kConstFold); return b; }
+      if (is_one(b)) { Bump(stats, RuleId::kConstFold); return a; }
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Expr> ApplyLocalRules(ExprPool& pool, Expr e, RuleStats* stats) {
+  switch (e.op()) {
+    case Op::kNot: return SimplifyNot(pool, e, stats);
+    case Op::kAnd:
+    case Op::kOr: return SimplifyAndOr(pool, e, stats);
+    case Op::kImplies: return SimplifyImplies(pool, e, stats);
+    case Op::kIte: return SimplifyIte(pool, e, stats);
+    case Op::kEq:
+    case Op::kLt:
+    case Op::kLe: return SimplifyAtom(pool, e, stats);
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul: return SimplifyArith(pool, e, stats);
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace ns::simplify

@@ -1,0 +1,54 @@
+// The 15 rewrite rules (after Nazari et al., OOPSLA'23 — the simplification
+// procedure the paper applies to seed specifications, §3 step 3).
+//
+// Each rule is a local, equivalence-preserving transformation; the engine
+// (engine.hpp) applies them bottom-up to a fixpoint ("iteratively ... until
+// no further rules could be applied", paper §4). The paper quotes two of
+// the rules explicitly, which appear here verbatim:
+//   R8  (implication):    false -> a  ≡  true
+//   R6  (complementation): a ∨ ¬a     ≡  true
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "smt/expr.hpp"
+
+namespace ns::simplify {
+
+enum class RuleId : int {
+  kNotConst = 0,     ///< ¬true ≡ false, ¬false ≡ true
+  kDoubleNegation,   ///< ¬¬a ≡ a
+  kAndIdentity,      ///< a ∧ true ≡ a;  a ∧ false ≡ false
+  kOrIdentity,       ///< a ∨ false ≡ a;  a ∨ true ≡ true
+  kIdempotence,      ///< a ∧ a ≡ a;  a ∨ a ≡ a
+  kComplement,       ///< a ∧ ¬a ≡ false;  a ∨ ¬a ≡ true
+  kAbsorption,       ///< a ∧ (a ∨ b) ≡ a;  a ∨ (a ∧ b) ≡ a
+  kImplication,      ///< false→a ≡ true; true→a ≡ a; a→true ≡ true;
+                     ///< a→false ≡ ¬a; a→a ≡ true
+  kIteReduction,     ///< ite(true,a,b) ≡ a; ite(false,a,b) ≡ b;
+                     ///< ite(c,a,a) ≡ a; ite(c,true,false) ≡ c;
+                     ///< ite(c,false,true) ≡ ¬c
+  kReflexivity,      ///< a = a ≡ true;  a < a ≡ false;  a ≤ a ≡ true
+  kConstFold,        ///< constant folding over =, <, ≤, +, −, ×
+  kFlatten,          ///< (a ∧ b) ∧ c ≡ a ∧ b ∧ c (likewise ∨)
+  kUnitPropagation,  ///< a ∧ φ[a] ≡ a ∧ φ[a := true] (a a boolean literal)
+  kEqPropagation,    ///< (x = c) ∧ φ[x] ≡ (x = c) ∧ φ[x := c]
+  kFactoring,        ///< (a ∧ b) ∨ (a ∧ c) ≡ a ∧ (b ∨ c)
+};
+
+inline constexpr int kNumRules = 15;
+
+const char* RuleName(RuleId rule) noexcept;
+
+/// Hit counters, indexed by RuleId.
+using RuleStats = std::array<std::size_t, kNumRules>;
+
+/// Applies the *node-local* rules (all but unit/eq propagation, which need
+/// conjunction context and live in the engine) once at the root of `e`,
+/// assuming children are already simplified. Returns nullopt when no rule
+/// fires. `stats` (optional) is incremented per fired rule.
+std::optional<smt::Expr> ApplyLocalRules(smt::ExprPool& pool, smt::Expr e,
+                                         RuleStats* stats);
+
+}  // namespace ns::simplify

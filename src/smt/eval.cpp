@@ -1,0 +1,94 @@
+#include "smt/eval.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+namespace ns::smt {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<std::int64_t> Eval(Expr e, const Assignment& env) {
+  std::unordered_map<const Node*, std::int64_t> memo;
+  std::optional<Error> failure;
+
+  std::function<std::int64_t(Expr)> go = [&](Expr cur) -> std::int64_t {
+    if (failure) return 0;
+    const auto it = memo.find(cur.raw());
+    if (it != memo.end()) return it->second;
+
+    std::int64_t result = 0;
+    switch (cur.op()) {
+      case Op::kBoolConst:
+      case Op::kIntConst:
+        result = cur.value();
+        break;
+      case Op::kVar: {
+        const auto env_it = env.find(cur.name());
+        if (env_it == env.end()) {
+          failure = Error(ErrorCode::kNotFound,
+                          "unassigned variable '" + cur.name() + "'");
+          return 0;
+        }
+        result = env_it->second;
+        break;
+      }
+      case Op::kNot:
+        result = go(cur.Child(0)) == 0 ? 1 : 0;
+        break;
+      case Op::kAnd: {
+        result = 1;
+        for (std::size_t i = 0; i < cur.NumChildren(); ++i) {
+          if (go(cur.Child(i)) == 0) {
+            result = 0;
+            break;
+          }
+        }
+        break;
+      }
+      case Op::kOr: {
+        result = 0;
+        for (std::size_t i = 0; i < cur.NumChildren(); ++i) {
+          if (go(cur.Child(i)) != 0) {
+            result = 1;
+            break;
+          }
+        }
+        break;
+      }
+      case Op::kImplies:
+        result = (go(cur.Child(0)) == 0 || go(cur.Child(1)) != 0) ? 1 : 0;
+        break;
+      case Op::kIte:
+        result = go(cur.Child(0)) != 0 ? go(cur.Child(1)) : go(cur.Child(2));
+        break;
+      case Op::kEq:
+        result = go(cur.Child(0)) == go(cur.Child(1)) ? 1 : 0;
+        break;
+      case Op::kLt:
+        result = go(cur.Child(0)) < go(cur.Child(1)) ? 1 : 0;
+        break;
+      case Op::kLe:
+        result = go(cur.Child(0)) <= go(cur.Child(1)) ? 1 : 0;
+        break;
+      case Op::kAdd:
+        result = go(cur.Child(0)) + go(cur.Child(1));
+        break;
+      case Op::kSub:
+        result = go(cur.Child(0)) - go(cur.Child(1));
+        break;
+      case Op::kMul:
+        result = go(cur.Child(0)) * go(cur.Child(1));
+        break;
+    }
+    memo.emplace(cur.raw(), result);
+    return result;
+  };
+
+  const std::int64_t value = go(e);
+  if (failure) return *failure;
+  return value;
+}
+
+}  // namespace ns::smt

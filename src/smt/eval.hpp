@@ -1,0 +1,20 @@
+// Concrete evaluation of expressions under a full assignment. Used by
+// property tests to cross-check the simplifier and the Z3 bridge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "smt/expr.hpp"
+#include "util/status.hpp"
+
+namespace ns::smt {
+
+/// Assignment: variable name -> value (bools as 0/1).
+using Assignment = std::map<std::string, std::int64_t>;
+
+/// Evaluates `e` under `env`. Fails (kNotFound) on an unassigned variable.
+util::Result<std::int64_t> Eval(Expr e, const Assignment& env);
+
+}  // namespace ns::smt

@@ -1,0 +1,270 @@
+#include "smt/expr.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace ns::smt {
+
+const char* OpName(Op op) noexcept {
+  switch (op) {
+    case Op::kBoolConst: return "bool";
+    case Op::kIntConst: return "int";
+    case Op::kVar: return "var";
+    case Op::kNot: return "not";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kImplies: return "=>";
+    case Op::kIte: return "ite";
+    case Op::kEq: return "=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
+std::uint64_t NodeHash(const Node& node) noexcept {
+  std::uint64_t h = HashCombine(static_cast<std::uint64_t>(node.op),
+                                static_cast<std::uint64_t>(node.sort) + 17);
+  h = HashCombine(h, static_cast<std::uint64_t>(node.value));
+  h = HashCombine(h, std::hash<std::string>{}(node.name));
+  for (const Node* child : node.children) {
+    h = HashCombine(h, child->hash);
+  }
+  return h;
+}
+
+}  // namespace
+
+ExprPool::ExprPool() {
+  true_ = Intern(Op::kBoolConst, Sort::kBool, 1, {}, {});
+  false_ = Intern(Op::kBoolConst, Sort::kBool, 0, {}, {});
+}
+
+ExprPool::~ExprPool() = default;
+
+Expr ExprPool::Intern(Op op, Sort sort, std::int64_t value, std::string name,
+                      std::vector<const Node*> children) {
+  auto node = std::make_unique<Node>();
+  node->op = op;
+  node->sort = sort;
+  node->value = value;
+  node->name = std::move(name);
+  node->children = std::move(children);
+  node->hash = NodeHash(*node);
+
+  const auto it = interned_.find(node.get());
+  if (it != interned_.end()) return Expr(it->second);
+
+  node->id = static_cast<std::uint32_t>(nodes_.size());
+  const Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  interned_.emplace(raw, raw);
+  return Expr(raw);
+}
+
+Expr ExprPool::Int(std::int64_t value) {
+  return Intern(Op::kIntConst, Sort::kInt, value, {}, {});
+}
+
+Expr ExprPool::Var(std::string_view name, Sort sort) {
+  return Intern(Op::kVar, sort, 0, std::string(name), {});
+}
+
+Expr ExprPool::Not(Expr a) {
+  NS_ASSERT(a.sort() == Sort::kBool);
+  return Intern(Op::kNot, Sort::kBool, 0, {}, {a.raw()});
+}
+
+Expr ExprPool::And(std::span<const Expr> operands) {
+  NS_ASSERT_MSG(!operands.empty(), "And of zero operands");
+  if (operands.size() == 1) return operands.front();
+  std::vector<const Node*> children;
+  children.reserve(operands.size());
+  for (Expr e : operands) {
+    NS_ASSERT(e.sort() == Sort::kBool);
+    children.push_back(e.raw());
+  }
+  return Intern(Op::kAnd, Sort::kBool, 0, {}, std::move(children));
+}
+
+Expr ExprPool::And(std::initializer_list<Expr> operands) {
+  return And(std::span<const Expr>(operands.begin(), operands.size()));
+}
+
+Expr ExprPool::Or(std::span<const Expr> operands) {
+  NS_ASSERT_MSG(!operands.empty(), "Or of zero operands");
+  if (operands.size() == 1) return operands.front();
+  std::vector<const Node*> children;
+  children.reserve(operands.size());
+  for (Expr e : operands) {
+    NS_ASSERT(e.sort() == Sort::kBool);
+    children.push_back(e.raw());
+  }
+  return Intern(Op::kOr, Sort::kBool, 0, {}, std::move(children));
+}
+
+Expr ExprPool::Or(std::initializer_list<Expr> operands) {
+  return Or(std::span<const Expr>(operands.begin(), operands.size()));
+}
+
+Expr ExprPool::Implies(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kBool && b.sort() == Sort::kBool);
+  return Intern(Op::kImplies, Sort::kBool, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Ite(Expr cond, Expr then_e, Expr else_e) {
+  NS_ASSERT(cond.sort() == Sort::kBool);
+  NS_ASSERT(then_e.sort() == else_e.sort());
+  return Intern(Op::kIte, then_e.sort(), 0, {},
+                {cond.raw(), then_e.raw(), else_e.raw()});
+}
+
+Expr ExprPool::Eq(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == b.sort());
+  // Orient commutative atoms by node id so `x = y` and `y = x` intern to
+  // the same node (this is canonicalization of *identity*, not rewriting —
+  // it does not change sizes).
+  if (b < a) std::swap(a, b);
+  return Intern(Op::kEq, Sort::kBool, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Lt(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kInt && b.sort() == Sort::kInt);
+  return Intern(Op::kLt, Sort::kBool, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Le(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kInt && b.sort() == Sort::kInt);
+  return Intern(Op::kLe, Sort::kBool, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Add(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kInt && b.sort() == Sort::kInt);
+  if (b < a) std::swap(a, b);
+  return Intern(Op::kAdd, Sort::kInt, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Sub(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kInt && b.sort() == Sort::kInt);
+  return Intern(Op::kSub, Sort::kInt, 0, {}, {a.raw(), b.raw()});
+}
+
+Expr ExprPool::Mul(Expr a, Expr b) {
+  NS_ASSERT(a.sort() == Sort::kInt && b.sort() == Sort::kInt);
+  if (b < a) std::swap(a, b);
+  return Intern(Op::kMul, Sort::kInt, 0, {}, {a.raw(), b.raw()});
+}
+
+std::vector<Expr> Expr::Children() const {
+  std::vector<Expr> out;
+  out.reserve(node_->children.size());
+  for (const Node* child : node_->children) out.push_back(Expr(child));
+  return out;
+}
+
+std::size_t Expr::DagSize() const {
+  std::set<const Node*> seen;
+  std::vector<const Node*> stack{node_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    for (const Node* child : n->children) stack.push_back(child);
+  }
+  return seen.size();
+}
+
+std::size_t Expr::TreeSize() const {
+  // Memoized over the DAG: tree size of a node = 1 + sum of children's.
+  std::map<const Node*, std::size_t> memo;
+  std::function<std::size_t(const Node*)> go = [&](const Node* n) -> std::size_t {
+    const auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    std::size_t total = 1;
+    for (const Node* child : n->children) total += go(child);
+    memo[n] = total;
+    return total;
+  };
+  return go(node_);
+}
+
+std::vector<Expr> Expr::FreeVars() const {
+  std::set<const Node*> seen;
+  std::map<std::string, Expr> vars;
+  std::vector<const Node*> stack{node_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (n->op == Op::kVar) vars.emplace(n->name, Expr(n));
+    for (const Node* child : n->children) stack.push_back(child);
+  }
+  std::vector<Expr> out;
+  out.reserve(vars.size());
+  for (const auto& [name, e] : vars) out.push_back(e);
+  return out;
+}
+
+Expr Substitute(ExprPool& pool, Expr e,
+                const std::unordered_map<std::string, Expr>& env) {
+  std::unordered_map<const Node*, Expr> memo;
+  std::function<Expr(Expr)> go = [&](Expr cur) -> Expr {
+    const auto it = memo.find(cur.raw());
+    if (it != memo.end()) return it->second;
+    Expr result = cur;
+    if (cur.IsVar()) {
+      const auto env_it = env.find(cur.name());
+      if (env_it != env.end()) {
+        NS_ASSERT_MSG(env_it->second.sort() == cur.sort(),
+                      "substitution changes sort of " + cur.name());
+        result = env_it->second;
+      }
+    } else if (cur.NumChildren() > 0) {
+      std::vector<Expr> children;
+      children.reserve(cur.NumChildren());
+      bool changed = false;
+      for (std::size_t i = 0; i < cur.NumChildren(); ++i) {
+        Expr child = go(cur.Child(i));
+        changed = changed || child != cur.Child(i);
+        children.push_back(child);
+      }
+      if (changed) {
+        switch (cur.op()) {
+          case Op::kNot: result = pool.Not(children[0]); break;
+          case Op::kAnd: result = pool.And(children); break;
+          case Op::kOr: result = pool.Or(children); break;
+          case Op::kImplies:
+            result = pool.Implies(children[0], children[1]);
+            break;
+          case Op::kIte:
+            result = pool.Ite(children[0], children[1], children[2]);
+            break;
+          case Op::kEq: result = pool.Eq(children[0], children[1]); break;
+          case Op::kLt: result = pool.Lt(children[0], children[1]); break;
+          case Op::kLe: result = pool.Le(children[0], children[1]); break;
+          case Op::kAdd: result = pool.Add(children[0], children[1]); break;
+          case Op::kSub: result = pool.Sub(children[0], children[1]); break;
+          case Op::kMul: result = pool.Mul(children[0], children[1]); break;
+          default:
+            NS_ASSERT_MSG(false, "substitute: unexpected op");
+        }
+      }
+    }
+    memo.emplace(cur.raw(), result);
+    return result;
+  };
+  return go(e);
+}
+
+}  // namespace ns::smt

@@ -1,0 +1,184 @@
+// Hash-consed two-sorted (Bool/Int) expression DAG.
+//
+// This IR is what the synthesizer's encoder emits, what the rewrite-rule
+// simplifier operates on, and what the Z3 bridge translates for solving.
+// Construction is deliberately *not* simplifying (beyond structural
+// sharing): the paper's metric is "constraints before vs. after applying
+// the rewrite rules", so building must preserve the raw encoded form.
+//
+// Nodes are owned by an ExprPool; `Expr` is a cheap value handle valid for
+// the pool's lifetime. Structural equality is pointer equality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ns::smt {
+
+enum class Sort : std::uint8_t { kBool, kInt };
+
+enum class Op : std::uint8_t {
+  // leaves
+  kBoolConst,  // payload: value 0/1
+  kIntConst,   // payload: value
+  kVar,        // payload: name, sort
+  // boolean connectives
+  kNot,
+  kAnd,  // n-ary, n >= 2
+  kOr,   // n-ary, n >= 2
+  kImplies,
+  kIte,  // ite(cond, then, else); then/else share a sort
+  // atoms
+  kEq,  // polymorphic over the children's (equal) sort
+  kLt,
+  kLe,
+  // integer arithmetic
+  kAdd,
+  kSub,
+  kMul,
+};
+
+const char* OpName(Op op) noexcept;
+
+class ExprPool;
+
+struct Node {
+  Op op;
+  Sort sort;
+  std::int64_t value = 0;      // kBoolConst / kIntConst
+  std::string name;            // kVar
+  std::vector<const Node*> children;
+  std::uint64_t hash = 0;      // precomputed structural hash
+  std::uint32_t id = 0;        // creation index within the pool
+};
+
+/// Value handle to a pool-owned node.
+class Expr {
+ public:
+  Expr() = default;
+
+  bool IsNull() const noexcept { return node_ == nullptr; }
+  Op op() const noexcept { return node_->op; }
+  Sort sort() const noexcept { return node_->sort; }
+  std::int64_t value() const noexcept { return node_->value; }
+  const std::string& name() const noexcept { return node_->name; }
+  std::uint32_t id() const noexcept { return node_->id; }
+
+  std::size_t NumChildren() const noexcept { return node_->children.size(); }
+  Expr Child(std::size_t i) const noexcept { return Expr(node_->children[i]); }
+  std::vector<Expr> Children() const;
+
+  bool IsBoolConst() const noexcept { return node_->op == Op::kBoolConst; }
+  bool IsIntConst() const noexcept { return node_->op == Op::kIntConst; }
+  bool IsConst() const noexcept { return IsBoolConst() || IsIntConst(); }
+  bool IsVar() const noexcept { return node_->op == Op::kVar; }
+  bool IsTrue() const noexcept { return IsBoolConst() && value() != 0; }
+  bool IsFalse() const noexcept { return IsBoolConst() && value() == 0; }
+
+  /// Structural equality == identity thanks to hash-consing.
+  friend bool operator==(Expr a, Expr b) noexcept { return a.node_ == b.node_; }
+  friend bool operator!=(Expr a, Expr b) noexcept { return a.node_ != b.node_; }
+  /// Stable order by creation index (deterministic across runs).
+  friend bool operator<(Expr a, Expr b) noexcept {
+    return a.node_->id < b.node_->id;
+  }
+
+  const Node* raw() const noexcept { return node_; }
+
+  /// Number of nodes in the DAG reachable from this expression (shared
+  /// nodes counted once).
+  std::size_t DagSize() const;
+  /// Number of nodes of the expression viewed as a tree (shared nodes
+  /// counted at every occurrence). This is the "constraint size" metric.
+  std::size_t TreeSize() const;
+  /// Free variables, sorted by name.
+  std::vector<Expr> FreeVars() const;
+
+  std::string ToString() const;  // SMT-LIB-ish, defined in printer.cpp
+
+ private:
+  friend class ExprPool;
+  explicit Expr(const Node* node) noexcept : node_(node) {}
+  const Node* node_ = nullptr;
+};
+
+struct ExprHash {
+  std::size_t operator()(Expr e) const noexcept {
+    return std::hash<const void*>{}(e.raw());
+  }
+};
+
+/// Owns nodes and guarantees structural uniqueness (hash-consing).
+/// Not thread-safe; one pool per pipeline run.
+class ExprPool {
+ public:
+  ExprPool();
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+  ~ExprPool();
+
+  Expr True() noexcept { return true_; }
+  Expr False() noexcept { return false_; }
+  Expr Bool(bool value) noexcept { return value ? true_ : false_; }
+  Expr Int(std::int64_t value);
+  Expr Var(std::string_view name, Sort sort);
+
+  Expr Not(Expr a);
+  /// N-ary conjunction/disjunction. Requires >= 1 operand; a single operand
+  /// is returned unchanged (no unary And nodes).
+  Expr And(std::span<const Expr> operands);
+  Expr And(std::initializer_list<Expr> operands);
+  Expr Or(std::span<const Expr> operands);
+  Expr Or(std::initializer_list<Expr> operands);
+  Expr Implies(Expr a, Expr b);
+  Expr Ite(Expr cond, Expr then_e, Expr else_e);
+
+  Expr Eq(Expr a, Expr b);
+  Expr Ne(Expr a, Expr b) { return Not(Eq(a, b)); }
+  Expr Lt(Expr a, Expr b);
+  Expr Le(Expr a, Expr b);
+  Expr Gt(Expr a, Expr b) { return Lt(b, a); }
+  Expr Ge(Expr a, Expr b) { return Le(b, a); }
+
+  Expr Add(Expr a, Expr b);
+  Expr Sub(Expr a, Expr b);
+  Expr Mul(Expr a, Expr b);
+
+  /// Capacity introspection (bench metrics).
+  std::size_t NumNodes() const noexcept { return nodes_.size(); }
+
+ private:
+  Expr Intern(Op op, Sort sort, std::int64_t value, std::string name,
+              std::vector<const Node*> children);
+
+  struct KeyHash {
+    std::size_t operator()(const Node* node) const noexcept {
+      return node->hash;
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Node* a, const Node* b) const noexcept {
+      return a->op == b->op && a->sort == b->sort && a->value == b->value &&
+             a->name == b->name && a->children == b->children;
+    }
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<const Node*, const Node*, KeyHash, KeyEq> interned_;
+  Expr true_;
+  Expr false_;
+};
+
+/// Substitutes variables by expressions throughout `e` (parallel
+/// substitution; results are pool-interned). Used by partial evaluation.
+Expr Substitute(ExprPool& pool, Expr e,
+                const std::unordered_map<std::string, Expr>& env);
+
+}  // namespace ns::smt

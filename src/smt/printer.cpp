@@ -1,0 +1,37 @@
+#include <sstream>
+
+#include "smt/expr.hpp"
+
+namespace ns::smt {
+
+namespace {
+void Print(std::ostringstream& os, Expr e) {
+  switch (e.op()) {
+    case Op::kBoolConst:
+      os << (e.IsTrue() ? "true" : "false");
+      return;
+    case Op::kIntConst:
+      os << e.value();
+      return;
+    case Op::kVar:
+      os << e.name();
+      return;
+    default:
+      break;
+  }
+  os << '(' << OpName(e.op());
+  for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+    os << ' ';
+    Print(os, e.Child(i));
+  }
+  os << ')';
+}
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  Print(os, *this);
+  return os.str();
+}
+
+}  // namespace ns::smt

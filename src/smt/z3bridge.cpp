@@ -1,0 +1,229 @@
+#include "smt/z3bridge.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <unordered_map>
+
+#include <z3++.h>
+
+namespace ns::smt {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* OutcomeName(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kSat: return "sat";
+    case Outcome::kUnsat: return "unsat";
+    case Outcome::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+struct Z3Session::Impl {
+  z3::context ctx;
+  std::unordered_map<const Node*, z3::expr> cache;
+
+  z3::expr Translate(Expr e) {
+    const auto it = cache.find(e.raw());
+    if (it != cache.end()) return it->second;
+
+    z3::expr result(ctx);
+    switch (e.op()) {
+      case Op::kBoolConst:
+        result = ctx.bool_val(e.IsTrue());
+        break;
+      case Op::kIntConst:
+        result = ctx.int_val(static_cast<std::int64_t>(e.value()));
+        break;
+      case Op::kVar:
+        result = e.sort() == Sort::kBool
+                     ? ctx.bool_const(e.name().c_str())
+                     : ctx.int_const(e.name().c_str());
+        break;
+      case Op::kNot:
+        result = !Translate(e.Child(0));
+        break;
+      case Op::kAnd: {
+        z3::expr_vector parts(ctx);
+        for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+          parts.push_back(Translate(e.Child(i)));
+        }
+        result = z3::mk_and(parts);
+        break;
+      }
+      case Op::kOr: {
+        z3::expr_vector parts(ctx);
+        for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+          parts.push_back(Translate(e.Child(i)));
+        }
+        result = z3::mk_or(parts);
+        break;
+      }
+      case Op::kImplies:
+        result = z3::implies(Translate(e.Child(0)), Translate(e.Child(1)));
+        break;
+      case Op::kIte:
+        result = z3::ite(Translate(e.Child(0)), Translate(e.Child(1)),
+                         Translate(e.Child(2)));
+        break;
+      case Op::kEq:
+        result = Translate(e.Child(0)) == Translate(e.Child(1));
+        break;
+      case Op::kLt:
+        result = Translate(e.Child(0)) < Translate(e.Child(1));
+        break;
+      case Op::kLe:
+        result = Translate(e.Child(0)) <= Translate(e.Child(1));
+        break;
+      case Op::kAdd:
+        result = Translate(e.Child(0)) + Translate(e.Child(1));
+        break;
+      case Op::kSub:
+        result = Translate(e.Child(0)) - Translate(e.Child(1));
+        break;
+      case Op::kMul:
+        result = Translate(e.Child(0)) * Translate(e.Child(1));
+        break;
+    }
+    cache.emplace(e.raw(), result);
+    return result;
+  }
+
+  z3::expr Conjunction(std::span<const Expr> constraints) {
+    z3::expr_vector parts(ctx);
+    for (Expr e : constraints) parts.push_back(Translate(e));
+    return parts.empty() ? ctx.bool_val(true) : z3::mk_and(parts);
+  }
+
+  static std::size_t AstSize(const z3::expr& e) {
+    // Tree-size over the Z3 AST, memoized on node ids (DAG-aware walk,
+    // tree-size metric to match Expr::TreeSize).
+    std::unordered_map<unsigned, std::size_t> memo;
+    std::function<std::size_t(const z3::expr&)> go =
+        [&](const z3::expr& cur) -> std::size_t {
+      const unsigned id = Z3_get_ast_id(cur.ctx(), cur);
+      const auto it = memo.find(id);
+      if (it != memo.end()) return it->second;
+      std::size_t total = 1;
+      if (cur.is_app()) {
+        for (unsigned i = 0; i < cur.num_args(); ++i) {
+          total += go(cur.arg(i));
+        }
+      }
+      memo.emplace(id, total);
+      return total;
+    };
+    return go(e);
+  }
+};
+
+Z3Session::Z3Session() : impl_(std::make_unique<Impl>()) {}
+Z3Session::~Z3Session() = default;
+
+Outcome Z3Session::CheckSat(std::span<const Expr> constraints) {
+  z3::solver solver(impl_->ctx);
+  for (Expr e : constraints) solver.add(impl_->Translate(e));
+  switch (solver.check()) {
+    case z3::sat: return Outcome::kSat;
+    case z3::unsat: return Outcome::kUnsat;
+    default: return Outcome::kUnknown;
+  }
+}
+
+Result<Assignment> Z3Session::Solve(std::span<const Expr> constraints,
+                                    std::span<const Expr> vars) {
+  z3::solver solver(impl_->ctx);
+  for (Expr e : constraints) solver.add(impl_->Translate(e));
+  const auto verdict = solver.check();
+  if (verdict == z3::unsat) {
+    return Error(ErrorCode::kUnsat, "constraints are unsatisfiable");
+  }
+  if (verdict != z3::sat) {
+    return Error(ErrorCode::kInternal, "Z3 returned unknown");
+  }
+  const z3::model model = solver.get_model();
+  Assignment assignment;
+  for (Expr var : vars) {
+    NS_ASSERT(var.IsVar());
+    const z3::expr value = model.eval(impl_->Translate(var),
+                                      /*model_completion=*/true);
+    std::int64_t out = 0;
+    if (value.is_bool()) {
+      out = value.bool_value() == Z3_L_TRUE ? 1 : 0;
+    } else {
+      out = value.get_numeral_int64();
+    }
+    assignment[var.name()] = out;
+  }
+  return assignment;
+}
+
+bool Z3Session::IsValid(Expr e) {
+  z3::solver solver(impl_->ctx);
+  solver.add(!impl_->Translate(e));
+  return solver.check() == z3::unsat;
+}
+
+bool Z3Session::AreEquivalent(Expr a, Expr b) {
+  z3::solver solver(impl_->ctx);
+  solver.add(impl_->Translate(a) != impl_->Translate(b));
+  return solver.check() == z3::unsat;
+}
+
+bool Z3Session::Implies(Expr antecedent, Expr consequent) {
+  z3::solver solver(impl_->ctx);
+  solver.add(impl_->Translate(antecedent));
+  solver.add(!impl_->Translate(consequent));
+  return solver.check() == z3::unsat;
+}
+
+Result<std::vector<std::string>> Z3Session::UnsatCore(
+    std::span<const Expr> hard,
+    std::span<const std::pair<std::string, Expr>> labeled) {
+  z3::solver solver(impl_->ctx);
+  for (Expr e : hard) solver.add(impl_->Translate(e));
+
+  // Assumption tracking: label_i => constraint_i, check under the labels.
+  z3::expr_vector assumptions(impl_->ctx);
+  std::map<unsigned, std::string> by_id;
+  for (const auto& [label, constraint] : labeled) {
+    const std::string marker = "!core!" + label;
+    const z3::expr tracker = impl_->ctx.bool_const(marker.c_str());
+    solver.add(z3::implies(tracker, impl_->Translate(constraint)));
+    assumptions.push_back(tracker);
+    by_id.emplace(Z3_get_ast_id(impl_->ctx, tracker), label);
+  }
+
+  const auto verdict = solver.check(assumptions);
+  if (verdict == z3::sat) return std::vector<std::string>{};
+  if (verdict != z3::unsat) {
+    return Error(ErrorCode::kInternal, "Z3 returned unknown during core "
+                                       "extraction");
+  }
+  std::set<std::string> labels;
+  const z3::expr_vector core = solver.unsat_core();
+  for (unsigned i = 0; i < core.size(); ++i) {
+    const auto it = by_id.find(Z3_get_ast_id(impl_->ctx, core[i]));
+    if (it != by_id.end()) labels.insert(it->second);
+  }
+  return std::vector<std::string>(labels.begin(), labels.end());
+}
+
+std::size_t Z3Session::GenericSimplifiedSize(std::span<const Expr> constraints) {
+  const z3::expr simplified = impl_->Conjunction(constraints).simplify();
+  return Impl::AstSize(simplified);
+}
+
+std::string Z3Session::GenericSimplifiedText(std::span<const Expr> constraints) {
+  const z3::expr simplified = impl_->Conjunction(constraints).simplify();
+  std::ostringstream os;
+  os << simplified;
+  return os.str();
+}
+
+}  // namespace ns::smt

@@ -1,0 +1,69 @@
+// RAII bridge from the expression IR to the native Z3 C++ API.
+//
+// One `Z3Session` wraps one z3::context plus a translation cache. All Z3
+// types stay behind this interface — the rest of the library never includes
+// z3++.h, so the solver could be swapped without touching the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "util/status.hpp"
+
+namespace ns::smt {
+
+enum class Outcome { kSat, kUnsat, kUnknown };
+
+const char* OutcomeName(Outcome outcome) noexcept;
+
+class Z3Session {
+ public:
+  Z3Session();
+  ~Z3Session();
+  Z3Session(const Z3Session&) = delete;
+  Z3Session& operator=(const Z3Session&) = delete;
+
+  /// Checks satisfiability of the conjunction of `constraints`.
+  Outcome CheckSat(std::span<const Expr> constraints);
+
+  /// Checks satisfiability and, if sat, extracts values for `vars`
+  /// (variables the model does not mention default to 0).
+  util::Result<Assignment> Solve(std::span<const Expr> constraints,
+                                 std::span<const Expr> vars);
+
+  /// True iff `e` holds under every assignment.
+  bool IsValid(Expr e);
+
+  /// True iff `a` and `b` agree under every assignment.
+  bool AreEquivalent(Expr a, Expr b);
+
+  /// True iff `antecedent` implies `consequent` under every assignment.
+  bool Implies(Expr antecedent, Expr consequent);
+
+  /// Checks `hard ∧ labeled` and, when unsatisfiable, returns the labels
+  /// of a conflicting subset of the labeled constraints (Z3 unsat core via
+  /// assumption tracking; not guaranteed minimal). Returns an empty vector
+  /// when satisfiable.
+  util::Result<std::vector<std::string>> UnsatCore(
+      std::span<const Expr> hard,
+      std::span<const std::pair<std::string, Expr>> labeled);
+
+  /// Baseline metric for E8: translates the conjunction to Z3, applies
+  /// Z3's generic `simplify`, and reports the resulting AST node count.
+  std::size_t GenericSimplifiedSize(std::span<const Expr> constraints);
+
+  /// Same, but returns the textual form (for reports).
+  std::string GenericSimplifiedText(std::span<const Expr> constraints);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ns::smt

@@ -1,0 +1,94 @@
+#include "spec/ast.hpp"
+
+#include <sstream>
+
+namespace ns::spec {
+
+bool PathPattern::HasWildcard() const noexcept {
+  for (const PathElem& e : elems) {
+    if (e.IsWildcard()) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PathPattern::NodeNames() const {
+  std::vector<std::string> out;
+  for (const PathElem& e : elems) {
+    if (!e.IsWildcard()) out.push_back(e.name);
+  }
+  return out;
+}
+
+std::string PathPattern::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i != 0) os << "->";
+    os << (elems[i].IsWildcard() ? "..." : elems[i].name);
+  }
+  return os.str();
+}
+
+std::string ToString(const Statement& stmt) {
+  std::ostringstream os;
+  if (const auto* forbid = std::get_if<ForbidStmt>(&stmt)) {
+    os << "!(" << forbid->path.ToString() << ")";
+  } else if (const auto* prefer = std::get_if<PreferStmt>(&stmt)) {
+    for (std::size_t i = 0; i < prefer->ranking.size(); ++i) {
+      if (i != 0) os << " >> ";
+      os << "(" << prefer->ranking[i].ToString() << ")";
+    }
+  } else if (const auto* allow = std::get_if<AllowStmt>(&stmt)) {
+    os << "(" << allow->path.ToString() << ")";
+  }
+  return os.str();
+}
+
+std::string Requirement::ToString() const {
+  std::ostringstream os;
+  os << name;
+  if (scope_router) {
+    // Localized block headers render as "<router>" / "<router> to <peer>",
+    // matching the paper's Figs. 2 and 5 (`name` holds the router name).
+    if (scope_peer) os << " to " << *scope_peer;
+  }
+  os << " {\n";
+  for (const Statement& stmt : statements) {
+    os << "  " << spec::ToString(stmt) << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+const DestDecl* Spec::FindDestination(std::string_view name) const noexcept {
+  for (const DestDecl& d : destinations) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const Requirement* Spec::FindRequirement(std::string_view name) const noexcept {
+  for (const Requirement& r : requirements) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string Spec::ToString() const {
+  std::ostringstream os;
+  for (const DestDecl& d : destinations) {
+    os << "dest " << d.name << " = " << d.prefix.ToString() << " at ";
+    for (std::size_t i = 0; i < d.origins.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << d.origins[i];
+    }
+    os << "\n";
+  }
+  if (!destinations.empty() && !requirements.empty()) os << "\n";
+  for (std::size_t i = 0; i < requirements.size(); ++i) {
+    if (i != 0) os << "\n";
+    os << requirements[i].ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ns::spec

@@ -1,0 +1,145 @@
+// AST for the NetComplete-style routing requirement language used by the
+// paper for both global specifications and localized subspecifications.
+//
+// Global specification (paper Fig. 1a / Fig. 3):
+//
+//   dest D1 = 128.0.1.0/24
+//
+//   // No transit traffic
+//   Req1 {
+//     !(P1->...->P2)
+//     !(P2->...->P1)
+//   }
+//
+//   Req2 {
+//     (Cust->R3->R1->P1->...->D1)
+//     >> (Cust->R3->R2->P2->...->D1)
+//   }
+//
+// Localized subspecification (paper Figs. 2, 4, 5) — same statement forms,
+// but the block is scoped to a router (optionally a router/peer interface):
+//
+//   R3 {
+//     preference { (R3->R1->P1->...->D1) >> (R3->R2->P2->...->D1) }
+//     !(R3->R1->R2->P2->...->D1)
+//   }
+//
+//   R2 to P2 { !(P1->R1->R2->P2) }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace ns::spec {
+
+// Pattern-direction convention (see DESIGN.md):
+//  - A pattern whose final element is a *declared destination name* reads
+//    in TRAFFIC direction: source router first, destination last
+//    (Fig. 3: `Cust->R3->R1->P1->...->D1`).
+//  - A pattern of router names only reads in ROUTE-ANNOUNCEMENT direction:
+//    origin first ("routes from P1 to P2", Fig. 5: `P1->R1->R2->P2`;
+//    Fig. 2: `R1->P1` = routes R1 announces to P1).
+// This is the convention under which all of the paper's figures type-check
+// against its prose.
+
+/// One element of a path pattern: a concrete node name or the `...`
+/// wildcard, which matches zero or more intermediate nodes.
+struct PathElem {
+  enum class Kind { kNode, kWildcard };
+  Kind kind = Kind::kNode;
+  std::string name;  ///< valid iff kind == kNode
+
+  static PathElem Node(std::string n) {
+    return PathElem{Kind::kNode, std::move(n)};
+  }
+  static PathElem Wildcard() { return PathElem{Kind::kWildcard, {}}; }
+
+  bool IsWildcard() const noexcept { return kind == Kind::kWildcard; }
+  friend bool operator==(const PathElem&, const PathElem&) = default;
+};
+
+/// A path pattern like `P1->...->P2`. Names refer to routers or declared
+/// destinations (resolution happens at check/encode time).
+struct PathPattern {
+  std::vector<PathElem> elems;
+
+  bool HasWildcard() const noexcept;
+  /// True if every element is a concrete node (directly a topology path).
+  bool IsConcrete() const noexcept { return !HasWildcard(); }
+  /// Names of concrete elements, in order.
+  std::vector<std::string> NodeNames() const;
+  std::string ToString() const;
+
+  friend bool operator==(const PathPattern&, const PathPattern&) = default;
+};
+
+/// `!(pattern)` — no announcement/traffic may follow a path matching the
+/// pattern.
+struct ForbidStmt {
+  PathPattern path;
+  friend bool operator==(const ForbidStmt&, const ForbidStmt&) = default;
+};
+
+/// `(p1) >> (p2) >> ...` — p1 is strictly preferred over p2, etc. The last
+/// element of every pattern must be the same destination name.
+struct PreferStmt {
+  std::vector<PathPattern> ranking;  ///< most preferred first; size >= 2
+  friend bool operator==(const PreferStmt&, const PreferStmt&) = default;
+};
+
+/// `(pattern)` on its own — at least one path matching the pattern must be
+/// usable (routes propagate along it). Used when refining scenario 1
+/// ("allow routes from Provider 1 to the customer network").
+struct AllowStmt {
+  PathPattern path;
+  friend bool operator==(const AllowStmt&, const AllowStmt&) = default;
+};
+
+using Statement = std::variant<ForbidStmt, PreferStmt, AllowStmt>;
+
+std::string ToString(const Statement& stmt);
+
+/// A named requirement block. For global specs the scope fields are empty;
+/// for localized subspecifications `scope_router` (and optionally
+/// `scope_peer`, the `to <peer>` form) identify the component.
+struct Requirement {
+  std::string name;
+  std::optional<std::string> scope_router;
+  std::optional<std::string> scope_peer;
+  std::vector<Statement> statements;
+
+  bool IsLocalized() const noexcept { return scope_router.has_value(); }
+  std::string ToString() const;
+  friend bool operator==(const Requirement&, const Requirement&) = default;
+};
+
+/// `dest D1 = 128.0.1.0/24 at P1, P2` — binds a destination name to a
+/// prefix announced by one or more origin routers. Multiple origins model
+/// multi-homed destinations like the paper's D1, reachable through both
+/// providers (Fig. 3).
+struct DestDecl {
+  std::string name;
+  net::Prefix prefix;
+  std::vector<std::string> origins;
+  friend bool operator==(const DestDecl&, const DestDecl&) = default;
+};
+
+/// A parsed specification file: destination declarations plus requirements.
+struct Spec {
+  std::vector<DestDecl> destinations;
+  std::vector<Requirement> requirements;
+
+  const DestDecl* FindDestination(std::string_view name) const noexcept;
+  const Requirement* FindRequirement(std::string_view name) const noexcept;
+
+  /// Re-renders the spec in canonical DSL syntax (parse(ToString()) == *this).
+  std::string ToString() const;
+
+  friend bool operator==(const Spec&, const Spec&) = default;
+};
+
+}  // namespace ns::spec

@@ -1,0 +1,227 @@
+#include "spec/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "spec/matcher.hpp"
+#include "util/strings.hpp"
+
+namespace ns::spec {
+
+namespace {
+
+std::string FormatSeq(const std::vector<std::string>& seq) {
+  return util::Join(seq, " -> ");
+}
+
+class CheckerImpl {
+ public:
+  CheckerImpl(const Spec& spec, const RoutingOutcome& outcome,
+              CheckOptions options)
+      : spec_(spec), outcome_(outcome), options_(options) {}
+
+  CheckResult Run() {
+    for (const Requirement& req : spec_.requirements) {
+      if (req.IsLocalized()) continue;  // subspecs are validated elsewhere
+      for (const Statement& stmt : req.statements) {
+        std::visit([&](const auto& s) { CheckStmt(req, stmt, s); }, stmt);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void AddViolation(const Requirement& req, const Statement& stmt,
+                    std::string detail) {
+    result_.violations.push_back(
+        Violation{req.name, spec::ToString(stmt), std::move(detail)});
+  }
+
+  /// True if the pattern reads in traffic direction (ends at a declared
+  /// destination name).
+  bool IsTrafficPattern(const PathPattern& pattern) const {
+    return spec_.FindDestination(pattern.elems.back().name) != nullptr;
+  }
+
+  /// Is this route covered by an AllowStmt anywhere in the spec?
+  bool ExplicitlyAllowed(const std::string& dest,
+                         const AnnouncementPath& via) const {
+    for (const Requirement& req : spec_.requirements) {
+      if (req.IsLocalized()) continue;
+      for (const Statement& stmt : req.statements) {
+        const auto* allow = std::get_if<AllowStmt>(&stmt);
+        if (allow != nullptr && PatternHitsRoute(allow->path, dest, via)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Does `pattern` occur (as an infix) along a usable route for `dest`?
+  bool PatternHitsRoute(const PathPattern& pattern, const std::string& dest,
+                        const AnnouncementPath& via) const {
+    if (IsTrafficPattern(pattern)) {
+      if (pattern.elems.back().name != dest) return false;
+      return MatchesInfix(pattern, TrafficSequence(via, dest));
+    }
+    return MatchesInfix(pattern, via);
+  }
+
+  // A forbidden pattern must not occur along any usable route for any
+  // destination (best routes are a subset of usable routes).
+  void CheckStmt(const Requirement& req, const Statement& stmt,
+                 const ForbidStmt& forbid) {
+    for (const auto& [dest, vias] : outcome_.usable) {
+      for (const AnnouncementPath& via : vias) {
+        if (PatternHitsRoute(forbid.path, dest, via)) {
+          AddViolation(req, stmt,
+                       "usable route for " + dest +
+                           " traverses forbidden pattern: " + FormatSeq(via) +
+                           " (announcement direction)");
+        }
+      }
+    }
+  }
+
+  // At least one usable route must realize the pattern.
+  void CheckStmt(const Requirement& req, const Statement& stmt,
+                 const AllowStmt& allow) {
+    for (const auto& [dest, vias] : outcome_.usable) {
+      for (const AnnouncementPath& via : vias) {
+        if (PatternHitsRoute(allow.path, dest, via)) return;  // satisfied
+      }
+    }
+    AddViolation(req, stmt, "no usable route matches the allow pattern");
+  }
+
+  void CheckStmt(const Requirement& req, const Statement& stmt,
+                 const PreferStmt& prefer) {
+    if (prefer.ranking.size() < 2) {
+      AddViolation(req, stmt, "preference needs at least two paths");
+      return;
+    }
+    const std::string src = prefer.ranking.front().elems.front().name;
+    const std::string dest = prefer.ranking.front().elems.back().name;
+    for (const PathPattern& p : prefer.ranking) {
+      if (p.elems.front().name != src || p.elems.back().name != dest) {
+        AddViolation(req, stmt,
+                     "ranked paths must share source and destination");
+        return;
+      }
+    }
+    if (spec_.FindDestination(dest) == nullptr) {
+      AddViolation(req, stmt, "preference destination '" + dest +
+                                  "' is not a declared dest");
+      return;
+    }
+
+    // Usable candidates arriving at src.
+    std::vector<AnnouncementPath> at_src;
+    const auto usable_it = outcome_.usable.find(dest);
+    if (usable_it != outcome_.usable.end()) {
+      for (const AnnouncementPath& via : usable_it->second) {
+        if (!via.empty() && via.back() == src) at_src.push_back(via);
+      }
+    }
+
+    const auto matches_rank = [&](const PathPattern& pattern,
+                                  const AnnouncementPath& via) {
+      return MatchesExactly(pattern, TrafficSequence(via, dest));
+    };
+
+    // Which ranked pattern (if any) has a usable instance at src?
+    int best_available = -1;
+    for (std::size_t i = 0; i < prefer.ranking.size(); ++i) {
+      const bool available = std::any_of(
+          at_src.begin(), at_src.end(), [&](const AnnouncementPath& via) {
+            return matches_rank(prefer.ranking[i], via);
+          });
+      if (available) {
+        best_available = static_cast<int>(i);
+        break;
+      }
+    }
+
+    if (options_.preference == PreferenceSemantics::kStrictBlocked) {
+      // Every usable candidate at src must match one of the ranked
+      // patterns — or be explicitly allowed elsewhere in the spec (the
+      // fallback exemption of scenario 2's refinement).
+      for (const AnnouncementPath& via : at_src) {
+        const bool ranked =
+            std::any_of(prefer.ranking.begin(), prefer.ranking.end(),
+                        [&](const PathPattern& pattern) {
+                          return matches_rank(pattern, via);
+                        });
+        if (ranked) continue;
+        if (ExplicitlyAllowed(dest, via)) continue;
+        AddViolation(req, stmt,
+                     "unspecified path is usable (strict semantics): " +
+                         FormatSeq(TrafficSequence(via, dest)));
+      }
+    }
+
+    // The forwarding route at src must follow the best available pattern.
+    const AnnouncementPath* fwd = nullptr;
+    const auto fwd_dest = outcome_.forwarding.find(dest);
+    if (fwd_dest != outcome_.forwarding.end()) {
+      const auto fwd_src = fwd_dest->second.find(src);
+      if (fwd_src != fwd_dest->second.end()) fwd = &fwd_src->second;
+    }
+    if (best_available < 0) {
+      if (options_.preference == PreferenceSemantics::kStrictBlocked && fwd) {
+        AddViolation(req, stmt,
+                     "no ranked path available, but traffic still flows: " +
+                         FormatSeq(TrafficSequence(*fwd, dest)));
+      }
+      return;
+    }
+    if (fwd == nullptr) {
+      AddViolation(req, stmt, "ranked path available but " + src +
+                                  " has no route to " + dest);
+      return;
+    }
+    const auto& want = prefer.ranking[static_cast<std::size_t>(best_available)];
+    if (!matches_rank(want, *fwd)) {
+      AddViolation(req, stmt,
+                   "forwarding path " + FormatSeq(TrafficSequence(*fwd, dest)) +
+                       " does not follow the most preferred available path " +
+                       want.ToString());
+    }
+  }
+
+  const Spec& spec_;
+  const RoutingOutcome& outcome_;
+  CheckOptions options_;
+  CheckResult result_;
+};
+
+}  // namespace
+
+std::vector<std::string> TrafficSequence(const AnnouncementPath& via,
+                                         const std::string& dest_name) {
+  std::vector<std::string> seq(via.rbegin(), via.rend());
+  seq.push_back(dest_name);
+  return seq;
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << requirement << ": " << statement << " — " << detail;
+  return os.str();
+}
+
+std::string CheckResult::ToString() const {
+  if (ok()) return "all requirements satisfied";
+  std::ostringstream os;
+  os << util::Plural(violations.size(), "violation") << ":\n";
+  for (const Violation& v : violations) os << "  " << v.ToString() << "\n";
+  return os.str();
+}
+
+CheckResult Check(const Spec& spec, const RoutingOutcome& outcome,
+                  CheckOptions options) {
+  return CheckerImpl(spec, outcome, options).Run();
+}
+
+}  // namespace ns::spec

@@ -1,0 +1,76 @@
+// Validates a specification against an observed routing outcome.
+//
+// The checker is deliberately independent of the SMT encoder: the outcome
+// comes from the concrete BGP simulator (bgp::Simulator), so synthesized
+// configurations are validated by a second, unrelated implementation of the
+// protocol semantics — mirroring the paper's concern that synthesizers and
+// verifiers themselves can be buggy.
+//
+// Direction convention (see ast.hpp): route-only patterns are matched
+// against announcement paths (origin router first); patterns ending in a
+// declared destination are matched against traffic sequences
+// (reverse(announcement path) + destination name).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "util/status.hpp"
+
+namespace ns::spec {
+
+/// Announcement path: router names in propagation order, origin first.
+using AnnouncementPath = std::vector<std::string>;
+
+struct RoutingOutcome {
+  /// destination name -> every announcement path along which a usable
+  /// (accepted, not necessarily best) route exists. Each path runs from an
+  /// origin of the destination to the router holding the route.
+  std::map<std::string, std::vector<AnnouncementPath>> usable;
+
+  /// destination name -> router name -> announcement path of the router's
+  /// best (forwarding) route; absent when the router has no route.
+  std::map<std::string, std::map<std::string, AnnouncementPath>> forwarding;
+};
+
+/// Traffic-direction node sequence for a usable route: reversed
+/// announcement path with the destination name appended.
+std::vector<std::string> TrafficSequence(const AnnouncementPath& via,
+                                         const std::string& dest_name);
+
+/// How `>>` treats paths that no ranking pattern mentions.
+enum class PreferenceSemantics {
+  /// Interpretation (1) of the paper's Scenario 2: unspecified paths for the
+  /// ranked (source, destination) pair must be blocked. This is what the
+  /// synthesizer implements.
+  kStrictBlocked,
+  /// Interpretation (2): unspecified paths are acceptable as a last resort
+  /// when none of the ranked paths is available.
+  kFallbackAllowed,
+};
+
+struct Violation {
+  std::string requirement;  ///< requirement block name
+  std::string statement;    ///< rendered statement text
+  std::string detail;       ///< what concretely went wrong
+
+  std::string ToString() const;
+};
+
+struct CheckResult {
+  std::vector<Violation> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string ToString() const;
+};
+
+struct CheckOptions {
+  PreferenceSemantics preference = PreferenceSemantics::kStrictBlocked;
+};
+
+/// Checks every (non-localized) requirement of `spec` against `outcome`.
+CheckResult Check(const Spec& spec, const RoutingOutcome& outcome,
+                  CheckOptions options = {});
+
+}  // namespace ns::spec

@@ -1,0 +1,136 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+namespace ns::spec {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* TokenKindName(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kEllipsis: return "'...'";
+    case TokenKind::kPrefer: return "'>>'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+bool IsIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto push = [&](TokenKind kind, std::string text, int tok_col) {
+    tokens.push_back(Token{kind, std::move(text), line, tok_col});
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    const int tok_col = column;
+    if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < source.size() && IsIdentCont(source[i])) {
+        ++i;
+        ++column;
+      }
+      push(TokenKind::kIdent, std::string(source.substr(start, i - start)),
+           tok_col);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+        ++column;
+      }
+      push(TokenKind::kNumber, std::string(source.substr(start, i - start)),
+           tok_col);
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('-', '>')) {
+      push(TokenKind::kArrow, "", tok_col);
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (two('>', '>')) {
+      push(TokenKind::kPrefer, "", tok_col);
+      i += 2;
+      column += 2;
+      continue;
+    }
+    if (c == '.' && i + 2 < source.size() && source[i + 1] == '.' &&
+        source[i + 2] == '.') {
+      push(TokenKind::kEllipsis, "", tok_col);
+      i += 3;
+      column += 3;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '!': kind = TokenKind::kBang; break;
+      case '=': kind = TokenKind::kEquals; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '.': kind = TokenKind::kDot; break;
+      case ',': kind = TokenKind::kComma; break;
+      default:
+        return Error(ErrorCode::kParse,
+                     std::string("unexpected character '") + c + "'", line,
+                     tok_col);
+    }
+    push(kind, "", tok_col);
+    ++i;
+    ++column;
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line, column});
+  return tokens;
+}
+
+}  // namespace ns::spec

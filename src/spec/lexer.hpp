@@ -1,0 +1,42 @@
+// Tokenizer for the requirement DSL. `//` comments run to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ns::spec {
+
+enum class TokenKind {
+  kIdent,     // R1, Req1, D1, Cust, to, dest, at, preference
+  kNumber,    // 24, 128 (components of prefixes)
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kBang,      // !
+  kArrow,     // ->
+  kEllipsis,  // ...
+  kPrefer,    // >>
+  kEquals,    // =
+  kSlash,     // /
+  kDot,       // .
+  kComma,     // ,
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  ///< source lexeme (idents/numbers); empty for punctuation
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. On success the stream always ends with a kEof token.
+util::Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace ns::spec

@@ -1,0 +1,228 @@
+#include "spec/lint.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ns::spec {
+
+namespace {
+
+class Linter {
+ public:
+  Linter(const net::Topology& topo, const Spec& spec)
+      : topo_(topo), spec_(spec) {}
+
+  LintReport Run() {
+    CheckDestinations();
+    CheckRequirementNames();
+    for (const Requirement& req : spec_.requirements) {
+      for (const Statement& stmt : req.statements) {
+        std::visit([&](const auto& s) { CheckStmt(req, s); }, stmt);
+      }
+    }
+    CheckForbidAllowConflicts();
+    CheckUnusedDestinations();
+    return std::move(report_);
+  }
+
+ private:
+  void Add(LintSeverity severity, const std::string& requirement,
+           std::string message) {
+    report_.findings.push_back(
+        LintFinding{severity, requirement, std::move(message)});
+  }
+
+  bool IsKnownName(const std::string& name) const {
+    return topo_.FindRouter(name) != net::kInvalidRouter ||
+           spec_.FindDestination(name) != nullptr;
+  }
+
+  void CheckDestinations() {
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < spec_.destinations.size(); ++i) {
+      const DestDecl& dest = spec_.destinations[i];
+      if (!names.insert(dest.name).second) {
+        Add(LintSeverity::kError, "",
+            "duplicate destination name '" + dest.name + "'");
+      }
+      if (topo_.FindRouter(dest.name) != net::kInvalidRouter) {
+        Add(LintSeverity::kError, "",
+            "destination '" + dest.name + "' shadows a router name");
+      }
+      for (const std::string& origin : dest.origins) {
+        if (topo_.FindRouter(origin) == net::kInvalidRouter) {
+          Add(LintSeverity::kError, "",
+              "destination '" + dest.name + "' originates at unknown router '" +
+                  origin + "'");
+        }
+      }
+      for (std::size_t j = i + 1; j < spec_.destinations.size(); ++j) {
+        if (dest.prefix.Overlaps(spec_.destinations[j].prefix)) {
+          Add(LintSeverity::kError, "",
+              "destinations '" + dest.name + "' and '" +
+                  spec_.destinations[j].name + "' have overlapping prefixes");
+        }
+      }
+    }
+  }
+
+  void CheckRequirementNames() {
+    std::set<std::string> names;
+    for (const Requirement& req : spec_.requirements) {
+      if (!names.insert(req.name).second && !req.IsLocalized()) {
+        Add(LintSeverity::kError, req.name,
+            "duplicate requirement block name");
+      }
+    }
+  }
+
+  void CheckPattern(const Requirement& req, const PathPattern& pattern) {
+    for (const PathElem& elem : pattern.elems) {
+      if (elem.IsWildcard()) continue;
+      if (!IsKnownName(elem.name)) {
+        Add(LintSeverity::kError, req.name,
+            "'" + elem.name + "' in (" + pattern.ToString() +
+                ") names neither a router nor a declared destination");
+      }
+    }
+    // Wildcard-free adjacency: consecutive concrete ROUTER elements must be
+    // linked, or the pattern can never match. (A trailing destination name
+    // is not a router hop.)
+    for (std::size_t i = 0; i + 1 < pattern.elems.size(); ++i) {
+      const PathElem& a = pattern.elems[i];
+      const PathElem& b = pattern.elems[i + 1];
+      if (a.IsWildcard() || b.IsWildcard()) continue;
+      const net::RouterId ra = topo_.FindRouter(a.name);
+      const net::RouterId rb = topo_.FindRouter(b.name);
+      if (ra == net::kInvalidRouter || rb == net::kInvalidRouter) {
+        continue;  // destination names / unknowns handled above
+      }
+      if (!topo_.Adjacent(ra, rb)) {
+        Add(LintSeverity::kWarning, req.name,
+            "(" + pattern.ToString() + ") can never match: " + a.name +
+                " and " + b.name + " are not linked");
+      }
+    }
+  }
+
+  void CheckStmt(const Requirement& req, const ForbidStmt& stmt) {
+    CheckPattern(req, stmt.path);
+    forbidden_.emplace_back(req.name, stmt.path);
+  }
+
+  void CheckStmt(const Requirement& req, const AllowStmt& stmt) {
+    CheckPattern(req, stmt.path);
+    allowed_.emplace_back(req.name, stmt.path);
+  }
+
+  void CheckStmt(const Requirement& req, const PreferStmt& stmt) {
+    for (const PathPattern& pattern : stmt.ranking) {
+      CheckPattern(req, pattern);
+      allowed_.emplace_back(req.name, pattern);
+    }
+    if (stmt.ranking.size() < 2) {
+      Add(LintSeverity::kError, req.name,
+          "preference needs at least two ranked paths");
+      return;
+    }
+    const std::string& src = stmt.ranking.front().elems.front().name;
+    const std::string& dst = stmt.ranking.front().elems.back().name;
+    for (const PathPattern& pattern : stmt.ranking) {
+      if (pattern.elems.front().name != src ||
+          pattern.elems.back().name != dst) {
+        Add(LintSeverity::kError, req.name,
+            "ranked paths must share endpoints (" + src + " ... " + dst + ")");
+        break;
+      }
+    }
+    std::set<std::string> seen;
+    for (const PathPattern& pattern : stmt.ranking) {
+      if (!seen.insert(pattern.ToString()).second) {
+        Add(LintSeverity::kWarning, req.name,
+            "the same path appears twice in one ranking: " +
+                pattern.ToString());
+      }
+    }
+  }
+
+  void CheckForbidAllowConflicts() {
+    for (const auto& [forbid_req, forbidden] : forbidden_) {
+      for (const auto& [allow_req, allowed] : allowed_) {
+        if (forbidden == allowed) {
+          Add(LintSeverity::kError, forbid_req,
+              "(" + forbidden.ToString() + ") is forbidden here but " +
+                  "allowed/ranked in '" + allow_req + "'");
+        }
+      }
+    }
+  }
+
+  void CheckUnusedDestinations() {
+    for (const DestDecl& dest : spec_.destinations) {
+      bool used = false;
+      for (const Requirement& req : spec_.requirements) {
+        for (const Statement& stmt : req.statements) {
+          const auto mentions = [&](const PathPattern& pattern) {
+            return std::any_of(pattern.elems.begin(), pattern.elems.end(),
+                               [&](const PathElem& elem) {
+                                 return !elem.IsWildcard() &&
+                                        elem.name == dest.name;
+                               });
+          };
+          if (const auto* f = std::get_if<ForbidStmt>(&stmt)) {
+            used = used || mentions(f->path);
+          } else if (const auto* a = std::get_if<AllowStmt>(&stmt)) {
+            used = used || mentions(a->path);
+          } else if (const auto* p = std::get_if<PreferStmt>(&stmt)) {
+            for (const PathPattern& pattern : p->ranking) {
+              used = used || mentions(pattern);
+            }
+          }
+        }
+      }
+      if (!used) {
+        Add(LintSeverity::kWarning, "",
+            "destination '" + dest.name + "' is declared but never used");
+      }
+    }
+  }
+
+  const net::Topology& topo_;
+  const Spec& spec_;
+  LintReport report_;
+  std::vector<std::pair<std::string, PathPattern>> forbidden_;
+  std::vector<std::pair<std::string, PathPattern>> allowed_;
+};
+
+}  // namespace
+
+std::string LintFinding::ToString() const {
+  std::ostringstream os;
+  os << (severity == LintSeverity::kError ? "error" : "warning");
+  if (!requirement.empty()) os << " in " << requirement;
+  os << ": " << message;
+  return os.str();
+}
+
+bool LintReport::HasErrors() const noexcept {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const LintFinding& finding) {
+                       return finding.severity == LintSeverity::kError;
+                     });
+}
+
+std::string LintReport::ToString() const {
+  if (findings.empty()) return "no findings";
+  std::ostringstream os;
+  for (const LintFinding& finding : findings) {
+    os << finding.ToString() << "\n";
+  }
+  return os.str();
+}
+
+LintReport Lint(const net::Topology& topo, const Spec& spec) {
+  return Linter(topo, spec).Run();
+}
+
+}  // namespace ns::spec

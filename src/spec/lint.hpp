@@ -1,0 +1,46 @@
+// Static analysis of a specification against a topology: the mistakes
+// operators actually make (typo'd router names, unreachable patterns,
+// duplicate requirement names, contradictory statements) caught before
+// synthesis spends solver time on them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+
+namespace ns::spec {
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string requirement;  ///< block name; empty for file-level findings
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  bool HasErrors() const noexcept;
+  std::string ToString() const;
+};
+
+/// Checks, per statement and across the file:
+///  - every concrete pattern element names a topology router or a declared
+///    destination (error);
+///  - destination names are unique, origins exist, prefixes don't overlap
+///    (error);
+///  - duplicate requirement block names (error);
+///  - a path pattern whose consecutive concrete elements are not adjacent
+///    in the topology can never match (warning — wildcards may still
+///    bridge, so only wildcard-free adjacency gaps are flagged);
+///  - the same pattern both forbidden and allowed/ranked (error);
+///  - preference rankings whose patterns disagree on endpoints (error);
+///  - destination declared but never referenced (warning).
+LintReport Lint(const net::Topology& topo, const Spec& spec);
+
+}  // namespace ns::spec

@@ -1,0 +1,60 @@
+#include "spec/matcher.hpp"
+
+namespace ns::spec {
+
+namespace {
+
+// Dynamic program over (pattern position, sequence position). Small inputs
+// (paths are < 20 hops), so the O(P*S) table is plenty fast.
+//
+// match[p][s] == true  <=>  pattern[p..] matches sequence[s..] exactly.
+bool MatchFrom(const PathPattern& pattern,
+               const std::vector<std::string>& sequence, std::size_t p0,
+               std::size_t s0, bool allow_trailing) {
+  const std::size_t np = pattern.elems.size();
+  const std::size_t ns = sequence.size();
+  // dp[p][s]: pattern suffix from p matches sequence suffix from s.
+  std::vector<std::vector<char>> dp(np + 1, std::vector<char>(ns + 1, 0));
+  dp[np][ns] = 1;
+  if (allow_trailing) {
+    // Prefix match: an exhausted pattern accepts any remaining sequence.
+    for (std::size_t s = 0; s <= ns; ++s) dp[np][s] = 1;
+  }
+  for (std::size_t p = np; p-- > 0;) {
+    for (std::size_t s = ns + 1; s-- > 0;) {
+      const PathElem& elem = pattern.elems[p];
+      if (elem.IsWildcard()) {
+        // Consume zero elements, or one element and stay on the wildcard.
+        dp[p][s] = dp[p + 1][s] || (s < ns && dp[p][s + 1]);
+      } else {
+        dp[p][s] = s < ns && sequence[s] == elem.name && dp[p + 1][s + 1];
+      }
+    }
+  }
+  return dp[p0][s0] != 0;
+}
+
+}  // namespace
+
+bool MatchesExactly(const PathPattern& pattern,
+                    const std::vector<std::string>& sequence) {
+  return MatchFrom(pattern, sequence, 0, 0, /*allow_trailing=*/false);
+}
+
+bool MatchesPrefix(const PathPattern& pattern,
+                   const std::vector<std::string>& sequence) {
+  return MatchFrom(pattern, sequence, 0, 0, /*allow_trailing=*/true);
+}
+
+bool MatchesInfix(const PathPattern& pattern,
+                  const std::vector<std::string>& sequence) {
+  for (std::size_t start = 0; start < sequence.size(); ++start) {
+    std::vector<std::string> suffix(sequence.begin() +
+                                        static_cast<std::ptrdiff_t>(start),
+                                    sequence.end());
+    if (MatchesPrefix(pattern, suffix)) return true;
+  }
+  return false;
+}
+
+}  // namespace ns::spec

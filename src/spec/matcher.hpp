@@ -1,0 +1,30 @@
+// Matching concrete node sequences against path patterns with `...`
+// wildcards. A wildcard matches zero or more intermediate nodes.
+//
+// Sequences are in *traffic direction* (source first, destination last);
+// the destination name (e.g. `D1`) may appear as the final element when the
+// pattern names a declared destination.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace ns::spec {
+
+/// True if `sequence` (whole sequence, exactly) matches `pattern`.
+bool MatchesExactly(const PathPattern& pattern,
+                    const std::vector<std::string>& sequence);
+
+/// True if any contiguous subsequence (infix) of `sequence` matches
+/// `pattern`. Forbidden-path semantics: traffic must not *traverse* the
+/// pattern anywhere along its path.
+bool MatchesInfix(const PathPattern& pattern,
+                  const std::vector<std::string>& sequence);
+
+/// True if a prefix of `sequence` matches `pattern`.
+bool MatchesPrefix(const PathPattern& pattern,
+                   const std::vector<std::string>& sequence);
+
+}  // namespace ns::spec

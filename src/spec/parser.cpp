@@ -1,0 +1,248 @@
+#include "spec/parser.hpp"
+
+#include <string>
+
+#include "spec/lexer.hpp"
+
+namespace ns::spec {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParseOptions options)
+      : tokens_(std::move(tokens)), options_(options) {}
+
+  Result<Spec> ParseSpecFile() {
+    Spec spec;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kIdent) && Peek().text == "dest") {
+        auto decl = ParseDestDecl();
+        if (!decl) return decl.error();
+        spec.destinations.push_back(std::move(decl).value());
+      } else {
+        auto req = ParseRequirement();
+        if (!req) return req.error();
+        spec.requirements.push_back(std::move(req).value());
+      }
+    }
+    return spec;
+  }
+
+  Result<PathPattern> ParsePatternOnly() {
+    auto pattern = ParsePath();
+    if (!pattern) return pattern.error();
+    if (auto st = Expect(TokenKind::kEof); !st.ok()) return st.error();
+    return pattern;
+  }
+
+  Result<Statement> ParseStatementOnly() {
+    auto stmt = ParseStatement();
+    if (!stmt) return stmt.error();
+    if (auto st = Expect(TokenKind::kEof); !st.ok()) return st.error();
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const noexcept { return tokens_[pos_]; }
+  bool At(TokenKind kind) const noexcept { return Peek().kind == kind; }
+
+  Token Advance() { return tokens_[pos_++]; }
+
+  Error Unexpected(std::string_view expected) const {
+    const Token& tok = Peek();
+    std::string got = TokenKindName(tok.kind);
+    if (!tok.text.empty()) got += " '" + tok.text + "'";
+    return Error(ErrorCode::kParse,
+                 "expected " + std::string(expected) + ", got " + got, tok.line,
+                 tok.column);
+  }
+
+  util::Status Expect(TokenKind kind) {
+    if (!At(kind)) return Unexpected(TokenKindName(kind));
+    Advance();
+    return util::Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (!At(TokenKind::kIdent)) return Unexpected(what);
+    return Advance().text;
+  }
+
+  // dest D1 = 128.0.1.0/24 at P1
+  Result<DestDecl> ParseDestDecl() {
+    Advance();  // 'dest'
+    auto name = ExpectIdent("destination name");
+    if (!name) return name.error();
+    if (auto st = Expect(TokenKind::kEquals); !st.ok()) return st.error();
+    auto prefix = ParsePrefix();
+    if (!prefix) return prefix.error();
+    if (!At(TokenKind::kIdent) || Peek().text != "at") {
+      return Unexpected("'at <origin router>[, <origin router>...]'");
+    }
+    Advance();  // 'at'
+    std::vector<std::string> origins;
+    while (true) {
+      auto origin = ExpectIdent("origin router name");
+      if (!origin) return origin.error();
+      origins.push_back(std::move(origin).value());
+      if (!At(TokenKind::kComma)) break;
+      Advance();
+    }
+    return DestDecl{std::move(name).value(), prefix.value(),
+                    std::move(origins)};
+  }
+
+  // 128.0.1.0/24 as NUM . NUM . NUM . NUM / NUM tokens
+  Result<net::Prefix> ParsePrefix() {
+    std::string text;
+    for (int octet = 0; octet < 4; ++octet) {
+      if (octet != 0) {
+        if (auto st = Expect(TokenKind::kDot); !st.ok()) return st.error();
+        text += '.';
+      }
+      if (!At(TokenKind::kNumber)) return Unexpected("prefix octet");
+      text += Advance().text;
+    }
+    if (auto st = Expect(TokenKind::kSlash); !st.ok()) return st.error();
+    if (!At(TokenKind::kNumber)) return Unexpected("prefix length");
+    text += '/' + Advance().text;
+    auto prefix = net::Prefix::Parse(text);
+    if (!prefix) {
+      return Error(ErrorCode::kParse, prefix.error().message(), Peek().line,
+                   Peek().column);
+    }
+    return prefix.value();
+  }
+
+  // <name> [to <peer>] { stmt* }
+  Result<Requirement> ParseRequirement() {
+    auto name = ExpectIdent("requirement or router name");
+    if (!name) return name.error();
+    Requirement req;
+    req.name = std::move(name).value();
+    if (At(TokenKind::kIdent) && Peek().text == "to") {
+      Advance();
+      auto peer = ExpectIdent("peer router name");
+      if (!peer) return peer.error();
+      req.scope_router = req.name;
+      req.scope_peer = std::move(peer).value();
+    } else if (options_.localized) {
+      req.scope_router = req.name;
+    }
+    if (auto st = Expect(TokenKind::kLBrace); !st.ok()) return st.error();
+    while (!At(TokenKind::kRBrace)) {
+      if (At(TokenKind::kIdent) && Peek().text == "preference") {
+        // `preference { ... }` — statement group; contents must be
+        // preferences or bare paths (which would be malformed anyway).
+        Advance();
+        if (auto st = Expect(TokenKind::kLBrace); !st.ok()) return st.error();
+        while (!At(TokenKind::kRBrace)) {
+          auto stmt = ParseStatement();
+          if (!stmt) return stmt.error();
+          req.statements.push_back(std::move(stmt).value());
+        }
+        Advance();  // '}'
+        continue;
+      }
+      auto stmt = ParseStatement();
+      if (!stmt) return stmt.error();
+      req.statements.push_back(std::move(stmt).value());
+    }
+    Advance();  // '}'
+    return req;
+  }
+
+  // '!' '(' path ')'  |  '(' path ')' ('>>' '(' path ')')*
+  Result<Statement> ParseStatement() {
+    if (At(TokenKind::kBang)) {
+      Advance();
+      auto path = ParseParenPath();
+      if (!path) return path.error();
+      return Statement{ForbidStmt{std::move(path).value()}};
+    }
+    if (!At(TokenKind::kLParen)) return Unexpected("'!' or '('");
+    auto first = ParseParenPath();
+    if (!first) return first.error();
+    std::vector<PathPattern> ranking;
+    ranking.push_back(std::move(first).value());
+    while (At(TokenKind::kPrefer)) {
+      Advance();
+      auto next = ParseParenPath();
+      if (!next) return next.error();
+      ranking.push_back(std::move(next).value());
+    }
+    if (ranking.size() == 1) {
+      return Statement{AllowStmt{std::move(ranking.front())}};
+    }
+    return Statement{PreferStmt{std::move(ranking)}};
+  }
+
+  Result<PathPattern> ParseParenPath() {
+    if (auto st = Expect(TokenKind::kLParen); !st.ok()) return st.error();
+    auto path = ParsePath();
+    if (!path) return path.error();
+    if (auto st = Expect(TokenKind::kRParen); !st.ok()) return st.error();
+    return path;
+  }
+
+  Result<PathPattern> ParsePath() {
+    PathPattern pattern;
+    while (true) {
+      if (At(TokenKind::kEllipsis)) {
+        Advance();
+        if (!pattern.elems.empty() && pattern.elems.back().IsWildcard()) {
+          return Error(ErrorCode::kParse, "consecutive '...' in path pattern",
+                       Peek().line, Peek().column);
+        }
+        pattern.elems.push_back(PathElem::Wildcard());
+      } else if (At(TokenKind::kIdent)) {
+        pattern.elems.push_back(PathElem::Node(Advance().text));
+      } else {
+        return Unexpected("path element (router name or '...')");
+      }
+      if (!At(TokenKind::kArrow)) break;
+      Advance();
+    }
+    if (pattern.elems.size() < 2) {
+      return Error(ErrorCode::kParse, "path pattern needs at least two hops",
+                   Peek().line, Peek().column);
+    }
+    if (pattern.elems.front().IsWildcard() || pattern.elems.back().IsWildcard()) {
+      return Error(ErrorCode::kParse,
+                   "path pattern must start and end with a concrete node",
+                   Peek().line, Peek().column);
+    }
+    return pattern;
+  }
+
+  std::vector<Token> tokens_;
+  ParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Spec> ParseSpec(std::string_view source, ParseOptions options) {
+  auto tokens = Lex(source);
+  if (!tokens) return tokens.error();
+  return Parser(std::move(tokens).value(), options).ParseSpecFile();
+}
+
+Result<PathPattern> ParsePathPattern(std::string_view source) {
+  auto tokens = Lex(source);
+  if (!tokens) return tokens.error();
+  return Parser(std::move(tokens).value(), {}).ParsePatternOnly();
+}
+
+Result<Statement> ParseStatement(std::string_view source) {
+  auto tokens = Lex(source);
+  if (!tokens) return tokens.error();
+  return Parser(std::move(tokens).value(), {}).ParseStatementOnly();
+}
+
+}  // namespace ns::spec

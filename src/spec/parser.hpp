@@ -1,0 +1,29 @@
+// Recursive-descent parser for the requirement DSL (see ast.hpp for the
+// grammar by example). Produces located parse errors on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "spec/ast.hpp"
+#include "util/status.hpp"
+
+namespace ns::spec {
+
+struct ParseOptions {
+  /// When true, every block header names a router (optionally `to <peer>`)
+  /// and the resulting requirements are localized subspecifications, as in
+  /// the paper's Figs. 2, 4 and 5. When false (global specs), only the
+  /// `X to Y` header form is treated as localized.
+  bool localized = false;
+};
+
+/// Parses a full specification file.
+util::Result<Spec> ParseSpec(std::string_view source, ParseOptions options = {});
+
+/// Parses a single path pattern like "P1->...->P2" (no parentheses).
+util::Result<PathPattern> ParsePathPattern(std::string_view source);
+
+/// Parses a single statement ("!(A->B)", "(A) >> (B)", "(A->B)").
+util::Result<Statement> ParseStatement(std::string_view source);
+
+}  // namespace ns::spec

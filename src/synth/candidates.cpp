@@ -1,0 +1,149 @@
+#include "synth/candidates.hpp"
+
+#include <algorithm>
+
+#include "spec/matcher.hpp"
+#include "util/strings.hpp"
+
+namespace ns::synth {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+bool Destination::HasOrigin(const std::string& router) const noexcept {
+  return std::find(origins.begin(), origins.end(), router) != origins.end();
+}
+
+std::vector<std::string> Candidate::TrafficSeq(const Destination& dest) const {
+  std::vector<std::string> seq(via.rbegin(), via.rend());
+  seq.push_back(dest.name);
+  return seq;
+}
+
+std::string Candidate::Label(const Destination& dest) const {
+  return dest.name + "|" + util::Join(via, ".");
+}
+
+Result<std::vector<Destination>> BuildDestinations(
+    const net::Topology& topo, const config::NetworkConfig& network,
+    const spec::Spec& spec) {
+  std::vector<Destination> out;
+  std::vector<net::Prefix> declared_prefixes;
+
+  for (const spec::DestDecl& decl : spec.destinations) {
+    Destination dest;
+    dest.name = decl.name;
+    dest.prefix = decl.prefix;
+    dest.origins = decl.origins;
+    dest.declared = true;
+    if (dest.origins.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "destination '" + decl.name + "' has no origin");
+    }
+    for (const std::string& origin : dest.origins) {
+      if (topo.FindRouter(origin) == net::kInvalidRouter) {
+        return Error(ErrorCode::kNotFound, "destination '" + decl.name +
+                                               "' originates at unknown "
+                                               "router '" + origin + "'");
+      }
+      if (network.FindRouter(origin) == nullptr) {
+        return Error(ErrorCode::kNotFound, "destination '" + decl.name +
+                                               "' origin '" + origin +
+                                               "' has no configuration");
+      }
+    }
+    for (const net::Prefix& existing : declared_prefixes) {
+      if (existing.Overlaps(dest.prefix)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "destination prefixes overlap: " + dest.prefix.ToString());
+      }
+    }
+    declared_prefixes.push_back(dest.prefix);
+    out.push_back(std::move(dest));
+  }
+
+  // Implicit destinations: originated networks not covered by declarations.
+  for (const auto& [router, cfg] : network.routers) {
+    int index = 0;
+    for (const net::Prefix& prefix : cfg.networks) {
+      ++index;
+      const bool covered =
+          std::any_of(out.begin(), out.end(), [&](const Destination& d) {
+            return d.prefix == prefix;
+          });
+      if (covered) {
+        // Multi-homing a declared prefix from an undeclared origin would
+        // make the two views disagree; record the origin instead.
+        for (Destination& d : out) {
+          if (d.prefix == prefix && !d.HasOrigin(router)) {
+            d.origins.push_back(router);
+          }
+        }
+        continue;
+      }
+      Destination dest;
+      dest.name = router + "_net" +
+                  (cfg.networks.size() > 1 ? std::to_string(index) : "");
+      dest.prefix = prefix;
+      dest.origins = {router};
+      dest.declared = false;
+      out.push_back(std::move(dest));
+    }
+  }
+  return out;
+}
+
+void EnsureOriginated(config::NetworkConfig& network,
+                      const std::vector<Destination>& destinations) {
+  for (const Destination& dest : destinations) {
+    for (const std::string& origin : dest.origins) {
+      config::RouterConfig* router = network.FindRouter(origin);
+      NS_ASSERT_MSG(router != nullptr, "origin without config: " + origin);
+      if (std::find(router->networks.begin(), router->networks.end(),
+                    dest.prefix) == router->networks.end()) {
+        router->networks.push_back(dest.prefix);
+      }
+    }
+  }
+}
+
+bool IsTrafficPattern(const spec::Spec& spec,
+                      const spec::PathPattern& pattern) {
+  return spec.FindDestination(pattern.elems.back().name) != nullptr;
+}
+
+bool PatternHitsCandidate(const spec::Spec& spec,
+                          const spec::PathPattern& pattern,
+                          const Candidate& candidate, const Destination& dest) {
+  if (IsTrafficPattern(spec, pattern)) {
+    if (pattern.elems.back().name != dest.name) return false;
+    return spec::MatchesInfix(pattern, candidate.TrafficSeq(dest));
+  }
+  return spec::MatchesInfix(pattern, candidate.AnnouncementSeq());
+}
+
+std::vector<Candidate> EnumerateCandidates(
+    const net::Topology& topo, const std::vector<Destination>& destinations,
+    int max_hops) {
+  std::vector<Candidate> out;
+  for (std::size_t d = 0; d < destinations.size(); ++d) {
+    for (const std::string& origin : destinations[d].origins) {
+      const net::RouterId origin_id = topo.FindRouter(origin);
+      NS_ASSERT(origin_id != net::kInvalidRouter);
+      for (const net::Path& path : topo.SimplePathsFrom(origin_id, max_hops)) {
+        if (path.size() < 2) continue;  // the trivial path carries no hop
+        Candidate candidate;
+        candidate.dest_index = static_cast<int>(d);
+        candidate.via.reserve(path.size());
+        for (net::RouterId id : path) {
+          candidate.via.push_back(topo.NameOf(id));
+        }
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ns::synth

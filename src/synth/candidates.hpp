@@ -1,0 +1,74 @@
+// Destination universe and candidate propagation paths — the skeleton the
+// NetComplete-style encoder quantifies over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/device.hpp"
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+#include "util/status.hpp"
+
+namespace ns::synth {
+
+/// A destination the encoding tracks: a declared `dest` plus implicit
+/// destinations for every originated network not covered by a declaration.
+struct Destination {
+  std::string name;                  ///< "D1" or "<router>_net"
+  net::Prefix prefix;
+  std::vector<std::string> origins;  ///< routers announcing the prefix
+  bool declared = false;
+
+  bool HasOrigin(const std::string& router) const noexcept;
+};
+
+/// One candidate announcement path for one destination.
+struct Candidate {
+  int dest_index = 0;
+  std::vector<std::string> via;  ///< origin first, holder last
+
+  /// Announcement-direction sequence (== via).
+  const std::vector<std::string>& AnnouncementSeq() const noexcept {
+    return via;
+  }
+  /// Traffic-direction sequence: reverse(via) + dest name.
+  std::vector<std::string> TrafficSeq(const Destination& dest) const;
+
+  /// Stable short id used in encoder variable names, e.g. "D1|P1.R1.R3".
+  std::string Label(const Destination& dest) const;
+};
+
+/// Collects the destination universe. Fails if a declared destination names
+/// an origin router missing from the topology/config, or two declarations
+/// share a prefix.
+util::Result<std::vector<Destination>> BuildDestinations(
+    const net::Topology& topo, const config::NetworkConfig& network,
+    const spec::Spec& spec);
+
+/// Makes sure every destination's prefix is in its origins' `networks`
+/// lists, so the concrete simulator originates exactly what the encoder
+/// assumes. Idempotent.
+void EnsureOriginated(config::NetworkConfig& network,
+                      const std::vector<Destination>& destinations);
+
+/// True if `pattern` reads in traffic direction (its last element names a
+/// declared destination of `spec`); otherwise it reads in announcement
+/// direction. See spec/ast.hpp for the convention.
+bool IsTrafficPattern(const spec::Spec& spec, const spec::PathPattern& pattern);
+
+/// Whether `pattern` hits `candidate` under the direction convention:
+/// traffic patterns match the candidate's traffic sequence (and only for
+/// their own destination), announcement patterns match the via infix.
+bool PatternHitsCandidate(const spec::Spec& spec,
+                          const spec::PathPattern& pattern,
+                          const Candidate& candidate, const Destination& dest);
+
+/// Enumerates candidate announcement paths for every destination: all
+/// simple paths of length >= 1 from each origin, bounded by `max_hops`
+/// edges. Deterministic order (destination, then origin, then DFS order).
+std::vector<Candidate> EnumerateCandidates(
+    const net::Topology& topo, const std::vector<Destination>& destinations,
+    int max_hops);
+
+}  // namespace ns::synth

@@ -1,0 +1,671 @@
+#include "synth/encoder.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "spec/matcher.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace ns::synth {
+
+using config::Community;
+using config::HoleInfo;
+using config::HoleType;
+using config::MatchField;
+using config::RmAction;
+using config::RouteMap;
+using smt::Expr;
+using smt::ExprPool;
+using smt::Sort;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+bool IsAuxVar(const std::string& name) noexcept {
+  return util::StartsWith(name, kAuxPrefix);
+}
+
+namespace {
+
+/// Symbolic route state at one position of one candidate path.
+struct SymState {
+  Expr alive;
+  Expr lp;
+  Expr med;
+  Expr nh;
+  Expr len;                ///< AS-path length (hop count) attribute
+  std::vector<Expr> comm;  ///< parallel to ValueTable::communities()
+};
+
+class EncoderImpl {
+ public:
+  EncoderImpl(ExprPool& pool, const net::Topology& topo,
+              const config::NetworkConfig& network, const spec::Spec& spec,
+              EncoderOptions options)
+      : pool_(pool),
+        topo_(topo),
+        network_(network),
+        spec_(spec),
+        options_(options),
+        values_(topo, network, spec,
+                options.community_palette.empty()
+                    ? DefaultPalette(network)
+                    : options.community_palette) {}
+
+  Result<Encoding> Run() {
+    auto destinations = BuildDestinations(topo_, network_, spec_);
+    if (!destinations) return destinations.error();
+    destinations_ = std::move(destinations).value();
+
+    const int max_hops = options_.max_hops > 0
+                             ? options_.max_hops
+                             : static_cast<int>(topo_.NumRouters());
+    candidates_ = EnumerateCandidates(topo_, destinations_, max_hops);
+
+    // Route-state definitions for every candidate (and, via the prefix
+    // cache, every prefix of every candidate).
+    for (const Candidate& candidate : candidates_) {
+      const SymState state = StateFor(candidate.dest_index, candidate.via);
+      const std::string label = candidate.Label(
+          destinations_[static_cast<std::size_t>(candidate.dest_index)]);
+      encoding_.alive_vars.emplace(label, state.alive);
+      encoding_.lp_vars.emplace(label, state.lp);
+      encoding_.med_vars.emplace(label, state.med);
+      encoding_.len_vars.emplace(label, state.len);
+    }
+
+    // BGP decision-process mechanics: per (destination, holding router),
+    // define reachability and the best route's local-pref — NetComplete's
+    // encoding models best-route selection explicitly; the explainer later
+    // discards whatever a question does not need.
+    {
+      std::map<std::pair<int, std::string>, std::vector<SymState>> groups;
+      for (const Candidate& candidate : candidates_) {
+        groups[{candidate.dest_index, candidate.via.back()}].push_back(
+            StateFor(candidate.dest_index, candidate.via));
+      }
+      for (const auto& [key, states] : groups) {
+        const std::string label =
+            destinations_[static_cast<std::size_t>(key.first)].name + "|" +
+            key.second;
+        std::vector<Expr> alives;
+        Expr best_lp = pool_.Int(0);
+        for (const SymState& st : states) {
+          alives.push_back(st.alive);
+          best_lp = pool_.Ite(pool_.And({st.alive, pool_.Ge(st.lp, best_lp)}),
+                              st.lp, best_lp);
+        }
+        definitions_.push_back(pool_.Eq(AuxVar("reachable", label, Sort::kBool),
+                                        pool_.Or(alives)));
+        definitions_.push_back(
+            pool_.Eq(AuxVar("bestlp", label, Sort::kInt), best_lp));
+      }
+    }
+
+    // Requirement constraints.
+    for (const spec::Requirement& req : spec_.requirements) {
+      if (options_.skip_requirements) break;
+      if (req.IsLocalized()) continue;  // subspecs are inputs to lifting only
+      if (!options_.only_requirements.empty() &&
+          std::find(options_.only_requirements.begin(),
+                    options_.only_requirements.end(),
+                    req.name) == options_.only_requirements.end()) {
+        continue;
+      }
+      current_req_ = req.name;
+      for (const spec::Statement& stmt : req.statements) {
+        util::Status status = std::visit(
+            [&](const auto& s) { return EncodeStmt(req, s); }, stmt);
+        if (!status.ok()) return status.error();
+      }
+    }
+
+    // Hole domains.
+    for (const HoleInfo& info : config::CollectHoles(network_)) {
+      const Expr var = HoleVar(info.name, info.type);
+      (void)var;
+    }
+
+    encoding_.constraints = std::move(definitions_);
+    encoding_.constraints.insert(encoding_.constraints.end(),
+                                 requirements_.begin(), requirements_.end());
+    encoding_.constraints.insert(encoding_.constraints.end(),
+                                 domains_.begin(), domains_.end());
+    encoding_.requirement_constraints = std::move(requirements_);
+    encoding_.requirement_names = std::move(requirement_names_);
+    encoding_.domain_constraints = std::move(domains_);
+    encoding_.values = values_;
+    encoding_.destinations = std::move(destinations_);
+    encoding_.candidates = std::move(candidates_);
+    return std::move(encoding_);
+  }
+
+ private:
+  static std::vector<Community> DefaultPalette(
+      const config::NetworkConfig& network) {
+    // Offer one tag per internal AS (asn:1) plus the classic asn:2 — a
+    // small palette keeps the community universe (and thus the encoding)
+    // compact while giving synthesis room to invent tags.
+    std::set<Community> palette;
+    for (const auto& [name, router] : network.routers) {
+      const auto asn = static_cast<std::uint16_t>(router.asn & 0xFFFF);
+      palette.insert(config::MakeCommunity(asn, 1));
+      palette.insert(config::MakeCommunity(asn, 2));
+    }
+    return {palette.begin(), palette.end()};
+  }
+
+  // ------------------------------------------------------------ variables
+
+  Expr HoleVar(const std::string& name, HoleType type) {
+    const auto it = encoding_.hole_vars.find(name);
+    if (it != encoding_.hole_vars.end()) return it->second;
+    NS_ASSERT_MSG(!IsAuxVar(name),
+                  "hole name collides with aux prefix: " + name);
+    const Expr var = pool_.Var(name, Sort::kInt);
+    encoding_.hole_vars.emplace(name, var);
+    domains_.push_back(values_.DomainConstraint(pool_, var, type));
+    return var;
+  }
+
+  Expr AuxVar(const std::string& kind, const std::string& label, Sort sort) {
+    ++encoding_.num_aux_vars;
+    return pool_.Var(std::string(kAuxPrefix) + kind + "|" + label, sort);
+  }
+
+  // ------------------------------------------------ field -> symbolic term
+
+  Expr ActionPermits(const config::Field<RmAction>& action) {
+    if (action.is_concrete()) {
+      return pool_.Bool(action.value() == RmAction::kPermit);
+    }
+    return pool_.Eq(HoleVar(action.hole(), HoleType::kAction),
+                    pool_.Int(kActionPermit));
+  }
+
+  Expr PrefixTerm(const config::Field<net::Prefix>& field) {
+    if (field.is_concrete()) return pool_.Int(values_.PrefixId(field.value()));
+    return HoleVar(field.hole(), HoleType::kPrefix);
+  }
+
+  Expr CommunityTerm(const config::Field<Community>& field) {
+    if (field.is_concrete()) {
+      return pool_.Int(static_cast<std::int64_t>(field.value()));
+    }
+    return HoleVar(field.hole(), HoleType::kCommunity);
+  }
+
+  Expr AddressTerm(const config::Field<net::Ipv4Addr>& field) {
+    if (field.is_concrete()) {
+      return pool_.Int(ValueTable::AddressValue(field.value()));
+    }
+    return HoleVar(field.hole(), HoleType::kAddress);
+  }
+
+  Expr IntTerm(const config::Field<int>& field, HoleType type) {
+    if (field.is_concrete()) return pool_.Int(field.value());
+    return HoleVar(field.hole(), type);
+  }
+
+  // ------------------------------------------------- route-map application
+
+  /// Whether `match` accepts a route in state `in` for destination `dest`.
+  /// `via_now` is the (constant) propagation path the route has taken when
+  /// the map runs — as-path matching evaluates against it.
+  Expr MatchExpr(const config::MatchClause& match, const SymState& in,
+                 const Destination& dest,
+                 std::span<const std::string> via_now) {
+    // Each branch is built lazily: unused value slots hold defaults that
+    // must never reach the value tables.
+    const auto prefix_match = [&] {
+      return pool_.Eq(PrefixTerm(match.prefix),
+                      pool_.Int(values_.PrefixId(dest.prefix)));
+    };
+    const auto comm_match = [&] { return CommunityMatch(match.community, in); };
+    const auto nh_match = [&] {
+      return pool_.Eq(in.nh, AddressTerm(match.next_hop));
+    };
+    // The path taken is a compile-time constant of the candidate, so a
+    // concrete as-path match folds to a boolean; a symbolic router value
+    // becomes set membership.
+    const auto via_match = [&] {
+      if (match.via.is_concrete()) {
+        const bool contains =
+            std::find(via_now.begin(), via_now.end(), match.via.value()) !=
+            via_now.end();
+        return pool_.Bool(contains);
+      }
+      const Expr var = HoleVar(match.via.hole(), HoleType::kRouter);
+      std::vector<Expr> options;
+      options.reserve(via_now.size());
+      for (const std::string& router : via_now) {
+        options.push_back(
+            pool_.Eq(var, pool_.Int(values_.RouterId(router))));
+      }
+      if (options.empty()) return pool_.False();
+      return pool_.Or(options);
+    };
+
+    if (match.field.is_concrete()) {
+      switch (match.field.value()) {
+        case MatchField::kAny: return pool_.True();
+        case MatchField::kPrefix: return prefix_match();
+        case MatchField::kCommunity: return comm_match();
+        case MatchField::kNextHop: return nh_match();
+        case MatchField::kViaContains: return via_match();
+      }
+      return pool_.True();
+    }
+    // Symbolic Var_Attr: the match dispatches on the attribute variable.
+    const Expr field_var = HoleVar(match.field.hole(), HoleType::kMatchField);
+    return pool_.Or({
+        pool_.Eq(field_var, pool_.Int(kFieldAny)),
+        pool_.And({pool_.Eq(field_var, pool_.Int(kFieldPrefix)),
+                   prefix_match()}),
+        pool_.And({pool_.Eq(field_var, pool_.Int(kFieldCommunity)),
+                   comm_match()}),
+        pool_.And({pool_.Eq(field_var, pool_.Int(kFieldNextHop)), nh_match()}),
+        pool_.And({pool_.Eq(field_var, pool_.Int(kFieldVia)), via_match()}),
+    });
+  }
+
+  Expr CommunityMatch(const config::Field<Community>& field,
+                      const SymState& in) {
+    const auto& universe = values_.communities();
+    if (field.is_concrete()) {
+      const auto it = std::find(universe.begin(), universe.end(), field.value());
+      NS_ASSERT_MSG(it != universe.end(), "community outside universe");
+      return in.comm[static_cast<std::size_t>(it - universe.begin())];
+    }
+    const Expr var = HoleVar(field.hole(), HoleType::kCommunity);
+    std::vector<Expr> options;
+    options.reserve(universe.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      options.push_back(pool_.And(
+          {pool_.Eq(var, pool_.Int(static_cast<std::int64_t>(universe[i]))),
+           in.comm[i]}));
+    }
+    if (options.empty()) return pool_.False();
+    return pool_.Or(options);
+  }
+
+  /// Applies a route-map symbolically. Returns the pass condition and the
+  /// updated attributes (valid when the route passes). `default_nh`, when
+  /// set, is the next-hop-self value an export hop installs unless the map
+  /// rewrites the next-hop itself.
+  std::pair<Expr, SymState> ApplyMapSym(const RouteMap* map, const SymState& in,
+                                        const Destination& dest,
+                                        std::span<const std::string> via_now,
+                                        std::optional<Expr> default_nh) {
+    SymState out = in;
+    if (default_nh) out.nh = *default_nh;
+    if (map == nullptr) return {pool_.True(), out};
+    if (map->entries.empty()) return {pool_.False(), out};
+
+    // First-match-wins: applies_j = m_j ∧ ¬m_1 ∧ ... ∧ ¬m_{j-1}.
+    std::vector<Expr> matches;
+    std::vector<Expr> applies;
+    matches.reserve(map->entries.size());
+    for (const config::RouteMapEntry& entry : map->entries) {
+      matches.push_back(MatchExpr(entry.match, in, dest, via_now));
+      std::vector<Expr> parts;
+      for (std::size_t k = 0; k + 1 < matches.size(); ++k) {
+        parts.push_back(pool_.Not(matches[k]));
+      }
+      parts.push_back(matches.back());
+      applies.push_back(pool_.And(parts));
+    }
+
+    std::vector<Expr> pass_cases;
+    for (std::size_t j = 0; j < map->entries.size(); ++j) {
+      pass_cases.push_back(
+          pool_.And({applies[j], ActionPermits(map->entries[j].action)}));
+    }
+    const Expr pass = pool_.Or(pass_cases);
+
+    // Attribute folds, innermost = "no entry applied" default.
+    Expr lp = in.lp;
+    Expr med = in.med;
+    Expr nh = out.nh;  // default-next-hop already installed
+    std::vector<Expr> comm = in.comm;
+    for (std::size_t r = map->entries.size(); r-- > 0;) {
+      const config::RouteMapEntry& entry = map->entries[r];
+      if (entry.sets.local_pref) {
+        lp = pool_.Ite(applies[r],
+                       IntTerm(*entry.sets.local_pref, HoleType::kLocalPref),
+                       lp);
+      }
+      if (entry.sets.med) {
+        med = pool_.Ite(applies[r], IntTerm(*entry.sets.med, HoleType::kMed),
+                        med);
+      }
+      if (entry.sets.next_hop) {
+        nh = pool_.Ite(applies[r], AddressTerm(*entry.sets.next_hop), nh);
+      }
+      if (entry.sets.add_community) {
+        const auto& universe = values_.communities();
+        for (std::size_t i = 0; i < universe.size(); ++i) {
+          Expr added;
+          if (entry.sets.add_community->is_concrete()) {
+            added = entry.sets.add_community->value() == universe[i]
+                        ? pool_.True()
+                        : in.comm[i];
+          } else {
+            const Expr var =
+                HoleVar(entry.sets.add_community->hole(), HoleType::kCommunity);
+            added = pool_.Or(
+                {in.comm[i],
+                 pool_.Eq(var,
+                          pool_.Int(static_cast<std::int64_t>(universe[i])))});
+          }
+          comm[i] = pool_.Ite(applies[r], added, comm[i]);
+        }
+      }
+    }
+    out.lp = lp;
+    out.med = med;
+    out.nh = nh;
+    out.comm = std::move(comm);
+    return {pass, out};
+  }
+
+  // ------------------------------------------------------ state definitions
+
+  /// Allocates fresh state variables under `key` and emits their defining
+  /// constraints.
+  SymState DefineStateVars(const std::string& key, Expr alive_expr,
+                           Expr lp_expr, Expr med_expr, Expr nh_expr,
+                           Expr len_expr, const std::vector<Expr>& comm_expr) {
+    SymState state;
+    state.alive = AuxVar("alive", key, Sort::kBool);
+    state.lp = AuxVar("lp", key, Sort::kInt);
+    state.med = AuxVar("med", key, Sort::kInt);
+    state.nh = AuxVar("nh", key, Sort::kInt);
+    state.len = AuxVar("len", key, Sort::kInt);
+    definitions_.push_back(pool_.Eq(state.alive, alive_expr));
+    definitions_.push_back(pool_.Eq(state.lp, lp_expr));
+    definitions_.push_back(pool_.Eq(state.med, med_expr));
+    definitions_.push_back(pool_.Eq(state.nh, nh_expr));
+    definitions_.push_back(pool_.Eq(state.len, len_expr));
+    state.comm.reserve(comm_expr.size());
+    for (std::size_t i = 0; i < comm_expr.size(); ++i) {
+      const Expr var = AuxVar(
+          "comm" + config::FormatCommunity(values_.communities()[i]), key,
+          Sort::kBool);
+      definitions_.push_back(pool_.Eq(var, comm_expr[i]));
+      state.comm.push_back(var);
+    }
+    return state;
+  }
+
+  /// Symbolic state after the route has propagated along `via` (>= 1
+  /// router). Cached so shared path prefixes share their definitions.
+  SymState StateFor(int dest_index, const std::vector<std::string>& via) {
+    const Destination& dest =
+        destinations_[static_cast<std::size_t>(dest_index)];
+    const std::string key =
+        dest.name + "|" + util::Join(via, ".");
+    const auto it = state_cache_.find(key);
+    if (it != state_cache_.end()) return it->second;
+
+    SymState state;
+    if (via.size() == 1) {
+      // Origination: alive with default attributes.
+      state.alive = pool_.True();
+      state.lp = pool_.Int(config::kDefaultLocalPref);
+      state.med = pool_.Int(0);
+      state.nh = pool_.Int(0);
+      state.len = pool_.Int(0);
+      state.comm.assign(values_.communities().size(), pool_.False());
+    } else {
+      std::vector<std::string> prefix_via(via.begin(), via.end() - 1);
+      const SymState prev = StateFor(dest_index, prefix_via);
+      const std::string& sender = via[via.size() - 2];
+      const std::string& receiver = via.back();
+
+      const config::RouterConfig* sender_cfg = network_.FindRouter(sender);
+      const config::RouterConfig* receiver_cfg = network_.FindRouter(receiver);
+      NS_ASSERT_MSG(sender_cfg != nullptr && receiver_cfg != nullptr,
+                    "candidate path through unconfigured router");
+
+      const auto nh_addr = topo_.InterfaceAddr(topo_.FindRouter(sender),
+                                               topo_.FindRouter(receiver));
+      NS_ASSERT_MSG(nh_addr.has_value(), "candidate hop without a link");
+      const Expr default_nh = pool_.Int(ValueTable::AddressValue(*nh_addr));
+
+      // Stage 1 — the announcement on the wire, after the sender's
+      // export policy (NetComplete models the exported announcement as its
+      // own symbolic record, so each hop contributes two variable groups).
+      const auto [exp_pass, exp_raw] = ApplyMapSym(
+          sender_cfg->ExportPolicy(receiver), prev, dest,
+          std::span<const std::string>(prefix_via), default_nh);
+      const SymState wire = DefineStateVars(
+          key + "|out", pool_.And({prev.alive, exp_pass}), exp_raw.lp,
+          exp_raw.med, exp_raw.nh, pool_.Add(prev.len, pool_.Int(1)),
+          exp_raw.comm);
+
+      // Stage 2 — the route as installed after the receiver's import
+      // policy.
+      const auto [imp_pass, imp_raw] = ApplyMapSym(
+          receiver_cfg->ImportPolicy(sender), wire, dest,
+          std::span<const std::string>(via), std::nullopt);
+      state = DefineStateVars(key, pool_.And({wire.alive, imp_pass}),
+                              imp_raw.lp, imp_raw.med, imp_raw.nh, wire.len,
+                              imp_raw.comm);
+    }
+    state_cache_.emplace(key, state);
+    return state;
+  }
+
+  // ------------------------------------------------- requirement encoding
+
+  /// Does `pattern` hit this candidate (per the direction convention)?
+  bool PatternHits(const spec::PathPattern& pattern,
+                   const Candidate& candidate) const {
+    const Destination& dest =
+        destinations_[static_cast<std::size_t>(candidate.dest_index)];
+    return PatternHitsCandidate(spec_, pattern, candidate, dest);
+  }
+
+  Expr AliveOf(const Candidate& candidate) {
+    return StateFor(candidate.dest_index, candidate.via).alive;
+  }
+
+  util::Status EncodeStmt(const spec::Requirement&,
+                          const spec::ForbidStmt& forbid) {
+    std::size_t hits = 0;
+    for (const Candidate& candidate : candidates_) {
+      if (!PatternHits(forbid.path, candidate)) continue;
+      ++hits;
+      AddRequirement(pool_.Not(AliveOf(candidate)));
+    }
+    NS_DEBUG << "forbid " << forbid.path.ToString() << " blocks " << hits
+             << " candidate paths";
+    return util::Status::Ok();
+  }
+
+  util::Status EncodeStmt(const spec::Requirement& req,
+                          const spec::AllowStmt& allow) {
+    std::vector<Expr> options;
+    for (const Candidate& candidate : candidates_) {
+      if (PatternHits(allow.path, candidate)) {
+        options.push_back(AliveOf(candidate));
+      }
+    }
+    if (options.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   req.name + ": allow pattern (" + allow.path.ToString() +
+                       ") matches no candidate path in the topology");
+    }
+    AddRequirement(pool_.Or(options));
+    return util::Status::Ok();
+  }
+
+  util::Status EncodeStmt(const spec::Requirement& req,
+                          const spec::PreferStmt& prefer) {
+    const std::string& src = prefer.ranking.front().elems.front().name;
+    const std::string& dest_name = prefer.ranking.front().elems.back().name;
+    const spec::DestDecl* decl = spec_.FindDestination(dest_name);
+    if (decl == nullptr) {
+      return Error(ErrorCode::kInvalidArgument,
+                   req.name + ": preference destination '" + dest_name +
+                       "' is not declared");
+    }
+    for (const spec::PathPattern& p : prefer.ranking) {
+      if (p.elems.front().name != src || p.elems.back().name != dest_name) {
+        return Error(ErrorCode::kInvalidArgument,
+                     req.name + ": ranked paths must share source and "
+                                "destination");
+      }
+    }
+
+    // Candidates of this destination arriving at src, classified by the
+    // best (lowest-index) ranking pattern they realize.
+    struct Ranked {
+      const Candidate* candidate;
+      int rank;  ///< -1 = unspecified
+    };
+    std::vector<Ranked> at_src;
+    for (const Candidate& candidate : candidates_) {
+      const Destination& dest =
+          destinations_[static_cast<std::size_t>(candidate.dest_index)];
+      if (dest.name != dest_name || candidate.via.back() != src) continue;
+      int rank = -1;
+      const auto traffic = candidate.TrafficSeq(dest);
+      for (std::size_t i = 0; i < prefer.ranking.size(); ++i) {
+        if (spec::MatchesExactly(prefer.ranking[i], traffic)) {
+          rank = static_cast<int>(i);
+          break;
+        }
+      }
+      at_src.push_back(Ranked{&candidate, rank});
+    }
+
+    // Every ranked pattern must be realizable.
+    for (std::size_t i = 0; i < prefer.ranking.size(); ++i) {
+      const bool realizable =
+          std::any_of(at_src.begin(), at_src.end(), [&](const Ranked& r) {
+            return r.rank == static_cast<int>(i);
+          });
+      if (!realizable) {
+        return Error(ErrorCode::kInvalidArgument,
+                     req.name + ": ranked path (" +
+                         prefer.ranking[i].ToString() +
+                         ") is not realizable in the topology");
+      }
+    }
+
+    // A path the specification explicitly allows elsewhere is exempt from
+    // the strict unranked-blocking: it may stay usable as a fallback (the
+    // paper's scenario-2 refinement, "allow other available paths as the
+    // last resort").
+    const auto explicitly_allowed = [&](const Candidate& candidate) {
+      for (const spec::Requirement& other : spec_.requirements) {
+        if (other.IsLocalized()) continue;
+        for (const spec::Statement& other_stmt : other.statements) {
+          const auto* allow = std::get_if<spec::AllowStmt>(&other_stmt);
+          if (allow != nullptr && PatternHits(allow->path, candidate)) {
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+
+    for (const Ranked& r : at_src) {
+      if (r.rank < 0) {
+        if (explicitly_allowed(*r.candidate)) continue;
+        // Strict NetComplete semantics: unspecified candidates blocked.
+        AddRequirement(pool_.Not(AliveOf(*r.candidate)));
+      } else {
+        // Ranked candidates must be usable.
+        AddRequirement(AliveOf(*r.candidate));
+      }
+    }
+
+    // Pairwise decision-process ordering: ranked candidates beat
+    // lower-ranked candidates, and the top-ranked class beats any allowed
+    // fallbacks (so fallbacks never carry traffic while a ranked path is
+    // usable — in this static model the top class is the best available).
+    for (const Ranked& hi : at_src) {
+      if (hi.rank < 0) continue;
+      for (const Ranked& lo : at_src) {
+        const bool lower_ranked = lo.rank > hi.rank;
+        const bool fallback = hi.rank == 0 && lo.rank < 0 &&
+                              explicitly_allowed(*lo.candidate);
+        if (!lower_ranked && !fallback) continue;
+        AddRequirement(pool_.Implies(
+            pool_.And({AliveOf(*hi.candidate), AliveOf(*lo.candidate)}),
+            BetterSym(*hi.candidate, *lo.candidate)));
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  /// Symbolic BGP decision-process comparison mirroring bgp::BetterThan:
+  /// local-pref desc, then hop count asc (a constant here), then MED asc,
+  /// then lexicographic path (constant).
+  Expr BetterSym(const Candidate& a, const Candidate& b) {
+    const SymState sa = StateFor(a.dest_index, a.via);
+    const SymState sb = StateFor(b.dest_index, b.via);
+    // Final (router-id-style) tie-break is deterministic on the paths.
+    const Expr lex_tie = pool_.Bool(a.via < b.via);
+    const Expr med_tie = pool_.Or(
+        {pool_.Lt(sa.med, sb.med),
+         pool_.And({pool_.Eq(sa.med, sb.med), lex_tie})});
+    const Expr len_tie = pool_.Or(
+        {pool_.Lt(sa.len, sb.len),
+         pool_.And({pool_.Eq(sa.len, sb.len), med_tie})});
+    return pool_.Or({pool_.Gt(sa.lp, sb.lp),
+                     pool_.And({pool_.Eq(sa.lp, sb.lp), len_tie})});
+  }
+
+  ExprPool& pool_;
+  const net::Topology& topo_;
+  const config::NetworkConfig& network_;
+  const spec::Spec& spec_;
+  EncoderOptions options_;
+  ValueTable values_;
+
+  std::vector<Destination> destinations_;
+  std::vector<Candidate> candidates_;
+  std::map<std::string, SymState> state_cache_;
+
+  void AddRequirement(Expr e) {
+    requirements_.push_back(e);
+    requirement_names_.push_back(current_req_);
+  }
+
+  std::string current_req_;
+  std::vector<std::string> requirement_names_;
+  std::vector<Expr> definitions_;
+  std::vector<Expr> requirements_;
+  std::vector<Expr> domains_;
+  Encoding encoding_;
+};
+
+}  // namespace
+
+std::vector<Expr> Encoding::HoleVarList() const {
+  std::vector<Expr> out;
+  out.reserve(hole_vars.size());
+  for (const auto& [name, var] : hole_vars) out.push_back(var);
+  return out;
+}
+
+Result<Encoding> Encode(ExprPool& pool, const net::Topology& topo,
+                        const config::NetworkConfig& network,
+                        const spec::Spec& spec, EncoderOptions options) {
+  EncoderImpl impl(pool, topo, network, spec, options);
+  auto encoding = impl.Run();
+  if (encoding.ok()) {
+    // Record hole provenance for decoding.
+    encoding.value().holes = config::CollectHoles(network);
+  }
+  return encoding;
+}
+
+}  // namespace ns::synth

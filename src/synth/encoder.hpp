@@ -1,0 +1,93 @@
+// The NetComplete-style constraint encoder (paper §3: "The encoding
+// process follow the same process as the NetComplete synthesizer").
+//
+// One encoder serves both directions of the pipeline:
+//  - synthesis: the sketch's holes become solver variables; a model fills
+//    them with concrete values;
+//  - explanation: the solved configuration with some fields re-opened as
+//    holes is re-encoded, producing the *seed specification* (paper Fig. 6)
+//    that the simplifier then reduces.
+//
+// Shape of the encoding (aux-variable style, matching the paper's ">1000
+// constraints even in the simple scenario"):
+//  - for every destination, every candidate announcement path, and every
+//    hop, fresh auxiliary variables (`st.`-prefixed) describe the route
+//    state after that hop: aliveness, local-pref, MED, next-hop, and one
+//    boolean per tracked community; each is defined by one equality
+//    constraint in terms of the previous hop's variables and the hop's
+//    export/import route-maps;
+//  - requirement constraints (forbid / allow / prefer) are asserted over
+//    the aliveness and local-pref variables;
+//  - each hole variable gets a domain constraint.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/holes.hpp"
+#include "smt/expr.hpp"
+#include "synth/candidates.hpp"
+#include "synth/vartable.hpp"
+
+namespace ns::synth {
+
+struct EncoderOptions {
+  /// Bound on candidate-path edges; 0 means #routers (every simple path).
+  int max_hops = 0;
+  /// Extra communities synthesis may assign to community holes, in
+  /// addition to those already mentioned in the configuration.
+  std::vector<config::Community> community_palette;
+  /// When non-empty, only the named requirements are encoded — the
+  /// per-requirement projection the paper's Scenario 3 asks questions with
+  /// ("when asked about the no transit traffic requirement...").
+  std::vector<std::string> only_requirements;
+  /// Encode protocol mechanics only, no requirement assertions (the lifter
+  /// compiles candidate statements against this).
+  bool skip_requirements = false;
+};
+
+/// Prefix of every auxiliary (route-state) variable name.
+inline constexpr const char* kAuxPrefix = "st.";
+
+/// True for names of encoder-internal route-state variables.
+bool IsAuxVar(const std::string& name) noexcept;
+
+struct Encoding {
+  /// The full seed specification: state definitions, requirement
+  /// constraints, and hole domains, in that order.
+  std::vector<smt::Expr> constraints;
+  /// Subset of `constraints`: just the requirement assertions, with the
+  /// name of the requirement block each came from (parallel vectors).
+  std::vector<smt::Expr> requirement_constraints;
+  std::vector<std::string> requirement_names;
+  /// Subset of `constraints`: the hole-domain side conditions.
+  std::vector<smt::Expr> domain_constraints;
+
+  /// Hole bookkeeping (synthesis variables).
+  std::vector<config::HoleInfo> holes;
+  std::map<std::string, smt::Expr> hole_vars;
+
+  ValueTable values;
+  std::vector<Destination> destinations;
+  std::vector<Candidate> candidates;
+
+  /// label (Candidate::Label) -> route-state variables of the full path.
+  std::map<std::string, smt::Expr> alive_vars;
+  std::map<std::string, smt::Expr> lp_vars;
+  std::map<std::string, smt::Expr> med_vars;
+  std::map<std::string, smt::Expr> len_vars;
+
+  std::size_t num_aux_vars = 0;
+
+  std::vector<smt::Expr> HoleVarList() const;
+};
+
+/// Builds the encoding. Fails on spec/config inconsistencies (unknown
+/// routers, unrealizable ranked paths, allow patterns with no candidate).
+util::Result<Encoding> Encode(smt::ExprPool& pool, const net::Topology& topo,
+                              const config::NetworkConfig& network,
+                              const spec::Spec& spec,
+                              EncoderOptions options = {});
+
+}  // namespace ns::synth

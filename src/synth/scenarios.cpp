@@ -1,0 +1,251 @@
+#include "synth/scenarios.hpp"
+
+#include "net/builders.hpp"
+#include "spec/parser.hpp"
+#include "synth/sketch.hpp"
+#include "util/status.hpp"
+
+namespace ns::synth {
+
+namespace {
+
+spec::Spec MustParse(const char* text) {
+  auto spec = spec::ParseSpec(text);
+  NS_ASSERT_MSG(spec.ok(), "scenario spec must parse: " +
+                               (spec.ok() ? "" : spec.error().ToString()));
+  return std::move(spec).value();
+}
+
+/// The provider-facing export sketch of Fig. 1c: one fully symbolic
+/// blocking entry (the template also supplies a `set next-hop` line) and a
+/// trailing concrete deny-all.
+void AddProviderExportSketch(config::RouterConfig& router,
+                             std::string_view provider) {
+  config::RouteMap& map = config::EnsureExportMap(router, provider);
+  AddSymbolicEntry(map, 10, SymbolicEntryOptions{.with_set_next_hop = true});
+  map.entries.push_back(config::DenyAll(100));
+}
+
+}  // namespace
+
+Scenario Scenario1() {
+  Scenario s;
+  s.name = "S1";
+  s.description =
+      "identifying underspecified paths: no-transit only; the synthesized "
+      "blocking rules turn out to drop *all* routes to the providers";
+  s.topo = net::PaperFig1b();
+  s.spec = MustParse(R"(
+    // No transit traffic (paper Fig. 1a)
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+  )");
+  s.sketch = config::SkeletonFor(s.topo);
+  AddProviderExportSketch(*s.sketch.FindRouter("R1"), "P1");
+  AddProviderExportSketch(*s.sketch.FindRouter("R2"), "P2");
+  s.d1_prefix = net::Prefix(net::Ipv4Addr(128, 0, 1, 0), 24);
+  return s;
+}
+
+Scenario Scenario1Refined() {
+  Scenario s = Scenario1();
+  s.name = "S1b";
+  s.description =
+      "scenario 1 after refinement: the administrator additionally requires "
+      "the customer's routes to reach both providers, forcing the blocking "
+      "entry to discriminate instead of dropping everything";
+  s.spec = MustParse(R"(
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+    // Added after inspecting the subspecification at R1 (paper §2,
+    // scenario 1): regular connectivity must be preserved.
+    Req1b {
+      (Cust->...->P1)
+      (Cust->...->P2)
+    }
+  )");
+  return s;
+}
+
+Scenario Scenario2() {
+  Scenario s;
+  s.name = "S2";
+  s.description =
+      "resolving ambiguous specifications: no-transit plus the D1 path "
+      "preference of Fig. 3; strict NetComplete semantics block every "
+      "unspecified path, surprising the administrator";
+  s.topo = net::PaperFig1b();
+  s.spec = MustParse(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+
+    // For D1, prefer the path through P1 over the path through P2
+    // (paper Fig. 3).
+    Req2 {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+    }
+  )");
+  s.d1_prefix = net::Prefix(net::Ipv4Addr(128, 0, 1, 0), 24);
+
+  s.sketch = config::SkeletonFor(s.topo);
+  AddProviderExportSketch(*s.sketch.FindRouter("R1"), "P1");
+  AddProviderExportSketch(*s.sketch.FindRouter("R2"), "P2");
+
+  // Preference sketch at R3's import interfaces (where the paper's Fig. 4
+  // subspecification lives): an as-path screening entry that can drop the
+  // detour routes, then a (symbolic) local-pref on D1 routes.
+  for (const char* neighbor : {"R1", "R2"}) {
+    config::RouteMap& imp =
+        config::EnsureImportMap(*s.sketch.FindRouter("R3"), neighbor);
+    AddViaScreenEntry(imp, 10);
+    AddPrefixEntry(imp, 20, config::RmAction::kPermit, s.d1_prefix,
+                   /*symbolic_local_pref=*/true);
+    imp.entries.push_back(config::PermitAll(100));
+  }
+  return s;
+}
+
+Scenario Scenario2Refined() {
+  Scenario s = Scenario2();
+  s.name = "S2b";
+  s.description =
+      "scenario 2 after refinement: the detour paths are explicitly allowed "
+      "as fallbacks, restoring the path redundancy the administrator "
+      "expected";
+  s.spec = MustParse(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+
+    Req2 {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+    }
+
+    // Added after inspecting Fig. 4's subspecification: the unranked
+    // paths stay usable as a last resort.
+    Req2b {
+      (Cust->R3->R2->R1->P1->...->D1)
+      (Cust->R3->R1->R2->P2->...->D1)
+    }
+  )");
+  return s;
+}
+
+Scenario Scenario3() {
+  Scenario s = Scenario2();
+  s.name = "S3";
+  s.description =
+      "taming complexity: scenario 2 plus customer reachability "
+      "requirements and more sketched policies; per-requirement questions "
+      "localize the review (Fig. 5)";
+  s.spec = MustParse(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    dest C1 = 123.0.1.0/20 at Cust
+
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+
+    Req2 {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+    }
+
+    // The customer prefix must be reachable from both providers.
+    Req3 {
+      (P1->...->C1)
+      (P2->...->C1)
+    }
+  )");
+
+  // More sketched policy surface: R3's customer import — extra "volume of
+  // configuration" that overwhelms manual review. (Deliberately no export
+  // sketches at R3: the no-transit requirement must be carried by the
+  // provider-facing maps at R1/R2, as in the paper's Fig. 5.)
+  {
+    config::RouteMap& imp =
+        config::EnsureImportMap(*s.sketch.FindRouter("R3"), "Cust");
+    AddSymbolicEntry(imp, 10);
+    imp.entries.push_back(config::PermitAll(100));
+  }
+  return s;
+}
+
+config::NetworkConfig Scenario1CommunityConfig() {
+  const Scenario s = Scenario1();
+  config::NetworkConfig network = config::SkeletonFor(s.topo);
+  const config::Community transit_tag = config::MakeCommunity(100, 2);
+
+  for (const auto& [router, provider] :
+       std::vector<std::pair<const char*, const char*>>{{"R1", "P1"},
+                                                        {"R2", "P2"}}) {
+    config::RouterConfig& cfg = *network.FindRouter(router);
+    // Tag everything learned from the provider with 100:2...
+    config::RouteMap& import = config::EnsureImportMap(cfg, provider);
+    config::RouteMapEntry tag = config::PermitAll(10);
+    tag.sets.add_community = transit_tag;
+    import.entries.push_back(tag);
+    // ...and refuse to export tagged (i.e. provider-learned) routes to the
+    // other provider's side.
+    config::RouteMap& exp = config::EnsureExportMap(cfg, provider);
+    config::RouteMapEntry filter;
+    filter.seq = 10;
+    filter.action = config::RmAction::kDeny;
+    filter.match.field = config::MatchField::kCommunity;
+    filter.match.community = transit_tag;
+    exp.entries.push_back(filter);
+    exp.entries.push_back(config::PermitAll(100));
+  }
+  return network;
+}
+
+config::NetworkConfig Scenario1PaperConfig() {
+  const Scenario s = Scenario1();
+  config::NetworkConfig network = config::SkeletonFor(s.topo);
+  const net::Prefix customer = network.FindRouter("Cust")->networks[0];
+
+  int link = 0;
+  for (const auto& [router, provider] :
+       std::vector<std::pair<const char*, const char*>>{{"R1", "P1"},
+                                                        {"R2", "P2"}}) {
+    config::RouteMap& map =
+        config::EnsureExportMap(*network.FindRouter(router), provider);
+    config::RouteMapEntry blocking;
+    blocking.seq = 10;
+    blocking.action = config::RmAction::kDeny;
+    blocking.match.field = config::MatchField::kPrefix;
+    blocking.match.prefix = customer;
+    // The template's redundant `set next-hop` line (paper Fig. 1c).
+    blocking.sets.next_hop = net::Ipv4Addr(10, 0, 0, static_cast<uint8_t>(++link));
+    map.entries.push_back(blocking);
+    map.entries.push_back(config::DenyAll(100));
+  }
+  return network;
+}
+
+Scenario GetScenario(int index) {
+  switch (index) {
+    case 1: return Scenario1();
+    case 2: return Scenario2();
+    case 3: return Scenario3();
+    default:
+      NS_ASSERT_MSG(false, "scenario index must be 1, 2 or 3");
+  }
+  return Scenario1();  // unreachable
+}
+
+}  // namespace ns::synth

@@ -1,0 +1,72 @@
+// The paper's three motivating scenarios (§2) as ready-to-run problem
+// instances: Fig. 1b topology + specification + configuration sketch.
+// Shared by the integration tests, the examples, and every bench.
+#pragma once
+
+#include <string>
+
+#include "config/device.hpp"
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+
+namespace ns::synth {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig sketch;
+  /// The prefix declared for D1 (scenarios 2 and 3).
+  net::Prefix d1_prefix;
+};
+
+/// Scenario 1 — identifying underspecified paths. Spec: no transit traffic
+/// between the two providers (Fig. 1a). Sketch: a symbolic blocking entry
+/// (with the template's `set next-hop` line) plus a trailing deny-all on
+/// each provider-facing export map, the shape of Fig. 1c.
+Scenario Scenario1();
+
+/// Scenario 2 — resolving ambiguous specifications. Scenario 1 plus the
+/// D1 path preference of Fig. 3 (through P1 over through P2) and the
+/// import-policy sketch pieces at R1/R2/R3 the preference needs.
+Scenario Scenario2();
+
+/// Scenario 3 — taming complexity. Scenario 2 plus additional reachability
+/// requirements; the volume of configuration grows and per-requirement
+/// questions (Fig. 5) become the only tractable way to review it.
+Scenario Scenario3();
+
+/// Scenario by index (1-3); asserts on anything else.
+Scenario GetScenario(int index);
+
+/// Scenario 1 refined per the paper's narrative: after seeing the
+/// subspecification, the administrator adds a requirement that Provider 1's
+/// routes must reach the customer.
+Scenario Scenario1Refined();
+
+/// Scenario 2 refined per the paper's narrative: after seeing the Fig. 4
+/// subspecification, the administrator "adds additional specifications to
+/// allow other available paths as the last resort when none of the
+/// specified paths are available" — the detour paths become permitted
+/// fallbacks below the ranked ones.
+Scenario Scenario2Refined();
+
+/// The community-based no-transit configuration of the paper's §5
+/// discussion ("denies routes with community 100:2 from R1 to P1 ... it is
+/// essential to ensure a route is tagged with community 100:2 if received
+/// from P2"): R1/R2 tag provider routes with 100:2 at import and filter
+/// the tag at export. Satisfies Scenario1's specification; explaining one
+/// router's filter exposes the tagging obligation on the *rest* of the
+/// network (Selection::Rest).
+config::NetworkConfig Scenario1CommunityConfig();
+
+/// The concrete configuration the paper's Fig. 1c shows for scenario 1
+/// (the synthesizer may pick any satisfying model; explanations in the
+/// paper are given for this particular one): the provider-facing export
+/// maps deny the customer prefix — with the template's redundant
+/// `set next-hop` line — followed by a deny-all. Satisfies Scenario1's
+/// specification.
+config::NetworkConfig Scenario1PaperConfig();
+
+}  // namespace ns::synth

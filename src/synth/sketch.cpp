@@ -1,0 +1,83 @@
+#include "synth/sketch.hpp"
+
+namespace ns::synth {
+
+using config::Field;
+using config::MatchField;
+using config::RmAction;
+using config::RouteMap;
+using config::RouteMapEntry;
+
+std::string HoleName(std::string_view map, int seq, std::string_view slot) {
+  return std::string(map) + "." + std::to_string(seq) + "." + std::string(slot);
+}
+
+RouteMapEntry& AddSymbolicEntry(RouteMap& map, int seq,
+                                SymbolicEntryOptions options) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = Field<RmAction>::Hole(HoleName(map.name, seq, "action"));
+  entry.match.field =
+      Field<MatchField>::Hole(HoleName(map.name, seq, "attr"));
+  entry.match.prefix =
+      Field<net::Prefix>::Hole(HoleName(map.name, seq, "prefix"));
+  entry.match.community =
+      Field<config::Community>::Hole(HoleName(map.name, seq, "community"));
+  entry.match.next_hop =
+      Field<net::Ipv4Addr>::Hole(HoleName(map.name, seq, "nexthop"));
+  entry.match.via =
+      Field<std::string>::Hole(HoleName(map.name, seq, "via"));
+  if (options.with_set_next_hop) {
+    entry.sets.next_hop =
+        Field<net::Ipv4Addr>::Hole(HoleName(map.name, seq, "set-nexthop"));
+  }
+  if (options.with_set_local_pref) {
+    entry.sets.local_pref =
+        Field<int>::Hole(HoleName(map.name, seq, "set-lp"));
+  }
+  if (options.with_set_community) {
+    entry.sets.add_community =
+        Field<config::Community>::Hole(HoleName(map.name, seq, "set-comm"));
+  }
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
+RouteMapEntry& AddPrefixEntry(RouteMap& map, int seq, RmAction action,
+                              const net::Prefix& prefix,
+                              bool symbolic_local_pref) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = action;
+  entry.match.field = MatchField::kPrefix;
+  entry.match.prefix = prefix;
+  if (symbolic_local_pref) {
+    entry.sets.local_pref =
+        Field<int>::Hole(HoleName(map.name, seq, "set-lp"));
+  }
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
+RouteMapEntry& AddViaScreenEntry(RouteMap& map, int seq) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = Field<RmAction>::Hole(HoleName(map.name, seq, "action"));
+  entry.match.field = MatchField::kViaContains;
+  entry.match.via = Field<std::string>::Hole(HoleName(map.name, seq, "via"));
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
+RouteMapEntry& AddActionHoleEntry(RouteMap& map, int seq,
+                                  const net::Prefix& prefix) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = Field<RmAction>::Hole(HoleName(map.name, seq, "action"));
+  entry.match.field = MatchField::kPrefix;
+  entry.match.prefix = prefix;
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
+}  // namespace ns::synth

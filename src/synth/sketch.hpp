@@ -1,0 +1,49 @@
+// Sketch construction helpers (NetComplete's "configuration sketch"): they
+// add route-map entries whose fields are holes for the synthesizer to fill.
+//
+// Hole naming convention: "<map>.<seq>.<slot>", e.g. "R1_to_P1.10.action".
+// The explainer's symbolization (explain/symbolize.hpp) re-opens solved
+// fields under "Var_*" names instead, so the two kinds of variables are
+// easy to tell apart in constraint dumps.
+#pragma once
+
+#include <string>
+
+#include "config/device.hpp"
+
+namespace ns::synth {
+
+/// Canonical hole name for a route-map entry slot.
+std::string HoleName(std::string_view map, int seq, std::string_view slot);
+
+struct SymbolicEntryOptions {
+  bool with_set_next_hop = false;  ///< include a `set ip next-hop ?` hole
+                                   ///< (the "template" line of Fig. 1c)
+  bool with_set_local_pref = false;
+  bool with_set_community = false;
+};
+
+/// Appends a fully symbolic entry to `map`: symbolic action (Var_Action),
+/// symbolic match attribute (Var_Attr) and symbolic values for each match
+/// slot (Var_Val), plus the requested symbolic set lines (Var_Param).
+config::RouteMapEntry& AddSymbolicEntry(config::RouteMap& map, int seq,
+                                        SymbolicEntryOptions options = {});
+
+/// Appends a concrete permit/deny entry that matches the given prefix, with
+/// an optional symbolic local-pref (NetComplete's classic lp sketch).
+config::RouteMapEntry& AddPrefixEntry(config::RouteMap& map, int seq,
+                                      config::RmAction action,
+                                      const net::Prefix& prefix,
+                                      bool symbolic_local_pref = false);
+
+/// Appends a concrete entry matching the given prefix whose *action* is a
+/// hole (synthesis decides permit/deny).
+config::RouteMapEntry& AddActionHoleEntry(config::RouteMap& map, int seq,
+                                          const net::Prefix& prefix);
+
+/// Appends an as-path screening entry: `<?action> match as-path contains
+/// <?router>` — both the action and the router value are holes. This is the
+/// knob scenario 2 gives R3 to drop detour routes at its import interfaces.
+config::RouteMapEntry& AddViaScreenEntry(config::RouteMap& map, int seq);
+
+}  // namespace ns::synth

@@ -1,0 +1,143 @@
+#include "synth/synthesizer.hpp"
+
+#include <set>
+
+#include "config/holes.hpp"
+#include "util/logging.hpp"
+#include "spec/lint.hpp"
+#include "util/strings.hpp"
+
+namespace ns::synth {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<SynthesisResult> Synthesizer::Synthesize(config::NetworkConfig sketch) {
+  if (options_.lint) {
+    const spec::LintReport report = spec::Lint(topo_, spec_);
+    if (report.HasErrors()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "specification fails lint:\n" + report.ToString());
+    }
+    for (const spec::LintFinding& finding : report.findings) {
+      NS_WARN << "spec lint: " << finding.ToString();
+    }
+  }
+
+  // Make sure declared destinations are originated before encoding so the
+  // encoder's and simulator's views agree.
+  {
+    auto destinations = BuildDestinations(topo_, sketch, spec_);
+    if (!destinations) return destinations.error();
+    EnsureOriginated(sketch, destinations.value());
+  }
+
+  auto encoding = Encode(pool_, topo_, sketch, spec_, options_.encoder);
+  if (!encoding) return encoding.error();
+
+  const std::vector<smt::Expr> hole_vars = encoding.value().HoleVarList();
+  auto model = z3_.Solve(encoding.value().constraints, hole_vars);
+  if (!model) {
+    if (model.error().code() == ErrorCode::kUnsat) {
+      return Error(ErrorCode::kUnsat,
+                   "no configuration satisfies the specification: " +
+                       DiagnoseUnsat(encoding.value()));
+    }
+    return model.error();
+  }
+
+  // Decode model values into typed hole values and fill the sketch.
+  std::map<std::string, config::HoleValue> values;
+  for (const config::HoleInfo& info : encoding.value().holes) {
+    const auto it = model.value().find(info.name);
+    NS_ASSERT_MSG(it != model.value().end(),
+                  "model missing hole variable " + info.name);
+    auto value = encoding.value().values.DecodeValue(info.type, it->second);
+    if (!value) return value.error();
+    values.emplace(info.name, std::move(value).value());
+  }
+  if (auto status = config::FillHoles(sketch, values); !status.ok()) {
+    return status.error();
+  }
+  // Canonicalize: drop the values synthesis assigned to match slots the
+  // chosen match field never consults.
+  for (auto& [router_name, router] : sketch.routers) {
+    for (auto& [map_name, map] : router.route_maps) {
+      for (config::RouteMapEntry& entry : map.entries) {
+        config::NormalizeUnusedMatchSlots(entry.match);
+      }
+    }
+  }
+  NS_INFO << "synthesis filled " << values.size() << " holes";
+
+  SynthesisResult result{std::move(sketch), std::move(encoding).value(),
+                         std::move(model).value(),
+                         static_cast<int>(values.size())};
+
+  if (options_.validate) {
+    auto check = Validate(result.network);
+    if (!check) return check.error();
+    if (!check.value().ok()) {
+      return Error(ErrorCode::kInternal,
+                   "synthesized configuration fails independent validation "
+                   "(encoder/simulator disagreement): " +
+                       check.value().ToString());
+    }
+  }
+  return result;
+}
+
+std::string Synthesizer::DiagnoseUnsat(const Encoding& encoding) {
+  // Hard part: protocol mechanics and hole domains. Soft part: the
+  // requirement assertions, labeled by the block they came from — the
+  // unsat core then names the conflicting requirements, pointing the
+  // operator at what to refine (the paper's "faster specification
+  // refinement iteration").
+  std::set<smt::Expr> requirement_set(
+      encoding.requirement_constraints.begin(),
+      encoding.requirement_constraints.end());
+  std::vector<smt::Expr> hard;
+  for (smt::Expr c : encoding.constraints) {
+    if (requirement_set.count(c) == 0) hard.push_back(c);
+  }
+  std::vector<std::pair<std::string, smt::Expr>> labeled;
+  labeled.reserve(encoding.requirement_constraints.size());
+  for (std::size_t i = 0; i < encoding.requirement_constraints.size(); ++i) {
+    labeled.emplace_back(encoding.requirement_names[i],
+                         encoding.requirement_constraints[i]);
+  }
+  auto core = z3_.UnsatCore(hard, labeled);
+  if (!core.ok() || core.value().empty()) {
+    return "the sketch cannot realize the requirements (no requirement "
+           "subset isolated)";
+  }
+  return "requirements in conflict (given this sketch): " +
+         util::Join(core.value(), ", ");
+}
+
+Result<spec::CheckResult> Synthesizer::Validate(
+    const config::NetworkConfig& network) const {
+  auto sim = bgp::Simulate(topo_, network);
+  if (!sim) return sim.error();
+
+  // Route-direction forbids (e.g. no-transit) constrain *every*
+  // destination, including the implicit per-router prefixes the spec never
+  // names. Augment the spec with those so the checker sees their routes.
+  auto destinations = BuildDestinations(topo_, network, spec_);
+  if (!destinations) return destinations.error();
+  spec::Spec augmented = spec_;
+  for (const Destination& dest : destinations.value()) {
+    if (dest.declared) continue;
+    augmented.destinations.push_back(
+        spec::DestDecl{dest.name, dest.prefix, dest.origins});
+  }
+
+  const spec::RoutingOutcome outcome =
+      bgp::ToRoutingOutcome(sim.value(), augmented);
+  return spec::Check(
+      augmented, outcome,
+      spec::CheckOptions{spec::PreferenceSemantics::kStrictBlocked});
+}
+
+}  // namespace ns::synth

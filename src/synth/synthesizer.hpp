@@ -1,0 +1,59 @@
+// The synthesis driver: encode -> solve -> decode -> (optionally) validate.
+#pragma once
+
+#include <string>
+
+#include "bgp/simulator.hpp"
+#include "config/device.hpp"
+#include "smt/z3bridge.hpp"
+#include "spec/checker.hpp"
+#include "synth/encoder.hpp"
+
+namespace ns::synth {
+
+struct SynthesisOptions {
+  EncoderOptions encoder;
+  /// Run the concrete simulator + spec checker on the result and fail if
+  /// the synthesized configuration does not satisfy the spec — an
+  /// end-to-end self-check through an independent implementation.
+  bool validate = true;
+  /// Statically lint the specification against the topology first and
+  /// fail fast (before any solver time) on lint errors.
+  bool lint = true;
+};
+
+struct SynthesisResult {
+  config::NetworkConfig network;  ///< all sketch holes filled
+  Encoding encoding;              ///< the constraints that were solved
+  smt::Assignment model;          ///< hole variable assignment
+  int holes_filled = 0;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const net::Topology& topo, const spec::Spec& spec,
+              SynthesisOptions options = {})
+      : topo_(topo), spec_(spec), options_(options) {}
+
+  /// Synthesizes concrete values for every hole in `sketch`.
+  /// Fails with kUnsat when no configuration can satisfy the spec.
+  util::Result<SynthesisResult> Synthesize(config::NetworkConfig sketch);
+
+  /// Validates a hole-free configuration against the spec via the
+  /// concrete simulator (independent of the encoder).
+  util::Result<spec::CheckResult> Validate(
+      const config::NetworkConfig& network) const;
+
+ private:
+  /// Names the requirements an unsatisfiable encoding pins the blame on
+  /// (Z3 unsat core over the requirement assertions).
+  std::string DiagnoseUnsat(const Encoding& encoding);
+
+  const net::Topology& topo_;
+  const spec::Spec& spec_;
+  SynthesisOptions options_;
+  smt::ExprPool pool_;
+  smt::Z3Session z3_;
+};
+
+}  // namespace ns::synth

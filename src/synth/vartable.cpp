@@ -1,0 +1,221 @@
+#include "synth/vartable.hpp"
+
+#include <algorithm>
+
+namespace ns::synth {
+
+using config::Community;
+using config::HoleType;
+using config::HoleValue;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+template <typename T>
+void CollectField(const config::Field<T>& field, std::set<T>& out) {
+  if (field.is_concrete()) out.insert(field.value());
+}
+
+}  // namespace
+
+ValueTable::ValueTable(const net::Topology& topo,
+                       const config::NetworkConfig& network,
+                       const spec::Spec& spec,
+                       const std::vector<Community>& palette) {
+  std::set<net::Prefix> prefix_set;
+  std::set<Community> community_set(palette.begin(), palette.end());
+
+  for (const auto& [name, router] : network.routers) {
+    for (const net::Prefix& p : router.networks) prefix_set.insert(p);
+    for (const auto& [map_name, map] : router.route_maps) {
+      for (const config::RouteMapEntry& entry : map.entries) {
+        // A match-value slot only matters when the (possibly symbolic)
+        // match field can select it; unused slots keep defaults that must
+        // not pollute the tables.
+        const auto relevant = [&](config::MatchField field) {
+          return entry.match.field.is_hole() ||
+                 entry.match.field.value() == field;
+        };
+        if (relevant(config::MatchField::kPrefix)) {
+          CollectField(entry.match.prefix, prefix_set);
+        }
+        if (relevant(config::MatchField::kCommunity)) {
+          CollectField(entry.match.community, community_set);
+        }
+        if (relevant(config::MatchField::kNextHop) &&
+            entry.match.next_hop.is_concrete()) {
+          addresses_.insert(entry.match.next_hop.value());
+        }
+        if (entry.sets.add_community) {
+          CollectField(*entry.sets.add_community, community_set);
+        }
+        if (entry.sets.next_hop && entry.sets.next_hop->is_concrete()) {
+          addresses_.insert(entry.sets.next_hop->value());
+        }
+      }
+    }
+  }
+  for (const spec::DestDecl& dest : spec.destinations) {
+    prefix_set.insert(dest.prefix);
+  }
+  for (const net::Link& link : topo.links()) {
+    addresses_.insert(link.addr_a);
+    addresses_.insert(link.addr_b);
+  }
+  // Community value 0 ("0:0") is reserved as the encoder's "no community"
+  // placeholder; drop it from the tracked universe.
+  community_set.erase(0);
+
+  for (net::RouterId id : topo.AllRouters()) {
+    routers_.push_back(topo.NameOf(id));
+  }
+
+  prefixes_.assign(prefix_set.begin(), prefix_set.end());
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    prefix_ids_.emplace(prefixes_[i], static_cast<std::int64_t>(i));
+  }
+  communities_.assign(community_set.begin(), community_set.end());
+}
+
+std::int64_t ValueTable::RouterId(const std::string& name) const {
+  const auto it = std::find(routers_.begin(), routers_.end(), name);
+  NS_ASSERT_MSG(it != routers_.end(), "router not collected: " + name);
+  return static_cast<std::int64_t>(it - routers_.begin());
+}
+
+std::int64_t ValueTable::PrefixId(const net::Prefix& prefix) const {
+  const auto it = prefix_ids_.find(prefix);
+  NS_ASSERT_MSG(it != prefix_ids_.end(),
+                "prefix not collected: " + prefix.ToString());
+  return it->second;
+}
+
+std::int64_t ValueTable::EncodeValue(const HoleValue& value) const {
+  return std::visit(
+      [&](const auto& v) -> std::int64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, config::RmAction>) {
+          return v == config::RmAction::kPermit ? kActionPermit : kActionDeny;
+        } else if constexpr (std::is_same_v<T, config::MatchField>) {
+          switch (v) {
+            case config::MatchField::kAny: return kFieldAny;
+            case config::MatchField::kPrefix: return kFieldPrefix;
+            case config::MatchField::kCommunity: return kFieldCommunity;
+            case config::MatchField::kNextHop: return kFieldNextHop;
+            case config::MatchField::kViaContains: return kFieldVia;
+          }
+          return kFieldAny;
+        } else if constexpr (std::is_same_v<T, net::Prefix>) {
+          // Total even for unused-slot defaults (e.g. 0.0.0.0/0 on an
+          // entry whose match field never consults the prefix): -1 is a
+          // sentinel outside every hole domain, semantically
+          // "matches nothing".
+          const auto it = prefix_ids_.find(v);
+          return it == prefix_ids_.end() ? -1 : it->second;
+        } else if constexpr (std::is_same_v<T, net::Ipv4Addr>) {
+          return AddressValue(v);
+        } else if constexpr (std::is_same_v<T, Community>) {
+          return static_cast<std::int64_t>(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          const auto it = std::find(routers_.begin(), routers_.end(), v);
+          return it == routers_.end()
+                     ? -1
+                     : static_cast<std::int64_t>(it - routers_.begin());
+        } else {
+          return static_cast<std::int64_t>(v);  // plain int (lp / med)
+        }
+      },
+      value);
+}
+
+smt::Expr ValueTable::DomainConstraint(smt::ExprPool& pool, smt::Expr var,
+                                       HoleType type) const {
+  const auto in_range = [&](std::int64_t lo, std::int64_t hi) {
+    return pool.And({pool.Le(pool.Int(lo), var), pool.Le(var, pool.Int(hi))});
+  };
+  const auto one_of = [&](const std::vector<std::int64_t>& values) {
+    NS_ASSERT_MSG(!values.empty(), "empty hole domain");
+    std::vector<smt::Expr> options;
+    options.reserve(values.size());
+    for (std::int64_t v : values) options.push_back(pool.Eq(var, pool.Int(v)));
+    return pool.Or(options);
+  };
+
+  switch (type) {
+    case HoleType::kAction:
+      return in_range(kActionDeny, kActionPermit);
+    case HoleType::kMatchField:
+      return in_range(kFieldAny, kFieldVia);
+    case HoleType::kPrefix:
+      return in_range(0, static_cast<std::int64_t>(prefixes_.size()) - 1);
+    case HoleType::kCommunity: {
+      std::vector<std::int64_t> values;
+      values.reserve(communities_.size());
+      for (Community c : communities_) {
+        values.push_back(static_cast<std::int64_t>(c));
+      }
+      return one_of(values);
+    }
+    case HoleType::kAddress: {
+      std::vector<std::int64_t> values;
+      values.reserve(addresses_.size());
+      for (net::Ipv4Addr addr : addresses_) {
+        values.push_back(AddressValue(addr));
+      }
+      return one_of(values);
+    }
+    case HoleType::kLocalPref:
+      return in_range(config::kMinLocalPref, config::kMaxLocalPref);
+    case HoleType::kMed:
+      return in_range(0, 1000);
+    case HoleType::kRouter:
+      return in_range(0, static_cast<std::int64_t>(routers_.size()) - 1);
+  }
+  NS_ASSERT_MSG(false, "unknown hole type");
+  return pool.True();
+}
+
+Result<HoleValue> ValueTable::DecodeValue(HoleType type,
+                                          std::int64_t value) const {
+  switch (type) {
+    case HoleType::kAction:
+      if (value != kActionDeny && value != kActionPermit) break;
+      return HoleValue(value == kActionPermit ? config::RmAction::kPermit
+                                              : config::RmAction::kDeny);
+    case HoleType::kMatchField:
+      switch (value) {
+        case kFieldAny: return HoleValue(config::MatchField::kAny);
+        case kFieldPrefix: return HoleValue(config::MatchField::kPrefix);
+        case kFieldCommunity: return HoleValue(config::MatchField::kCommunity);
+        case kFieldNextHop: return HoleValue(config::MatchField::kNextHop);
+        case kFieldVia: return HoleValue(config::MatchField::kViaContains);
+        default: break;
+      }
+      break;
+    case HoleType::kPrefix:
+      if (value < 0 || value >= static_cast<std::int64_t>(prefixes_.size())) {
+        break;
+      }
+      return HoleValue(prefixes_[static_cast<std::size_t>(value)]);
+    case HoleType::kCommunity:
+      return HoleValue(static_cast<Community>(value));
+    case HoleType::kAddress:
+      return HoleValue(net::Ipv4Addr(static_cast<std::uint32_t>(value)));
+    case HoleType::kLocalPref:
+    case HoleType::kMed:
+      return HoleValue(static_cast<int>(value));
+    case HoleType::kRouter:
+      if (value < 0 || value >= static_cast<std::int64_t>(routers_.size())) {
+        break;
+      }
+      return HoleValue(routers_[static_cast<std::size_t>(value)]);
+  }
+  return Error(ErrorCode::kInternal,
+               "model value " + std::to_string(value) +
+                   " outside the domain of hole type " +
+                   config::HoleTypeName(type));
+}
+
+}  // namespace ns::synth

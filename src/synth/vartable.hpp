@@ -1,0 +1,85 @@
+// Value tables: the encoder works over a two-sorted (Bool/Int) IR, so every
+// configuration value is mapped to an integer —
+//   prefixes    -> index into a table of every prefix the problem mentions
+//   addresses   -> the 32-bit address value
+//   communities -> the packed asn:tag value
+//   action      -> 0 = deny, 1 = permit
+//   match field -> 0 = any, 1 = prefix, 2 = community, 3 = next-hop
+// The table also produces the domain constraint for each hole and decodes
+// solver models back into config::HoleValue.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/device.hpp"
+#include "config/holes.hpp"
+#include "smt/expr.hpp"
+#include "spec/ast.hpp"
+#include "util/status.hpp"
+
+namespace ns::synth {
+
+/// Integer codes for RmAction (paper: Var_Action).
+inline constexpr std::int64_t kActionDeny = 0;
+inline constexpr std::int64_t kActionPermit = 1;
+
+/// Integer codes for MatchField (paper: Var_Attr).
+inline constexpr std::int64_t kFieldAny = 0;
+inline constexpr std::int64_t kFieldPrefix = 1;
+inline constexpr std::int64_t kFieldCommunity = 2;
+inline constexpr std::int64_t kFieldNextHop = 3;
+inline constexpr std::int64_t kFieldVia = 4;
+
+class ValueTable {
+ public:
+  /// Empty table (placeholder inside a default-constructed Encoding).
+  ValueTable() = default;
+
+  /// Scans the configuration, spec, and topology for every prefix, address
+  /// and community the encoding may need. `palette` supplies additional
+  /// community values synthesis may choose for holes.
+  ValueTable(const net::Topology& topo, const config::NetworkConfig& network,
+             const spec::Spec& spec,
+             const std::vector<config::Community>& palette);
+
+  /// Index of a prefix; the prefix must have been collected.
+  std::int64_t PrefixId(const net::Prefix& prefix) const;
+  const std::vector<net::Prefix>& prefixes() const noexcept { return prefixes_; }
+
+  static std::int64_t AddressValue(net::Ipv4Addr addr) noexcept {
+    return static_cast<std::int64_t>(addr.bits());
+  }
+  const std::set<net::Ipv4Addr>& addresses() const noexcept { return addresses_; }
+
+  /// All communities the encoding tracks per route (mentioned + palette).
+  const std::vector<config::Community>& communities() const noexcept {
+    return communities_;
+  }
+
+  /// Router names, indexed by topology id (for via/as-path holes).
+  const std::vector<std::string>& routers() const noexcept { return routers_; }
+  std::int64_t RouterId(const std::string& name) const;
+
+  /// Encodes a concrete hole value as the IR integer.
+  std::int64_t EncodeValue(const config::HoleValue& value) const;
+
+  /// Domain constraint for a hole variable of the given type.
+  smt::Expr DomainConstraint(smt::ExprPool& pool, smt::Expr var,
+                             config::HoleType type) const;
+
+  /// Decodes a model value back into a typed hole value.
+  util::Result<config::HoleValue> DecodeValue(config::HoleType type,
+                                              std::int64_t value) const;
+
+ private:
+  std::vector<net::Prefix> prefixes_;
+  std::map<net::Prefix, std::int64_t> prefix_ids_;
+  std::set<net::Ipv4Addr> addresses_;
+  std::vector<config::Community> communities_;
+  std::vector<std::string> routers_;
+};
+
+}  // namespace ns::synth

@@ -1,0 +1,34 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ns::util {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "cannot open '" + path + "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) {
+    return Error(ErrorCode::kInvalidArgument, "error reading '" + path + "'");
+  }
+  return os.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot open '" + path + "' for writing");
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) {
+    return Error(ErrorCode::kInvalidArgument, "error writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ns::util

@@ -1,0 +1,17 @@
+// Whole-file IO helpers for the command-line tool and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace ns::util {
+
+/// Reads the entire file; kNotFound if it cannot be opened.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes (truncating) the file; kInvalidArgument on failure.
+Status WriteFile(const std::string& path, std::string_view contents);
+
+}  // namespace ns::util

@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace ns::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[" << LevelTag(level) << "] " << message << '\n';
+}
+}  // namespace internal
+
+}  // namespace ns::util

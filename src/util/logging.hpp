@@ -1,0 +1,44 @@
+// Leveled logging to stderr. Off by default above kWarn so test and bench
+// output stays clean; examples turn on kInfo to narrate pipeline stages.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ns::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ns::util
+
+#define NS_LOG(level) ::ns::util::internal::LogLine(::ns::util::LogLevel::level)
+#define NS_DEBUG NS_LOG(kDebug)
+#define NS_INFO NS_LOG(kInfo)
+#define NS_WARN NS_LOG(kWarn)
+#define NS_ERROR NS_LOG(kError)

@@ -1,0 +1,52 @@
+// Deterministic xorshift128+ RNG. Used by property tests and the random
+// formula corpus in bench_rules; seeded explicitly so every run reproduces.
+#pragma once
+
+#include <cstdint>
+
+namespace ns::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept
+      : s0_(seed ^ 0x9E3779B97F4A7C15ull), s1_(SplitMix(seed)) {
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is a fixed point
+  }
+
+  std::uint64_t Next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Below(std::uint64_t bound) noexcept { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int Range(int lo, int hi) noexcept {
+    return lo + static_cast<int>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool Coin() noexcept { return (Next() & 1u) != 0; }
+
+  /// Bernoulli with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return Below(den) < num;
+  }
+
+ private:
+  static std::uint64_t SplitMix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace ns::util

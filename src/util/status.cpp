@@ -1,0 +1,39 @@
+#include "util/status.hpp"
+
+#include <sstream>
+
+namespace ns::util {
+
+const char* ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kUnsat: return "unsat";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::ToString() const {
+  std::ostringstream os;
+  os << ErrorCodeName(code_) << " error";
+  if (line_) {
+    os << " at " << *line_;
+    if (column_) os << ":" << *column_;
+  }
+  os << ": " << message_;
+  return os.str();
+}
+
+void AssertionFailure(const char* expr, const char* file, int line,
+                      const std::string& detail) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " (" << file << ":" << line
+     << ")";
+  if (!detail.empty()) os << " — " << detail;
+  throw InternalError(os.str());
+}
+
+}  // namespace ns::util

@@ -1,0 +1,143 @@
+// Error handling primitives for netsubspec.
+//
+// The library reports recoverable failures (parse errors, unsat synthesis,
+// malformed configurations) through `Result<T>`; programming errors use
+// NS_ASSERT which throws `InternalError` so tests can observe them.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ns::util {
+
+/// Category of a recoverable error. Kept coarse on purpose: callers dispatch
+/// on the category, humans read the message.
+enum class ErrorCode {
+  kInvalidArgument,  ///< caller handed us something malformed
+  kParse,            ///< DSL or config text failed to parse
+  kNotFound,         ///< named entity (router, prefix, requirement) missing
+  kUnsat,            ///< the underlying constraint problem is unsatisfiable
+  kUnsupported,      ///< feature outside the implemented fragment
+  kInternal,         ///< invariant violation escaped as a value
+};
+
+/// Human-readable name of an error code ("parse", "unsat", ...).
+const char* ErrorCodeName(ErrorCode code) noexcept;
+
+/// A recoverable error: a category plus a message, with optional
+/// source-location context (used by the DSL and config parsers).
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Error(ErrorCode code, std::string message, int line, int column)
+      : code_(code), message_(std::move(message)), line_(line), column_(column) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+  std::optional<int> line() const noexcept { return line_; }
+  std::optional<int> column() const noexcept { return column_; }
+
+  /// "parse error at 3:14: expected ')'"
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+  std::optional<int> line_;
+  std::optional<int> column_;
+};
+
+/// Minimal result type: either a value or an `Error`. We deliberately avoid
+/// exceptions for recoverable failures (parsing user input, unsat specs);
+/// see C++ Core Guidelines E.2/E.3 — exceptions are reserved for bugs.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return value;`
+  Result(T value) : storage_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): ergonomic `return error;`
+  Result(Error error) : storage_(std::move(error)) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    RequireOk();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    RequireOk();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    RequireOk();
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() called on ok result");
+    return std::get<Error>(storage_);
+  }
+
+  const T& value_or(const T& fallback) const& noexcept {
+    return ok() ? std::get<T>(storage_) : fallback;
+  }
+
+ private:
+  void RequireOk() const {
+    if (!ok()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               std::get<Error>(storage_).ToString());
+    }
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Status(Error error) : error_(std::move(error)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const Error& error() const { return error_.value(); }
+  std::string ToString() const { return ok() ? "ok" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Thrown on internal invariant violations (never on bad user input).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void AssertionFailure(const char* expr, const char* file, int line,
+                                   const std::string& detail = "");
+
+}  // namespace ns::util
+
+/// Invariant check: throws ns::util::InternalError with location info.
+/// Active in all build types — this library is about trustworthy tooling,
+/// and the checks are never on a hot path that matters.
+#define NS_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::ns::util::AssertionFailure(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define NS_ASSERT_MSG(expr, detail)                                        \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::ns::util::AssertionFailure(#expr, __FILE__, __LINE__, (detail));   \
+  } while (false)

@@ -1,0 +1,38 @@
+// Small string utilities shared across the library. Nothing here allocates
+// unless the return type demands it; inputs are taken as std::string_view.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ns::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text) noexcept;
+
+bool StartsWith(std::string_view text, std::string_view prefix) noexcept;
+bool EndsWith(std::string_view text, std::string_view suffix) noexcept;
+
+/// True if `text` is a non-empty run of ASCII digits.
+bool IsAllDigits(std::string_view text) noexcept;
+
+/// Lowercases ASCII letters only.
+std::string ToLower(std::string_view text);
+
+/// Indents every line of `text` by `spaces` spaces (including the first).
+std::string Indent(std::string_view text, int spaces);
+
+/// Formats "n item(s)" with naive pluralization; handy for reports.
+std::string Plural(std::size_t n, std::string_view noun);
+
+}  // namespace ns::util

@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hpp"
+#include "bgp/policy.hpp"
+#include "bgp/simulator.hpp"
+#include "config/holes.hpp"
+#include "net/builders.hpp"
+#include "spec/parser.hpp"
+
+namespace ns::bgp {
+namespace {
+
+using config::Field;
+using config::MakeCommunity;
+using config::MatchField;
+using config::NetworkConfig;
+using config::RmAction;
+using config::RouteMap;
+using config::RouteMapEntry;
+
+Route MakeRoute(const char* prefix, std::vector<std::string> via,
+                int local_pref = 100) {
+  Route r;
+  r.prefix = net::Prefix::Parse(prefix).value();
+  r.via = std::move(via);
+  r.local_pref = local_pref;
+  return r;
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(PolicyTest, MatchAnyAlwaysMatches) {
+  config::MatchClause match;  // default kAny
+  EXPECT_TRUE(Matches(match, MakeRoute("10.0.0.0/24", {"P1"})));
+}
+
+TEST(PolicyTest, MatchPrefixIsExact) {
+  config::MatchClause match;
+  match.field = MatchField::kPrefix;
+  match.prefix = net::Prefix::Parse("10.0.0.0/24").value();
+  EXPECT_TRUE(Matches(match, MakeRoute("10.0.0.0/24", {"P1"})));
+  EXPECT_FALSE(Matches(match, MakeRoute("10.0.0.0/25", {"P1"})));
+  EXPECT_FALSE(Matches(match, MakeRoute("10.0.1.0/24", {"P1"})));
+}
+
+TEST(PolicyTest, MatchCommunityIsMembership) {
+  config::MatchClause match;
+  match.field = MatchField::kCommunity;
+  match.community = MakeCommunity(100, 2);
+  Route route = MakeRoute("10.0.0.0/24", {"P1"});
+  EXPECT_FALSE(Matches(match, route));
+  route.communities.insert(MakeCommunity(100, 2));
+  route.communities.insert(MakeCommunity(100, 9));
+  EXPECT_TRUE(Matches(match, route));
+}
+
+TEST(PolicyTest, MatchNextHop) {
+  config::MatchClause match;
+  match.field = MatchField::kNextHop;
+  match.next_hop = net::Ipv4Addr(10, 0, 0, 2);
+  Route route = MakeRoute("10.0.0.0/24", {"P1"});
+  route.next_hop = net::Ipv4Addr(10, 0, 0, 2);
+  EXPECT_TRUE(Matches(match, route));
+  route.next_hop = net::Ipv4Addr(10, 0, 0, 3);
+  EXPECT_FALSE(Matches(match, route));
+}
+
+TEST(PolicyTest, ApplySetsOverwritesAttributes) {
+  config::SetClause sets;
+  sets.local_pref = 200;
+  sets.add_community = MakeCommunity(100, 3);
+  sets.next_hop = net::Ipv4Addr(10, 0, 0, 9);
+  sets.med = 5;
+  Route route = MakeRoute("10.0.0.0/24", {"P1"});
+  ApplySets(sets, route);
+  EXPECT_EQ(route.local_pref, 200);
+  EXPECT_EQ(route.med, 5);
+  EXPECT_TRUE(route.communities.count(MakeCommunity(100, 3)));
+  EXPECT_EQ(route.next_hop, net::Ipv4Addr(10, 0, 0, 9));
+}
+
+TEST(PolicyTest, FirstMatchWinsAndImplicitDeny) {
+  RouteMap map;
+  map.name = "m";
+  RouteMapEntry deny_comm;
+  deny_comm.seq = 10;
+  deny_comm.action = RmAction::kDeny;
+  deny_comm.match.field = MatchField::kCommunity;
+  deny_comm.match.community = MakeCommunity(100, 2);
+  map.entries.push_back(deny_comm);
+  RouteMapEntry permit;
+  permit.seq = 20;
+  permit.action = RmAction::kPermit;
+  permit.match.field = MatchField::kPrefix;
+  permit.match.prefix = net::Prefix::Parse("10.0.0.0/24").value();
+  permit.sets.local_pref = 300;
+  map.entries.push_back(permit);
+
+  Route tagged = MakeRoute("10.0.0.0/24", {"P1"});
+  tagged.communities.insert(MakeCommunity(100, 2));
+  EXPECT_FALSE(ApplyRouteMap(&map, tagged).has_value());
+
+  const auto kept = ApplyRouteMap(&map, MakeRoute("10.0.0.0/24", {"P1"}));
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->local_pref, 300);
+
+  // No entry matches this prefix: implicit deny.
+  EXPECT_FALSE(ApplyRouteMap(&map, MakeRoute("99.0.0.0/24", {"P1"})).has_value());
+}
+
+TEST(PolicyTest, NullMapPermitsUnmodified) {
+  const Route route = MakeRoute("10.0.0.0/24", {"P1"});
+  const auto out = ApplyRouteMap(nullptr, route);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, route);
+}
+
+// ---------------------------------------------------------------- decision
+
+TEST(DecisionTest, LocalPrefDominatesHops) {
+  const Route longer = MakeRoute("10.0.0.0/24", {"P1", "R1", "R3", "R2"}, 200);
+  const Route shorter = MakeRoute("10.0.0.0/24", {"P1", "R1", "R2"}, 100);
+  EXPECT_TRUE(BetterThan(longer, shorter));
+  EXPECT_FALSE(BetterThan(shorter, longer));
+}
+
+TEST(DecisionTest, HopsBreakLocalPrefTies) {
+  const Route a = MakeRoute("10.0.0.0/24", {"P1", "R1", "R2"});
+  const Route b = MakeRoute("10.0.0.0/24", {"P1", "R1", "R3", "R2"});
+  EXPECT_TRUE(BetterThan(a, b));
+}
+
+TEST(DecisionTest, MedThenPathBreaksRemainingTies) {
+  Route a = MakeRoute("10.0.0.0/24", {"P1", "R1"});
+  Route b = MakeRoute("10.0.0.0/24", {"P2", "R1"});
+  a.med = 1;
+  b.med = 2;
+  EXPECT_TRUE(BetterThan(a, b));
+  b.med = 1;
+  EXPECT_TRUE(BetterThan(a, b));  // "P1..." < "P2..." lexicographically
+  EXPECT_FALSE(BetterThan(b, a));
+}
+
+TEST(DecisionTest, SelectBestIsTotalAndDeterministic) {
+  std::vector<Route> routes{
+      MakeRoute("10.0.0.0/24", {"P1", "R1", "R2"}, 100),
+      MakeRoute("10.0.0.0/24", {"P2", "R2"}, 100),
+      MakeRoute("10.0.0.0/24", {"P1", "R1", "R3", "R2"}, 150),
+  };
+  EXPECT_EQ(SelectBestIndex(routes), 2);  // highest local-pref
+  EXPECT_EQ(SelectBestIndex({}), -1);
+  EXPECT_FALSE(SelectBest({}).has_value());
+}
+
+// ---------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, OpenPolicyFloodsEverywhere) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = config::SkeletonFor(topo);
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+
+  // P1's prefix reaches every router.
+  const net::Prefix p1_prefix = network.FindRouter("P1")->networks[0];
+  for (const char* router : {"R1", "R2", "R3", "P2", "Cust"}) {
+    EXPECT_NE(result.value().BestRoute(router, p1_prefix), nullptr) << router;
+  }
+  // Usable paths include both P1->R1->R2 and P1->R1->R3->R2 candidates at R2.
+  int candidates_at_r2 = 0;
+  for (const Route& route : result.value().rib.at("R2")) {
+    if (route.prefix == p1_prefix) ++candidates_at_r2;
+  }
+  EXPECT_EQ(candidates_at_r2, 2);
+}
+
+TEST(SimulatorTest, BestPathPrefersFewerHops) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = config::SkeletonFor(topo);
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok());
+  const net::Prefix p1_prefix = network.FindRouter("P1")->networks[0];
+  const Route* best = result.value().BestRoute("R2", p1_prefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->via, (std::vector<std::string>{"P1", "R1", "R2"}));
+}
+
+TEST(SimulatorTest, ExportDenyBlocksPropagation) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = config::SkeletonFor(topo);
+  // R1 denies everything to P1: P1 must not learn any route via R1.
+  config::RouterConfig& r1 = *network.FindRouter("R1");
+  config::EnsureExportMap(r1, "P1").entries.push_back(config::DenyAll(10));
+
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  for (const Route& route : result.value().rib.at("P1")) {
+    EXPECT_EQ(route.via.front(), "P1")
+        << "leaked route at P1: " << route.ToString();
+  }
+}
+
+TEST(SimulatorTest, ImportSetsLocalPrefChangesDecision) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = config::SkeletonFor(topo);
+  // Cust prefers routes learned from R3 going via R2 by bumping local-pref
+  // on import when next-hop matches R3... simpler: R3 sets local-pref on
+  // import from R2 so R3's best route to P1's prefix flips to the long way.
+  config::RouterConfig& r3 = *network.FindRouter("R3");
+  RouteMapEntry bump = config::PermitAll(10);
+  bump.sets.local_pref = 500;
+  config::EnsureImportMap(r3, "R2").entries.push_back(bump);
+
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok());
+  const net::Prefix p1_prefix = network.FindRouter("P1")->networks[0];
+  const Route* best = result.value().BestRoute("R3", p1_prefix);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->via, (std::vector<std::string>{"P1", "R1", "R2", "R3"}));
+  EXPECT_EQ(best->local_pref, 500);
+}
+
+TEST(SimulatorTest, CommunityTagTravelsAndMatches) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = config::SkeletonFor(topo);
+  // R2 tags routes imported from P2 with 100:2; R1 drops tagged routes when
+  // exporting to P1 — the classic no-transit implementation.
+  config::RouterConfig& r2 = *network.FindRouter("R2");
+  RouteMapEntry tag = config::PermitAll(10);
+  tag.sets.add_community = MakeCommunity(100, 2);
+  config::EnsureImportMap(r2, "P2").entries.push_back(tag);
+
+  config::RouterConfig& r1 = *network.FindRouter("R1");
+  RouteMapEntry drop;
+  drop.seq = 10;
+  drop.action = RmAction::kDeny;
+  drop.match.field = MatchField::kCommunity;
+  drop.match.community = MakeCommunity(100, 2);
+  config::EnsureExportMap(r1, "P1").entries.push_back(drop);
+  config::EnsureExportMap(r1, "P1").entries.push_back(config::PermitAll(100));
+
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok());
+  const net::Prefix p2_prefix = network.FindRouter("P2")->networks[0];
+  // P1 must not have any route to P2's prefix (transit blocked)...
+  for (const Route& route : result.value().rib.at("P1")) {
+    EXPECT_NE(route.prefix, p2_prefix) << route.ToString();
+  }
+  // ...but Cust still reaches it.
+  EXPECT_NE(result.value().BestRoute("Cust", p2_prefix), nullptr);
+}
+
+TEST(SimulatorTest, NextHopDefaultsToSenderInterface) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = config::SkeletonFor(topo);
+  const auto result = Simulate(topo, network);
+  ASSERT_TRUE(result.ok());
+  const net::Prefix p1_prefix = network.FindRouter("P1")->networks[0];
+  const Route* best = result.value().BestRoute("R1", p1_prefix);
+  ASSERT_NE(best, nullptr);
+  const auto expected = topo.InterfaceAddr(topo.FindRouter("P1"),
+                                           topo.FindRouter("R1"));
+  EXPECT_EQ(best->next_hop, *expected);
+}
+
+TEST(SimulatorTest, RejectsConfigWithHoles) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = config::SkeletonFor(topo);
+  config::RouterConfig& r1 = *network.FindRouter("R1");
+  RouteMapEntry holed = config::PermitAll(10);
+  holed.action = Field<RmAction>::Hole("h");
+  config::EnsureExportMap(r1, "P1").entries.push_back(holed);
+  const auto result = Simulate(topo, network);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(SimulatorTest, RejectsSessionWithoutLink) {
+  net::Topology topo;
+  topo.AddRouter("A", 1);
+  topo.AddRouter("B", 2);
+  NetworkConfig network = config::SkeletonFor(topo);
+  network.FindRouter("A")->neighbors.push_back(
+      config::Neighbor{"B", std::nullopt, std::nullopt});
+  const auto result = Simulate(topo, network);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = config::SkeletonFor(topo);
+  const auto a = Simulate(topo, network);
+  const auto b = Simulate(topo, network);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().rib, b.value().rib);
+  EXPECT_EQ(a.value().best, b.value().best);
+}
+
+TEST(SimulatorTest, OutcomeProjectionBuildsTrafficPaths) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = config::SkeletonFor(topo);
+  const auto sim = Simulate(topo, network);
+  ASSERT_TRUE(sim.ok());
+
+  const net::Prefix p1_prefix = network.FindRouter("P1")->networks[0];
+  const auto spec = spec::ParseSpec(
+      "dest D1 = " + p1_prefix.ToString() + " at P1\nReq { (Cust->...->D1) }");
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+
+  const spec::RoutingOutcome outcome =
+      ToRoutingOutcome(sim.value(), spec.value());
+  ASSERT_TRUE(outcome.forwarding.count("D1"));
+  const auto& fwd = outcome.forwarding.at("D1");
+  ASSERT_TRUE(fwd.count("Cust"));
+  // P1 -> R1 -> R3 -> Cust is the shortest announcement path to Cust.
+  EXPECT_EQ(fwd.at("Cust"),
+            (std::vector<std::string>{"P1", "R1", "R3", "Cust"}));
+  // Every usable announcement path starts at the declared origin.
+  ASSERT_FALSE(outcome.usable.at("D1").empty());
+  for (const auto& via : outcome.usable.at("D1")) {
+    ASSERT_FALSE(via.empty());
+    EXPECT_EQ(via.front(), "P1");
+  }
+}
+
+}  // namespace
+}  // namespace ns::bgp
+
+namespace decision_sweep {
+
+using ns::bgp::BetterThan;
+using ns::bgp::Route;
+
+struct DecisionCase {
+  int lp_a, hops_a, med_a;
+  int lp_b, hops_b, med_b;
+  bool a_wins;
+};
+
+class DecisionSweep : public ::testing::TestWithParam<DecisionCase> {};
+
+TEST_P(DecisionSweep, FollowsTheProcess) {
+  const DecisionCase& c = GetParam();
+  Route a;
+  a.prefix = ns::net::Prefix::Parse("10.0.0.0/24").value();
+  a.via.assign(static_cast<std::size_t>(c.hops_a + 1), "");
+  for (std::size_t i = 0; i < a.via.size(); ++i) {
+    a.via[i] = "A" + std::to_string(i);
+  }
+  a.local_pref = c.lp_a;
+  a.med = c.med_a;
+  Route b = a;
+  b.via.assign(static_cast<std::size_t>(c.hops_b + 1), "");
+  for (std::size_t i = 0; i < b.via.size(); ++i) {
+    b.via[i] = "B" + std::to_string(i);
+  }
+  b.local_pref = c.lp_b;
+  b.med = c.med_b;
+  EXPECT_EQ(BetterThan(a, b), c.a_wins);
+  // Antisymmetry on the non-tie cases (the lexicographic tie-break makes
+  // the relation total for distinct paths).
+  EXPECT_NE(BetterThan(a, b), BetterThan(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DecisionSweep,
+    ::testing::Values(
+        DecisionCase{200, 5, 9, 100, 1, 0, true},   // lp dominates all
+        DecisionCase{100, 5, 9, 200, 1, 0, false},
+        DecisionCase{100, 2, 9, 100, 3, 0, true},   // hops next
+        DecisionCase{100, 3, 0, 100, 2, 9, false},
+        DecisionCase{100, 2, 1, 100, 2, 2, true},   // med next
+        DecisionCase{100, 2, 2, 100, 2, 1, false},
+        DecisionCase{100, 2, 1, 100, 2, 1, true},   // lex: "A..." < "B..."
+        DecisionCase{1, 1, 0, 1000, 9, 999, false}));
+
+}  // namespace decision_sweep
+
+namespace simulator_extra {
+
+using namespace ns;
+using namespace ns::bgp;
+
+TEST(SimulatorExtraTest, ViaScreenBlocksExactlyMatchingRoutes) {
+  // End-to-end check of as-path matching: R3 drops routes that crossed R2.
+  const net::Topology topo = net::PaperFig1b();
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  config::RouterConfig& r3 = *network.FindRouter("R3");
+  config::RouteMap& imp = config::EnsureImportMap(r3, "R1");
+  config::RouteMapEntry screen;
+  screen.seq = 10;
+  screen.action = config::RmAction::kDeny;
+  screen.match.field = config::MatchField::kViaContains;
+  screen.match.via = std::string("R2");
+  imp.entries.push_back(screen);
+  imp.entries.push_back(config::PermitAll(100));
+
+  const auto sim = Simulate(topo, network);
+  ASSERT_TRUE(sim.ok());
+  for (const Route& route : sim.value().rib.at("R3")) {
+    // No route at R3 that arrived from R1 may have crossed R2.
+    if (route.via.size() >= 2 &&
+        route.via[route.via.size() - 2] == "R1") {
+      EXPECT_EQ(std::find(route.via.begin(), route.via.end(), "R2"),
+                route.via.end())
+          << route.ToString();
+    }
+  }
+  // But R2-crossing routes still arrive via the direct R2-R3 link.
+  const net::Prefix p2 = network.FindRouter("P2")->networks[0];
+  EXPECT_NE(sim.value().BestRoute("R3", p2), nullptr);
+}
+
+TEST(SimulatorExtraTest, ExportSetNextHopSuppressesNextHopSelf) {
+  const net::Topology topo = net::PaperFig1b();
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  config::RouterConfig& r1 = *network.FindRouter("R1");
+  config::RouteMap& exp = config::EnsureExportMap(r1, "R2");
+  config::RouteMapEntry rewrite = config::PermitAll(10);
+  rewrite.sets.next_hop = net::Ipv4Addr(192, 0, 2, 99);
+  exp.entries.push_back(rewrite);
+
+  const auto sim = Simulate(topo, network);
+  ASSERT_TRUE(sim.ok());
+  const net::Prefix p1 = network.FindRouter("P1")->networks[0];
+  const Route* best = sim.value().BestRoute("R2", p1);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->next_hop, net::Ipv4Addr(192, 0, 2, 99));
+}
+
+TEST(SimulatorExtraTest, ImportMatchSeesReceivedNextHop) {
+  // The export map matches the *received* next-hop, and next-hop-self is
+  // applied afterwards — the semantics Fig. 6c's explanation relies on.
+  const net::Topology topo = net::PaperFig1b();
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  // R1 drops (at export to P1) exactly the routes it learned from R2.
+  const auto r2_addr = topo.InterfaceAddr(topo.FindRouter("R2"),
+                                          topo.FindRouter("R1"));
+  ASSERT_TRUE(r2_addr.has_value());
+  config::RouterConfig& r1 = *network.FindRouter("R1");
+  config::RouteMap& exp = config::EnsureExportMap(r1, "P1");
+  config::RouteMapEntry drop;
+  drop.seq = 10;
+  drop.action = config::RmAction::kDeny;
+  drop.match.field = config::MatchField::kNextHop;
+  drop.match.next_hop = *r2_addr;
+  exp.entries.push_back(drop);
+  exp.entries.push_back(config::PermitAll(100));
+
+  const auto sim = Simulate(topo, network);
+  ASSERT_TRUE(sim.ok());
+  for (const Route& route : sim.value().rib.at("P1")) {
+    if (route.via.front() == "P1") continue;
+    // Whatever reached P1 via R1 must not have been learned by R1 from R2.
+    ASSERT_GE(route.via.size(), 2u);
+    if (route.via[route.via.size() - 2] == "R1" && route.via.size() >= 3) {
+      EXPECT_NE(route.via[route.via.size() - 3], "R2") << route.ToString();
+    }
+  }
+}
+
+}  // namespace simulator_extra

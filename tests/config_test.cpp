@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "config/attrs.hpp"
+#include "config/device.hpp"
+#include "config/holes.hpp"
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "net/builders.hpp"
+
+namespace ns::config {
+namespace {
+
+TEST(AttrsTest, CommunityPackingRoundTrip) {
+  const Community c = MakeCommunity(100, 2);
+  EXPECT_EQ(FormatCommunity(c), "100:2");
+  const auto parsed = ParseCommunity("100:2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), c);
+}
+
+TEST(AttrsTest, CommunityParseRejectsJunk) {
+  EXPECT_FALSE(ParseCommunity("100").ok());
+  EXPECT_FALSE(ParseCommunity("100:x").ok());
+  EXPECT_FALSE(ParseCommunity("70000:1").ok());
+}
+
+TEST(FieldTest, ConcreteAndHoleStates) {
+  Field<int> f(42);
+  EXPECT_TRUE(f.is_concrete());
+  EXPECT_EQ(f.value(), 42);
+  f.Open("h0");
+  EXPECT_TRUE(f.is_hole());
+  EXPECT_EQ(f.hole(), "h0");
+  EXPECT_THROW(f.value(), util::InternalError);
+  f.Fill(7);
+  EXPECT_EQ(f.value(), 7);
+}
+
+TEST(RouteMapTest, HasHoleDetectsNestedHoles) {
+  RouteMap map;
+  map.name = "m";
+  map.entries.push_back(PermitAll(10));
+  EXPECT_FALSE(map.HasHole());
+  map.entries[0].sets.local_pref = Field<int>::Hole("lp");
+  EXPECT_TRUE(map.HasHole());
+}
+
+TEST(RouteMapTest, FindEntryBySeq) {
+  RouteMap map;
+  map.entries.push_back(PermitAll(10));
+  map.entries.push_back(DenyAll(20));
+  ASSERT_NE(map.FindEntry(20), nullptr);
+  EXPECT_EQ(map.FindEntry(20)->action.value(), RmAction::kDeny);
+  EXPECT_EQ(map.FindEntry(15), nullptr);
+}
+
+TEST(DeviceTest, SkeletonMatchesTopology) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = SkeletonFor(topo);
+  EXPECT_EQ(network.routers.size(), 6u);
+  const RouterConfig* r1 = network.FindRouter("R1");
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->asn, 100u);
+  EXPECT_EQ(r1->neighbors.size(), 3u);  // R2, R3, P1
+  EXPECT_TRUE(r1->networks.empty());   // internal: originates nothing
+  const RouterConfig* p1 = network.FindRouter("P1");
+  ASSERT_NE(p1, nullptr);
+  ASSERT_EQ(p1->networks.size(), 1u);  // externals originate a prefix
+}
+
+TEST(DeviceTest, EnsureMapsWireUpSessions) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = SkeletonFor(topo);
+  RouterConfig& r1 = *network.FindRouter("R1");
+  RouteMap& exp = EnsureExportMap(r1, "P1");
+  EXPECT_EQ(exp.name, "R1_to_P1");
+  EXPECT_EQ(*r1.FindNeighbor("P1")->export_map, "R1_to_P1");
+  RouteMap& imp = EnsureImportMap(r1, "P1");
+  EXPECT_EQ(imp.name, "R1_from_P1");
+  // Idempotent: same map returned.
+  EXPECT_EQ(&EnsureExportMap(r1, "P1"), &exp);
+}
+
+TEST(DeviceTest, EnsureMapOnUnknownPeerAsserts) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = SkeletonFor(topo);
+  EXPECT_THROW(EnsureExportMap(*network.FindRouter("R1"), "Cust"),
+               util::InternalError);
+}
+
+NetworkConfig SampleConfig() {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = SkeletonFor(topo);
+  RouterConfig& r1 = *network.FindRouter("R1");
+
+  RouteMap& to_p1 = EnsureExportMap(r1, "P1");
+  RouteMapEntry deny;
+  deny.seq = 10;
+  deny.action = RmAction::kDeny;
+  deny.match.field = MatchField::kPrefix;
+  deny.match.prefix = net::Prefix::Parse("128.0.1.0/24").value();
+  deny.sets.next_hop = net::Ipv4Addr(10, 0, 0, 1);
+  to_p1.entries.push_back(deny);
+  to_p1.entries.push_back(PermitAll(100));
+
+  RouteMap& from_p1 = EnsureImportMap(r1, "P1");
+  RouteMapEntry tag;
+  tag.seq = 10;
+  tag.action = RmAction::kPermit;
+  tag.match.field = MatchField::kCommunity;
+  tag.match.community = MakeCommunity(100, 2);
+  tag.sets.local_pref = 200;
+  tag.sets.add_community = MakeCommunity(100, 3);
+  tag.sets.med = 50;
+  from_p1.entries.push_back(tag);
+  return network;
+}
+
+TEST(RenderTest, RoundTripsConcreteConfig) {
+  const NetworkConfig original = SampleConfig();
+  const std::string text = RenderNetwork(original);
+  const auto parsed = ParseNetworkConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(RenderTest, RoundTripsHoles) {
+  NetworkConfig network = SampleConfig();
+  RouteMap& map = *network.FindRouter("R1")->FindRouteMap("R1_to_P1");
+  map.entries[0].action = Field<RmAction>::Hole("R1.act");
+  map.entries[0].match.field = Field<MatchField>::Hole("R1.attr");
+  map.entries[0].match.prefix = Field<net::Prefix>::Hole("R1.pfx");
+  map.entries[0].sets.next_hop = Field<net::Ipv4Addr>::Hole("R1.nh");
+
+  const std::string text = RenderNetwork(network);
+  EXPECT_NE(text.find("?R1.act"), std::string::npos);
+  const auto parsed = ParseNetworkConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), network);
+}
+
+TEST(RenderTest, UsesPrefixListsLikeFig1c) {
+  const std::string text = RenderNetwork(SampleConfig());
+  EXPECT_NE(text.find("ip prefix-list pl_R1_1 seq 10 permit 128.0.1.0/24"),
+            std::string::npos);
+  EXPECT_NE(text.find("match ip address prefix-list pl_R1_1"),
+            std::string::npos);
+  EXPECT_NE(text.find("route-map R1_to_P1 deny 10"), std::string::npos);
+}
+
+TEST(ParseTest, ReportsLineOfBadDirective) {
+  const auto parsed = ParseNetworkConfig("hostname R1\nbanana\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().line(), 2);
+}
+
+TEST(ParseTest, RejectsUndeclaredPrefixList) {
+  const auto parsed = ParseNetworkConfig(
+      "hostname R1\nroute-map m permit 10\n match ip address prefix-list "
+      "nolist\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message().find("nolist"), std::string::npos);
+}
+
+TEST(ParseTest, RejectsMatchOutsideEntry) {
+  const auto parsed =
+      ParseNetworkConfig("hostname R1\n match community 100:2\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(HolesTest, CollectFindsAllInDeterministicOrder) {
+  NetworkConfig network = SampleConfig();
+  RouteMap& map = *network.FindRouter("R1")->FindRouteMap("R1_to_P1");
+  map.entries[0].action = Field<RmAction>::Hole("b.act");
+  map.entries[0].match.prefix = Field<net::Prefix>::Hole("a.pfx");
+  map.entries[1].sets.local_pref = Field<int>::Hole("c.lp");
+
+  const auto holes = CollectHoles(network);
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_EQ(holes[0].name, "b.act");
+  EXPECT_EQ(holes[0].type, HoleType::kAction);
+  EXPECT_EQ(holes[0].slot, "action");
+  EXPECT_EQ(holes[1].name, "a.pfx");
+  EXPECT_EQ(holes[1].type, HoleType::kPrefix);
+  EXPECT_EQ(holes[2].name, "c.lp");
+  EXPECT_EQ(holes[2].router, "R1");
+  EXPECT_EQ(holes[2].seq, 100);
+}
+
+TEST(HolesTest, FillHolesWritesValuesBack) {
+  NetworkConfig network = SampleConfig();
+  RouteMap& map = *network.FindRouter("R1")->FindRouteMap("R1_to_P1");
+  map.entries[0].action = Field<RmAction>::Hole("act");
+  map.entries[1].sets.local_pref = Field<int>::Hole("lp");
+
+  const auto status = FillHoles(
+      network, {{"act", HoleValue(RmAction::kPermit)}, {"lp", HoleValue(150)}});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_FALSE(network.HasHole());
+  EXPECT_EQ(map.entries[0].action.value(), RmAction::kPermit);
+  EXPECT_EQ(map.entries[1].sets.local_pref->value(), 150);
+}
+
+TEST(HolesTest, FillRejectsTypeMismatch) {
+  NetworkConfig network = SampleConfig();
+  RouteMap& map = *network.FindRouter("R1")->FindRouteMap("R1_to_P1");
+  map.entries[0].action = Field<RmAction>::Hole("act");
+  const auto status = FillHoles(network, {{"act", HoleValue(5)}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(HolesTest, FillRejectsUnknownHole) {
+  NetworkConfig network = SampleConfig();
+  const auto status =
+      FillHoles(network, {{"ghost", HoleValue(RmAction::kDeny)}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(RenderTest, CountConfigLinesIgnoresComments) {
+  const NetworkConfig network = SampleConfig();
+  const std::size_t count = CountConfigLines(network);
+  EXPECT_GT(count, 20u);  // 6 routers with sessions
+  const std::string text = RenderNetwork(network);
+  EXPECT_NE(text.find("! configuration for"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ns::config
+
+namespace via_tests {
+
+using namespace ns;
+using namespace ns::config;
+
+TEST(ViaMatchTest, RendersAndParsesAsPathLine) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = SkeletonFor(topo);
+  RouterConfig& r3 = *network.FindRouter("R3");
+  RouteMap& imp = EnsureImportMap(r3, "R1");
+  RouteMapEntry screen;
+  screen.seq = 10;
+  screen.action = RmAction::kDeny;
+  screen.match.field = MatchField::kViaContains;
+  screen.match.via = std::string("R2");
+  imp.entries.push_back(screen);
+  imp.entries.push_back(PermitAll(100));
+
+  const std::string text = RenderNetwork(network);
+  EXPECT_NE(text.find("match as-path contains R2"), std::string::npos);
+  const auto parsed = ParseNetworkConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), network);
+}
+
+TEST(ViaMatchTest, ViaHoleRoundTrips) {
+  const net::Topology topo = net::PaperFig1b();
+  NetworkConfig network = SkeletonFor(topo);
+  RouteMap& imp = EnsureImportMap(*network.FindRouter("R3"), "R1");
+  RouteMapEntry screen;
+  screen.seq = 10;
+  screen.action = Field<RmAction>::Hole("act");
+  screen.match.field = MatchField::kViaContains;
+  screen.match.via = Field<std::string>::Hole("via");
+  imp.entries.push_back(screen);
+
+  const std::string text = RenderNetwork(network);
+  EXPECT_NE(text.find("match as-path contains ?via"), std::string::npos);
+  const auto parsed = ParseNetworkConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value(), network);
+}
+
+TEST(NormalizeTest, ClearsOnlyUnusedSlots) {
+  MatchClause match;
+  match.field = MatchField::kCommunity;
+  match.community = MakeCommunity(100, 2);
+  match.prefix = net::Prefix::Parse("10.0.0.0/8").value();
+  match.next_hop = net::Ipv4Addr(1, 2, 3, 4);
+  match.via = std::string("R9");
+  NormalizeUnusedMatchSlots(match);
+  EXPECT_EQ(match.community.value(), MakeCommunity(100, 2));  // kept
+  EXPECT_EQ(match.prefix.value(), net::Prefix{});             // cleared
+  EXPECT_EQ(match.next_hop.value(), net::Ipv4Addr{});         // cleared
+  EXPECT_EQ(match.via.value(), std::string{});                // cleared
+}
+
+TEST(NormalizeTest, LeavesHolesAndSymbolicFieldsAlone) {
+  MatchClause match;
+  match.field = Field<MatchField>::Hole("attr");
+  match.prefix = net::Prefix::Parse("10.0.0.0/8").value();
+  NormalizeUnusedMatchSlots(match);  // symbolic field: nothing to normalize
+  EXPECT_EQ(match.prefix.value(), net::Prefix::Parse("10.0.0.0/8").value());
+
+  MatchClause holed;
+  holed.field = MatchField::kAny;
+  holed.prefix = Field<net::Prefix>::Hole("p");
+  NormalizeUnusedMatchSlots(holed);  // holes survive normalization
+  EXPECT_TRUE(holed.prefix.is_hole());
+}
+
+TEST(ReadSlotTest, ReportsMissingEntities) {
+  const net::Topology topo = net::PaperFig1b();
+  const NetworkConfig network = SkeletonFor(topo);
+  HoleInfo info{"x", HoleType::kAction, "Ghost", "m", 10, "action"};
+  EXPECT_FALSE(ReadSlotValue(network, info).ok());
+  info.router = "R1";
+  EXPECT_FALSE(ReadSlotValue(network, info).ok());  // no such map
+}
+
+}  // namespace via_tests
+
+namespace seq_order_tests {
+
+using namespace ns::config;
+
+TEST(SeqOrderTest, ParserSortsOutOfOrderEntries) {
+  const auto parsed = ParseNetworkConfig(R"(hostname R1
+route-map m deny 100
+route-map m permit 10
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const RouteMap* map = parsed.value().FindRouter("R1")->FindRouteMap("m");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->entries.size(), 2u);
+  EXPECT_EQ(map->entries[0].seq, 10);   // sorted despite input order
+  EXPECT_EQ(map->entries[1].seq, 100);
+  EXPECT_EQ(map->entries[0].action.value(), RmAction::kPermit);
+}
+
+TEST(SeqOrderTest, ParserRejectsDuplicateSeq) {
+  const auto parsed = ParseNetworkConfig(R"(hostname R1
+route-map m permit 10
+route-map m deny 10
+)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message().find("duplicate sequence"),
+            std::string::npos);
+}
+
+}  // namespace seq_order_tests

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/builders.hpp"
+#include "net/prefix.hpp"
+#include "net/topo_text.hpp"
+#include "net/topology.hpp"
+
+namespace ns::net {
+namespace {
+
+TEST(Ipv4AddrTest, ParseAndFormatRoundTrip) {
+  const auto addr = Ipv4Addr::Parse("128.0.1.7");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value().ToString(), "128.0.1.7");
+  EXPECT_EQ(addr.value().bits(), 0x80000107u);
+}
+
+TEST(Ipv4AddrTest, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.256").ok());
+  EXPECT_FALSE(Ipv4Addr::Parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.4.5").ok());
+}
+
+TEST(PrefixTest, CanonicalizesHostBits) {
+  const Prefix p(Ipv4Addr(128, 0, 1, 77), 24);
+  EXPECT_EQ(p.ToString(), "128.0.1.0/24");
+  EXPECT_EQ(p, Prefix(Ipv4Addr(128, 0, 1, 0), 24));
+}
+
+TEST(PrefixTest, ContainsAndCovers) {
+  const Prefix p = Prefix::Parse("10.0.0.0/8").value();
+  EXPECT_TRUE(p.Contains(Ipv4Addr(10, 200, 3, 4)));
+  EXPECT_FALSE(p.Contains(Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(p.Covers(Prefix::Parse("10.1.0.0/16").value()));
+  EXPECT_FALSE(p.Covers(Prefix::Parse("0.0.0.0/0").value()));
+  EXPECT_TRUE(Prefix::Parse("0.0.0.0/0").value().Covers(p));
+}
+
+TEST(PrefixTest, OverlapsIsSymmetric) {
+  const Prefix a = Prefix::Parse("10.0.0.0/8").value();
+  const Prefix b = Prefix::Parse("10.5.0.0/16").value();
+  const Prefix c = Prefix::Parse("192.168.0.0/16").value();
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+}
+
+TEST(PrefixTest, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0").ok());
+  EXPECT_FALSE(Prefix::Parse("10.0.0.0/x").ok());
+}
+
+TEST(PrefixTest, ZeroLengthMatchesEverything) {
+  const Prefix all = Prefix::Parse("0.0.0.0/0").value();
+  EXPECT_TRUE(all.Contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(all.Contains(Ipv4Addr(0, 0, 0, 0)));
+}
+
+TEST(TopologyTest, FindAndRequireRouter) {
+  Topology topo = PaperFig1b();
+  EXPECT_EQ(topo.NumRouters(), 6u);
+  EXPECT_EQ(topo.NumLinks(), 6u);
+  EXPECT_NE(topo.FindRouter("R1"), kInvalidRouter);
+  EXPECT_EQ(topo.FindRouter("R9"), kInvalidRouter);
+  EXPECT_TRUE(topo.RequireRouter("P1").ok());
+  const auto missing = topo.RequireRouter("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(TopologyTest, Fig1bAdjacency) {
+  Topology topo = PaperFig1b();
+  const auto id = [&](const char* name) { return topo.FindRouter(name); };
+  EXPECT_TRUE(topo.Adjacent(id("R1"), id("R2")));
+  EXPECT_TRUE(topo.Adjacent(id("R1"), id("R3")));
+  EXPECT_TRUE(topo.Adjacent(id("R2"), id("R3")));
+  EXPECT_TRUE(topo.Adjacent(id("P1"), id("R1")));
+  EXPECT_TRUE(topo.Adjacent(id("P2"), id("R2")));
+  EXPECT_TRUE(topo.Adjacent(id("Cust"), id("R3")));
+  EXPECT_FALSE(topo.Adjacent(id("P1"), id("P2")));
+  EXPECT_FALSE(topo.Adjacent(id("Cust"), id("R1")));
+}
+
+TEST(TopologyTest, InterfaceAddrsArePerSide) {
+  Topology topo = PaperFig1b();
+  const auto a =
+      topo.InterfaceAddr(topo.FindRouter("R1"), topo.FindRouter("R2"));
+  const auto b =
+      topo.InterfaceAddr(topo.FindRouter("R2"), topo.FindRouter("R1"));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_FALSE(
+      topo.InterfaceAddr(topo.FindRouter("P1"), topo.FindRouter("P2"))
+          .has_value());
+}
+
+TEST(TopologyTest, SimplePathsBetweenProviders) {
+  Topology topo = PaperFig1b();
+  const auto paths =
+      topo.SimplePaths(topo.FindRouter("P1"), topo.FindRouter("P2"), 5);
+  // P1-R1-R2-P2 and P1-R1-R3-R2-P2.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    EXPECT_TRUE(topo.IsSimplePath(path));
+    EXPECT_EQ(path.front(), topo.FindRouter("P1"));
+    EXPECT_EQ(path.back(), topo.FindRouter("P2"));
+  }
+}
+
+TEST(TopologyTest, SimplePathsRespectHopBound) {
+  Topology topo = PaperFig1b();
+  const auto paths =
+      topo.SimplePaths(topo.FindRouter("P1"), topo.FindRouter("P2"), 3);
+  ASSERT_EQ(paths.size(), 1u);  // only the 3-hop path fits
+  EXPECT_EQ(topo.FormatPath(paths[0]), "P1 -> R1 -> R2 -> P2");
+}
+
+TEST(TopologyTest, SimplePathsFromIncludesTrivial) {
+  Topology topo = PaperFig1b();
+  const auto paths = topo.SimplePathsFrom(topo.FindRouter("Cust"), 2);
+  EXPECT_TRUE(std::any_of(paths.begin(), paths.end(), [&](const Path& p) {
+    return p.size() == 1 && p[0] == topo.FindRouter("Cust");
+  }));
+  for (const auto& path : paths) {
+    EXPECT_LE(path.size(), 3u);
+    EXPECT_TRUE(topo.IsSimplePath(path));
+  }
+}
+
+TEST(TopologyTest, IsSimplePathRejectsBadSequences) {
+  Topology topo = PaperFig1b();
+  const auto id = [&](const char* name) { return topo.FindRouter(name); };
+  EXPECT_FALSE(topo.IsSimplePath({}));
+  EXPECT_FALSE(topo.IsSimplePath({id("P1"), id("P2")}));        // not adjacent
+  EXPECT_FALSE(topo.IsSimplePath({id("R1"), id("R2"), id("R1")}));  // repeat
+  EXPECT_TRUE(topo.IsSimplePath({id("P1"), id("R1"), id("R2")}));
+}
+
+TEST(TopologyTest, DuplicateRouterNameAsserts) {
+  Topology topo;
+  topo.AddRouter("R1", 100);
+  EXPECT_THROW(topo.AddRouter("R1", 200), util::InternalError);
+}
+
+TEST(TopologyTest, SelfAndDuplicateLinksAssert) {
+  Topology topo;
+  const RouterId a = topo.AddRouter("A", 1);
+  const RouterId b = topo.AddRouter("B", 2);
+  EXPECT_THROW(topo.AddLink(a, a), util::InternalError);
+  topo.AddLink(a, b);
+  EXPECT_THROW(topo.AddLink(b, a), util::InternalError);
+}
+
+TEST(BuildersTest, ChainShape) {
+  Topology topo = Chain(4);
+  EXPECT_EQ(topo.NumRouters(), 6u);  // 4 internal + 2 peers
+  EXPECT_EQ(topo.NumLinks(), 5u);
+  const auto paths =
+      topo.SimplePaths(topo.FindRouter("Left"), topo.FindRouter("Right"), 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 6u);
+}
+
+TEST(BuildersTest, RingHasTwoDisjointPaths) {
+  Topology topo = Ring(6);
+  const auto paths =
+      topo.SimplePaths(topo.FindRouter("PeerA"), topo.FindRouter("PeerB"), 10);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(BuildersTest, FabricDensity) {
+  Topology topo = Fabric(2, 3);
+  // 2 spines + 3 leaves + 3 peers; links: 2*3 + 3.
+  EXPECT_EQ(topo.NumRouters(), 8u);
+  EXPECT_EQ(topo.NumLinks(), 9u);
+}
+
+TEST(TopologyTest, DotOutputMentionsEveryRouter) {
+  Topology topo = PaperFig1b();
+  const std::string dot = topo.ToDot();
+  for (const char* name : {"R1", "R2", "R3", "P1", "P2", "Cust"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ns::net
+
+namespace topo_text_tests {
+
+using ns::net::ParseTopology;
+using ns::net::ToText;
+
+TEST(TopoTextTest, RoundTripsFig1b) {
+  const ns::net::Topology original = ns::net::PaperFig1b();
+  const auto parsed = ParseTopology(ToText(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value().NumRouters(), original.NumRouters());
+  EXPECT_EQ(parsed.value().NumLinks(), original.NumLinks());
+  for (ns::net::RouterId id : original.AllRouters()) {
+    const auto& router = original.GetRouter(id);
+    const ns::net::RouterId found = parsed.value().FindRouter(router.name);
+    ASSERT_NE(found, ns::net::kInvalidRouter) << router.name;
+    EXPECT_EQ(parsed.value().GetRouter(found).asn, router.asn);
+    EXPECT_EQ(parsed.value().GetRouter(found).external, router.external);
+  }
+  for (const ns::net::Link& link : original.links()) {
+    EXPECT_EQ(parsed.value().InterfaceAddr(link.a, link.b), link.addr_a);
+  }
+}
+
+TEST(TopoTextTest, ParsesCommentsAndAutoAddresses) {
+  const auto topo = ParseTopology(R"(
+    # two routers
+    router A as 1
+    router B as 2 external
+    link A B   # auto-assigned interface addresses
+  )");
+  ASSERT_TRUE(topo.ok()) << topo.error().ToString();
+  EXPECT_EQ(topo.value().NumRouters(), 2u);
+  EXPECT_TRUE(topo.value().GetRouter(topo.value().FindRouter("B")).external);
+  EXPECT_TRUE(topo.value()
+                  .InterfaceAddr(topo.value().FindRouter("A"),
+                                 topo.value().FindRouter("B"))
+                  .has_value());
+}
+
+TEST(TopoTextTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseTopology("router A").ok());                  // no asn
+  EXPECT_FALSE(ParseTopology("router A as x").ok());             // bad asn
+  EXPECT_FALSE(ParseTopology("router A as 1\nrouter A as 2").ok());
+  EXPECT_FALSE(ParseTopology("link A B").ok());                  // undeclared
+  EXPECT_FALSE(
+      ParseTopology("router A as 1\nrouter B as 2\nlink A B 1.2.3 4.5.6.7")
+          .ok());                                                // bad addr
+  EXPECT_FALSE(ParseTopology("router A as 1\nlink A A").ok());   // self link
+  EXPECT_FALSE(ParseTopology("frobnicate").ok());                // directive
+  EXPECT_FALSE(ParseTopology("# only comments\n").ok());         // empty
+  const auto dup =
+      ParseTopology("router A as 1\nrouter B as 2\nlink A B\nlink B A");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().line(), 4);
+}
+
+}  // namespace topo_text_tests

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "net/builders.hpp"
+#include "ospf/synth.hpp"
+#include "ospf/weights.hpp"
+#include "spec/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ns::ospf {
+namespace {
+
+net::Topology Square() {
+  // A -- B
+  // |    |
+  // D -- C      (plus the diagonal A -- C)
+  net::Topology topo;
+  const auto a = topo.AddRouter("A", 100);
+  const auto b = topo.AddRouter("B", 100);
+  const auto c = topo.AddRouter("C", 100);
+  const auto d = topo.AddRouter("D", 100);
+  topo.AddLink(a, b);
+  topo.AddLink(b, c);
+  topo.AddLink(c, d);
+  topo.AddLink(d, a);
+  topo.AddLink(a, c);
+  return topo;
+}
+
+// ----------------------------------------------------------------- weights
+
+TEST(WeightConfigTest, DefaultsCoverEveryLink) {
+  const net::Topology topo = Square();
+  const WeightConfig weights = WeightConfig::DefaultsFor(topo);
+  EXPECT_EQ(weights.weights().size(), topo.NumLinks());
+  EXPECT_FALSE(weights.HasHole());
+  EXPECT_EQ(weights.Get(topo.FindRouter("A"), topo.FindRouter("B")).value(),
+            10);
+  // Symmetric access.
+  EXPECT_EQ(weights.Get(topo.FindRouter("B"), topo.FindRouter("A")).value(),
+            10);
+}
+
+TEST(WeightConfigTest, SketchOpensEveryWeight) {
+  const net::Topology topo = Square();
+  const WeightConfig sketch = WeightConfig::SketchFor(topo);
+  EXPECT_TRUE(sketch.HasHole());
+  for (const auto& [edge, weight] : sketch.weights()) {
+    EXPECT_TRUE(weight.is_hole());
+  }
+  EXPECT_EQ(WeightConfig::HoleName(topo, topo.FindRouter("B"),
+                                   topo.FindRouter("A")),
+            "w_A_B");  // canonical edge order
+}
+
+TEST(WeightConfigTest, TextRoundTrips) {
+  const net::Topology topo = Square();
+  WeightConfig weights = WeightConfig::DefaultsFor(topo);
+  weights.Set(topo.FindRouter("A"), topo.FindRouter("C"),
+              config::Field<int>(3));
+  weights.Set(topo.FindRouter("B"), topo.FindRouter("C"),
+              config::Field<int>::Hole("h"));
+  const auto parsed = WeightConfig::Parse(topo, weights.ToText(topo));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value().weights(), weights.weights());
+}
+
+TEST(WeightConfigTest, ParseRejectsUnknownLink) {
+  const net::Topology topo = Square();
+  EXPECT_FALSE(WeightConfig::Parse(topo, "weight A X 5").ok());
+  EXPECT_FALSE(WeightConfig::Parse(topo, "weight B D 5").ok());  // no link
+  EXPECT_FALSE(WeightConfig::Parse(topo, "weight A B x").ok());
+}
+
+// ---------------------------------------------------------------- dijkstra
+
+TEST(DijkstraTest, PicksCheapestPath) {
+  const net::Topology topo = Square();
+  WeightConfig weights = WeightConfig::DefaultsFor(topo);
+  // Make the diagonal expensive: A->C should go A-B-C or A-D-C (tie), and
+  // the lexicographically smaller id-sequence wins (B was added before D).
+  weights.Set(topo.FindRouter("A"), topo.FindRouter("C"),
+              config::Field<int>(100));
+  const auto tree = ShortestPaths(topo, weights, topo.FindRouter("A"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().cost.at(topo.FindRouter("C")), 20);
+  EXPECT_EQ(tree.value().path.at(topo.FindRouter("C")),
+            (net::Path{topo.FindRouter("A"), topo.FindRouter("B"),
+                       topo.FindRouter("C")}));
+}
+
+TEST(DijkstraTest, CheapDiagonalWins) {
+  const net::Topology topo = Square();
+  WeightConfig weights = WeightConfig::DefaultsFor(topo);
+  weights.Set(topo.FindRouter("A"), topo.FindRouter("C"),
+              config::Field<int>(5));
+  const auto tree = ShortestPaths(topo, weights, topo.FindRouter("A"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().cost.at(topo.FindRouter("C")), 5);
+  EXPECT_EQ(tree.value().path.at(topo.FindRouter("C")).size(), 2u);
+}
+
+TEST(DijkstraTest, RejectsSymbolicWeights) {
+  const net::Topology topo = Square();
+  const WeightConfig sketch = WeightConfig::SketchFor(topo);
+  EXPECT_FALSE(ShortestPaths(topo, sketch, 0).ok());
+}
+
+TEST(PathCostTest, SumsAndValidates) {
+  const net::Topology topo = Square();
+  const WeightConfig weights = WeightConfig::DefaultsFor(topo);
+  const net::Path path{topo.FindRouter("A"), topo.FindRouter("B"),
+                       topo.FindRouter("C")};
+  EXPECT_EQ(PathCost(topo, weights, path).value(), 20);
+  const net::Path bogus{topo.FindRouter("B"), topo.FindRouter("D")};
+  EXPECT_FALSE(PathCost(topo, weights, bogus).ok());
+}
+
+// --------------------------------------------------------------- synthesis
+
+TEST(OspfSynthesisTest, RealizesRequiredPath) {
+  const net::Topology topo = Square();
+  const auto spec = spec::ParseSpec("Req { (A->D->C) }");
+  ASSERT_TRUE(spec.ok());
+
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+  // Validation already ran inside; double-check the forwarding path.
+  const auto tree = ShortestPaths(topo, solved.value(), topo.FindRouter("A"));
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().path.at(topo.FindRouter("C")),
+            (net::Path{topo.FindRouter("A"), topo.FindRouter("D"),
+                       topo.FindRouter("C")}));
+}
+
+TEST(OspfSynthesisTest, OrderedPreferenceAndForbid) {
+  const net::Topology topo = Square();
+  const auto spec = spec::ParseSpec(R"(
+    Req {
+      (A->B->C) >> (A->D->C)
+      !(A->C)
+    }
+  )");
+  ASSERT_TRUE(spec.ok());
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+  const auto cost = [&](const char* x, const char* y, const char* z) {
+    return PathCost(topo, solved.value(),
+                    {topo.FindRouter(x), topo.FindRouter(y),
+                     topo.FindRouter(z)})
+        .value();
+  };
+  EXPECT_LT(cost("A", "B", "C"), cost("A", "D", "C"));
+  // The direct A-C link is not the shortest path.
+  const auto tree = ShortestPaths(topo, solved.value(), topo.FindRouter("A"));
+  EXPECT_GT(tree.value().path.at(topo.FindRouter("C")).size(), 2u);
+}
+
+TEST(OspfSynthesisTest, ImpossibleRequirementIsUnsat) {
+  const net::Topology topo = Square();
+  // Both of two distinct paths required as *the* shortest: contradiction.
+  const auto spec = spec::ParseSpec("Req { (A->B->C)\n(A->D->C) }");
+  ASSERT_TRUE(spec.ok());
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.error().code(), util::ErrorCode::kUnsat);
+}
+
+TEST(OspfSynthesisTest, RejectsWildcardsAndUnknownRouters) {
+  const net::Topology topo = Square();
+  {
+    const auto spec = spec::ParseSpec("Req { (A->...->C) }");
+    OspfSynthesizer synthesizer(topo, spec.value());
+    const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+    ASSERT_FALSE(solved.ok());
+    EXPECT_EQ(solved.error().code(), util::ErrorCode::kUnsupported);
+  }
+  {
+    const auto spec = spec::ParseSpec("Req { (A->Z) }");
+    OspfSynthesizer synthesizer(topo, spec.value());
+    const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+    ASSERT_FALSE(solved.ok());
+    EXPECT_EQ(solved.error().code(), util::ErrorCode::kNotFound);
+  }
+}
+
+TEST(OspfSynthesisTest, ForbidOnlyPathIsRejected) {
+  net::Topology topo;
+  const auto a = topo.AddRouter("A", 1);
+  const auto b = topo.AddRouter("B", 1);
+  topo.AddLink(a, b);
+  const auto spec = spec::ParseSpec("Req { !(A->B) }");
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_FALSE(solved.ok());
+  EXPECT_EQ(solved.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+// Property: synthesized weights always pass the independent Dijkstra check
+// on randomized single-path requirements over the ring topology.
+class OspfAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(OspfAgreement, SynthesisMatchesDijkstra) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 39916801);
+  const net::Topology topo = net::Ring(6);
+  // Random simple path between two random distinct internal routers.
+  const auto paths = topo.SimplePathsFrom(
+      static_cast<net::RouterId>(rng.Below(6)), 4);
+  std::vector<net::Path> usable;
+  for (const net::Path& p : paths) {
+    if (p.size() >= 3) usable.push_back(p);
+  }
+  ASSERT_FALSE(usable.empty());
+  const net::Path& target = usable[rng.Below(usable.size())];
+  std::string pattern;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (i != 0) pattern += "->";
+    pattern += topo.NameOf(target[i]);
+  }
+  const auto spec = spec::ParseSpec("Req { (" + pattern + ") }");
+  ASSERT_TRUE(spec.ok());
+
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok()) << pattern << ": " << solved.error().ToString();
+  const auto tree = ShortestPaths(topo, solved.value(), target.front());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().path.at(target.back()), target) << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPaths, OspfAgreement, ::testing::Range(1, 13));
+
+// ------------------------------------------------------------- explanation
+
+TEST(OspfExplainTest, WeightSubspecIsSmallAndSound) {
+  const net::Topology topo = Square();
+  const auto spec = spec::ParseSpec("Req { (A->D->C) }");
+  ASSERT_TRUE(spec.ok());
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok());
+
+  // Explain the A-D link's weight.
+  smt::ExprPool pool;
+  const auto subspec = ExplainWeights(
+      pool, topo, spec.value(), solved.value(),
+      {MakeEdge(topo.FindRouter("A"), topo.FindRouter("D"))});
+  ASSERT_TRUE(subspec.ok()) << subspec.error().ToString();
+  ASSERT_FALSE(subspec.value().IsEmpty());
+  EXPECT_GT(subspec.value().metrics.seed_size,
+            subspec.value().metrics.residual_size);
+
+  // Soundness: the solved weight satisfies the residual; a huge weight
+  // (pushing traffic off A->D->C) violates it.
+  const std::string var = subspec.value().holes[0];
+  smt::Assignment good{{var, solved.value()
+                                 .Get(topo.FindRouter("A"),
+                                      topo.FindRouter("D"))
+                                 .value()}};
+  smt::Assignment bad{{var, kMaxWeight}};
+  for (const smt::Expr& c : subspec.value().constraints) {
+    EXPECT_EQ(smt::Eval(c, good).value(), 1) << c.ToString();
+  }
+  bool violated = false;
+  for (const smt::Expr& c : subspec.value().constraints) {
+    if (smt::Eval(c, bad).value() == 0) violated = true;
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(OspfExplainTest, IrrelevantWeightIsUnconstrained) {
+  const net::Topology topo = Square();
+  const auto spec = spec::ParseSpec("Req { (A->D->C) }");
+  OspfSynthesizer synthesizer(topo, spec.value());
+  auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok());
+  // Push B far away so the B-C weight cannot matter even indirectly:
+  // every A~>C path through B is already beaten by A->D->C.
+  solved.value().Set(topo.FindRouter("A"), topo.FindRouter("B"),
+                     config::Field<int>(kMaxWeight));
+  solved.value().Set(topo.FindRouter("A"), topo.FindRouter("D"),
+                     config::Field<int>(1));
+  solved.value().Set(topo.FindRouter("D"), topo.FindRouter("C"),
+                     config::Field<int>(1));
+  const auto check = ValidateOspf(topo, solved.value(), spec.value());
+  ASSERT_TRUE(check.ok());
+  ASSERT_TRUE(check.value().ok()) << check.value().ToString();
+
+  smt::ExprPool pool;
+  const auto subspec = ExplainWeights(
+      pool, topo, spec.value(), solved.value(),
+      {MakeEdge(topo.FindRouter("B"), topo.FindRouter("C"))});
+  ASSERT_TRUE(subspec.ok());
+  // The B-C weight is bounded below 1..65535 anyway; within its domain the
+  // requirement holds regardless, so the residual is empty or trivially
+  // satisfied by the whole domain.
+  if (!subspec.value().IsEmpty()) {
+    smt::Z3Session z3;
+    std::vector<smt::Expr> combined = subspec.value().domains;
+    const smt::Expr target = pool.And(subspec.value().constraints);
+    EXPECT_TRUE(z3.Implies(pool.And(combined), target))
+        << subspec.value().ToString();
+  }
+}
+
+TEST(OspfExplainTest, ProjectionByRequirement) {
+  const net::Topology topo = Square();
+  const auto spec = spec::ParseSpec(R"(
+    Req1 { (A->D->C) }
+    Req2 { (B->A->D) }
+  )");
+  ASSERT_TRUE(spec.ok());
+  OspfSynthesizer synthesizer(topo, spec.value());
+  const auto solved = synthesizer.Synthesize(WeightConfig::SketchFor(topo));
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+  smt::ExprPool pool;
+  OspfEncoderOptions options;
+  options.only_requirements = {"Req2"};
+  // The C-D weight is irrelevant to Req2 (B~>D paths never use it)...
+  // actually B->C->D uses C-D; it IS relevant. Project on Req1 instead for
+  // the B-C edge, which no A~>C requirement needs blocked explicitly.
+  const auto full = ExplainWeights(
+      pool, topo, spec.value(), solved.value(),
+      {MakeEdge(topo.FindRouter("A"), topo.FindRouter("D"))});
+  const auto projected = ExplainWeights(
+      pool, topo, spec.value(), solved.value(),
+      {MakeEdge(topo.FindRouter("A"), topo.FindRouter("D"))}, options);
+  ASSERT_TRUE(full.ok() && projected.ok());
+  EXPECT_LE(projected.value().metrics.seed_constraints,
+            full.value().metrics.seed_constraints);
+}
+
+}  // namespace
+}  // namespace ns::ospf

@@ -1,0 +1,255 @@
+// Cross-cutting property tests: random round-trips and semantic
+// monotonicity laws that no single module test would catch.
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.hpp"
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "net/builders.hpp"
+#include "spec/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ns {
+namespace {
+
+// ------------------------------------------------ random configuration gen
+
+config::NetworkConfig RandomConfig(util::Rng& rng, const net::Topology& topo) {
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  const char* routers[] = {"R1", "R2", "R3"};
+  const char* externals[] = {"P1", "P2", "Cust"};
+  for (const char* router : routers) {
+    config::RouterConfig& cfg = *network.FindRouter(router);
+    const std::vector<config::Neighbor> sessions = cfg.neighbors;
+    for (const config::Neighbor& session : sessions) {
+      if (!rng.Chance(1, 2)) continue;
+      config::RouteMap& map =
+          rng.Coin() ? config::EnsureExportMap(cfg, session.peer)
+                     : config::EnsureImportMap(cfg, session.peer);
+      if (!map.entries.empty()) continue;
+      const int entries = rng.Range(1, 3);
+      for (int i = 0; i < entries; ++i) {
+        config::RouteMapEntry entry;
+        entry.seq = 10 * (i + 1);
+        entry.action = rng.Coin() ? config::RmAction::kPermit
+                                  : config::RmAction::kDeny;
+        switch (rng.Below(5)) {
+          case 0:
+            entry.match.field = config::MatchField::kAny;
+            break;
+          case 1:
+            entry.match.field = config::MatchField::kPrefix;
+            entry.match.prefix =
+                network.FindRouter(externals[rng.Below(3)])->networks[0];
+            break;
+          case 2:
+            entry.match.field = config::MatchField::kCommunity;
+            entry.match.community = config::MakeCommunity(
+                static_cast<std::uint16_t>(rng.Range(1, 500)),
+                static_cast<std::uint16_t>(rng.Range(1, 9)));
+            break;
+          case 3: {
+            entry.match.field = config::MatchField::kNextHop;
+            const auto& links = topo.links();
+            const net::Link& link = links[rng.Below(links.size())];
+            entry.match.next_hop = rng.Coin() ? link.addr_a : link.addr_b;
+            break;
+          }
+          default: {
+            entry.match.field = config::MatchField::kViaContains;
+            const char* names[] = {"P1", "P2", "R1", "R2", "R3", "Cust"};
+            entry.match.via = std::string(names[rng.Below(6)]);
+            break;
+          }
+        }
+        if (rng.Chance(1, 3)) entry.sets.local_pref = rng.Range(1, 999);
+        if (rng.Chance(1, 4)) {
+          entry.sets.add_community = config::MakeCommunity(
+              static_cast<std::uint16_t>(rng.Range(1, 500)),
+              static_cast<std::uint16_t>(rng.Range(1, 9)));
+        }
+        if (rng.Chance(1, 5)) entry.sets.med = rng.Range(0, 200);
+        map.entries.push_back(std::move(entry));
+      }
+      if (rng.Coin()) map.entries.push_back(config::PermitAll(1000));
+    }
+  }
+  return network;
+}
+
+class ConfigRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigRoundTrip, RenderParseIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const net::Topology topo = net::PaperFig1b();
+  const config::NetworkConfig original = RandomConfig(rng, topo);
+  const std::string text = config::RenderNetwork(original, &topo);
+  const auto parsed = config::ParseNetworkConfig(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString() << "\n" << text;
+  EXPECT_EQ(parsed.value(), original) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, ConfigRoundTrip,
+                         ::testing::Range(1, 21));
+
+// --------------------------------------------------- spec DSL round-trips
+
+class SpecRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecRoundTrip, ParsePrintParseIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 911);
+  const char* nodes[] = {"R1", "R2", "R3", "P1", "P2", "Cust", "D1"};
+
+  const auto random_pattern = [&] {
+    std::string out;
+    const int len = rng.Range(2, 5);
+    bool last_was_wildcard = false;
+    for (int i = 0; i < len; ++i) {
+      if (i != 0) out += "->";
+      // Interior positions may be `...`, but never two in a row (the
+      // grammar rejects consecutive wildcards).
+      if (i != 0 && i + 1 != len && !last_was_wildcard && rng.Chance(1, 4)) {
+        out += "...";
+        last_was_wildcard = true;
+      } else {
+        out += nodes[rng.Below(7)];
+        last_was_wildcard = false;
+      }
+    }
+    return out;
+  };
+
+  std::string source = "dest D1 = 128.0.1.0/24 at P1, P2\n";
+  const int blocks = rng.Range(1, 3);
+  for (int b = 0; b < blocks; ++b) {
+    source += "Req" + std::to_string(b) + " {\n";
+    const int stmts = rng.Range(1, 4);
+    for (int i = 0; i < stmts; ++i) {
+      switch (rng.Below(3)) {
+        case 0:
+          source += "  !(" + random_pattern() + ")\n";
+          break;
+        case 1:
+          source += "  (" + random_pattern() + ")\n";
+          break;
+        default:
+          source += "  (" + random_pattern() + ") >> (" + random_pattern() +
+                    ")\n";
+          break;
+      }
+    }
+    source += "}\n";
+  }
+
+  const auto first = spec::ParseSpec(source);
+  ASSERT_TRUE(first.ok()) << first.error().ToString() << "\n" << source;
+  const auto second = spec::ParseSpec(first.value().ToString());
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_EQ(first.value(), second.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpecs, SpecRoundTrip, ::testing::Range(1, 17));
+
+// ------------------------------------------------- prefix/address fuzzing
+
+class PrefixRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixRoundTrip, ParseFormatIsIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const auto addr = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    EXPECT_EQ(net::Ipv4Addr::Parse(addr.ToString()).value(), addr);
+    const net::Prefix prefix(addr, rng.Range(0, 32));
+    EXPECT_EQ(net::Prefix::Parse(prefix.ToString()).value(), prefix);
+    // Canonical: the prefix contains its own network address.
+    EXPECT_TRUE(prefix.Contains(prefix.address()));
+    EXPECT_TRUE(prefix.Covers(prefix));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixRoundTrip, ::testing::Range(1, 5));
+
+// ---------------------------------------------- simulator monotonicity
+
+// Property: adding a deny entry at the front of a route-map can only
+// remove usable routes, never add any.
+class DenyMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenyMonotonicity, AddingDenyShrinksRibs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 127);
+  const net::Topology topo = net::PaperFig1b();
+  config::NetworkConfig network = RandomConfig(rng, topo);
+
+  const auto before = bgp::Simulate(topo, network);
+  ASSERT_TRUE(before.ok()) << before.error().ToString();
+
+  // Pick (or create) a map and prepend a deny.
+  const char* routers[] = {"R1", "R2", "R3"};
+  config::RouterConfig& cfg = *network.FindRouter(routers[rng.Below(3)]);
+  const config::Neighbor& session = cfg.neighbors[rng.Below(cfg.neighbors.size())];
+  config::RouteMap& map = rng.Coin()
+                              ? config::EnsureExportMap(cfg, session.peer)
+                              : config::EnsureImportMap(cfg, session.peer);
+  const bool was_empty = map.entries.empty();
+  config::RouteMapEntry deny;
+  deny.seq = 1;
+  deny.action = config::RmAction::kDeny;
+  if (rng.Coin()) {
+    deny.match.field = config::MatchField::kPrefix;
+    const char* externals[] = {"P1", "P2", "Cust"};
+    deny.match.prefix = network.FindRouter(externals[rng.Below(3)])->networks[0];
+  }
+  map.entries.insert(map.entries.begin(), deny);
+  if (was_empty) {
+    // A brand-new map would otherwise implicitly deny everything; keep the
+    // remainder permissive so the only *change* is the deny entry.
+    map.entries.push_back(config::PermitAll(1000));
+  }
+
+  const auto after = bgp::Simulate(topo, network);
+  ASSERT_TRUE(after.ok()) << after.error().ToString();
+
+  // Every route after is also present before (by prefix + via).
+  for (const auto& [router, routes] : after.value().rib) {
+    const auto& prior = before.value().rib.at(router);
+    for (const bgp::Route& route : routes) {
+      const bool existed =
+          std::any_of(prior.begin(), prior.end(), [&](const bgp::Route& r) {
+            return r.prefix == route.prefix && r.via == route.via;
+          });
+      EXPECT_TRUE(existed) << "route appeared after adding a deny: "
+                           << route.ToString() << " at " << router
+                           << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, DenyMonotonicity,
+                         ::testing::Range(1, 16));
+
+// Property: simulation converges within the theoretical round bound and
+// never installs a looping path.
+class SimulatorSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorSanity, NoLoopsAndBoundedConvergence) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271);
+  const net::Topology topo = net::PaperFig1b();
+  const config::NetworkConfig network = RandomConfig(rng, topo);
+  const auto sim = bgp::Simulate(topo, network);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_LE(sim.value().rounds, static_cast<int>(topo.NumRouters()) + 2);
+  for (const auto& [router, routes] : sim.value().rib) {
+    for (const bgp::Route& route : routes) {
+      std::set<std::string> seen(route.via.begin(), route.via.end());
+      EXPECT_EQ(seen.size(), route.via.size())
+          << "loop in " << route.ToString();
+      EXPECT_EQ(route.via.back(), router);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, SimulatorSanity,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace ns

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/z3bridge.hpp"
+#include <algorithm>
+
+#include "util/file.hpp"
+#include "util/rng.hpp"
+
+namespace ns::smt {
+namespace {
+
+TEST(ExprTest, HashConsingSharesStructure) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr a = pool.Eq(x, pool.Int(3));
+  const Expr b = pool.Eq(x, pool.Int(3));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(ExprTest, CommutativeAtomsAreOriented) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr y = pool.Var("y", Sort::kInt);
+  EXPECT_EQ(pool.Eq(x, y), pool.Eq(y, x));
+  EXPECT_EQ(pool.Add(x, y), pool.Add(y, x));
+  // Lt is NOT commutative.
+  EXPECT_NE(pool.Lt(x, y), pool.Lt(y, x));
+}
+
+TEST(ExprTest, BoolConstantsAreSingletons) {
+  ExprPool pool;
+  EXPECT_EQ(pool.Bool(true), pool.True());
+  EXPECT_EQ(pool.Bool(false), pool.False());
+  EXPECT_TRUE(pool.True().IsTrue());
+  EXPECT_TRUE(pool.False().IsFalse());
+  EXPECT_NE(pool.True(), pool.False());
+}
+
+TEST(ExprTest, SingleOperandAndOrCollapse) {
+  ExprPool pool;
+  const Expr p = pool.Var("p", Sort::kBool);
+  EXPECT_EQ(pool.And({p}), p);
+  EXPECT_EQ(pool.Or({p}), p);
+}
+
+TEST(ExprTest, SortChecksCatchMisuse) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr p = pool.Var("p", Sort::kBool);
+  EXPECT_THROW(pool.Not(x), util::InternalError);
+  EXPECT_THROW(pool.Lt(p, x), util::InternalError);
+  EXPECT_THROW(pool.Eq(p, x), util::InternalError);
+  EXPECT_THROW(pool.Ite(p, p, x), util::InternalError);
+}
+
+TEST(ExprTest, SizesDistinguishTreeAndDag) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr shared = pool.Add(x, pool.Int(1));  // 3 nodes
+  const Expr e = pool.Eq(shared, shared);        // eq + shared twice
+  EXPECT_EQ(e.DagSize(), 4u);   // eq, add, x, 1
+  EXPECT_EQ(e.TreeSize(), 7u);  // eq + 2 * 3
+}
+
+TEST(ExprTest, FreeVarsSortedUnique) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr a = pool.Var("a", Sort::kBool);
+  const Expr e = pool.And({a, pool.Eq(x, pool.Int(1)), pool.Lt(x, pool.Int(9))});
+  const auto vars = e.FreeVars();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].name(), "a");
+  EXPECT_EQ(vars[1].name(), "x");
+}
+
+TEST(ExprTest, PrinterProducesSmtLibStyle) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr e = pool.Implies(pool.Le(pool.Int(0), x),
+                              pool.Eq(x, pool.Int(5)));
+  EXPECT_EQ(e.ToString(), "(=> (<= 0 x) (= x 5))");
+}
+
+TEST(SubstituteTest, ReplacesVariablesEverywhere) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr y = pool.Var("y", Sort::kInt);
+  const Expr e = pool.And({pool.Eq(x, y), pool.Lt(x, pool.Int(10))});
+  const Expr subbed =
+      Substitute(pool, e, {{"x", pool.Int(3)}});
+  // Eq orients by node creation index, so `y` (older) comes first.
+  EXPECT_EQ(subbed.ToString(), "(and (= y 3) (< 3 10))");
+}
+
+TEST(SubstituteTest, NoChangeReturnsSameNode) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr e = pool.Eq(x, pool.Int(3));
+  EXPECT_EQ(Substitute(pool, e, {{"z", pool.Int(1)}}), e);
+}
+
+TEST(SubstituteTest, SortMismatchAsserts) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr e = pool.Eq(x, pool.Int(3));
+  EXPECT_THROW(Substitute(pool, e, {{"x", pool.True()}}),
+               util::InternalError);
+}
+
+TEST(EvalTest, EvaluatesAllOperators) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Assignment env{{"x", 7}, {"p", 1}};
+
+  EXPECT_EQ(Eval(pool.Add(x, pool.Int(1)), env).value(), 8);
+  EXPECT_EQ(Eval(pool.Sub(x, pool.Int(10)), env).value(), -3);
+  EXPECT_EQ(Eval(pool.Mul(x, x), env).value(), 49);
+  EXPECT_EQ(Eval(pool.Lt(x, pool.Int(8)), env).value(), 1);
+  EXPECT_EQ(Eval(pool.Le(pool.Int(8), x), env).value(), 0);
+  EXPECT_EQ(Eval(pool.Not(p), env).value(), 0);
+  EXPECT_EQ(Eval(pool.Implies(p, pool.False()), env).value(), 0);
+  EXPECT_EQ(Eval(pool.Ite(p, x, pool.Int(0)), env).value(), 7);
+  EXPECT_EQ(Eval(pool.And({p, pool.Eq(x, pool.Int(7))}), env).value(), 1);
+  EXPECT_EQ(Eval(pool.Or({pool.Not(p), pool.False()}), env).value(), 0);
+}
+
+TEST(EvalTest, UnassignedVariableFails) {
+  ExprPool pool;
+  const auto result = Eval(pool.Var("ghost", Sort::kInt), {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), util::ErrorCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Z3 bridge
+
+TEST(Z3Test, SatAndUnsat) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr sat[] = {pool.Lt(pool.Int(0), x), pool.Lt(x, pool.Int(2))};
+  EXPECT_EQ(z3.CheckSat(sat), Outcome::kSat);
+  const Expr unsat[] = {pool.Lt(x, pool.Int(0)), pool.Lt(pool.Int(0), x)};
+  EXPECT_EQ(z3.CheckSat(unsat), Outcome::kUnsat);
+}
+
+TEST(Z3Test, SolveExtractsModel) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Expr constraints[] = {pool.Eq(x, pool.Int(41)), p};
+  const Expr vars[] = {x, p};
+  const auto model = z3.Solve(constraints, vars);
+  ASSERT_TRUE(model.ok()) << model.error().ToString();
+  EXPECT_EQ(model.value().at("x"), 41);
+  EXPECT_EQ(model.value().at("p"), 1);
+}
+
+TEST(Z3Test, SolveReportsUnsat) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Expr constraints[] = {p, pool.Not(p)};
+  const auto model = z3.Solve(constraints, {});
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.error().code(), util::ErrorCode::kUnsat);
+}
+
+TEST(Z3Test, ValidityAndEquivalence) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Expr q = pool.Var("q", Sort::kBool);
+  EXPECT_TRUE(z3.IsValid(pool.Or({p, pool.Not(p)})));
+  EXPECT_FALSE(z3.IsValid(p));
+  // De Morgan.
+  EXPECT_TRUE(z3.AreEquivalent(pool.Not(pool.And({p, q})),
+                               pool.Or({pool.Not(p), pool.Not(q)})));
+  EXPECT_FALSE(z3.AreEquivalent(p, q));
+  EXPECT_TRUE(z3.Implies(pool.And({p, q}), p));
+  EXPECT_FALSE(z3.Implies(p, pool.And({p, q})));
+}
+
+TEST(Z3Test, ModelAgreesWithEval) {
+  // Property: for random formulas, a Z3 model evaluated by our interpreter
+  // satisfies the formula.
+  ExprPool pool;
+  Z3Session z3;
+  util::Rng rng(2024);
+
+  const Expr vars_i[] = {pool.Var("i0", Sort::kInt), pool.Var("i1", Sort::kInt)};
+  const Expr vars_b[] = {pool.Var("b0", Sort::kBool),
+                         pool.Var("b1", Sort::kBool)};
+
+  for (int round = 0; round < 25; ++round) {
+    // Random small boolean combination of atoms.
+    std::vector<Expr> atoms;
+    for (int i = 0; i < 4; ++i) {
+      const Expr lhs = vars_i[rng.Below(2)];
+      const Expr rhs = rng.Coin() ? vars_i[rng.Below(2)]
+                                  : pool.Int(rng.Range(-3, 3));
+      switch (rng.Below(3)) {
+        case 0: atoms.push_back(pool.Eq(lhs, rhs)); break;
+        case 1: atoms.push_back(pool.Lt(lhs, rhs)); break;
+        default: atoms.push_back(pool.Le(lhs, rhs)); break;
+      }
+    }
+    atoms.push_back(vars_b[0]);
+    atoms.push_back(pool.Not(vars_b[1]));
+    const Expr formula = rng.Coin() ? pool.Or(atoms) : pool.And(atoms);
+
+    const Expr constraints[] = {formula};
+    Expr all_vars[] = {vars_i[0], vars_i[1], vars_b[0], vars_b[1]};
+    const auto model = z3.Solve(constraints, all_vars);
+    if (!model.ok()) continue;  // random formula may be unsat; fine
+    const auto value = Eval(formula, model.value());
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value.value(), 1) << formula.ToString();
+  }
+}
+
+TEST(Z3Test, GenericSimplifyBaselineShrinksTautology) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Expr big = pool.And({pool.Or({p, pool.Not(p)}), pool.True()});
+  const Expr constraints[] = {big};
+  EXPECT_EQ(z3.GenericSimplifiedSize(constraints), 1u);  // just `true`
+  EXPECT_EQ(z3.GenericSimplifiedText(constraints), "true");
+}
+
+}  // namespace
+}  // namespace ns::smt
+
+namespace unsat_core_tests {
+
+using ns::smt::Expr;
+using ns::smt::ExprPool;
+using ns::smt::Sort;
+using ns::smt::Z3Session;
+
+TEST(UnsatCoreTest, NamesConflictingConstraints) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr hard[] = {pool.Le(pool.Int(0), x)};
+  const std::pair<std::string, Expr> labeled[] = {
+      {"low", pool.Lt(x, pool.Int(5))},
+      {"high", pool.Lt(pool.Int(10), x)},
+      {"fine", pool.Lt(x, pool.Int(100))},
+  };
+  const auto core = z3.UnsatCore(hard, labeled);
+  ASSERT_TRUE(core.ok()) << core.error().ToString();
+  // "low" and "high" conflict; "fine" must not be blamed.
+  EXPECT_NE(std::find(core.value().begin(), core.value().end(), "low"),
+            core.value().end());
+  EXPECT_NE(std::find(core.value().begin(), core.value().end(), "high"),
+            core.value().end());
+  EXPECT_EQ(std::find(core.value().begin(), core.value().end(), "fine"),
+            core.value().end());
+}
+
+TEST(UnsatCoreTest, SatisfiableGivesEmptyCore) {
+  ExprPool pool;
+  Z3Session z3;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const std::pair<std::string, Expr> labeled[] = {
+      {"a", pool.Lt(x, pool.Int(5))},
+      {"b", pool.Lt(pool.Int(0), x)},
+  };
+  const auto core = z3.UnsatCore({}, labeled);
+  ASSERT_TRUE(core.ok());
+  EXPECT_TRUE(core.value().empty());
+}
+
+TEST(UnsatCoreTest, SharedLabelsAggregate) {
+  // Two constraints under one label: the core reports the label once.
+  ExprPool pool;
+  Z3Session z3;
+  const Expr p = pool.Var("p", Sort::kBool);
+  const std::pair<std::string, Expr> labeled[] = {
+      {"req", p},
+      {"req", pool.Not(p)},
+  };
+  const auto core = z3.UnsatCore({}, labeled);
+  ASSERT_TRUE(core.ok());
+  ASSERT_EQ(core.value().size(), 1u);
+  EXPECT_EQ(core.value()[0], "req");
+}
+
+}  // namespace unsat_core_tests
+
+namespace file_tests {
+
+using ns::util::ReadFile;
+using ns::util::WriteFile;
+
+TEST(FileTest, WriteThenReadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/ns_file_test.txt";
+  const std::string contents = "line one\nline two\n\xe2\x98\x83";
+  ASSERT_TRUE(WriteFile(path, contents).ok());
+  const auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.error().ToString();
+  EXPECT_EQ(read.value(), contents);
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  const auto read = ReadFile("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code(), ns::util::ErrorCode::kNotFound);
+}
+
+TEST(FileTest, UnwritablePathFails) {
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/out.txt", "x").ok());
+}
+
+}  // namespace file_tests

@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include "spec/ast.hpp"
+#include "net/builders.hpp"
+#include "spec/checker.hpp"
+#include "spec/lint.hpp"
+#include "spec/matcher.hpp"
+#include "spec/parser.hpp"
+#include "util/strings.hpp"
+
+namespace ns::spec {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParserTest, ParsesNoTransitSpec) {
+  const auto spec = ParseSpec(R"(
+    // No transit traffic
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  ASSERT_EQ(spec.value().requirements.size(), 1u);
+  const Requirement& req = spec.value().requirements[0];
+  EXPECT_EQ(req.name, "Req1");
+  EXPECT_FALSE(req.IsLocalized());
+  ASSERT_EQ(req.statements.size(), 2u);
+  const auto* forbid = std::get_if<ForbidStmt>(&req.statements[0]);
+  ASSERT_NE(forbid, nullptr);
+  EXPECT_EQ(forbid->path.ToString(), "P1->...->P2");
+}
+
+TEST(ParserTest, ParsesPreferenceSpec) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1
+    Req2 {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  ASSERT_EQ(spec.value().destinations.size(), 1u);
+  EXPECT_EQ(spec.value().destinations[0].name, "D1");
+  EXPECT_EQ(spec.value().destinations[0].prefix.ToString(), "128.0.1.0/24");
+  EXPECT_EQ(spec.value().destinations[0].origins,
+            (std::vector<std::string>{"P1"}));
+  const auto* prefer =
+      std::get_if<PreferStmt>(&spec.value().requirements[0].statements[0]);
+  ASSERT_NE(prefer, nullptr);
+  ASSERT_EQ(prefer->ranking.size(), 2u);
+  EXPECT_EQ(prefer->ranking[0].ToString(), "Cust->R3->R1->P1->...->D1");
+}
+
+TEST(ParserTest, BarePathIsAllowStatement) {
+  const auto stmt = ParseStatement("(P1->...->Cust)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(std::get_if<AllowStmt>(&stmt.value()), nullptr);
+}
+
+TEST(ParserTest, LocalizedSubspecHeaders) {
+  const auto spec = ParseSpec(R"(
+    R1 {
+      !(R1->P1)
+    }
+  )",
+                              ParseOptions{.localized = true});
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  const Requirement& req = spec.value().requirements[0];
+  EXPECT_TRUE(req.IsLocalized());
+  EXPECT_EQ(*req.scope_router, "R1");
+  EXPECT_FALSE(req.scope_peer.has_value());
+}
+
+TEST(ParserTest, InterfaceScopedHeaderFig5) {
+  const auto spec = ParseSpec(R"(
+    R2 to P2 {
+      !(P1->R1->R2->P2)
+      !(P1->R1->R3->R2->P2)
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  const Requirement& req = spec.value().requirements[0];
+  EXPECT_TRUE(req.IsLocalized());
+  EXPECT_EQ(*req.scope_router, "R2");
+  EXPECT_EQ(*req.scope_peer, "P2");
+  EXPECT_EQ(req.statements.size(), 2u);
+}
+
+TEST(ParserTest, PreferenceGroupSugarFig4) {
+  const auto spec = ParseSpec(R"(
+    R3 {
+      preference {
+        (R3->R1->P1->...->D1)
+        >> (R3->R2->P2->...->D1)
+      }
+      !(R3->R1->R2->P2->...->D1)
+      !(R3->R2->R1->P1->...->D1)
+    }
+  )",
+                              ParseOptions{.localized = true});
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+  const Requirement& req = spec.value().requirements[0];
+  ASSERT_EQ(req.statements.size(), 3u);
+  EXPECT_NE(std::get_if<PreferStmt>(&req.statements[0]), nullptr);
+  EXPECT_NE(std::get_if<ForbidStmt>(&req.statements[1]), nullptr);
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  const auto spec = ParseSpec("Req1 {\n  !(P1->)\n}");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code(), util::ErrorCode::kParse);
+  EXPECT_EQ(spec.error().line(), 2);
+}
+
+TEST(ParserTest, RejectsWildcardAtEnds) {
+  EXPECT_FALSE(ParsePathPattern("...->P2").ok());
+  EXPECT_FALSE(ParsePathPattern("P1->...").ok());
+  EXPECT_FALSE(ParsePathPattern("P1->...->...->P2").ok());
+}
+
+TEST(ParserTest, RejectsSingleNodePath) {
+  EXPECT_FALSE(ParsePathPattern("P1").ok());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const char* source = R"(dest D1 = 128.0.1.0/24 at P1
+
+Req1 {
+  !(P1->...->P2)
+}
+
+Req2 {
+  (Cust->R3->R1->P1->...->D1) >> (Cust->R3->R2->P2->...->D1)
+}
+)";
+  const auto first = ParseSpec(source);
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  const auto second = ParseSpec(first.value().ToString());
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_EQ(first.value(), second.value());
+}
+
+// ---------------------------------------------------------------- matching
+
+PathPattern Pat(std::string_view text) {
+  auto p = ParsePathPattern(text);
+  EXPECT_TRUE(p.ok()) << p.error().ToString();
+  return p.value();
+}
+
+TEST(MatcherTest, ExactWithoutWildcard) {
+  EXPECT_TRUE(MatchesExactly(Pat("A->B->C"), {"A", "B", "C"}));
+  EXPECT_FALSE(MatchesExactly(Pat("A->B->C"), {"A", "B"}));
+  EXPECT_FALSE(MatchesExactly(Pat("A->B->C"), {"A", "B", "C", "D"}));
+}
+
+TEST(MatcherTest, WildcardMatchesZeroOrMore) {
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->C"), {"A", "C"}));
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->C"), {"A", "B", "C"}));
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->C"), {"A", "X", "Y", "Z", "C"}));
+  EXPECT_FALSE(MatchesExactly(Pat("A->...->C"), {"A", "B"}));
+}
+
+TEST(MatcherTest, InteriorWildcardBetweenConcrete) {
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->B->C"), {"A", "X", "B", "C"}));
+  EXPECT_FALSE(MatchesExactly(Pat("A->...->B->C"), {"A", "X", "C"}));
+}
+
+TEST(MatcherTest, InfixFindsEmbeddedMatch) {
+  EXPECT_TRUE(MatchesInfix(Pat("B->C"), {"A", "B", "C", "D"}));
+  EXPECT_FALSE(MatchesInfix(Pat("C->B"), {"A", "B", "C", "D"}));
+  EXPECT_TRUE(MatchesInfix(Pat("P1->...->P2"), {"X", "P1", "R1", "P2", "Y"}));
+}
+
+TEST(MatcherTest, PrefixMatching) {
+  EXPECT_TRUE(MatchesPrefix(Pat("A->B"), {"A", "B", "C"}));
+  EXPECT_FALSE(MatchesPrefix(Pat("B->C"), {"A", "B", "C"}));
+}
+
+TEST(MatcherTest, RepeatedNodesHandled) {
+  // Wildcards may skip over nodes equal to later pattern elements.
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->A->B"), {"A", "A", "B"}));
+  EXPECT_TRUE(MatchesExactly(Pat("A->...->B"), {"A", "B", "B"}));
+}
+
+// ---------------------------------------------------------------- checking
+
+TEST(CheckerTest, TrafficSequenceReversesAndAppendsDest) {
+  EXPECT_EQ(TrafficSequence({"P1", "R1", "R3", "Cust"}, "D1"),
+            (std::vector<std::string>{"Cust", "R3", "R1", "P1", "D1"}));
+}
+
+RoutingOutcome TransitOutcome() {
+  // P1's prefix (dest name DP1) propagates P1 -> R1 -> R2 -> P2: P2 can
+  // send transit traffic through AS100.
+  RoutingOutcome outcome;
+  outcome.usable["DP1"] = {{"P1", "R1", "R2", "P2"}};
+  outcome.forwarding["DP1"]["P2"] = {"P1", "R1", "R2", "P2"};
+  return outcome;
+}
+
+TEST(CheckerTest, ForbidViolationDetected) {
+  // Route-direction pattern (no declared destination): announcements from
+  // P1 must not reach P2.
+  const auto spec = ParseSpec("Req1 { !(P1->...->P2) }").value();
+  const CheckResult result = Check(spec, TransitOutcome());
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].requirement, "Req1");
+  EXPECT_NE(result.violations[0].detail.find("P1 -> R1 -> R2 -> P2"),
+            std::string::npos);
+}
+
+TEST(CheckerTest, ForbidPassesWhenBlocked) {
+  const auto spec = ParseSpec("Req1 { !(P2->...->P1) }").value();
+  EXPECT_TRUE(Check(spec, TransitOutcome()).ok());
+}
+
+TEST(CheckerTest, ForbidTrafficDirectionPattern) {
+  // Pattern ending in a declared destination reads in traffic direction:
+  // traffic P2 -> ... -> DP1 exists iff DP1's announcements reached P2.
+  const auto spec = ParseSpec(R"(
+    dest DP1 = 10.0.0.0/24 at P1
+    Req { !(P2->...->DP1) }
+  )").value();
+  EXPECT_FALSE(Check(spec, TransitOutcome()).ok());
+}
+
+TEST(CheckerTest, AllowRequiresUsablePath) {
+  // Route-direction allow: routes from P1 must reach P2.
+  const auto allowed = ParseSpec("Req { (P1->...->P2) }").value();
+  EXPECT_TRUE(Check(allowed, TransitOutcome()).ok());
+
+  const auto blocked = ParseSpec("Req { (P1->...->Cust) }").value();
+  EXPECT_FALSE(Check(blocked, TransitOutcome()).ok());
+
+  // Traffic-direction allow against the declared destination.
+  const auto traffic = ParseSpec(R"(
+    dest DP1 = 10.0.0.0/24 at P1
+    Req { (P2->...->DP1) }
+  )").value();
+  EXPECT_TRUE(Check(traffic, TransitOutcome()).ok());
+}
+
+RoutingOutcome PreferenceOutcome(bool via_p1, bool extra_path) {
+  RoutingOutcome outcome;
+  // Announcement paths (origin-first). D1 is multi-homed behind P1 and P2.
+  const AnnouncementPath p1_path{"P1", "R1", "R3", "Cust"};
+  const AnnouncementPath p2_path{"P2", "R2", "R3", "Cust"};
+  const AnnouncementPath odd_path{"P1", "R1", "R2", "R3", "Cust"};
+  outcome.usable["D1"] = {p1_path, p2_path};
+  if (extra_path) outcome.usable["D1"].push_back(odd_path);
+  outcome.forwarding["D1"]["Cust"] = via_p1 ? p1_path : p2_path;
+  return outcome;
+}
+
+Spec PreferenceSpec() {
+  return ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req2 {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+    }
+  )").value();
+}
+
+TEST(CheckerTest, PreferenceSatisfiedWhenBestRankedChosen) {
+  EXPECT_TRUE(Check(PreferenceSpec(), PreferenceOutcome(true, false)).ok());
+}
+
+TEST(CheckerTest, PreferenceViolatedWhenLowerRankChosen) {
+  const CheckResult result =
+      Check(PreferenceSpec(), PreferenceOutcome(false, false));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations[0].detail.find("most preferred"),
+            std::string::npos);
+}
+
+TEST(CheckerTest, StrictSemanticsRejectUnrankedPaths) {
+  const CheckResult strict =
+      Check(PreferenceSpec(), PreferenceOutcome(true, true),
+            CheckOptions{PreferenceSemantics::kStrictBlocked});
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.violations[0].detail.find("unspecified path"),
+            std::string::npos);
+  // The odd path is reported in traffic direction.
+  EXPECT_NE(strict.violations[0].detail.find(
+                "Cust -> R3 -> R2 -> R1 -> P1 -> D1"),
+            std::string::npos);
+
+  const CheckResult fallback =
+      Check(PreferenceSpec(), PreferenceOutcome(true, true),
+            CheckOptions{PreferenceSemantics::kFallbackAllowed});
+  EXPECT_TRUE(fallback.ok()) << fallback.ToString();
+}
+
+TEST(CheckerTest, LocalizedRequirementsAreSkipped) {
+  const auto spec = ParseSpec("R1 { !(P1->...->P2) }",
+                              ParseOptions{.localized = true}).value();
+  EXPECT_TRUE(Check(spec, TransitOutcome()).ok());
+}
+
+}  // namespace
+}  // namespace ns::spec
+
+namespace matcher_param_tests {
+
+using ns::spec::MatchesExactly;
+using ns::spec::MatchesInfix;
+using ns::spec::ParsePathPattern;
+
+struct MatchCase {
+  const char* pattern;
+  const char* sequence;  // space-separated
+  bool exact;
+  bool infix;
+};
+
+class MatcherSweep : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatcherSweep, MatchesAsSpecified) {
+  const MatchCase& c = GetParam();
+  const auto pattern = ParsePathPattern(c.pattern);
+  ASSERT_TRUE(pattern.ok()) << pattern.error().ToString();
+  const auto sequence = ns::util::SplitWhitespace(c.sequence);
+  EXPECT_EQ(MatchesExactly(pattern.value(), sequence), c.exact)
+      << c.pattern << " vs " << c.sequence;
+  EXPECT_EQ(MatchesInfix(pattern.value(), sequence), c.infix)
+      << c.pattern << " vs " << c.sequence;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MatcherSweep,
+    ::testing::Values(
+        MatchCase{"A->B", "A B", true, true},
+        MatchCase{"A->B", "B A", false, false},
+        MatchCase{"A->B", "X A B Y", false, true},
+        MatchCase{"A->...->B", "A B", true, true},
+        MatchCase{"A->...->B", "A X Y B", true, true},
+        MatchCase{"A->...->B", "X A Y B Z", false, true},
+        MatchCase{"A->...->B->C", "A B C", true, true},
+        MatchCase{"A->...->B->C", "A C", false, false},
+        MatchCase{"A->B->...->C", "A B C", true, true},
+        // X breaks the required A->B adjacency; no infix either.
+        MatchCase{"A->B->...->C", "A X B C", false, false},
+        MatchCase{"B->...->C", "A X B C", false, true},
+        MatchCase{"A->...->B->...->C", "A B C", true, true},
+        MatchCase{"A->...->B->...->C", "A X B Y C", true, true},
+        MatchCase{"A->...->B->...->C", "A C", false, false},
+        MatchCase{"A->A", "A A", true, true},
+        MatchCase{"A->A", "A", false, false},
+        MatchCase{"A->...->A", "A A", true, true},
+        MatchCase{"A->...->A", "A B A", true, true},
+        MatchCase{"A->B", "", false, false},
+        MatchCase{"A->...->B", "B A", false, false}));
+
+}  // namespace matcher_param_tests
+
+namespace checker_extra_tests {
+
+using namespace ns::spec;
+
+TEST(CheckerExtraTest, MultiOriginUsableRoutesAllCount) {
+  // D1 behind both providers: a forbid in traffic direction must catch a
+  // route regardless of which origin announced it.
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req { !(Cust->R3->R2->P2->...->D1) }
+  )").value();
+  RoutingOutcome outcome;
+  outcome.usable["D1"] = {{"P1", "R1", "R3", "Cust"},
+                          {"P2", "R2", "R3", "Cust"}};
+  const auto result = Check(spec, outcome);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_NE(result.violations[0].detail.find("P2"), std::string::npos);
+}
+
+TEST(CheckerExtraTest, ThreeWayPreferenceUsesBestAvailable) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R2->P2->...->D1)
+      >> (Cust->R3->R2->R1->P1->...->D1)
+    }
+  )").value();
+  // Top path unavailable; second available and chosen: satisfied.
+  RoutingOutcome outcome;
+  outcome.usable["D1"] = {{"P2", "R2", "R3", "Cust"},
+                          {"P1", "R1", "R2", "R3", "Cust"}};
+  outcome.forwarding["D1"]["Cust"] = {"P2", "R2", "R3", "Cust"};
+  EXPECT_TRUE(Check(spec, outcome).ok());
+
+  // Third chosen while second is available: violation.
+  outcome.forwarding["D1"]["Cust"] = {"P1", "R1", "R2", "R3", "Cust"};
+  EXPECT_FALSE(Check(spec, outcome).ok());
+}
+
+TEST(CheckerExtraTest, PreferenceWithNoUsableRankedPathAndNoTraffic) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1
+    Req { (Cust->R3->R1->P1->...->D1) >> (Cust->R3->R2->P2->...->D1) }
+  )").value();
+  RoutingOutcome outcome;  // nothing usable at all
+  EXPECT_TRUE(Check(spec, outcome).ok());  // vacuously satisfied
+}
+
+TEST(CheckerExtraTest, PreferenceRejectsMismatchedEndpoints) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1
+    Req { (Cust->R3->R1->P1->...->D1) >> (R3->R2->P2->...->D1) }
+  )").value();
+  RoutingOutcome outcome;
+  const auto result = Check(spec, outcome);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations[0].detail.find("share source"),
+            std::string::npos);
+}
+
+TEST(CheckerExtraTest, PreferenceRequiresDeclaredDestination) {
+  const auto spec =
+      ParseSpec("Req { (Cust->R3->P1) >> (Cust->R2->P1) }").value();
+  RoutingOutcome outcome;
+  const auto result = Check(spec, outcome);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.violations[0].detail.find("not a declared dest"),
+            std::string::npos);
+}
+
+}  // namespace checker_extra_tests
+
+namespace lint_tests {
+
+using namespace ns;
+using namespace ns::spec;
+
+net::Topology Fig1b() { return net::PaperFig1b(); }
+
+TEST(LintTest, CleanSpecHasNoFindings) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req1 { !(P1->...->P2) }
+    Req2 { (Cust->R3->R1->P1->...->D1) >> (Cust->R3->R2->P2->...->D1) }
+  )").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  EXPECT_TRUE(report.findings.empty()) << report.ToString();
+}
+
+TEST(LintTest, FlagsUnknownNames) {
+  const auto spec = ParseSpec("Req { !(P1->...->Pz) }").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  ASSERT_TRUE(report.HasErrors());
+  EXPECT_NE(report.ToString().find("Pz"), std::string::npos);
+}
+
+TEST(LintTest, FlagsNonAdjacentConcreteHops) {
+  // P1 and Cust share no link; no wildcard bridges them.
+  const auto spec = ParseSpec("Req { !(P1->Cust) }").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].severity, LintSeverity::kWarning);
+  EXPECT_NE(report.findings[0].message.find("never match"),
+            std::string::npos);
+  // ...but a wildcard in between is fine.
+  const auto bridged = ParseSpec("Req { !(P1->...->Cust) }").value();
+  EXPECT_TRUE(Lint(Fig1b(), bridged).findings.empty());
+}
+
+TEST(LintTest, FlagsDuplicateRequirementNames) {
+  const auto spec =
+      ParseSpec("Req { !(P1->...->P2) }\nReq { !(P2->...->P1) }").value();
+  EXPECT_TRUE(Lint(Fig1b(), spec).HasErrors());
+}
+
+TEST(LintTest, FlagsDestinationProblems) {
+  const auto dup = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1
+    dest D1 = 129.0.1.0/24 at P2
+    Req { (Cust->R3->R1->P1->...->D1) >> (Cust->R3->R2->P2->...->D1) }
+  )").value();
+  EXPECT_TRUE(Lint(Fig1b(), dup).HasErrors());
+
+  const auto overlap = ParseSpec(R"(
+    dest D1 = 128.0.0.0/16 at P1
+    dest D2 = 128.0.1.0/24 at P2
+    Req { !(P1->...->P2) }
+  )").value();
+  const LintReport report = Lint(Fig1b(), overlap);
+  EXPECT_TRUE(report.HasErrors());
+  EXPECT_NE(report.ToString().find("overlapping"), std::string::npos);
+
+  const auto shadow = ParseSpec(R"(
+    dest R1 = 128.0.1.0/24 at P1
+    Req { !(P1->...->P2) }
+  )").value();
+  EXPECT_TRUE(Lint(Fig1b(), shadow).HasErrors());
+
+  const auto ghost_origin = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at Ghost
+    Req { !(P1->...->D1) }
+  )").value();
+  EXPECT_TRUE(Lint(Fig1b(), ghost_origin).HasErrors());
+}
+
+TEST(LintTest, FlagsForbidAllowContradiction) {
+  const auto spec = ParseSpec(R"(
+    Req1 { !(P1->R1->R2->P2) }
+    Req2 { (P1->R1->R2->P2) }
+  )").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  ASSERT_TRUE(report.HasErrors());
+  EXPECT_NE(report.ToString().find("forbidden here but allowed"),
+            std::string::npos);
+}
+
+TEST(LintTest, FlagsUnusedDestination) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1
+    Req { !(P1->...->P2) }
+  )").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  EXPECT_FALSE(report.HasErrors());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("never used"), std::string::npos);
+}
+
+TEST(LintTest, FlagsMismatchedRankingEndpoints) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req { (Cust->R3->R1->P1->...->D1) >> (R3->R2->P2->...->D1) }
+  )").value();
+  EXPECT_TRUE(Lint(Fig1b(), spec).HasErrors());
+}
+
+TEST(LintTest, FlagsDuplicateRankedPath) {
+  const auto spec = ParseSpec(R"(
+    dest D1 = 128.0.1.0/24 at P1, P2
+    Req {
+      (Cust->R3->R1->P1->...->D1)
+      >> (Cust->R3->R1->P1->...->D1)
+    }
+  )").value();
+  const LintReport report = Lint(Fig1b(), spec);
+  EXPECT_NE(report.ToString().find("appears twice"), std::string::npos);
+}
+
+}  // namespace lint_tests

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace ns::util {
+namespace {
+
+TEST(StatusTest, OkResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(StatusTest, ErrorResultHoldsError) {
+  Result<int> r(Error(ErrorCode::kParse, "boom", 3, 14));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kParse);
+  EXPECT_EQ(r.error().message(), "boom");
+  EXPECT_EQ(r.error().line(), 3);
+  EXPECT_EQ(r.error().column(), 14);
+  EXPECT_EQ(r.error().ToString(), "parse error at 3:14: boom");
+}
+
+TEST(StatusTest, ValueOnErrorThrows) {
+  Result<int> r(Error(ErrorCode::kUnsat, "nope"));
+  EXPECT_THROW(r.value(), std::runtime_error);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(StatusTest, StatusDefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, AssertionFailureThrowsInternalError) {
+  EXPECT_THROW(NS_ASSERT(1 == 2), InternalError);
+  try {
+    NS_ASSERT_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+  }
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"R1", "R2", "P1"};
+  EXPECT_EQ(Join(parts, "->"), "R1->R2->P1");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringsTest, PredicateHelpers) {
+  EXPECT_TRUE(StartsWith("route-map", "route"));
+  EXPECT_FALSE(StartsWith("map", "route"));
+  EXPECT_TRUE(EndsWith("R1_to_P1", "_to_P1"));
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_EQ(ToLower("Route-MAP"), "route-map");
+}
+
+TEST(StringsTest, IndentSkipsEmptyLines) {
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(StringsTest, Plural) {
+  EXPECT_EQ(Plural(1, "constraint"), "1 constraint");
+  EXPECT_EQ(Plural(2, "constraint"), "2 constraints");
+  EXPECT_EQ(Plural(0, "constraint"), "0 constraints");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.Range(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace ns::util

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.hpp"
+#include "explain/report.hpp"
+#include "explain/verify.hpp"
+#include "net/builders.hpp"
+#include "spec/parser.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace ns::explain {
+namespace {
+
+// ------------------------------------------------- encoder-based verifier
+
+TEST(VerifyTest, AcceptsSynthesizedConfigurations) {
+  for (int index : {1, 2, 3}) {
+    const synth::Scenario s = synth::GetScenario(index);
+    synth::Synthesizer synthesizer(s.topo, s.spec);
+    auto solved = synthesizer.Synthesize(s.sketch);
+    ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+    const auto verdict =
+        VerifyWithEncoder(s.topo, s.spec, solved.value().network);
+    ASSERT_TRUE(verdict.ok()) << verdict.error().ToString();
+    EXPECT_TRUE(verdict.value().ok()) << "scenario " << index << ":\n"
+                                      << verdict.value().ToString();
+  }
+}
+
+TEST(VerifyTest, ExplainsWhichPathViolates) {
+  // An open skeleton violates no-transit; the finding names the paths.
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig open = config::SkeletonFor(s.topo);
+  const auto verdict = VerifyWithEncoder(s.topo, s.spec, open);
+  ASSERT_TRUE(verdict.ok()) << verdict.error().ToString();
+  ASSERT_FALSE(verdict.value().ok());
+  bool mentions_transit_path = false;
+  for (const VerificationFinding& finding : verdict.value().findings) {
+    EXPECT_EQ(finding.requirement, "Req1");
+    for (const std::string& path : finding.paths) {
+      if (path.find("P1 -> R1 -> R2 -> P2") != std::string::npos ||
+          path.find("P2 -> R2 -> R1 -> P1") != std::string::npos) {
+        mentions_transit_path = true;
+      }
+    }
+  }
+  EXPECT_TRUE(mentions_transit_path) << verdict.value().ToString();
+}
+
+TEST(VerifyTest, RejectsConfigWithHoles) {
+  const synth::Scenario s = synth::Scenario1();
+  const auto verdict = VerifyWithEncoder(s.topo, s.spec, s.sketch);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code(), util::ErrorCode::kInvalidArgument);
+}
+
+// Property: the encoder-based verifier and the simulator+checker pair give
+// the same verdict on random concrete configurations (three independent
+// implementations of the semantics agree).
+class VerifierAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierAgreement, MatchesSimulatorChecker) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717);
+  const net::Topology topo = net::PaperFig1b();
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  const auto spec = spec::ParseSpec(R"(
+    Req1 {
+      !(P1->...->P2)
+      !(P2->...->P1)
+    }
+  )").value();
+
+  // Randomly sprinkle deny/permit policies.
+  for (const char* router : {"R1", "R2", "R3"}) {
+    config::RouterConfig& cfg = *network.FindRouter(router);
+    const std::vector<config::Neighbor> sessions = cfg.neighbors;
+    for (const config::Neighbor& neighbor : sessions) {
+      if (!rng.Chance(2, 3)) continue;
+      config::RouteMap& map =
+          rng.Coin() ? config::EnsureExportMap(cfg, neighbor.peer)
+                     : config::EnsureImportMap(cfg, neighbor.peer);
+      if (!map.entries.empty()) continue;
+      config::RouteMapEntry entry;
+      entry.seq = 10;
+      entry.action =
+          rng.Coin() ? config::RmAction::kDeny : config::RmAction::kPermit;
+      if (rng.Coin()) {
+        entry.match.field = config::MatchField::kViaContains;
+        const char* names[] = {"P1", "P2", "R1", "R2", "R3", "Cust"};
+        entry.match.via = std::string(names[rng.Below(6)]);
+      } else {
+        entry.match.field = config::MatchField::kPrefix;
+        const char* externals[] = {"P1", "P2", "Cust"};
+        entry.match.prefix =
+            network.FindRouter(externals[rng.Below(3)])->networks[0];
+      }
+      map.entries.push_back(entry);
+      if (rng.Coin()) map.entries.push_back(config::PermitAll(100));
+    }
+  }
+
+  // Verdict 1: encoder-based.
+  const auto encoder_verdict = VerifyWithEncoder(topo, spec, network);
+  ASSERT_TRUE(encoder_verdict.ok()) << encoder_verdict.error().ToString();
+
+  // Verdict 2: simulator + checker (via the synthesizer's Validate, which
+  // also augments implicit destinations).
+  synth::Synthesizer synthesizer(topo, spec);
+  const auto checker_verdict = synthesizer.Validate(network);
+  ASSERT_TRUE(checker_verdict.ok()) << checker_verdict.error().ToString();
+
+  EXPECT_EQ(encoder_verdict.value().ok(), checker_verdict.value().ok())
+      << "seed " << GetParam() << "\nencoder: "
+      << encoder_verdict.value().ToString()
+      << "\nchecker: " << checker_verdict.value().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, VerifierAgreement,
+                         ::testing::Range(1, 16));
+
+// --------------------------------------------- rest-of-network summaries
+
+TEST(ComplementTest, SymbolizesEveryOtherRouter) {
+  const synth::Scenario s = synth::Scenario2();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok());
+
+  config::NetworkConfig partial = solved.value().network;
+  const auto holes = Symbolize(partial, Selection::Rest("R3"));
+  ASSERT_TRUE(holes.ok()) << holes.error().ToString();
+  ASSERT_FALSE(holes.value().empty());
+  for (const config::HoleInfo& info : holes.value()) {
+    EXPECT_NE(info.router, "R3") << info.name;
+  }
+  // R3's own maps stay concrete.
+  EXPECT_FALSE(partial.FindRouter("R3")->HasHole());
+  EXPECT_TRUE(partial.FindRouter("R1")->HasHole());
+}
+
+TEST(ComplementTest, RestOfNetworkSummaryIsNonTrivial) {
+  // Paper §5: given R3's concrete configuration, what must the rest of the
+  // network do? At minimum the provider-facing maps must still block
+  // transit, so the summary cannot be empty.
+  const synth::Scenario s = synth::Scenario2();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok());
+
+  Session session(s.topo, s.spec, solved.value().network);
+  auto answer = session.Ask(Selection::Rest("R3"));
+  ASSERT_TRUE(answer.ok()) << answer.error().ToString();
+  EXPECT_FALSE(answer.value().subspec.IsEmpty());
+  EXPECT_FALSE(answer.value().subspec.IsUnsatisfiable());
+  // The report renders the low-level constraints (no lift for multi-router
+  // scopes).
+  const std::string report = answer.value().Report();
+  EXPECT_NE(report.find("rest of the network"), std::string::npos);
+}
+
+TEST(ComplementTest, LifterDeclinesComplementScopes) {
+  const synth::Scenario s = synth::Scenario1();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok());
+
+  Explainer explainer(s.topo, s.spec, solved.value().network);
+  auto subspec = explainer.Explain(Selection::Rest("R3"));
+  ASSERT_TRUE(subspec.ok());
+  Lifter lifter(explainer.pool(), s.topo, s.spec, explainer.solved());
+  const auto lifted = lifter.Lift(subspec.value(), LiftMode::kExact);
+  ASSERT_FALSE(lifted.ok());
+  EXPECT_EQ(lifted.error().code(), util::ErrorCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace ns::explain

@@ -1,0 +1,356 @@
+// netsubspec — command-line front end for the library.
+//
+//   netsubspec synthesize --topo fig1b.topo --spec s1.spec --sketch s1.cfg
+//   netsubspec verify     --topo fig1b.topo --spec s1.spec --config out.cfg
+//   netsubspec simulate   --topo fig1b.topo --config out.cfg
+//   netsubspec explain    --topo fig1b.topo --spec s1.spec --config out.cfg
+//                         --router R1 [--map R1_to_P1] [--seq 10]
+//                         [--slot action] [--req Req1]... [--mode faithful]
+//                         [--rest] [--baselines]
+//
+// File formats: topologies per net/topo_text.hpp, specifications per
+// spec/parser.hpp, configurations per config/parse.hpp (what `synthesize`
+// itself emits). Sample inputs live in examples/data/.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/simulator.hpp"
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "explain/report.hpp"
+#include "explain/verify.hpp"
+#include "net/topo_text.hpp"
+#include "ospf/synth.hpp"
+#include "spec/lint.hpp"
+#include "spec/parser.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/file.hpp"
+
+namespace {
+
+using namespace ns;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <synthesize|verify|simulate|explain|lint|"
+               "ospf-synthesize|ospf-explain> [flags]\n"
+               "  common flags: --topo FILE  --spec FILE\n"
+               "  synthesize:   --sketch FILE [--out FILE]\n"
+               "  verify:       --config FILE\n"
+               "  simulate:     --config FILE (no --spec needed)\n"
+               "  explain:      --config FILE --router NAME [--map NAME]\n"
+               "                [--seq N] [--slot SLOT] [--req NAME]...\n"
+               "                [--mode exact|faithful] [--rest] [--baselines]\n",
+               argv0);
+  return 2;
+}
+
+/// Minimal flag parser: every flag takes one value except the listed
+/// booleans; repeated flags accumulate.
+class Flags {
+ public:
+  static util::Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           "unexpected argument '" + arg + "'");
+      }
+      arg = arg.substr(2);
+      if (arg == "rest" || arg == "baselines") {
+        flags.values_[arg].push_back("true");
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           "flag --" + arg + " needs a value");
+      }
+      flags.values_[arg].push_back(argv[++i]);
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  util::Result<std::string> One(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return util::Error(util::ErrorCode::kInvalidArgument,
+                         "missing required flag --" + name);
+    }
+    return it->second.back();
+  }
+
+  std::vector<std::string> All(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+util::Result<net::Topology> LoadTopology(const Flags& flags) {
+  auto path = flags.One("topo");
+  if (!path) return path.error();
+  auto text = util::ReadFile(path.value());
+  if (!text) return text.error();
+  return net::ParseTopology(text.value());
+}
+
+util::Result<spec::Spec> LoadSpec(const Flags& flags) {
+  auto path = flags.One("spec");
+  if (!path) return path.error();
+  auto text = util::ReadFile(path.value());
+  if (!text) return text.error();
+  return spec::ParseSpec(text.value());
+}
+
+util::Result<config::NetworkConfig> LoadConfig(const Flags& flags,
+                                               const std::string& flag) {
+  auto path = flags.One(flag);
+  if (!path) return path.error();
+  auto text = util::ReadFile(path.value());
+  if (!text) return text.error();
+  return config::ParseNetworkConfig(text.value());
+}
+
+int Fail(const util::Error& error) {
+  std::fprintf(stderr, "netsubspec: %s\n", error.ToString().c_str());
+  return 1;
+}
+
+// ------------------------------------------------------------- synthesize
+
+int CmdSynthesize(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto sketch = LoadConfig(flags, "sketch");
+  if (!sketch) return Fail(sketch.error());
+
+  synth::Synthesizer synthesizer(topo.value(), spec.value());
+  auto result = synthesizer.Synthesize(sketch.value());
+  if (!result) return Fail(result.error());
+
+  const std::string rendered =
+      config::RenderNetwork(result.value().network, &topo.value());
+  if (flags.Has("out")) {
+    const auto out = flags.One("out").value();
+    if (auto status = util::WriteFile(out, rendered); !status.ok()) {
+      return Fail(status.error());
+    }
+    std::printf("synthesized configuration written to %s (%d holes filled, "
+                "%zu constraints, validated)\n",
+                out.c_str(), result.value().holes_filled,
+                result.value().encoding.constraints.size());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- verify
+
+int CmdVerify(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto network = LoadConfig(flags, "config");
+  if (!network) return Fail(network.error());
+
+  // Verdict 1: SMT encoder (explains violations along candidate paths).
+  auto encoder_verdict =
+      explain::VerifyWithEncoder(topo.value(), spec.value(), network.value());
+  if (!encoder_verdict) return Fail(encoder_verdict.error());
+  std::printf("encoder-based verification : %s\n",
+              encoder_verdict.value().ToString().c_str());
+
+  // Verdict 2: concrete simulator + checker.
+  synth::Synthesizer synthesizer(topo.value(), spec.value());
+  auto checker_verdict = synthesizer.Validate(network.value());
+  if (!checker_verdict) return Fail(checker_verdict.error());
+  std::printf("simulator+checker verdict  : %s\n",
+              checker_verdict.value().ToString().c_str());
+
+  return encoder_verdict.value().ok() && checker_verdict.value().ok() ? 0 : 1;
+}
+
+// --------------------------------------------------------------- simulate
+
+int CmdSimulate(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto network = LoadConfig(flags, "config");
+  if (!network) return Fail(network.error());
+
+  auto sim = bgp::Simulate(topo.value(), network.value());
+  if (!sim) return Fail(sim.error());
+  std::printf("converged after %d rounds\n", sim.value().rounds);
+  for (const auto& [router, best_by_prefix] : sim.value().best) {
+    std::printf("%s:\n", router.c_str());
+    for (const auto& [prefix, index] : best_by_prefix) {
+      const bgp::Route& route =
+          sim.value().rib.at(router)[static_cast<std::size_t>(index)];
+      std::printf("  %s\n", route.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- explain
+
+int CmdExplain(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto network = LoadConfig(flags, "config");
+  if (!network) return Fail(network.error());
+  auto router = flags.One("router");
+  if (!router) return Fail(router.error());
+
+  explain::Selection selection = explain::Selection::Router(router.value());
+  if (flags.Has("rest")) {
+    selection = explain::Selection::Rest(router.value());
+  }
+  if (flags.Has("map")) selection.route_map = flags.One("map").value();
+  if (flags.Has("seq")) selection.seq = std::stoi(flags.One("seq").value());
+  if (flags.Has("slot")) selection.slot = flags.One("slot").value();
+
+  explain::LiftMode mode = explain::LiftMode::kExact;
+  if (flags.Has("mode")) {
+    const std::string value = flags.One("mode").value();
+    if (value == "faithful") {
+      mode = explain::LiftMode::kFaithful;
+    } else if (value != "exact") {
+      return Fail(util::Error(util::ErrorCode::kInvalidArgument,
+                              "--mode must be 'exact' or 'faithful'"));
+    }
+  }
+
+  explain::Session session(topo.value(), spec.value(),
+                           std::move(network).value());
+  auto answer = session.Ask(selection, mode, flags.All("req"),
+                            flags.Has("baselines"));
+  if (!answer) return Fail(answer.error());
+  std::fputs(answer.value().Report().c_str(), stdout);
+  return 0;
+}
+
+// ------------------------------------------------------------------- ospf
+
+util::Result<ospf::WeightConfig> LoadWeights(const Flags& flags,
+                                             const net::Topology& topo) {
+  if (!flags.Has("weights")) return ospf::WeightConfig::SketchFor(topo);
+  auto path = flags.One("weights");
+  if (!path) return path.error();
+  auto text = util::ReadFile(path.value());
+  if (!text) return text.error();
+  return ospf::WeightConfig::Parse(topo, text.value());
+}
+
+int CmdOspfSynthesize(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto sketch = LoadWeights(flags, topo.value());
+  if (!sketch) return Fail(sketch.error());
+
+  ospf::OspfSynthesizer synthesizer(topo.value(), spec.value());
+  auto solved = synthesizer.Synthesize(std::move(sketch).value());
+  if (!solved) return Fail(solved.error());
+  const std::string rendered = solved.value().ToText(topo.value());
+  if (flags.Has("out")) {
+    const auto out = flags.One("out").value();
+    if (auto status = util::WriteFile(out, rendered); !status.ok()) {
+      return Fail(status.error());
+    }
+    std::printf("synthesized weights written to %s\n", out.c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+int CmdOspfExplain(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto weights = LoadWeights(flags, topo.value());
+  if (!weights) return Fail(weights.error());
+  if (weights.value().HasHole()) {
+    // No (complete) weight file given: synthesize the weights first, then
+    // explain the synthesized assignment.
+    ospf::OspfSynthesizer synthesizer(topo.value(), spec.value());
+    auto solved = synthesizer.Synthesize(std::move(weights).value());
+    if (!solved) return Fail(solved.error());
+    weights = std::move(solved);
+    std::printf("(weights synthesized on the fly)\n");
+  }
+  auto link = flags.One("link");
+  if (!link) return Fail(link.error());
+  const auto comma = link.value().find(',');
+  if (comma == std::string::npos) {
+    return Fail(util::Error(util::ErrorCode::kInvalidArgument,
+                            "--link expects 'A,B'"));
+  }
+  const net::RouterId a = topo.value().FindRouter(link.value().substr(0, comma));
+  const net::RouterId b = topo.value().FindRouter(link.value().substr(comma + 1));
+  if (a == net::kInvalidRouter || b == net::kInvalidRouter) {
+    return Fail(util::Error(util::ErrorCode::kNotFound,
+                            "--link names an unknown router"));
+  }
+
+  smt::ExprPool pool;
+  ospf::OspfEncoderOptions options;
+  options.only_requirements = flags.All("req");
+  auto subspec =
+      ospf::ExplainWeights(pool, topo.value(), spec.value(), weights.value(),
+                           {ospf::MakeEdge(a, b)}, options);
+  if (!subspec) return Fail(subspec.error());
+  std::printf("seed %zu constraints -> residual %zu\n",
+              subspec.value().metrics.seed_constraints,
+              subspec.value().metrics.residual_constraints);
+  std::fputs(subspec.value().ToString().c_str(), stdout);
+  return 0;
+}
+
+// ------------------------------------------------------------------- lint
+
+int CmdLint(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  const spec::LintReport report = spec::Lint(topo.value(), spec.value());
+  std::fputs(report.ToString().c_str(), stdout);
+  std::fputs("\n", stdout);
+  return report.HasErrors() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags) return Fail(flags.error());
+
+  if (command == "synthesize") return CmdSynthesize(flags.value());
+  if (command == "verify") return CmdVerify(flags.value());
+  if (command == "simulate") return CmdSimulate(flags.value());
+  if (command == "explain") return CmdExplain(flags.value());
+  if (command == "lint") return CmdLint(flags.value());
+  if (command == "ospf-synthesize") return CmdOspfSynthesize(flags.value());
+  if (command == "ospf-explain") return CmdOspfExplain(flags.value());
+  return Usage(argv[0]);
+}
