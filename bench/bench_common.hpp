@@ -5,10 +5,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "simplify/engine.hpp"
 #include "synth/scenarios.hpp"
 #include "synth/synthesizer.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
 #include "util/status.hpp"
 
 namespace ns::bench {
@@ -34,6 +39,129 @@ double TimeMs(Fn&& fn) {
 inline void Rule(char c = '-') {
   for (int i = 0; i < 78; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+/// Strips our `--json PATH` flag from argv *before* benchmark::Initialize
+/// sees it (google-benchmark rejects flags it does not know). Returns the
+/// path, or "" when the flag is absent.
+inline std::string ExtractJsonPath(int& argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  return path;
+}
+
+/// Writes a BENCH_*.json artifact. The shared shape — `bench` name plus a
+/// `records` array — is what tools/bench_json_check validates. No-op when
+/// `path` is empty (the flag was not given).
+inline void WriteBenchJson(const std::string& path, std::string bench_name,
+                           util::Json records) {
+  if (path.empty()) return;
+  util::Json doc = util::Json::MakeObject();
+  doc.Set("bench", std::move(bench_name));
+  doc.Set("records", std::move(records));
+  const auto status = util::WriteFile(path, doc.Dump() + "\n");
+  NS_ASSERT_MSG(status.ok(), "failed to write bench JSON to " + path);
+  std::printf("bench JSON written to %s\n", path.c_str());
+}
+
+/// One reference-vs-optimized fixpoint measurement (see AbFixpoint).
+struct AbResult {
+  double ref_ms = 0;  ///< best-of-reps, per-pass memo + unindexed propagation
+  double opt_ms = 0;  ///< best-of-reps, cross-pass memo + indexed propagation
+  double speedup = 0;
+  int passes = 0;
+  std::size_t seed_size = 0;
+  std::size_t simplified_size = 0;
+  std::size_t rule_hits = 0;
+  std::size_t memo_entries = 0;  ///< optimized engine's retained memo
+};
+
+/// Times `SimplifyConstraints` under the reference engine options versus
+/// the optimized defaults. `make_seed(pool)` must deterministically rebuild
+/// the seed constraint set into the pool it is given; every measurement
+/// uses a fresh pool so neither variant benefits from the other's warm
+/// hash-cons table. Asserts the two variants produce the same constraints
+/// (textually) and the same per-rule hit counts — the optimization must be
+/// a pure speedup.
+template <typename MakeSeed>
+AbResult AbFixpoint(MakeSeed&& make_seed, int reps = 3) {
+  AbResult out;
+  out.ref_ms = std::numeric_limits<double>::infinity();
+  out.opt_ms = std::numeric_limits<double>::infinity();
+  std::vector<std::string> ref_text;
+  std::vector<std::string> opt_text;
+  simplify::RuleStats ref_stats{};
+  simplify::RuleStats opt_stats{};
+
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      smt::ExprPool pool;
+      std::vector<smt::Expr> seed = make_seed(pool);
+      if (rep == 0) out.seed_size = simplify::ConstraintSetSize(seed);
+      simplify::Engine engine(pool, simplify::ReferenceEngineOptions());
+      std::vector<smt::Expr> result;
+      out.ref_ms = std::min(out.ref_ms, TimeMs([&] {
+        result = engine.SimplifyConstraints(std::move(seed));
+      }));
+      if (rep == 0) {
+        for (const smt::Expr& c : result) ref_text.push_back(c.ToString());
+        ref_stats = engine.stats();
+      }
+    }
+    {
+      smt::ExprPool pool;
+      std::vector<smt::Expr> seed = make_seed(pool);
+      simplify::Engine engine(pool);
+      std::vector<smt::Expr> result;
+      out.opt_ms = std::min(out.opt_ms, TimeMs([&] {
+        result = engine.SimplifyConstraints(std::move(seed));
+      }));
+      if (rep == 0) {
+        for (const smt::Expr& c : result) opt_text.push_back(c.ToString());
+        opt_stats = engine.stats();
+        out.passes = engine.last_passes();
+        out.simplified_size = simplify::ConstraintSetSize(result);
+        out.rule_hits = engine.TotalRuleHits();
+        out.memo_entries = engine.memo_size();
+      }
+    }
+  }
+
+  NS_ASSERT_MSG(ref_text == opt_text,
+                "optimized engine changed the simplified constraint set");
+  NS_ASSERT_MSG(ref_stats == opt_stats,
+                "optimized engine changed the rule-hit counts");
+  out.speedup = out.opt_ms > 0 ? out.ref_ms / out.opt_ms : 0;
+  return out;
+}
+
+/// JSON record for one AbResult (label + the standard keys the validator
+/// checks for).
+inline util::Json AbRecord(const std::string& label, const AbResult& ab) {
+  util::Json record = util::Json::MakeObject();
+  record.Set("label", label);
+  record.Set("ref_ms", ab.ref_ms);
+  record.Set("opt_ms", ab.opt_ms);
+  record.Set("speedup", ab.speedup);
+  record.Set("passes", ab.passes);
+  record.Set("seed_size", ab.seed_size);
+  record.Set("simplified_size", ab.simplified_size);
+  record.Set("rule_hits", ab.rule_hits);
+  record.Set("memo_entries", ab.memo_entries);
+  return record;
 }
 
 }  // namespace ns::bench

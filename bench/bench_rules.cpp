@@ -3,8 +3,10 @@
 // fast is the engine on a random-formula corpus.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <tuple>
 
 #include "bench_common.hpp"
 #include "explain/report.hpp"
@@ -54,6 +56,69 @@ void PrintRuleTable() {
   std::printf("\nconstant folding plus the two conjunction-context rules "
               "(unit/eq propagation)\ncarry the partial evaluation; the "
               "boolean identities mop up what remains.\n\n");
+}
+
+/// Rebuilds a scenario question's seed specification (state definitions +
+/// requirement assertions, domains excluded — same filter the explainer
+/// applies) into `pool`. Deterministic, so AbFixpoint can call it once per
+/// fresh pool.
+std::vector<Expr> MakeSeed(smt::ExprPool& pool, const synth::Scenario& scenario,
+                           const config::NetworkConfig& solved,
+                           const explain::Selection& selection) {
+  config::NetworkConfig partial = solved;
+  auto holes = explain::Symbolize(partial, selection);
+  NS_ASSERT(holes.ok());
+  auto dests = synth::BuildDestinations(scenario.topo, partial, scenario.spec);
+  NS_ASSERT(dests.ok());
+  synth::EnsureOriginated(partial, dests.value());
+  auto encoding = synth::Encode(pool, scenario.topo, partial, scenario.spec);
+  NS_ASSERT(encoding.ok());
+  std::vector<Expr> seed;
+  seed.reserve(encoding.value().constraints.size());
+  for (Expr c : encoding.value().constraints) {
+    const bool is_domain =
+        std::find(encoding.value().domain_constraints.begin(),
+                  encoding.value().domain_constraints.end(),
+                  c) != encoding.value().domain_constraints.end();
+    if (!is_domain) seed.push_back(c);
+  }
+  return seed;
+}
+
+/// Reference vs optimized fixpoint on the three scenario questions.
+/// Returns the JSON records for --json.
+util::Json PrintAbTable() {
+  std::printf("A/B | fixpoint engine: reference (per-pass memo, unindexed "
+              "propagation)\n    | vs optimized (cross-pass memo, indexed "
+              "propagation) — identical outputs asserted\n");
+  ns::bench::Rule('=');
+  std::printf("%-16s %10s %10s %9s %7s %10s %10s\n", "question", "ref ms",
+              "opt ms", "speedup", "passes", "seed size", "memo");
+  ns::bench::Rule();
+
+  util::Json records = util::Json::MakeArray();
+  const std::vector<
+      std::tuple<std::string, synth::Scenario, explain::Selection>>
+      questions{
+          {"S1:R1_to_P1", synth::Scenario1(),
+           explain::Selection::Map("R1", "R1_to_P1")},
+          {"S2:R3", synth::Scenario2(), explain::Selection::Router("R3")},
+          {"S3:R2_to_P2", synth::Scenario3(),
+           explain::Selection::Map("R2", "R2_to_P2")},
+      };
+  for (const auto& [label, scenario, selection] : questions) {
+    const config::NetworkConfig solved = ns::bench::MustSynthesize(scenario);
+    const auto ab = ns::bench::AbFixpoint([&](smt::ExprPool& pool) {
+      return MakeSeed(pool, scenario, solved, selection);
+    });
+    std::printf("%-16s %10.2f %10.2f %8.2fx %7d %10zu %10zu\n", label.c_str(),
+                ab.ref_ms, ab.opt_ms, ab.speedup, ab.passes, ab.seed_size,
+                ab.memo_entries);
+    records.Append(ns::bench::AbRecord(label, ab));
+  }
+  ns::bench::Rule();
+  std::printf("\n");
+  return records;
 }
 
 Expr RandomFormula(smt::ExprPool& pool, util::Rng& rng, int depth) {
@@ -135,7 +200,9 @@ BENCHMARK(BM_SubstituteLargeEnv);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = ns::bench::ExtractJsonPath(argc, argv);
   PrintRuleTable();
+  ns::bench::WriteBenchJson(json_path, "bench_rules", PrintAbTable());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

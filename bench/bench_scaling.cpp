@@ -5,10 +5,12 @@
 // measures the explanation pipeline end to end.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 
 #include "bench_common.hpp"
+#include "explain/batch.hpp"
 #include "explain/report.hpp"
 #include "net/builders.hpp"
 #include "spec/parser.hpp"
@@ -126,6 +128,118 @@ void PrintTable() {
               "(localization pays off more the bigger the network).\n\n");
 }
 
+/// Rebuilds a problem's seed specification (domains excluded, matching the
+/// explainer's filter) into `pool`; deterministic for AbFixpoint.
+std::vector<smt::Expr> MakeSeed(smt::ExprPool& pool, const Problem& problem) {
+  config::NetworkConfig partial = problem.solved;
+  auto holes = explain::Symbolize(
+      partial, explain::Selection::Map(problem.question_router,
+                                       problem.question_map));
+  NS_ASSERT(holes.ok());
+  auto dests =
+      synth::BuildDestinations(problem.topo, partial, problem.spec);
+  NS_ASSERT(dests.ok());
+  synth::EnsureOriginated(partial, dests.value());
+  auto encoding = synth::Encode(pool, problem.topo, partial, problem.spec);
+  NS_ASSERT(encoding.ok());
+  std::vector<smt::Expr> seed;
+  seed.reserve(encoding.value().constraints.size());
+  for (smt::Expr c : encoding.value().constraints) {
+    const bool is_domain =
+        std::find(encoding.value().domain_constraints.begin(),
+                  encoding.value().domain_constraints.end(),
+                  c) != encoding.value().domain_constraints.end();
+    if (!is_domain) seed.push_back(c);
+  }
+  return seed;
+}
+
+/// Reference vs optimized fixpoint across the whole sweep. The largest
+/// seeds are where the cross-pass memo and indexed propagation matter; the
+/// target is >= 2x there.
+util::Json PrintAbTable() {
+  std::printf("A/B | fixpoint engine on the sweep seeds: reference "
+              "(per-pass memo, unindexed\n    | propagation) vs optimized — "
+              "identical outputs asserted\n");
+  ns::bench::Rule('=');
+  std::printf("%-13s %10s %10s %9s %7s %10s %10s\n", "topology", "ref ms",
+              "opt ms", "speedup", "passes", "seed size", "memo");
+  ns::bench::Rule();
+
+  util::Json records = util::Json::MakeArray();
+  for (const Problem& problem : Sweep()) {
+    const auto ab = ns::bench::AbFixpoint(
+        [&](smt::ExprPool& pool) { return MakeSeed(pool, problem); });
+    std::printf("%-13s %10.2f %10.2f %8.2fx %7d %10zu %10zu\n",
+                problem.label.c_str(), ab.ref_ms, ab.opt_ms, ab.speedup,
+                ab.passes, ab.seed_size, ab.memo_entries);
+    records.Append(ns::bench::AbRecord(problem.label, ab));
+  }
+  ns::bench::Rule();
+  std::printf("\n");
+  return records;
+}
+
+/// Sequential vs parallel batch-explain on the largest sweep problems.
+/// Asserts the parallel reports are byte-identical to the sequential ones
+/// (fresh pool per request makes each answer order-independent).
+void PrintBatchTable(util::Json& records) {
+  std::printf("batch-explain | 1 worker vs hardware concurrency "
+              "(one Session per request)\n");
+  ns::bench::Rule('=');
+  std::printf("%-13s %9s %10s %10s %9s %8s\n", "topology", "questions",
+              "seq ms", "par ms", "speedup", "workers");
+  ns::bench::Rule();
+
+  int max_workers = 1;
+  for (const Problem& problem :
+       {MakeProblem("chain(12)", net::Chain(12)),
+        MakeProblem("ring(8)", net::Ring(8)),
+        MakeProblem("fabric(2,3)", net::Fabric(2, 3))}) {
+    const auto requests = explain::RequestsForAllRouters(problem.solved);
+    explain::BatchOutcome sequential;
+    const double seq_ms = ns::bench::TimeMs([&] {
+      sequential = explain::BatchExplain(problem.topo, problem.spec,
+                                         problem.solved, requests,
+                                         explain::BatchOptions{1});
+    });
+    explain::BatchOutcome parallel;
+    const double par_ms = ns::bench::TimeMs([&] {
+      parallel = explain::BatchExplain(problem.topo, problem.spec,
+                                       problem.solved, requests,
+                                       explain::BatchOptions{0});
+    });
+    NS_ASSERT(sequential.items.size() == parallel.items.size());
+    for (std::size_t i = 0; i < sequential.items.size(); ++i) {
+      NS_ASSERT(sequential.items[i].result.ok());
+      NS_ASSERT(parallel.items[i].result.ok());
+      NS_ASSERT_MSG(sequential.items[i].result.value().report ==
+                        parallel.items[i].result.value().report,
+                    "parallel batch diverged from sequential");
+    }
+    const double speedup = par_ms > 0 ? seq_ms / par_ms : 0;
+    max_workers = std::max(max_workers, parallel.threads_used);
+    std::printf("%-13s %9zu %10.2f %10.2f %8.2fx %8d\n",
+                problem.label.c_str(), requests.size(), seq_ms, par_ms,
+                speedup, parallel.threads_used);
+
+    util::Json record = util::Json::MakeObject();
+    record.Set("label", "batch:" + problem.label);
+    record.Set("ref_ms", seq_ms);
+    record.Set("opt_ms", par_ms);
+    record.Set("speedup", speedup);
+    record.Set("questions", requests.size());
+    record.Set("threads_used", parallel.threads_used);
+    records.Append(std::move(record));
+  }
+  ns::bench::Rule();
+  if (max_workers == 1) {
+    std::printf("single-CPU host: hardware concurrency is 1, so the parallel\n"
+                "driver degenerates to the sequential path (no speedup here).\n");
+  }
+  std::printf("\n");
+}
+
 void BM_ExplainChain(benchmark::State& state) {
   Problem problem = MakeProblem("chain", net::Chain(static_cast<int>(state.range(0))));
   for (auto _ : state) {
@@ -164,7 +278,11 @@ BENCHMARK(BM_SynthesizeChain)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = ns::bench::ExtractJsonPath(argc, argv);
   PrintTable();
+  util::Json records = PrintAbTable();
+  PrintBatchTable(records);
+  ns::bench::WriteBenchJson(json_path, "bench_scaling", std::move(records));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,115 @@
+#include "explain/batch.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ns::explain {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Result<BatchAnswer> AnswerOne(const net::Topology& topo,
+                              const spec::Spec& spec,
+                              const config::NetworkConfig& solved,
+                              const BatchRequest& request) {
+  // Fresh Session (fresh ExprPool + Engine) per request; see batch.hpp for
+  // why this is both the thread-safety story and the determinism story.
+  Session session(topo, spec, solved);
+  auto explanation = session.Ask(request.selection, request.mode,
+                                 request.requirements,
+                                 request.compute_baselines);
+  if (!explanation) return explanation.error();
+
+  BatchAnswer answer;
+  answer.report = explanation.value().Report();
+  answer.subspec_text = explanation.value().SubspecText();
+  answer.metrics = explanation.value().subspec.metrics;
+  answer.empty = explanation.value().subspec.IsEmpty();
+  answer.unsat = explanation.value().subspec.IsUnsatisfiable();
+  return answer;
+}
+
+}  // namespace
+
+BatchOutcome BatchExplain(const net::Topology& topo, const spec::Spec& spec,
+                          const config::NetworkConfig& solved,
+                          const std::vector<BatchRequest>& requests,
+                          const BatchOptions& options) {
+  BatchOutcome outcome;
+  outcome.items.reserve(requests.size());
+  for (const BatchRequest& request : requests) {
+    outcome.items.push_back(BatchItem{request});
+  }
+
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (threads > static_cast<int>(requests.size())) {
+    threads = static_cast<int>(requests.size());
+  }
+  if (threads < 1) threads = 1;
+  outcome.threads_used = threads;
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&](int worker_id) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= outcome.items.size()) return;
+      BatchItem& item = outcome.items[i];
+      item.worker = worker_id;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        item.result = AnswerOne(topo, spec, solved, item.request);
+      } catch (const std::exception& e) {
+        item.result = Error(ErrorCode::kInternal, e.what());
+      }
+      item.wall_ms = MsSince(start);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);  // in-caller: keeps single-threaded runs trivially debuggable
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  outcome.wall_ms = MsSince(batch_start);
+  return outcome;
+}
+
+std::vector<BatchRequest> RequestsForAllRouters(
+    const config::NetworkConfig& solved, LiftMode mode,
+    std::vector<std::string> requirements) {
+  std::vector<BatchRequest> requests;
+  // NetworkConfig::routers is an ordered map — name order, deterministic.
+  for (const auto& [router, cfg] : solved.routers) {
+    if (cfg.route_maps.empty()) continue;  // nothing to ask about
+    BatchRequest request;
+    request.selection = Selection::Router(router);
+    request.mode = mode;
+    request.requirements = requirements;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace ns::explain

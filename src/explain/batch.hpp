@@ -1,0 +1,83 @@
+// Parallel batch-explain driver: answers many questions about one solved
+// configuration by fanning the requests across a thread pool.
+//
+// Threading model — ExprPool (and everything above it) is single-threaded
+// by design: hash-consing, the lazy per-node caches, and the simplify
+// engine's memo are all unsynchronized. Instead of locking the hot path we
+// give every *request* its own fresh `Session` (hence its own ExprPool and
+// Engine), so no two threads ever touch the same pool. Requests are
+// independent questions, so nothing is shared but the immutable inputs
+// (topology, spec, solved configuration).
+//
+// Determinism — Eq/Add/Mul orientation depends on node *creation order*
+// inside a pool, so reusing one warm pool for several requests would make
+// answer N depend on answers 1..N-1. A fresh pool per request makes every
+// answer a pure function of (inputs, request): the parallel batch is
+// byte-identical to running the requests sequentially, whatever the thread
+// count or scheduling order. The batch tests assert exactly this.
+//
+// Results carry *rendered* strings and POD metrics, never smt::Expr
+// handles: the per-request pool dies with the worker's Session.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explain/report.hpp"
+#include "util/status.hpp"
+
+namespace ns::explain {
+
+/// One question: mirrors the parameters of Session::Ask.
+struct BatchRequest {
+  Selection selection;
+  LiftMode mode = LiftMode::kExact;
+  std::vector<std::string> requirements;  ///< projection (empty = all)
+  bool compute_baselines = false;
+};
+
+/// One answer, fully rendered (safe to keep after the worker's pool died).
+struct BatchAnswer {
+  std::string report;        ///< Explanation::Report()
+  std::string subspec_text;  ///< lifted DSL block
+  SubspecMetrics metrics;
+  bool empty = false;  ///< unconstrained component
+  bool unsat = false;  ///< over-constrained question
+};
+
+/// A request paired with its outcome.
+struct BatchItem {
+  BatchRequest request;
+  util::Result<BatchAnswer> result =
+      util::Error(util::ErrorCode::kInternal, "request was not run");
+  double wall_ms = 0;  ///< time spent answering this request
+  int worker = -1;     ///< worker thread that answered it
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency (capped by request count).
+  int num_threads = 0;
+};
+
+struct BatchOutcome {
+  std::vector<BatchItem> items;  ///< same order as the requests
+  int threads_used = 0;
+  double wall_ms = 0;  ///< whole-batch wall time
+};
+
+/// Answers every request. Per-request failures (unknown router, unsat
+/// synthesis artifacts) land in the item's `result`; the batch itself
+/// always completes.
+BatchOutcome BatchExplain(const net::Topology& topo, const spec::Spec& spec,
+                          const config::NetworkConfig& solved,
+                          const std::vector<BatchRequest>& requests,
+                          const BatchOptions& options = {});
+
+/// One whole-router request per router that carries routing policy, in
+/// deterministic (name) order — the batch analogue of Session::Survey's
+/// iteration.
+std::vector<BatchRequest> RequestsForAllRouters(
+    const config::NetworkConfig& solved, LiftMode mode = LiftMode::kExact,
+    std::vector<std::string> requirements = {});
+
+}  // namespace ns::explain

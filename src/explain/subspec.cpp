@@ -20,8 +20,8 @@ using util::Result;
 namespace {
 
 bool ContainsAuxVar(Expr e) {
-  for (const Expr var : e.FreeVars()) {
-    if (synth::IsAuxVar(var.name())) return true;
+  for (const smt::Node* var : e.FreeVarNodes()) {
+    if (synth::IsAuxVar(var->name)) return true;
   }
   return false;
 }
@@ -46,8 +46,8 @@ std::optional<std::pair<Expr, Expr>> AsAuxDefinition(ExprPool& pool, Expr e) {
     const Expr rhs = e.Child(static_cast<std::size_t>(1 - side));
     if (!v.IsVar() || !synth::IsAuxVar(v.name())) continue;
     bool self = false;
-    for (const Expr var : rhs.FreeVars()) {
-      if (var == v) {
+    for (const smt::Node* var : rhs.FreeVarNodes()) {
+      if (var == v.raw()) {
         self = true;
         break;
       }
@@ -66,6 +66,11 @@ std::vector<Expr> EliminateAuxVars(ExprPool& pool,
   // re-simplify. Definitions may reference other aux variables, so iterate;
   // the definition graph is acyclic (state variables are defined along
   // paths), hence this terminates.
+  //
+  // One engine serves every round: its cross-pass memo carries simplified
+  // subtrees from round to round, so later rounds only pay for what the
+  // substitutions actually changed.
+  simplify::Engine engine(pool);
   for (int round = 0; round < 64; ++round) {
     std::unordered_map<std::string, Expr> env;
     std::vector<Expr> rest;
@@ -99,7 +104,6 @@ std::vector<Expr> EliminateAuxVars(ExprPool& pool,
     for (Expr c : rest) {
       substituted.push_back(smt::Substitute(pool, c, env));
     }
-    simplify::Engine engine(pool);
     constraints = engine.SimplifyConstraints(std::move(substituted));
   }
 
@@ -128,8 +132,8 @@ std::unordered_map<std::string, Expr> CloseAuxDefinitions(
         if (!v.IsVar() || !synth::IsAuxVar(v.name())) continue;
         if (env.count(v.name()) > 0) continue;
         bool self = false;
-        for (const Expr var : rhs.FreeVars()) {
-          if (var == v) {
+        for (const smt::Node* var : rhs.FreeVarNodes()) {
+          if (var == v.raw()) {
             self = true;
             break;
           }

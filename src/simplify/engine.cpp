@@ -1,5 +1,7 @@
 #include "simplify/engine.hpp"
 
+#include <functional>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
@@ -11,6 +13,66 @@ namespace ns::simplify {
 using smt::Expr;
 using smt::ExprPool;
 using smt::Op;
+
+namespace {
+
+constexpr std::uint32_t kNoSymbol = std::numeric_limits<std::uint32_t>::max();
+
+/// The seed's substitution: name-keyed, full traversal, no mask pruning.
+/// Kept verbatim so the reference engine configuration measures exactly the
+/// pre-optimization behavior.
+Expr ReferenceSubstitute(ExprPool& pool, Expr e,
+                         const std::unordered_map<std::string, Expr>& env) {
+  std::unordered_map<const smt::Node*, Expr> memo;
+  std::function<Expr(Expr)> go = [&](Expr cur) -> Expr {
+    const auto it = memo.find(cur.raw());
+    if (it != memo.end()) return it->second;
+    Expr result = cur;
+    if (cur.IsVar()) {
+      const auto env_it = env.find(cur.name());
+      if (env_it != env.end()) {
+        NS_ASSERT_MSG(env_it->second.sort() == cur.sort(),
+                      "substitution changes sort of " + cur.name());
+        result = env_it->second;
+      }
+    } else if (cur.NumChildren() > 0) {
+      std::vector<Expr> children;
+      children.reserve(cur.NumChildren());
+      bool changed = false;
+      for (std::size_t i = 0; i < cur.NumChildren(); ++i) {
+        Expr child = go(cur.Child(i));
+        changed = changed || child != cur.Child(i);
+        children.push_back(child);
+      }
+      if (changed) {
+        switch (cur.op()) {
+          case Op::kNot: result = pool.Not(children[0]); break;
+          case Op::kAnd: result = pool.And(children); break;
+          case Op::kOr: result = pool.Or(children); break;
+          case Op::kImplies:
+            result = pool.Implies(children[0], children[1]);
+            break;
+          case Op::kIte:
+            result = pool.Ite(children[0], children[1], children[2]);
+            break;
+          case Op::kEq: result = pool.Eq(children[0], children[1]); break;
+          case Op::kLt: result = pool.Lt(children[0], children[1]); break;
+          case Op::kLe: result = pool.Le(children[0], children[1]); break;
+          case Op::kAdd: result = pool.Add(children[0], children[1]); break;
+          case Op::kSub: result = pool.Sub(children[0], children[1]); break;
+          case Op::kMul: result = pool.Mul(children[0], children[1]); break;
+          default:
+            NS_ASSERT_MSG(false, "substitute: unexpected op");
+        }
+      }
+    }
+    memo.emplace(cur.raw(), result);
+    return result;
+  };
+  return go(e);
+}
+
+}  // namespace
 
 Engine::Engine(ExprPool& pool, EngineOptions options)
     : pool_(pool), options_(options) {}
@@ -27,7 +89,7 @@ std::size_t Engine::TotalRuleHits() const noexcept {
 SimplifyOutcome Engine::Simplify(Expr e) {
   SimplifyOutcome outcome{e, 0, true};
   for (int pass = 0; pass < options_.max_passes; ++pass) {
-    pass_memo_.clear();
+    FlushPassMemo();
     const Expr next = PassOnce(outcome.expr);
     ++outcome.passes;
     if (next == outcome.expr) {
@@ -43,22 +105,50 @@ SimplifyOutcome Engine::Simplify(Expr e) {
   return outcome;
 }
 
-Expr Engine::PassOnce(Expr e) {
+void Engine::FlushPassMemo() {
+  if (!options_.cross_pass_memo) {
+    pass_memo_.clear();
+    dirty_.clear();
+    return;
+  }
+  // Clean entries persist (recomputing them would fire nothing); entries a
+  // rewrite touched must be recomputed next pass so that a later rewrite
+  // re-creating such a node recounts its rule hits exactly like the
+  // reference engine does.
+  for (const smt::Node* key : dirty_) pass_memo_.erase(key);
+  dirty_.clear();
+}
+
+Expr Engine::PassOnce(Expr e) { return PassOnceEntry(e).result; }
+
+const Engine::MemoEntry& Engine::PassOnceEntry(Expr e) {
   const auto it = pass_memo_.find(e.raw());
   if (it != pass_memo_.end()) return it->second;
 
+  const std::size_t hits_before = TotalRuleHits();
+  bool children_clean = true;
   Expr result = e;
-  if (e.NumChildren() > 0) {
-    // Bottom-up: children first.
+  const std::size_t num_children = e.NumChildren();
+  if (num_children > 0) {
+    // Bottom-up: children first. The rebuilt-children vector is allocated
+    // lazily — the common unchanged path costs no copy at all.
     std::vector<Expr> children;
-    children.reserve(e.NumChildren());
-    bool changed = false;
-    for (std::size_t i = 0; i < e.NumChildren(); ++i) {
-      const Expr child = PassOnce(e.Child(i));
-      changed = changed || child != e.Child(i);
-      children.push_back(child);
+    for (std::size_t i = 0; i < num_children; ++i) {
+      const Expr child = e.Child(i);
+      // Value references in unordered_map are stable across the recursive
+      // inserts, so holding `entry` across them is safe.
+      const MemoEntry& entry = PassOnceEntry(child);
+      children_clean = children_clean && entry.clean;
+      const Expr simplified = entry.result;
+      if (!children.empty()) {
+        children.push_back(simplified);
+      } else if (simplified != child) {
+        children.reserve(num_children);
+        for (std::size_t j = 0; j < i; ++j) children.push_back(e.Child(j));
+        children.push_back(simplified);
+      }
     }
-    if (changed) {
+    if (!children.empty()) {
       switch (e.op()) {
         case Op::kNot: result = pool_.Not(children[0]); break;
         case Op::kAnd: result = pool_.And(children); break;
@@ -78,8 +168,12 @@ Expr Engine::PassOnce(Expr e) {
     }
   }
   result = RewriteNode(result);
-  pass_memo_.emplace(e.raw(), result);
-  return result;
+  const bool clean =
+      children_clean && result == e && TotalRuleHits() == hits_before;
+  const auto [pos, inserted] =
+      pass_memo_.emplace(e.raw(), MemoEntry{result, clean});
+  if (!clean) dirty_.push_back(e.raw());
+  return pos->second;
 }
 
 Expr Engine::RewriteNode(Expr e) {
@@ -120,12 +214,113 @@ Expr Engine::RewriteNode(Expr e) {
 }
 
 Expr Engine::PropagateWithinAnd(Expr e) {
+  return options_.indexed_propagation ? PropagateWithinAndIndexed(e)
+                                      : PropagateWithinAndReference(e);
+}
+
+Expr Engine::PropagateWithinAndIndexed(Expr e) {
   // R13/R14: collect units among the conjuncts —
   //   boolean literal  v      =>  v := true
   //   boolean literal  ¬v     =>  v := false
   //   equality         x = c  =>  x := c
   // and substitute them into every *other*, non-unit conjunct. Units are
   // preserved verbatim so no information is lost.
+  //
+  // The environment is keyed by interned symbol id, and each conjunct is
+  // screened through its free-variable bloom mask + cached exact set, so
+  // only conjuncts that really mention a bound variable are substituted
+  // into — no per-unit environment copies, no blind O(units × conjuncts)
+  // traversals.
+  const std::size_t num_children = e.NumChildren();
+  smt::SymbolEnv env;
+  // Symbol each unit conjunct binds; kNoSymbol for non-units.
+  std::vector<std::uint32_t> unit_symbol(num_children, kNoSymbol);
+
+  for (std::size_t i = 0; i < num_children; ++i) {
+    const Expr c = e.Child(i);
+    if (c.IsVar() && c.sort() == smt::Sort::kBool) {
+      if (env.emplace(c.symbol(), pool_.True()).second) {
+        unit_symbol[i] = c.symbol();
+      }
+    } else if (c.op() == Op::kNot && c.Child(0).IsVar()) {
+      if (env.emplace(c.Child(0).symbol(), pool_.False()).second) {
+        unit_symbol[i] = c.Child(0).symbol();
+      }
+    } else if (c.op() == Op::kEq) {
+      const Expr lhs = c.Child(0);
+      const Expr rhs = c.Child(1);
+      if (lhs.IsVar() && rhs.IsConst()) {
+        if (env.emplace(lhs.symbol(), rhs).second) unit_symbol[i] = lhs.symbol();
+      } else if (rhs.IsVar() && lhs.IsConst()) {
+        if (env.emplace(rhs.symbol(), lhs).second) unit_symbol[i] = rhs.symbol();
+      }
+    }
+  }
+  if (env.empty()) return e;
+
+  std::uint64_t env_mask = 0;
+  for (const auto& [symbol, unused] : env) env_mask |= smt::VarMaskBit(symbol);
+
+  // Occurrence screen: does conjunct `c` mention a bound variable other
+  // than `own`? The bloom mask rejects most conjuncts in O(1); survivors
+  // get an exact check against the cached free-variable set.
+  const auto mentions_bound = [&](Expr c, std::uint32_t own) {
+    if ((c.VarMask() & env_mask) == 0) return false;
+    for (const smt::Node* var : c.FreeVarNodes()) {
+      const auto symbol = static_cast<std::uint32_t>(var->value);
+      if (symbol != own && env.count(symbol) > 0) return true;
+    }
+    return false;
+  };
+
+  bool changed = false;
+  bool bool_unit_fired = false;
+  bool eq_unit_fired = false;
+  std::vector<Expr> rebuilt;
+  rebuilt.reserve(num_children);
+  for (std::size_t i = 0; i < num_children; ++i) {
+    // A unit is substituted with everything except its *own* binding, so
+    // `x=3 ∧ x=4` collapses to `x=3 ∧ false` while `x=3` itself survives.
+    const Expr c = e.Child(i);
+    Expr substituted = c;
+    if (mentions_bound(c, unit_symbol[i])) {
+      if (unit_symbol[i] == kNoSymbol) {
+        substituted = smt::Substitute(pool_, c, env);
+      } else {
+        // Temporarily lift the conjunct's own binding out of the
+        // environment instead of copying the map.
+        auto own = env.extract(unit_symbol[i]);
+        substituted = smt::Substitute(pool_, c, env);
+        env.insert(std::move(own));
+      }
+    }
+    if (substituted != c) {
+      changed = true;
+      // Attribute the hit: equality bindings vs boolean literals.
+      for (const smt::Node* var : c.FreeVarNodes()) {
+        const auto found = env.find(static_cast<std::uint32_t>(var->value));
+        if (found == env.end()) continue;
+        (found->second.IsBoolConst() && var->sort == smt::Sort::kBool
+             ? bool_unit_fired
+             : eq_unit_fired) = true;
+      }
+    }
+    rebuilt.push_back(substituted);
+  }
+  if (!changed) return e;
+  if (bool_unit_fired) {
+    stats_[static_cast<std::size_t>(RuleId::kUnitPropagation)] += 1;
+  }
+  if (eq_unit_fired) {
+    stats_[static_cast<std::size_t>(RuleId::kEqPropagation)] += 1;
+  }
+  return pool_.And(rebuilt);
+}
+
+Expr Engine::PropagateWithinAndReference(Expr e) {
+  // The seed implementation, preserved as the benchmark/property-test
+  // baseline: substitutes every conjunct and copies the environment per
+  // unit conjunct.
   const std::vector<Expr> children = e.Children();
   std::unordered_map<std::string, Expr> env;
   // Variable each unit conjunct binds; empty for non-units.
@@ -157,19 +352,16 @@ Expr Engine::PropagateWithinAnd(Expr e) {
   std::vector<Expr> rebuilt;
   rebuilt.reserve(children.size());
   for (std::size_t i = 0; i < children.size(); ++i) {
-    // A unit is substituted with everything except its *own* binding, so
-    // `x=3 ∧ x=4` collapses to `x=3 ∧ false` while `x=3` itself survives.
     Expr substituted = children[i];
     if (unit_var[i].empty()) {
-      substituted = smt::Substitute(pool_, children[i], env);
+      substituted = ReferenceSubstitute(pool_, children[i], env);
     } else if (env.size() > 1) {
       auto reduced = env;
       reduced.erase(unit_var[i]);
-      substituted = smt::Substitute(pool_, children[i], reduced);
+      substituted = ReferenceSubstitute(pool_, children[i], reduced);
     }
     if (substituted != children[i]) {
       changed = true;
-      // Attribute the hit: equality bindings vs boolean literals.
       for (const Expr var : children[i].FreeVars()) {
         const auto found = env.find(var.name());
         if (found == env.end()) continue;
@@ -198,7 +390,8 @@ std::vector<Expr> Engine::SimplifyConstraints(std::vector<Expr> constraints) {
 
   std::vector<Expr> out;
   if (simplified.op() == Op::kAnd) {
-    for (Expr c : simplified.Children()) {
+    for (const smt::Node* child : simplified.ChildrenSpan()) {
+      const Expr c = Expr::FromRaw(child);
       if (!c.IsTrue()) out.push_back(c);
     }
   } else if (!simplified.IsTrue()) {

@@ -6,9 +6,25 @@
 // sibling conjuncts: a ∧ φ[a] ≡ a ∧ φ[a:=true], (x=c) ∧ φ[x] ≡ (x=c) ∧ φ[x:=c].
 // They are what makes *partial evaluation* work when the explainer pins
 // every other router's configuration to concrete values.
+//
+// Performance model: PassOnce is a pure function of the node (rules are
+// deterministic and context-free; the conjunction rules only read the
+// node's own children), so a node→result memo entry never goes *wrong*
+// across passes or Simplify calls. But the per-pass-memo reference engine
+// recounts a rule whenever a later rewrite re-creates a node it already
+// rewrote (e.g. unit propagation substituting b:=true re-creates `¬true`),
+// and that count is part of the engine's observable behavior. So only
+// *clean* entries — node already at fixpoint, zero rules fired anywhere in
+// its subtree — persist across passes; recomputing those is observably a
+// no-op, which is exactly what a memo hit is. Entries touched by any
+// rewrite are dropped at the end of the pass. Fixpoints, rule-hit counts,
+// and traces are bit-identical to the reference engine; only the redundant
+// re-traversal of at-fixpoint subtrees (the vast bulk of every pass after
+// the first) disappears.
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "simplify/rules.hpp"
@@ -26,7 +42,28 @@ struct EngineOptions {
   /// Off by default: large seeds fire thousands of rules.
   bool record_trace = false;
   std::size_t max_trace_entries = 4096;
+  /// Keep *clean* memo entries (node at fixpoint, no rules fired in its
+  /// subtree) across fixpoint passes and Simplify calls instead of clearing
+  /// everything per pass; see the header comment. Semantics, fixpoints,
+  /// rule-hit counts, and traces are identical; only redundant re-traversal
+  /// disappears. Off = the reference per-pass-memo behavior (benchmarks,
+  /// property tests).
+  bool cross_pass_memo = true;
+  /// Use cached free-variable sets and bloom masks so unit/equality
+  /// propagation substitutes only into conjuncts that actually mention a
+  /// bound variable, without copying the unit environment per conjunct.
+  /// Off = the reference O(units × conjuncts) substitution scan.
+  bool indexed_propagation = true;
 };
+
+/// Reference (pre-optimization) engine configuration: per-pass memo and
+/// unindexed propagation. Used by benches and equivalence property tests.
+constexpr EngineOptions ReferenceEngineOptions() {
+  EngineOptions options;
+  options.cross_pass_memo = false;
+  options.indexed_propagation = false;
+  return options;
+}
 
 /// One recorded rewrite step: `rule` turned `before` into `after`.
 struct TraceEntry {
@@ -62,18 +99,37 @@ class Engine {
   int last_passes() const noexcept { return last_passes_; }
   /// Audit trail (only populated with EngineOptions::record_trace).
   const std::vector<TraceEntry>& trace() const noexcept { return trace_; }
+  /// Memoized single-pass results currently held (bench introspection).
+  std::size_t memo_size() const noexcept { return pass_memo_.size(); }
 
  private:
+  /// One single-pass result. `clean` records that the node was already at
+  /// fixpoint and computing it fired no rules anywhere in its subtree —
+  /// only such entries may outlive the pass (recomputing them is
+  /// observably a no-op; anything else must be recomputed so rule-hit
+  /// counts match the reference engine exactly).
+  struct MemoEntry {
+    smt::Expr result;
+    bool clean;
+  };
+
   smt::Expr PassOnce(smt::Expr e);
+  const MemoEntry& PassOnceEntry(smt::Expr e);
+  /// Drops non-clean entries between passes (or everything, in reference
+  /// mode).
+  void FlushPassMemo();
   smt::Expr RewriteNode(smt::Expr e);
   smt::Expr PropagateWithinAnd(smt::Expr e);
+  smt::Expr PropagateWithinAndIndexed(smt::Expr e);
+  smt::Expr PropagateWithinAndReference(smt::Expr e);
 
   smt::ExprPool& pool_;
   EngineOptions options_;
   RuleStats stats_{};
   int last_passes_ = 0;
   std::vector<TraceEntry> trace_;
-  std::unordered_map<const smt::Node*, smt::Expr> pass_memo_;
+  std::unordered_map<const smt::Node*, MemoEntry> pass_memo_;
+  std::vector<const smt::Node*> dirty_;  ///< keys to drop at pass end
 };
 
 /// Convenience: one-shot simplification with default options.

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
-#include <set>
+#include <unordered_set>
 
 namespace ns::smt {
 
@@ -34,10 +33,11 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) noexcept {
 }
 
 std::uint64_t NodeHash(const Node& node) noexcept {
+  // Variables hash through their interned symbol id (in `value`), never
+  // through the name string.
   std::uint64_t h = HashCombine(static_cast<std::uint64_t>(node.op),
                                 static_cast<std::uint64_t>(node.sort) + 17);
   h = HashCombine(h, static_cast<std::uint64_t>(node.value));
-  h = HashCombine(h, std::hash<std::string>{}(node.name));
   for (const Node* child : node.children) {
     h = HashCombine(h, child->hash);
   }
@@ -67,6 +67,11 @@ Expr ExprPool::Intern(Op op, Sort sort, std::int64_t value, std::string name,
   if (it != interned_.end()) return Expr(it->second);
 
   node->id = static_cast<std::uint32_t>(nodes_.size());
+  if (op == Op::kVar) {
+    node->var_mask = VarMaskBit(static_cast<std::uint32_t>(value));
+  } else {
+    for (const Node* child : node->children) node->var_mask |= child->var_mask;
+  }
   const Node* raw = node.get();
   nodes_.push_back(std::move(node));
   interned_.emplace(raw, raw);
@@ -78,7 +83,28 @@ Expr ExprPool::Int(std::int64_t value) {
 }
 
 Expr ExprPool::Var(std::string_view name, Sort sort) {
-  return Intern(Op::kVar, sort, 0, std::string(name), {});
+  std::uint32_t symbol;
+  const auto it = symbol_ids_.find(name);
+  if (it != symbol_ids_.end()) {
+    symbol = it->second;
+  } else {
+    symbol = static_cast<std::uint32_t>(vars_by_symbol_.size());
+    symbol_ids_.emplace(std::string(name), symbol);
+    vars_by_symbol_.push_back({nullptr, nullptr});
+  }
+  const Node*& slot =
+      vars_by_symbol_[symbol][static_cast<std::size_t>(sort)];
+  if (slot == nullptr) {
+    slot = Intern(Op::kVar, sort, symbol, std::string(name), {}).raw();
+  }
+  return Expr(slot);
+}
+
+std::optional<std::uint32_t> ExprPool::FindSymbol(
+    std::string_view name) const {
+  const auto it = symbol_ids_.find(name);
+  if (it == symbol_ids_.end()) return std::nullopt;
+  return it->second;
 }
 
 Expr ExprPool::Not(Expr a) {
@@ -174,7 +200,10 @@ std::vector<Expr> Expr::Children() const {
 }
 
 std::size_t Expr::DagSize() const {
-  std::set<const Node*> seen;
+  if (node_->dag_size != 0) {
+    return static_cast<std::size_t>(node_->dag_size);
+  }
+  std::unordered_set<const Node*> seen;
   std::vector<const Node*> stack{node_};
   while (!stack.empty()) {
     const Node* n = stack.back();
@@ -182,49 +211,142 @@ std::size_t Expr::DagSize() const {
     if (!seen.insert(n).second) continue;
     for (const Node* child : n->children) stack.push_back(child);
   }
+  node_->dag_size = seen.size();
   return seen.size();
 }
 
 std::size_t Expr::TreeSize() const {
-  // Memoized over the DAG: tree size of a node = 1 + sum of children's.
-  std::map<const Node*, std::size_t> memo;
-  std::function<std::size_t(const Node*)> go = [&](const Node* n) -> std::size_t {
-    const auto it = memo.find(n);
-    if (it != memo.end()) return it->second;
-    std::size_t total = 1;
-    for (const Node* child : n->children) total += go(child);
-    memo[n] = total;
-    return total;
-  };
-  return go(node_);
-}
-
-std::vector<Expr> Expr::FreeVars() const {
-  std::set<const Node*> seen;
-  std::map<std::string, Expr> vars;
+  // Cached bottom-up over the DAG: tree size = 1 + sum of children's.
+  // Iterative so deep chains cannot overflow the call stack; every node is
+  // computed at most once over the pool's lifetime.
+  if (node_->tree_size != 0) {
+    return static_cast<std::size_t>(node_->tree_size);
+  }
   std::vector<const Node*> stack{node_};
   while (!stack.empty()) {
     const Node* n = stack.back();
+    if (n->tree_size != 0) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const Node* child : n->children) {
+      if (child->tree_size == 0) {
+        stack.push_back(child);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    std::uint64_t total = 1;
+    for (const Node* child : n->children) total += child->tree_size;
+    n->tree_size = total;
     stack.pop_back();
-    if (!seen.insert(n).second) continue;
-    if (n->op == Op::kVar) vars.emplace(n->name, Expr(n));
-    for (const Node* child : n->children) stack.push_back(child);
   }
+  return static_cast<std::size_t>(node_->tree_size);
+}
+
+namespace {
+
+const std::shared_ptr<const std::vector<const Node*>>& EmptyVarSet() {
+  static const auto empty =
+      std::make_shared<const std::vector<const Node*>>();
+  return empty;
+}
+
+/// Computes (and caches) the sorted-by-id free-variable node set.
+void EnsureFreeVars(const Node* root) {
+  if (root->free_vars != nullptr) return;
+  std::vector<const Node*> stack{root};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    if (n->free_vars != nullptr) {
+      stack.pop_back();
+      continue;
+    }
+    if (n->op == Op::kVar) {
+      n->free_vars = std::make_shared<const std::vector<const Node*>>(
+          std::vector<const Node*>{n});
+      stack.pop_back();
+      continue;
+    }
+    if (n->children.empty()) {
+      n->free_vars = EmptyVarSet();
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const Node* child : n->children) {
+      if (child->free_vars == nullptr) {
+        stack.push_back(child);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    // Merge the children's sorted sets. Sharing a child's set (very common
+    // for wrapper nodes) avoids quadratic memory in chain-shaped DAGs.
+    std::vector<const Node*> merged;
+    for (const Node* child : n->children) {
+      merged.insert(merged.end(), child->free_vars->begin(),
+                    child->free_vars->end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Node* a, const Node* b) { return a->id < b->id; });
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    const auto shareable = [&](const Node* child) {
+      return child->free_vars->size() == merged.size();
+    };
+    const Node* donor = nullptr;
+    for (const Node* child : n->children) {
+      if (shareable(child)) {
+        donor = child;  // equal size + subset relation => equal set
+        break;
+      }
+    }
+    if (donor != nullptr) {
+      n->free_vars = donor->free_vars;
+    } else {
+      n->free_vars =
+          std::make_shared<const std::vector<const Node*>>(std::move(merged));
+    }
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::span<const Node* const> Expr::FreeVarNodes() const {
+  EnsureFreeVars(node_);
+  return *node_->free_vars;
+}
+
+std::vector<Expr> Expr::FreeVars() const {
+  const auto nodes = FreeVarNodes();
   std::vector<Expr> out;
-  out.reserve(vars.size());
-  for (const auto& [name, e] : vars) out.push_back(e);
+  out.reserve(nodes.size());
+  for (const Node* n : nodes) out.push_back(Expr(n));
+  std::stable_sort(out.begin(), out.end(),
+                   [](Expr a, Expr b) { return a.name() < b.name(); });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](Expr a, Expr b) { return a.name() == b.name(); }),
+            out.end());
   return out;
 }
 
-Expr Substitute(ExprPool& pool, Expr e,
-                const std::unordered_map<std::string, Expr>& env) {
+Expr Substitute(ExprPool& pool, Expr e, const SymbolEnv& env) {
+  if (env.empty()) return e;
+  std::uint64_t env_mask = 0;
+  for (const auto& [symbol, unused] : env) env_mask |= VarMaskBit(symbol);
+
   std::unordered_map<const Node*, Expr> memo;
   std::function<Expr(Expr)> go = [&](Expr cur) -> Expr {
+    // A disjoint variable mask proves no bound variable occurs below —
+    // the whole subtree is returned untraversed.
+    if ((cur.VarMask() & env_mask) == 0) return cur;
     const auto it = memo.find(cur.raw());
     if (it != memo.end()) return it->second;
     Expr result = cur;
     if (cur.IsVar()) {
-      const auto env_it = env.find(cur.name());
+      const auto env_it = env.find(cur.symbol());
       if (env_it != env.end()) {
         NS_ASSERT_MSG(env_it->second.sort() == cur.sort(),
                       "substitution changes sort of " + cur.name());
@@ -265,6 +387,18 @@ Expr Substitute(ExprPool& pool, Expr e,
     return result;
   };
   return go(e);
+}
+
+Expr Substitute(ExprPool& pool, Expr e,
+                const std::unordered_map<std::string, Expr>& env) {
+  SymbolEnv symbol_env;
+  symbol_env.reserve(env.size());
+  for (const auto& [name, replacement] : env) {
+    if (const auto symbol = pool.FindSymbol(name)) {
+      symbol_env.emplace(*symbol, replacement);
+    }
+  }
+  return Substitute(pool, e, symbol_env);
 }
 
 }  // namespace ns::smt

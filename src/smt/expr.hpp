@@ -8,10 +8,18 @@
 //
 // Nodes are owned by an ExprPool; `Expr` is a cheap value handle valid for
 // the pool's lifetime. Structural equality is pointer equality.
+//
+// Hot-path caches: every node eagerly carries a 64-bit bloom mask of the
+// free-variable symbols below it, and lazily caches its tree size, DAG
+// size, and exact free-variable set. The caches live on the (pool-owned)
+// nodes, so they share the pool's lifetime and its single-threaded
+// discipline: one pool — and therefore one set of caches — per worker.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -28,7 +36,7 @@ enum class Op : std::uint8_t {
   // leaves
   kBoolConst,  // payload: value 0/1
   kIntConst,   // payload: value
-  kVar,        // payload: name, sort
+  kVar,        // payload: symbol id (value) + name, sort
   // boolean connectives
   kNot,
   kAnd,  // n-ary, n >= 2
@@ -48,15 +56,30 @@ enum class Op : std::uint8_t {
 const char* OpName(Op op) noexcept;
 
 class ExprPool;
+class Expr;
+
+/// Bit of symbol `id` in a node's free-variable bloom mask. A clear bit
+/// guarantees the variable does not occur below the node; a set bit may be
+/// a collision (ids are folded mod 64).
+constexpr std::uint64_t VarMaskBit(std::uint32_t symbol) noexcept {
+  return std::uint64_t{1} << (symbol & 63u);
+}
 
 struct Node {
   Op op;
   Sort sort;
-  std::int64_t value = 0;      // kBoolConst / kIntConst
+  std::int64_t value = 0;      // kBoolConst / kIntConst; kVar: symbol id
   std::string name;            // kVar
   std::vector<const Node*> children;
   std::uint64_t hash = 0;      // precomputed structural hash
   std::uint32_t id = 0;        // creation index within the pool
+  // Bloom mask over free-variable symbol ids, computed at intern time.
+  std::uint64_t var_mask = 0;
+  // Lazily computed caches (0 / null = not yet computed). The owning pool
+  // is single-threaded, so plain mutable members suffice.
+  mutable std::uint64_t tree_size = 0;
+  mutable std::uint64_t dag_size = 0;
+  mutable std::shared_ptr<const std::vector<const Node*>> free_vars;
 };
 
 /// Value handle to a pool-owned node.
@@ -70,9 +93,20 @@ class Expr {
   std::int64_t value() const noexcept { return node_->value; }
   const std::string& name() const noexcept { return node_->name; }
   std::uint32_t id() const noexcept { return node_->id; }
+  /// Interned symbol id of a kVar node (pool-unique per variable name).
+  std::uint32_t symbol() const noexcept {
+    return static_cast<std::uint32_t>(node_->value);
+  }
+  /// Free-variable bloom mask (see VarMaskBit).
+  std::uint64_t VarMask() const noexcept { return node_->var_mask; }
 
   std::size_t NumChildren() const noexcept { return node_->children.size(); }
   Expr Child(std::size_t i) const noexcept { return Expr(node_->children[i]); }
+  /// Raw children view — no vector materialization; wrap entries with
+  /// Expr::FromRaw. Preferred in hot loops over Children().
+  std::span<const Node* const> ChildrenSpan() const noexcept {
+    return node_->children;
+  }
   std::vector<Expr> Children() const;
 
   bool IsBoolConst() const noexcept { return node_->op == Op::kBoolConst; }
@@ -91,15 +125,23 @@ class Expr {
   }
 
   const Node* raw() const noexcept { return node_; }
+  /// Re-wraps a raw node pointer obtained from raw()/ChildrenSpan()/
+  /// FreeVarNodes(). The node must belong to a live pool.
+  static Expr FromRaw(const Node* node) noexcept { return Expr(node); }
 
   /// Number of nodes in the DAG reachable from this expression (shared
-  /// nodes counted once).
+  /// nodes counted once). Cached per node after the first call.
   std::size_t DagSize() const;
   /// Number of nodes of the expression viewed as a tree (shared nodes
   /// counted at every occurrence). This is the "constraint size" metric.
+  /// Cached per node after the first call.
   std::size_t TreeSize() const;
-  /// Free variables, sorted by name.
+  /// Free variables, sorted by name (legacy contract; duplicate names are
+  /// collapsed). Prefer FreeVarNodes() in hot paths — this copies + sorts.
   std::vector<Expr> FreeVars() const;
+  /// Free-variable nodes below this expression, sorted by creation index
+  /// and cached on the node: O(1) after the first call per node.
+  std::span<const Node* const> FreeVarNodes() const;
 
   std::string ToString() const;  // SMT-LIB-ish, defined in printer.cpp
 
@@ -116,7 +158,7 @@ struct ExprHash {
 };
 
 /// Owns nodes and guarantees structural uniqueness (hash-consing).
-/// Not thread-safe; one pool per pipeline run.
+/// Not thread-safe; one pool per pipeline run / per worker thread.
 class ExprPool {
  public:
   ExprPool();
@@ -151,6 +193,11 @@ class ExprPool {
   Expr Sub(Expr a, Expr b);
   Expr Mul(Expr a, Expr b);
 
+  /// Symbol id for a variable name already interned in this pool, if any.
+  std::optional<std::uint32_t> FindSymbol(std::string_view name) const;
+  /// Number of distinct variable names interned.
+  std::size_t NumSymbols() const noexcept { return vars_by_symbol_.size(); }
+
   /// Capacity introspection (bench metrics).
   std::size_t NumNodes() const noexcept { return nodes_.size(); }
 
@@ -164,20 +211,42 @@ class ExprPool {
     }
   };
   struct KeyEq {
+    // Variable identity is the interned symbol id carried in `value`, so
+    // no std::string compares happen on the intern hot path.
     bool operator()(const Node* a, const Node* b) const noexcept {
       return a->op == b->op && a->sort == b->sort && a->value == b->value &&
-             a->name == b->name && a->children == b->children;
+             a->children == b->children;
+    }
+  };
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
     }
   };
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<const Node*, const Node*, KeyHash, KeyEq> interned_;
+  // Variable-name interning: name -> dense symbol id, plus a per-sort
+  // fast path so repeated Var() calls skip hashing a probe node.
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      symbol_ids_;
+  std::vector<std::array<const Node*, 2>> vars_by_symbol_;
   Expr true_;
   Expr false_;
 };
 
+/// Substitution environment keyed by interned symbol id (see Expr::symbol).
+using SymbolEnv = std::unordered_map<std::uint32_t, Expr>;
+
 /// Substitutes variables by expressions throughout `e` (parallel
 /// substitution; results are pool-interned). Used by partial evaluation.
+/// Subtrees whose variable mask is disjoint from the environment are
+/// returned untouched without being traversed.
+Expr Substitute(ExprPool& pool, Expr e, const SymbolEnv& env);
+
+/// Name-keyed convenience overload: names unknown to the pool cannot occur
+/// in `e` and are ignored.
 Expr Substitute(ExprPool& pool, Expr e,
                 const std::unordered_map<std::string, Expr>& env);
 

@@ -1,0 +1,335 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ns::util {
+
+void Json::Set(std::string key, Json value) {
+  for (auto& [existing, slot] : object_) {
+    if (existing == key) {
+      slot = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [existing, slot] : object_) {
+    if (existing == key) return &slot;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void EscapeInto(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kInt: out += std::to_string(int_); return;
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        out += "null";  // JSON has no NaN/Inf
+        return;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_);
+      out += buf;
+      return;
+    }
+    case Type::kString: EscapeInto(out, string_); return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Newline(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        Newline(out, indent, depth + 1);
+        EscapeInto(out, object_[i].first);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Error Fail(const std::string& what) const {
+    return Error(ErrorCode::kParse,
+                 "json: " + what + " at offset " + std::to_string(pos));
+  }
+
+  Result<Json> Value() {
+    SkipSpace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = Peek();
+    if (c == '{') return ObjectValue();
+    if (c == '[') return ArrayValue();
+    if (c == '"') {
+      auto s = StringValue();
+      if (!s) return s.error();
+      return Json(std::move(s).value());
+    }
+    if (c == 't' || c == 'f') return BoolValue();
+    if (c == 'n') return NullValue();
+    if (c == '-' || (c >= '0' && c <= '9')) return NumberValue();
+    return Fail("unexpected character");
+  }
+
+  Result<Json> NullValue() {
+    if (text.substr(pos, 4) != "null") return Fail("expected 'null'");
+    pos += 4;
+    return Json(nullptr);
+  }
+
+  Result<Json> BoolValue() {
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      return Json(true);
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      return Json(false);
+    }
+    return Fail("expected boolean");
+  }
+
+  Result<Json> NumberValue() {
+    const std::size_t start = pos;
+    if (!AtEnd() && Peek() == '-') ++pos;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
+    bool is_double = false;
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      ++pos;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      ++pos;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos;
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty() || token == "-") return Fail("malformed number");
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return Json(value);
+      }
+    }
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("malformed number");
+    }
+    return Json(value);
+  }
+
+  Result<std::string> StringValue() {
+    if (Peek() != '"') return Fail("expected string");
+    ++pos;
+    std::string out;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Peek();
+      if (c == '\\') {
+        ++pos;
+        if (AtEnd()) return Fail("unterminated escape");
+        switch (Peek()) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos + 4 >= text.size()) return Fail("truncated \\u escape");
+            unsigned int code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("malformed \\u escape");
+            }
+            pos += 4;
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+        ++pos;
+      } else {
+        out.push_back(c);
+        ++pos;
+      }
+    }
+    if (AtEnd()) return Fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  Result<Json> ArrayValue() {
+    ++pos;  // '['
+    Json::Array out;
+    SkipSpace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos;
+      return Json(std::move(out));
+    }
+    while (true) {
+      auto v = Value();
+      if (!v) return v.error();
+      out.push_back(std::move(v).value());
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos;
+        return Json(std::move(out));
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ObjectValue() {
+    ++pos;  // '{'
+    Json::Object out;
+    SkipSpace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos;
+      return Json(std::move(out));
+    }
+    while (true) {
+      SkipSpace();
+      auto key = StringValue();
+      if (!key) return key.error();
+      SkipSpace();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':'");
+      ++pos;
+      auto v = Value();
+      if (!v) return v.error();
+      out.emplace_back(std::move(key).value(), std::move(v).value());
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos;
+        return Json(std::move(out));
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser{text};
+  auto value = parser.Value();
+  if (!value) return value.error();
+  parser.SkipSpace();
+  if (!parser.AtEnd()) return parser.Fail("trailing content");
+  return value;
+}
+
+}  // namespace ns::util

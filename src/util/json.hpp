@@ -1,0 +1,90 @@
+// Minimal JSON value type with a deterministic writer and a strict parser.
+//
+// Grown for the machine-readable bench artifacts (BENCH_*.json) and the
+// batch-explain CLI output; deliberately tiny — no external dependency,
+// object keys keep insertion order so emitted files are stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ns::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered: serialization is deterministic.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(int value) : type_(Type::kInt), int_(value) {}
+  Json(std::int64_t value) : type_(Type::kInt), int_(value) {}
+  Json(std::size_t value)
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  static Json MakeArray() { return Json(Array{}); }
+  static Json MakeObject() { return Json(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool IsNull() const noexcept { return type_ == Type::kNull; }
+  bool IsBool() const noexcept { return type_ == Type::kBool; }
+  bool IsNumber() const noexcept {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool IsString() const noexcept { return type_ == Type::kString; }
+  bool IsArray() const noexcept { return type_ == Type::kArray; }
+  bool IsObject() const noexcept { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  std::int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object helpers. Set() appends or overwrites; Find() returns nullptr
+  /// when the key (or an object at all) is missing.
+  void Set(std::string key, Json value);
+  const Json* Find(std::string_view key) const;
+
+  /// Array helper.
+  void Append(Json value) { array_.push_back(std::move(value)); }
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits a compact single line.
+  std::string Dump(int indent = 2) const;
+
+  /// Strict parser (UTF-8 passthrough; no comments, no trailing commas).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace ns::util

@@ -1,0 +1,164 @@
+// Batch-explain driver tests: a parallel batch over the three paper
+// scenarios must be byte-identical to asking the same questions one by one
+// (fresh Session per question — the determinism contract documented in
+// explain/batch.hpp), per-request failures must stay contained, and the
+// pool must actually fan out.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "explain/batch.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace ns::explain {
+namespace {
+
+config::NetworkConfig Solve(const synth::Scenario& scenario) {
+  synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+  auto result = synthesizer.Synthesize(scenario.sketch);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value().network;
+}
+
+/// What one sequential question yields, rendered to plain data. An
+/// Explanation holds Expr handles into its Session's pool, so everything we
+/// want to compare must be rendered before the Session dies.
+struct Rendered {
+  std::string report;
+  std::string subspec_text;
+  SubspecMetrics metrics;
+  bool empty = false;
+  bool unsat = false;
+};
+
+/// Answers `requests` one at a time the way a shell loop over
+/// `netsubspec explain` would: a fresh Session per question.
+std::vector<Rendered> Sequentially(const net::Topology& topo,
+                                   const spec::Spec& spec,
+                                   const config::NetworkConfig& solved,
+                                   const std::vector<BatchRequest>& requests) {
+  std::vector<Rendered> out;
+  for (const BatchRequest& request : requests) {
+    Session session(topo, spec, solved);
+    auto answer = session.Ask(request.selection, request.mode,
+                              request.requirements, request.compute_baselines);
+    EXPECT_TRUE(answer.ok());
+    const Explanation& explanation = answer.value();
+    Rendered rendered;
+    rendered.report = explanation.Report();
+    rendered.subspec_text = explanation.SubspecText();
+    rendered.metrics = explanation.subspec.metrics;
+    rendered.empty = explanation.subspec.IsEmpty();
+    rendered.unsat = explanation.subspec.IsUnsatisfiable();
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+TEST(BatchExplainTest, ParallelBatchMatchesSequentialAcrossScenarios) {
+  const std::vector<synth::Scenario> scenarios{
+      synth::Scenario1(), synth::Scenario2(), synth::Scenario3()};
+  for (const synth::Scenario& scenario : scenarios) {
+    const config::NetworkConfig solved = Solve(scenario);
+    const auto requests = RequestsForAllRouters(solved);
+    ASSERT_GT(requests.size(), 1u) << "scenario has too few routers";
+
+    const auto expected =
+        Sequentially(scenario.topo, scenario.spec, solved, requests);
+    const BatchOutcome outcome =
+        BatchExplain(scenario.topo, scenario.spec, solved, requests,
+                     BatchOptions{4});
+
+    EXPECT_GT(outcome.threads_used, 1);
+    ASSERT_EQ(outcome.items.size(), requests.size());
+    for (std::size_t i = 0; i < outcome.items.size(); ++i) {
+      const BatchItem& item = outcome.items[i];
+      ASSERT_TRUE(item.result.ok())
+          << item.request.selection.ToString() << ": "
+          << item.result.error().ToString();
+      ASSERT_GE(item.worker, 0);
+      ASSERT_LT(item.worker, outcome.threads_used);
+
+      const BatchAnswer& answer = item.result.value();
+      // Byte-identical rendering, including the metrics and trace payload
+      // embedded in the report.
+      EXPECT_EQ(answer.report, expected[i].report);
+      EXPECT_EQ(answer.subspec_text, expected[i].subspec_text);
+
+      const SubspecMetrics& a = answer.metrics;
+      const SubspecMetrics& b = expected[i].metrics;
+      EXPECT_EQ(a.seed_constraints, b.seed_constraints);
+      EXPECT_EQ(a.seed_size, b.seed_size);
+      EXPECT_EQ(a.simplified_constraints, b.simplified_constraints);
+      EXPECT_EQ(a.simplified_size, b.simplified_size);
+      EXPECT_EQ(a.residual_constraints, b.residual_constraints);
+      EXPECT_EQ(a.residual_size, b.residual_size);
+      EXPECT_EQ(a.simplify_passes, b.simplify_passes);
+      EXPECT_EQ(a.rule_stats, b.rule_stats);
+      EXPECT_EQ(answer.empty, expected[i].empty);
+      EXPECT_EQ(answer.unsat, expected[i].unsat);
+    }
+  }
+}
+
+TEST(BatchExplainTest, SingleThreadEqualsMultiThread) {
+  const synth::Scenario scenario = synth::Scenario2();
+  const config::NetworkConfig solved = Solve(scenario);
+  const auto requests = RequestsForAllRouters(solved);
+
+  const BatchOutcome one = BatchExplain(scenario.topo, scenario.spec, solved,
+                                        requests, BatchOptions{1});
+  const BatchOutcome many = BatchExplain(scenario.topo, scenario.spec, solved,
+                                         requests, BatchOptions{4});
+  EXPECT_EQ(one.threads_used, 1);
+  ASSERT_EQ(one.items.size(), many.items.size());
+  for (std::size_t i = 0; i < one.items.size(); ++i) {
+    ASSERT_TRUE(one.items[i].result.ok());
+    ASSERT_TRUE(many.items[i].result.ok());
+    EXPECT_EQ(one.items[i].result.value().report,
+              many.items[i].result.value().report);
+  }
+}
+
+TEST(BatchExplainTest, PerRequestFailuresStayContained) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(scenario);
+
+  auto requests = RequestsForAllRouters(solved);
+  ASSERT_FALSE(requests.empty());
+  BatchRequest bogus;
+  bogus.selection = Selection::Router("NoSuchRouter");
+  requests.insert(requests.begin() + 1, bogus);
+
+  const BatchOutcome outcome = BatchExplain(scenario.topo, scenario.spec,
+                                            solved, requests, BatchOptions{2});
+  ASSERT_EQ(outcome.items.size(), requests.size());
+  EXPECT_FALSE(outcome.items[1].result.ok());
+  EXPECT_EQ(outcome.items[1].result.error().code(),
+            util::ErrorCode::kNotFound);
+  for (std::size_t i = 0; i < outcome.items.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_TRUE(outcome.items[i].result.ok())
+        << outcome.items[i].request.selection.ToString();
+  }
+}
+
+TEST(BatchExplainTest, RequestsForAllRoutersSkipsPolicyFreeRouters) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(scenario);
+  const auto requests = RequestsForAllRouters(solved);
+  for (const BatchRequest& request : requests) {
+    const auto* router = solved.FindRouter(request.selection.router);
+    ASSERT_NE(router, nullptr);
+    EXPECT_FALSE(router->route_maps.empty());
+  }
+  // Deterministic name order (NetworkConfig::routers is an ordered map).
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_LT(requests[i - 1].selection.router, requests[i].selection.router);
+  }
+}
+
+}  // namespace
+}  // namespace ns::explain

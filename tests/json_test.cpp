@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace ns::util {
+namespace {
+
+TEST(JsonTest, DumpCompactAndPretty) {
+  Json doc = Json::MakeObject();
+  doc.Set("name", "bench");
+  doc.Set("count", 3);
+  Json records = Json::MakeArray();
+  records.Append(1.5);
+  records.Append(true);
+  records.Append(nullptr);
+  doc.Set("records", std::move(records));
+
+  EXPECT_EQ(doc.Dump(0),
+            "{\"name\":\"bench\",\"count\":3,\"records\":[1.5,true,null]}");
+  EXPECT_EQ(doc.Dump(2),
+            "{\n  \"name\": \"bench\",\n  \"count\": 3,\n  \"records\": [\n"
+            "    1.5,\n    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonTest, ObjectKeysKeepInsertionOrderAndSetOverwrites) {
+  Json doc = Json::MakeObject();
+  doc.Set("z", 1);
+  doc.Set("a", 2);
+  doc.Set("z", 3);  // overwrite in place, not reordered or duplicated
+  EXPECT_EQ(doc.Dump(0), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(doc.Find("z"), nullptr);
+  EXPECT_EQ(doc.Find("z")->AsInt(), 3);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01";
+  Json doc = Json::MakeObject();
+  doc.Set("s", nasty);
+  const std::string dumped = doc.Dump(0);
+  EXPECT_NE(dumped.find("\\\""), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u0001"), std::string::npos);
+
+  const auto parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  ASSERT_NE(parsed.value().Find("s"), nullptr);
+  EXPECT_EQ(parsed.value().Find("s")->AsString(), nasty);
+}
+
+TEST(JsonTest, ParseHandlesAllValueTypes) {
+  const auto parsed = Json::Parse(
+      R"({"i": -42, "d": 2.5e2, "b": false, "n": null,
+          "a": [1, 2, 3], "o": {"k": "v"}, "u": "☃"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.Find("i")->AsInt(), -42);
+  EXPECT_DOUBLE_EQ(doc.Find("d")->AsDouble(), 250.0);
+  EXPECT_FALSE(doc.Find("b")->AsBool());
+  EXPECT_TRUE(doc.Find("n")->IsNull());
+  ASSERT_TRUE(doc.Find("a")->IsArray());
+  EXPECT_EQ(doc.Find("a")->AsArray().size(), 3u);
+  EXPECT_EQ(doc.Find("o")->Find("k")->AsString(), "v");
+  EXPECT_EQ(doc.Find("u")->AsString(), "\xe2\x98\x83");  // snowman, UTF-8
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+                          "1 2", "\"unterminated", "{\"a\":1,}", "nan"}) {
+    const auto parsed = Json::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.error().code(), ErrorCode::kParse);
+    }
+  }
+}
+
+TEST(JsonTest, RoundTripPreservesStructure) {
+  Json records = Json::MakeArray();
+  for (int i = 0; i < 3; ++i) {
+    Json record = Json::MakeObject();
+    record.Set("label", "case" + std::to_string(i));
+    record.Set("ref_ms", 10.5 + i);
+    record.Set("opt_ms", 2.25);
+    record.Set("speedup", 4.0);
+    records.Append(std::move(record));
+  }
+  Json doc = Json::MakeObject();
+  doc.Set("bench", "bench_rules");
+  doc.Set("records", std::move(records));
+
+  const auto parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  // Dump of the parse of the dump is the dump (fixpoint).
+  EXPECT_EQ(parsed.value().Dump(), doc.Dump());
+
+  // The shape tools/bench_json_check validates.
+  const Json* bench = parsed.value().Find("bench");
+  ASSERT_NE(bench, nullptr);
+  EXPECT_EQ(bench->AsString(), "bench_rules");
+  const Json* parsed_records = parsed.value().Find("records");
+  ASSERT_NE(parsed_records, nullptr);
+  ASSERT_EQ(parsed_records->AsArray().size(), 3u);
+  for (const Json& record : parsed_records->AsArray()) {
+    ASSERT_NE(record.Find("label"), nullptr);
+    for (const char* key : {"ref_ms", "opt_ms", "speedup"}) {
+      ASSERT_NE(record.Find(key), nullptr);
+      EXPECT_TRUE(record.Find(key)->IsNumber());
+    }
+  }
+}
+
+TEST(JsonTest, IntegersStayIntegersDoublesStayDoubles) {
+  const auto parsed = Json::Parse("[7, 7.0]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsArray()[0].type(), Json::Type::kInt);
+  EXPECT_EQ(parsed.value().AsArray()[1].type(), Json::Type::kDouble);
+  EXPECT_EQ(Json(std::int64_t{1234567890123}).Dump(0), "1234567890123");
+}
+
+}  // namespace
+}  // namespace ns::util

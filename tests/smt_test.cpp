@@ -233,6 +233,102 @@ TEST(Z3Test, GenericSimplifyBaselineShrinksTautology) {
   EXPECT_EQ(z3.GenericSimplifiedText(constraints), "true");
 }
 
+// ------------------------------------------------------------ pool caches
+
+TEST(PoolCacheTest, SymbolInterningIsPerName) {
+  ExprPool pool;
+  const Expr x1 = pool.Var("x", Sort::kInt);
+  const Expr x2 = pool.Var("x", Sort::kInt);
+  EXPECT_EQ(x1.raw(), x2.raw());  // hash-consing via the interned slot
+  const Expr y = pool.Var("y", Sort::kInt);
+  EXPECT_NE(x1.symbol(), y.symbol());
+
+  // Same name in both sorts shares the symbol id (ids identify *names*).
+  const Expr xb = pool.Var("x", Sort::kBool);
+  EXPECT_EQ(xb.symbol(), x1.symbol());
+  EXPECT_NE(xb.raw(), x1.raw());
+
+  const auto found = pool.FindSymbol("x");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found.value(), x1.symbol());
+  EXPECT_FALSE(pool.FindSymbol("ghost").has_value());
+  EXPECT_EQ(pool.NumSymbols(), 2u);  // "x", "y"
+}
+
+TEST(PoolCacheTest, VarMaskCoversAllFreeVariables) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr p = pool.Var("p", Sort::kBool);
+  EXPECT_EQ(x.VarMask(), VarMaskBit(x.symbol()));
+  const Expr e = pool.And({p, pool.Eq(x, pool.Int(1))});
+  EXPECT_EQ(e.VarMask(), VarMaskBit(x.symbol()) | VarMaskBit(p.symbol()));
+  EXPECT_EQ(pool.Int(7).VarMask(), 0u);
+}
+
+TEST(PoolCacheTest, ChildrenSpanMatchesChildAccessor) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr e = pool.And({pool.Eq(x, pool.Int(1)),
+                           pool.Lt(x, pool.Int(9)),
+                           pool.Var("p", Sort::kBool)});
+  const auto span = e.ChildrenSpan();
+  ASSERT_EQ(span.size(), e.NumChildren());
+  for (std::size_t i = 0; i < span.size(); ++i) {
+    EXPECT_EQ(Expr::FromRaw(span[i]), e.Child(i));
+  }
+}
+
+TEST(PoolCacheTest, SizeCachesAreStableAcrossRepeatedCalls) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr shared = pool.Add(x, pool.Int(1));
+  const Expr e = pool.Eq(shared, shared);
+  const auto tree = e.TreeSize();
+  const auto dag = e.DagSize();
+  // Growing the pool afterwards must not disturb the cached values
+  // (hash-consed nodes are immutable; the caches are write-once).
+  for (int i = 0; i < 50; ++i) pool.Var("extra" + std::to_string(i), Sort::kInt);
+  EXPECT_EQ(e.TreeSize(), tree);
+  EXPECT_EQ(e.DagSize(), dag);
+  EXPECT_EQ(e.TreeSize(), 7u);
+  EXPECT_EQ(e.DagSize(), 4u);
+}
+
+TEST(PoolCacheTest, FreeVarNodesSortedByCreationAndCached) {
+  ExprPool pool;
+  const Expr b = pool.Var("b", Sort::kBool);   // created first
+  const Expr a = pool.Var("a", Sort::kInt);    // created second
+  const Expr e = pool.And({b, pool.Eq(a, pool.Int(3))});
+  const auto nodes = e.FreeVarNodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  // Creation order, not name order.
+  EXPECT_EQ(nodes[0], b.raw());
+  EXPECT_EQ(nodes[1], a.raw());
+  // Repeated calls hand back the very same cached storage.
+  EXPECT_EQ(e.FreeVarNodes().data(), nodes.data());
+  // The legacy FreeVars() contract stays name-sorted.
+  const auto named = e.FreeVars();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].name(), "a");
+  EXPECT_EQ(named[1].name(), "b");
+}
+
+TEST(PoolCacheTest, SymbolEnvSubstituteMatchesStringKeyed) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kInt);
+  const Expr p = pool.Var("p", Sort::kBool);
+  const Expr e = pool.And({p, pool.Lt(x, pool.Int(10))});
+
+  const Expr by_name = Substitute(pool, e, {{"x", pool.Int(3)}});
+  const SymbolEnv env{{x.symbol(), pool.Int(3)}};
+  EXPECT_EQ(Substitute(pool, e, env), by_name);
+
+  // Mask pruning: an env that cannot touch `e` returns the node untouched.
+  const Expr z = pool.Var("z", Sort::kInt);
+  const SymbolEnv unrelated{{z.symbol(), pool.Int(0)}};
+  EXPECT_EQ(Substitute(pool, e, unrelated).raw(), e.raw());
+}
+
 }  // namespace
 }  // namespace ns::smt
 

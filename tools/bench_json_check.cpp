@@ -1,0 +1,87 @@
+// bench_json_check — validates the machine-readable bench artifacts
+// (BENCH_*.json) emitted by the bench binaries' --json flag.
+//
+//   bench_json_check BENCH_rules.json [BENCH_scaling.json ...]
+//
+// The shared shape (see bench/bench_common.hpp): a top-level object with a
+// "bench" name and a non-empty "records" array; every record carries
+// "label" (string) plus the A/B keys "ref_ms"/"opt_ms"/"speedup"
+// (numbers). Exit code 0 iff every file validates — CI runs this after the
+// bench smoke run so a schema drift fails the build, not a dashboard.
+#include <cstdio>
+#include <string>
+
+#include "util/file.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using ns::util::Json;
+
+bool Complain(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "bench_json_check: %s: %s\n", path.c_str(),
+               what.c_str());
+  return false;
+}
+
+bool CheckRecord(const std::string& path, const Json& record,
+                 std::size_t index) {
+  const std::string where = "records[" + std::to_string(index) + "]";
+  if (!record.IsObject()) return Complain(path, where + " is not an object");
+  const Json* label = record.Find("label");
+  if (label == nullptr || !label->IsString() || label->AsString().empty()) {
+    return Complain(path, where + " lacks a non-empty string 'label'");
+  }
+  for (const char* key : {"ref_ms", "opt_ms", "speedup"}) {
+    const Json* value = record.Find(key);
+    if (value == nullptr || !value->IsNumber()) {
+      return Complain(path, where + " ('" + label->AsString() +
+                                "') lacks numeric '" + key + "'");
+    }
+    if (value->AsDouble() < 0) {
+      return Complain(path, where + " ('" + label->AsString() + "') has '" +
+                                key + "' < 0");
+    }
+  }
+  return true;
+}
+
+bool CheckFile(const std::string& path) {
+  auto text = ns::util::ReadFile(path);
+  if (!text) return Complain(path, text.error().ToString());
+  auto parsed = Json::Parse(text.value());
+  if (!parsed) return Complain(path, parsed.error().ToString());
+  const Json& doc = parsed.value();
+  if (!doc.IsObject()) return Complain(path, "top level is not an object");
+  const Json* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->IsString() || bench->AsString().empty()) {
+    return Complain(path, "lacks a non-empty string 'bench'");
+  }
+  const Json* records = doc.Find("records");
+  if (records == nullptr || !records->IsArray()) {
+    return Complain(path, "lacks a 'records' array");
+  }
+  if (records->AsArray().empty()) {
+    return Complain(path, "'records' is empty");
+  }
+  for (std::size_t i = 0; i < records->AsArray().size(); ++i) {
+    if (!CheckRecord(path, records->AsArray()[i], i)) return false;
+  }
+  std::printf("bench_json_check: %s: ok (%s, %zu records)\n", path.c_str(),
+              bench->AsString().c_str(), records->AsArray().size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_FILE.json...\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    ok = CheckFile(argv[i]) && ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -7,10 +7,15 @@
 //                         --router R1 [--map R1_to_P1] [--seq 10]
 //                         [--slot action] [--req Req1]... [--mode faithful]
 //                         [--rest] [--baselines]
+//   netsubspec batch-explain --topo fig1b.topo --spec s1.spec --config out.cfg
+//                         [--router R1]... [--threads N] [--sequential]
+//                         [--req Req1]... [--mode faithful] [--baselines]
+//                         [--json out.json]
 //
 // File formats: topologies per net/topo_text.hpp, specifications per
 // spec/parser.hpp, configurations per config/parse.hpp (what `synthesize`
 // itself emits). Sample inputs live in examples/data/.
+#include <charconv>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -20,6 +25,7 @@
 #include "bgp/simulator.hpp"
 #include "config/parse.hpp"
 #include "config/render.hpp"
+#include "explain/batch.hpp"
 #include "explain/report.hpp"
 #include "explain/verify.hpp"
 #include "net/topo_text.hpp"
@@ -28,6 +34,7 @@
 #include "spec/parser.hpp"
 #include "synth/synthesizer.hpp"
 #include "util/file.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -35,15 +42,19 @@ using namespace ns;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <synthesize|verify|simulate|explain|lint|"
-               "ospf-synthesize|ospf-explain> [flags]\n"
+               "usage: %s <synthesize|verify|simulate|explain|batch-explain|"
+               "lint|ospf-synthesize|ospf-explain> [flags]\n"
                "  common flags: --topo FILE  --spec FILE\n"
                "  synthesize:   --sketch FILE [--out FILE]\n"
                "  verify:       --config FILE\n"
                "  simulate:     --config FILE (no --spec needed)\n"
                "  explain:      --config FILE --router NAME [--map NAME]\n"
                "                [--seq N] [--slot SLOT] [--req NAME]...\n"
-               "                [--mode exact|faithful] [--rest] [--baselines]\n",
+               "                [--mode exact|faithful] [--rest] [--baselines]\n"
+               "  batch-explain: --config FILE [--router NAME]... (default:\n"
+               "                all routers with route-maps) [--threads N]\n"
+               "                [--sequential] [--req NAME]... [--mode MODE]\n"
+               "                [--baselines] [--json FILE]\n",
                argv0);
   return 2;
 }
@@ -61,7 +72,7 @@ class Flags {
                            "unexpected argument '" + arg + "'");
       }
       arg = arg.substr(2);
-      if (arg == "rest" || arg == "baselines") {
+      if (arg == "rest" || arg == "baselines" || arg == "sequential") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -122,6 +133,27 @@ util::Result<config::NetworkConfig> LoadConfig(const Flags& flags,
 int Fail(const util::Error& error) {
   std::fprintf(stderr, "netsubspec: %s\n", error.ToString().c_str());
   return 1;
+}
+
+util::Result<int> ParseIntFlag(const Flags& flags, const std::string& name) {
+  const std::string text = flags.One(name).value();
+  int value = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "--" + name + " expects an integer, got '" + text + "'");
+  }
+  return value;
+}
+
+util::Result<explain::LiftMode> ParseLiftMode(const Flags& flags) {
+  if (!flags.Has("mode")) return explain::LiftMode::kExact;
+  const std::string value = flags.One("mode").value();
+  if (value == "exact") return explain::LiftMode::kExact;
+  if (value == "faithful") return explain::LiftMode::kFaithful;
+  return util::Error(util::ErrorCode::kInvalidArgument,
+                     "--mode must be 'exact' or 'faithful'");
 }
 
 // ------------------------------------------------------------- synthesize
@@ -221,27 +253,117 @@ int CmdExplain(const Flags& flags) {
     selection = explain::Selection::Rest(router.value());
   }
   if (flags.Has("map")) selection.route_map = flags.One("map").value();
-  if (flags.Has("seq")) selection.seq = std::stoi(flags.One("seq").value());
+  if (flags.Has("seq")) {
+    auto seq = ParseIntFlag(flags, "seq");
+    if (!seq) return Fail(seq.error());
+    selection.seq = seq.value();
+  }
   if (flags.Has("slot")) selection.slot = flags.One("slot").value();
 
-  explain::LiftMode mode = explain::LiftMode::kExact;
-  if (flags.Has("mode")) {
-    const std::string value = flags.One("mode").value();
-    if (value == "faithful") {
-      mode = explain::LiftMode::kFaithful;
-    } else if (value != "exact") {
-      return Fail(util::Error(util::ErrorCode::kInvalidArgument,
-                              "--mode must be 'exact' or 'faithful'"));
-    }
-  }
+  auto mode = ParseLiftMode(flags);
+  if (!mode) return Fail(mode.error());
 
   explain::Session session(topo.value(), spec.value(),
                            std::move(network).value());
-  auto answer = session.Ask(selection, mode, flags.All("req"),
+  auto answer = session.Ask(selection, mode.value(), flags.All("req"),
                             flags.Has("baselines"));
   if (!answer) return Fail(answer.error());
   std::fputs(answer.value().Report().c_str(), stdout);
   return 0;
+}
+
+// ---------------------------------------------------------- batch-explain
+
+int CmdBatchExplain(const Flags& flags) {
+  auto topo = LoadTopology(flags);
+  if (!topo) return Fail(topo.error());
+  auto spec = LoadSpec(flags);
+  if (!spec) return Fail(spec.error());
+  auto network = LoadConfig(flags, "config");
+  if (!network) return Fail(network.error());
+  auto mode = ParseLiftMode(flags);
+  if (!mode) return Fail(mode.error());
+
+  std::vector<explain::BatchRequest> requests;
+  if (flags.Has("router")) {
+    for (const std::string& router : flags.All("router")) {
+      explain::BatchRequest request;
+      request.selection = explain::Selection::Router(router);
+      request.mode = mode.value();
+      request.requirements = flags.All("req");
+      request.compute_baselines = flags.Has("baselines");
+      requests.push_back(std::move(request));
+    }
+  } else {
+    requests = explain::RequestsForAllRouters(network.value(), mode.value(),
+                                              flags.All("req"));
+    for (explain::BatchRequest& request : requests) {
+      request.compute_baselines = flags.Has("baselines");
+    }
+  }
+  if (requests.empty()) {
+    return Fail(util::Error(util::ErrorCode::kNotFound,
+                            "no routers with route-maps to explain"));
+  }
+
+  explain::BatchOptions options;
+  if (flags.Has("sequential")) {
+    options.num_threads = 1;
+  } else if (flags.Has("threads")) {
+    auto threads = ParseIntFlag(flags, "threads");
+    if (!threads) return Fail(threads.error());
+    options.num_threads = threads.value();
+  }
+
+  const explain::BatchOutcome outcome = explain::BatchExplain(
+      topo.value(), spec.value(), network.value(), requests, options);
+
+  int failures = 0;
+  for (const explain::BatchItem& item : outcome.items) {
+    if (item.result.ok()) {
+      std::fputs(item.result.value().report.c_str(), stdout);
+    } else {
+      ++failures;
+      std::fprintf(stderr, "netsubspec: %s: %s\n",
+                   item.request.selection.ToString().c_str(),
+                   item.result.error().ToString().c_str());
+    }
+  }
+  std::printf("batch: %zu questions, %d worker thread(s), %.1f ms total\n",
+              outcome.items.size(), outcome.threads_used, outcome.wall_ms);
+
+  if (flags.Has("json")) {
+    util::Json items = util::Json::MakeArray();
+    for (const explain::BatchItem& item : outcome.items) {
+      util::Json row = util::Json::MakeObject();
+      row.Set("selection", item.request.selection.ToString());
+      row.Set("ok", item.result.ok());
+      row.Set("wall_ms", item.wall_ms);
+      row.Set("worker", item.worker);
+      if (item.result.ok()) {
+        const explain::BatchAnswer& answer = item.result.value();
+        row.Set("empty", answer.empty);
+        row.Set("unsat", answer.unsat);
+        row.Set("seed_size", answer.metrics.seed_size);
+        row.Set("residual_size", answer.metrics.residual_size);
+        row.Set("subspec", answer.subspec_text);
+      } else {
+        row.Set("error", item.result.error().ToString());
+      }
+      items.Append(std::move(row));
+    }
+    util::Json doc = util::Json::MakeObject();
+    doc.Set("command", "batch-explain");
+    doc.Set("threads_used", outcome.threads_used);
+    doc.Set("wall_ms", outcome.wall_ms);
+    doc.Set("items", std::move(items));
+    const auto out = flags.One("json").value();
+    if (auto status = util::WriteFile(out, doc.Dump() + "\n"); !status.ok()) {
+      return Fail(status.error());
+    }
+    std::printf("batch results written to %s\n", out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 // ------------------------------------------------------------------- ospf
@@ -349,6 +471,7 @@ int main(int argc, char** argv) {
   if (command == "verify") return CmdVerify(flags.value());
   if (command == "simulate") return CmdSimulate(flags.value());
   if (command == "explain") return CmdExplain(flags.value());
+  if (command == "batch-explain") return CmdBatchExplain(flags.value());
   if (command == "lint") return CmdLint(flags.value());
   if (command == "ospf-synthesize") return CmdOspfSynthesize(flags.value());
   if (command == "ospf-explain") return CmdOspfExplain(flags.value());
