@@ -92,6 +92,15 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
     return result;
   }
 
+  if (subspec.IsEmpty()) {
+    // "Can do anything" (paper scenario 3): the empty statement set is the
+    // complete answer in both modes. Without this exit the faithful-mode
+    // search would decorate the answer with statements the configuration
+    // happens to satisfy but the specification never demanded.
+    result.complete = true;
+    return result;
+  }
+
   // Re-derive the protocol-mechanics encoding for the same partially
   // symbolic configuration (same pool => identical variables).
   config::NetworkConfig partial = solved_;

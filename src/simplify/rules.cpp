@@ -1,10 +1,33 @@
 #include "simplify/rules.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <vector>
 
 namespace ns::simplify {
+
+namespace testing {
+namespace {
+// -1 = no fault armed; otherwise the RuleId to corrupt.
+std::atomic<int> g_rule_fault{-1};
+}  // namespace
+
+void InjectRuleFault(RuleId rule) noexcept {
+  g_rule_fault.store(static_cast<int>(rule), std::memory_order_relaxed);
+}
+
+void ClearRuleFault() noexcept {
+  g_rule_fault.store(-1, std::memory_order_relaxed);
+}
+
+std::optional<RuleId> InjectedRuleFault() noexcept {
+  const int raw = g_rule_fault.load(std::memory_order_relaxed);
+  if (raw < 0) return std::nullopt;
+  return static_cast<RuleId>(raw);
+}
+
+}  // namespace testing
 
 using smt::Expr;
 using smt::ExprPool;
@@ -297,9 +320,7 @@ std::optional<Expr> SimplifyArith(ExprPool& pool, Expr e, RuleStats* stats) {
   return std::nullopt;
 }
 
-}  // namespace
-
-std::optional<Expr> ApplyLocalRules(ExprPool& pool, Expr e, RuleStats* stats) {
+std::optional<Expr> Dispatch(ExprPool& pool, Expr e, RuleStats* stats) {
   switch (e.op()) {
     case Op::kNot: return SimplifyNot(pool, e, stats);
     case Op::kAnd:
@@ -314,6 +335,26 @@ std::optional<Expr> ApplyLocalRules(ExprPool& pool, Expr e, RuleStats* stats) {
     case Op::kMul: return SimplifyArith(pool, e, stats);
     default: return std::nullopt;
   }
+}
+
+}  // namespace
+
+std::optional<Expr> ApplyLocalRules(ExprPool& pool, Expr e, RuleStats* stats) {
+  const auto fault = testing::InjectedRuleFault();
+  if (!fault.has_value()) return Dispatch(pool, e, stats);
+
+  // Fault-injection path (test-only): run the rules against a local stat
+  // block so we can tell *which* rule fired, then corrupt its result.
+  RuleStats local{};
+  std::optional<Expr> result = Dispatch(pool, e, &local);
+  if (stats != nullptr) {
+    for (std::size_t i = 0; i < local.size(); ++i) (*stats)[i] += local[i];
+  }
+  if (result.has_value() && local[static_cast<std::size_t>(*fault)] > 0 &&
+      result->sort() == smt::Sort::kBool) {
+    return pool.True();  // the injected soundness bug
+  }
+  return result;
 }
 
 }  // namespace ns::simplify

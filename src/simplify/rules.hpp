@@ -51,4 +51,22 @@ using RuleStats = std::array<std::size_t, kNumRules>;
 std::optional<smt::Expr> ApplyLocalRules(smt::ExprPool& pool, smt::Expr e,
                                          RuleStats* stats);
 
+namespace testing {
+
+/// Test-only fault injection for the netfuzz harness: while a fault is
+/// armed, every *boolean-valued* rewrite produced by the given local rule
+/// is replaced by `true` — a deliberate, deterministic soundness bug the
+/// metamorphic oracles must catch and the delta-debugging minimizer must
+/// preserve while shrinking. Only the 13 node-local rules are coverable
+/// (unit/eq propagation live in the engine). Never armed in production
+/// code paths; the flag is process-global, so arm it only in
+/// single-scenario test drivers.
+void InjectRuleFault(RuleId rule) noexcept;
+/// Disarms any injected fault.
+void ClearRuleFault() noexcept;
+/// The armed fault, or nullopt.
+std::optional<RuleId> InjectedRuleFault() noexcept;
+
+}  // namespace testing
+
 }  // namespace ns::simplify

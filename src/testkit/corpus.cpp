@@ -1,0 +1,172 @@
+#include "testkit/corpus.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "net/topo_text.hpp"
+#include "spec/parser.hpp"
+#include "util/strings.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+constexpr std::string_view kHeader = "# netfuzz scenario v1";
+
+util::Error ParseError(std::string message) {
+  return util::Error(util::ErrorCode::kParse, std::move(message));
+}
+
+std::string FormatSelection(const explain::Selection& s) {
+  std::string out = "select router " + s.router;
+  if (s.route_map.has_value()) out += " map " + *s.route_map;
+  if (s.seq.has_value()) out += " seq " + std::to_string(*s.seq);
+  if (s.slot.has_value()) out += " slot " + *s.slot;
+  if (s.complement) out += " rest";
+  return out;
+}
+
+util::Result<explain::Selection> ParseSelection(
+    const std::vector<std::string>& tokens) {
+  // tokens: "select" "router" <name> [map <m>] [seq <n>] [slot <s>] [rest]
+  if (tokens.size() < 3 || tokens[1] != "router") {
+    return ParseError("select line must start with 'select router <name>'");
+  }
+  explain::Selection s;
+  s.router = tokens[2];
+  std::size_t i = 3;
+  while (i < tokens.size()) {
+    const std::string& key = tokens[i];
+    if (key == "rest") {
+      s.complement = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= tokens.size()) {
+      return ParseError("select: missing value after '" + key + "'");
+    }
+    const std::string& value = tokens[i + 1];
+    if (key == "map") {
+      s.route_map = value;
+    } else if (key == "seq") {
+      if (!util::IsAllDigits(value)) {
+        return ParseError("select: seq wants a number, got '" + value + "'");
+      }
+      s.seq = std::stoi(value);
+    } else if (key == "slot") {
+      s.slot = value;
+    } else {
+      return ParseError("select: unknown key '" + key + "'");
+    }
+    i += 2;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string SaveScenario(const FuzzScenario& scenario) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "seed " << scenario.seed << "\n";
+  out << "mode "
+      << (scenario.mode == explain::LiftMode::kExact ? "exact" : "faithful")
+      << "\n";
+  out << FormatSelection(scenario.selection) << "\n";
+  out << "--- topology\n" << net::ToText(scenario.topo);
+  out << "--- spec\n" << scenario.spec.ToString();
+  out << "--- sketch\n"
+      << config::RenderNetwork(scenario.sketch, &scenario.topo);
+  return out.str();
+}
+
+util::Result<FuzzScenario> LoadScenario(std::string_view text) {
+  FuzzScenario scenario;
+  bool saw_header = false;
+  bool saw_selection = false;
+
+  // Split into the header block and the three sections. Sections may be
+  // empty (a fully minimized repro can have an empty spec).
+  std::string topo_text;
+  std::string spec_text;
+  std::string sketch_text;
+  bool saw_topo = false;
+  bool saw_spec = false;
+  bool saw_sketch = false;
+  std::string* section = nullptr;
+
+  for (const std::string& raw : util::Split(text, '\n')) {
+    const std::string_view line = util::Trim(raw);
+    if (section == nullptr && (line.empty() || line == kHeader)) {
+      saw_header = saw_header || line == kHeader;
+      continue;
+    }
+    if (line == "--- topology") {
+      section = &topo_text;
+      saw_topo = true;
+      continue;
+    }
+    if (line == "--- spec") {
+      section = &spec_text;
+      saw_spec = true;
+      continue;
+    }
+    if (line == "--- sketch") {
+      section = &sketch_text;
+      saw_sketch = true;
+      continue;
+    }
+    if (section != nullptr) {
+      *section += raw;
+      *section += '\n';
+      continue;
+    }
+    const std::vector<std::string> tokens = util::SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "seed" && tokens.size() == 2) {
+      scenario.seed = std::strtoull(tokens[1].c_str(), nullptr, 10);
+    } else if (tokens[0] == "mode" && tokens.size() == 2) {
+      if (tokens[1] == "exact") {
+        scenario.mode = explain::LiftMode::kExact;
+      } else if (tokens[1] == "faithful") {
+        scenario.mode = explain::LiftMode::kFaithful;
+      } else {
+        return ParseError("unknown lift mode '" + tokens[1] + "'");
+      }
+    } else if (tokens[0] == "select") {
+      auto selection = ParseSelection(tokens);
+      if (!selection.ok()) return selection.error();
+      scenario.selection = std::move(selection).value();
+      saw_selection = true;
+    } else {
+      return ParseError("unrecognized header line '" + std::string(line) +
+                        "'");
+    }
+  }
+
+  if (!saw_header) return ParseError("missing '# netfuzz scenario v1' header");
+  if (!saw_selection) return ParseError("missing 'select' line");
+  if (!saw_topo || !saw_spec || !saw_sketch) {
+    return ParseError("scenario needs --- topology, --- spec and --- sketch");
+  }
+
+  auto topo = net::ParseTopology(topo_text);
+  if (!topo.ok()) return topo.error();
+  scenario.topo = std::move(topo).value();
+
+  auto spec = spec::ParseSpec(spec_text);
+  if (!spec.ok()) return spec.error();
+  scenario.spec = std::move(spec).value();
+
+  auto sketch = config::ParseNetworkConfig(sketch_text);
+  if (!sketch.ok()) return sketch.error();
+  scenario.sketch = std::move(sketch).value();
+
+  return scenario;
+}
+
+}  // namespace ns::testkit

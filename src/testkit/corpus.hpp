@@ -1,0 +1,22 @@
+// Scenario (de)serialization for the netfuzz corpus. A corpus file is a
+// plain-text, self-contained repro: header lines (seed, lift mode, the
+// symbolization selection) followed by `--- topology` / `--- spec` /
+// `--- sketch` sections in the formats the repo already round-trips
+// (net::ToText, spec::Spec::ToString, config::RenderNetwork — the last
+// renders holes as `?name`, so sketches survive unchanged).
+#pragma once
+
+#include <string>
+
+#include "testkit/gen.hpp"
+#include "util/status.hpp"
+
+namespace ns::testkit {
+
+/// Renders `scenario` in the corpus text format (version 1).
+std::string SaveScenario(const FuzzScenario& scenario);
+
+/// Parses a corpus file. Errors (kParse) carry a line-level message.
+util::Result<FuzzScenario> LoadScenario(std::string_view text);
+
+}  // namespace ns::testkit

@@ -1,0 +1,454 @@
+#include "testkit/gen.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/routemap.hpp"
+#include "synth/sketch.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+using net::RouterId;
+
+// ------------------------------------------------------------- topology
+
+/// Internal routers R1..Rn (AS 100) in one of three shapes, plus external
+/// peers E1..Em (one AS each) attached to distinct internal routers where
+/// possible — the Fig. 1b family, scaled and randomized.
+net::Topology RandomTopology(util::Rng& rng, const GenOptions& options,
+                             int* num_internal, int* num_external) {
+  const int n = rng.Range(options.min_internal, options.max_internal);
+  const int m = rng.Range(options.min_external, options.max_external);
+  *num_internal = n;
+  *num_external = m;
+
+  net::Topology topo;
+  std::vector<RouterId> internal;
+  for (int i = 0; i < n; ++i) {
+    internal.push_back(topo.AddRouter("R" + std::to_string(i + 1), 100));
+  }
+
+  const int shape = n >= 3 ? rng.Range(0, 2) : 0;
+  switch (shape) {
+    case 1:  // ring
+      for (int i = 0; i < n; ++i) {
+        topo.AddLink(internal[static_cast<std::size_t>(i)],
+                     internal[static_cast<std::size_t>((i + 1) % n)]);
+      }
+      break;
+    case 2:  // random spanning tree + extra chords
+      for (int i = 1; i < n; ++i) {
+        topo.AddLink(internal[static_cast<std::size_t>(i)],
+                     internal[rng.Below(static_cast<std::uint64_t>(i))]);
+      }
+      for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b) {
+          if (!topo.Adjacent(internal[static_cast<std::size_t>(a)],
+                             internal[static_cast<std::size_t>(b)]) &&
+              rng.Chance(1, 3)) {
+            topo.AddLink(internal[static_cast<std::size_t>(a)],
+                         internal[static_cast<std::size_t>(b)]);
+          }
+        }
+      }
+      break;
+    default:  // chain
+      for (int i = 0; i + 1 < n; ++i) {
+        topo.AddLink(internal[static_cast<std::size_t>(i)],
+                     internal[static_cast<std::size_t>(i + 1)]);
+      }
+      break;
+  }
+
+  // Externals: spread the attachment points so transit paths exist.
+  std::vector<int> attach;
+  for (int i = 0; i < m; ++i) {
+    int at = static_cast<int>(rng.Below(static_cast<std::uint64_t>(n)));
+    if (i > 0 && n > 1 && at == attach.back()) at = (at + 1) % n;
+    attach.push_back(at);
+    const RouterId ext =
+        topo.AddRouter("E" + std::to_string(i + 1),
+                       static_cast<net::Asn>(500 + 100 * i),
+                       /*external=*/true);
+    topo.AddLink(ext, internal[static_cast<std::size_t>(at)]);
+  }
+  return topo;
+}
+
+// ----------------------------------------------------------------- spec
+
+spec::PathPattern WildcardPattern(const std::string& from,
+                                  const std::string& to) {
+  spec::PathPattern pattern;
+  pattern.elems.push_back(spec::PathElem::Node(from));
+  pattern.elems.push_back(spec::PathElem::Wildcard());
+  pattern.elems.push_back(spec::PathElem::Node(to));
+  return pattern;
+}
+
+spec::PathPattern ConcretePattern(const net::Topology& topo,
+                                  const net::Path& path) {
+  spec::PathPattern pattern;
+  for (const RouterId id : path) {
+    pattern.elems.push_back(spec::PathElem::Node(topo.NameOf(id)));
+  }
+  return pattern;
+}
+
+/// Traffic-direction preference pattern: concrete source->...->origin hops
+/// followed by `...->Dk` (the Fig. 3 shape).
+spec::PathPattern PreferencePattern(const net::Topology& topo,
+                                    const net::Path& traffic_path,
+                                    const std::string& dest) {
+  spec::PathPattern pattern = ConcretePattern(topo, traffic_path);
+  pattern.elems.push_back(spec::PathElem::Wildcard());
+  pattern.elems.push_back(spec::PathElem::Node(dest));
+  return pattern;
+}
+
+struct SpecBuilder {
+  util::Rng& rng;
+  const net::Topology& topo;
+  const GenOptions& options;
+  std::vector<std::string> externals;
+  std::vector<std::string> everyone;
+
+  // Conflict avoidance: the linter rejects a pattern both forbidden and
+  // allowed/ranked, so track pattern renderings per polarity.
+  std::set<std::string> forbidden;
+  std::set<std::string> permitted;
+
+  spec::Spec Build() {
+    spec::Spec spec;
+    DeclareDestinations(spec);
+
+    const int blocks = rng.Range(1, options.max_requirements);
+    for (int b = 0; b < blocks; ++b) {
+      spec::Requirement req;
+      req.name = "Req" + std::to_string(b + 1);
+      const int statements =
+          rng.Range(1, options.max_statements_per_requirement);
+      for (int i = 0; i < statements; ++i) {
+        if (auto stmt = RandomStatement(spec)) {
+          req.statements.push_back(std::move(*stmt));
+        }
+      }
+      if (!req.statements.empty()) spec.requirements.push_back(std::move(req));
+    }
+    if (spec.requirements.empty()) {
+      // Never emit an empty specification: fall back to one no-transit
+      // forbid between the first two externals (always well-formed).
+      spec::Requirement req;
+      req.name = "Req1";
+      req.statements.push_back(
+          spec::ForbidStmt{WildcardPattern(externals[0], externals[1])});
+      spec.requirements.push_back(std::move(req));
+    }
+    // Drop destinations no statement ended up referencing — they only
+    // produce linter warnings and noise in the corpus.
+    std::set<std::string> mentioned;
+    for (const spec::Requirement& req : spec.requirements) {
+      for (const spec::Statement& stmt : req.statements) {
+        std::visit(
+            [&](const auto& s) {
+              using S = std::decay_t<decltype(s)>;
+              if constexpr (std::is_same_v<S, spec::PreferStmt>) {
+                for (const spec::PathPattern& p : s.ranking) {
+                  for (const spec::PathElem& e : p.elems) {
+                    if (!e.IsWildcard()) mentioned.insert(e.name);
+                  }
+                }
+              } else {
+                for (const spec::PathElem& e : s.path.elems) {
+                  if (!e.IsWildcard()) mentioned.insert(e.name);
+                }
+              }
+            },
+            stmt);
+      }
+    }
+    std::erase_if(spec.destinations, [&](const spec::DestDecl& dest) {
+      return mentioned.count(dest.name) == 0;
+    });
+    return spec;
+  }
+
+  void DeclareDestinations(spec::Spec& spec) {
+    const int dests =
+        static_cast<int>(rng.Below(
+            static_cast<std::uint64_t>(options.max_destinations + 1)));
+    for (int d = 0; d < dests; ++d) {
+      spec::DestDecl decl;
+      decl.name = "D" + std::to_string(d + 1);
+      decl.prefix = net::Prefix(
+          net::Ipv4Addr(128, 0, static_cast<std::uint8_t>(d + 1), 0), 24);
+      // One or two external origins (multi-homing like the paper's D1).
+      std::vector<std::string> pool = externals;
+      const int origins =
+          std::min<int>(rng.Range(1, 2), static_cast<int>(pool.size()));
+      for (int i = 0; i < origins; ++i) {
+        const std::size_t pick = rng.Below(pool.size());
+        decl.origins.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      std::sort(decl.origins.begin(), decl.origins.end());
+      spec.destinations.push_back(std::move(decl));
+    }
+  }
+
+  std::optional<spec::Statement> RandomStatement(const spec::Spec& spec) {
+    // Preferences weighted highest: they are the paper's flagship
+    // requirement style and (unlike stacked forbids) rarely make the
+    // sketch unsatisfiable.
+    switch (rng.Below(4)) {
+      case 0: return Forbid();
+      case 1: return Allow();
+      default: {
+        auto prefer = Prefer(spec);
+        if (prefer.has_value()) return prefer;
+        return Allow();  // no viable ranking; fall back
+      }
+    }
+  }
+
+  std::optional<spec::Statement> Forbid() {
+    // Either the classic no-transit wildcard form between two externals,
+    // or one fully concrete simple path.
+    const std::string a = externals[rng.Below(externals.size())];
+    spec::PathPattern pattern;
+    if (rng.Chance(2, 3)) {
+      std::string b = externals[rng.Below(externals.size())];
+      if (b == a) b = externals[(rng.Below(externals.size()) + 1) %
+                               externals.size()];
+      if (a == b) return std::nullopt;  // single-external topologies
+      pattern = WildcardPattern(a, b);
+    } else {
+      const RouterId src = topo.FindRouter(a);
+      const auto paths = topo.SimplePathsFrom(
+          src, static_cast<int>(topo.NumRouters()));
+      // Skip the trivial single-node path at index 0.
+      if (paths.size() <= 1) return std::nullopt;
+      const net::Path& path =
+          paths[1 + rng.Below(paths.size() - 1)];
+      pattern = ConcretePattern(topo, path);
+    }
+    const std::string key = pattern.ToString();
+    if (permitted.count(key) > 0) return std::nullopt;
+    forbidden.insert(key);
+    return spec::Statement{spec::ForbidStmt{std::move(pattern)}};
+  }
+
+  std::optional<spec::Statement> Allow() {
+    // Announcement direction: routes from external `a` must reach `b`.
+    const std::string a = externals[rng.Below(externals.size())];
+    const std::string b = everyone[rng.Below(everyone.size())];
+    if (a == b) return std::nullopt;
+    spec::PathPattern pattern = WildcardPattern(a, b);
+    const std::string key = pattern.ToString();
+    if (forbidden.count(key) > 0) return std::nullopt;
+    permitted.insert(key);
+    return spec::Statement{spec::AllowStmt{std::move(pattern)}};
+  }
+
+  std::optional<spec::Statement> Prefer(const spec::Spec& spec) {
+    if (spec.destinations.empty()) return std::nullopt;
+    const spec::DestDecl& dest =
+        spec.destinations[rng.Below(spec.destinations.size())];
+    // Source: any router that is not an origin of the destination.
+    std::vector<std::string> sources;
+    for (const std::string& name : everyone) {
+      if (std::find(dest.origins.begin(), dest.origins.end(), name) ==
+          dest.origins.end()) {
+        sources.push_back(name);
+      }
+    }
+    if (sources.empty()) return std::nullopt;
+    const std::string source = sources[rng.Below(sources.size())];
+    // All concrete traffic paths source -> origin, each a viable ranked
+    // pattern (its reverse is a candidate announcement path).
+    std::vector<spec::PathPattern> viable;
+    for (const std::string& origin : dest.origins) {
+      for (const net::Path& path : topo.SimplePaths(
+               topo.FindRouter(source), topo.FindRouter(origin),
+               static_cast<int>(topo.NumRouters()))) {
+        viable.push_back(PreferencePattern(topo, path, dest.name));
+      }
+    }
+    if (viable.size() < 2) return std::nullopt;
+    // Rank 2 (or 3) distinct paths, order randomized.
+    spec::PreferStmt prefer;
+    const int ranks = std::min<int>(rng.Range(2, 3),
+                                    static_cast<int>(viable.size()));
+    for (int i = 0; i < ranks; ++i) {
+      const std::size_t pick = rng.Below(viable.size());
+      const std::string key = viable[pick].ToString();
+      if (forbidden.count(key) > 0) return std::nullopt;
+      permitted.insert(key);
+      prefer.ranking.push_back(viable[pick]);
+      viable.erase(viable.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    return spec::Statement{std::move(prefer)};
+  }
+};
+
+// --------------------------------------------------------------- sketch
+
+/// Randomly sketches the session policies: symbolic blocking entries on
+/// external-facing exports (the Fig. 1c shape), screening/preference
+/// entries on imports, occasional policy on internal sessions.
+config::NetworkConfig RandomSketch(util::Rng& rng, const net::Topology& topo,
+                                   const spec::Spec& spec) {
+  config::NetworkConfig network = config::SkeletonFor(topo);
+
+  const auto random_dest_prefix = [&]() -> net::Prefix {
+    if (!spec.destinations.empty() && rng.Coin()) {
+      return spec.destinations[rng.Below(spec.destinations.size())].prefix;
+    }
+    // An originated external network.
+    std::vector<net::Prefix> nets;
+    for (const auto& [name, cfg] : network.routers) {
+      for (const net::Prefix& p : cfg.networks) nets.push_back(p);
+    }
+    return nets[rng.Below(nets.size())];
+  };
+
+  int symbolic_maps = 0;
+  for (auto& [name, cfg] : network.routers) {
+    const net::RouterId id = topo.FindRouter(name);
+    if (topo.GetRouter(id).external) continue;  // policy on the AS only
+    for (const config::Neighbor& session :
+         std::vector<config::Neighbor>(cfg.neighbors)) {
+      const bool peer_external =
+          topo.GetRouter(topo.FindRouter(session.peer)).external;
+      if (peer_external && rng.Chance(1, 2)) {
+        // Export sketch: symbolic blocking entry + random tail.
+        config::RouteMap& map = config::EnsureExportMap(cfg, session.peer);
+        synth::AddSymbolicEntry(
+            map, 10,
+            synth::SymbolicEntryOptions{
+                .with_set_next_hop = rng.Chance(1, 3),
+                .with_set_local_pref = rng.Chance(1, 4),
+                .with_set_community = false});
+        switch (rng.Below(3)) {
+          case 0: map.entries.push_back(config::DenyAll(100)); break;
+          case 1: map.entries.push_back(config::PermitAll(100)); break;
+          default:
+            synth::AddActionHoleEntry(map, 100, random_dest_prefix());
+            map.entries.push_back(config::PermitAll(200));
+            break;
+        }
+        ++symbolic_maps;
+      }
+      if (peer_external && rng.Chance(1, 3)) {
+        // Import sketch: screening and/or preference knobs.
+        config::RouteMap& map = config::EnsureImportMap(cfg, session.peer);
+        if (rng.Coin()) synth::AddViaScreenEntry(map, 10);
+        synth::AddPrefixEntry(map, 20, config::RmAction::kPermit,
+                              random_dest_prefix(),
+                              /*symbolic_local_pref=*/true);
+        map.entries.push_back(config::PermitAll(100));
+        ++symbolic_maps;
+      }
+      if (!peer_external && rng.Chance(1, 4)) {
+        // Internal-session import: a local-pref knob (the scenario 2 shape).
+        config::RouteMap& map = config::EnsureImportMap(cfg, session.peer);
+        synth::AddPrefixEntry(map, 10, config::RmAction::kPermit,
+                              random_dest_prefix(),
+                              /*symbolic_local_pref=*/true);
+        map.entries.push_back(config::PermitAll(100));
+        ++symbolic_maps;
+      }
+    }
+  }
+
+  if (symbolic_maps == 0) {
+    // Guarantee at least one symbolic map: sketch the first external-facing
+    // export (every generated topology has one).
+    for (auto& [name, cfg] : network.routers) {
+      if (topo.GetRouter(topo.FindRouter(name)).external) continue;
+      for (const config::Neighbor& session : cfg.neighbors) {
+        if (!topo.GetRouter(topo.FindRouter(session.peer)).external) continue;
+        config::RouteMap& map = config::EnsureExportMap(cfg, session.peer);
+        synth::AddSymbolicEntry(map, 10);
+        map.entries.push_back(config::PermitAll(100));
+        return network;
+      }
+    }
+  }
+  return network;
+}
+
+// ------------------------------------------------------------ selection
+
+explain::Selection RandomSelection(util::Rng& rng,
+                                   const config::NetworkConfig& sketch) {
+  // Candidate (router, map) pairs, in deterministic map order.
+  std::vector<std::pair<std::string, std::string>> maps;
+  std::set<std::string> routers_with_maps;
+  for (const auto& [name, cfg] : sketch.routers) {
+    for (const auto& [map_name, map] : cfg.route_maps) {
+      maps.emplace_back(name, map_name);
+      routers_with_maps.insert(name);
+    }
+  }
+  const auto& [router, map_name] = maps[rng.Below(maps.size())];
+  const config::RouteMap& map =
+      *sketch.FindRouter(router)->FindRouteMap(map_name);
+  switch (rng.Below(5)) {
+    case 0: return explain::Selection::Router(router);
+    case 1: return explain::Selection::Map(router, map_name);
+    case 2: {
+      const int seq = map.entries[rng.Below(map.entries.size())].seq;
+      return explain::Selection::Entry(router, map_name, seq);
+    }
+    case 3: {
+      const int seq = map.entries[rng.Below(map.entries.size())].seq;
+      return explain::Selection::Slot(router, map_name, seq, "action");
+    }
+    default:
+      // Rest-of-network needs somebody else to carry policy.
+      if (routers_with_maps.size() >= 2) {
+        return explain::Selection::Rest(router);
+      }
+      return explain::Selection::Map(router, map_name);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> FuzzScenario::RoutersWithMaps() const {
+  std::vector<std::string> out;
+  for (const auto& [name, cfg] : sketch.routers) {
+    if (!cfg.route_maps.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+FuzzScenario GenerateScenario(std::uint64_t seed, const GenOptions& options) {
+  util::Rng rng(seed);
+  FuzzScenario scenario;
+  scenario.seed = seed;
+
+  int num_internal = 0;
+  int num_external = 0;
+  scenario.topo = RandomTopology(rng, options, &num_internal, &num_external);
+
+  SpecBuilder builder{rng, scenario.topo, options, {}, {}, {}, {}};
+  for (const net::RouterId id : scenario.topo.AllRouters()) {
+    const net::Router& router = scenario.topo.GetRouter(id);
+    builder.everyone.push_back(router.name);
+    if (router.external) builder.externals.push_back(router.name);
+  }
+  scenario.spec = builder.Build();
+  scenario.sketch = RandomSketch(rng, scenario.topo, scenario.spec);
+  scenario.selection = RandomSelection(rng, scenario.sketch);
+  scenario.mode =
+      rng.Coin() ? explain::LiftMode::kExact : explain::LiftMode::kFaithful;
+  return scenario;
+}
+
+}  // namespace ns::testkit

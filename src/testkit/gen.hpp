@@ -1,0 +1,54 @@
+// Seeded random scenario generation for the netfuzz harness: random
+// topologies within paper-scale bounds, random path-preference /
+// forbidden-path / allow specifications grown from *actual* topology
+// paths (so generated specs always pass the linter), random sketches,
+// and a random symbolization choice — everything derived from one
+// printable util::Rng seed, so any run reproduces from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "config/device.hpp"
+#include "explain/symbolize.hpp"
+#include "explain/lift.hpp"
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+#include "util/rng.hpp"
+
+namespace ns::testkit {
+
+/// Size bounds for generated scenarios. Defaults stay within the paper's
+/// scale (a handful of routers, a few requirement blocks) so every
+/// pipeline stage — including Z3-backed oracles — stays fast per run.
+struct GenOptions {
+  int min_internal = 2;
+  int max_internal = 4;
+  int min_external = 2;
+  int max_external = 3;
+  int max_destinations = 2;
+  int max_requirements = 3;
+  int max_statements_per_requirement = 2;
+};
+
+/// One generated end-to-end problem instance: everything the explain
+/// pipeline consumes, plus the question asked of it.
+struct FuzzScenario {
+  std::uint64_t seed = 0;
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig sketch;
+  explain::Selection selection;
+  explain::LiftMode mode = explain::LiftMode::kExact;
+
+  /// Routers (by name) that carry at least one route-map in the sketch.
+  std::vector<std::string> RoutersWithMaps() const;
+};
+
+/// Deterministically generates the scenario for `seed`. The same seed and
+/// options always produce the same scenario (byte-identical when
+/// serialized through testkit::SaveScenario).
+FuzzScenario GenerateScenario(std::uint64_t seed,
+                              const GenOptions& options = {});
+
+}  // namespace ns::testkit

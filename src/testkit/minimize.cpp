@@ -1,0 +1,328 @@
+#include "testkit/minimize.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "testkit/transform.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+std::set<std::string> RouterNames(const net::Topology& topo) {
+  std::set<std::string> names;
+  for (const net::RouterId id : topo.AllRouters()) {
+    names.insert(topo.NameOf(id));
+  }
+  return names;
+}
+
+/// Drops the spec destination `name` plus every statement whose pattern
+/// mentions it.
+spec::Spec DropDestination(const spec::Spec& spec, const std::string& name) {
+  spec::Spec out = spec;
+  std::erase_if(out.destinations,
+                [&](const spec::DestDecl& d) { return d.name == name; });
+  const auto mentions = [&](const spec::PathPattern& pattern) {
+    for (const spec::PathElem& elem : pattern.elems) {
+      if (!elem.IsWildcard() && elem.name == name) return true;
+    }
+    return false;
+  };
+  for (spec::Requirement& req : out.requirements) {
+    std::erase_if(req.statements, [&](const spec::Statement& stmt) {
+      return std::visit(
+          [&](const auto& s) {
+            using S = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<S, spec::PreferStmt>) {
+              for (const spec::PathPattern& p : s.ranking) {
+                if (mentions(p)) return true;
+              }
+              return false;
+            } else {
+              return mentions(s.path);
+            }
+          },
+          stmt);
+    });
+  }
+  std::erase_if(out.requirements, [](const spec::Requirement& req) {
+    return req.statements.empty();
+  });
+  return out;
+}
+
+/// Removes the BGP session between `a` and `b` from the configuration
+/// (both directions) along with route-maps nothing references anymore.
+void RemoveSession(config::NetworkConfig& network, const std::string& a,
+                   const std::string& b) {
+  for (const auto& [owner, peer] :
+       {std::pair{a, b}, std::pair{b, a}}) {
+    config::RouterConfig* cfg = network.FindRouter(owner);
+    if (cfg == nullptr) continue;
+    std::erase_if(cfg->neighbors, [&](const config::Neighbor& session) {
+      return session.peer == peer;
+    });
+    std::set<std::string> referenced;
+    for (const config::Neighbor& session : cfg->neighbors) {
+      if (session.import_map.has_value()) referenced.insert(*session.import_map);
+      if (session.export_map.has_value()) referenced.insert(*session.export_map);
+    }
+    std::erase_if(cfg->route_maps, [&](const auto& entry) {
+      return referenced.count(entry.first) == 0;
+    });
+  }
+}
+
+struct Shrinker {
+  const MinimizeOptions& options;
+  FuzzScenario current;
+  int tests = 0;
+  /// Oracles that failed on the input scenario; a reduction move is only
+  /// kept when one of *these* still fails, so shrinking cannot wander off
+  /// to a different (possibly spurious) failure.
+  std::set<std::string> expected;
+
+  bool Budget() const { return tests < options.max_tests; }
+
+  /// The failure predicate: does `candidate` still fail the same way?
+  bool Fails(const FuzzScenario& candidate) {
+    ++tests;
+    const RunReport report = RunScenario(candidate, options.run);
+    if (!report.Violated()) return false;
+    if (expected.empty()) return true;
+    for (const OracleFailure& failure : report.failures) {
+      if (expected.count(failure.oracle) > 0) return true;
+    }
+    return false;
+  }
+
+  /// Tries `candidate`; adopts it when the failure is preserved.
+  bool Accept(FuzzScenario candidate) {
+    if (!Budget() || !Fails(candidate)) return false;
+    current = std::move(candidate);
+    return true;
+  }
+
+  bool DropRequirements() {
+    bool changed = false;
+    for (std::size_t i = 0; i < current.spec.requirements.size() && Budget();) {
+      FuzzScenario candidate = current;
+      candidate.spec.requirements.erase(
+          candidate.spec.requirements.begin() +
+          static_cast<std::ptrdiff_t>(i));
+      if (Accept(std::move(candidate))) {
+        changed = true;  // same index now names the next block
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool DropStatements() {
+    bool changed = false;
+    for (std::size_t r = 0; r < current.spec.requirements.size(); ++r) {
+      for (std::size_t s = 0;
+           s < current.spec.requirements[r].statements.size() && Budget();) {
+        FuzzScenario candidate = current;
+        spec::Requirement& req = candidate.spec.requirements[r];
+        req.statements.erase(req.statements.begin() +
+                             static_cast<std::ptrdiff_t>(s));
+        if (req.statements.empty()) {
+          candidate.spec.requirements.erase(
+              candidate.spec.requirements.begin() +
+              static_cast<std::ptrdiff_t>(r));
+        }
+        if (Accept(std::move(candidate))) {
+          changed = true;
+          if (r >= current.spec.requirements.size() ||
+              s >= current.spec.requirements[r].statements.size()) {
+            break;
+          }
+        } else {
+          ++s;
+        }
+      }
+      if (r >= current.spec.requirements.size()) break;
+    }
+    return changed;
+  }
+
+  bool DropDestinations() {
+    bool changed = false;
+    for (std::size_t i = 0; i < current.spec.destinations.size() && Budget();) {
+      FuzzScenario candidate = current;
+      candidate.spec =
+          DropDestination(candidate.spec, candidate.spec.destinations[i].name);
+      if (Accept(std::move(candidate))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool DropRouters() {
+    bool changed = false;
+    // Externals first (they fall away easily), then internals; never the
+    // router the question is about.
+    std::vector<std::string> order;
+    for (const bool externals : {true, false}) {
+      for (const net::RouterId id : current.topo.AllRouters()) {
+        const net::Router& router = current.topo.GetRouter(id);
+        if (router.external == externals &&
+            router.name != current.selection.router) {
+          order.push_back(router.name);
+        }
+      }
+    }
+    for (const std::string& name : order) {
+      if (!Budget()) break;
+      if (current.topo.FindRouter(name) == net::kInvalidRouter) continue;
+      std::set<std::string> keep = RouterNames(current.topo);
+      keep.erase(name);
+      FuzzScenario candidate = current;
+      candidate.topo = SubTopology(current.topo, keep);
+      candidate.spec = PruneSpec(current.spec, keep);
+      candidate.sketch = PruneConfig(current.sketch, keep);
+      changed |= Accept(std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool DropLinks() {
+    bool changed = false;
+    for (std::size_t i = 0; i < current.topo.links().size() && Budget();) {
+      const net::Link& link = current.topo.links()[i];
+      const std::string a = current.topo.NameOf(link.a);
+      const std::string b = current.topo.NameOf(link.b);
+      FuzzScenario candidate = current;
+      net::Topology topo;
+      for (const net::RouterId id : current.topo.AllRouters()) {
+        const net::Router& router = current.topo.GetRouter(id);
+        topo.AddRouter(router.name, router.asn, router.external);
+      }
+      for (std::size_t j = 0; j < current.topo.links().size(); ++j) {
+        if (j == i) continue;
+        const net::Link& kept = current.topo.links()[j];
+        topo.AddLink(kept.a, kept.b, kept.addr_a, kept.addr_b);
+      }
+      candidate.topo = std::move(topo);
+      RemoveSession(candidate.sketch, a, b);
+      if (Accept(std::move(candidate))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool DropSketchEntries() {
+    bool changed = false;
+    // Snapshot the (router, map) keys up front: Accept() replaces
+    // `current` wholesale, so never iterate its containers directly.
+    std::vector<std::pair<std::string, std::string>> keys;
+    for (const auto& [router, cfg] : current.sketch.routers) {
+      for (const auto& [map_name, map] : cfg.route_maps) {
+        keys.emplace_back(router, map_name);
+      }
+    }
+    for (const auto& [router, map_name] : keys) {
+      for (std::size_t i = 0; Budget();) {
+        const config::RouterConfig* cfg = current.sketch.FindRouter(router);
+        const config::RouteMap* map =
+            cfg == nullptr ? nullptr : cfg->FindRouteMap(map_name);
+        if (map == nullptr || i >= map->entries.size()) break;
+        FuzzScenario candidate = current;
+        config::RouteMap* target =
+            candidate.sketch.FindRouter(router)->FindRouteMap(map_name);
+        target->entries.erase(target->entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        if (target->entries.empty()) {
+          // Unhook the now-empty map from its sessions and drop it.
+          for (config::Neighbor& session :
+               candidate.sketch.FindRouter(router)->neighbors) {
+            if (session.import_map == map_name) session.import_map.reset();
+            if (session.export_map == map_name) session.export_map.reset();
+          }
+          candidate.sketch.FindRouter(router)->route_maps.erase(map_name);
+        }
+        if (Accept(std::move(candidate))) {
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool NarrowSelection() {
+    if (!Budget()) return false;
+    const explain::Selection& sel = current.selection;
+    std::vector<explain::Selection> narrower;
+    if (sel.complement) {
+      explain::Selection direct = sel;
+      direct.complement = false;
+      narrower.push_back(std::move(direct));
+    }
+    const config::RouterConfig* cfg = current.sketch.FindRouter(sel.router);
+    if (cfg != nullptr && !sel.route_map.has_value()) {
+      for (const auto& [map_name, map] : cfg->route_maps) {
+        narrower.push_back(explain::Selection::Map(sel.router, map_name));
+      }
+    }
+    if (cfg != nullptr && sel.route_map.has_value() && !sel.seq.has_value()) {
+      const config::RouteMap* map = cfg->FindRouteMap(*sel.route_map);
+      if (map != nullptr) {
+        for (const config::RouteMapEntry& entry : map->entries) {
+          narrower.push_back(
+              explain::Selection::Entry(sel.router, *sel.route_map,
+                                        entry.seq));
+        }
+      }
+    }
+    for (explain::Selection& candidate_sel : narrower) {
+      if (!Budget()) break;
+      FuzzScenario candidate = current;
+      candidate.selection = candidate_sel;
+      if (Accept(std::move(candidate))) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+MinimizeResult Minimize(const FuzzScenario& scenario,
+                        const MinimizeOptions& options) {
+  Shrinker shrinker{options, scenario};
+  {
+    ++shrinker.tests;
+    const RunReport initial = RunScenario(scenario, options.run);
+    if (!initial.Violated()) {
+      return MinimizeResult{scenario, shrinker.tests, false};
+    }
+    for (const OracleFailure& failure : initial.failures) {
+      shrinker.expected.insert(failure.oracle);
+    }
+  }
+  bool changed = true;
+  while (changed && shrinker.Budget()) {
+    changed = false;
+    changed |= shrinker.DropRequirements();
+    changed |= shrinker.DropStatements();
+    changed |= shrinker.DropDestinations();
+    changed |= shrinker.DropRouters();
+    changed |= shrinker.DropLinks();
+    changed |= shrinker.DropSketchEntries();
+    changed |= shrinker.NarrowSelection();
+  }
+  return MinimizeResult{std::move(shrinker.current), shrinker.tests, true};
+}
+
+}  // namespace ns::testkit

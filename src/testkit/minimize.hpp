@@ -1,0 +1,41 @@
+// Delta-debugging minimizer for failing netfuzz scenarios (ddmin-style
+// greedy reduction to a fixpoint). Every reduction move produces a whole
+// candidate scenario which is re-run through the oracle runner; a move is
+// kept only when the candidate still *violates* an oracle — unsat,
+// skipped and passing candidates are reverted, so the failure is
+// preserved by construction.
+//
+// Moves, coarse to fine: drop requirement blocks, drop statements, drop
+// destinations, drop routers (externals first; never the selection's
+// router), drop links, drop sketch route-map entries, narrow the
+// symbolization selection.
+#pragma once
+
+#include "testkit/gen.hpp"
+#include "testkit/oracles.hpp"
+
+namespace ns::testkit {
+
+struct MinimizeOptions {
+  /// Oracle set used for the failure predicate. The default disables the
+  /// expensive cross-checks (Z3/batch/rename) — the cheap eval oracles
+  /// catch rewrite bugs and keep each probe fast; pass the full set when
+  /// minimizing a failure only a specific oracle sees.
+  RunOptions run{.with_z3 = false, .with_batch = false, .with_rename = false,
+                 .with_lift = false};
+  /// Upper bound on oracle-runner invocations.
+  int max_tests = 400;
+};
+
+struct MinimizeResult {
+  FuzzScenario scenario;  ///< the smallest still-failing scenario found
+  int tests_run = 0;
+  /// False when the input scenario did not fail in the first place (then
+  /// `scenario` is the unmodified input).
+  bool failing = false;
+};
+
+MinimizeResult Minimize(const FuzzScenario& scenario,
+                        const MinimizeOptions& options = {});
+
+}  // namespace ns::testkit

@@ -1,0 +1,516 @@
+#include "testkit/oracles.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explain/batch.hpp"
+#include "explain/lift.hpp"
+#include "explain/subspec.hpp"
+#include "explain/symbolize.hpp"
+#include "simplify/engine.hpp"
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/z3bridge.hpp"
+#include "synth/encoder.hpp"
+#include "synth/synthesizer.hpp"
+#include "testkit/transform.hpp"
+#include "util/rng.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+using smt::Expr;
+
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to) {
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+/// Collects every free variable of `constraints`, sorted by name.
+std::vector<Expr> CollectVars(const std::vector<Expr>& constraints) {
+  std::map<std::string, Expr> by_name;
+  for (const Expr e : constraints) {
+    for (const Expr v : e.FreeVars()) by_name.emplace(v.name(), v);
+  }
+  std::vector<Expr> out;
+  out.reserve(by_name.size());
+  for (const auto& [name, v] : by_name) out.push_back(v);
+  return out;
+}
+
+/// One random full assignment: bools in {0,1}, ints mostly tiny (so
+/// equalities against table indices actually fire) with an occasional
+/// large value.
+smt::Assignment RandomModel(util::Rng& rng, const std::vector<Expr>& vars) {
+  smt::Assignment env;
+  for (const Expr v : vars) {
+    if (v.sort() == smt::Sort::kBool) {
+      env[v.name()] = static_cast<std::int64_t>(rng.Below(2));
+    } else {
+      env[v.name()] = static_cast<std::int64_t>(
+          rng.Chance(3, 4) ? rng.Below(5) : rng.Below(300));
+    }
+  }
+  return env;
+}
+
+/// Evaluates the conjunction of `constraints` under `env`. Every constraint
+/// is boolean by construction of the encoder.
+bool EvalConjunction(const std::vector<Expr>& constraints,
+                     const smt::Assignment& env, std::string* error) {
+  for (const Expr e : constraints) {
+    const auto value = smt::Eval(e, env);
+    if (!value.ok()) {
+      if (error != nullptr) *error = value.error().ToString();
+      return false;
+    }
+    if (value.value() == 0) return false;
+  }
+  return true;
+}
+
+struct Runner {
+  const FuzzScenario& scenario;
+  const RunOptions& options;
+  RunReport report;
+  util::Rng rng;
+
+  explicit Runner(const FuzzScenario& s, const RunOptions& o)
+      : scenario(s), options(o), rng(s.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  void Fail(std::string oracle, std::string detail) {
+    report.status = RunStatus::kViolation;
+    report.failures.push_back(
+        OracleFailure{std::move(oracle), std::move(detail)});
+  }
+
+  RunReport Run() {
+    report.stage = "synthesize";
+    synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+    auto synthesized = synthesizer.Synthesize(scenario.sketch);
+    if (!synthesized.ok()) {
+      const util::Error& error = synthesized.error();
+      switch (error.code()) {
+        case util::ErrorCode::kUnsat:
+          report.status = RunStatus::kUnsatScenario;
+          report.note = error.message();
+          return report;
+        case util::ErrorCode::kInternal:
+          // The synthesizer's own differential check (encoder model vs
+          // concrete simulator) rejected its solution — a real bug.
+          Fail("synth-validate", error.ToString());
+          return report;
+        default:
+          // Lint rejections / unrealizable ranked paths: the generator
+          // over-approximated what the encoder supports.
+          report.status = RunStatus::kSkipped;
+          report.note = error.ToString();
+          return report;
+      }
+    }
+    const config::NetworkConfig& solved = synthesized.value().network;
+
+    // ------------------------------------------------ seed specification
+    report.stage = "encode";
+    config::NetworkConfig symbolic = solved;
+    auto holes = explain::Symbolize(symbolic, scenario.selection);
+    if (!holes.ok()) {
+      if (holes.error().code() == util::ErrorCode::kNotFound) {
+        // The selection matches nothing — a generated selection always
+        // names sketch route-maps, but the minimizer can shrink them away.
+        report.status = RunStatus::kSkipped;
+        report.note = holes.error().ToString();
+        return report;
+      }
+      Fail("symbolize", holes.error().ToString());
+      return report;
+    }
+    smt::ExprPool pool;
+    auto encoded = synth::Encode(pool, scenario.topo, symbolic, scenario.spec);
+    if (!encoded.ok()) {
+      // Encoding succeeded for synthesis on the same inputs; the
+      // symbolized variant must encode too.
+      Fail("encode", encoded.error().ToString());
+      return report;
+    }
+    const std::vector<Expr>& seed = encoded.value().constraints;
+
+    // ------------------------------------- engine differential + shuffle
+    report.stage = "simplify";
+    simplify::Engine fast(pool);
+    simplify::Engine reference(pool, simplify::ReferenceEngineOptions());
+    const std::vector<Expr> fast_out = fast.SimplifyConstraints(seed);
+    const std::vector<Expr> reference_out =
+        reference.SimplifyConstraints(seed);
+    if (fast_out != reference_out) {
+      Fail("engine-differential",
+           "optimized engine output differs from ReferenceEngineOptions "
+           "output (constraints " +
+               std::to_string(fast_out.size()) + " vs " +
+               std::to_string(reference_out.size()) + ", sizes " +
+               std::to_string(simplify::ConstraintSetSize(fast_out)) +
+               " vs " +
+               std::to_string(simplify::ConstraintSetSize(reference_out)) +
+               ")");
+    }
+
+    const std::vector<Expr> vars = CollectVars(seed);
+    std::vector<smt::Assignment> models;
+    for (int i = 0; i < options.eval_models; ++i) {
+      models.push_back(RandomModel(rng, vars));
+    }
+    CheckEvalEquivalence("simplify-eval-equivalence", seed, fast_out, models);
+
+    std::vector<Expr> shuffled = seed;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+    }
+    simplify::Engine shuffled_engine(pool);
+    CheckEvalEquivalence("conjunct-shuffle",
+                         seed, shuffled_engine.SimplifyConstraints(shuffled),
+                         models);
+
+    // --------------------------------------------------------- subspec
+    report.stage = "explain";
+    explain::Explainer explainer(scenario.topo, scenario.spec, solved);
+    auto subspec = explainer.Explain(scenario.selection);
+    if (!subspec.ok()) {
+      Fail("explain", subspec.error().ToString());
+      return report;
+    }
+
+    if (options.with_z3) {
+      CheckEquisat(seed, pool, encoded.value(), subspec.value(),
+                   explainer.pool());
+    }
+
+    // ------------------------------------------------------------- lift
+    report.stage = "lift";
+    bool liftable = options.with_lift && !subspec.value().IsEmpty() &&
+                    !subspec.value().IsUnsatisfiable();
+    std::string lift_text;
+    if (liftable) {
+      explain::Lifter lifter(explainer.pool(), scenario.topo, scenario.spec,
+                             solved);
+      auto lifted = lifter.Lift(subspec.value(), scenario.mode);
+      if (!lifted.ok()) {
+        // Outside the lifter's documented fragment (e.g. rest-of-network
+        // summaries): a clean refusal, not an oracle violation.
+        if (lifted.error().code() == util::ErrorCode::kUnsupported) {
+          liftable = false;
+        } else {
+          Fail("lift", lifted.error().ToString());
+        }
+      } else {
+        lift_text = lifted.value().ToString();
+        if (options.with_z3 && lifted.value().complete) {
+          CheckLiftImplication(subspec.value(), lifted.value(),
+                               explainer.pool());
+        }
+      }
+    }
+
+    // ------------------------------------------------------------ batch
+    if (options.with_batch) {
+      report.stage = "batch";
+      CheckBatchDeterminism(solved);
+    }
+
+    // ----------------------------------------------------------- rename
+    if (options.with_rename) {
+      report.stage = "rename";
+      CheckRenameIsomorphism(solved, subspec.value(), liftable, lift_text);
+    }
+
+    report.stage = "done";
+    if (report.status == RunStatus::kSkipped) report.status = RunStatus::kOk;
+    return report;
+  }
+
+  /// `simplified` must agree with `seed` on every random full model.
+  void CheckEvalEquivalence(const char* oracle, const std::vector<Expr>& seed,
+                            const std::vector<Expr>& simplified,
+                            const std::vector<smt::Assignment>& models) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      std::string error;
+      const bool seed_value = EvalConjunction(seed, models[i], &error);
+      if (!error.empty()) {
+        Fail(oracle, "seed evaluation failed: " + error);
+        return;
+      }
+      const bool simplified_value =
+          EvalConjunction(simplified, models[i], &error);
+      if (!error.empty()) {
+        Fail(oracle, "simplified evaluation failed: " + error);
+        return;
+      }
+      if (seed_value != simplified_value) {
+        Fail(oracle, "model #" + std::to_string(i) + ": seed evaluates to " +
+                         (seed_value ? "true" : "false") +
+                         " but the simplified set evaluates to " +
+                         (simplified_value ? "true" : "false"));
+        return;
+      }
+    }
+  }
+
+  /// Seed ∧ pins must be satisfiable exactly when residual ∧ domains ∧ pins
+  /// is: auxiliary-variable elimination is an existential projection, so
+  /// pinning *all* explanation variables makes the two sides equi-sat.
+  void CheckEquisat(const std::vector<Expr>& seed, smt::ExprPool& seed_pool,
+                    const synth::Encoding& encoding,
+                    const explain::Subspec& subspec, smt::ExprPool& sub_pool) {
+    if (encoding.hole_vars.empty()) return;
+    smt::Z3Session z3;
+    std::vector<Expr> hole_vars;
+    for (const auto& [name, var] : encoding.hole_vars) {
+      hole_vars.push_back(var);
+    }
+    auto model = z3.Solve(seed, hole_vars);
+    if (!model.ok()) {
+      // The seed came from a successfully synthesized configuration; its
+      // symbolized re-encoding must stay satisfiable.
+      Fail("subspec-equisat",
+           "seed specification unexpectedly " +
+               std::string(util::ErrorCodeName(model.error().code())) + ": " +
+               model.error().message());
+      return;
+    }
+
+    for (int round = 0; round < 2; ++round) {
+      // Round 0 pins the model exactly (both sides must be sat); later
+      // rounds perturb a random subset (both sides must still agree).
+      smt::Assignment pins = model.value();
+      if (round > 0) {
+        for (auto& [name, value] : pins) {
+          if (!rng.Coin()) continue;
+          value = value == 0
+                      ? 1
+                      : value + 1 + static_cast<std::int64_t>(rng.Below(3));
+        }
+      }
+      std::vector<Expr> seed_side = seed;
+      std::vector<Expr> sub_side = subspec.constraints;
+      sub_side.insert(sub_side.end(), subspec.domains.begin(),
+                      subspec.domains.end());
+      for (const Expr var : hole_vars) {
+        const auto it = pins.find(var.name());
+        if (it == pins.end()) continue;
+        const std::int64_t value = it->second;
+        if (var.sort() == smt::Sort::kBool) {
+          seed_side.push_back(value != 0 ? var : seed_pool.Not(var));
+          const Expr sub_var = sub_pool.Var(var.name(), smt::Sort::kBool);
+          sub_side.push_back(value != 0 ? sub_var : sub_pool.Not(sub_var));
+        } else {
+          seed_side.push_back(seed_pool.Eq(var, seed_pool.Int(value)));
+          const Expr sub_var = sub_pool.Var(var.name(), smt::Sort::kInt);
+          sub_side.push_back(sub_pool.Eq(sub_var, sub_pool.Int(value)));
+        }
+      }
+      const smt::Outcome seed_sat = z3.CheckSat(seed_side);
+      const smt::Outcome sub_sat = z3.CheckSat(sub_side);
+      if (seed_sat == smt::Outcome::kUnknown ||
+          sub_sat == smt::Outcome::kUnknown) {
+        continue;
+      }
+      if (seed_sat != sub_sat) {
+        Fail("subspec-equisat",
+             "round " + std::to_string(round) + ": seed is " +
+                 smt::OutcomeName(seed_sat) + " but residual+domains is " +
+                 smt::OutcomeName(sub_sat) + " under the same hole pinning");
+        return;
+      }
+      if (round == 0 && seed_sat != smt::Outcome::kSat) {
+        Fail("subspec-equisat",
+             "pinning the holes to their own model left the seed " +
+                 std::string(smt::OutcomeName(seed_sat)));
+        return;
+      }
+    }
+  }
+
+  /// domains ∧ lifted-meaning must imply every residual constraint; in
+  /// exact mode (complete lifts) the converse holds too.
+  void CheckLiftImplication(const explain::Subspec& subspec,
+                            const explain::LiftResult& lifted,
+                            smt::ExprPool& pool) {
+    smt::Z3Session z3;
+    std::vector<Expr> meaning;
+    for (const explain::LiftedStatement& stmt : lifted.used) {
+      meaning.insert(meaning.end(), stmt.residual.begin(),
+                     stmt.residual.end());
+    }
+    std::vector<Expr> antecedent = subspec.domains;
+    antecedent.insert(antecedent.end(), meaning.begin(), meaning.end());
+    const Expr ante = pool.And(antecedent);
+    const Expr cons = pool.And(subspec.constraints);
+    if (!z3.Implies(ante, cons)) {
+      Fail("lift-implication",
+           "lifted statements (+domains) do not imply the residual "
+           "constraints");
+      return;
+    }
+    if (scenario.mode == explain::LiftMode::kExact) {
+      std::vector<Expr> reverse = subspec.domains;
+      reverse.insert(reverse.end(), subspec.constraints.begin(),
+                     subspec.constraints.end());
+      if (!z3.Implies(pool.And(reverse), pool.And(meaning))) {
+        Fail("lift-implication",
+             "exact lift is not implied by the residual constraints "
+             "(+domains)");
+      }
+    }
+  }
+
+  /// Sequential and parallel batch answers must be byte-identical.
+  void CheckBatchDeterminism(const config::NetworkConfig& solved) {
+    std::vector<explain::BatchRequest> requests =
+        explain::RequestsForAllRouters(solved, scenario.mode);
+    if (requests.size() > 4) requests.resize(4);
+    if (requests.empty()) return;
+    const explain::BatchOutcome sequential =
+        explain::BatchExplain(scenario.topo, scenario.spec, solved, requests,
+                              explain::BatchOptions{.num_threads = 1});
+    const explain::BatchOutcome parallel =
+        explain::BatchExplain(scenario.topo, scenario.spec, solved, requests,
+                              explain::BatchOptions{.num_threads = 3});
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto& a = sequential.items[i].result;
+      const auto& b = parallel.items[i].result;
+      if (a.ok() != b.ok()) {
+        Fail("batch-determinism",
+             "request #" + std::to_string(i) +
+                 ": sequential and parallel disagree on success");
+        return;
+      }
+      if (!a.ok()) {
+        if (a.error().ToString() != b.error().ToString()) {
+          Fail("batch-determinism",
+               "request #" + std::to_string(i) + ": error messages differ");
+          return;
+        }
+        continue;
+      }
+      if (a.value().report != b.value().report ||
+          a.value().subspec_text != b.value().subspec_text ||
+          a.value().empty != b.value().empty ||
+          a.value().unsat != b.value().unsat) {
+        Fail("batch-determinism",
+             "request #" + std::to_string(i) +
+                 ": parallel answer is not byte-identical to sequential");
+        return;
+      }
+    }
+  }
+
+  /// An order-preserving router renaming must leave the whole answer
+  /// isomorphic: identical metrics and an identical subspec/lift rendering
+  /// after mapping the names back.
+  void CheckRenameIsomorphism(const config::NetworkConfig& solved,
+                              const explain::Subspec& subspec, bool liftable,
+                              const std::string& lift_text) {
+    RenameMap renames;
+    for (const net::RouterId id : scenario.topo.AllRouters()) {
+      const std::string& name = scenario.topo.NameOf(id);
+      renames[name] = "Q" + name;  // prefixing preserves lexicographic order
+    }
+    const net::Topology topo2 = RenameTopology(scenario.topo, renames);
+    const spec::Spec spec2 = RenameSpec(scenario.spec, renames);
+    const config::NetworkConfig solved2 = RenameConfig(solved, renames);
+    const explain::Selection selection2 =
+        RenameSelection(scenario.selection, renames);
+
+    explain::Explainer explainer2(topo2, spec2, solved2);
+    auto subspec2 = explainer2.Explain(selection2);
+    if (!subspec2.ok()) {
+      Fail("rename-isomorphism",
+           "renamed scenario failed to explain: " +
+               subspec2.error().ToString());
+      return;
+    }
+    const explain::SubspecMetrics& m1 = subspec.metrics;
+    const explain::SubspecMetrics& m2 = subspec2.value().metrics;
+    if (m1.seed_constraints != m2.seed_constraints ||
+        m1.seed_size != m2.seed_size ||
+        m1.simplified_constraints != m2.simplified_constraints ||
+        m1.simplified_size != m2.simplified_size ||
+        m1.residual_constraints != m2.residual_constraints ||
+        m1.residual_size != m2.residual_size ||
+        m1.simplify_passes != m2.simplify_passes ||
+        m1.rule_stats != m2.rule_stats) {
+      Fail("rename-isomorphism",
+           "renamed scenario produced different pipeline metrics (e.g. "
+           "simplified size " +
+               std::to_string(m2.simplified_size) + " vs " +
+               std::to_string(m1.simplified_size) + ")");
+      return;
+    }
+    std::string text2 = subspec2.value().ToString();
+    for (const auto& [name, renamed] : renames) {
+      text2 = ReplaceAll(std::move(text2), renamed, name);
+    }
+    if (text2 != subspec.ToString()) {
+      Fail("rename-isomorphism",
+           "renamed subspec is not isomorphic to the original rendering");
+      return;
+    }
+    if (liftable) {
+      explain::Lifter lifter2(explainer2.pool(), topo2, spec2, solved2);
+      auto lifted2 = lifter2.Lift(subspec2.value(), scenario.mode);
+      if (!lifted2.ok()) {
+        Fail("rename-isomorphism",
+             "renamed scenario failed to lift: " +
+                 lifted2.error().ToString());
+        return;
+      }
+      std::string lift2 = lifted2.value().ToString();
+      for (const auto& [name, renamed] : renames) {
+        lift2 = ReplaceAll(std::move(lift2), renamed, name);
+      }
+      if (lift2 != lift_text) {
+        Fail("rename-isomorphism",
+             "renamed lift is not isomorphic to the original lift");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const char* RunStatusName(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kUnsatScenario: return "unsat-scenario";
+    case RunStatus::kSkipped: return "skipped";
+    case RunStatus::kViolation: return "VIOLATION";
+  }
+  return "?";
+}
+
+std::string RunReport::Summary() const {
+  std::ostringstream out;
+  out << RunStatusName(status) << " (stage " << stage << ")";
+  if (!note.empty()) out << ": " << note;
+  for (const OracleFailure& failure : failures) {
+    out << "\n  [" << failure.oracle << "] " << failure.detail;
+  }
+  return out.str();
+}
+
+RunReport RunScenario(const FuzzScenario& scenario, const RunOptions& options) {
+  Runner runner(scenario, options);
+  return runner.Run();
+}
+
+}  // namespace ns::testkit

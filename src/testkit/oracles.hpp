@@ -1,0 +1,75 @@
+// Metamorphic and differential oracles over the whole explain pipeline,
+// plus the runner that drives one generated scenario end to end:
+//
+//   synthesize (sketch -> solved, self-validated against the simulator)
+//     -> symbolize + encode (the seed specification)
+//     -> oracle: optimized engine bit-identical to the reference engine
+//     -> oracle: simplified set eval-equivalent to the seed under random
+//                concrete models
+//     -> oracle: conjunct order does not change semantics
+//     -> explain (subspec) + oracle: residual+domains equisatisfiable with
+//                the seed under random hole pinnings (Z3)
+//     -> lift + oracle: lifted meaning implies the subspec (Z3; and the
+//                converse in exact mode when the lift is complete)
+//     -> oracle: parallel batch-explain byte-identical to sequential
+//     -> oracle: order-preserving router renaming yields an isomorphic
+//                answer
+//
+// A scenario that cannot be synthesized is not a failure: unsat sketches
+// and generator over-approximations (lint rejections, unrealizable ranked
+// paths) are reported as kUnsatScenario / kSkipped so the fuzz loop can
+// keep statistics honest while only *oracle violations* fail the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testkit/gen.hpp"
+
+namespace ns::testkit {
+
+enum class RunStatus {
+  kOk,             ///< all applicable oracles passed
+  kUnsatScenario,  ///< sketch unsatisfiable for the spec (valid outcome)
+  kSkipped,        ///< generator over-approximation (lint/encoding reject)
+  kViolation,      ///< at least one oracle failed — a real bug repro
+};
+
+const char* RunStatusName(RunStatus status) noexcept;
+
+struct OracleFailure {
+  std::string oracle;  ///< catalog name, e.g. "simplify-eval-equivalence"
+  std::string detail;
+};
+
+struct RunOptions {
+  /// Run the Z3-backed oracles (subspec equisatisfiability, lift
+  /// implication). Cheap scenarios only take a few solver calls each.
+  bool with_z3 = true;
+  /// Run the batch-explain determinism oracle.
+  bool with_batch = true;
+  /// Run the rename-isomorphism oracle (re-runs the explain pipeline).
+  bool with_rename = true;
+  /// Run the lifter and its implication oracle.
+  bool with_lift = true;
+  /// Random full models for the eval-equivalence oracles.
+  int eval_models = 6;
+};
+
+struct RunReport {
+  RunStatus status = RunStatus::kSkipped;
+  /// Pipeline stage reached: synthesize, encode, simplify, explain, lift,
+  /// batch, rename, done.
+  std::string stage;
+  std::string note;  ///< why we skipped / the unsat message
+  std::vector<OracleFailure> failures;
+
+  bool Violated() const noexcept { return status == RunStatus::kViolation; }
+  std::string Summary() const;
+};
+
+/// Runs every applicable oracle against the scenario.
+RunReport RunScenario(const FuzzScenario& scenario,
+                      const RunOptions& options = {});
+
+}  // namespace ns::testkit

@@ -1,0 +1,222 @@
+#include "testkit/transform.hpp"
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+std::string Renamed(const std::string& name, const RenameMap& renames) {
+  const auto it = renames.find(name);
+  return it == renames.end() ? name : it->second;
+}
+
+void RenameMatch(config::MatchClause& match, const RenameMap& renames) {
+  if (match.via.is_concrete() && !match.via.value().empty()) {
+    match.via = Renamed(match.via.value(), renames);
+  }
+}
+
+}  // namespace
+
+net::Topology RenameTopology(const net::Topology& topo,
+                             const RenameMap& renames) {
+  net::Topology out;
+  for (const net::RouterId id : topo.AllRouters()) {
+    const net::Router& router = topo.GetRouter(id);
+    out.AddRouter(Renamed(router.name, renames), router.asn, router.external);
+  }
+  for (const net::Link& link : topo.links()) {
+    out.AddLink(link.a, link.b, link.addr_a, link.addr_b);
+  }
+  return out;
+}
+
+spec::Spec RenameSpec(const spec::Spec& spec, const RenameMap& renames) {
+  spec::Spec out = spec;
+  for (spec::DestDecl& dest : out.destinations) {
+    for (std::string& origin : dest.origins) origin = Renamed(origin, renames);
+  }
+  const auto rename_pattern = [&](spec::PathPattern& pattern) {
+    for (spec::PathElem& elem : pattern.elems) {
+      if (!elem.IsWildcard()) elem.name = Renamed(elem.name, renames);
+    }
+  };
+  for (spec::Requirement& req : out.requirements) {
+    if (req.scope_router.has_value()) {
+      req.scope_router = Renamed(*req.scope_router, renames);
+    }
+    if (req.scope_peer.has_value()) {
+      req.scope_peer = Renamed(*req.scope_peer, renames);
+    }
+    for (spec::Statement& stmt : req.statements) {
+      std::visit(
+          [&](auto& s) {
+            using S = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<S, spec::PreferStmt>) {
+              for (spec::PathPattern& p : s.ranking) rename_pattern(p);
+            } else {
+              rename_pattern(s.path);
+            }
+          },
+          stmt);
+    }
+  }
+  return out;
+}
+
+std::string RenameMapName(const std::string& name, const RenameMap& renames) {
+  std::vector<std::string> tokens = util::Split(name, '_');
+  for (std::string& token : tokens) token = Renamed(token, renames);
+  return util::Join(tokens, "_");
+}
+
+config::NetworkConfig RenameConfig(const config::NetworkConfig& network,
+                                   const RenameMap& renames) {
+  config::NetworkConfig out;
+  for (const auto& [name, cfg] : network.routers) {
+    config::RouterConfig renamed = cfg;
+    renamed.router = Renamed(cfg.router, renames);
+    for (config::Neighbor& session : renamed.neighbors) {
+      session.peer = Renamed(session.peer, renames);
+      if (session.import_map.has_value()) {
+        session.import_map = RenameMapName(*session.import_map, renames);
+      }
+      if (session.export_map.has_value()) {
+        session.export_map = RenameMapName(*session.export_map, renames);
+      }
+    }
+    std::map<std::string, config::RouteMap> maps;
+    for (const auto& [map_name, map] : cfg.route_maps) {
+      config::RouteMap renamed_map = map;
+      renamed_map.name = RenameMapName(map.name, renames);
+      for (config::RouteMapEntry& entry : renamed_map.entries) {
+        RenameMatch(entry.match, renames);
+      }
+      maps.emplace(RenameMapName(map_name, renames), std::move(renamed_map));
+    }
+    renamed.route_maps = std::move(maps);
+    out.routers.emplace(renamed.router, std::move(renamed));
+  }
+  return out;
+}
+
+explain::Selection RenameSelection(const explain::Selection& selection,
+                                   const RenameMap& renames) {
+  explain::Selection out = selection;
+  out.router = Renamed(selection.router, renames);
+  if (selection.route_map.has_value()) {
+    out.route_map = RenameMapName(*selection.route_map, renames);
+  }
+  return out;
+}
+
+net::Topology SubTopology(const net::Topology& topo,
+                          const std::set<std::string>& keep) {
+  net::Topology out;
+  for (const net::RouterId id : topo.AllRouters()) {
+    const net::Router& router = topo.GetRouter(id);
+    if (keep.count(router.name) > 0) {
+      out.AddRouter(router.name, router.asn, router.external);
+    }
+  }
+  for (const net::Link& link : topo.links()) {
+    const net::RouterId a = out.FindRouter(topo.NameOf(link.a));
+    const net::RouterId b = out.FindRouter(topo.NameOf(link.b));
+    if (a != net::kInvalidRouter && b != net::kInvalidRouter) {
+      out.AddLink(a, b, link.addr_a, link.addr_b);
+    }
+  }
+  return out;
+}
+
+spec::Spec PruneSpec(const spec::Spec& spec,
+                     const std::set<std::string>& keep) {
+  spec::Spec out;
+  std::set<std::string> known = keep;  // routers + surviving dest names
+  for (const spec::DestDecl& dest : spec.destinations) {
+    spec::DestDecl pruned = dest;
+    std::erase_if(pruned.origins, [&](const std::string& origin) {
+      return keep.count(origin) == 0;
+    });
+    if (!pruned.origins.empty()) {
+      known.insert(pruned.name);
+      out.destinations.push_back(std::move(pruned));
+    }
+  }
+  const auto pattern_survives = [&](const spec::PathPattern& pattern) {
+    for (const spec::PathElem& elem : pattern.elems) {
+      if (!elem.IsWildcard() && known.count(elem.name) == 0) return false;
+    }
+    return true;
+  };
+  for (const spec::Requirement& req : spec.requirements) {
+    if (req.scope_router.has_value() && keep.count(*req.scope_router) == 0) {
+      continue;
+    }
+    if (req.scope_peer.has_value() && keep.count(*req.scope_peer) == 0) {
+      continue;
+    }
+    spec::Requirement pruned;
+    pruned.name = req.name;
+    pruned.scope_router = req.scope_router;
+    pruned.scope_peer = req.scope_peer;
+    for (const spec::Statement& stmt : req.statements) {
+      const bool survives = std::visit(
+          [&](const auto& s) {
+            using S = std::decay_t<decltype(s)>;
+            if constexpr (std::is_same_v<S, spec::PreferStmt>) {
+              for (const spec::PathPattern& p : s.ranking) {
+                if (!pattern_survives(p)) return false;
+              }
+              return true;
+            } else {
+              return pattern_survives(s.path);
+            }
+          },
+          stmt);
+      if (survives) pruned.statements.push_back(stmt);
+    }
+    if (!pruned.statements.empty()) out.requirements.push_back(std::move(pruned));
+  }
+  return out;
+}
+
+config::NetworkConfig PruneConfig(const config::NetworkConfig& network,
+                                  const std::set<std::string>& keep) {
+  config::NetworkConfig out;
+  for (const auto& [name, cfg] : network.routers) {
+    if (keep.count(name) == 0) continue;
+    config::RouterConfig pruned = cfg;
+    std::erase_if(pruned.neighbors, [&](const config::Neighbor& session) {
+      return keep.count(session.peer) == 0;
+    });
+    // Keep only route-maps some surviving session still references.
+    std::set<std::string> referenced;
+    for (const config::Neighbor& session : pruned.neighbors) {
+      if (session.import_map.has_value()) referenced.insert(*session.import_map);
+      if (session.export_map.has_value()) referenced.insert(*session.export_map);
+    }
+    std::erase_if(pruned.route_maps, [&](const auto& entry) {
+      return referenced.count(entry.first) == 0;
+    });
+    // Via-matches naming a dropped router can never match; drop the clause
+    // down to match-any so the config stays self-contained.
+    for (auto& [map_name, map] : pruned.route_maps) {
+      for (config::RouteMapEntry& entry : map.entries) {
+        if (entry.match.field.is_concrete() &&
+            entry.match.field.value() == config::MatchField::kViaContains &&
+            entry.match.via.is_concrete() &&
+            keep.count(entry.match.via.value()) == 0) {
+          entry.match = config::MatchClause{};
+        }
+      }
+    }
+    out.routers.emplace(name, std::move(pruned));
+  }
+  return out;
+}
+
+}  // namespace ns::testkit

@@ -1,0 +1,55 @@
+// Structure-preserving scenario transformations. Two consumers:
+//
+//  - the rename-isomorphism oracle (oracles.cpp) renames every router
+//    through an order-preserving map and expects the pipeline's answer to
+//    be the same modulo the renaming;
+//  - the delta-debugging minimizer (minimize.cpp) projects a scenario onto
+//    a surviving router subset while keeping everything else intact.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "testkit/gen.hpp"
+
+namespace ns::testkit {
+
+/// old router name -> new router name. Routers absent from the map keep
+/// their names. Destination names (D*) are never renamed.
+using RenameMap = std::map<std::string, std::string>;
+
+/// Rebuilds the topology with renamed routers; router and link insertion
+/// order (and therefore ids and interface addresses) are preserved.
+net::Topology RenameTopology(const net::Topology& topo,
+                             const RenameMap& renames);
+
+/// Renames router references in path patterns and destination origins.
+spec::Spec RenameSpec(const spec::Spec& spec, const RenameMap& renames);
+
+/// Renames router references in a configuration: router keys, neighbor
+/// peers, route-map names (`<router>_to_<peer>` tokens), and via-matches.
+config::NetworkConfig RenameConfig(const config::NetworkConfig& network,
+                                   const RenameMap& renames);
+
+explain::Selection RenameSelection(const explain::Selection& selection,
+                                   const RenameMap& renames);
+
+/// Renames an underscore-delimited identifier like `R1_to_E2` token-wise.
+std::string RenameMapName(const std::string& name, const RenameMap& renames);
+
+/// Projects the topology onto `keep` (names): surviving routers in their
+/// original insertion order, surviving links in their original order.
+net::Topology SubTopology(const net::Topology& topo,
+                          const std::set<std::string>& keep);
+
+/// Drops destinations whose origins all vanished, origins that vanished,
+/// and statements mentioning a dropped router.
+spec::Spec PruneSpec(const spec::Spec& spec, const std::set<std::string>& keep);
+
+/// Drops configuration for routers outside `keep`, sessions to dropped
+/// peers, and route-maps no session references anymore.
+config::NetworkConfig PruneConfig(const config::NetworkConfig& network,
+                                  const std::set<std::string>& keep);
+
+}  // namespace ns::testkit

@@ -117,9 +117,15 @@ std::string Json::Dump(int indent) const {
 
 namespace {
 
+/// Containers deeper than this are rejected instead of recursing further;
+/// without a cap a hostile input like 100k '[' characters overflows the
+/// parser's call stack.
+constexpr int kMaxParseDepth = 1000;
+
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
+  int depth = 0;
 
   bool AtEnd() const { return pos >= text.size(); }
   char Peek() const { return text[pos]; }
@@ -140,8 +146,13 @@ struct Parser {
     SkipSpace();
     if (AtEnd()) return Fail("unexpected end of input");
     const char c = Peek();
-    if (c == '{') return ObjectValue();
-    if (c == '[') return ArrayValue();
+    if (c == '{' || c == '[') {
+      if (depth >= kMaxParseDepth) return Fail("nesting too deep");
+      ++depth;
+      auto v = c == '{' ? ObjectValue() : ArrayValue();
+      --depth;
+      return v;
+    }
     if (c == '"') {
       auto s = StringValue();
       if (!s) return s.error();

@@ -376,6 +376,85 @@ TEST(LiftSoundness, ExactLiftStatementsAreConsequencesOfTheSubspec) {
   EXPECT_TRUE(z3.Implies(pool.And(meanings), target));
 }
 
+// ------------------------------------------------------- lift edge cases
+
+class LiftEdgeCases : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = synth::Scenario1();
+    solved_ = synth::Scenario1PaperConfig();
+  }
+
+  synth::Scenario scenario_{};
+  config::NetworkConfig solved_;
+};
+
+TEST_F(LiftEdgeCases, EmptySubspecLiftsToEmptyCompleteRequirement) {
+  // An unconstrained question ("this field can be anything") lifts to a
+  // requirement with no statements — and that IS the complete answer.
+  Explainer explainer(scenario_.topo, scenario_.spec, solved_);
+  auto subspec =
+      explainer.Explain(Selection::Slot("R1", "R1_to_P1", 10, "action"));
+  ASSERT_TRUE(subspec.ok()) << subspec.error().ToString();
+  ASSERT_TRUE(subspec.value().IsEmpty());
+  Lifter lifter(explainer.pool(), scenario_.topo, scenario_.spec,
+                explainer.solved());
+  for (const LiftMode mode : {LiftMode::kExact, LiftMode::kFaithful}) {
+    const auto lifted = lifter.Lift(subspec.value(), mode);
+    ASSERT_TRUE(lifted.ok()) << lifted.error().ToString();
+    EXPECT_TRUE(lifted.value().complete);
+    EXPECT_TRUE(lifted.value().requirement.statements.empty());
+    EXPECT_TRUE(lifted.value().used.empty());
+  }
+}
+
+TEST_F(LiftEdgeCases, UnsatisfiableSubspecReportsNoLiftInBothModes) {
+  // No values of the symbolized fields can work; the lifter must say so
+  // (complete=false, no invented statements) rather than crash or search
+  // forever.
+  auto spec = spec::ParseSpec(R"(
+    Req1 { !(P2->...->P1) }
+    ReqX { (P2->...->P1) }
+  )");
+  ASSERT_TRUE(spec.ok());
+  Explainer explainer(scenario_.topo, spec.value(), solved_);
+  auto subspec = explainer.Explain(Selection::Map("R1", "R1_to_P1"));
+  ASSERT_TRUE(subspec.ok()) << subspec.error().ToString();
+  ASSERT_TRUE(subspec.value().IsUnsatisfiable());
+  Lifter lifter(explainer.pool(), scenario_.topo, spec.value(),
+                explainer.solved());
+  for (const LiftMode mode : {LiftMode::kExact, LiftMode::kFaithful}) {
+    const auto lifted = lifter.Lift(subspec.value(), mode);
+    ASSERT_TRUE(lifted.ok()) << lifted.error().ToString();
+    EXPECT_FALSE(lifted.value().complete);
+    EXPECT_TRUE(lifted.value().requirement.statements.empty());
+  }
+}
+
+TEST_F(LiftEdgeCases, InexpressibleResidualReportsIncompleteNotCrash) {
+  // A satisfiable residual no DSL statement set is equivalent to: the two
+  // entries' actions must be *equal* (both permit or both deny). The DSL
+  // can pin behaviors, not relate two fields symmetrically, so in exact
+  // mode the search must come back empty-handed — "no lift found" — and
+  // leave falling back to Subspec::ToString() to the caller.
+  Explainer explainer(scenario_.topo, scenario_.spec, solved_);
+  auto subspec = explainer.Explain(Selection::Map("R1", "R1_to_P1"));
+  ASSERT_TRUE(subspec.ok()) << subspec.error().ToString();
+  smt::ExprPool& pool = explainer.pool();
+  const smt::Expr a10 = pool.Var("Var_Action@R1_to_P1.10", smt::Sort::kInt);
+  const smt::Expr a100 = pool.Var("Var_Action@R1_to_P1.100", smt::Sort::kInt);
+  Subspec doctored = subspec.value();
+  doctored.constraints = {pool.Eq(a10, a100)};
+  ASSERT_FALSE(doctored.IsEmpty());
+  ASSERT_FALSE(doctored.IsUnsatisfiable());
+  Lifter lifter(explainer.pool(), scenario_.topo, scenario_.spec,
+                explainer.solved());
+  const auto lifted = lifter.Lift(doctored, LiftMode::kExact);
+  ASSERT_TRUE(lifted.ok()) << lifted.error().ToString();
+  EXPECT_FALSE(lifted.value().complete);
+  EXPECT_GT(lifted.value().candidates_tried, 0);
+}
+
 // ------------------------------------------------------------- scenario 3
 
 class Scenario3Explain : public ::testing::Test {

@@ -1,3 +1,6 @@
+#include <limits>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "util/json.hpp"
@@ -108,6 +111,54 @@ TEST(JsonTest, RoundTripPreservesStructure) {
       EXPECT_TRUE(record.Find(key)->IsNumber());
     }
   }
+}
+
+TEST(JsonTest, AllControlCharactersRoundTrip) {
+  std::string s;
+  for (char c = 1; c < 0x20; ++c) s.push_back(c);
+  s += "\x7f after";  // DEL is not a control char for JSON; passes through
+  Json doc = Json::MakeObject();
+  doc.Set("s", s);
+  const auto parsed = Json::Parse(doc.Dump(0));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value().Find("s")->AsString(), s);
+}
+
+TEST(JsonTest, NonFiniteDoublesDumpAsNull) {
+  Json doc = Json::MakeArray();
+  doc.Append(std::numeric_limits<double>::infinity());
+  doc.Append(-std::numeric_limits<double>::infinity());
+  doc.Append(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(doc.Dump(0), "[null,null,null]");
+  // And the dump stays parseable.
+  EXPECT_TRUE(Json::Parse(doc.Dump(0)).ok());
+}
+
+TEST(JsonTest, DeepNestingRoundTripsBelowTheCap) {
+  constexpr int kDepth = 900;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "[";
+  text += "7";
+  for (int i = 0; i < kDepth; ++i) text += "]";
+  const auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value().Dump(0), text);
+}
+
+TEST(JsonTest, OverlyDeepNestingIsAParseErrorNotACrash) {
+  // Well over the parser's depth cap; must fail cleanly, not overflow
+  // the stack.
+  const std::string bomb(100000, '[');
+  const auto parsed = Json::Parse(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code(), ErrorCode::kParse);
+  EXPECT_NE(parsed.error().ToString().find("nesting too deep"),
+            std::string::npos);
+
+  // Mixed object/array nesting hits the same cap.
+  std::string mixed;
+  for (int i = 0; i < 3000; ++i) mixed += "{\"a\":[";
+  EXPECT_FALSE(Json::Parse(mixed).ok());
 }
 
 TEST(JsonTest, IntegersStayIntegersDoublesStayDoubles) {

@@ -1,0 +1,223 @@
+// Tests for the netfuzz testkit itself: generator determinism and
+// well-formedness, corpus round-trips, oracle outcome classification,
+// the rename/projection transforms, and — the harness's own acceptance
+// test — that an injected rewrite-rule fault is caught by the eval
+// oracle and shrunk by the minimizer to a tiny repro that still fails.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/topo_text.hpp"
+#include "simplify/rules.hpp"
+#include "spec/lint.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/minimize.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/transform.hpp"
+
+namespace ns::testkit {
+namespace {
+
+/// Arms a rewrite-rule fault for one test, disarming on scope exit even
+/// when an assertion fails.
+class ScopedRuleFault {
+ public:
+  explicit ScopedRuleFault(simplify::RuleId rule) {
+    simplify::testing::InjectRuleFault(rule);
+  }
+  ~ScopedRuleFault() { simplify::testing::ClearRuleFault(); }
+};
+
+/// Oracle options for fast probes: skips Z3, batch, rename and lift; the
+/// eval oracles alone catch rewrite soundness bugs.
+RunOptions CheapOracles() {
+  return RunOptions{.with_z3 = false,
+                    .with_batch = false,
+                    .with_rename = false,
+                    .with_lift = false};
+}
+
+std::size_t TotalStatements(const spec::Spec& spec) {
+  std::size_t n = 0;
+  for (const auto& req : spec.requirements) n += req.statements.size();
+  return n;
+}
+
+TEST(Gen, DeterministicForSameSeed) {
+  const FuzzScenario a = GenerateScenario(7);
+  const FuzzScenario b = GenerateScenario(7);
+  EXPECT_EQ(SaveScenario(a), SaveScenario(b));
+}
+
+TEST(Gen, DifferentSeedsDiffer) {
+  EXPECT_NE(SaveScenario(GenerateScenario(1)),
+            SaveScenario(GenerateScenario(2)));
+}
+
+TEST(Gen, ScenariosAreWellFormed) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const FuzzScenario scenario = GenerateScenario(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Paper-scale bounds.
+    EXPECT_GE(scenario.topo.NumRouters(), 4u);
+    EXPECT_LE(scenario.topo.NumRouters(), 7u);
+    // At least one symbolic route-map to symbolize/synthesize.
+    EXPECT_TRUE(scenario.sketch.HasHole());
+    // Generated specs never trip the linter's errors (warnings are fine).
+    EXPECT_FALSE(spec::Lint(scenario.topo, scenario.spec).HasErrors())
+        << spec::Lint(scenario.topo, scenario.spec).ToString();
+    // The selection names a router that actually carries policy, unless
+    // it is a rest-of-network question.
+    if (!scenario.selection.complement) {
+      const auto* cfg = scenario.sketch.FindRouter(scenario.selection.router);
+      ASSERT_NE(cfg, nullptr);
+      EXPECT_FALSE(cfg->route_maps.empty());
+    }
+  }
+}
+
+TEST(Corpus, SaveLoadRoundTrip) {
+  for (const std::uint64_t seed : {2ull, 4ull, 24ull}) {
+    const FuzzScenario scenario = GenerateScenario(seed);
+    const std::string text = SaveScenario(scenario);
+    const auto loaded = LoadScenario(text);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+    EXPECT_EQ(SaveScenario(loaded.value()), text) << "seed " << seed;
+    EXPECT_EQ(loaded.value().seed, seed);
+    EXPECT_EQ(loaded.value().mode, scenario.mode);
+    EXPECT_EQ(loaded.value().selection.ToString(),
+              scenario.selection.ToString());
+    EXPECT_EQ(loaded.value().sketch, scenario.sketch);
+  }
+}
+
+TEST(Corpus, EmptySpecSectionIsValid) {
+  const char* text =
+      "# netfuzz scenario v1\n"
+      "seed 1\n"
+      "mode exact\n"
+      "select router R1\n"
+      "--- topology\n"
+      "router R1 as 100\n"
+      "--- spec\n"
+      "--- sketch\n"
+      "hostname R1\n"
+      "router bgp 100\n";
+  const auto loaded = LoadScenario(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_TRUE(loaded.value().spec.requirements.empty());
+}
+
+TEST(Corpus, RejectsMalformedInputs) {
+  EXPECT_FALSE(LoadScenario("").ok());
+  EXPECT_FALSE(LoadScenario("# netfuzz scenario v1\nseed 1\n").ok());
+  const std::string good = SaveScenario(GenerateScenario(4));
+  // Damage the select line.
+  std::string bad = good;
+  bad.replace(bad.find("select router"), 13, "select rooter");
+  EXPECT_FALSE(LoadScenario(bad).ok());
+  // Damage the mode.
+  bad = good;
+  bad.replace(bad.find("mode "), 10, "mode bogus\n");
+  EXPECT_FALSE(LoadScenario(bad).ok());
+}
+
+TEST(Transform, RenameRoundTrips) {
+  const FuzzScenario scenario = GenerateScenario(5);
+  RenameMap there;
+  RenameMap back;
+  for (const net::RouterId id : scenario.topo.AllRouters()) {
+    const std::string& name = scenario.topo.NameOf(id);
+    there[name] = "Q" + name;
+    back["Q" + name] = name;
+  }
+  const net::Topology topo2 =
+      RenameTopology(RenameTopology(scenario.topo, there), back);
+  EXPECT_EQ(net::ToText(topo2), net::ToText(scenario.topo));
+  const spec::Spec spec2 = RenameSpec(RenameSpec(scenario.spec, there), back);
+  EXPECT_EQ(spec2, scenario.spec);
+  const config::NetworkConfig sketch2 =
+      RenameConfig(RenameConfig(scenario.sketch, there), back);
+  EXPECT_EQ(sketch2, scenario.sketch);
+}
+
+TEST(Transform, SubTopologyKeepsOrderAndLinks) {
+  const FuzzScenario scenario = GenerateScenario(5);
+  std::set<std::string> keep;
+  for (const net::RouterId id : scenario.topo.AllRouters()) {
+    keep.insert(scenario.topo.NameOf(id));
+  }
+  // Keeping everything is the identity.
+  EXPECT_EQ(net::ToText(SubTopology(scenario.topo, keep)),
+            net::ToText(scenario.topo));
+  // Dropping one router drops exactly its links.
+  const std::string victim = *keep.begin();
+  keep.erase(victim);
+  const net::Topology sub = SubTopology(scenario.topo, keep);
+  EXPECT_EQ(sub.NumRouters(), scenario.topo.NumRouters() - 1);
+  EXPECT_EQ(sub.FindRouter(victim), net::kInvalidRouter);
+  for (const net::Link& link : sub.links()) {
+    EXPECT_NE(sub.NameOf(link.a), victim);
+    EXPECT_NE(sub.NameOf(link.b), victim);
+  }
+}
+
+TEST(Oracles, CleanScenarioPassesCheapOracles) {
+  // Seed 4 synthesizes; with the optimizations untouched every oracle
+  // must pass.
+  const RunReport report = RunScenario(GenerateScenario(4), CheapOracles());
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.Summary();
+}
+
+TEST(Oracles, UnsatSketchIsClassifiedNotFailed) {
+  // Seed 2's requirements conflict under its sketch: a valid outcome.
+  const RunReport report = RunScenario(GenerateScenario(2), CheapOracles());
+  EXPECT_EQ(report.status, RunStatus::kUnsatScenario) << report.Summary();
+}
+
+TEST(FaultInjection, EvalOracleCatchesRuleFault) {
+  ScopedRuleFault fault(simplify::RuleId::kAndIdentity);
+  const RunReport report = RunScenario(GenerateScenario(4), CheapOracles());
+  ASSERT_TRUE(report.Violated()) << report.Summary();
+  bool eval_failed = false;
+  for (const OracleFailure& failure : report.failures) {
+    if (failure.oracle == "simplify-eval-equivalence") eval_failed = true;
+  }
+  EXPECT_TRUE(eval_failed) << report.Summary();
+}
+
+TEST(FaultInjection, WithoutFaultSameSeedPasses) {
+  const RunReport report = RunScenario(GenerateScenario(9), CheapOracles());
+  EXPECT_EQ(report.status, RunStatus::kOk) << report.Summary();
+}
+
+// The PR's acceptance criterion: an injected rewrite-rule bug shrinks to
+// <= 3 routers and <= 2 spec clauses with the failure preserved.
+TEST(Minimizer, ShrinksInjectedFaultToTinyRepro) {
+  ScopedRuleFault fault(simplify::RuleId::kAndIdentity);
+  const FuzzScenario scenario = GenerateScenario(9);
+  const MinimizeResult result = Minimize(scenario);
+  ASSERT_TRUE(result.failing);
+  EXPECT_LE(result.scenario.topo.NumRouters(), 3u);
+  EXPECT_LE(TotalStatements(result.scenario.spec), 2u);
+  // The shrunk scenario still fails, and through the same oracle.
+  const RunReport report = RunScenario(result.scenario, CheapOracles());
+  ASSERT_TRUE(report.Violated()) << report.Summary();
+  EXPECT_EQ(report.failures.front().oracle, "simplify-eval-equivalence");
+  // And it replays from its corpus serialization.
+  const auto loaded = LoadScenario(SaveScenario(result.scenario));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToString();
+  EXPECT_TRUE(RunScenario(loaded.value(), CheapOracles()).Violated());
+}
+
+TEST(Minimizer, PassingScenarioIsReturnedUnchanged) {
+  const FuzzScenario scenario = GenerateScenario(4);
+  const MinimizeResult result = Minimize(scenario);
+  EXPECT_FALSE(result.failing);
+  EXPECT_EQ(SaveScenario(result.scenario), SaveScenario(scenario));
+}
+
+}  // namespace
+}  // namespace ns::testkit

@@ -1,0 +1,253 @@
+// netfuzz — differential fuzzing and metamorphic-oracle driver for the
+// explain pipeline (see TESTING.md for the oracle catalog).
+//
+//   netfuzz --runs 500 --seed 1            # the nightly CI invocation
+//   netfuzz --runs 50 --seed 7 --budget-s 300 --out repros/
+//   netfuzz --replay tests/corpus/seed3.scenario [--replay ...]
+//   netfuzz --print-seed 42                # dump the generated scenario
+//   netfuzz --runs 1 --seed 3 --inject-rule and-identity --minimize-out m.scenario
+//
+// Exit codes: 0 = no oracle violations, 1 = violations found, 2 = usage.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simplify/rules.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/minimize.hpp"
+#include "testkit/oracles.hpp"
+#include "util/file.hpp"
+
+namespace {
+
+using namespace ns;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --runs N           scenarios to generate and check (default 20)\n"
+      "  --seed S           first seed; run i uses seed S+i (default 1)\n"
+      "  --budget-s T       stop starting new runs after T seconds\n"
+      "  --replay FILE      replay a corpus scenario instead of generating\n"
+      "                     (repeatable; ignores --runs/--seed)\n"
+      "  --out DIR          write minimized repros here (default '.')\n"
+      "  --print-seed S     print the scenario for seed S and exit\n"
+      "  --inject-rule R    arm the test-only rewrite-rule fault (rule name\n"
+      "                     as in bench tables, e.g. and-identity)\n"
+      "  --minimize-out F   with a failing run: write the minimized repro\n"
+      "                     to F instead of an auto-named file\n"
+      "  --no-minimize      report failures without shrinking them\n"
+      "  --no-z3 / --no-batch / --no-rename   disable oracle groups\n"
+      "  --quiet            only print failures and the final summary\n",
+      argv0);
+  return 2;
+}
+
+/// Minimal flag parser: every flag takes one value except the listed
+/// booleans; repeated flags accumulate.
+class Flags {
+ public:
+  static util::Result<Flags> Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           "unexpected argument '" + arg + "'");
+      }
+      arg = arg.substr(2);
+      if (arg == "no-minimize" || arg == "no-z3" || arg == "no-batch" ||
+          arg == "no-rename" || arg == "quiet") {
+        flags.values_[arg].push_back("true");
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           "flag --" + arg + " needs a value");
+      }
+      flags.values_[arg].push_back(argv[++i]);
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string OneOr(const std::string& name, std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second.back();
+  }
+
+  std::vector<std::string> All(const std::string& name) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+util::Result<simplify::RuleId> RuleByName(const std::string& name) {
+  for (int i = 0; i < simplify::kNumRules; ++i) {
+    const auto rule = static_cast<simplify::RuleId>(i);
+    if (name == simplify::RuleName(rule)) return rule;
+  }
+  return util::Error(util::ErrorCode::kNotFound,
+                     "unknown rewrite rule '" + name + "'");
+}
+
+struct Tally {
+  int ok = 0;
+  int unsat = 0;
+  int skipped = 0;
+  int violations = 0;
+};
+
+/// Handles one failing scenario: minimize (unless disabled) and write the
+/// repro to disk so CI can upload it as an artifact.
+void HandleFailure(const testkit::FuzzScenario& scenario,
+                   const testkit::RunReport& report, const Flags& flags,
+                   const testkit::RunOptions& run_options) {
+  std::fprintf(stderr, "seed %llu: %s\n",
+               static_cast<unsigned long long>(scenario.seed),
+               report.Summary().c_str());
+  testkit::FuzzScenario repro = scenario;
+  if (!flags.Has("no-minimize")) {
+    testkit::MinimizeOptions minimize;
+    // Shrink against the cheap oracle set unless groups were disabled
+    // explicitly — then mirror the run's configuration.
+    minimize.run.eval_models = run_options.eval_models;
+    auto minimized = testkit::Minimize(scenario, minimize);
+    if (!minimized.failing) {
+      // The failure needs one of the expensive oracles; shrink with the
+      // same configuration the run used.
+      minimize.run = run_options;
+      minimized = testkit::Minimize(scenario, minimize);
+    }
+    if (minimized.failing) {
+      repro = std::move(minimized.scenario);
+      std::fprintf(stderr,
+                   "  minimized to %zu routers, %zu requirement blocks "
+                   "(%d probe runs)\n",
+                   repro.topo.NumRouters(), repro.spec.requirements.size(),
+                   minimized.tests_run);
+    }
+  }
+  const std::string path =
+      flags.Has("minimize-out")
+          ? flags.OneOr("minimize-out", "")
+          : flags.OneOr("out", ".") + "/netfuzz-seed-" +
+                std::to_string(scenario.seed) + ".scenario";
+  const auto written = util::WriteFile(path, testkit::SaveScenario(repro));
+  if (written.ok()) {
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  failed to write repro: %s\n",
+                 written.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  const Flags& flags = parsed.value();
+  const bool quiet = flags.Has("quiet");
+
+  testkit::RunOptions run_options;
+  run_options.with_z3 = !flags.Has("no-z3");
+  run_options.with_batch = !flags.Has("no-batch");
+  run_options.with_rename = !flags.Has("no-rename");
+
+  if (flags.Has("inject-rule")) {
+    auto rule = RuleByName(flags.OneOr("inject-rule", ""));
+    if (!rule.ok()) {
+      std::fprintf(stderr, "%s\n", rule.error().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    simplify::testing::InjectRuleFault(rule.value());
+  }
+
+  if (flags.Has("print-seed")) {
+    const std::uint64_t seed =
+        std::strtoull(flags.OneOr("print-seed", "1").c_str(), nullptr, 10);
+    std::fputs(testkit::SaveScenario(testkit::GenerateScenario(seed)).c_str(),
+               stdout);
+    return 0;
+  }
+
+  Tally tally;
+  const auto started = std::chrono::steady_clock::now();
+  const double budget_s =
+      std::strtod(flags.OneOr("budget-s", "0").c_str(), nullptr);
+
+  const auto run_one = [&](const testkit::FuzzScenario& scenario,
+                           const std::string& label) {
+    const testkit::RunReport report =
+        testkit::RunScenario(scenario, run_options);
+    switch (report.status) {
+      case testkit::RunStatus::kOk: ++tally.ok; break;
+      case testkit::RunStatus::kUnsatScenario: ++tally.unsat; break;
+      case testkit::RunStatus::kSkipped: ++tally.skipped; break;
+      case testkit::RunStatus::kViolation:
+        ++tally.violations;
+        HandleFailure(scenario, report, flags, run_options);
+        break;
+    }
+    if (!quiet && !report.Violated()) {
+      std::printf("%s: %s\n", label.c_str(), report.Summary().c_str());
+    }
+  };
+
+  const std::vector<std::string> replays = flags.All("replay");
+  if (!replays.empty()) {
+    for (const std::string& path : replays) {
+      auto text = util::ReadFile(path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.error().ToString().c_str());
+        return 2;
+      }
+      auto scenario = testkit::LoadScenario(text.value());
+      if (!scenario.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     scenario.error().ToString().c_str());
+        return 2;
+      }
+      run_one(scenario.value(), path);
+    }
+  } else {
+    const std::uint64_t first =
+        std::strtoull(flags.OneOr("seed", "1").c_str(), nullptr, 10);
+    const long runs = std::strtol(flags.OneOr("runs", "20").c_str(), nullptr, 10);
+    for (long i = 0; i < runs; ++i) {
+      if (budget_s > 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        if (elapsed > budget_s) {
+          if (!quiet) {
+            std::printf("time budget exhausted after %ld runs\n", i);
+          }
+          break;
+        }
+      }
+      const std::uint64_t seed = first + static_cast<std::uint64_t>(i);
+      run_one(testkit::GenerateScenario(seed),
+              "seed " + std::to_string(seed));
+    }
+  }
+
+  std::printf(
+      "netfuzz: %d ok, %d unsat, %d skipped, %d violation%s\n", tally.ok,
+      tally.unsat, tally.skipped, tally.violations,
+      tally.violations == 1 ? "" : "s");
+  return tally.violations == 0 ? 0 : 1;
+}
