@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI smoke driver for `netsubspec serve` (wire protocol: docs/SERVE.md).
+
+Usage: serve_smoke.py PORT TOPO SPEC CONFIG GOLDEN_REPORT
+
+Drives load -> explain -> repeat -> stats -> shutdown against a running
+server on 127.0.0.1:PORT and exits nonzero on any divergence:
+  - the first explain must be a miss, the repeat a hit with byte-identical
+    report and subspec,
+  - the served report must equal the checked-in golden file byte for byte,
+  - stats must show at least one cache hit,
+  - shutdown must be acknowledged with draining=true.
+"""
+import json
+import socket
+import sys
+
+
+def main() -> int:
+    port, topo_path, spec_path, config_path, golden_path = sys.argv[1:6]
+    with open(topo_path) as f:
+        topo = f.read()
+    with open(spec_path) as f:
+        spec = f.read()
+    with open(config_path) as f:
+        config = f.read()
+    with open(golden_path) as f:
+        golden = f.read()
+
+    sock = socket.create_connection(("127.0.0.1", int(port)), timeout=60)
+    stream = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def call(request):
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        line = stream.readline()
+        if not line:
+            raise SystemExit("server closed the connection unexpectedly")
+        response = json.loads(line)
+        print(f"<- {request['cmd']}: ok={response.get('ok')}", flush=True)
+        return response
+
+    loaded = call({"cmd": "load", "topo": topo, "spec": spec, "config": config})
+    assert loaded["ok"], loaded
+    assert len(loaded["scenario"]) == 16, loaded
+
+    question = {"cmd": "explain", "router": "R1", "mode": "faithful"}
+    first = call(question)
+    assert first["ok"] and first["cached"] is False, first
+    assert first["report"] == golden, (
+        "served report diverged from the golden file; if the rendering "
+        "change is intentional, regenerate with NS_UPDATE_GOLDEN=1 "
+        "./build/tests/test_golden"
+    )
+
+    repeat = call(question)
+    assert repeat["ok"] and repeat["cached"] is True, repeat
+    assert repeat["report"] == first["report"], "cache returned different bytes"
+    assert repeat["subspec"] == first["subspec"], "cache returned different bytes"
+
+    stats = call({"cmd": "stats"})
+    assert stats["ok"], stats
+    assert stats["cache"]["hits"] >= 1, stats
+    assert stats["requests"]["explain"] == 2, stats
+
+    bye = call({"cmd": "shutdown"})
+    assert bye["ok"] and bye["draining"] is True, bye
+    sock.close()
+    print("serve smoke: OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,34 +18,39 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-Result<BatchAnswer> AnswerOne(const net::Topology& topo,
-                              const spec::Spec& spec,
-                              const config::NetworkConfig& solved,
-                              const BatchRequest& request) {
+}  // namespace
+
+Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
+                                  const spec::Spec& spec,
+                                  const config::NetworkConfig& solved,
+                                  const BatchRequest& request) {
   // Fresh Session (fresh ExprPool + Engine) per request; see batch.hpp for
   // why this is both the thread-safety story and the determinism story.
-  Session session(topo, spec, solved);
-  auto explanation = session.Ask(request.selection, request.mode,
-                                 request.requirements,
-                                 request.compute_baselines);
-  if (!explanation) return explanation.error();
+  try {
+    Session session(topo, spec, solved);
+    auto explanation = session.Ask(request.selection, request.mode,
+                                   request.requirements,
+                                   request.compute_baselines);
+    if (!explanation) return explanation.error();
 
-  BatchAnswer answer;
-  answer.report = explanation.value().Report();
-  answer.subspec_text = explanation.value().SubspecText();
-  answer.metrics = explanation.value().subspec.metrics;
-  answer.empty = explanation.value().subspec.IsEmpty();
-  answer.unsat = explanation.value().subspec.IsUnsatisfiable();
-  return answer;
+    BatchAnswer answer;
+    answer.report = explanation.value().Report();
+    answer.subspec_text = explanation.value().SubspecText();
+    answer.metrics = explanation.value().subspec.metrics;
+    answer.empty = explanation.value().subspec.IsEmpty();
+    answer.unsat = explanation.value().subspec.IsUnsatisfiable();
+    return answer;
+  } catch (const std::exception& e) {
+    return Error(ErrorCode::kInternal, e.what());
+  }
 }
-
-}  // namespace
 
 BatchOutcome BatchExplain(const net::Topology& topo, const spec::Spec& spec,
                           const config::NetworkConfig& solved,
                           const std::vector<BatchRequest>& requests,
                           const BatchOptions& options) {
   BatchOutcome outcome;
+  if (requests.empty()) return outcome;  // threads_used = 0: no worker ran
   outcome.items.reserve(requests.size());
   for (const BatchRequest& request : requests) {
     outcome.items.push_back(BatchItem{request});
@@ -72,11 +77,7 @@ BatchOutcome BatchExplain(const net::Topology& topo, const spec::Spec& spec,
       BatchItem& item = outcome.items[i];
       item.worker = worker_id;
       const auto start = std::chrono::steady_clock::now();
-      try {
-        item.result = AnswerOne(topo, spec, solved, item.request);
-      } catch (const std::exception& e) {
-        item.result = Error(ErrorCode::kInternal, e.what());
-      }
+      item.result = AnswerRequest(topo, spec, solved, item.request);
       item.wall_ms = MsSince(start);
     }
   };

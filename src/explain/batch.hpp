@@ -61,9 +61,19 @@ struct BatchOptions {
 
 struct BatchOutcome {
   std::vector<BatchItem> items;  ///< same order as the requests
-  int threads_used = 0;
+  int threads_used = 0;  ///< 0 when the batch was empty (no worker ran)
   double wall_ms = 0;  ///< whole-batch wall time
 };
+
+/// Answers one request with a fresh Session (fresh ExprPool + Engine) and
+/// renders the result — the unit of work BatchExplain fans out, exposed so
+/// other drivers (the explanation service) answer byte-identically to the
+/// sequential path. Internal errors escaping as exceptions are caught and
+/// returned as kInternal.
+util::Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
+                                        const spec::Spec& spec,
+                                        const config::NetworkConfig& solved,
+                                        const BatchRequest& request);
 
 /// Answers every request. Per-request failures (unknown router, unsat
 /// synthesis artifacts) land in the item's `result`; the batch itself

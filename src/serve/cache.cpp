@@ -1,0 +1,51 @@
+#include "serve/cache.hpp"
+
+namespace ns::serve {
+
+std::optional<explain::BatchAnswer> AnswerCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void AnswerCache::Insert(const std::string& key, explain::BatchAnswer answer) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent computer of the same key beat us here; answers are
+    // deterministic, so refreshing recency is all that is left to do.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(answer);
+    return;
+  }
+  lru_.emplace_front(key, std::move(answer));
+  index_.emplace(key, lru_.begin());
+  ++inserts_;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats AnswerCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.inserts = inserts_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace ns::serve

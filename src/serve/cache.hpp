@@ -1,0 +1,75 @@
+// Thread-safe LRU cache for rendered explanation answers.
+//
+// The serving path answers the same question many times: an operator
+// iterating on one solved network re-asks per-router questions after every
+// UI refresh, and several clients debugging the same scenario ask
+// identical questions concurrently. Answers are pure functions of
+// (scenario, request) — the per-request-fresh-Session model of
+// explain/batch.hpp makes them deterministic — so caching the *rendered*
+// answer (strings + POD metrics, never smt::Expr handles) is sound: a hit
+// is byte-identical to recomputing.
+//
+// Keys are canonical digests built by serve::CacheKey (protocol.hpp) from
+// the loaded scenario's content digest plus every request field that
+// influences the answer. Capacity is entry-count based; eviction is
+// strict least-recently-used. All counters are monotonic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "explain/batch.hpp"
+
+namespace ns::serve {
+
+/// Monotonic counters plus a point-in-time size, all read under one lock
+/// so the snapshot is consistent (hits + misses == lookups).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// LRU map from canonical request digests to rendered answers.
+class AnswerCache {
+ public:
+  /// `capacity` = max entries; 0 disables caching (every lookup misses,
+  /// inserts are dropped) — the serve CLI's `--cache-entries 0`.
+  explicit AnswerCache(std::size_t capacity) : capacity_(capacity) {}
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// Returns the cached answer and refreshes its recency, or nullopt.
+  /// Counts a hit or a miss.
+  std::optional<explain::BatchAnswer> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `answer` under `key`, evicting the least
+  /// recently used entry when full. Concurrent computers of the same key
+  /// may both insert; the second insert just refreshes the entry.
+  void Insert(const std::string& key, explain::BatchAnswer answer);
+
+  CacheStats Stats() const;
+
+ private:
+  using Entry = std::pair<std::string, explain::BatchAnswer>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t inserts_ = 0;
+};
+
+}  // namespace ns::serve

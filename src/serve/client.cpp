@@ -1,0 +1,98 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ns::serve {
+
+using util::Error;
+using util::ErrorCode;
+using util::Json;
+using util::Result;
+using util::Status;
+
+Result<Client> Client::Connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kInternal,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return Error(ErrorCode::kInternal,
+                 "connect 127.0.0.1:" + std::to_string(port) + ": " + message);
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendLine(const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Error(ErrorCode::kInternal,
+                   std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Json> Client::ReadResponse() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return Json::Parse(line);
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Error(ErrorCode::kInternal,
+                   "server closed the connection before responding");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(ErrorCode::kInternal,
+                   std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<Json> Client::Call(const Json& request) {
+  if (auto status = SendLine(request.Dump(0)); !status.ok()) {
+    return status.error();
+  }
+  return ReadResponse();
+}
+
+}  // namespace ns::serve

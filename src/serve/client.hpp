@@ -1,0 +1,44 @@
+// Minimal blocking client for the explanation service: one TCP
+// connection, one JSON request line out, one JSON response line back.
+// Shared by tests/serve_test.cpp and the tools/serve_smoke scripted
+// exchange; small enough to copy into another language from docs/SERVE.md.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:<port>.
+  static util::Result<Client> Connect(int port);
+
+  Client(Client&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends `request` as one line and blocks for the next response line.
+  /// Transport failures (connection dropped mid-exchange) are kInternal;
+  /// protocol-level failures arrive as {"ok":false,...} responses, which
+  /// this returns successfully.
+  util::Result<util::Json> Call(const util::Json& request);
+
+  /// Half of Call: just send. For tests that drive raw lines.
+  util::Status SendLine(const std::string& line);
+  util::Result<util::Json> ReadResponse();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last response line
+};
+
+}  // namespace ns::serve

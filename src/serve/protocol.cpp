@@ -1,0 +1,242 @@
+#include "serve/protocol.hpp"
+
+#include "explain/lift.hpp"
+
+namespace ns::serve {
+
+using util::Error;
+using util::ErrorCode;
+using util::Json;
+using util::Result;
+
+namespace {
+
+Result<std::string> RequiredString(const Json& object, std::string_view key) {
+  const Json* value = object.Find(key);
+  if (value == nullptr || !value->IsString()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "request needs a string field '" + std::string(key) + "'");
+  }
+  return value->AsString();
+}
+
+bool OptionalBool(const Json& object, std::string_view key) {
+  const Json* value = object.Find(key);
+  return value != nullptr && value->IsBool() && value->AsBool();
+}
+
+Result<Request> ParseLoad(const Json& object) {
+  Request request;
+  request.kind = RequestKind::kLoad;
+  auto topo = RequiredString(object, "topo");
+  if (!topo) return topo.error();
+  auto spec = RequiredString(object, "spec");
+  if (!spec) return spec.error();
+  auto config = RequiredString(object, "config");
+  if (!config) return config.error();
+  request.load = LoadRequest{std::move(topo).value(), std::move(spec).value(),
+                             std::move(config).value()};
+  return request;
+}
+
+Result<Request> ParseExplain(const Json& object) {
+  Request request;
+  request.kind = RequestKind::kExplain;
+  explain::BatchRequest& question = request.explain.request;
+
+  auto router = RequiredString(object, "router");
+  if (!router) return router.error();
+  question.selection = OptionalBool(object, "rest")
+                           ? explain::Selection::Rest(std::move(router).value())
+                           : explain::Selection::Router(std::move(router).value());
+  if (const Json* map = object.Find("map"); map != nullptr) {
+    if (!map->IsString()) {
+      return Error(ErrorCode::kInvalidArgument, "'map' must be a string");
+    }
+    question.selection.route_map = map->AsString();
+  }
+  if (const Json* seq = object.Find("seq"); seq != nullptr) {
+    if (!seq->IsNumber()) {
+      return Error(ErrorCode::kInvalidArgument, "'seq' must be a number");
+    }
+    question.selection.seq = static_cast<int>(seq->AsInt());
+  }
+  if (const Json* slot = object.Find("slot"); slot != nullptr) {
+    if (!slot->IsString()) {
+      return Error(ErrorCode::kInvalidArgument, "'slot' must be a string");
+    }
+    question.selection.slot = slot->AsString();
+  }
+
+  if (const Json* mode = object.Find("mode"); mode != nullptr) {
+    if (!mode->IsString() ||
+        (mode->AsString() != "exact" && mode->AsString() != "faithful")) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "'mode' must be 'exact' or 'faithful'");
+    }
+    question.mode = mode->AsString() == "exact" ? explain::LiftMode::kExact
+                                                : explain::LiftMode::kFaithful;
+  }
+  if (const Json* reqs = object.Find("requirements"); reqs != nullptr) {
+    if (!reqs->IsArray()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "'requirements' must be an array of strings");
+    }
+    for (const Json& name : reqs->AsArray()) {
+      if (!name.IsString()) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "'requirements' must be an array of strings");
+      }
+      question.requirements.push_back(name.AsString());
+    }
+  }
+  question.compute_baselines = OptionalBool(object, "baselines");
+
+  if (const Json* deadline = object.Find("deadline_ms"); deadline != nullptr) {
+    if (!deadline->IsNumber() || deadline->AsInt() < 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "'deadline_ms' must be a non-negative number");
+    }
+    request.explain.deadline_ms = static_cast<int>(deadline->AsInt());
+  }
+  if (const Json* sleep = object.Find("debug_sleep_ms"); sleep != nullptr) {
+    if (!sleep->IsNumber() || sleep->AsInt() < 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "'debug_sleep_ms' must be a non-negative number");
+    }
+    request.explain.debug_sleep_ms = static_cast<int>(sleep->AsInt());
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  auto parsed = Json::Parse(line);
+  if (!parsed) return parsed.error();
+  const Json& object = parsed.value();
+  if (!object.IsObject()) {
+    return Error(ErrorCode::kInvalidArgument, "request must be a JSON object");
+  }
+  auto cmd = RequiredString(object, "cmd");
+  if (!cmd) return cmd.error();
+  if (cmd.value() == "load") return ParseLoad(object);
+  if (cmd.value() == "explain") return ParseExplain(object);
+  if (cmd.value() == "stats") {
+    Request request;
+    request.kind = RequestKind::kStats;
+    return request;
+  }
+  if (cmd.value() == "shutdown") {
+    Request request;
+    request.kind = RequestKind::kShutdown;
+    return request;
+  }
+  return Error(ErrorCode::kInvalidArgument,
+               "unknown command '" + cmd.value() + "'");
+}
+
+std::string Digest64(std::string_view text) {
+  // FNV-1a 64-bit.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+/// Length-prefixed field append: unambiguous whatever bytes the field
+/// holds, so distinct (scenario, request) tuples can never collide.
+void AppendField(std::string& key, std::string_view field) {
+  key += std::to_string(field.size());
+  key += ':';
+  key += field;
+  key += ';';
+}
+
+}  // namespace
+
+std::string ScenarioDigest(std::string_view topo, std::string_view spec,
+                           std::string_view config) {
+  std::string canonical;
+  canonical.reserve(topo.size() + spec.size() + config.size() + 32);
+  AppendField(canonical, topo);
+  AppendField(canonical, spec);
+  AppendField(canonical, config);
+  return Digest64(canonical);
+}
+
+std::string CacheKey(const std::string& scenario_digest,
+                     const explain::BatchRequest& request) {
+  std::string key;
+  AppendField(key, scenario_digest);
+  AppendField(key, request.selection.router);
+  AppendField(key, request.selection.route_map.value_or("\x01<all>"));
+  AppendField(key, request.selection.seq
+                       ? std::to_string(*request.selection.seq)
+                       : "\x01<all>");
+  AppendField(key, request.selection.slot.value_or("\x01<all>"));
+  AppendField(key, request.selection.complement ? "rest" : "direct");
+  AppendField(key, explain::LiftModeName(request.mode));
+  AppendField(key, request.compute_baselines ? "baselines" : "plain");
+  for (const std::string& requirement : request.requirements) {
+    AppendField(key, requirement);
+  }
+  return key;
+}
+
+Json OkResponse(std::string_view cmd) {
+  Json response = Json::MakeObject();
+  response.Set("ok", true);
+  response.Set("cmd", std::string(cmd));
+  return response;
+}
+
+Json ErrorResponse(std::string_view cmd, std::string_view code,
+                   std::string_view message) {
+  Json error = Json::MakeObject();
+  error.Set("code", std::string(code));
+  error.Set("message", std::string(message));
+  Json response = Json::MakeObject();
+  response.Set("ok", false);
+  response.Set("cmd", std::string(cmd));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+Json ErrorResponse(std::string_view cmd, const util::Error& error) {
+  return ErrorResponse(cmd, util::ErrorCodeName(error.code()),
+                       error.message());
+}
+
+Json AnswerResponse(const explain::BatchAnswer& answer, bool cached,
+                    double wall_ms) {
+  Json response = OkResponse("explain");
+  response.Set("cached", cached);
+  response.Set("report", answer.report);
+  response.Set("subspec", answer.subspec_text);
+  response.Set("empty", answer.empty);
+  response.Set("unsat", answer.unsat);
+  Json metrics = Json::MakeObject();
+  metrics.Set("seed_constraints", answer.metrics.seed_constraints);
+  metrics.Set("seed_size", answer.metrics.seed_size);
+  metrics.Set("simplified_constraints", answer.metrics.simplified_constraints);
+  metrics.Set("simplified_size", answer.metrics.simplified_size);
+  metrics.Set("residual_constraints", answer.metrics.residual_constraints);
+  metrics.Set("residual_size", answer.metrics.residual_size);
+  metrics.Set("simplify_passes", answer.metrics.simplify_passes);
+  response.Set("metrics", std::move(metrics));
+  response.Set("wall_ms", wall_ms);
+  return response;
+}
+
+}  // namespace ns::serve

@@ -1,0 +1,91 @@
+// Wire protocol of the explanation service (see docs/SERVE.md).
+//
+// Newline-delimited JSON over a loopback TCP socket: each request is one
+// JSON object on one line, each response is one JSON object on one line,
+// answered in order on the connection. Four commands:
+//
+//   {"cmd":"load", "topo":T, "spec":S, "config":C}     install a scenario
+//   {"cmd":"explain", "router":R, ...}                 ask one question
+//   {"cmd":"stats"}                                    service counters
+//   {"cmd":"shutdown"}                                 begin graceful drain
+//
+// This header also defines the *canonical digests* the LRU answer cache
+// keys on: ScenarioDigest hashes the loaded scenario's exact text
+// (topology + spec + config), and CacheKey extends it with every request
+// field that influences the answer (selection, lift mode, requirement
+// projection, baselines). Two requests share a cache entry iff they are
+// the same question about the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "explain/batch.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+enum class RequestKind { kLoad, kExplain, kStats, kShutdown };
+
+/// Texts in the repo's own formats (net/topo_text, spec/parser,
+/// config/parse) — exactly what the CLI reads from files.
+struct LoadRequest {
+  std::string topo;
+  std::string spec;
+  std::string config;
+};
+
+struct ExplainRequest {
+  explain::BatchRequest request;
+  /// Per-request deadline override; unset = the server's --deadline-ms.
+  std::optional<int> deadline_ms;
+  /// Diagnostic: make the worker sleep this long before computing. Used
+  /// by the deadline tests to make "too slow" deterministic; documented
+  /// in docs/SERVE.md as test-only.
+  int debug_sleep_ms = 0;
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kStats;
+  LoadRequest load;        // kLoad
+  ExplainRequest explain;  // kExplain
+};
+
+/// Parses one request line. Errors (kParse/kInvalidArgument) are reported
+/// to the client as an error response; the connection survives.
+util::Result<Request> ParseRequest(std::string_view line);
+
+/// FNV-1a 64-bit digest, rendered as 16 hex digits. Stable across runs
+/// and platforms; used for scenario identity, not security.
+std::string Digest64(std::string_view text);
+
+/// Digest of a scenario's exact constituent texts.
+std::string ScenarioDigest(std::string_view topo, std::string_view spec,
+                           std::string_view config);
+
+/// Canonical cache key: scenario digest + every answer-relevant request
+/// field, joined with separators that cannot occur inside the fields.
+std::string CacheKey(const std::string& scenario_digest,
+                     const explain::BatchRequest& request);
+
+// --------------------------------------------------------------- responses
+
+/// {"ok":true, "cmd":<cmd>, ...fields appended by the caller}
+util::Json OkResponse(std::string_view cmd);
+
+/// {"ok":false, "cmd":<cmd>, "error":{"code":<code>,"message":<msg>}}
+util::Json ErrorResponse(std::string_view cmd, std::string_view code,
+                         std::string_view message);
+util::Json ErrorResponse(std::string_view cmd, const util::Error& error);
+
+/// Error code string for a request that exceeded its deadline.
+inline constexpr std::string_view kDeadlineExceeded = "deadline-exceeded";
+
+/// Rendered answer -> explain response body.
+util::Json AnswerResponse(const explain::BatchAnswer& answer, bool cached,
+                          double wall_ms);
+
+}  // namespace ns::serve

@@ -1,0 +1,482 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "config/parse.hpp"
+#include "net/topo_text.hpp"
+#include "spec/parser.hpp"
+#include "util/strings.hpp"
+
+namespace ns::serve {
+
+using util::Error;
+using util::ErrorCode;
+using util::Json;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Poll tick: the latency bound on noticing the stop flag in any blocked
+/// loop (accept, connection read). Short enough that drains feel instant,
+/// long enough that an idle server burns no measurable CPU.
+constexpr int kPollMs = 100;
+
+/// Cap on one request line; a line past this is a protocol error, not an
+/// allocation bomb. Scenario texts are the biggest payload and stay far
+/// below this at paper scale.
+constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+/// Completed-answer latencies kept for the percentile estimate.
+constexpr std::size_t kLatencyWindow = 4096;
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> sorted_copy, double p) {
+  if (sorted_copy.empty()) return 0;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_copy.size() - 1) + 0.5);
+  return sorted_copy[std::min(rank, sorted_copy.size() - 1)];
+}
+
+}  // namespace
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Error(ErrorCode::kInternal,
+                 std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot bind 127.0.0.1:" + std::to_string(options_.port) +
+                     ": " + message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kInternal, "listen: " + message);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  worker_count_ = options_.threads;
+  if (worker_count_ <= 0) {
+    worker_count_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (worker_count_ <= 0) worker_count_ = 2;
+  }
+  workers_.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    threads_spawned_.fetch_add(1);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  threads_spawned_.fetch_add(1);
+  started_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status Server::Load(const std::string& topo_text, const std::string& spec_text,
+                    const std::string& config_text) {
+  auto topo = net::ParseTopology(topo_text);
+  if (!topo) return Error(topo.error().code(),
+                          "topology: " + topo.error().message());
+  auto spec = spec::ParseSpec(spec_text);
+  if (!spec) return Error(spec.error().code(),
+                          "spec: " + spec.error().message());
+  auto solved = config::ParseNetworkConfig(config_text);
+  if (!solved) return Error(solved.error().code(),
+                            "config: " + solved.error().message());
+
+  auto scenario = std::make_shared<Scenario>();
+  scenario->topo = std::move(topo).value();
+  scenario->spec = std::move(spec).value();
+  scenario->solved = std::move(solved).value();
+  scenario->digest = ScenarioDigest(topo_text, spec_text, config_text);
+  {
+    std::lock_guard<std::mutex> lock(scenario_mu_);
+    scenario_ = std::move(scenario);
+  }
+  return Status::Ok();
+}
+
+void Server::BeginShutdown() { stop_.store(true, std::memory_order_release); }
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (joined_) return;
+  joined_ = true;
+  BeginShutdown();
+  if (!started_.load(std::memory_order_acquire)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+
+  // 1. No new connections.
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+    threads_joined_.fetch_add(1);
+  }
+
+  // 2. Every connection finishes its in-flight request and exits (the
+  //    read loops tick on the stop flag; workers are still running, so a
+  //    connection waiting on a job is released by the job completing).
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(conn_threads_);
+  }
+  for (std::thread& connection : connections) {
+    connection.join();
+    threads_joined_.fetch_add(1);
+  }
+
+  // 3. Run the queue dry, then stop the workers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+    threads_joined_.fetch_add(1);
+  }
+  workers_.clear();
+}
+
+void Server::Wait() {
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+  Shutdown();
+}
+
+void Server::AcceptLoop() {
+  while (!ShutdownRequested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (ShutdownRequested()) {  // raced with a drain: refuse politely
+      ::close(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+    threads_spawned_.fetch_add(1);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::ConnectionLoop(int fd) {
+  std::string buffer;
+  bool close_now = false;
+  while (!close_now && !ShutdownRequested()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;                       // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > kMaxLineBytes) {
+      SendAll(fd, ErrorResponse("unknown", "invalid-argument",
+                                "request line exceeds 64 MiB")
+                      .Dump(0) +
+                  "\n");
+      break;
+    }
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (util::Trim(line).empty()) continue;
+      const Json response = HandleLine(line);
+      if (!SendAll(fd, response.Dump(0) + "\n")) {
+        close_now = true;
+        break;
+      }
+      // A handled shutdown raises the stop flag; finish this line batch
+      // gracefully on the next loop check.
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+Json Server::HandleLine(std::string_view line) {
+  auto request = ParseRequest(line);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.requests_total;
+    if (!request) {
+      ++counters_.requests_malformed;
+    } else {
+      switch (request.value().kind) {
+        case RequestKind::kLoad: ++counters_.requests_load; break;
+        case RequestKind::kExplain: ++counters_.requests_explain; break;
+        case RequestKind::kStats: ++counters_.requests_stats; break;
+        case RequestKind::kShutdown: ++counters_.requests_shutdown; break;
+      }
+    }
+  }
+  if (!request) return ErrorResponse("unknown", request.error());
+
+  switch (request.value().kind) {
+    case RequestKind::kLoad:
+      return HandleLoad(request.value().load);
+    case RequestKind::kExplain:
+      return HandleExplain(request.value().explain);
+    case RequestKind::kStats:
+      return StatsResponse();
+    case RequestKind::kShutdown: {
+      BeginShutdown();
+      queue_cv_.notify_all();
+      Json response = OkResponse("shutdown");
+      response.Set("draining", true);
+      return response;
+    }
+  }
+  return ErrorResponse("unknown", "internal", "unreachable");
+}
+
+Json Server::HandleLoad(const LoadRequest& request) {
+  const Status loaded = Load(request.topo, request.spec, request.config);
+  if (!loaded.ok()) return ErrorResponse("load", loaded.error());
+  std::shared_ptr<const Scenario> scenario;
+  {
+    std::lock_guard<std::mutex> lock(scenario_mu_);
+    scenario = scenario_;
+  }
+  Json response = OkResponse("load");
+  response.Set("scenario", scenario->digest);
+  response.Set("routers", scenario->solved.routers.size());
+  return response;
+}
+
+Json Server::HandleExplain(const ExplainRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  std::shared_ptr<const Scenario> scenario;
+  {
+    std::lock_guard<std::mutex> lock(scenario_mu_);
+    scenario = scenario_;
+  }
+  if (scenario == nullptr) {
+    return ErrorResponse("explain", "invalid-argument",
+                         "no scenario loaded; send a 'load' request first");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.in_flight;
+  }
+  struct InFlightGuard {
+    Server* server;
+    ~InFlightGuard() {
+      std::lock_guard<std::mutex> lock(server->stats_mu_);
+      --server->counters_.in_flight;
+    }
+  } in_flight_guard{this};
+
+  const std::string key = CacheKey(scenario->digest, request.request);
+  const auto wall_ms = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  if (auto cached = cache_.Lookup(key)) {
+    const double ms = wall_ms();
+    RecordLatency(ms);
+    return AnswerResponse(*cached, /*cached=*/true, ms);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = request.request;
+  job->scenario = scenario;
+  job->cache_key = key;
+  job->debug_sleep_ms = request.debug_sleep_ms;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(job);
+  }
+  queue_cv_.notify_one();
+
+  const int deadline_ms = request.deadline_ms.value_or(options_.deadline_ms);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    if (deadline_ms > 0) {
+      const auto deadline = start + std::chrono::milliseconds(deadline_ms);
+      if (!job->cv.wait_until(lock, deadline, [&] { return job->done; })) {
+        // No partial answers: the worker keeps going in the background and
+        // still populates the cache, but this request reports failure.
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++counters_.deadline_exceeded;
+        }
+        return ErrorResponse(
+            "explain", kDeadlineExceeded,
+            "request exceeded its " + std::to_string(deadline_ms) +
+                " ms deadline");
+      }
+    } else {
+      job->cv.wait(lock, [&] { return job->done; });
+    }
+  }
+
+  if (!job->result.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counters_.answers_failed;
+    }
+    return ErrorResponse("explain", job->result.error());
+  }
+  const double ms = wall_ms();
+  RecordLatency(ms);
+  return AnswerResponse(job->result.value(), /*cached=*/false, ms);
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (job->debug_sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(job->debug_sleep_ms));
+    }
+    auto result = explain::AnswerRequest(job->scenario->topo,
+                                         job->scenario->spec,
+                                         job->scenario->solved, job->request);
+    if (result.ok()) cache_.Insert(job->cache_key, result.value());
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->result = std::move(result);
+      job->done = true;
+    }
+    job->cv.notify_all();
+  }
+}
+
+void Server::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++counters_.latency_count;
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats = counters_;
+    stats.latency_p50_ms = Percentile(latencies_, 0.50);
+    stats.latency_p95_ms = Percentile(latencies_, 0.95);
+  }
+  stats.cache = cache_.Stats();
+  stats.worker_threads = worker_count_;
+  {
+    std::lock_guard<std::mutex> lock(scenario_mu_);
+    if (scenario_ != nullptr) stats.scenario_digest = scenario_->digest;
+  }
+  return stats;
+}
+
+Json Server::StatsResponse() const {
+  const ServerStats stats = Stats();
+  Json response = OkResponse("stats");
+
+  Json requests = Json::MakeObject();
+  requests.Set("total", stats.requests_total);
+  requests.Set("load", stats.requests_load);
+  requests.Set("explain", stats.requests_explain);
+  requests.Set("stats", stats.requests_stats);
+  requests.Set("shutdown", stats.requests_shutdown);
+  requests.Set("malformed", stats.requests_malformed);
+  response.Set("requests", std::move(requests));
+
+  Json cache = Json::MakeObject();
+  cache.Set("hits", stats.cache.hits);
+  cache.Set("misses", stats.cache.misses);
+  cache.Set("evictions", stats.cache.evictions);
+  cache.Set("inserts", stats.cache.inserts);
+  cache.Set("entries", stats.cache.entries);
+  cache.Set("capacity", stats.cache.capacity);
+  response.Set("cache", std::move(cache));
+
+  Json latency = Json::MakeObject();
+  latency.Set("count", stats.latency_count);
+  latency.Set("p50_ms", stats.latency_p50_ms);
+  latency.Set("p95_ms", stats.latency_p95_ms);
+  response.Set("latency", std::move(latency));
+
+  response.Set("in_flight", stats.in_flight);
+  response.Set("deadline_exceeded", stats.deadline_exceeded);
+  response.Set("answers_failed", stats.answers_failed);
+  response.Set("threads", stats.worker_threads);
+  response.Set("scenario", stats.scenario_digest);
+  return response;
+}
+
+}  // namespace ns::serve

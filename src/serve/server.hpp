@@ -1,0 +1,192 @@
+// Explanation-as-a-service: a multi-threaded TCP server that answers
+// explain questions about one loaded scenario (`netsubspec serve`).
+//
+// Architecture (docs/SERVE.md has the wire protocol):
+//
+//   accept thread ──► one connection thread per client ──► worker pool
+//
+// Connection threads own all protocol work (newline-delimited JSON in
+// request order); `explain` questions are handed to a fixed pool of
+// workers so N slow Z3-backed questions from one client cannot starve
+// other clients, and so concurrency is bounded whatever the client count.
+// Every question is answered through explain::AnswerRequest — a fresh
+// Session (fresh ExprPool + Engine) per request — so concurrent answers
+// are byte-identical to a sequential Session::Ask on the same inputs
+// (the determinism contract of explain/batch.hpp, asserted end to end by
+// tests/serve_test.cpp).
+//
+// An LRU cache (serve/cache.hpp) keyed by the canonical digest of
+// (scenario bytes, selection, mode, requirement projection) short-circuits
+// repeated questions; determinism makes hits byte-identical to recomputes.
+//
+// Deadlines: each `explain` carries a wall-clock budget (per-request
+// override or the server default). The connection thread waits on the
+// worker up to the budget and then reports `deadline-exceeded` — never a
+// partial answer. The worker finishes in the background and still
+// populates the cache, so a retry of a timed-out question usually hits.
+//
+// Shutdown is a graceful drain: stop accepting, let every connection
+// finish its in-flight request, run the worker queue dry, join all
+// threads. Triggered by a `shutdown` request, Shutdown(), or (in the CLI)
+// SIGTERM/SIGINT.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/device.hpp"
+#include "net/topology.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "spec/ast.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+struct ServerOptions {
+  int port = 0;         ///< 0 = kernel-assigned ephemeral port (see port())
+  int threads = 0;      ///< worker threads; 0 = hardware concurrency
+  std::size_t cache_entries = 256;  ///< LRU capacity; 0 disables caching
+  int deadline_ms = 0;  ///< default per-request budget; 0 = unbounded
+};
+
+/// Point-in-time service counters (the `stats` response carries the same
+/// numbers; keep the two in sync).
+struct ServerStats {
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_load = 0;
+  std::uint64_t requests_explain = 0;
+  std::uint64_t requests_stats = 0;
+  std::uint64_t requests_shutdown = 0;
+  std::uint64_t requests_malformed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t answers_failed = 0;  ///< explain answered with an error
+  int in_flight = 0;                 ///< explain requests being answered
+  std::uint64_t latency_count = 0;   ///< completed explain answers
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  CacheStats cache;
+  int worker_threads = 0;
+  std::string scenario_digest;  ///< empty until a scenario is loaded
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options) : options_(options) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port>, starts the accept thread and the worker
+  /// pool. Fails (kInvalidArgument) if the port is taken.
+  util::Status Start();
+
+  /// The actual bound port (the kernel's pick when options.port == 0).
+  int port() const noexcept { return port_; }
+
+  /// Installs a scenario, as the `load` request does. Handy for the CLI's
+  /// --topo/--spec/--config preload and for tests.
+  util::Status Load(const std::string& topo_text, const std::string& spec_text,
+                    const std::string& config_text);
+
+  /// Flags the drain; returns immediately. Safe from any thread.
+  void BeginShutdown();
+  bool ShutdownRequested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful drain: BeginShutdown + join accept thread, connection
+  /// threads (each finishes its in-flight request) and workers (queue
+  /// runs dry). Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Blocks until a `shutdown` request (or BeginShutdown) arrives, then
+  /// drains. The CLI's serving loop.
+  void Wait();
+
+  ServerStats Stats() const;
+
+  /// Threads ever spawned / joined — equal after Shutdown(); the leak
+  /// check of tests/serve_test.cpp.
+  int threads_spawned() const noexcept { return threads_spawned_.load(); }
+  int threads_joined() const noexcept { return threads_joined_.load(); }
+
+ private:
+  struct Scenario {
+    net::Topology topo;
+    spec::Spec spec;
+    config::NetworkConfig solved;
+    std::string digest;
+  };
+
+  /// One queued explain question; the connection thread waits on `cv` up
+  /// to its deadline, the worker always completes the job.
+  struct Job {
+    explain::BatchRequest request;
+    std::shared_ptr<const Scenario> scenario;
+    std::string cache_key;
+    int debug_sleep_ms = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    util::Result<explain::BatchAnswer> result =
+        util::Error(util::ErrorCode::kInternal, "request was not run");
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+  void WorkerLoop();
+
+  /// Handles one request line; returns the response to send.
+  util::Json HandleLine(std::string_view line);
+  util::Json HandleLoad(const LoadRequest& request);
+  util::Json HandleExplain(const ExplainRequest& request);
+  util::Json StatsResponse() const;
+
+  void RecordLatency(double ms);
+
+  const ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  bool joined_ = false;           // guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+  std::set<int> conn_fds_;                 // guarded by conn_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;  // guarded by queue_mu_
+  bool stop_workers_ = false;               // guarded by queue_mu_
+  std::vector<std::thread> workers_;
+  int worker_count_ = 0;
+
+  mutable std::mutex scenario_mu_;
+  std::shared_ptr<const Scenario> scenario_;  // guarded by scenario_mu_
+
+  mutable AnswerCache cache_{options_.cache_entries};
+
+  mutable std::mutex stats_mu_;
+  ServerStats counters_;                 // counter fields; guarded by stats_mu_
+  std::vector<double> latencies_;        // ring buffer; guarded by stats_mu_
+  std::size_t latency_next_ = 0;         // guarded by stats_mu_
+
+  std::atomic<int> threads_spawned_{0};
+  std::atomic<int> threads_joined_{0};
+};
+
+}  // namespace ns::serve

@@ -145,6 +145,88 @@ TEST(BatchExplainTest, PerRequestFailuresStayContained) {
   }
 }
 
+// ------------------------------------------------------------- edge cases
+// Regression coverage for the corners a driver can hand BatchExplain:
+// nothing to do, more workers than work, and questions the sequential
+// path would reject. Each asserts no divergence from the sequential
+// (fresh Session per question) model.
+
+TEST(BatchExplainTest, ZeroRequestsCompleteWithoutWorkers) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(scenario);
+
+  // Ask for many workers: none should be spawned for an empty batch.
+  const BatchOutcome outcome = BatchExplain(scenario.topo, scenario.spec,
+                                            solved, {}, BatchOptions{8});
+  EXPECT_TRUE(outcome.items.empty());
+  EXPECT_EQ(outcome.threads_used, 0);
+  EXPECT_GE(outcome.wall_ms, 0.0);
+}
+
+TEST(BatchExplainTest, ThreadCountIsCappedByRequestCount) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(scenario);
+  auto requests = RequestsForAllRouters(solved);
+  ASSERT_GE(requests.size(), 2u);
+  requests.resize(2);
+
+  const auto expected =
+      Sequentially(scenario.topo, scenario.spec, solved, requests);
+  // 16 threads for 2 requests: the pool must cap, and answers must stay
+  // byte-identical to the sequential path.
+  const BatchOutcome outcome = BatchExplain(scenario.topo, scenario.spec,
+                                            solved, requests, BatchOptions{16});
+  EXPECT_EQ(outcome.threads_used, 2);
+  ASSERT_EQ(outcome.items.size(), 2u);
+  for (std::size_t i = 0; i < outcome.items.size(); ++i) {
+    ASSERT_TRUE(outcome.items[i].result.ok());
+    EXPECT_LT(outcome.items[i].worker, outcome.threads_used);
+    EXPECT_EQ(outcome.items[i].result.value().report, expected[i].report);
+    EXPECT_EQ(outcome.items[i].result.value().subspec_text,
+              expected[i].subspec_text);
+  }
+}
+
+TEST(BatchExplainTest, UnknownRouterFailsExactlyLikeTheSequentialPath) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(scenario);
+
+  BatchRequest bogus;
+  bogus.selection = Selection::Router("NoSuchRouter");
+
+  // Sequential ground truth: what Session::Ask reports for the same
+  // question.
+  Session session(scenario.topo, scenario.spec, solved);
+  auto direct = session.Ask(bogus.selection, bogus.mode, bogus.requirements,
+                            bogus.compute_baselines);
+  ASSERT_FALSE(direct.ok());
+
+  const BatchOutcome outcome = BatchExplain(scenario.topo, scenario.spec,
+                                            solved, {bogus}, BatchOptions{4});
+  EXPECT_EQ(outcome.threads_used, 1) << "one request, one worker";
+  ASSERT_EQ(outcome.items.size(), 1u);
+  ASSERT_FALSE(outcome.items[0].result.ok());
+  EXPECT_EQ(outcome.items[0].result.error().code(), direct.error().code());
+  EXPECT_EQ(outcome.items[0].result.error().message(),
+            direct.error().message());
+}
+
+TEST(BatchExplainTest, AnswerRequestMatchesSessionAskRendering) {
+  const synth::Scenario scenario = synth::Scenario2();
+  const config::NetworkConfig solved = Solve(scenario);
+  const auto requests = RequestsForAllRouters(solved, LiftMode::kFaithful);
+  ASSERT_FALSE(requests.empty());
+  const auto expected =
+      Sequentially(scenario.topo, scenario.spec, solved, requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto answer =
+        AnswerRequest(scenario.topo, scenario.spec, solved, requests[i]);
+    ASSERT_TRUE(answer.ok()) << answer.error().ToString();
+    EXPECT_EQ(answer.value().report, expected[i].report);
+    EXPECT_EQ(answer.value().subspec_text, expected[i].subspec_text);
+  }
+}
+
 TEST(BatchExplainTest, RequestsForAllRoutersSkipsPolicyFreeRouters) {
   const synth::Scenario scenario = synth::Scenario1();
   const config::NetworkConfig solved = Solve(scenario);

@@ -1,0 +1,157 @@
+// Golden-file tests for the three paper scenarios (§2, Fig. 1b): the
+// rendered Explanation::Report() and the lifted DSL text are compared
+// byte-for-byte against checked-in files, so pretty-printer drift shows
+// up as a reviewable diff instead of a silent change.
+//
+// Determinism: the solved configurations are fixed inputs, not Z3 output.
+// Scenario 1 uses the paper's own Fig. 1c configuration
+// (synth::Scenario1PaperConfig); scenarios 2 and 3 use solved
+// configurations synthesized once and checked into tests/golden/ (the
+// explain pipeline itself — encode, rewrite to fixpoint, eliminate,
+// lift — is solver-free and deterministic). A validation pass asserts the
+// checked-in configurations still satisfy their specifications.
+//
+// Regenerating after an intentional rendering change:
+//
+//   NS_UPDATE_GOLDEN=1 ./build/tests/test_golden && git diff tests/golden/
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "explain/batch.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/file.hpp"
+
+namespace ns::explain {
+namespace {
+
+std::string GoldenPath(const std::string& file) {
+  return std::string(NS_GOLDEN_DIR) + "/" + file;
+}
+
+bool UpdateMode() { return std::getenv("NS_UPDATE_GOLDEN") != nullptr; }
+
+/// Loads the checked-in solved configuration, or (only under
+/// NS_UPDATE_GOLDEN=1) synthesizes and checks it in.
+config::NetworkConfig SolvedFor(const synth::Scenario& scenario,
+                                const std::string& file) {
+  const std::string path = GoldenPath(file);
+  auto text = util::ReadFile(path);
+  if (!text.ok()) {
+    if (!UpdateMode()) {
+      ADD_FAILURE() << path << " is missing; regenerate with "
+                    << "NS_UPDATE_GOLDEN=1 and commit it";
+      return {};
+    }
+    synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+    auto result = synthesizer.Synthesize(scenario.sketch);
+    EXPECT_TRUE(result.ok()) << scenario.name;
+    const std::string rendered =
+        config::RenderNetwork(result.value().network, &scenario.topo);
+    EXPECT_TRUE(util::WriteFile(path, rendered).ok());
+    return std::move(result).value().network;
+  }
+  auto solved = config::ParseNetworkConfig(text.value());
+  EXPECT_TRUE(solved.ok()) << path;
+  return std::move(solved).value();
+}
+
+/// One scenario's full golden document: every policy-carrying router's
+/// report and lifted DSL block, in deterministic router order.
+std::string RenderExplanations(const synth::Scenario& scenario,
+                               const config::NetworkConfig& solved,
+                               LiftMode mode) {
+  std::string doc;
+  for (const BatchRequest& base : RequestsForAllRouters(solved, mode)) {
+    auto answer =
+        AnswerRequest(scenario.topo, scenario.spec, solved, base);
+    EXPECT_TRUE(answer.ok()) << scenario.name << "/"
+                             << base.selection.ToString() << ": "
+                             << answer.error().ToString();
+    if (!answer.ok()) continue;
+    doc += "======== " + scenario.name + " · " + base.selection.ToString() +
+           " · " + LiftModeName(mode) + " ========\n";
+    doc += answer.value().report;
+    doc += "-------- lifted DSL --------\n";
+    doc += answer.value().subspec_text;
+    doc += "\n";
+  }
+  return doc;
+}
+
+void CheckGolden(const std::string& file, const std::string& actual) {
+  const std::string path = GoldenPath(file);
+  auto expected = util::ReadFile(path);
+  if (!expected.ok() || UpdateMode()) {
+    if (UpdateMode()) {
+      ASSERT_TRUE(util::WriteFile(path, actual).ok());
+      SUCCEED() << "updated " << path;
+      return;
+    }
+    FAIL() << path << " is missing; regenerate with NS_UPDATE_GOLDEN=1";
+  }
+  EXPECT_EQ(expected.value(), actual)
+      << "rendered explanation drifted from " << path
+      << "; if intentional, regenerate with NS_UPDATE_GOLDEN=1 and review "
+         "the diff";
+}
+
+/// The checked-in solved configuration must still satisfy its spec —
+/// guards against golden inputs rotting as the checker/simulator evolve.
+void CheckStillValid(const synth::Scenario& scenario,
+                     const config::NetworkConfig& solved) {
+  synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+  auto verdict = synthesizer.Validate(solved);
+  ASSERT_TRUE(verdict.ok()) << scenario.name;
+  EXPECT_TRUE(verdict.value().ok())
+      << scenario.name << ": " << verdict.value().ToString();
+}
+
+TEST(GoldenExplainTest, Scenario1PaperConfigFaithful) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = synth::Scenario1PaperConfig();
+  CheckStillValid(scenario, solved);
+  CheckGolden("scenario1_paper.explain.txt",
+              RenderExplanations(scenario, solved, LiftMode::kFaithful));
+}
+
+TEST(GoldenExplainTest, Scenario2Exact) {
+  const synth::Scenario scenario = synth::Scenario2();
+  const config::NetworkConfig solved =
+      SolvedFor(scenario, "scenario2_solved.cfg");
+  if (solved.routers.empty()) return;  // missing golden already failed
+  CheckStillValid(scenario, solved);
+  CheckGolden("scenario2.explain.txt",
+              RenderExplanations(scenario, solved, LiftMode::kExact));
+}
+
+TEST(GoldenExplainTest, Scenario3Exact) {
+  const synth::Scenario scenario = synth::Scenario3();
+  const config::NetworkConfig solved =
+      SolvedFor(scenario, "scenario3_solved.cfg");
+  if (solved.routers.empty()) return;
+  CheckStillValid(scenario, solved);
+  CheckGolden("scenario3.explain.txt",
+              RenderExplanations(scenario, solved, LiftMode::kExact));
+}
+
+/// The serve smoke golden (tools/serve_smoke + CI) is the same rendering
+/// the library produces — keep the two from drifting apart.
+TEST(GoldenExplainTest, ServeSmokeGoldenMatchesLibraryRendering) {
+  const synth::Scenario scenario = synth::Scenario1();
+  const config::NetworkConfig solved = synth::Scenario1PaperConfig();
+  BatchRequest request;
+  request.selection = Selection::Router("R1");
+  request.mode = LiftMode::kFaithful;
+  auto answer = AnswerRequest(scenario.topo, scenario.spec, solved, request);
+  ASSERT_TRUE(answer.ok()) << answer.error().ToString();
+  CheckGolden("serve_smoke_R1_faithful.report.txt", answer.value().report);
+}
+
+}  // namespace
+}  // namespace ns::explain

@@ -1,0 +1,475 @@
+// End-to-end tests for the explanation service (src/serve/): a real
+// Server on an ephemeral loopback port, driven through real sockets by
+// serve::Client.
+//
+// The load-bearing assertion is the serving determinism contract: 64
+// concurrent `explain` requests — answered by a worker pool, some from
+// the LRU cache — must be byte-identical to a sequential
+// Session::Ask/explain::AnswerRequest on the same inputs. On top of that:
+// cache hit/miss/eviction accounting, per-request deadlines (clean
+// `deadline-exceeded`, no partial answers, connection stays usable),
+// contained per-request errors, and a graceful drain that joins every
+// thread it spawned (the leak check that makes ASan runs meaningful).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "explain/batch.hpp"
+#include "net/topo_text.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "spec/parser.hpp"
+#include "synth/scenarios.hpp"
+#include "util/json.hpp"
+
+namespace ns::serve {
+namespace {
+
+using util::Json;
+
+/// Scenario 1 with the paper's fixed Fig. 1c configuration: everything the
+/// service loads, as the exact texts a client would send (no Z3 involved,
+/// so the tests are deterministic across solver versions).
+struct ScenarioTexts {
+  std::string topo;
+  std::string spec;
+  std::string config;
+};
+
+ScenarioTexts PaperScenarioTexts() {
+  const synth::Scenario scenario = synth::Scenario1();
+  ScenarioTexts texts;
+  texts.topo = net::ToText(scenario.topo);
+  texts.spec = scenario.spec.ToString();
+  texts.config =
+      config::RenderNetwork(synth::Scenario1PaperConfig(), &scenario.topo);
+  return texts;
+}
+
+Json LoadRequestJson(const ScenarioTexts& texts) {
+  Json request = Json::MakeObject();
+  request.Set("cmd", "load");
+  request.Set("topo", texts.topo);
+  request.Set("spec", texts.spec);
+  request.Set("config", texts.config);
+  return request;
+}
+
+Json ExplainRequestJson(const std::string& router, const std::string& mode) {
+  Json request = Json::MakeObject();
+  request.Set("cmd", "explain");
+  request.Set("router", router);
+  request.Set("mode", mode);
+  return request;
+}
+
+Json StatsRequestJson() {
+  Json request = Json::MakeObject();
+  request.Set("cmd", "stats");
+  return request;
+}
+
+/// Starts a server, asserts success, returns it ready to accept.
+std::unique_ptr<Server> StartServer(ServerOptions options) {
+  auto server = std::make_unique<Server>(options);
+  auto started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  EXPECT_GT(server->port(), 0);
+  return server;
+}
+
+util::Json MustCall(Client& client, const Json& request) {
+  auto response = client.Call(request);
+  EXPECT_TRUE(response.ok()) << response.error().ToString();
+  return response.ok() ? response.value() : Json::MakeObject();
+}
+
+Client MustConnect(int port) {
+  auto client = Client::Connect(port);
+  EXPECT_TRUE(client.ok()) << client.error().ToString();
+  return std::move(client).value();
+}
+
+/// The sequential ground truth: parse the same texts the server parses
+/// and answer with the same per-request-fresh-Session unit of work.
+explain::BatchAnswer SequentialAnswer(const ScenarioTexts& texts,
+                                      const explain::BatchRequest& request) {
+  auto topo = net::ParseTopology(texts.topo);
+  EXPECT_TRUE(topo.ok());
+  auto spec = spec::ParseSpec(texts.spec);
+  EXPECT_TRUE(spec.ok());
+  auto solved = config::ParseNetworkConfig(texts.config);
+  EXPECT_TRUE(solved.ok());
+  auto answer =
+      explain::AnswerRequest(topo.value(), spec.value(), solved.value(), request);
+  EXPECT_TRUE(answer.ok()) << answer.error().ToString();
+  return answer.value();
+}
+
+TEST(ServeCacheTest, LruEvictionAndCounters) {
+  AnswerCache cache(2);
+  explain::BatchAnswer answer;
+  answer.report = "A";
+  cache.Insert("a", answer);
+  answer.report = "B";
+  cache.Insert("b", answer);
+  EXPECT_TRUE(cache.Lookup("a").has_value());  // refreshes a: LRU order b < a
+  answer.report = "C";
+  cache.Insert("c", answer);  // evicts b
+
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.Lookup("a")->report, "A");
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.inserts, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeCacheTest, ZeroCapacityDisablesCaching) {
+  AnswerCache cache(0);
+  explain::BatchAnswer answer;
+  cache.Insert("a", answer);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().misses, 1u);
+}
+
+TEST(ServeProtocolTest, CacheKeySeparatesAnswerRelevantFields) {
+  const std::string digest = ScenarioDigest("t", "s", "c");
+  explain::BatchRequest base;
+  base.selection = explain::Selection::Router("R1");
+
+  const std::string key = CacheKey(digest, base);
+  EXPECT_EQ(key, CacheKey(digest, base)) << "key must be deterministic";
+
+  explain::BatchRequest other = base;
+  other.selection.router = "R2";
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  other = base;
+  other.mode = explain::LiftMode::kFaithful;
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  other = base;
+  other.requirements = {"Req1"};
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  other = base;
+  other.selection.complement = true;
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  other = base;
+  other.selection.route_map = "R1_to_P1";
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  other = base;
+  other.compute_baselines = true;
+  EXPECT_NE(CacheKey(digest, other), key);
+
+  // A different scenario is a different key even for the same question.
+  EXPECT_NE(CacheKey(ScenarioDigest("t2", "s", "c"), base), key);
+  // Field boundaries cannot be gamed: ("ab","c") vs ("a","bc").
+  EXPECT_NE(ScenarioDigest("ab", "c", ""), ScenarioDigest("a", "bc", ""));
+}
+
+TEST(ServeProtocolTest, ParseRequestRejectsMalformedInput) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseRequest(R"({"cmd":"frobnicate"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"cmd":"explain"})").ok());  // missing router
+  EXPECT_FALSE(
+      ParseRequest(R"({"cmd":"explain","router":"R1","mode":"vague"})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"cmd":"explain","router":"R1","deadline_ms":-5})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"cmd":"load","topo":"x"})").ok());
+
+  auto ok = ParseRequest(
+      R"({"cmd":"explain","router":"R1","mode":"faithful",)"
+      R"("requirements":["Req1"],"rest":true,"deadline_ms":250})");
+  ASSERT_TRUE(ok.ok()) << ok.error().ToString();
+  EXPECT_EQ(ok.value().kind, RequestKind::kExplain);
+  EXPECT_EQ(ok.value().explain.request.selection.router, "R1");
+  EXPECT_TRUE(ok.value().explain.request.selection.complement);
+  EXPECT_EQ(ok.value().explain.request.mode, explain::LiftMode::kFaithful);
+  ASSERT_TRUE(ok.value().explain.deadline_ms.has_value());
+  EXPECT_EQ(*ok.value().explain.deadline_ms, 250);
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServeTest, SixtyFourConcurrentAnswersMatchSequentialAsk) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+
+  auto server = StartServer(ServerOptions{0, 4, 256, 0});
+  {
+    Client loader = MustConnect(server->port());
+    const Json loaded = MustCall(loader, LoadRequestJson(texts));
+    ASSERT_TRUE(loaded.Find("ok")->AsBool()) << loaded.Dump(0);
+    EXPECT_EQ(loaded.Find("scenario")->AsString(),
+              ScenarioDigest(texts.topo, texts.spec, texts.config));
+  }
+
+  // The question mix: every router that carries policy, in both lift
+  // modes — enough distinct keys that the cache cannot trivialize the
+  // concurrency, plus repeats so hits and misses race on every key.
+  auto solved = config::ParseNetworkConfig(texts.config);
+  ASSERT_TRUE(solved.ok());
+  std::vector<std::pair<std::string, std::string>> questions;
+  for (const auto& request : explain::RequestsForAllRouters(solved.value())) {
+    questions.emplace_back(request.selection.router, "exact");
+    questions.emplace_back(request.selection.router, "faithful");
+  }
+  ASSERT_GE(questions.size(), 2u);
+
+  // Sequential ground truth per distinct question.
+  std::vector<explain::BatchAnswer> expected;
+  for (const auto& [router, mode] : questions) {
+    explain::BatchRequest request;
+    request.selection = explain::Selection::Router(router);
+    request.mode = mode == "exact" ? explain::LiftMode::kExact
+                                   : explain::LiftMode::kFaithful;
+    expected.push_back(SequentialAnswer(texts, request));
+  }
+
+  constexpr int kClients = 64;
+  std::vector<std::string> reports(kClients);
+  std::vector<std::string> subspecs(kClients);
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto client = Client::Connect(server->port());
+      if (!client.ok()) {
+        failures[static_cast<std::size_t>(i)] = client.error().ToString();
+        return;
+      }
+      const auto& [router, mode] =
+          questions[static_cast<std::size_t>(i) % questions.size()];
+      auto response =
+          client.value().Call(ExplainRequestJson(router, mode));
+      if (!response.ok()) {
+        failures[static_cast<std::size_t>(i)] = response.error().ToString();
+        return;
+      }
+      const Json& answer = response.value();
+      if (const Json* ok = answer.Find("ok"); ok == nullptr || !ok->AsBool()) {
+        failures[static_cast<std::size_t>(i)] = answer.Dump(0);
+        return;
+      }
+      reports[static_cast<std::size_t>(i)] = answer.Find("report")->AsString();
+      subspecs[static_cast<std::size_t>(i)] =
+          answer.Find("subspec")->AsString();
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    ASSERT_TRUE(failures[index].empty()) << "client " << i << ": "
+                                         << failures[index];
+    const explain::BatchAnswer& truth = expected[index % questions.size()];
+    // Byte-identical to the sequential answer, cached or not.
+    EXPECT_EQ(reports[index], truth.report) << "client " << i;
+    EXPECT_EQ(subspecs[index], truth.subspec_text) << "client " << i;
+  }
+
+  // Every distinct question is now resident: sequential repeats must all
+  // be cache hits (the worker inserts before it signals completion).
+  Client prober = MustConnect(server->port());
+  for (const auto& [router, mode] : questions) {
+    const Json repeat = MustCall(prober, ExplainRequestJson(router, mode));
+    ASSERT_TRUE(repeat.Find("ok")->AsBool()) << repeat.Dump(0);
+    EXPECT_TRUE(repeat.Find("cached")->AsBool())
+        << router << "/" << mode << " should be resident";
+  }
+  const Json stats = MustCall(prober, StatsRequestJson());
+  EXPECT_GE(stats.Find("cache")->Find("hits")->AsInt(),
+            static_cast<std::int64_t>(questions.size()));
+  EXPECT_EQ(stats.Find("requests")->Find("explain")->AsInt(),
+            kClients + static_cast<std::int64_t>(questions.size()));
+
+  server->Shutdown();
+  EXPECT_EQ(server->threads_spawned(), server->threads_joined());
+}
+
+TEST(ServeTest, RepeatedQuestionIsACacheHitWithIdenticalBytes) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+  auto server = StartServer(ServerOptions{0, 2, 64, 0});
+  Client client = MustConnect(server->port());
+  MustCall(client, LoadRequestJson(texts));
+
+  const Json first = MustCall(client, ExplainRequestJson("R1", "faithful"));
+  ASSERT_TRUE(first.Find("ok")->AsBool()) << first.Dump(0);
+  EXPECT_FALSE(first.Find("cached")->AsBool());
+
+  const Json second = MustCall(client, ExplainRequestJson("R1", "faithful"));
+  ASSERT_TRUE(second.Find("ok")->AsBool());
+  EXPECT_TRUE(second.Find("cached")->AsBool());
+  EXPECT_EQ(second.Find("report")->AsString(), first.Find("report")->AsString());
+  EXPECT_EQ(second.Find("subspec")->AsString(),
+            first.Find("subspec")->AsString());
+
+  const Json stats = MustCall(client, StatsRequestJson());
+  EXPECT_GE(stats.Find("cache")->Find("hits")->AsInt(), 1);
+  EXPECT_GE(stats.Find("cache")->Find("misses")->AsInt(), 1);
+  EXPECT_GE(stats.Find("cache")->Find("entries")->AsInt(), 1);
+  EXPECT_EQ(stats.Find("latency")->Find("count")->AsInt(), 2);
+}
+
+TEST(ServeTest, DeadlineExceededIsCleanAndTheConnectionSurvives) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+  auto server = StartServer(ServerOptions{0, 2, 64, 0});
+  Client client = MustConnect(server->port());
+  MustCall(client, LoadRequestJson(texts));
+
+  // debug_sleep_ms makes "too slow" deterministic: the worker sleeps 400
+  // ms against a 40 ms budget.
+  Json slow = ExplainRequestJson("R1", "exact");
+  slow.Set("deadline_ms", 40);
+  slow.Set("debug_sleep_ms", 400);
+  const Json timed_out = MustCall(client, slow);
+  ASSERT_FALSE(timed_out.Find("ok")->AsBool())
+      << "a 400 ms answer under a 40 ms deadline must fail: "
+      << timed_out.Dump(0);
+  EXPECT_EQ(timed_out.Find("error")->Find("code")->AsString(),
+            kDeadlineExceeded);
+  // No partial answer fields on a deadline error.
+  EXPECT_EQ(timed_out.Find("report"), nullptr);
+
+  // The connection is not poisoned: the next request answers normally.
+  const Json next = MustCall(client, ExplainRequestJson("R2", "exact"));
+  EXPECT_TRUE(next.Find("ok")->AsBool()) << next.Dump(0);
+
+  const Json stats = MustCall(client, StatsRequestJson());
+  EXPECT_EQ(stats.Find("deadline_exceeded")->AsInt(), 1);
+
+  // The abandoned worker still completes and caches; the same question
+  // becomes a hit shortly (poll up to 5 s — the sleep was 400 ms).
+  Json retry = ExplainRequestJson("R1", "exact");
+  bool cached = false;
+  for (int i = 0; i < 50 && !cached; ++i) {
+    const Json answer = MustCall(client, retry);
+    ASSERT_TRUE(answer.Find("ok")->AsBool());
+    cached = answer.Find("cached")->AsBool();
+    if (!cached) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(cached) << "timed-out answer should have populated the cache";
+
+  server->Shutdown();
+  EXPECT_EQ(server->threads_spawned(), server->threads_joined());
+}
+
+TEST(ServeTest, PerRequestErrorsAreContained) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+  auto server = StartServer(ServerOptions{0, 2, 64, 0});
+  Client client = MustConnect(server->port());
+
+  // Explain before load: a clean precondition error.
+  const Json early = MustCall(client, ExplainRequestJson("R1", "exact"));
+  ASSERT_FALSE(early.Find("ok")->AsBool());
+  EXPECT_EQ(early.Find("error")->Find("code")->AsString(), "invalid-argument");
+
+  MustCall(client, LoadRequestJson(texts));
+
+  // Unknown router: kNotFound, same as Session::Ask.
+  const Json unknown = MustCall(client, ExplainRequestJson("NoSuchRouter", "exact"));
+  ASSERT_FALSE(unknown.Find("ok")->AsBool());
+  EXPECT_EQ(unknown.Find("error")->Find("code")->AsString(), "not-found");
+
+  // Malformed line: an error response, and the connection survives.
+  ASSERT_TRUE(client.SendLine("this is not json").ok());
+  auto malformed = client.ReadResponse();
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_FALSE(malformed.value().Find("ok")->AsBool());
+
+  // A bad load leaves the previous scenario installed.
+  Json bad_load = Json::MakeObject();
+  bad_load.Set("cmd", "load");
+  bad_load.Set("topo", "router only half a");
+  bad_load.Set("spec", texts.spec);
+  bad_load.Set("config", texts.config);
+  const Json rejected = MustCall(client, bad_load);
+  ASSERT_FALSE(rejected.Find("ok")->AsBool());
+
+  const Json still_works = MustCall(client, ExplainRequestJson("R1", "exact"));
+  EXPECT_TRUE(still_works.Find("ok")->AsBool()) << still_works.Dump(0);
+
+  const Json stats = MustCall(client, StatsRequestJson());
+  EXPECT_GE(stats.Find("requests")->Find("malformed")->AsInt(), 1);
+}
+
+TEST(ServeTest, LoadingANewScenarioChangesTheCacheKeySpace) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+  auto server = StartServer(ServerOptions{0, 2, 64, 0});
+  Client client = MustConnect(server->port());
+
+  const Json first_load = MustCall(client, LoadRequestJson(texts));
+  const std::string digest1 = first_load.Find("scenario")->AsString();
+  const Json first = MustCall(client, ExplainRequestJson("R1", "faithful"));
+  ASSERT_TRUE(first.Find("ok")->AsBool());
+
+  // Same question against a different solved configuration: a different
+  // scenario digest, so the cache cannot serve the stale answer.
+  const synth::Scenario scenario = synth::Scenario1();
+  ScenarioTexts community = texts;
+  community.config = config::RenderNetwork(synth::Scenario1CommunityConfig(),
+                                           &scenario.topo);
+  const Json second_load = MustCall(client, LoadRequestJson(community));
+  ASSERT_TRUE(second_load.Find("ok")->AsBool()) << second_load.Dump(0);
+  const std::string digest2 = second_load.Find("scenario")->AsString();
+  EXPECT_NE(digest1, digest2);
+
+  const Json second = MustCall(client, ExplainRequestJson("R1", "faithful"));
+  ASSERT_TRUE(second.Find("ok")->AsBool()) << second.Dump(0);
+  EXPECT_FALSE(second.Find("cached")->AsBool())
+      << "new scenario must not hit the old scenario's entries";
+
+  const Json stats = MustCall(client, StatsRequestJson());
+  EXPECT_EQ(stats.Find("scenario")->AsString(), digest2);
+}
+
+TEST(ServeTest, ShutdownRequestDrainsAndJoinsEveryThread) {
+  const ScenarioTexts texts = PaperScenarioTexts();
+  auto server = StartServer(ServerOptions{0, 2, 64, 0});
+  const int port = server->port();
+  {
+    Client client = MustConnect(port);
+    MustCall(client, LoadRequestJson(texts));
+    const Json answer = MustCall(client, ExplainRequestJson("R1", "exact"));
+    ASSERT_TRUE(answer.Find("ok")->AsBool());
+
+    Json shutdown_request = Json::MakeObject();
+    shutdown_request.Set("cmd", "shutdown");
+    const Json ack = MustCall(client, shutdown_request);
+    ASSERT_TRUE(ack.Find("ok")->AsBool());
+    EXPECT_TRUE(ack.Find("draining")->AsBool());
+  }
+
+  server->Shutdown();  // joins; idempotent with the request-triggered drain
+  EXPECT_TRUE(server->ShutdownRequested());
+  EXPECT_EQ(server->threads_spawned(), server->threads_joined());
+
+  // The listener is gone: new connections are refused.
+  EXPECT_FALSE(Client::Connect(port).ok());
+
+  // Shutdown is idempotent.
+  server->Shutdown();
+  EXPECT_EQ(server->threads_spawned(), server->threads_joined());
+}
+
+}  // namespace
+}  // namespace ns::serve

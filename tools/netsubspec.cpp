@@ -11,15 +11,21 @@
 //                         [--router R1]... [--threads N] [--sequential]
 //                         [--req Req1]... [--mode faithful] [--baselines]
 //                         [--json out.json]
+//   netsubspec serve      [--port P] [--threads N] [--cache-entries K]
+//                         [--deadline-ms D]
+//                         [--topo F --spec F --config F]   (preload)
 //
 // File formats: topologies per net/topo_text.hpp, specifications per
 // spec/parser.hpp, configurations per config/parse.hpp (what `synthesize`
 // itself emits). Sample inputs live in examples/data/.
 #include <charconv>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bgp/simulator.hpp"
@@ -30,6 +36,7 @@
 #include "explain/verify.hpp"
 #include "net/topo_text.hpp"
 #include "ospf/synth.hpp"
+#include "serve/server.hpp"
 #include "spec/lint.hpp"
 #include "spec/parser.hpp"
 #include "synth/synthesizer.hpp"
@@ -43,7 +50,7 @@ using namespace ns;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <synthesize|verify|simulate|explain|batch-explain|"
-               "lint|ospf-synthesize|ospf-explain> [flags]\n"
+               "serve|lint|ospf-synthesize|ospf-explain> [flags]\n"
                "  common flags: --topo FILE  --spec FILE\n"
                "  synthesize:   --sketch FILE [--out FILE]\n"
                "  verify:       --config FILE\n"
@@ -54,7 +61,10 @@ int Usage(const char* argv0) {
                "  batch-explain: --config FILE [--router NAME]... (default:\n"
                "                all routers with route-maps) [--threads N]\n"
                "                [--sequential] [--req NAME]... [--mode MODE]\n"
-               "                [--baselines] [--json FILE]\n",
+               "                [--baselines] [--json FILE]\n"
+               "  serve:        [--port P] [--threads N] [--cache-entries K]\n"
+               "                [--deadline-ms D] [--topo F --spec F\n"
+               "                --config F]  (see docs/SERVE.md)\n",
                argv0);
   return 2;
 }
@@ -366,6 +376,85 @@ int CmdBatchExplain(const Flags& flags) {
   return failures == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------------ serve
+
+/// Raised by SIGTERM/SIGINT; the serving loop polls it and drains.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void OnShutdownSignal(int) { g_shutdown_signal = 1; }
+
+int CmdServe(const Flags& flags) {
+  serve::ServerOptions options;
+  for (const auto& [flag, target] :
+       {std::pair<const char*, int*>{"port", &options.port},
+        {"threads", &options.threads},
+        {"deadline-ms", &options.deadline_ms}}) {
+    if (flags.Has(flag)) {
+      auto value = ParseIntFlag(flags, flag);
+      if (!value) return Fail(value.error());
+      *target = value.value();
+    }
+  }
+  if (flags.Has("cache-entries")) {
+    auto value = ParseIntFlag(flags, "cache-entries");
+    if (!value) return Fail(value.error());
+    if (value.value() < 0) {
+      return Fail(util::Error(util::ErrorCode::kInvalidArgument,
+                              "--cache-entries must be >= 0"));
+    }
+    options.cache_entries = static_cast<std::size_t>(value.value());
+  }
+
+  serve::Server server(options);
+
+  // Optional preload: the same three inputs `explain` takes, so a serving
+  // session can start answering without a `load` request.
+  if (flags.Has("topo") || flags.Has("spec") || flags.Has("config")) {
+    auto topo = flags.One("topo");
+    if (!topo) return Fail(topo.error());
+    auto spec = flags.One("spec");
+    if (!spec) return Fail(spec.error());
+    auto config = flags.One("config");
+    if (!config) return Fail(config.error());
+    auto topo_text = util::ReadFile(topo.value());
+    if (!topo_text) return Fail(topo_text.error());
+    auto spec_text = util::ReadFile(spec.value());
+    if (!spec_text) return Fail(spec_text.error());
+    auto config_text = util::ReadFile(config.value());
+    if (!config_text) return Fail(config_text.error());
+    if (auto loaded = server.Load(topo_text.value(), spec_text.value(),
+                                  config_text.value());
+        !loaded.ok()) {
+      return Fail(loaded.error());
+    }
+  }
+
+  if (auto started = server.Start(); !started.ok()) {
+    return Fail(started.error());
+  }
+  // Scripts scrape this line for the ephemeral port; keep it first and
+  // flushed.
+  std::printf("serving on 127.0.0.1:%d (%d worker threads)\n", server.port(),
+              server.Stats().worker_threads);
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, OnShutdownSignal);
+  std::signal(SIGINT, OnShutdownSignal);
+  while (!server.ShutdownRequested() && g_shutdown_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Shutdown();  // graceful drain either way
+
+  const serve::ServerStats stats = server.Stats();
+  std::printf("drained: %llu requests (%llu explain, %llu cache hits, "
+              "%llu deadline-exceeded)\n",
+              static_cast<unsigned long long>(stats.requests_total),
+              static_cast<unsigned long long>(stats.requests_explain),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.deadline_exceeded));
+  return 0;
+}
+
 // ------------------------------------------------------------------- ospf
 
 util::Result<ospf::WeightConfig> LoadWeights(const Flags& flags,
@@ -472,6 +561,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(flags.value());
   if (command == "explain") return CmdExplain(flags.value());
   if (command == "batch-explain") return CmdBatchExplain(flags.value());
+  if (command == "serve") return CmdServe(flags.value());
   if (command == "lint") return CmdLint(flags.value());
   if (command == "ospf-synthesize") return CmdOspfSynthesize(flags.value());
   if (command == "ospf-explain") return CmdOspfExplain(flags.value());

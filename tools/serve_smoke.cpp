@@ -1,0 +1,192 @@
+// serve_smoke — scripted end-to-end exchange against the explanation
+// service, used by the `serve_smoke` ctest and the CI serve-smoke job.
+//
+//   serve_smoke --topo F --spec F --config F --router R [--mode faithful]
+//               [--golden FILE]
+//
+// Boots a Server in-process on an ephemeral loopback port (so the run
+// needs no free-port coordination), then drives the canonical session
+// through a real socket:
+//
+//   load -> explain -> explain (repeat) -> stats -> shutdown
+//
+// and checks every service invariant a deploy smoke should: the repeat is
+// answered from the cache, byte-identical to the first answer; `stats`
+// reports the hit; the drain completes with no thread leaked. With
+// --golden the report must equal the checked-in file byte for byte, so
+// pretty-printer drift fails the job instead of slipping through.
+// Exit codes: 0 = ok, 1 = invariant violated, 2 = usage/IO error.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ns;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --topo F --spec F --config F --router R\n"
+               "          [--mode exact|faithful] [--golden FILE]\n",
+               argv0);
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return {};
+    flags[arg.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+int Violated(const std::string& what) {
+  std::fprintf(stderr, "serve_smoke: FAILED: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = ParseFlags(argc, argv);
+  for (const char* required : {"topo", "spec", "config", "router"}) {
+    if (flags.count(required) == 0) return Usage(argv[0]);
+  }
+
+  std::string texts[3];
+  const char* files[3] = {"topo", "spec", "config"};
+  for (int i = 0; i < 3; ++i) {
+    auto text = util::ReadFile(flags.at(files[i]));
+    if (!text.ok()) {
+      std::fprintf(stderr, "serve_smoke: %s\n",
+                   text.error().ToString().c_str());
+      return 2;
+    }
+    texts[i] = std::move(text).value();
+  }
+
+  serve::ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.threads = 2;
+  options.cache_entries = 64;
+  serve::Server server(options);
+  if (auto started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "serve_smoke: %s\n",
+                 started.error().ToString().c_str());
+    return 2;
+  }
+  std::printf("serve_smoke: server on 127.0.0.1:%d\n", server.port());
+
+  auto client = serve::Client::Connect(server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "serve_smoke: %s\n",
+                 client.error().ToString().c_str());
+    return 2;
+  }
+
+  const auto call = [&](util::Json request) -> util::Result<util::Json> {
+    return client.value().Call(request);
+  };
+  const auto require_ok = [](const util::Result<util::Json>& response,
+                             const char* step) -> const util::Json* {
+    if (!response.ok()) {
+      std::fprintf(stderr, "serve_smoke: %s: %s\n", step,
+                   response.error().ToString().c_str());
+      return nullptr;
+    }
+    const util::Json* ok = response.value().Find("ok");
+    if (ok == nullptr || !ok->AsBool()) {
+      std::fprintf(stderr, "serve_smoke: %s: server error response: %s\n",
+                   step, response.value().Dump(0).c_str());
+      return nullptr;
+    }
+    return &response.value();
+  };
+
+  // 1. load
+  util::Json load = util::Json::MakeObject();
+  load.Set("cmd", "load");
+  load.Set("topo", texts[0]);
+  load.Set("spec", texts[1]);
+  load.Set("config", texts[2]);
+  auto load_response = call(std::move(load));
+  if (require_ok(load_response, "load") == nullptr) return 1;
+
+  // 2. explain
+  util::Json explain = util::Json::MakeObject();
+  explain.Set("cmd", "explain");
+  explain.Set("router", flags.at("router"));
+  if (flags.count("mode")) explain.Set("mode", flags.at("mode"));
+  auto first = call(explain);
+  const util::Json* first_ok = require_ok(first, "explain");
+  if (first_ok == nullptr) return 1;
+  const std::string report = first_ok->Find("report")->AsString();
+  if (first_ok->Find("cached")->AsBool()) {
+    return Violated("first explain claims to be served from the cache");
+  }
+
+  // 3. repeat -> must be a byte-identical cache hit
+  auto repeat = call(explain);
+  const util::Json* repeat_ok = require_ok(repeat, "explain (repeat)");
+  if (repeat_ok == nullptr) return 1;
+  if (!repeat_ok->Find("cached")->AsBool()) {
+    return Violated("repeated explain was not served from the cache");
+  }
+  if (repeat_ok->Find("report")->AsString() != report) {
+    return Violated("cached answer differs from the first answer");
+  }
+
+  // 4. stats -> the hit is visible
+  util::Json stats_request = util::Json::MakeObject();
+  stats_request.Set("cmd", "stats");
+  auto stats = call(std::move(stats_request));
+  const util::Json* stats_ok = require_ok(stats, "stats");
+  if (stats_ok == nullptr) return 1;
+  const util::Json* cache = stats_ok->Find("cache");
+  if (cache == nullptr || cache->Find("hits")->AsInt() < 1) {
+    return Violated("stats does not report the cache hit");
+  }
+
+  // 5. shutdown -> graceful drain, no leaked threads
+  util::Json shutdown_request = util::Json::MakeObject();
+  shutdown_request.Set("cmd", "shutdown");
+  auto shutdown = call(std::move(shutdown_request));
+  if (require_ok(shutdown, "shutdown") == nullptr) return 1;
+  server.Shutdown();
+  if (server.threads_spawned() != server.threads_joined()) {
+    return Violated("thread leak: spawned " +
+                    std::to_string(server.threads_spawned()) + ", joined " +
+                    std::to_string(server.threads_joined()));
+  }
+
+  // 6. optional golden comparison
+  if (flags.count("golden")) {
+    auto golden = util::ReadFile(flags.at("golden"));
+    if (!golden.ok()) {
+      std::fprintf(stderr, "serve_smoke: %s\n",
+                   golden.error().ToString().c_str());
+      return 2;
+    }
+    if (golden.value() != report) {
+      std::fprintf(stderr,
+                   "serve_smoke: report drifted from golden %s\n"
+                   "---- served ----\n%s---- golden ----\n%s",
+                   flags.at("golden").c_str(), report.c_str(),
+                   golden.value().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("serve_smoke: ok (load, explain, cached repeat, stats, "
+              "clean drain%s)\n",
+              flags.count("golden") ? ", golden match" : "");
+  return 0;
+}
