@@ -1,0 +1,252 @@
+// bench_lift — the lift-search solver trajectory (the tentpole of the
+// incremental solver layer). The lift search discharges O(candidates)
+// implication queries against the same domain ∧ target prefix; this bench
+// times that search under the fresh-session baseline (a z3::solver stood
+// up per query — the pre-interface behavior, kept as kFreshZ3) versus the
+// incremental fast-path default (shared push/pop prefix + boolean DPLL
+// over the pool IR, kFastPath), asserting byte-identical answers.
+//
+//   bench_lift --json BENCH_LIFT.json [--benchmark_filter=NONE]
+//
+// The committed BENCH_LIFT.json at the repo root is regenerated with
+// exactly that invocation (see TESTING.md); CI re-runs the bench and
+// fails if the fast-path median regresses >1.5x against the committed
+// numbers (tools/bench_json_check --baseline).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "explain/lift.hpp"
+#include "explain/subspec.hpp"
+#include "net/builders.hpp"
+#include "smt/solver.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace ns;
+
+struct Problem {
+  std::string label;
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig solved;
+  std::string router;  ///< whole-router selection the lift answers
+};
+
+/// Paper scenario: synthesize and ask about the first router that carries
+/// routing policy (deterministic — routers is an ordered map).
+Problem FromScenario(std::string label, const synth::Scenario& scenario) {
+  config::NetworkConfig solved = bench::MustSynthesize(scenario);
+  std::string router;
+  for (const auto& [name, cfg] : solved.routers) {
+    if (!cfg.route_maps.empty()) {
+      router = name;
+      break;
+    }
+  }
+  NS_ASSERT_MSG(!router.empty(), "scenario has no policy to explain");
+  return Problem{std::move(label), scenario.topo, scenario.spec,
+                 std::move(solved), std::move(router)};
+}
+
+/// Synthetic no-transit problem (bench_scaling's shape): deny-all export
+/// maps at the attachment routers of the first two externals.
+Problem MakeSynthetic(std::string label, net::Topology topo) {
+  std::vector<net::RouterId> externals;
+  for (net::RouterId id : topo.AllRouters()) {
+    if (topo.GetRouter(id).external) externals.push_back(id);
+  }
+  NS_ASSERT_MSG(externals.size() >= 2, "need two externals");
+  const std::string e1 = topo.NameOf(externals[0]);
+  const std::string e2 = topo.NameOf(externals[1]);
+  auto spec = spec::ParseSpec("Req1 {\n  !(" + e1 + "->...->" + e2 +
+                              ")\n  !(" + e2 + "->...->" + e1 + ")\n}");
+  NS_ASSERT(spec.ok());
+
+  config::NetworkConfig network = config::SkeletonFor(topo);
+  std::string router;
+  for (net::RouterId ext : {externals[0], externals[1]}) {
+    for (net::RouterId nbr : topo.Neighbors(ext)) {
+      config::RouterConfig& attach = *network.FindRouter(topo.NameOf(nbr));
+      config::RouteMap& map =
+          config::EnsureExportMap(attach, topo.NameOf(ext));
+      if (map.entries.empty()) map.entries.push_back(config::DenyAll(10));
+      if (router.empty()) router = attach.router;
+    }
+  }
+  return Problem{std::move(label), std::move(topo), std::move(spec).value(),
+                 std::move(network), std::move(router)};
+}
+
+std::vector<Problem> Sweep() {
+  std::vector<Problem> out;
+  out.push_back(FromScenario("scenario1", synth::Scenario1()));
+  out.push_back(FromScenario("scenario2", synth::Scenario2()));
+  out.push_back(FromScenario("scenario3", synth::Scenario3()));
+  out.push_back(MakeSynthetic("chain(8)", net::Chain(8)));
+  out.push_back(MakeSynthetic("chain(12)", net::Chain(12)));
+  out.push_back(MakeSynthetic("ring(8)", net::Ring(8)));
+  out.push_back(MakeSynthetic("fabric(2,3)", net::Fabric(2, 3)));
+  return out;
+}
+
+/// One measured lift run: fresh Explainer + pool (so neither backend
+/// benefits from the other's warm hash-cons table), untimed Explain, then
+/// the timed Lift under `backend`. Returns the rendered lift so the
+/// caller can assert byte-identity across backends.
+struct LiftRun {
+  double lift_ms = 0;
+  std::string text;
+  bool complete = false;
+  int candidates = 0;
+  smt::SolverStats stats;
+};
+
+LiftRun RunLift(const Problem& problem, smt::SolverBackend backend) {
+  explain::Explainer explainer(problem.topo, problem.spec, problem.solved);
+  auto subspec = explainer.Explain(explain::Selection::Router(problem.router));
+  NS_ASSERT_MSG(subspec.ok(), "bench problem failed to explain");
+  explain::SubspecOptions options;
+  options.solver.backend = backend;
+  explain::Lifter lifter(explainer.pool(), problem.topo, problem.spec,
+                         problem.solved);
+  LiftRun run;
+  util::Result<explain::LiftResult> lifted =
+      util::Error(util::ErrorCode::kInternal, "not run");
+  run.lift_ms = bench::TimeMs([&] {
+    lifted = lifter.Lift(subspec.value(), explain::LiftMode::kExact, options);
+  });
+  NS_ASSERT_MSG(lifted.ok(), "bench problem failed to lift");
+  run.text = lifted.value().ToString();
+  run.complete = lifted.value().complete;
+  run.candidates = lifted.value().candidates_tried;
+  run.stats = lifted.value().solver_stats;
+  return run;
+}
+
+double Median(std::vector<double> values) {
+  NS_ASSERT(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+util::Json PrintTable() {
+  std::printf("lift search | solver time: fresh z3::solver per query "
+              "(baseline) vs incremental\n            | fast path — "
+              "ref/opt = time inside the solver layer (stats.wall_ms),\n"
+              "            | total = whole Lift() including candidate "
+              "compilation\n");
+  bench::Rule('=');
+  std::printf("%-12s %6s %5s | %9s %9s %8s | %9s %9s %6s %6s\n", "problem",
+              "cand", "qrys", "slv ref", "slv opt", "speedup", "total ref",
+              "total opt", "z3", "reuse");
+  bench::Rule();
+
+  constexpr int kReps = 3;
+  util::Json records = util::Json::MakeArray();
+  std::vector<double> ref_query_series;
+  std::vector<double> opt_query_series;
+  for (const Problem& problem : Sweep()) {
+    double ref_ms = 0;
+    double opt_ms = 0;
+    double total_ref_ms = 0;
+    double total_opt_ms = 0;
+    LiftRun baseline;
+    LiftRun fast;
+    for (int rep = 0; rep < kReps; ++rep) {
+      baseline = RunLift(problem, smt::SolverBackend::kFreshZ3);
+      fast = RunLift(problem, smt::SolverBackend::kFastPath);
+      const auto best = [rep](double acc, double sample) {
+        return rep == 0 ? sample : std::min(acc, sample);
+      };
+      ref_ms = best(ref_ms, baseline.stats.wall_ms);
+      opt_ms = best(opt_ms, fast.stats.wall_ms);
+      total_ref_ms = best(total_ref_ms, baseline.lift_ms);
+      total_opt_ms = best(total_opt_ms, fast.lift_ms);
+    }
+    // The whole point of the solver interface: the answer must not depend
+    // on the backend.
+    NS_ASSERT_MSG(baseline.text == fast.text &&
+                      baseline.complete == fast.complete &&
+                      baseline.candidates == fast.candidates &&
+                      baseline.stats.queries == fast.stats.queries,
+                  "fast-path lift diverged from the fresh-session baseline");
+
+    const double speedup = opt_ms > 0 ? ref_ms / opt_ms : 0;
+    std::printf("%-12s %6d %5llu | %9.2f %9.2f %7.2fx | %9.2f %9.2f %6llu "
+                "%6llu\n",
+                problem.label.c_str(), fast.candidates,
+                static_cast<unsigned long long>(fast.stats.queries), ref_ms,
+                opt_ms, speedup, total_ref_ms, total_opt_ms,
+                static_cast<unsigned long long>(fast.stats.z3_queries),
+                static_cast<unsigned long long>(fast.stats.frame_reuse));
+    const auto queries = static_cast<double>(fast.stats.queries);
+    if (queries > 0) {
+      ref_query_series.push_back(ref_ms / queries);
+      opt_query_series.push_back(opt_ms / queries);
+    }
+
+    util::Json record = util::Json::MakeObject();
+    record.Set("label", problem.label);
+    record.Set("ref_ms", ref_ms);
+    record.Set("opt_ms", opt_ms);
+    record.Set("speedup", speedup);
+    record.Set("lift_total_ref_ms", total_ref_ms);
+    record.Set("lift_total_opt_ms", total_opt_ms);
+    record.Set("candidates", fast.candidates);
+    record.Set("queries", static_cast<std::int64_t>(fast.stats.queries));
+    record.Set("fast_path_hits",
+               static_cast<std::int64_t>(fast.stats.fast_path_hits));
+    record.Set("z3_queries",
+               static_cast<std::int64_t>(fast.stats.z3_queries));
+    record.Set("frame_reuse",
+               static_cast<std::int64_t>(fast.stats.frame_reuse));
+    records.Append(std::move(record));
+  }
+  bench::Rule();
+
+  // Summary record CI compares against the committed BENCH_LIFT.json: the
+  // per-query median (solver wall over query count) may not regress,
+  // whatever the per-problem noise.
+  const double ref_median = Median(ref_query_series);
+  const double opt_median = Median(opt_query_series);
+  const double median_speedup = opt_median > 0 ? ref_median / opt_median : 0;
+  std::printf("median query time: fresh %.3f ms, incremental fast path "
+              "%.3f ms (%.2fx)\n\n",
+              ref_median, opt_median, median_speedup);
+  util::Json median = util::Json::MakeObject();
+  median.Set("label", "median");
+  median.Set("ref_ms", ref_median);
+  median.Set("opt_ms", opt_median);
+  median.Set("speedup", median_speedup);
+  records.Append(std::move(median));
+  return records;
+}
+
+void BM_LiftScenario1(benchmark::State& state) {
+  const Problem problem = FromScenario("scenario1", synth::Scenario1());
+  const auto backend = static_cast<smt::SolverBackend>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunLift(problem, backend).candidates);
+  }
+}
+BENCHMARK(BM_LiftScenario1)
+    ->Arg(static_cast<int>(smt::SolverBackend::kFreshZ3))
+    ->Arg(static_cast<int>(smt::SolverBackend::kFastPath))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ns::bench::ExtractJsonPath(argc, argv);
+  util::Json records = PrintTable();
+  ns::bench::WriteBenchJson(json_path, "bench_lift", std::move(records));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -30,13 +30,14 @@ Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
     Session session(topo, spec, solved);
     auto explanation = session.Ask(request.selection, request.mode,
                                    request.requirements,
-                                   request.compute_baselines);
+                                   request.compute_baselines, request.solver);
     if (!explanation) return explanation.error();
 
     BatchAnswer answer;
     answer.report = explanation.value().Report();
     answer.subspec_text = explanation.value().SubspecText();
     answer.metrics = explanation.value().subspec.metrics;
+    answer.stats = explanation.value().stats;
     answer.empty = explanation.value().subspec.IsEmpty();
     answer.unsat = explanation.value().subspec.IsUnsatisfiable();
     return answer;

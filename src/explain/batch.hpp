@@ -34,6 +34,9 @@ struct BatchRequest {
   LiftMode mode = LiftMode::kExact;
   std::vector<std::string> requirements;  ///< projection (empty = all)
   bool compute_baselines = false;
+  /// Solver backend for this question. All backends answer byte-
+  /// identically; the choice affects only speed (and the stats).
+  smt::SolverOptions solver;
 };
 
 /// One answer, fully rendered (safe to keep after the worker's pool died).
@@ -41,6 +44,7 @@ struct BatchAnswer {
   std::string report;        ///< Explanation::Report()
   std::string subspec_text;  ///< lifted DSL block
   SubspecMetrics metrics;
+  ExplainStats stats;  ///< solver-layer counters (POD; outlives the pool)
   bool empty = false;  ///< unconstrained component
   bool unsat = false;  ///< over-constrained question
 };

@@ -6,7 +6,7 @@
 
 #include "smt/eval.hpp"
 #include "spec/matcher.hpp"
-#include "smt/z3bridge.hpp"
+#include "smt/solver.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -317,11 +317,26 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
                    });
 
   // --------------------------------------------------- greedy assembly
-
-  smt::Z3Session z3;
-  const Expr domain = subspec.domains.empty()
-                          ? pool_.True()
-                          : pool_.And(subspec.domains);
+  //
+  // Three sessions over one shared solver, one per reusable prefix:
+  //   dt: domain ∧ target    — exactness / necessity queries
+  //   da: domain ∧ accepted  — redundancy / completeness (grows with acc)
+  //   d:  domain only        — sufficiency / pruning queries
+  // Each prefix is asserted (and, on the Z3 backends, translated) once;
+  // every candidate query then runs against the warm stack instead of
+  // replaying the conjunction from scratch. The sessions never create
+  // pool nodes, so the projection pipeline below sees the exact same pool
+  // state — and produces byte-identical residuals — under every backend.
+  smt::Solver solver(options.solver);
+  const auto dt = solver.NewSession();
+  const auto da = solver.NewSession();
+  const auto d = solver.NewSession();
+  for (Expr c : subspec.domains) {
+    dt->Assert(c);
+    da->Assert(c);
+    d->Assert(c);
+  }
+  for (Expr c : subspec.constraints) dt->Assert(c);
   const Expr target = subspec.constraints.empty()
                           ? pool_.True()
                           : pool_.And(subspec.constraints);
@@ -336,11 +351,6 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
       solved_values[info.name] = subspec.values.EncodeValue(value.value());
     }
   }
-
-  std::vector<Expr> acc;  // conjunction of accepted residuals
-  const auto acc_expr = [&] {
-    return acc.empty() ? pool_.True() : pool_.And(acc);
-  };
 
   for (const RawCandidate& candidate : pool_candidates) {
     ++result.candidates_tried;
@@ -361,7 +371,7 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
 
     // Soundness per mode.
     if (mode == LiftMode::kExact) {
-      if (!z3.Implies(pool_.And({domain, target}), meaning)) continue;
+      if (!dt->Implies(meaning)) continue;
     } else {
       // Faithful: the statement must describe the solved configuration...
       const auto holds = smt::Eval(meaning, solved_values);
@@ -369,42 +379,49 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
       // ...and be on-topic: either sufficient for the subspec by itself
       // (possibly stronger than necessary — Fig. 2's "drop ALL routes"),
       // or a consequence of it (a necessary fragment).
-      const bool sufficient = z3.Implies(pool_.And({domain, meaning}), target);
-      const bool necessary = z3.Implies(pool_.And({domain, target}), meaning);
+      const std::span<const Expr> meaning_span(&meaning, 1);
+      const bool sufficient = d->Implies(meaning_span, target);
+      const bool necessary = dt->Implies(meaning);
       if (!sufficient && !necessary) continue;
     }
 
-    // Skip statements already implied by what we have.
-    if (z3.Implies(pool_.And({domain, acc_expr()}), meaning)) continue;
+    // Skip statements already implied by what we have. The accumulated
+    // conjunction lives on the `da` stack: accepting a statement asserts
+    // it once instead of rebuilding (and re-asserting) the conjunction
+    // for every candidate tried after it.
+    if (da->Implies(meaning)) continue;
 
-    acc.push_back(meaning);
+    da->Assert(meaning);
     result.used.push_back(LiftedStatement{candidate.statement, residual});
 
-    if (z3.Implies(pool_.And({domain, acc_expr()}), target)) {
+    if (da->Implies(target)) {
       result.complete = true;
       break;
     }
   }
 
   if (!result.complete) {
-    result.complete = z3.Implies(pool_.And({domain, acc_expr()}), target);
+    result.complete = da->Implies(target);
   }
 
   // Prune redundant statements (longest first) while completeness holds.
+  // The rest-of-set conjunction is passed as flattened query-local
+  // conjuncts over the domain-only prefix — no pool nodes are built.
   if (result.complete && result.used.size() > 1) {
     for (std::size_t i = result.used.size(); i-- > 0;) {
       std::vector<Expr> rest;
       for (std::size_t j = 0; j < result.used.size(); ++j) {
         if (j == i) continue;
         const auto& residual = result.used[j].residual;
-        rest.push_back(residual.empty() ? pool_.True() : pool_.And(residual));
+        rest.insert(rest.end(), residual.begin(), residual.end());
       }
-      const Expr rest_expr = rest.empty() ? pool_.True() : pool_.And(rest);
-      if (z3.Implies(pool_.And({domain, rest_expr}), target)) {
+      if (d->Implies(rest, target)) {
         result.used.erase(result.used.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
   }
+
+  result.solver_stats = solver.stats();
 
   // Assemble the requirement: preferences first (Fig. 4 layout).
   for (const LiftedStatement& lifted : result.used) {

@@ -46,6 +46,8 @@ struct LiftResult {
   bool complete = false;
   std::vector<LiftedStatement> used;
   int candidates_tried = 0;
+  /// Per-query solver counters for this lift run (see SolverStats).
+  smt::SolverStats solver_stats;
 
   std::string ToString() const;
 };

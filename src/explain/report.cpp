@@ -10,6 +10,17 @@ namespace ns::explain {
 
 using util::Result;
 
+std::string ExplainStats::ToString() const {
+  std::ostringstream os;
+  os << "solver: backend=" << smt::SolverBackendName(backend)
+     << " queries=" << lift.queries << " fast_path=" << lift.fast_path_hits
+     << "/" << lift.fast_path_fallbacks << " memo=" << lift.memo_hits
+     << " z3=" << lift.z3_queries << " frame_reuse=" << lift.frame_reuse
+     << " asserts=" << lift.assertions << " wall_ms=" << std::fixed
+     << std::setprecision(2) << lift.wall_ms;
+  return os.str();
+}
+
 std::string FormatMetrics(const SubspecMetrics& metrics) {
   std::ostringstream os;
   os << "  seed specification : " << metrics.seed_constraints
@@ -105,10 +116,12 @@ Result<std::vector<SurveyRow>> Session::Survey(
 
 Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
                                  std::vector<std::string> requirements,
-                                 bool compute_baselines) {
+                                 bool compute_baselines,
+                                 const smt::SolverOptions& solver) {
   SubspecOptions options;
   options.requirements = requirements;
   options.compute_baselines = compute_baselines;
+  options.solver = solver;
 
   auto subspec = explainer_.Explain(selection, options);
   if (!subspec) return subspec.error();
@@ -117,6 +130,7 @@ Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
   explanation.selection = selection;
   explanation.requirements = std::move(requirements);
   explanation.mode = mode;
+  explanation.stats.backend = solver.backend;
 
   if (selection.complement) {
     // Rest-of-network summaries span several components; no single-scope
@@ -133,6 +147,7 @@ Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
 
   explanation.subspec = std::move(subspec).value();
   explanation.lifted = std::move(lifted).value();
+  explanation.stats.lift = explanation.lifted.solver_stats;
   return explanation;
 }
 

@@ -12,6 +12,18 @@
 
 namespace ns::explain {
 
+/// Solver-layer counters for one answered question. Deliberately NOT part
+/// of Report() — the report text is byte-pinned by tests/golden/ and must
+/// stay independent of the backend; stats travel separately (CLI --stats,
+/// batch JSON, the serve stats endpoint).
+struct ExplainStats {
+  smt::SolverBackend backend = smt::SolverOptions{}.backend;
+  smt::SolverStats lift;  ///< lift-search query counters
+
+  /// One-line "solver: backend=... queries=..." summary.
+  std::string ToString() const;
+};
+
 /// One answered question.
 struct Explanation {
   Selection selection;
@@ -19,6 +31,7 @@ struct Explanation {
   Subspec subspec;
   LiftResult lifted;
   LiftMode mode = LiftMode::kExact;
+  ExplainStats stats;
 
   /// Full report: pipeline metrics, low-level constraints, lifted DSL.
   std::string Report() const;
@@ -50,7 +63,8 @@ class Session {
   util::Result<Explanation> Ask(const Selection& selection,
                                 LiftMode mode = LiftMode::kExact,
                                 std::vector<std::string> requirements = {},
-                                bool compute_baselines = false);
+                                bool compute_baselines = false,
+                                const smt::SolverOptions& solver = {});
 
   /// Scenario 3's triage: for every router that carries routing policy,
   /// how constrained is it by the given requirements? Routers with an

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "explain/pretty.hpp"
-#include "smt/z3bridge.hpp"
+#include "smt/solver.hpp"
 #include "util/logging.hpp"
 
 namespace ns::explain {
@@ -218,8 +218,8 @@ Result<Subspec> Explainer::Explain(const Selection& selection,
   subspec.metrics.seed_size = simplify::ConstraintSetSize(seed);
 
   if (options.compute_baselines) {
-    smt::Z3Session z3;
-    subspec.metrics.baseline_z3_size = z3.GenericSimplifiedSize(seed);
+    smt::Solver solver(options.solver);
+    subspec.metrics.baseline_z3_size = solver.GenericSimplifiedSize(seed);
     simplify::Engine local_only(
         pool_, simplify::EngineOptions{.max_passes = 64,
                                        .propagate_units = false});

@@ -23,6 +23,7 @@
 #include "net/topology.hpp"
 #include "simplify/engine.hpp"
 #include "smt/expr.hpp"
+#include "smt/solver.hpp"
 #include "spec/ast.hpp"
 #include "synth/encoder.hpp"
 #include "util/status.hpp"
@@ -38,6 +39,10 @@ struct SubspecOptions {
   /// monolithic seed, and the rule engine without the conjunction-context
   /// rules (no partial evaluation across constraints).
   bool compute_baselines = false;
+  /// Backend + budget for every solver query the pipeline discharges
+  /// (lift search, baseline metrics). All backends are verdict-identical;
+  /// the default (boolean fast path over incremental Z3) is the fast one.
+  smt::SolverOptions solver;
 };
 
 /// Size/effort measurements across the pipeline stages.

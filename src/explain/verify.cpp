@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "smt/eval.hpp"
-#include "smt/z3bridge.hpp"
+#include "smt/solver.hpp"
 #include "synth/encoder.hpp"
 #include "util/strings.hpp"
 
@@ -55,7 +55,8 @@ std::string VerificationResult::ToString() const {
 
 Result<VerificationResult> VerifyWithEncoder(
     const net::Topology& topo, const spec::Spec& spec,
-    const config::NetworkConfig& network) {
+    const config::NetworkConfig& network,
+    const smt::SolverOptions& solver_options) {
   if (network.HasHole()) {
     return Error(ErrorCode::kInvalidArgument,
                  "verification expects a fully concrete configuration");
@@ -89,11 +90,13 @@ Result<VerificationResult> VerifyWithEncoder(
     }
   }
 
-  smt::Z3Session z3;
-  auto model = z3.Solve(definitions, state_vars);
+  smt::Solver solver(solver_options);
+  auto session = solver.NewSession();
+  auto model = session->Solve(definitions, state_vars);
   if (!model) return model.error();
 
   VerificationResult result;
+  result.solver_stats = solver.stats();
   for (std::size_t i = 0;
        i < encoding.value().requirement_constraints.size(); ++i) {
     const Expr constraint = encoding.value().requirement_constraints[i];

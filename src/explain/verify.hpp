@@ -14,6 +14,7 @@
 
 #include "config/device.hpp"
 #include "net/topology.hpp"
+#include "smt/solver.hpp"
 #include "spec/ast.hpp"
 #include "util/status.hpp"
 
@@ -31,6 +32,8 @@ struct VerificationFinding {
 
 struct VerificationResult {
   std::vector<VerificationFinding> findings;
+  /// Solver counters for the model-extraction query.
+  smt::SolverStats solver_stats;
   bool ok() const noexcept { return findings.empty(); }
   std::string ToString() const;
 };
@@ -38,8 +41,11 @@ struct VerificationResult {
 /// Verifies `network` (hole-free) against `spec` by encoding, solving the
 /// protocol-mechanics definitions (which have a unique model for a
 /// concrete configuration), and evaluating every requirement constraint.
+/// The definitions pin the model uniquely, so the findings are independent
+/// of the solver backend.
 util::Result<VerificationResult> VerifyWithEncoder(
     const net::Topology& topo, const spec::Spec& spec,
-    const config::NetworkConfig& network);
+    const config::NetworkConfig& network,
+    const smt::SolverOptions& solver_options = {});
 
 }  // namespace ns::explain

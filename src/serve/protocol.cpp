@@ -91,6 +91,15 @@ Result<Request> ParseExplain(const Json& object) {
     }
   }
   question.compute_baselines = OptionalBool(object, "baselines");
+  if (const Json* solver = object.Find("solver"); solver != nullptr) {
+    if (!solver->IsString()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "'solver' must be 'fresh', 'incremental', or 'fastpath'");
+    }
+    auto backend = smt::ParseSolverBackend(solver->AsString());
+    if (!backend) return backend.error();
+    question.solver.backend = backend.value();
+  }
 
   if (const Json* deadline = object.Find("deadline_ms"); deadline != nullptr) {
     if (!deadline->IsNumber() || deadline->AsInt() < 0) {
@@ -188,6 +197,10 @@ std::string CacheKey(const std::string& scenario_digest,
   AppendField(key, request.selection.complement ? "rest" : "direct");
   AppendField(key, explain::LiftModeName(request.mode));
   AppendField(key, request.compute_baselines ? "baselines" : "plain");
+  // Answers are backend-independent, but the stats object in the response
+  // is not — keep per-backend cache entries so a cached answer's counters
+  // describe the backend the client asked for.
+  AppendField(key, smt::SolverBackendName(request.solver.backend));
   for (const std::string& requirement : request.requirements) {
     AppendField(key, requirement);
   }
@@ -218,6 +231,26 @@ Json ErrorResponse(std::string_view cmd, const util::Error& error) {
                        error.message());
 }
 
+namespace {
+
+Json SolverStatsJson(const explain::ExplainStats& stats) {
+  const smt::SolverStats& s = stats.lift;
+  Json solver = Json::MakeObject();
+  solver.Set("backend", std::string(smt::SolverBackendName(stats.backend)));
+  solver.Set("queries", static_cast<std::int64_t>(s.queries));
+  solver.Set("assertions", static_cast<std::int64_t>(s.assertions));
+  solver.Set("fast_path_hits", static_cast<std::int64_t>(s.fast_path_hits));
+  solver.Set("fast_path_fallbacks",
+             static_cast<std::int64_t>(s.fast_path_fallbacks));
+  solver.Set("memo_hits", static_cast<std::int64_t>(s.memo_hits));
+  solver.Set("z3_queries", static_cast<std::int64_t>(s.z3_queries));
+  solver.Set("frame_reuse", static_cast<std::int64_t>(s.frame_reuse));
+  solver.Set("wall_ms", s.wall_ms);
+  return solver;
+}
+
+}  // namespace
+
 Json AnswerResponse(const explain::BatchAnswer& answer, bool cached,
                     double wall_ms) {
   Json response = OkResponse("explain");
@@ -235,6 +268,7 @@ Json AnswerResponse(const explain::BatchAnswer& answer, bool cached,
   metrics.Set("residual_size", answer.metrics.residual_size);
   metrics.Set("simplify_passes", answer.metrics.simplify_passes);
   response.Set("metrics", std::move(metrics));
+  response.Set("solver", SolverStatsJson(answer.stats));
   response.Set("wall_ms", wall_ms);
   return response;
 }

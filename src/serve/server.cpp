@@ -405,7 +405,11 @@ void Server::WorkerLoop() {
     auto result = explain::AnswerRequest(job->scenario->topo,
                                          job->scenario->spec,
                                          job->scenario->solved, job->request);
-    if (result.ok()) cache_.Insert(job->cache_key, result.value());
+    if (result.ok()) {
+      cache_.Insert(job->cache_key, result.value());
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      counters_.solver += result.value().stats.lift;
+    }
     {
       std::lock_guard<std::mutex> lock(job->mu);
       job->result = std::move(result);
@@ -464,6 +468,17 @@ Json Server::StatsResponse() const {
   cache.Set("entries", stats.cache.entries);
   cache.Set("capacity", stats.cache.capacity);
   response.Set("cache", std::move(cache));
+
+  Json solver = Json::MakeObject();
+  solver.Set("queries", stats.solver.queries);
+  solver.Set("assertions", stats.solver.assertions);
+  solver.Set("fast_path_hits", stats.solver.fast_path_hits);
+  solver.Set("fast_path_fallbacks", stats.solver.fast_path_fallbacks);
+  solver.Set("memo_hits", stats.solver.memo_hits);
+  solver.Set("z3_queries", stats.solver.z3_queries);
+  solver.Set("frame_reuse", stats.solver.frame_reuse);
+  solver.Set("wall_ms", stats.solver.wall_ms);
+  response.Set("solver", std::move(solver));
 
   Json latency = Json::MakeObject();
   latency.Set("count", stats.latency_count);

@@ -46,6 +46,7 @@
 #include "net/topology.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
+#include "smt/solver.hpp"
 #include "spec/ast.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
@@ -75,6 +76,9 @@ struct ServerStats {
   double latency_p50_ms = 0;
   double latency_p95_ms = 0;
   CacheStats cache;
+  /// Solver-layer counters summed over every explain answer computed by
+  /// the workers (cache hits recompute nothing, so they add nothing).
+  smt::SolverStats solver;
   int worker_threads = 0;
   std::string scenario_digest;  ///< empty until a scenario is loaded
 };

@@ -1,0 +1,914 @@
+#include "smt/solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <z3++.h>
+
+namespace ns::smt {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* SolverBackendName(SolverBackend backend) noexcept {
+  switch (backend) {
+    case SolverBackend::kFreshZ3: return "fresh";
+    case SolverBackend::kIncrementalZ3: return "incremental";
+    case SolverBackend::kFastPath: return "fastpath";
+  }
+  return "?";
+}
+
+Result<SolverBackend> ParseSolverBackend(std::string_view name) {
+  if (name == "fresh") return SolverBackend::kFreshZ3;
+  if (name == "incremental") return SolverBackend::kIncrementalZ3;
+  if (name == "fastpath") return SolverBackend::kFastPath;
+  return Error(ErrorCode::kInvalidArgument,
+               "unknown solver backend '" + std::string(name) +
+                   "' (expected fresh, incremental, or fastpath)");
+}
+
+SolverStats& SolverStats::operator+=(const SolverStats& other) noexcept {
+  queries += other.queries;
+  assertions += other.assertions;
+  fast_path_hits += other.fast_path_hits;
+  fast_path_fallbacks += other.fast_path_fallbacks;
+  memo_hits += other.memo_hits;
+  z3_queries += other.z3_queries;
+  frame_reuse += other.frame_reuse;
+  wall_ms += other.wall_ms;
+  return *this;
+}
+
+namespace {
+
+Outcome FromZ3(z3::check_result verdict) {
+  switch (verdict) {
+    case z3::sat: return Outcome::kSat;
+    case z3::unsat: return Outcome::kUnsat;
+    default: return Outcome::kUnknown;
+  }
+}
+
+/// Accumulates wall time into SolverStats::wall_ms. Only the outermost
+/// public entry point of a query instantiates one (pass nullptr on
+/// secondary sessions), so fast-path fallbacks are not double-counted.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc) noexcept
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (acc_ == nullptr) return;
+    *acc_ += std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A constraint literal: a pool node plus a polarity. The solver layer
+/// never builds pool nodes — negation lives here (or on the Z3 side), so
+/// running a query can never perturb the pool's node-creation order.
+struct Lit {
+  const Node* node = nullptr;
+  bool neg = false;
+};
+
+/// Hash for the canonical boolean-query key (sorted `id << 1 | neg`).
+struct QueryKeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (std::uint64_t word : key) {
+      h ^= word;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Three-valued evaluation lattice.
+constexpr std::int8_t kF = 0;
+constexpr std::int8_t kT = 1;
+constexpr std::int8_t kU = -1;
+
+/// One boolean satisfiability search over purely-boolean pool nodes: a
+/// DPLL-style loop of three-valued evaluation, structural unit
+/// propagation, and deterministic branching. All state is per-query; the
+/// cross-query memo lives on Solver::Impl.
+///
+/// Determinedness is monotone under assignment extension, so node values
+/// memoize on a trail (entries retract on backtrack) and a constraint
+/// whose variables are disjoint from everything assigned or unassigned
+/// since its last evaluation (tracked with the pool's bloom masks) is
+/// skipped without re-walking it.
+class BoolEngine {
+ public:
+  BoolEngine(std::vector<Lit> lits, std::uint32_t max_decisions)
+      : lits_(std::move(lits)), max_decisions_(max_decisions) {
+    settled_.assign(lits_.size(), 0);
+    seen_.assign(lits_.size(), 0);
+  }
+
+  Outcome Solve() { return Search(); }
+
+ private:
+  std::int8_t ValueOf(std::uint32_t sym) const {
+    return sym < model_.size() ? model_[sym] : kU;
+  }
+
+  void Assign(std::uint32_t sym, std::int8_t value) {
+    if (sym >= model_.size()) model_.resize(sym + 1, kU);
+    model_[sym] = value;
+    assign_trail_.push_back(sym);
+    delta_mask_ |= VarMaskBit(sym);
+    progress_ = true;
+  }
+
+  struct Mark {
+    std::size_t assigns, memos, settles;
+  };
+  Mark Snapshot() const {
+    return {assign_trail_.size(), memo_trail_.size(), settled_trail_.size()};
+  }
+  void Rewind(const Mark& mark) {
+    while (assign_trail_.size() > mark.assigns) {
+      const std::uint32_t sym = assign_trail_.back();
+      assign_trail_.pop_back();
+      model_[sym] = kU;
+      // The variable changed value: anything depending on it must be
+      // re-evaluated, so its bit goes back into the dirty mask.
+      delta_mask_ |= VarMaskBit(sym);
+    }
+    while (memo_trail_.size() > mark.memos) {
+      memo_.erase(memo_trail_.back());
+      memo_trail_.pop_back();
+    }
+    while (settled_trail_.size() > mark.settles) {
+      settled_[settled_trail_.back()] = 0;
+      settled_trail_.pop_back();
+    }
+  }
+
+  std::int8_t Eval(const Node* n) {
+    const auto it = memo_.find(n);
+    if (it != memo_.end()) return it->second;
+    std::int8_t v = kU;
+    switch (n->op) {
+      case Op::kBoolConst:
+        v = n->value != 0 ? kT : kF;
+        break;
+      case Op::kVar:
+        v = ValueOf(static_cast<std::uint32_t>(n->value));
+        break;
+      case Op::kNot: {
+        const std::int8_t c = Eval(n->children[0]);
+        v = c == kU ? kU : (c == kT ? kF : kT);
+        break;
+      }
+      case Op::kAnd: {
+        v = kT;
+        for (const Node* c : n->children) {
+          const std::int8_t cv = Eval(c);
+          if (cv == kF) {
+            v = kF;
+            break;
+          }
+          if (cv == kU) v = kU;
+        }
+        break;
+      }
+      case Op::kOr: {
+        v = kF;
+        for (const Node* c : n->children) {
+          const std::int8_t cv = Eval(c);
+          if (cv == kT) {
+            v = kT;
+            break;
+          }
+          if (cv == kU) v = kU;
+        }
+        break;
+      }
+      case Op::kImplies: {
+        const std::int8_t a = Eval(n->children[0]);
+        const std::int8_t b = Eval(n->children[1]);
+        if (a == kF || b == kT) {
+          v = kT;
+        } else if (a == kT && b == kF) {
+          v = kF;
+        }
+        break;
+      }
+      case Op::kIte: {
+        const std::int8_t c = Eval(n->children[0]);
+        if (c == kT) {
+          v = Eval(n->children[1]);
+        } else if (c == kF) {
+          v = Eval(n->children[2]);
+        } else {
+          const std::int8_t t = Eval(n->children[1]);
+          if (t != kU && t == Eval(n->children[2])) v = t;
+        }
+        break;
+      }
+      case Op::kEq: {
+        const std::int8_t a = Eval(n->children[0]);
+        const std::int8_t b = Eval(n->children[1]);
+        if (a != kU && b != kU) v = a == b ? kT : kF;
+        break;
+      }
+      default:
+        // Arithmetic cannot occur below a pure node (purity gate).
+        break;
+    }
+    if (v != kU) {
+      memo_.emplace(n, v);
+      memo_trail_.push_back(n);
+    }
+    return v;
+  }
+
+  std::int8_t EvalLit(const Lit& lit) {
+    const std::int8_t v = Eval(lit.node);
+    if (v == kU || !lit.neg) return v;
+    return v == kT ? kF : kT;
+  }
+
+  /// Unit rule for n-ary And(want=false) / Or(want=true): when every
+  /// child but one already has the neutral value, force the open child.
+  void ForceAllButOne(const std::vector<const Node*>& children,
+                      std::int8_t neutral, bool want) {
+    const Node* open = nullptr;
+    for (const Node* c : children) {
+      const std::int8_t v = Eval(c);
+      if (v == kU) {
+        if (open != nullptr) return;  // two open children: no unit
+        open = c;
+      } else if (v != neutral) {
+        return;  // already satisfied without forcing
+      }
+    }
+    if (open != nullptr) Force(open, want);
+  }
+
+  /// Structural unit propagation: `n` is required to evaluate to `want`;
+  /// descend through connectives whose remaining freedom is a single
+  /// child and assign forced variables. Never overwrites an assigned
+  /// variable — a contradiction surfaces as a false constraint on the
+  /// next evaluation pass.
+  void Force(const Node* n, bool want) {
+    switch (n->op) {
+      case Op::kVar: {
+        const auto sym = static_cast<std::uint32_t>(n->value);
+        if (ValueOf(sym) == kU) Assign(sym, want ? kT : kF);
+        return;
+      }
+      case Op::kNot:
+        Force(n->children[0], !want);
+        return;
+      case Op::kAnd:
+        if (want) {
+          for (const Node* c : n->children) Force(c, true);
+        } else {
+          ForceAllButOne(n->children, kT, false);
+        }
+        return;
+      case Op::kOr:
+        if (!want) {
+          for (const Node* c : n->children) Force(c, false);
+        } else {
+          ForceAllButOne(n->children, kF, true);
+        }
+        return;
+      case Op::kImplies: {
+        const Node* a = n->children[0];
+        const Node* b = n->children[1];
+        if (!want) {
+          Force(a, true);
+          Force(b, false);
+          return;
+        }
+        if (Eval(a) == kT) {
+          Force(b, true);
+        } else if (Eval(b) == kF) {
+          Force(a, false);
+        }
+        return;
+      }
+      case Op::kIte: {
+        const std::int8_t c = Eval(n->children[0]);
+        if (c == kT) {
+          Force(n->children[1], want);
+        } else if (c == kF) {
+          Force(n->children[2], want);
+        } else {
+          const std::int8_t t = Eval(n->children[1]);
+          const std::int8_t e = Eval(n->children[2]);
+          if (t != kU && e != kU && t != e) {
+            // Determined, distinct branches: the condition is decided.
+            Force(n->children[0], (t == kT) == want);
+          }
+        }
+        return;
+      }
+      case Op::kEq: {
+        const std::int8_t a = Eval(n->children[0]);
+        const std::int8_t b = Eval(n->children[1]);
+        if (a != kU && b == kU) {
+          Force(n->children[1], want == (a == kT));
+        } else if (b != kU && a == kU) {
+          Force(n->children[0], want == (b == kT));
+        }
+        return;
+      }
+      default:
+        return;  // constants: nothing to force
+    }
+  }
+
+  Outcome Search() {
+    // Propagate to fixpoint: evaluate every live constraint, settle the
+    // satisfied ones, force units from the undetermined ones.
+    while (true) {
+      const std::uint64_t delta = delta_mask_;
+      delta_mask_ = 0;
+      progress_ = false;
+      bool all_true = true;
+      for (std::size_t i = 0; i < lits_.size(); ++i) {
+        if (settled_[i]) continue;
+        const Lit& lit = lits_[i];
+        if (seen_[i] && (lit.node->var_mask & delta) == 0) {
+          // No variable below this constraint changed since its last
+          // evaluation: still undetermined, and the same units were
+          // already forced.
+          all_true = false;
+          continue;
+        }
+        seen_[i] = 1;
+        const std::int8_t v = EvalLit(lit);
+        if (v == kF) return Outcome::kUnsat;
+        if (v == kT) {
+          settled_[i] = 1;
+          settled_trail_.push_back(i);
+          continue;
+        }
+        all_true = false;
+        Force(lit.node, !lit.neg);
+      }
+      if (all_true) return Outcome::kSat;
+      if (!progress_) break;
+    }
+
+    // Pick the first genuinely undetermined constraint (a mask-skipped
+    // one may have been settled by unrelated-looking collisions — the
+    // bloom mask is may-intersect, so confirm by evaluating).
+    std::size_t branch_idx = lits_.size();
+    for (std::size_t i = 0; i < lits_.size(); ++i) {
+      if (settled_[i]) continue;
+      const std::int8_t v = EvalLit(lits_[i]);
+      if (v == kF) return Outcome::kUnsat;
+      if (v == kT) {
+        settled_[i] = 1;
+        settled_trail_.push_back(i);
+        continue;
+      }
+      branch_idx = i;
+      break;
+    }
+    if (branch_idx == lits_.size()) return Outcome::kSat;
+
+    if (decisions_ >= max_decisions_) return Outcome::kUnknown;
+
+    // Deterministic branch variable: the lowest-creation-index unassigned
+    // free variable of that constraint (FreeVarNodes is sorted and cached
+    // on the pool node).
+    const Node* branch_var = nullptr;
+    for (const Node* var :
+         Expr::FromRaw(lits_[branch_idx].node).FreeVarNodes()) {
+      if (ValueOf(static_cast<std::uint32_t>(var->value)) == kU) {
+        branch_var = var;
+        break;
+      }
+    }
+    if (branch_var == nullptr) return Outcome::kUnknown;  // unreachable
+
+    const auto sym = static_cast<std::uint32_t>(branch_var->value);
+    bool unknown = false;
+    for (const std::int8_t value : {kT, kF}) {
+      ++decisions_;
+      const Mark mark = Snapshot();
+      Assign(sym, value);
+      const Outcome out = Search();
+      if (out == Outcome::kSat) return Outcome::kSat;
+      if (out == Outcome::kUnknown) unknown = true;
+      Rewind(mark);
+    }
+    return unknown ? Outcome::kUnknown : Outcome::kUnsat;
+  }
+
+  std::vector<Lit> lits_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<std::uint8_t> seen_;
+  std::vector<std::size_t> settled_trail_;
+  std::vector<std::int8_t> model_;  // indexed by interned symbol id
+  std::vector<std::uint32_t> assign_trail_;
+  std::unordered_map<const Node*, std::int8_t> memo_;
+  std::vector<const Node*> memo_trail_;
+  std::uint64_t delta_mask_ = ~std::uint64_t{0};
+  bool progress_ = false;
+  std::uint32_t decisions_ = 0;
+  std::uint32_t max_decisions_;
+};
+
+}  // namespace
+
+struct Solver::Impl {
+  SolverOptions options;
+  SolverStats stats;
+  z3::context ctx;
+  std::unordered_map<const Node*, z3::expr> cache;
+  std::unordered_map<const Node*, bool> pure;
+  std::unordered_map<std::vector<std::uint64_t>, Outcome, QueryKeyHash>
+      bool_memo;
+
+  class FreshSession;
+  class IncrementalSession;
+  class FastPathSession;
+
+  // Same translation as Z3Session (z3bridge.cpp), against this solver's
+  // shared context: every session of this Solver reuses one cache entry
+  // per pool node.
+  z3::expr Translate(Expr e) {
+    const auto it = cache.find(e.raw());
+    if (it != cache.end()) return it->second;
+
+    z3::expr result(ctx);
+    switch (e.op()) {
+      case Op::kBoolConst:
+        result = ctx.bool_val(e.IsTrue());
+        break;
+      case Op::kIntConst:
+        result = ctx.int_val(static_cast<std::int64_t>(e.value()));
+        break;
+      case Op::kVar:
+        result = e.sort() == Sort::kBool ? ctx.bool_const(e.name().c_str())
+                                         : ctx.int_const(e.name().c_str());
+        break;
+      case Op::kNot:
+        result = !Translate(e.Child(0));
+        break;
+      case Op::kAnd: {
+        z3::expr_vector parts(ctx);
+        for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+          parts.push_back(Translate(e.Child(i)));
+        }
+        result = z3::mk_and(parts);
+        break;
+      }
+      case Op::kOr: {
+        z3::expr_vector parts(ctx);
+        for (std::size_t i = 0; i < e.NumChildren(); ++i) {
+          parts.push_back(Translate(e.Child(i)));
+        }
+        result = z3::mk_or(parts);
+        break;
+      }
+      case Op::kImplies:
+        result = z3::implies(Translate(e.Child(0)), Translate(e.Child(1)));
+        break;
+      case Op::kIte:
+        result = z3::ite(Translate(e.Child(0)), Translate(e.Child(1)),
+                         Translate(e.Child(2)));
+        break;
+      case Op::kEq:
+        result = Translate(e.Child(0)) == Translate(e.Child(1));
+        break;
+      case Op::kLt:
+        result = Translate(e.Child(0)) < Translate(e.Child(1));
+        break;
+      case Op::kLe:
+        result = Translate(e.Child(0)) <= Translate(e.Child(1));
+        break;
+      case Op::kAdd:
+        result = Translate(e.Child(0)) + Translate(e.Child(1));
+        break;
+      case Op::kSub:
+        result = Translate(e.Child(0)) - Translate(e.Child(1));
+        break;
+      case Op::kMul:
+        result = Translate(e.Child(0)) * Translate(e.Child(1));
+        break;
+    }
+    cache.emplace(e.raw(), result);
+    return result;
+  }
+
+  z3::expr Conjunction(std::span<const Expr> constraints) {
+    z3::expr_vector parts(ctx);
+    for (Expr e : constraints) parts.push_back(Translate(e));
+    return parts.empty() ? ctx.bool_val(true) : z3::mk_and(parts);
+  }
+
+  static std::size_t AstSize(const z3::expr& e) {
+    std::unordered_map<unsigned, std::size_t> memo;
+    std::function<std::size_t(const z3::expr&)> go =
+        [&](const z3::expr& cur) -> std::size_t {
+      const unsigned id = Z3_get_ast_id(cur.ctx(), cur);
+      const auto it = memo.find(id);
+      if (it != memo.end()) return it->second;
+      std::size_t total = 1;
+      if (cur.is_app()) {
+        for (unsigned i = 0; i < cur.num_args(); ++i) {
+          total += go(cur.arg(i));
+        }
+      }
+      memo.emplace(id, total);
+      return total;
+    };
+    return go(e);
+  }
+
+  /// Purely boolean: no integer-sorted leaf or arithmetic atom anywhere
+  /// below. Pure nodes are exactly what the boolean engine can decide.
+  bool IsPure(const Node* n) {
+    const auto it = pure.find(n);
+    if (it != pure.end()) return it->second;
+    bool p = false;
+    switch (n->op) {
+      case Op::kBoolConst:
+        p = true;
+        break;
+      case Op::kIntConst:
+        p = false;
+        break;
+      case Op::kVar:
+        p = n->sort == Sort::kBool;
+        break;
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+        p = false;
+        break;
+      default:
+        p = true;
+        for (const Node* c : n->children) {
+          if (!IsPure(c)) {
+            p = false;
+            break;
+          }
+        }
+        break;
+    }
+    pure.emplace(n, p);
+    return p;
+  }
+
+  /// Decides satisfiability of a conjunction of pure boolean literals, or
+  /// kUnknown if the decision budget runs out. Canonicalizes the literal
+  /// set (constants resolved, duplicates dropped, complementary pair =>
+  /// unsat) and memoizes on the canonical key across queries & sessions.
+  Outcome TryBool(std::vector<Lit> lits) {
+    std::size_t kept = 0;
+    for (const Lit& lit : lits) {
+      if (lit.node->op == Op::kBoolConst) {
+        if ((lit.node->value != 0) == lit.neg) return Outcome::kUnsat;
+        continue;  // trivially-true literal
+      }
+      lits[kept++] = lit;
+    }
+    lits.resize(kept);
+    if (lits.empty()) return Outcome::kSat;
+
+    std::sort(lits.begin(), lits.end(), [](const Lit& a, const Lit& b) {
+      return a.node->id != b.node->id ? a.node->id < b.node->id
+                                      : a.neg < b.neg;
+    });
+    lits.erase(std::unique(lits.begin(), lits.end(),
+                           [](const Lit& a, const Lit& b) {
+                             return a.node == b.node && a.neg == b.neg;
+                           }),
+               lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].node == lits[i + 1].node) return Outcome::kUnsat;  // p ∧ ¬p
+    }
+
+    std::vector<std::uint64_t> key;
+    key.reserve(lits.size());
+    for (const Lit& lit : lits) {
+      key.push_back((std::uint64_t{lit.node->id} << 1) | (lit.neg ? 1 : 0));
+    }
+    const auto it = bool_memo.find(key);
+    if (it != bool_memo.end()) {
+      ++stats.memo_hits;
+      return it->second;
+    }
+
+    BoolEngine engine(std::move(lits), options.max_decisions);
+    const Outcome out = engine.Solve();
+    // kUnknown is memoizable too: the budget is fixed per solver, so the
+    // search is deterministic.
+    bool_memo.emplace(std::move(key), out);
+    return out;
+  }
+};
+
+/// Baseline backend: replays the assertion stack into a fresh z3::solver
+/// on every query — exactly the behavior of the pre-interface code, kept
+/// as the differential reference.
+class Solver::Impl::FreshSession final : public SolverSession {
+ public:
+  explicit FreshSession(Impl& impl) : impl_(impl) {}
+
+  void Push() override { marks_.push_back(stack_.size()); }
+  void Pop() override {
+    stack_.resize(marks_.back());
+    marks_.pop_back();
+  }
+  void Assert(Expr e) override {
+    ++impl_.stats.assertions;
+    stack_.push_back(e);
+  }
+
+  Outcome CheckSat(std::span<const Expr> extra) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    ++impl_.stats.queries;
+    ++impl_.stats.z3_queries;
+    z3::solver solver(impl_.ctx);
+    for (Expr e : stack_) solver.add(impl_.Translate(e));
+    for (Expr e : extra) solver.add(impl_.Translate(e));
+    return FromZ3(solver.check());
+  }
+
+  bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    ++impl_.stats.queries;
+    ++impl_.stats.z3_queries;
+    z3::solver solver(impl_.ctx);
+    for (Expr e : stack_) solver.add(impl_.Translate(e));
+    for (Expr e : antecedent) solver.add(impl_.Translate(e));
+    solver.add(!impl_.Translate(consequent));
+    return solver.check() == z3::unsat;
+  }
+
+  Result<Assignment> Solve(std::span<const Expr> extra,
+                           std::span<const Expr> vars) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    ++impl_.stats.queries;
+    ++impl_.stats.z3_queries;
+    z3::solver solver(impl_.ctx);
+    for (Expr e : stack_) solver.add(impl_.Translate(e));
+    for (Expr e : extra) solver.add(impl_.Translate(e));
+    return ExtractModel(impl_, solver, vars);
+  }
+
+  /// Shared model extraction; error behavior matches Z3Session::Solve.
+  static Result<Assignment> ExtractModel(Impl& impl, z3::solver& solver,
+                                         std::span<const Expr> vars) {
+    const auto verdict = solver.check();
+    if (verdict == z3::unsat) {
+      return Error(ErrorCode::kUnsat, "constraints are unsatisfiable");
+    }
+    if (verdict != z3::sat) {
+      return Error(ErrorCode::kInternal, "Z3 returned unknown");
+    }
+    const z3::model model = solver.get_model();
+    Assignment assignment;
+    for (Expr var : vars) {
+      NS_ASSERT(var.IsVar());
+      const z3::expr value = model.eval(impl.Translate(var),
+                                        /*model_completion=*/true);
+      std::int64_t out = 0;
+      if (value.is_bool()) {
+        out = value.bool_value() == Z3_L_TRUE ? 1 : 0;
+      } else {
+        out = value.get_numeral_int64();
+      }
+      assignment[var.name()] = out;
+    }
+    return assignment;
+  }
+
+ private:
+  Impl& impl_;
+  std::vector<Expr> stack_;
+  std::vector<std::size_t> marks_;
+};
+
+/// Incremental backend: one z3::solver for the session's whole lifetime.
+/// The assertion stack maps directly onto Z3 push/pop frames; query-local
+/// operands go in under a scoped frame, so the shared prefix is asserted
+/// (and its lemmas learned) exactly once.
+class Solver::Impl::IncrementalSession final : public SolverSession {
+ public:
+  IncrementalSession(Impl& impl, bool secondary)
+      : impl_(impl), solver_(impl.ctx), secondary_(secondary) {}
+
+  void Push() override {
+    frames_.push_back(num_asserted_);
+    solver_.push();
+  }
+  void Pop() override {
+    num_asserted_ = frames_.back();
+    frames_.pop_back();
+    solver_.pop();
+  }
+  void Assert(Expr e) override {
+    if (!secondary_) ++impl_.stats.assertions;
+    ++num_asserted_;
+    solver_.add(impl_.Translate(e));
+  }
+
+  Outcome CheckSat(std::span<const Expr> extra) override {
+    ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
+    Enter();
+    ++impl_.stats.z3_queries;
+    if (extra.empty()) return FromZ3(solver_.check());
+    solver_.push();
+    for (Expr e : extra) solver_.add(impl_.Translate(e));
+    const Outcome out = FromZ3(solver_.check());
+    solver_.pop();
+    return out;
+  }
+
+  bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
+    Enter();
+    ++impl_.stats.z3_queries;
+    solver_.push();
+    for (Expr e : antecedent) solver_.add(impl_.Translate(e));
+    solver_.add(!impl_.Translate(consequent));
+    const bool implied = solver_.check() == z3::unsat;
+    solver_.pop();
+    return implied;
+  }
+
+  Result<Assignment> Solve(std::span<const Expr> extra,
+                           std::span<const Expr> vars) override {
+    ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
+    Enter();
+    ++impl_.stats.z3_queries;
+    solver_.push();
+    for (Expr e : extra) solver_.add(impl_.Translate(e));
+    auto result = FreshSession::ExtractModel(impl_, solver_, vars);
+    solver_.pop();
+    return result;
+  }
+
+ private:
+  /// Per-query counters owned by the outermost session: a secondary
+  /// (fallback target of a FastPathSession) skips them — its owner
+  /// already counted the query.
+  void Enter() {
+    if (secondary_) return;
+    ++impl_.stats.queries;
+    if (num_asserted_ > 0) ++impl_.stats.frame_reuse;
+  }
+
+  Impl& impl_;
+  z3::solver solver_;
+  bool secondary_;
+  std::size_t num_asserted_ = 0;
+  std::vector<std::size_t> frames_;
+};
+
+/// Boolean fast path: purely-boolean queries go to the in-process DPLL
+/// engine; anything touching an integer atom — or a search that exhausts
+/// its decision budget (kUnknown) — falls back to an inner incremental Z3
+/// session that eagerly mirrors the assertion stack, so the fallback pays
+/// no catch-up cost.
+class Solver::Impl::FastPathSession final : public SolverSession {
+ public:
+  explicit FastPathSession(Impl& impl)
+      : impl_(impl), inner_(impl, /*secondary=*/true) {}
+
+  void Push() override {
+    marks_.push_back({stack_.size(), impure_});
+    inner_.Push();
+  }
+  void Pop() override {
+    stack_.resize(marks_.back().size);
+    impure_ = marks_.back().impure;
+    marks_.pop_back();
+    inner_.Pop();
+  }
+  void Assert(Expr e) override {
+    ++impl_.stats.assertions;
+    stack_.push_back(e);
+    if (!impl_.IsPure(e.raw())) ++impure_;
+    inner_.Assert(e);
+  }
+
+  Outcome CheckSat(std::span<const Expr> extra) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    Enter();
+    if (impure_ == 0 && AllPure(extra)) {
+      std::vector<Lit> lits;
+      lits.reserve(stack_.size() + extra.size());
+      for (Expr e : stack_) lits.push_back({e.raw(), false});
+      for (Expr e : extra) lits.push_back({e.raw(), false});
+      const Outcome out = impl_.TryBool(std::move(lits));
+      if (out != Outcome::kUnknown) {
+        ++impl_.stats.fast_path_hits;
+        return out;
+      }
+    }
+    ++impl_.stats.fast_path_fallbacks;
+    return inner_.CheckSat(extra);
+  }
+
+  bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    Enter();
+    if (impure_ == 0 && AllPure(antecedent) &&
+        impl_.IsPure(consequent.raw())) {
+      std::vector<Lit> lits;
+      lits.reserve(stack_.size() + antecedent.size() + 1);
+      for (Expr e : stack_) lits.push_back({e.raw(), false});
+      for (Expr e : antecedent) lits.push_back({e.raw(), false});
+      lits.push_back({consequent.raw(), /*neg=*/true});
+      const Outcome out = impl_.TryBool(std::move(lits));
+      if (out != Outcome::kUnknown) {
+        ++impl_.stats.fast_path_hits;
+        return out == Outcome::kUnsat;
+      }
+    }
+    ++impl_.stats.fast_path_fallbacks;
+    return inner_.Implies(antecedent, consequent);
+  }
+
+  Result<Assignment> Solve(std::span<const Expr> extra,
+                           std::span<const Expr> vars) override {
+    ScopedTimer timer(&impl_.stats.wall_ms);
+    Enter();
+    // Model extraction is not on the fast path (and not a "fallback" —
+    // it is Z3 work by design).
+    return inner_.Solve(extra, vars);
+  }
+
+ private:
+  void Enter() {
+    ++impl_.stats.queries;
+    if (!stack_.empty()) ++impl_.stats.frame_reuse;
+  }
+
+  bool AllPure(std::span<const Expr> exprs) {
+    for (Expr e : exprs) {
+      if (!impl_.IsPure(e.raw())) return false;
+    }
+    return true;
+  }
+
+  struct Mark {
+    std::size_t size, impure;
+  };
+
+  Impl& impl_;
+  IncrementalSession inner_;
+  std::vector<Expr> stack_;
+  std::vector<Mark> marks_;
+  std::size_t impure_ = 0;
+};
+
+Solver::Solver(const SolverOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+
+Solver::~Solver() = default;
+
+std::unique_ptr<SolverSession> Solver::NewSession() {
+  switch (impl_->options.backend) {
+    case SolverBackend::kFreshZ3:
+      return std::make_unique<Impl::FreshSession>(*impl_);
+    case SolverBackend::kIncrementalZ3:
+      return std::make_unique<Impl::IncrementalSession>(*impl_,
+                                                        /*secondary=*/false);
+    case SolverBackend::kFastPath:
+      return std::make_unique<Impl::FastPathSession>(*impl_);
+  }
+  return nullptr;
+}
+
+const SolverOptions& Solver::options() const noexcept {
+  return impl_->options;
+}
+
+const SolverStats& Solver::stats() const noexcept { return impl_->stats; }
+
+std::size_t Solver::GenericSimplifiedSize(std::span<const Expr> constraints) {
+  return Impl::AstSize(impl_->Conjunction(constraints).simplify());
+}
+
+}  // namespace ns::smt

@@ -1,0 +1,147 @@
+// Incremental, multi-backend solver layer.
+//
+// `Z3Session` (z3bridge.hpp) answers one-shot questions: every call stands
+// up a fresh z3::solver and re-asserts everything. That is the right shape
+// for single queries (verification's one model extraction) but the wrong
+// shape for the lift search, which discharges O(candidates) implication
+// checks against the same `domain ∧ target` prefix. This header abstracts
+// the solver behind a session interface with an explicit assertion stack —
+// the percy pattern of composing interchangeable encoders and solvers —
+// and provides three backends:
+//
+//   kFreshZ3        a fresh z3::solver per query over the shared
+//                   translation cache: byte-for-byte the behavior of the
+//                   pre-interface code, kept as the differential baseline.
+//   kIncrementalZ3  one z3::solver per session; the assertion stack maps
+//                   onto Z3 push/pop frames, so the shared prefix is
+//                   translated and asserted once and every query runs
+//                   under a cheap scoped frame.
+//   kFastPath       a memoizing DPLL-style boolean engine over the pool IR
+//                   (reusing the interned symbol ids, per-node bloom masks
+//                   and cached free-variable sets) discharges purely
+//                   boolean queries — the residues the simplifier usually
+//                   leaves — without entering Z3 at all; anything with an
+//                   integer atom, plus searches that exhaust the decision
+//                   budget (kUnknown), falls back to a mirrored
+//                   kIncrementalZ3 session.
+//
+// All three backends are *verdict-identical* on the repo's fragment
+// (quantifier-free booleans + linear integer arithmetic is decidable):
+// the lift/verify answers must not depend on the backend, and the
+// equivalence tests plus the netfuzz `solver-differential` oracle pin
+// that down.
+//
+// Threading: a Solver and its sessions are single-threaded, tied to the
+// pool whose expressions they receive (same discipline as ExprPool — one
+// solver per worker). Sessions share the owning Solver's z3 context,
+// translation cache and memo tables; per-query stats aggregate on the
+// Solver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "smt/expr.hpp"
+#include "smt/z3bridge.hpp"  // Outcome, Assignment
+#include "util/status.hpp"
+
+namespace ns::smt {
+
+enum class SolverBackend {
+  kFreshZ3,        ///< fresh z3::solver per query (pre-interface baseline)
+  kIncrementalZ3,  ///< one z3::solver, assertion stack = push/pop frames
+  kFastPath,       ///< boolean DPLL over the IR, kIncrementalZ3 fallback
+};
+
+const char* SolverBackendName(SolverBackend backend) noexcept;
+util::Result<SolverBackend> ParseSolverBackend(std::string_view name);
+
+struct SolverOptions {
+  SolverBackend backend = SolverBackend::kFastPath;
+  /// Decision budget for one boolean fast-path search; exhausting it
+  /// yields kUnknown and the query falls back to Z3. The residues the
+  /// lift search discharges are tiny (a handful of variables), so the
+  /// default is generous.
+  std::uint32_t max_decisions = 4096;
+};
+
+/// Per-query counters, aggregated on the owning Solver across all of its
+/// sessions. POD so callers can copy them into reports after the solver
+/// (and the pool) are gone.
+struct SolverStats {
+  std::uint64_t queries = 0;         ///< CheckSat/Implies/Solve discharged
+  std::uint64_t assertions = 0;      ///< persistent Assert() calls
+  std::uint64_t fast_path_hits = 0;  ///< answered by the boolean engine
+  std::uint64_t fast_path_fallbacks = 0;  ///< punted to Z3 (ints / budget)
+  std::uint64_t memo_hits = 0;       ///< boolean queries answered from memo
+  std::uint64_t z3_queries = 0;      ///< checks that reached a Z3 solver
+  std::uint64_t frame_reuse = 0;     ///< queries discharged on a session
+                                     ///< with a warm (non-empty) assertion
+                                     ///< stack — the push/pop savings
+  double wall_ms = 0;                ///< total time inside the solver layer
+
+  SolverStats& operator+=(const SolverStats& other) noexcept;
+  friend bool operator==(const SolverStats&, const SolverStats&) = default;
+};
+
+/// One assertion stack. Queries are answered against the conjunction of
+/// everything asserted on the stack plus the query's own operands; the
+/// stack survives between queries, which is the whole point.
+class SolverSession {
+ public:
+  virtual ~SolverSession() = default;
+
+  /// Opens / closes a scoped frame; Pop retracts every Assert since the
+  /// matching Push.
+  virtual void Push() = 0;
+  virtual void Pop() = 0;
+
+  /// Asserts `e` at the current frame.
+  virtual void Assert(Expr e) = 0;
+
+  /// Satisfiability of stack ∧ extra.
+  virtual Outcome CheckSat(std::span<const Expr> extra) = 0;
+  Outcome CheckSat() { return CheckSat({}); }
+
+  /// True iff stack ∧ antecedent implies `consequent` (i.e. stack ∧
+  /// antecedent ∧ ¬consequent is unsat). kUnknown counts as "not implied",
+  /// matching Z3Session::Implies.
+  virtual bool Implies(std::span<const Expr> antecedent, Expr consequent) = 0;
+  bool Implies(Expr consequent) { return Implies({}, consequent); }
+
+  /// Solves stack ∧ extra and extracts values for `vars` (variables the
+  /// model does not mention default to 0, like Z3Session::Solve). Always
+  /// answered by Z3 — model extraction is not on the fast path.
+  virtual util::Result<Assignment> Solve(std::span<const Expr> extra,
+                                         std::span<const Expr> vars) = 0;
+};
+
+/// Owns the backend state shared by its sessions: one z3 context, the
+/// IR→Z3 translation cache, the boolean engine's purity and query memos.
+class Solver {
+ public:
+  explicit Solver(const SolverOptions& options = {});
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// New empty assertion stack sharing this solver's caches. The session
+  /// must not outlive the Solver.
+  std::unique_ptr<SolverSession> NewSession();
+
+  const SolverOptions& options() const noexcept;
+  /// Counters aggregated across every session of this solver.
+  const SolverStats& stats() const noexcept;
+
+  /// Baseline metric for E8 (kept API-compatible with Z3Session): Z3's
+  /// generic `simplify` over the conjunction, measured as tree size.
+  std::size_t GenericSimplifiedSize(std::span<const Expr> constraints);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ns::smt

@@ -12,9 +12,11 @@
 #include "explain/lift.hpp"
 #include "explain/subspec.hpp"
 #include "explain/symbolize.hpp"
+#include "explain/verify.hpp"
 #include "simplify/engine.hpp"
 #include "smt/eval.hpp"
 #include "smt/expr.hpp"
+#include "smt/solver.hpp"
 #include "smt/z3bridge.hpp"
 #include "synth/encoder.hpp"
 #include "synth/synthesizer.hpp"
@@ -218,6 +220,11 @@ struct Runner {
           CheckLiftImplication(subspec.value(), lifted.value(),
                                explainer.pool());
         }
+        if (options.with_z3 && options.with_solver_diff) {
+          report.stage = "solver-diff";
+          CheckSolverDifferential(explainer.pool(), solved, subspec.value(),
+                                  lifted.value());
+        }
       }
     }
 
@@ -370,6 +377,83 @@ struct Runner {
              "exact lift is not implied by the residual constraints "
              "(+domains)");
       }
+    }
+  }
+
+  /// Every solver backend must produce the same answer, byte for byte:
+  /// the lift search asks the same queries in the same order whichever
+  /// session discharges them, so the assembled statement set, its text,
+  /// completeness, and even the candidate count may not diverge. The
+  /// default run (above) used the fast path; here we re-lift with the
+  /// fresh-session and incremental Z3 backends and diff everything.
+  /// Re-running in the same pool is sound: the lifter builds the same
+  /// (already interned) nodes, so renderings stay comparable.
+  void CheckSolverDifferential(smt::ExprPool& pool,
+                               const config::NetworkConfig& solved,
+                               const explain::Subspec& subspec,
+                               const explain::LiftResult& baseline) {
+    explain::Lifter lifter(pool, scenario.topo, scenario.spec, solved);
+    for (const smt::SolverBackend backend :
+         {smt::SolverBackend::kFreshZ3, smt::SolverBackend::kIncrementalZ3}) {
+      explain::SubspecOptions with_backend;
+      with_backend.solver.backend = backend;
+      auto lifted = lifter.Lift(subspec, scenario.mode, with_backend);
+      if (!lifted.ok()) {
+        Fail("solver-differential",
+             std::string(smt::SolverBackendName(backend)) +
+                 " backend failed to lift: " + lifted.error().ToString());
+        return;
+      }
+      const explain::LiftResult& other = lifted.value();
+      std::string detail;
+      if (other.ToString() != baseline.ToString()) {
+        detail = "lift text differs";
+      } else if (other.complete != baseline.complete) {
+        detail = "completeness differs";
+      } else if (other.candidates_tried != baseline.candidates_tried) {
+        detail = "candidate count differs (" +
+                 std::to_string(other.candidates_tried) + " vs " +
+                 std::to_string(baseline.candidates_tried) + ")";
+      } else if (other.used.size() != baseline.used.size()) {
+        detail = "statement count differs";
+      } else {
+        for (std::size_t i = 0; i < other.used.size(); ++i) {
+          // Expr equality is pointer equality in the shared pool, so this
+          // checks the compiled meanings (and their order) exactly.
+          if (other.used[i].residual != baseline.used[i].residual) {
+            detail = "statement #" + std::to_string(i) +
+                     " compiles to a different residual";
+            break;
+          }
+        }
+      }
+      if (!detail.empty()) {
+        Fail("solver-differential",
+             std::string(smt::SolverBackendName(backend)) +
+                 " backend diverges from the fast-path answer: " + detail);
+        return;
+      }
+    }
+
+    // Encoder-based verification must also be backend-independent.
+    smt::SolverOptions fresh;
+    fresh.backend = smt::SolverBackend::kFreshZ3;
+    auto verdict_fresh = explain::VerifyWithEncoder(scenario.topo,
+                                                    scenario.spec, solved,
+                                                    fresh);
+    auto verdict_fast = explain::VerifyWithEncoder(scenario.topo,
+                                                   scenario.spec, solved);
+    if (verdict_fresh.ok() != verdict_fast.ok()) {
+      Fail("solver-differential",
+           "encoder verification success differs between fresh and "
+           "fast-path backends");
+      return;
+    }
+    if (verdict_fresh.ok() &&
+        verdict_fresh.value().ToString() != verdict_fast.value().ToString()) {
+      Fail("solver-differential",
+           "encoder verification verdict differs between fresh and "
+           "fast-path backends");
     }
   }
 

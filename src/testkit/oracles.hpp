@@ -11,6 +11,10 @@
 //                the seed under random hole pinnings (Z3)
 //     -> lift + oracle: lifted meaning implies the subspec (Z3; and the
 //                converse in exact mode when the lift is complete)
+//     -> oracle: solver-differential — every solver backend (fresh Z3
+//                session per query, incremental push/pop session, boolean
+//                fast path) produces byte-identical lift and verify
+//                answers
 //     -> oracle: parallel batch-explain byte-identical to sequential
 //     -> oracle: order-preserving router renaming yields an isomorphic
 //                answer
@@ -52,6 +56,11 @@ struct RunOptions {
   bool with_rename = true;
   /// Run the lifter and its implication oracle.
   bool with_lift = true;
+  /// Run the solver-differential oracle: re-lift with the fresh-session
+  /// and incremental Z3 backends and fail on any divergence from the
+  /// default (fast-path) answer — text, completeness, statement order,
+  /// candidate count; plus fresh-vs-fastpath encoder verification.
+  bool with_solver_diff = true;
   /// Random full models for the eval-equivalence oracles.
   int eval_models = 6;
 };

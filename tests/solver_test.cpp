@@ -1,0 +1,383 @@
+// Property tests for the incremental multi-backend solver layer
+// (smt/solver.hpp): the boolean fast path is cross-checked against
+// brute-force evaluation (smt::Eval) over every model and against the
+// fresh-Z3 baseline on mixed boolean/arithmetic residues, including the
+// kUnknown decision-budget fallback; push/pop frame semantics are pinned
+// per backend; and the lift/verify answers are byte-identical whichever
+// backend discharges the queries.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "explain/lift.hpp"
+#include "explain/report.hpp"
+#include "explain/verify.hpp"
+#include "smt/eval.hpp"
+#include "smt/expr.hpp"
+#include "smt/solver.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/rng.hpp"
+
+namespace ns::smt {
+namespace {
+
+// ------------------------------------------------------------ generators
+
+/// Random purely-boolean formula over `vars` (depth-bounded).
+Expr RandomBool(ExprPool& pool, util::Rng& rng, const std::vector<Expr>& vars,
+                int depth) {
+  if (depth == 0 || rng.Chance(1, 5)) {
+    if (rng.Chance(1, 8)) return pool.Bool(rng.Coin());
+    return vars[rng.Below(vars.size())];
+  }
+  switch (rng.Below(5)) {
+    case 0:
+      return pool.And({RandomBool(pool, rng, vars, depth - 1),
+                       RandomBool(pool, rng, vars, depth - 1)});
+    case 1:
+      return pool.Or({RandomBool(pool, rng, vars, depth - 1),
+                      RandomBool(pool, rng, vars, depth - 1)});
+    case 2:
+      return pool.Not(RandomBool(pool, rng, vars, depth - 1));
+    case 3:
+      return pool.Implies(RandomBool(pool, rng, vars, depth - 1),
+                          RandomBool(pool, rng, vars, depth - 1));
+    default:
+      return pool.Ite(RandomBool(pool, rng, vars, depth - 1),
+                      RandomBool(pool, rng, vars, depth - 1),
+                      RandomBool(pool, rng, vars, depth - 1));
+  }
+}
+
+/// Random formula mixing boolean structure with linear-integer atoms, so
+/// the fast path must detect impurity and fall back to Z3.
+Expr RandomMixed(ExprPool& pool, util::Rng& rng,
+                 const std::vector<Expr>& bool_vars,
+                 const std::vector<Expr>& int_vars, int depth) {
+  if (depth == 0 || rng.Chance(1, 4)) {
+    if (rng.Coin()) return bool_vars[rng.Below(bool_vars.size())];
+    const Expr a = int_vars[rng.Below(int_vars.size())];
+    const Expr b = rng.Coin()
+                       ? pool.Int(static_cast<std::int64_t>(rng.Below(5)))
+                       : pool.Add(int_vars[rng.Below(int_vars.size())],
+                                  pool.Int(static_cast<std::int64_t>(
+                                      rng.Below(3))));
+    switch (rng.Below(3)) {
+      case 0: return pool.Eq(a, b);
+      case 1: return pool.Lt(a, b);
+      default: return pool.Le(a, b);
+    }
+  }
+  switch (rng.Below(3)) {
+    case 0:
+      return pool.And({RandomMixed(pool, rng, bool_vars, int_vars, depth - 1),
+                       RandomMixed(pool, rng, bool_vars, int_vars, depth - 1)});
+    case 1:
+      return pool.Or({RandomMixed(pool, rng, bool_vars, int_vars, depth - 1),
+                      RandomMixed(pool, rng, bool_vars, int_vars, depth - 1)});
+    default:
+      return pool.Not(RandomMixed(pool, rng, bool_vars, int_vars, depth - 1));
+  }
+}
+
+/// Brute-force satisfiability of `f` by enumerating all 2^n assignments of
+/// `vars` — the ground truth the solver backends must reproduce.
+bool BruteForceSat(Expr f, const std::vector<Expr>& vars) {
+  const std::size_t n = vars.size();
+  for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    Assignment env;
+    for (std::size_t i = 0; i < n; ++i) {
+      env[std::string(vars[i].name())] =
+          static_cast<std::int64_t>((bits >> i) & 1);
+    }
+    const auto value = Eval(f, env);
+    if (value.ok() && value.value() != 0) return true;
+  }
+  return false;
+}
+
+std::vector<Expr> MakeBoolVars(ExprPool& pool, int n) {
+  std::vector<Expr> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(pool.Var("b" + std::to_string(i), Sort::kBool));
+  }
+  return vars;
+}
+
+// --------------------------------------------------------- parse / names
+
+TEST(SolverBackendTest, NamesRoundTripAndBadNamesAreRejected) {
+  for (const SolverBackend backend :
+       {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+        SolverBackend::kFastPath}) {
+    const auto parsed = ParseSolverBackend(SolverBackendName(backend));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), backend);
+  }
+  EXPECT_FALSE(ParseSolverBackend("z4").ok());
+  EXPECT_FALSE(ParseSolverBackend("").ok());
+}
+
+// ------------------------------------------------- fast path vs ground truth
+
+TEST(BoolFastPathTest, CheckSatMatchesBruteForceOnRandomFormulas) {
+  ExprPool pool;
+  util::Rng rng(2024);
+  const std::vector<Expr> vars = MakeBoolVars(pool, 7);
+  Solver solver(SolverOptions{.backend = SolverBackend::kFastPath});
+  auto session = solver.NewSession();
+  for (int i = 0; i < 120; ++i) {
+    const Expr f = RandomBool(pool, rng, vars, 4);
+    const std::vector<Expr> extra{f};
+    const Outcome got = session->CheckSat(extra);
+    ASSERT_NE(got, Outcome::kUnknown) << "formula #" << i;
+    EXPECT_EQ(got == Outcome::kSat, BruteForceSat(f, vars))
+        << "formula #" << i;
+  }
+  // Purely boolean queries must never have entered Z3.
+  EXPECT_GT(solver.stats().fast_path_hits, 0u);
+  EXPECT_EQ(solver.stats().z3_queries, 0u);
+  EXPECT_EQ(solver.stats().fast_path_fallbacks, 0u);
+}
+
+TEST(BoolFastPathTest, RepeatedQueriesHitTheMemo) {
+  ExprPool pool;
+  util::Rng rng(7);
+  const std::vector<Expr> vars = MakeBoolVars(pool, 5);
+  Solver solver(SolverOptions{.backend = SolverBackend::kFastPath});
+  auto session = solver.NewSession();
+  const Expr f = RandomBool(pool, rng, vars, 4);
+  const std::vector<Expr> extra{f};
+  const Outcome first = session->CheckSat(extra);
+  EXPECT_EQ(session->CheckSat(extra), first);
+  EXPECT_GT(solver.stats().memo_hits, 0u);
+}
+
+TEST(BoolFastPathTest, ImpliesMatchesFreshZ3OnRandomBooleanFormulas) {
+  ExprPool pool;
+  util::Rng rng(99);
+  const std::vector<Expr> vars = MakeBoolVars(pool, 6);
+  Solver fast(SolverOptions{.backend = SolverBackend::kFastPath});
+  Solver fresh(SolverOptions{.backend = SolverBackend::kFreshZ3});
+  auto fast_session = fast.NewSession();
+  auto fresh_session = fresh.NewSession();
+  const Expr stack = RandomBool(pool, rng, vars, 3);
+  fast_session->Assert(stack);
+  fresh_session->Assert(stack);
+  for (int i = 0; i < 60; ++i) {
+    const Expr ante = RandomBool(pool, rng, vars, 3);
+    const Expr cons = RandomBool(pool, rng, vars, 3);
+    const std::vector<Expr> antecedent{ante};
+    EXPECT_EQ(fast_session->Implies(antecedent, cons),
+              fresh_session->Implies(antecedent, cons))
+        << "query #" << i;
+  }
+  EXPECT_EQ(fast.stats().z3_queries, 0u);
+}
+
+TEST(BoolFastPathTest, MixedArithmeticFallsBackToZ3AndStaysCorrect) {
+  ExprPool pool;
+  util::Rng rng(4242);
+  const std::vector<Expr> bool_vars = MakeBoolVars(pool, 4);
+  std::vector<Expr> int_vars;
+  for (int i = 0; i < 3; ++i) {
+    int_vars.push_back(pool.Var("n" + std::to_string(i), Sort::kInt));
+  }
+  Solver fast(SolverOptions{.backend = SolverBackend::kFastPath});
+  Solver fresh(SolverOptions{.backend = SolverBackend::kFreshZ3});
+  auto fast_session = fast.NewSession();
+  auto fresh_session = fresh.NewSession();
+  for (int i = 0; i < 40; ++i) {
+    const Expr f = RandomMixed(pool, rng, bool_vars, int_vars, 3);
+    const std::vector<Expr> extra{f};
+    EXPECT_EQ(fast_session->CheckSat(extra), fresh_session->CheckSat(extra))
+        << "formula #" << i;
+    const Expr cons = RandomMixed(pool, rng, bool_vars, int_vars, 2);
+    EXPECT_EQ(fast_session->Implies(extra, cons),
+              fresh_session->Implies(extra, cons))
+        << "implication #" << i;
+  }
+  // The integer atoms force the fallback route through the mirrored
+  // incremental session.
+  EXPECT_GT(fast.stats().fast_path_fallbacks, 0u);
+  EXPECT_GT(fast.stats().z3_queries, 0u);
+}
+
+TEST(BoolFastPathTest, ExhaustedDecisionBudgetFallsBackToZ3) {
+  ExprPool pool;
+  util::Rng rng(11);
+  const std::vector<Expr> vars = MakeBoolVars(pool, 6);
+  // A zero budget turns every branching search into kUnknown; the answer
+  // must then come from Z3 and still match the brute-force ground truth.
+  Solver solver(SolverOptions{.backend = SolverBackend::kFastPath,
+                              .max_decisions = 0});
+  auto session = solver.NewSession();
+  // (b0 ∨ b1) needs a decision: no unit propagation applies.
+  const Expr needs_branch = pool.Or({vars[0], vars[1]});
+  const std::vector<Expr> branch_extra{needs_branch};
+  EXPECT_EQ(session->CheckSat(branch_extra), Outcome::kSat);
+  for (int i = 0; i < 30; ++i) {
+    const Expr f = RandomBool(pool, rng, vars, 4);
+    const std::vector<Expr> extra{f};
+    const Outcome got = session->CheckSat(extra);
+    ASSERT_NE(got, Outcome::kUnknown) << "formula #" << i;
+    EXPECT_EQ(got == Outcome::kSat, BruteForceSat(f, vars))
+        << "formula #" << i;
+  }
+  EXPECT_GT(solver.stats().fast_path_fallbacks, 0u);
+  EXPECT_GT(solver.stats().z3_queries, 0u);
+}
+
+// ------------------------------------------------------- push/pop frames
+
+TEST(SolverSessionTest, PushPopRetractsAssertionsOnEveryBackend) {
+  for (const SolverBackend backend :
+       {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+        SolverBackend::kFastPath}) {
+    SCOPED_TRACE(SolverBackendName(backend));
+    ExprPool pool;
+    const Expr x = pool.Var("x", Sort::kBool);
+    const Expr y = pool.Var("y", Sort::kBool);
+    Solver solver(SolverOptions{.backend = backend});
+    auto session = solver.NewSession();
+
+    session->Assert(x);
+    EXPECT_EQ(session->CheckSat(), Outcome::kSat);
+    session->Push();
+    session->Assert(pool.Not(x));
+    EXPECT_EQ(session->CheckSat(), Outcome::kUnsat);
+    session->Pop();
+    EXPECT_EQ(session->CheckSat(), Outcome::kSat);
+
+    // The stack participates in implication checks: x ∧ (x → y) ⊨ y,
+    // but after popping the implication x alone does not force y.
+    session->Push();
+    session->Assert(pool.Implies(x, y));
+    EXPECT_TRUE(session->Implies(y));
+    session->Pop();
+    EXPECT_FALSE(session->Implies(y));
+  }
+}
+
+TEST(SolverSessionTest, SolveExtractsModelsUnderTheStack) {
+  for (const SolverBackend backend :
+       {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+        SolverBackend::kFastPath}) {
+    SCOPED_TRACE(SolverBackendName(backend));
+    ExprPool pool;
+    const Expr b = pool.Var("b", Sort::kBool);
+    const Expr n = pool.Var("n", Sort::kInt);
+    Solver solver(SolverOptions{.backend = backend});
+    auto session = solver.NewSession();
+    session->Assert(b);
+    session->Assert(pool.Eq(n, pool.Int(41)));
+    const std::vector<Expr> extra;
+    const std::vector<Expr> vars{b, n};
+    auto model = session->Solve(extra, vars);
+    ASSERT_TRUE(model.ok()) << model.error().ToString();
+    EXPECT_EQ(model.value().at("b"), 1);
+    EXPECT_EQ(model.value().at("n"), 41);
+
+    session->Assert(pool.Not(b));
+    auto unsat = session->Solve(extra, vars);
+    EXPECT_FALSE(unsat.ok());
+  }
+}
+
+// ------------------------------------- end-to-end backend byte-identity
+
+TEST(SolverEquivalenceTest, LiftAnswersAreByteIdenticalAcrossBackends) {
+  for (const synth::Scenario& scenario :
+       {synth::Scenario1(), synth::Scenario2()}) {
+    synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+    auto solved = synthesizer.Synthesize(scenario.sketch);
+    ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+    std::vector<std::string> reports;
+    std::vector<int> candidates;
+    for (const SolverBackend backend :
+         {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+          SolverBackend::kFastPath}) {
+      explain::Session session(scenario.topo, scenario.spec,
+                               solved.value().network);
+      smt::SolverOptions options;
+      options.backend = backend;
+      std::string router;
+      for (const auto& [name, cfg] : solved.value().network.routers) {
+        if (!cfg.route_maps.empty()) {
+          router = name;
+          break;
+        }
+      }
+      ASSERT_FALSE(router.empty());
+      auto answer =
+          session.Ask(explain::Selection::Router(router),
+                      explain::LiftMode::kExact, {}, false, options);
+      ASSERT_TRUE(answer.ok()) << answer.error().ToString();
+      reports.push_back(answer.value().Report());
+      candidates.push_back(answer.value().lifted.candidates_tried);
+      EXPECT_EQ(answer.value().stats.backend, backend);
+      if (backend != SolverBackend::kFreshZ3) {
+        // Incremental backends keep the domain prefix warm across the
+        // candidate loop — the whole point of the session interface.
+        EXPECT_GT(answer.value().stats.lift.frame_reuse, 0u);
+      }
+    }
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(reports[0], reports[2]);
+    EXPECT_EQ(candidates[0], candidates[1]);
+    EXPECT_EQ(candidates[0], candidates[2]);
+  }
+}
+
+TEST(SolverEquivalenceTest, VerifyFindingsAreIdenticalAcrossBackends) {
+  const synth::Scenario scenario = synth::Scenario1();
+  synth::Synthesizer synthesizer(scenario.topo, scenario.spec);
+  auto solved = synthesizer.Synthesize(scenario.sketch);
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+  std::vector<std::string> verdicts;
+  for (const SolverBackend backend :
+       {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+        SolverBackend::kFastPath}) {
+    smt::SolverOptions options;
+    options.backend = backend;
+    auto verdict = explain::VerifyWithEncoder(
+        scenario.topo, scenario.spec, solved.value().network, options);
+    ASSERT_TRUE(verdict.ok()) << verdict.error().ToString();
+    EXPECT_GT(verdict.value().solver_stats.queries, 0u);
+    verdicts.push_back(verdict.value().ToString());
+  }
+  EXPECT_EQ(verdicts[0], verdicts[1]);
+  EXPECT_EQ(verdicts[0], verdicts[2]);
+}
+
+TEST(SolverStatsTest, CountersAddUpAndAggregateAcrossSessions) {
+  ExprPool pool;
+  const Expr x = pool.Var("x", Sort::kBool);
+  Solver solver(SolverOptions{.backend = SolverBackend::kFastPath});
+  {
+    auto a = solver.NewSession();
+    a->Assert(x);
+    a->CheckSat();
+  }
+  {
+    auto b = solver.NewSession();
+    b->CheckSat();
+  }
+  const SolverStats& stats = solver.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.assertions, 1u);
+  EXPECT_EQ(stats.fast_path_hits + stats.fast_path_fallbacks, stats.queries);
+  EXPECT_GE(stats.wall_ms, 0.0);
+
+  SolverStats sum;
+  sum += stats;
+  sum += stats;
+  EXPECT_EQ(sum.queries, 2 * stats.queries);
+}
+
+}  // namespace
+}  // namespace ns::smt

@@ -2,14 +2,25 @@
 // (BENCH_*.json) emitted by the bench binaries' --json flag.
 //
 //   bench_json_check BENCH_rules.json [BENCH_scaling.json ...]
+//   bench_json_check NEW.json --baseline COMMITTED.json \
+//       [--record median] [--key opt_ms] [--max-ratio 1.5]
 //
 // The shared shape (see bench/bench_common.hpp): a top-level object with a
 // "bench" name and a non-empty "records" array; every record carries
 // "label" (string) plus the A/B keys "ref_ms"/"opt_ms"/"speedup"
 // (numbers). Exit code 0 iff every file validates — CI runs this after the
 // bench smoke run so a schema drift fails the build, not a dashboard.
+//
+// Compare mode (--baseline): after validating, look up the record with the
+// given label in the first file and in the baseline and fail if the
+// candidate's key exceeds baseline * max-ratio — the CI regression gate
+// for committed artifacts like BENCH_LIFT.json (key opt_ms, record
+// "median": the incremental lift-search median query time may not regress
+// more than 1.5x against the committed trajectory).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "util/file.hpp"
 #include "util/json.hpp"
@@ -72,16 +83,104 @@ bool CheckFile(const std::string& path) {
   return true;
 }
 
+/// Finds the record with `label`, or nullptr.
+const Json* FindRecord(const Json& doc, const std::string& label) {
+  const Json* records = doc.Find("records");
+  if (records == nullptr || !records->IsArray()) return nullptr;
+  for (const Json& record : records->AsArray()) {
+    const Json* name = record.Find("label");
+    if (name != nullptr && name->IsString() && name->AsString() == label) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+bool Compare(const std::string& candidate_path, const std::string& baseline_path,
+             const std::string& label, const std::string& key,
+             double max_ratio) {
+  auto load = [](const std::string& path) -> ns::util::Result<Json> {
+    auto text = ns::util::ReadFile(path);
+    if (!text) return text.error();
+    return Json::Parse(text.value());
+  };
+  auto candidate = load(candidate_path);
+  if (!candidate) return Complain(candidate_path, candidate.error().ToString());
+  auto baseline = load(baseline_path);
+  if (!baseline) return Complain(baseline_path, baseline.error().ToString());
+
+  const Json* new_record = FindRecord(candidate.value(), label);
+  if (new_record == nullptr) {
+    return Complain(candidate_path, "no record labeled '" + label + "'");
+  }
+  const Json* old_record = FindRecord(baseline.value(), label);
+  if (old_record == nullptr) {
+    return Complain(baseline_path, "no record labeled '" + label + "'");
+  }
+  const Json* new_value = new_record->Find(key);
+  const Json* old_value = old_record->Find(key);
+  if (new_value == nullptr || !new_value->IsNumber() || old_value == nullptr ||
+      !old_value->IsNumber()) {
+    return Complain(candidate_path,
+                    "record '" + label + "' lacks numeric '" + key + "'");
+  }
+  const double bound = old_value->AsDouble() * max_ratio;
+  if (new_value->AsDouble() > bound) {
+    return Complain(candidate_path,
+                    "regression: record '" + label + "' " + key + " = " +
+                        std::to_string(new_value->AsDouble()) + " exceeds " +
+                        std::to_string(max_ratio) + "x the baseline (" +
+                        std::to_string(old_value->AsDouble()) + " in " +
+                        baseline_path + ")");
+  }
+  std::printf("bench_json_check: %s: '%s' %s = %.4f within %.2fx of "
+              "baseline %.4f\n",
+              candidate_path.c_str(), label.c_str(), key.c_str(),
+              new_value->AsDouble(), max_ratio, old_value->AsDouble());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_FILE.json...\n", argv[0]);
+  std::vector<std::string> files;
+  std::string baseline;
+  std::string record = "median";
+  std::string key = "opt_ms";
+  double max_ratio = 1.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--baseline") {
+      baseline = value();
+    } else if (arg == "--record") {
+      record = value();
+    } else if (arg == "--key") {
+      key = value();
+    } else if (arg == "--max-ratio") {
+      max_ratio = std::strtod(value(), nullptr);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || (!baseline.empty() && max_ratio <= 0)) {
+    std::fprintf(stderr,
+                 "usage: %s BENCH_FILE.json... [--baseline FILE "
+                 "[--record LABEL] [--key KEY] [--max-ratio R]]\n",
+                 argv[0]);
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) {
-    ok = CheckFile(argv[i]) && ok;
+  for (const std::string& file : files) {
+    ok = CheckFile(file) && ok;
+  }
+  if (ok && !baseline.empty()) {
+    ok = Compare(files.front(), baseline, record, key, max_ratio);
   }
   return ok ? 0 : 1;
 }

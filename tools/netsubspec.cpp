@@ -7,10 +7,11 @@
 //                         --router R1 [--map R1_to_P1] [--seq 10]
 //                         [--slot action] [--req Req1]... [--mode faithful]
 //                         [--rest] [--baselines]
+//                         [--solver fresh|incremental|fastpath] [--stats]
 //   netsubspec batch-explain --topo fig1b.topo --spec s1.spec --config out.cfg
 //                         [--router R1]... [--threads N] [--sequential]
 //                         [--req Req1]... [--mode faithful] [--baselines]
-//                         [--json out.json]
+//                         [--solver NAME] [--stats] [--json out.json]
 //   netsubspec serve      [--port P] [--threads N] [--cache-entries K]
 //                         [--deadline-ms D]
 //                         [--topo F --spec F --config F]   (preload)
@@ -21,6 +22,7 @@
 #include <charconv>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -58,10 +60,13 @@ int Usage(const char* argv0) {
                "  explain:      --config FILE --router NAME [--map NAME]\n"
                "                [--seq N] [--slot SLOT] [--req NAME]...\n"
                "                [--mode exact|faithful] [--rest] [--baselines]\n"
+               "                [--solver fresh|incremental|fastpath] "
+               "[--stats]\n"
                "  batch-explain: --config FILE [--router NAME]... (default:\n"
                "                all routers with route-maps) [--threads N]\n"
                "                [--sequential] [--req NAME]... [--mode MODE]\n"
-               "                [--baselines] [--json FILE]\n"
+               "                [--baselines] [--solver NAME] [--stats]\n"
+               "                [--json FILE]\n"
                "  serve:        [--port P] [--threads N] [--cache-entries K]\n"
                "                [--deadline-ms D] [--topo F --spec F\n"
                "                --config F]  (see docs/SERVE.md)\n",
@@ -82,7 +87,8 @@ class Flags {
                            "unexpected argument '" + arg + "'");
       }
       arg = arg.substr(2);
-      if (arg == "rest" || arg == "baselines" || arg == "sequential") {
+      if (arg == "rest" || arg == "baselines" || arg == "sequential" ||
+          arg == "stats") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -157,6 +163,15 @@ util::Result<int> ParseIntFlag(const Flags& flags, const std::string& name) {
   return value;
 }
 
+util::Result<smt::SolverOptions> ParseSolverFlag(const Flags& flags) {
+  smt::SolverOptions options;
+  if (!flags.Has("solver")) return options;
+  auto backend = smt::ParseSolverBackend(flags.One("solver").value());
+  if (!backend) return backend.error();
+  options.backend = backend.value();
+  return options;
+}
+
 util::Result<explain::LiftMode> ParseLiftMode(const Flags& flags) {
   if (!flags.Has("mode")) return explain::LiftMode::kExact;
   const std::string value = flags.One("mode").value();
@@ -206,10 +221,12 @@ int CmdVerify(const Flags& flags) {
   if (!spec) return Fail(spec.error());
   auto network = LoadConfig(flags, "config");
   if (!network) return Fail(network.error());
+  auto solver = ParseSolverFlag(flags);
+  if (!solver) return Fail(solver.error());
 
   // Verdict 1: SMT encoder (explains violations along candidate paths).
-  auto encoder_verdict =
-      explain::VerifyWithEncoder(topo.value(), spec.value(), network.value());
+  auto encoder_verdict = explain::VerifyWithEncoder(
+      topo.value(), spec.value(), network.value(), solver.value());
   if (!encoder_verdict) return Fail(encoder_verdict.error());
   std::printf("encoder-based verification : %s\n",
               encoder_verdict.value().ToString().c_str());
@@ -272,13 +289,20 @@ int CmdExplain(const Flags& flags) {
 
   auto mode = ParseLiftMode(flags);
   if (!mode) return Fail(mode.error());
+  auto solver = ParseSolverFlag(flags);
+  if (!solver) return Fail(solver.error());
 
   explain::Session session(topo.value(), spec.value(),
                            std::move(network).value());
   auto answer = session.Ask(selection, mode.value(), flags.All("req"),
-                            flags.Has("baselines"));
+                            flags.Has("baselines"), solver.value());
   if (!answer) return Fail(answer.error());
   std::fputs(answer.value().Report().c_str(), stdout);
+  if (flags.Has("stats")) {
+    // Separate from Report(): the report text is golden-pinned and must
+    // stay backend-independent.
+    std::printf("%s\n", answer.value().stats.ToString().c_str());
+  }
   return 0;
 }
 
@@ -293,6 +317,8 @@ int CmdBatchExplain(const Flags& flags) {
   if (!network) return Fail(network.error());
   auto mode = ParseLiftMode(flags);
   if (!mode) return Fail(mode.error());
+  auto solver = ParseSolverFlag(flags);
+  if (!solver) return Fail(solver.error());
 
   std::vector<explain::BatchRequest> requests;
   if (flags.Has("router")) {
@@ -307,9 +333,10 @@ int CmdBatchExplain(const Flags& flags) {
   } else {
     requests = explain::RequestsForAllRouters(network.value(), mode.value(),
                                               flags.All("req"));
-    for (explain::BatchRequest& request : requests) {
-      request.compute_baselines = flags.Has("baselines");
-    }
+  }
+  for (explain::BatchRequest& request : requests) {
+    request.compute_baselines = flags.Has("baselines");
+    request.solver = solver.value();
   }
   if (requests.empty()) {
     return Fail(util::Error(util::ErrorCode::kNotFound,
@@ -341,6 +368,14 @@ int CmdBatchExplain(const Flags& flags) {
   }
   std::printf("batch: %zu questions, %d worker thread(s), %.1f ms total\n",
               outcome.items.size(), outcome.threads_used, outcome.wall_ms);
+  if (flags.Has("stats")) {
+    explain::ExplainStats total;
+    total.backend = solver.value().backend;
+    for (const explain::BatchItem& item : outcome.items) {
+      if (item.result.ok()) total.lift += item.result.value().stats.lift;
+    }
+    std::printf("%s\n", total.ToString().c_str());
+  }
 
   if (flags.Has("json")) {
     util::Json items = util::Json::MakeArray();
@@ -356,6 +391,17 @@ int CmdBatchExplain(const Flags& flags) {
         row.Set("unsat", answer.unsat);
         row.Set("seed_size", answer.metrics.seed_size);
         row.Set("residual_size", answer.metrics.residual_size);
+        util::Json solver_row = util::Json::MakeObject();
+        solver_row.Set("backend", std::string(smt::SolverBackendName(
+                                      answer.stats.backend)));
+        solver_row.Set("queries",
+                       static_cast<std::int64_t>(answer.stats.lift.queries));
+        solver_row.Set("fast_path_hits", static_cast<std::int64_t>(
+                                             answer.stats.lift.fast_path_hits));
+        solver_row.Set("z3_queries", static_cast<std::int64_t>(
+                                         answer.stats.lift.z3_queries));
+        solver_row.Set("wall_ms", answer.stats.lift.wall_ms);
+        row.Set("solver", std::move(solver_row));
         row.Set("subspec", answer.subspec_text);
       } else {
         row.Set("error", item.result.error().ToString());
