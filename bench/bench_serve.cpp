@@ -1,0 +1,216 @@
+// bench_serve — the serve front-end trajectory (the tentpole of the epoll
+// reactor rewrite). Drives the same warmed question mix through two
+// otherwise-identical in-process servers — the blocking
+// thread-per-connection baseline (ref) and the epoll reactor pool (opt) —
+// at fixed connection counts, and records the closed-loop latency
+// percentiles and throughput of each. With a warm answer cache the
+// numbers isolate exactly what this rewrite changed: framing, dispatch,
+// admission, and response ordering, not Z3.
+//
+//   bench_serve --json BENCH_SERVE.json [--benchmark_filter=NONE]
+//
+// The committed BENCH_SERVE.json at the repo root is regenerated with
+// exactly that invocation (see TESTING.md); CI re-runs the bench and
+// fails if the epoll median p50 regresses >1.5x against the committed
+// numbers (tools/bench_json_check --baseline --record median
+// --key opt_ms).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "explain/batch.hpp"
+#include "net/topo_text.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace ns;
+
+constexpr double kDurationS = 2.0;
+constexpr int kWorkerThreads = 4;
+
+struct RequestMix {
+  std::string load_line;
+  std::vector<std::string> explain_lines;
+};
+
+/// Scenario 1 with the paper's fixed configuration, every policy-carrying
+/// router in both lift modes — the serve tests' byte-identity mix.
+RequestMix BuildRequestMix() {
+  const synth::Scenario scenario = synth::Scenario1();
+  const std::string topo = net::ToText(scenario.topo);
+  const std::string spec = scenario.spec.ToString();
+  const std::string config =
+      config::RenderNetwork(synth::Scenario1PaperConfig(), &scenario.topo);
+
+  RequestMix mix;
+  util::Json load = util::Json::MakeObject();
+  load.Set("cmd", "load");
+  load.Set("topo", topo);
+  load.Set("spec", spec);
+  load.Set("config", config);
+  mix.load_line = load.Dump(0);
+
+  auto solved = config::ParseNetworkConfig(config);
+  NS_ASSERT_MSG(solved.ok(), "bench scenario config failed to parse");
+  for (const auto& request : explain::RequestsForAllRouters(solved.value())) {
+    for (const char* mode : {"exact", "faithful"}) {
+      util::Json explain = util::Json::MakeObject();
+      explain.Set("cmd", "explain");
+      explain.Set("router", request.selection.router);
+      explain.Set("mode", mode);
+      mix.explain_lines.push_back(explain.Dump(0));
+    }
+  }
+  return mix;
+}
+
+struct FrontendRun {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double rps = 0;
+};
+
+FrontendRun RunFrontend(serve::Frontend frontend, int connections,
+                        const RequestMix& mix) {
+  serve::ServerOptions options;
+  options.threads = kWorkerThreads;
+  options.frontend = frontend;
+  serve::Server server(options);
+  auto started = server.Start();
+  NS_ASSERT_MSG(started.ok(), "bench server failed to start");
+
+  // Load and answer every question once: the measured window then runs
+  // against a warm cache, so the A/B isolates front-end overhead.
+  {
+    auto client = serve::Client::Connect(server.port());
+    NS_ASSERT_MSG(client.ok(), "bench client failed to connect");
+    auto loaded = client.value().Call(util::Json::Parse(mix.load_line).value());
+    NS_ASSERT_MSG(loaded.ok() && loaded.value().Find("ok")->AsBool(),
+                  "bench load request failed");
+    for (const std::string& line : mix.explain_lines) {
+      auto warm = client.value().Call(util::Json::Parse(line).value());
+      NS_ASSERT_MSG(warm.ok() && warm.value().Find("ok")->AsBool(),
+                    "bench warmup explain failed");
+    }
+  }
+
+  serve::LoadgenOptions load_options;
+  load_options.port = server.port();
+  load_options.connections = connections;
+  load_options.duration_s = kDurationS;
+  load_options.seed = 7;
+  auto report = serve::RunLoadgen(load_options, mix.explain_lines);
+  NS_ASSERT_MSG(report.ok(), "bench loadgen failed");
+  NS_ASSERT_MSG(report.value().protocol_errors == 0,
+                "bench run saw protocol errors");
+  NS_ASSERT_MSG(report.value().shed == 0,
+                "bench run shed requests (queue misconfigured)");
+  server.Shutdown();
+
+  FrontendRun run;
+  run.p50_ms = report.value().p50_ms;
+  run.p99_ms = report.value().p99_ms;
+  run.rps = report.value().throughput_rps;
+  return run;
+}
+
+double Median(std::vector<double> values) {
+  NS_ASSERT_MSG(!values.empty(), "median of nothing");
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+util::Json PrintTable() {
+  const RequestMix mix = BuildRequestMix();
+  bench::Rule();
+  std::printf("serve front end: blocking (ref) vs epoll reactors (opt), "
+              "closed loop, warm cache, %d workers, %.0f s per cell\n",
+              kWorkerThreads, kDurationS);
+  bench::Rule();
+  std::printf("%-6s | %9s %9s %7s | %9s %9s | %9s %9s\n", "conns",
+              "ref p50", "opt p50", "ratio", "ref p99", "opt p99", "ref rps",
+              "opt rps");
+
+  util::Json records = util::Json::MakeArray();
+  std::vector<double> ref_p50s;
+  std::vector<double> opt_p50s;
+  for (const int connections : {4, 16, 64}) {
+    const FrontendRun ref =
+        RunFrontend(serve::Frontend::kBlocking, connections, mix);
+    const FrontendRun opt =
+        RunFrontend(serve::Frontend::kEpoll, connections, mix);
+    const double speedup = opt.p50_ms > 0 ? ref.p50_ms / opt.p50_ms : 0;
+    std::printf("%-6d | %9.3f %9.3f %6.2fx | %9.3f %9.3f | %9.0f %9.0f\n",
+                connections, ref.p50_ms, opt.p50_ms, speedup, ref.p99_ms,
+                opt.p99_ms, ref.rps, opt.rps);
+    ref_p50s.push_back(ref.p50_ms);
+    opt_p50s.push_back(opt.p50_ms);
+
+    util::Json record = util::Json::MakeObject();
+    record.Set("label", "c" + std::to_string(connections));
+    record.Set("ref_ms", ref.p50_ms);
+    record.Set("opt_ms", opt.p50_ms);
+    record.Set("speedup", speedup);
+    record.Set("ref_p99_ms", ref.p99_ms);
+    record.Set("opt_p99_ms", opt.p99_ms);
+    record.Set("ref_rps", ref.rps);
+    record.Set("opt_rps", opt.rps);
+    records.Append(std::move(record));
+  }
+  bench::Rule();
+
+  // Summary record CI compares against the committed BENCH_SERVE.json:
+  // the epoll median p50 across connection counts may not regress.
+  const double ref_median = Median(ref_p50s);
+  const double opt_median = Median(opt_p50s);
+  const double median_speedup = opt_median > 0 ? ref_median / opt_median : 0;
+  std::printf("median p50: blocking %.3f ms, epoll %.3f ms (%.2fx)\n\n",
+              ref_median, opt_median, median_speedup);
+  util::Json median = util::Json::MakeObject();
+  median.Set("label", "median");
+  median.Set("ref_ms", ref_median);
+  median.Set("opt_ms", opt_median);
+  median.Set("speedup", median_speedup);
+  records.Append(std::move(median));
+  return records;
+}
+
+void BM_EpollWarmExplain(benchmark::State& state) {
+  const RequestMix mix = BuildRequestMix();
+  serve::ServerOptions options;
+  options.threads = kWorkerThreads;
+  serve::Server server(options);
+  NS_ASSERT_MSG(server.Start().ok(), "bench server failed to start");
+  auto client = serve::Client::Connect(server.port());
+  NS_ASSERT_MSG(client.ok(), "bench client failed to connect");
+  (void)client.value().Call(util::Json::Parse(mix.load_line).value());
+  const util::Json question =
+      util::Json::Parse(mix.explain_lines.front()).value();
+  (void)client.value().Call(question);  // warm the cache
+  for (auto _ : state) {
+    auto response = client.value().Call(question);
+    benchmark::DoNotOptimize(response.ok());
+  }
+  server.Shutdown();
+}
+BENCHMARK(BM_EpollWarmExplain)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ns::bench::ExtractJsonPath(argc, argv);
+  util::Json records = PrintTable();
+  ns::bench::WriteBenchJson(json_path, "bench_serve", std::move(records));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

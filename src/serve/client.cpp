@@ -50,11 +50,14 @@ Client::~Client() {
 }
 
 Status Client::SendLine(const std::string& line) {
-  const std::string framed = line + "\n";
+  return SendRaw(line + "\n");
+}
+
+Status Client::SendRaw(std::string_view bytes) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < bytes.size()) {
     const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return Error(ErrorCode::kInternal,

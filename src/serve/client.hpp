@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "util/json.hpp"
 #include "util/status.hpp"
@@ -33,6 +34,11 @@ class Client {
   /// Half of Call: just send. For tests that drive raw lines.
   util::Status SendLine(const std::string& line);
   util::Result<util::Json> ReadResponse();
+
+  /// Sends raw bytes with no framing added — tests and the fuzz serve
+  /// oracle use this to drip a request byte by byte or to pipeline many
+  /// framed lines in a single write.
+  util::Status SendRaw(std::string_view bytes);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -1,0 +1,75 @@
+// Shared service-internal state passed between the front ends (blocking
+// thread-per-connection, epoll reactor), the worker pool, and the request
+// dispatch core in server.cpp.
+//
+// A `Job` is one queued explain question. The worker always completes the
+// job — computes, inserts into the answer cache, publishes the result —
+// whatever the front end does meanwhile:
+//
+//   * the blocking front end parks the connection thread on `cv` (up to
+//     the request deadline);
+//   * the epoll front end never blocks: it sets `on_done` *before* the
+//     job is enqueued, and the worker invokes it after publishing, which
+//     wakes the owning reactor through its eventfd.
+//
+// A front end that abandons a job (deadline expiry, connection gone)
+// simply drops its reference; the worker still finishes and the answer
+// still lands in the cache, so a retry becomes a hit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "config/device.hpp"
+#include "explain/batch.hpp"
+#include "net/topology.hpp"
+#include "spec/ast.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+/// One loaded scenario, published as an immutable snapshot: in-flight
+/// requests keep their snapshot alive across a concurrent `load`.
+struct Scenario {
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig solved;
+  std::string digest;
+};
+
+/// One queued explain question.
+struct Job {
+  explain::BatchRequest request;
+  std::shared_ptr<const Scenario> scenario;
+  std::string cache_key;
+  int debug_sleep_ms = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;  // guarded by mu
+  util::Result<explain::BatchAnswer> result =
+      util::Error(util::ErrorCode::kInternal, "request was not run");
+
+  /// Completion hook for non-blocking front ends. Must be installed
+  /// before the job is enqueued (the worker may finish immediately);
+  /// invoked by the worker after `done` is published, outside `mu`.
+  std::function<void(const std::shared_ptr<Job>&)> on_done;
+};
+
+/// Outcome of dispatching one request line without blocking: either a
+/// ready response, or a pending explain job the front end must (a) arm
+/// with `on_done` if it cannot block, (b) hand to Server::EnqueueJob, and
+/// (c) answer with RenderCompletion / RenderExpiry / ShedResponse.
+struct LineOutcome {
+  util::Json response;       ///< valid iff job == nullptr
+  std::shared_ptr<Job> job;  ///< pending explain (not yet enqueued)
+  int deadline_ms = 0;       ///< effective deadline for the job; 0 = none
+  std::chrono::steady_clock::time_point start{};
+};
+
+}  // namespace ns::serve

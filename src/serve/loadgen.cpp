@@ -1,0 +1,233 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ns::serve {
+
+using util::Error;
+using util::ErrorCode;
+using util::Json;
+using util::Result;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Histogram buckets: 0.25 ms to ~8 s, doubling. 16 buckets + open tail.
+constexpr int kHistogramBuckets = 16;
+
+double BucketUpperMs(int i) { return 0.25 * std::pow(2.0, i); }
+
+struct ConnStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t answers_ok = 0;
+  std::uint64_t answers_cached = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t answer_errors = 0;
+  std::uint64_t protocol_errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+void Classify(const Result<Json>& response, ConnStats& stats) {
+  if (!response.ok()) {
+    ++stats.protocol_errors;
+    return;
+  }
+  const Json& body = response.value();
+  const Json* ok = body.Find("ok");
+  if (ok == nullptr || !ok->IsBool()) {
+    ++stats.protocol_errors;
+    return;
+  }
+  if (ok->AsBool()) {
+    ++stats.answers_ok;
+    const Json* cached = body.Find("cached");
+    if (cached != nullptr && cached->IsBool() && cached->AsBool()) {
+      ++stats.answers_cached;
+    }
+    return;
+  }
+  const Json* error = body.Find("error");
+  const Json* code = error != nullptr ? error->Find("code") : nullptr;
+  const std::string code_text =
+      code != nullptr && code->IsString() ? code->AsString() : "";
+  if (code_text == kOverloaded) {
+    ++stats.shed;
+  } else if (code_text == kDeadlineExceeded) {
+    ++stats.deadline_exceeded;
+  } else {
+    ++stats.answer_errors;
+  }
+}
+
+void DriveConnection(int port, const LoadgenOptions& options,
+                     const std::vector<std::string>& lines,
+                     std::uint64_t seed, Clock::time_point end,
+                     ConnStats& stats) {
+  auto client = Client::Connect(port);
+  if (!client.ok()) {
+    ++stats.protocol_errors;
+    return;
+  }
+  util::Rng rng(seed);
+  // Seeded starting offset: connections spread over the request mix
+  // instead of hammering the same (cacheable) question in lockstep.
+  std::size_t next = lines.empty() ? 0 : rng.Below(lines.size());
+
+  const bool open_loop = options.rate_per_s > 0;
+  const auto interval =
+      open_loop ? std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(1.0 / options.rate_per_s))
+                : Clock::duration::zero();
+  Clock::time_point scheduled = Clock::now();
+
+  while (Clock::now() < end) {
+    const std::string& line = lines[next];
+    next = (next + 1) % lines.size();
+
+    if (open_loop) {
+      // Fixed cadence; latency is measured from the scheduled arrival so
+      // server stalls show up in the tail (no coordinated omission).
+      std::this_thread::sleep_until(scheduled);
+    } else {
+      scheduled = Clock::now();
+    }
+    ++stats.requests_sent;
+    auto response = [&]() -> Result<Json> {
+      if (auto status = client.value().SendLine(line); !status.ok()) {
+        return status.error();
+      }
+      return client.value().ReadResponse();
+    }();
+    const double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                                scheduled)
+                          .count();
+    Classify(response, stats);
+    if (response.ok()) stats.latencies_ms.push_back(ms);
+    if (!response.ok()) return;  // connection unusable: stop this driver
+    if (open_loop) scheduled += interval;
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<LoadgenReport> RunLoadgen(const LoadgenOptions& options,
+                                 const std::vector<std::string>& request_lines) {
+  if (request_lines.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "loadgen: no request lines");
+  }
+  if (options.connections <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "loadgen: connections must be > 0");
+  }
+  // Fail fast if the server is unreachable at all (each driver thread
+  // also tolerates individual connect failures).
+  if (auto probe = Client::Connect(options.port); !probe.ok()) {
+    return probe.error();
+  }
+
+  const auto start = Clock::now();
+  const auto end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+
+  std::vector<ConnStats> per_conn(static_cast<std::size_t>(options.connections));
+  std::vector<std::thread> drivers;
+  drivers.reserve(per_conn.size());
+  for (std::size_t i = 0; i < per_conn.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      DriveConnection(options.port, options, request_lines,
+                      options.seed * 0x9e3779b97f4a7c15ull + i + 1, end,
+                      per_conn[i]);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadgenReport report;
+  std::vector<double> latencies;
+  for (const ConnStats& stats : per_conn) {
+    report.requests_sent += stats.requests_sent;
+    report.answers_ok += stats.answers_ok;
+    report.answers_cached += stats.answers_cached;
+    report.shed += stats.shed;
+    report.deadline_exceeded += stats.deadline_exceeded;
+    report.answer_errors += stats.answer_errors;
+    report.protocol_errors += stats.protocol_errors;
+    latencies.insert(latencies.end(), stats.latencies_ms.begin(),
+                     stats.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.wall_s = wall_s;
+  report.throughput_rps =
+      wall_s > 0 ? static_cast<double>(latencies.size()) / wall_s : 0;
+  report.p50_ms = Percentile(latencies, 0.50);
+  report.p95_ms = Percentile(latencies, 0.95);
+  report.p99_ms = Percentile(latencies, 0.99);
+  report.max_ms = latencies.empty() ? 0 : latencies.back();
+  report.shed_rate =
+      report.requests_sent > 0
+          ? static_cast<double>(report.shed) /
+                static_cast<double>(report.requests_sent)
+          : 0;
+
+  report.histogram_upper_ms.resize(kHistogramBuckets + 1);
+  report.histogram_counts.assign(kHistogramBuckets + 1, 0);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    report.histogram_upper_ms[static_cast<std::size_t>(i)] = BucketUpperMs(i);
+  }
+  report.histogram_upper_ms[kHistogramBuckets] = -1;  // open-ended tail
+  for (const double ms : latencies) {
+    int bucket = 0;
+    while (bucket < kHistogramBuckets && ms > BucketUpperMs(bucket)) ++bucket;
+    ++report.histogram_counts[static_cast<std::size_t>(bucket)];
+  }
+  return report;
+}
+
+Json LoadgenReportToJson(const LoadgenReport& report) {
+  Json out = Json::MakeObject();
+  out.Set("requests_sent", report.requests_sent);
+  out.Set("answers_ok", report.answers_ok);
+  out.Set("answers_cached", report.answers_cached);
+  out.Set("shed", report.shed);
+  out.Set("deadline_exceeded", report.deadline_exceeded);
+  out.Set("answer_errors", report.answer_errors);
+  out.Set("protocol_errors", report.protocol_errors);
+  out.Set("wall_s", report.wall_s);
+  out.Set("throughput_rps", report.throughput_rps);
+  out.Set("shed_rate", report.shed_rate);
+  Json latency = Json::MakeObject();
+  latency.Set("p50_ms", report.p50_ms);
+  latency.Set("p95_ms", report.p95_ms);
+  latency.Set("p99_ms", report.p99_ms);
+  latency.Set("max_ms", report.max_ms);
+  Json histogram = Json::MakeArray();
+  for (std::size_t i = 0; i < report.histogram_counts.size(); ++i) {
+    Json bucket = Json::MakeObject();
+    bucket.Set("le_ms", report.histogram_upper_ms[i]);
+    bucket.Set("count", report.histogram_counts[i]);
+    histogram.Append(std::move(bucket));
+  }
+  latency.Set("histogram", std::move(histogram));
+  out.Set("latency", std::move(latency));
+  return out;
+}
+
+}  // namespace ns::serve

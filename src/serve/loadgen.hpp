@@ -1,0 +1,72 @@
+// Load generator for the explanation service: drives a fixed set of
+// connections against a live server and reports latency percentiles,
+// throughput, and shed/deadline/error counts. Used by tools/loadgen (CLI
+// + CI smoke), bench/bench_serve (the BENCH_SERVE.json trajectory), and
+// the sustained-load tests.
+//
+// Two arrival models:
+//
+//   * closed loop (rate_per_s == 0): each connection keeps exactly one
+//     request outstanding — the classic "N users, think time zero" model;
+//     throughput is what the server can sustain at concurrency N.
+//   * open loop (rate_per_s > 0): each connection schedules arrivals on a
+//     fixed cadence independent of completions, and latency is measured
+//     from the *scheduled* arrival — so a stalled server inflates the
+//     tail instead of silently slowing the generator down (the
+//     coordinated-omission correction).
+//
+// The generator is deterministic given (seed, request set): request
+// order is a seeded shuffle per connection, wall-clock effects aside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+struct LoadgenOptions {
+  int port = 0;             ///< live server, 127.0.0.1
+  int connections = 8;      ///< concurrent connections (one thread each)
+  double duration_s = 5.0;  ///< generation window (drains after)
+  double rate_per_s = 0;    ///< per-connection arrival rate; 0 = closed loop
+  std::uint64_t seed = 1;   ///< request-order shuffle
+};
+
+struct LoadgenReport {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t answers_ok = 0;      ///< ok:true explain responses
+  std::uint64_t answers_cached = 0;  ///< subset of answers_ok served cached
+  std::uint64_t shed = 0;            ///< `overloaded` error responses
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t answer_errors = 0;    ///< other well-formed error responses
+  std::uint64_t protocol_errors = 0;  ///< transport/parse failures (want: 0)
+  double wall_s = 0;
+  double throughput_rps = 0;  ///< completed responses per second
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+  double shed_rate = 0;  ///< shed / requests_sent
+  /// Log-scaled latency histogram: bucket i counts latencies in
+  /// (upper_ms[i-1], upper_ms[i]]; the last bucket is open-ended.
+  std::vector<double> histogram_upper_ms;
+  std::vector<std::uint64_t> histogram_counts;
+};
+
+/// Runs the generator against 127.0.0.1:port, cycling `request_lines`
+/// (already-framed JSON request lines, without the trailing newline).
+/// Fails only on setup errors (no connection at all); per-request
+/// failures are counted in the report instead.
+util::Result<LoadgenReport> RunLoadgen(
+    const LoadgenOptions& options,
+    const std::vector<std::string>& request_lines);
+
+/// The report as JSON — the schema committed in BENCH_SERVE.json's
+/// sidecar fields and printed by `tools/loadgen --json`.
+util::Json LoadgenReportToJson(const LoadgenReport& report);
+
+}  // namespace ns::serve

@@ -84,6 +84,10 @@ util::Json ErrorResponse(std::string_view cmd, const util::Error& error);
 /// Error code string for a request that exceeded its deadline.
 inline constexpr std::string_view kDeadlineExceeded = "deadline-exceeded";
 
+/// Error code string for a request shed by the full admission queue.
+/// Distinct from every other code so clients can back off and retry.
+inline constexpr std::string_view kOverloaded = "overloaded";
+
 /// Rendered answer -> explain response body.
 util::Json AnswerResponse(const explain::BatchAnswer& answer, bool cached,
                           double wall_ms);

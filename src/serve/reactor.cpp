@@ -1,0 +1,366 @@
+#include "serve/reactor.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace ns::serve {
+
+using util::Json;
+
+namespace {
+
+/// epoll user-data token for the wakeup eventfd; connection ids start at 1.
+constexpr std::uint64_t kWakeToken = 0;
+
+constexpr std::size_t kReadChunk = 16384;
+
+}  // namespace
+
+Reactor::~Reactor() {
+  RequestStop();
+  Join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+util::Status Reactor::Start() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return util::Error(util::ErrorCode::kInternal,
+                       std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return util::Error(util::ErrorCode::kInternal, "eventfd: " + message);
+  }
+  epoll_event wake_event{};
+  wake_event.events = EPOLLIN;
+  wake_event.data.u64 = kWakeToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &wake_event) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(epoll_fd_);
+    ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    return util::Error(util::ErrorCode::kInternal, "epoll_ctl: " + message);
+  }
+  thread_ = std::thread([this] { Run(); });
+  return util::Status::Ok();
+}
+
+void Reactor::AddConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    new_fds_.push_back(fd);
+  }
+  Wake();
+}
+
+void Reactor::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) Wake();
+}
+
+void Reactor::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::Wake() {
+  const std::uint64_t one = 1;
+  // The eventfd counter saturates long before this write could block;
+  // a short/failed write only costs an extra poll tick.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::Run() {
+  std::vector<epoll_event> events(64);
+  bool drained_buffers = false;
+  while (true) {
+    DrainInbox();
+    ExpireDeadlines(Clock::now());
+    if (Draining() && !drained_buffers) {
+      drained_buffers = true;
+      // Answer the complete lines already read, then read no more — the
+      // same "finish the current batch" semantics as the blocking front
+      // end's stop-flag check.
+      for (auto& [id, conn] : conns_) {
+        ProcessLines(*conn);
+        Flush(*conn);
+      }
+    }
+    SweepClosable();
+    if (Draining() && conns_.empty()) break;
+
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               TimeoutMs(Clock::now()));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; drain state is still joined
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      const std::uint32_t mask = events[i].events;
+      if (id == kWakeToken) {
+        std::uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      if (mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        if (!Draining() && !conn.close_after_flush) {
+          HandleReadable(conn);
+        } else if (mask & (EPOLLHUP | EPOLLERR)) {
+          conn.eof = true;
+        }
+      }
+      if (mask & EPOLLOUT) Flush(conn);
+    }
+  }
+}
+
+void Reactor::DrainInbox() {
+  std::vector<int> fds;
+  std::vector<Completion> completions;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    fds.swap(new_fds_);
+    completions.swap(completions_);
+  }
+
+  for (const int fd : fds) {
+    // A fd handed to a draining reactor is refused, but still counted on
+    // both sides so opened == closed holds after shutdown.
+    conns_opened_.fetch_add(1, std::memory_order_relaxed);
+    if (Draining()) {
+      ::close(fd);
+      conns_closed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    event.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      ::close(fd);
+      conns_closed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Conn& ref = *conn;
+    conns_.emplace(ref.id, std::move(conn));
+    // Edge-triggered registration reports current readability, but read
+    // eagerly anyway: bytes may already be waiting.
+    HandleReadable(ref);
+  }
+
+  for (const Completion& completion : completions) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection gone; cache is warm
+    Conn& conn = *it->second;
+    for (Slot& slot : conn.slots) {
+      if (slot.ready || slot.job != completion.job) continue;
+      slot.bytes =
+          host_->RenderCompletion(*slot.job, slot.start).Dump(0) + "\n";
+      slot.ready = true;
+      slot.job.reset();
+      break;
+    }
+    Flush(conn);
+  }
+}
+
+void Reactor::HandleReadable(Conn& conn) {
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<std::size_t>(n));
+      if (conn.in.size() > config_.max_line_bytes) {
+        // Pipelined bursts are fine — consume the complete lines first;
+        // only a single unframed line past the cap is a protocol error.
+        ProcessLines(conn);
+        if (conn.in.size() > config_.max_line_bytes) {
+          Slot slot;
+          slot.ready = true;
+          slot.bytes = OversizedResponseBytes();
+          conn.slots.push_back(std::move(slot));
+          conn.close_after_flush = true;
+          conn.in.clear();
+          conn.in.shrink_to_fit();
+          break;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn.eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.eof = true;  // hard error: stop reading, flush what we can
+    break;
+  }
+  if (!conn.close_after_flush) ProcessLines(conn);
+  Flush(conn);
+}
+
+void Reactor::ProcessLines(Conn& conn) {
+  if (conn.close_after_flush) return;
+  std::size_t newline;
+  while ((newline = conn.in.find('\n')) != std::string::npos) {
+    const std::string line = conn.in.substr(0, newline);
+    conn.in.erase(0, newline + 1);
+    if (util::Trim(line).empty()) continue;
+    LineOutcome outcome = host_->HandleReactorLine(line);
+    if (outcome.job == nullptr) {
+      Slot slot;
+      slot.ready = true;
+      slot.bytes = outcome.response.Dump(0) + "\n";
+      conn.slots.push_back(std::move(slot));
+      continue;
+    }
+    Slot slot;
+    slot.job = outcome.job;
+    slot.deadline_ms = outcome.deadline_ms;
+    slot.start = outcome.start;
+    if (outcome.deadline_ms > 0) {
+      slot.deadline =
+          outcome.start + std::chrono::milliseconds(outcome.deadline_ms);
+    }
+    conn.slots.push_back(std::move(slot));
+    Slot& pending = conn.slots.back();
+    // Arm the completion hook BEFORE enqueueing: the worker may finish
+    // (and fire it) before EnqueueJob even returns.
+    pending.job->on_done = [this, conn_id = conn.id](
+                               const std::shared_ptr<Job>& job) {
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        completions_.push_back(Completion{conn_id, job});
+      }
+      Wake();
+    };
+    if (!host_->EnqueueJob(pending.job)) {
+      pending.job.reset();
+      pending.ready = true;
+      pending.bytes = host_->ShedResponse().Dump(0) + "\n";
+    }
+  }
+}
+
+void Reactor::Flush(Conn& conn) {
+  while (!conn.slots.empty() && conn.slots.front().ready) {
+    conn.out += conn.slots.front().bytes;
+    conn.slots.pop_front();
+  }
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer vanished: nothing more can be delivered. Drop buffered output
+    // and pending slots; in-flight jobs still finish into the cache.
+    std::size_t pending = 0;
+    for (const Slot& slot : conn.slots) pending += slot.ready ? 0 : 1;
+    if (pending > 0) host_->DiscardPending(pending);
+    conn.out.clear();
+    conn.out_offset = 0;
+    conn.slots.clear();
+    conn.eof = true;
+    UpdateInterest(conn);
+    return;
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  }
+  UpdateInterest(conn);
+}
+
+void Reactor::UpdateInterest(Conn& conn) {
+  const bool want_write = conn.out_offset < conn.out.size();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event event{};
+  event.events = EPOLLET | EPOLLRDHUP |
+                 (conn.close_after_flush ? 0u : static_cast<std::uint32_t>(
+                                                    EPOLLIN)) |
+                 (want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  event.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &event);
+}
+
+void Reactor::ExpireDeadlines(Clock::time_point now) {
+  for (auto& [id, conn] : conns_) {
+    bool expired = false;
+    for (Slot& slot : conn->slots) {
+      if (slot.ready || now < slot.deadline) continue;
+      slot.bytes = host_->RenderExpiry(slot.deadline_ms).Dump(0) + "\n";
+      slot.ready = true;
+      slot.job.reset();  // abandon: the worker still populates the cache
+      expired = true;
+    }
+    if (expired) Flush(*conn);
+  }
+}
+
+int Reactor::TimeoutMs(Clock::time_point now) const {
+  std::int64_t timeout = config_.poll_ms;
+  for (const auto& [id, conn] : conns_) {
+    for (const Slot& slot : conn->slots) {
+      if (slot.ready || slot.deadline == Clock::time_point::max()) continue;
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             slot.deadline - now)
+                             .count();
+      if (until < timeout) timeout = until;
+    }
+  }
+  return static_cast<int>(timeout < 0 ? 0 : timeout);
+}
+
+void Reactor::SweepClosable() {
+  std::vector<std::uint64_t> closable;
+  for (const auto& [id, conn] : conns_) {
+    const bool should_close =
+        conn->close_after_flush || conn->eof || Draining();
+    const bool answered = conn->slots.empty();
+    const bool flushed = conn->out_offset >= conn->out.size();
+    if (should_close && answered && flushed) closable.push_back(id);
+  }
+  for (const std::uint64_t id : closable) CloseConn(id);
+}
+
+void Reactor::CloseConn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  conns_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Reactor::OversizedResponseBytes() const {
+  return host_->OversizedResponse().Dump(0) + "\n";
+}
+
+}  // namespace ns::serve

@@ -1,0 +1,194 @@
+// Non-blocking epoll reactor: the event-driven serve front end.
+//
+// Each Reactor is one thread owning one epoll instance and a set of
+// connections. All socket I/O happens here — edge-triggered reads into a
+// per-connection buffer, newline framing of partial reads, request
+// pipelining (any number of complete lines per wakeup, answered strictly
+// in request order), and buffered writes with EPOLLOUT backpressure for
+// slow readers. The reactor never computes an answer and never blocks on
+// one: explain questions are handed to the shared worker pool through
+// ReactorHost, and completions come back over an eventfd wakeup.
+//
+// Ordering: a connection's responses go out in request order whatever
+// order the workers finish in. Each parsed request occupies a slot in a
+// per-connection queue; a slot is either ready (rendered bytes) or
+// pending (a Job). The flusher only drains the queue head, so a fast
+// answer behind a slow one waits — exactly the blocking front end's
+// semantics, without a thread parked per connection.
+//
+// Deadlines: a pending slot carries its expiry; the epoll timeout is
+// clamped to the nearest one. On expiry the slot is answered with the
+// host's deadline response and the job reference dropped — the worker
+// still finishes and populates the cache (the abandon-not-cancel
+// contract of docs/SERVE.md).
+//
+// Overload: the reactor enqueues through ReactorHost::EnqueueJob, which
+// applies the server's bounded admission queue; a refused job is answered
+// immediately with the host's `overloaded` shed response. The connection
+// survives — shedding is per-request backpressure, not a disconnect.
+//
+// Robustness: a single line longer than `max_line_bytes` is answered
+// with a protocol error and the connection closed (bounded buffering, no
+// allocation bomb); NUL bytes and empty lines are harmless (the JSON
+// parser rejects the former, the framer skips the latter); a peer that
+// disconnects mid-request just closes — any in-flight jobs complete in
+// the background. Connections opened/closed are counted so tests can
+// assert the reactor leaks no fds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace ns::serve {
+
+/// What the reactor needs from the service. Implemented by serve::Server;
+/// every method is thread-safe and non-blocking.
+class ReactorHost {
+ public:
+  virtual ~ReactorHost() = default;
+
+  /// Parses and dispatches one request line (counts stats, consults the
+  /// cache). Returns either a ready response or an un-enqueued Job.
+  virtual LineOutcome HandleReactorLine(std::string_view line) = 0;
+
+  /// Admits `job` to the worker queue. Returns false when the bounded
+  /// admission queue is full — the caller must answer with ShedResponse.
+  virtual bool EnqueueJob(const std::shared_ptr<Job>& job) = 0;
+
+  /// The `overloaded` error response (counts the shed).
+  virtual util::Json ShedResponse() = 0;
+
+  /// Renders a completed job (answer or contained error; records
+  /// latency).
+  virtual util::Json RenderCompletion(
+      Job& job, std::chrono::steady_clock::time_point start) = 0;
+
+  /// Renders the deadline-exceeded error (counts it).
+  virtual util::Json RenderExpiry(int deadline_ms) = 0;
+
+  /// The protocol error for a single line exceeding max_line_bytes.
+  virtual util::Json OversizedResponse() = 0;
+
+  /// `count` pending jobs were dropped without a rendered response (their
+  /// peer vanished); the host balances its in-flight accounting.
+  virtual void DiscardPending(std::size_t count) = 0;
+};
+
+struct ReactorConfig {
+  std::size_t max_line_bytes = 64u << 20;
+  int poll_ms = 100;  ///< idle tick: the latency bound on stop detection
+};
+
+class Reactor {
+ public:
+  Reactor(ReactorHost* host, ReactorConfig config)
+      : host_(host), config_(config) {}
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance and wakeup eventfd and spawns the thread.
+  util::Status Start();
+
+  /// Transfers ownership of a connected, non-blocking socket to this
+  /// reactor. Thread-safe. Counted immediately (never leaked: a fd handed
+  /// to a stopping reactor is closed and counted on the reactor thread).
+  void AddConnection(int fd);
+
+  /// Begins the drain: stop reading new requests, resolve every pending
+  /// slot (workers are still running), flush, close, exit. Thread-safe.
+  void RequestStop();
+
+  /// Joins the reactor thread. Call after RequestStop.
+  void Join();
+
+  std::uint64_t connections_opened() const noexcept {
+    return conns_opened_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_closed() const noexcept {
+    return conns_closed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One response slot: answers leave in request order, so a connection's
+  /// output queue is a deque of these and only a ready head is flushed.
+  struct Slot {
+    bool ready = false;
+    std::string bytes;         // framed response once ready
+    std::shared_ptr<Job> job;  // pending answer
+    int deadline_ms = 0;
+    Clock::time_point start{};
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string in;           // unframed bytes (at most one partial line)
+    std::string out;          // flushed from out_offset
+    std::size_t out_offset = 0;
+    std::deque<Slot> slots;
+    bool eof = false;                // peer half-closed its side
+    bool close_after_flush = false;  // protocol error: drain out, close
+    bool want_write = false;         // EPOLLOUT armed
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::shared_ptr<Job> job;
+  };
+
+  void Run();
+  void Wake();
+  void DrainInbox();
+  void HandleReadable(Conn& conn);
+  void ProcessLines(Conn& conn);
+  void Flush(Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void ExpireDeadlines(Clock::time_point now);
+  void CloseConn(std::uint64_t id);
+  /// Closes every connection that is fully answered and flushed and was
+  /// asked to close (eof / protocol error / reactor drain).
+  void SweepClosable();
+  std::string OversizedResponseBytes() const;
+  int TimeoutMs(Clock::time_point now) const;
+  bool Draining() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  ReactorHost* const host_;
+  const ReactorConfig config_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex inbox_mu_;
+  std::vector<int> new_fds_;             // guarded by inbox_mu_
+  std::vector<Completion> completions_;  // guarded by inbox_mu_
+
+  // Reactor-thread state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::atomic<std::uint64_t> conns_opened_{0};
+  std::atomic<std::uint64_t> conns_closed_{0};
+};
+
+}  // namespace ns::serve

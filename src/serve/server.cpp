@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -28,14 +29,10 @@ using util::Status;
 namespace {
 
 /// Poll tick: the latency bound on noticing the stop flag in any blocked
-/// loop (accept, connection read). Short enough that drains feel instant,
-/// long enough that an idle server burns no measurable CPU.
+/// loop (accept, blocking connection read, idle reactor). Short enough
+/// that drains feel instant, long enough that an idle server burns no
+/// measurable CPU.
 constexpr int kPollMs = 100;
-
-/// Cap on one request line; a line past this is a protocol error, not an
-/// allocation bomb. Scenario texts are the biggest payload and stay far
-/// below this at paper scale.
-constexpr std::size_t kMaxLineBytes = 64u << 20;
 
 /// Completed-answer latencies kept for the percentile estimate.
 constexpr std::size_t kLatencyWindow = 4096;
@@ -60,6 +57,21 @@ double Percentile(std::vector<double> sorted_copy, double p) {
   const auto rank = static_cast<std::size_t>(
       p * static_cast<double>(sorted_copy.size() - 1) + 0.5);
   return sorted_copy[std::min(rank, sorted_copy.size() - 1)];
+}
+
+/// Both front ends must emit this byte-identically (and identically to
+/// the pre-reactor server at the default 64 MiB cap).
+std::string OversizedMessage(std::size_t cap) {
+  if (cap > 0 && cap % (std::size_t{1} << 20) == 0) {
+    return "request line exceeds " + std::to_string(cap >> 20) + " MiB";
+  }
+  return "request line exceeds " + std::to_string(cap) + " bytes";
+}
+
+double WallMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -97,6 +109,28 @@ Status Server::Start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+
+  if (options_.frontend == Frontend::kEpoll) {
+    const int reactor_count = options_.reactors > 0 ? options_.reactors : 2;
+    for (int i = 0; i < reactor_count; ++i) {
+      auto reactor = std::make_unique<Reactor>(
+          this, ReactorConfig{options_.max_line_bytes, kPollMs});
+      const Status started = reactor->Start();
+      if (!started.ok()) {
+        for (auto& running : reactors_) {
+          running->RequestStop();
+          running->Join();
+          threads_joined_.fetch_add(1);
+        }
+        reactors_.clear();
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return started;
+      }
+      threads_spawned_.fetch_add(1);
+      reactors_.push_back(std::move(reactor));
+    }
+  }
 
   worker_count_ = options_.threads;
   if (worker_count_ <= 0) {
@@ -159,9 +193,14 @@ void Server::Shutdown() {
     threads_joined_.fetch_add(1);
   }
 
-  // 2. Every connection finishes its in-flight request and exits (the
-  //    read loops tick on the stop flag; workers are still running, so a
-  //    connection waiting on a job is released by the job completing).
+  // 2. The front end drains. Workers are still running, so every pending
+  //    request resolves (bounded further by its deadline), every
+  //    connection flushes and closes, and the front-end threads exit.
+  for (auto& reactor : reactors_) reactor->RequestStop();
+  for (auto& reactor : reactors_) {
+    reactor->Join();
+    threads_joined_.fetch_add(1);
+  }
   std::vector<std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -199,9 +238,20 @@ void Server::AcceptLoop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.frontend == Frontend::kEpoll) {
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      // Round-robin; the reactor owns (and counts) the fd from here,
+      // including the raced-with-drain case.
+      reactors_[next_reactor_]->AddConnection(fd);
+      next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+      continue;
+    }
     std::lock_guard<std::mutex> lock(conn_mu_);
+    blocking_conns_opened_.fetch_add(1, std::memory_order_relaxed);
     if (ShutdownRequested()) {  // raced with a drain: refuse politely
       ::close(fd);
+      blocking_conns_closed_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     conn_fds_.insert(fd);
@@ -228,19 +278,12 @@ void Server::ConnectionLoop(int fd) {
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
-    if (buffer.size() > kMaxLineBytes) {
-      SendAll(fd, ErrorResponse("unknown", "invalid-argument",
-                                "request line exceeds 64 MiB")
-                      .Dump(0) +
-                  "\n");
-      break;
-    }
     std::size_t newline;
     while ((newline = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (util::Trim(line).empty()) continue;
-      const Json response = HandleLine(line);
+      const Json response = HandleBlockingLine(line);
       if (!SendAll(fd, response.Dump(0) + "\n")) {
         close_now = true;
         break;
@@ -248,13 +291,46 @@ void Server::ConnectionLoop(int fd) {
       // A handled shutdown raises the stop flag; finish this line batch
       // gracefully on the next loop check.
     }
+    // Complete lines were consumed above, so only a single unframed line
+    // is bounded — the same framing rule as the reactor.
+    if (!close_now && buffer.size() > options_.max_line_bytes) {
+      SendAll(fd, OversizedResponse().Dump(0) + "\n");
+      break;
+    }
   }
   ::close(fd);
+  blocking_conns_closed_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(conn_mu_);
   conn_fds_.erase(fd);
 }
 
-Json Server::HandleLine(std::string_view line) {
+Json Server::HandleBlockingLine(std::string_view line) {
+  LineOutcome outcome = HandleReactorLine(line);
+  if (outcome.job == nullptr) return outcome.response;
+
+  const std::shared_ptr<Job> job = outcome.job;
+  if (!EnqueueJob(job)) return ShedResponse();
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    if (outcome.deadline_ms > 0) {
+      const auto deadline =
+          outcome.start + std::chrono::milliseconds(outcome.deadline_ms);
+      if (!job->cv.wait_until(lock, deadline, [&] { return job->done; })) {
+        // No partial answers: the worker keeps going in the background and
+        // still populates the cache, but this request reports failure.
+        lock.unlock();
+        return RenderExpiry(outcome.deadline_ms);
+      }
+    } else {
+      job->cv.wait(lock, [&] { return job->done; });
+    }
+  }
+  return RenderCompletion(*job, outcome.start);
+}
+
+LineOutcome Server::HandleReactorLine(std::string_view line) {
+  LineOutcome out;
   auto request = ParseRequest(line);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -270,24 +346,31 @@ Json Server::HandleLine(std::string_view line) {
       }
     }
   }
-  if (!request) return ErrorResponse("unknown", request.error());
+  if (!request) {
+    out.response = ErrorResponse("unknown", request.error());
+    return out;
+  }
 
   switch (request.value().kind) {
     case RequestKind::kLoad:
-      return HandleLoad(request.value().load);
+      out.response = HandleLoad(request.value().load);
+      return out;
     case RequestKind::kExplain:
-      return HandleExplain(request.value().explain);
+      return StartExplain(request.value().explain);
     case RequestKind::kStats:
-      return StatsResponse();
+      out.response = StatsResponse();
+      return out;
     case RequestKind::kShutdown: {
       BeginShutdown();
       queue_cv_.notify_all();
       Json response = OkResponse("shutdown");
       response.Set("draining", true);
-      return response;
+      out.response = std::move(response);
+      return out;
     }
   }
-  return ErrorResponse("unknown", "internal", "unreachable");
+  out.response = ErrorResponse("unknown", "internal", "unreachable");
+  return out;
 }
 
 Json Server::HandleLoad(const LoadRequest& request) {
@@ -304,41 +387,38 @@ Json Server::HandleLoad(const LoadRequest& request) {
   return response;
 }
 
-Json Server::HandleExplain(const ExplainRequest& request) {
-  const auto start = std::chrono::steady_clock::now();
+LineOutcome Server::StartExplain(const ExplainRequest& request) {
+  LineOutcome out;
+  out.start = std::chrono::steady_clock::now();
   std::shared_ptr<const Scenario> scenario;
   {
     std::lock_guard<std::mutex> lock(scenario_mu_);
     scenario = scenario_;
   }
   if (scenario == nullptr) {
-    return ErrorResponse("explain", "invalid-argument",
-                         "no scenario loaded; send a 'load' request first");
+    out.response =
+        ErrorResponse("explain", "invalid-argument",
+                      "no scenario loaded; send a 'load' request first");
+    return out;
   }
 
+  // In flight from here until exactly one of RenderCompletion /
+  // RenderExpiry / ShedResponse / DiscardPending (or the cache hit below).
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++counters_.in_flight;
   }
-  struct InFlightGuard {
-    Server* server;
-    ~InFlightGuard() {
-      std::lock_guard<std::mutex> lock(server->stats_mu_);
-      --server->counters_.in_flight;
-    }
-  } in_flight_guard{this};
 
   const std::string key = CacheKey(scenario->digest, request.request);
-  const auto wall_ms = [&] {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-  };
-
   if (auto cached = cache_.Lookup(key)) {
-    const double ms = wall_ms();
+    const double ms = WallMs(out.start);
     RecordLatency(ms);
-    return AnswerResponse(*cached, /*cached=*/true, ms);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      --counters_.in_flight;
+    }
+    out.response = AnswerResponse(*cached, /*cached=*/true, ms);
+    return out;
   }
 
   auto job = std::make_shared<Job>();
@@ -346,44 +426,76 @@ Json Server::HandleExplain(const ExplainRequest& request) {
   job->scenario = scenario;
   job->cache_key = key;
   job->debug_sleep_ms = request.debug_sleep_ms;
+  out.job = std::move(job);
+  out.deadline_ms = request.deadline_ms.value_or(options_.deadline_ms);
+  return out;
+}
+
+bool Server::EnqueueJob(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      return false;
+    }
     queue_.push_back(job);
   }
   queue_cv_.notify_one();
+  return true;
+}
 
-  const int deadline_ms = request.deadline_ms.value_or(options_.deadline_ms);
+Json Server::ShedResponse() {
   {
-    std::unique_lock<std::mutex> lock(job->mu);
-    if (deadline_ms > 0) {
-      const auto deadline = start + std::chrono::milliseconds(deadline_ms);
-      if (!job->cv.wait_until(lock, deadline, [&] { return job->done; })) {
-        // No partial answers: the worker keeps going in the background and
-        // still populates the cache, but this request reports failure.
-        {
-          std::lock_guard<std::mutex> stats_lock(stats_mu_);
-          ++counters_.deadline_exceeded;
-        }
-        return ErrorResponse(
-            "explain", kDeadlineExceeded,
-            "request exceeded its " + std::to_string(deadline_ms) +
-                " ms deadline");
-      }
-    } else {
-      job->cv.wait(lock, [&] { return job->done; });
-    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.requests_shed;
+    --counters_.in_flight;
   }
+  return ErrorResponse(
+      "explain", kOverloaded,
+      "admission queue is full (" + std::to_string(options_.max_queue) +
+          " queued explains); retry later");
+}
 
-  if (!job->result.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++counters_.answers_failed;
-    }
-    return ErrorResponse("explain", job->result.error());
+Json Server::RenderCompletion(Job& job,
+                              std::chrono::steady_clock::time_point start) {
+  // `done` was published before any front end reaches here (cv wait or
+  // on_done); the lock is just the matching acquire.
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
   }
-  const double ms = wall_ms();
+  if (!job.result.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.answers_failed;
+    --counters_.in_flight;
+    return ErrorResponse("explain", job.result.error());
+  }
+  const double ms = WallMs(start);
   RecordLatency(ms);
-  return AnswerResponse(job->result.value(), /*cached=*/false, ms);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --counters_.in_flight;
+  }
+  return AnswerResponse(job.result.value(), /*cached=*/false, ms);
+}
+
+Json Server::RenderExpiry(int deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++counters_.deadline_exceeded;
+    --counters_.in_flight;
+  }
+  return ErrorResponse("explain", kDeadlineExceeded,
+                       "request exceeded its " + std::to_string(deadline_ms) +
+                           " ms deadline");
+}
+
+Json Server::OversizedResponse() {
+  return ErrorResponse("unknown", "invalid-argument",
+                       OversizedMessage(options_.max_line_bytes));
+}
+
+void Server::DiscardPending(std::size_t count) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  counters_.in_flight -= static_cast<int>(count);
 }
 
 void Server::WorkerLoop() {
@@ -410,12 +522,15 @@ void Server::WorkerLoop() {
       std::lock_guard<std::mutex> lock(stats_mu_);
       counters_.solver += result.value().stats.lift;
     }
+    std::function<void(const std::shared_ptr<Job>&)> on_done;
     {
       std::lock_guard<std::mutex> lock(job->mu);
       job->result = std::move(result);
       job->done = true;
+      on_done = std::move(job->on_done);
     }
     job->cv.notify_all();
+    if (on_done) on_done(job);
   }
 }
 
@@ -430,6 +545,18 @@ void Server::RecordLatency(double ms) {
   }
 }
 
+std::uint64_t Server::connections_opened() const {
+  std::uint64_t total = blocking_conns_opened_.load(std::memory_order_relaxed);
+  for (const auto& reactor : reactors_) total += reactor->connections_opened();
+  return total;
+}
+
+std::uint64_t Server::connections_closed() const {
+  std::uint64_t total = blocking_conns_closed_.load(std::memory_order_relaxed);
+  for (const auto& reactor : reactors_) total += reactor->connections_closed();
+  return total;
+}
+
 ServerStats Server::Stats() const {
   ServerStats stats;
   {
@@ -440,6 +567,8 @@ ServerStats Server::Stats() const {
   }
   stats.cache = cache_.Stats();
   stats.worker_threads = worker_count_;
+  stats.connections_opened = connections_opened();
+  stats.connections_closed = connections_closed();
   {
     std::lock_guard<std::mutex> lock(scenario_mu_);
     if (scenario_ != nullptr) stats.scenario_digest = scenario_->digest;
@@ -458,6 +587,7 @@ Json Server::StatsResponse() const {
   requests.Set("stats", stats.requests_stats);
   requests.Set("shutdown", stats.requests_shutdown);
   requests.Set("malformed", stats.requests_malformed);
+  requests.Set("shed", stats.requests_shed);
   response.Set("requests", std::move(requests));
 
   Json cache = Json::MakeObject();
@@ -486,10 +616,17 @@ Json Server::StatsResponse() const {
   latency.Set("p95_ms", stats.latency_p95_ms);
   response.Set("latency", std::move(latency));
 
+  Json connections = Json::MakeObject();
+  connections.Set("opened", stats.connections_opened);
+  connections.Set("closed", stats.connections_closed);
+  response.Set("connections", std::move(connections));
+
   response.Set("in_flight", stats.in_flight);
   response.Set("deadline_exceeded", stats.deadline_exceeded);
   response.Set("answers_failed", stats.answers_failed);
   response.Set("threads", stats.worker_threads);
+  response.Set("frontend",
+               options_.frontend == Frontend::kEpoll ? "epoll" : "blocking");
   response.Set("scenario", stats.scenario_digest);
   return response;
 }

@@ -1,34 +1,48 @@
-// Explanation-as-a-service: a multi-threaded TCP server that answers
-// explain questions about one loaded scenario (`netsubspec serve`).
+// Explanation-as-a-service: a TCP server that answers explain questions
+// about one loaded scenario (`netsubspec serve`).
 //
-// Architecture (docs/SERVE.md has the wire protocol):
+// Architecture (docs/SERVE.md has the wire protocol and the diagram):
 //
-//   accept thread ──► one connection thread per client ──► worker pool
+//              ┌► reactor 0 (epoll) ─┐
+//   acceptor ──┤        ...          ├──► bounded queue ──► worker pool
+//              └► reactor R-1        ┘        │
+//        (or: one blocking thread per conn)   └ full? shed `overloaded`
 //
-// Connection threads own all protocol work (newline-delimited JSON in
-// request order); `explain` questions are handed to a fixed pool of
-// workers so N slow Z3-backed questions from one client cannot starve
-// other clients, and so concurrency is bounded whatever the client count.
-// Every question is answered through explain::AnswerRequest — a fresh
-// Session (fresh ExprPool + Engine) per request — so concurrent answers
-// are byte-identical to a sequential Session::Ask on the same inputs
-// (the determinism contract of explain/batch.hpp, asserted end to end by
-// tests/serve_test.cpp).
+// Two selectable front ends share one request-dispatch core:
+//
+//   * kEpoll (default): a fixed pool of non-blocking reactors
+//     (serve/reactor.hpp) owns all socket I/O — edge-triggered reads,
+//     partial-line framing, pipelining, buffered writes. No thread is
+//     ever parked per connection or per in-flight request.
+//   * kBlocking: the original thread-per-connection loops, kept
+//     selectable (`--frontend blocking`) as the transition baseline.
+//
+// Responses are byte-identical across front ends: both funnel every line
+// through HandleReactorLine / EnqueueJob / RenderCompletion /
+// RenderExpiry / ShedResponse, and every answer is computed through
+// explain::AnswerRequest — a fresh Session (fresh ExprPool + Engine) per
+// request — so answers are pure functions of (scenario texts, request)
+// whatever the front end, concurrency, or cache state
+// (tests/serve_frontend_test.cpp asserts the identity end to end).
+//
+// Backpressure: `explain` admission is bounded by max_queue. A full
+// queue sheds the request immediately with an `overloaded` error — the
+// client sees fast failure, the connection survives, and the counters
+// surface in `stats`. Slow readers exert backpressure through the
+// reactor's buffered writes, never by blocking a worker.
 //
 // An LRU cache (serve/cache.hpp) keyed by the canonical digest of
 // (scenario bytes, selection, mode, requirement projection) short-circuits
 // repeated questions; determinism makes hits byte-identical to recomputes.
 //
 // Deadlines: each `explain` carries a wall-clock budget (per-request
-// override or the server default). The connection thread waits on the
-// worker up to the budget and then reports `deadline-exceeded` — never a
-// partial answer. The worker finishes in the background and still
+// override or the server default). Expiry reports `deadline-exceeded` —
+// never a partial answer. The worker finishes in the background and still
 // populates the cache, so a retry of a timed-out question usually hits.
 //
-// Shutdown is a graceful drain: stop accepting, let every connection
-// finish its in-flight request, run the worker queue dry, join all
-// threads. Triggered by a `shutdown` request, Shutdown(), or (in the CLI)
-// SIGTERM/SIGINT.
+// Shutdown is a graceful drain: stop accepting, resolve every in-flight
+// request, flush, run the worker queue dry, join all threads. Triggered
+// by a `shutdown` request, Shutdown(), or (in the CLI) SIGTERM/SIGINT.
 #pragma once
 
 #include <atomic>
@@ -42,22 +56,30 @@
 #include <thread>
 #include <vector>
 
-#include "config/device.hpp"
-#include "net/topology.hpp"
 #include "serve/cache.hpp"
+#include "serve/job.hpp"
 #include "serve/protocol.hpp"
+#include "serve/reactor.hpp"
 #include "smt/solver.hpp"
-#include "spec/ast.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
 
 namespace ns::serve {
+
+enum class Frontend {
+  kEpoll,     ///< non-blocking reactor pool (default)
+  kBlocking,  ///< thread-per-connection (the pre-reactor baseline)
+};
 
 struct ServerOptions {
   int port = 0;         ///< 0 = kernel-assigned ephemeral port (see port())
   int threads = 0;      ///< worker threads; 0 = hardware concurrency
   std::size_t cache_entries = 256;  ///< LRU capacity; 0 disables caching
   int deadline_ms = 0;  ///< default per-request budget; 0 = unbounded
+  Frontend frontend = Frontend::kEpoll;
+  int reactors = 2;             ///< epoll reactor threads; <=0 = 2
+  std::size_t max_queue = 256;  ///< admission bound; 0 = unbounded (no shed)
+  std::size_t max_line_bytes = 64u << 20;  ///< request-line cap
 };
 
 /// Point-in-time service counters (the `stats` response carries the same
@@ -69,12 +91,15 @@ struct ServerStats {
   std::uint64_t requests_stats = 0;
   std::uint64_t requests_shutdown = 0;
   std::uint64_t requests_malformed = 0;
+  std::uint64_t requests_shed = 0;  ///< refused by the full admission queue
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t answers_failed = 0;  ///< explain answered with an error
   int in_flight = 0;                 ///< explain requests being answered
   std::uint64_t latency_count = 0;   ///< completed explain answers
   double latency_p50_ms = 0;
   double latency_p95_ms = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_closed = 0;
   CacheStats cache;
   /// Solver-layer counters summed over every explain answer computed by
   /// the workers (cache hits recompute nothing, so they add nothing).
@@ -83,16 +108,17 @@ struct ServerStats {
   std::string scenario_digest;  ///< empty until a scenario is loaded
 };
 
-class Server {
+class Server : public ReactorHost {
  public:
   explicit Server(ServerOptions options) : options_(options) {}
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds 127.0.0.1:<port>, starts the accept thread and the worker
-  /// pool. Fails (kInvalidArgument) if the port is taken.
+  /// Binds 127.0.0.1:<port>, starts the front end (reactor pool or
+  /// blocking acceptor) and the worker pool. Fails (kInvalidArgument) if
+  /// the port is taken.
   util::Status Start();
 
   /// The actual bound port (the kernel's pick when options.port == 0).
@@ -109,9 +135,10 @@ class Server {
     return stop_.load(std::memory_order_acquire);
   }
 
-  /// Graceful drain: BeginShutdown + join accept thread, connection
-  /// threads (each finishes its in-flight request) and workers (queue
-  /// runs dry). Idempotent; called by the destructor.
+  /// Graceful drain: BeginShutdown + join the acceptor, the front end
+  /// (every pending request resolves — the workers are still running —
+  /// and every connection flushes and closes) and finally the workers
+  /// (queue runs dry). Idempotent; called by the destructor.
   void Shutdown();
 
   /// Blocks until a `shutdown` request (or BeginShutdown) arrives, then
@@ -121,40 +148,40 @@ class Server {
   ServerStats Stats() const;
 
   /// Threads ever spawned / joined — equal after Shutdown(); the leak
-  /// check of tests/serve_test.cpp.
+  /// check of tests/serve_test.cpp. Reactor threads are counted too.
   int threads_spawned() const noexcept { return threads_spawned_.load(); }
   int threads_joined() const noexcept { return threads_joined_.load(); }
 
+  /// Connections ever accepted / closed — equal after Shutdown() on
+  /// either front end; the fd-leak check of serve_frontend_test.cpp.
+  std::uint64_t connections_opened() const;
+  std::uint64_t connections_closed() const;
+
+  // ReactorHost — the dispatch core shared by both front ends. Each
+  // explain is counted in-flight from dispatch until exactly one of
+  // RenderCompletion / RenderExpiry / ShedResponse / DiscardPending.
+  LineOutcome HandleReactorLine(std::string_view line) override;
+  bool EnqueueJob(const std::shared_ptr<Job>& job) override;
+  util::Json ShedResponse() override;
+  util::Json RenderCompletion(Job& job,
+                              std::chrono::steady_clock::time_point start)
+      override;
+  util::Json RenderExpiry(int deadline_ms) override;
+  util::Json OversizedResponse() override;
+  void DiscardPending(std::size_t count) override;
+
  private:
-  struct Scenario {
-    net::Topology topo;
-    spec::Spec spec;
-    config::NetworkConfig solved;
-    std::string digest;
-  };
-
-  /// One queued explain question; the connection thread waits on `cv` up
-  /// to its deadline, the worker always completes the job.
-  struct Job {
-    explain::BatchRequest request;
-    std::shared_ptr<const Scenario> scenario;
-    std::string cache_key;
-    int debug_sleep_ms = 0;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    util::Result<explain::BatchAnswer> result =
-        util::Error(util::ErrorCode::kInternal, "request was not run");
-  };
-
   void AcceptLoop();
   void ConnectionLoop(int fd);
   void WorkerLoop();
 
-  /// Handles one request line; returns the response to send.
-  util::Json HandleLine(std::string_view line);
+  /// Blocking-front-end line handler: shared dispatch, then park this
+  /// thread on the job up to its deadline.
+  util::Json HandleBlockingLine(std::string_view line);
   util::Json HandleLoad(const LoadRequest& request);
-  util::Json HandleExplain(const ExplainRequest& request);
+  /// Shared explain dispatch: cache hit -> ready response; miss -> an
+  /// un-enqueued Job for the front end to admit.
+  LineOutcome StartExplain(const ExplainRequest& request);
   util::Json StatsResponse() const;
 
   void RecordLatency(double ms);
@@ -164,13 +191,21 @@ class Server {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
-  bool joined_ = false;           // guarded by shutdown_mu_
+  bool joined_ = false;  // guarded by shutdown_mu_
   std::mutex shutdown_mu_;
 
   std::thread accept_thread_;
+
+  // Epoll front end.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::size_t next_reactor_ = 0;  // accept-thread only
+
+  // Blocking front end.
   std::mutex conn_mu_;
   std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
   std::set<int> conn_fds_;                 // guarded by conn_mu_
+  std::atomic<std::uint64_t> blocking_conns_opened_{0};
+  std::atomic<std::uint64_t> blocking_conns_closed_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
@@ -185,9 +220,9 @@ class Server {
   mutable AnswerCache cache_{options_.cache_entries};
 
   mutable std::mutex stats_mu_;
-  ServerStats counters_;                 // counter fields; guarded by stats_mu_
-  std::vector<double> latencies_;        // ring buffer; guarded by stats_mu_
-  std::size_t latency_next_ = 0;         // guarded by stats_mu_
+  ServerStats counters_;           // counter fields; guarded by stats_mu_
+  std::vector<double> latencies_;  // ring buffer; guarded by stats_mu_
+  std::size_t latency_next_ = 0;   // guarded by stats_mu_
 
   std::atomic<int> threads_spawned_{0};
   std::atomic<int> threads_joined_{0};

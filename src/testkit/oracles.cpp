@@ -8,12 +8,18 @@
 #include <utility>
 #include <vector>
 
+#include "config/parse.hpp"
+#include "config/render.hpp"
 #include "explain/batch.hpp"
 #include "explain/lift.hpp"
 #include "explain/subspec.hpp"
 #include "explain/symbolize.hpp"
 #include "explain/verify.hpp"
+#include "net/topo_text.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "simplify/engine.hpp"
+#include "spec/parser.hpp"
 #include "smt/eval.hpp"
 #include "smt/expr.hpp"
 #include "smt/solver.hpp"
@@ -21,6 +27,7 @@
 #include "synth/encoder.hpp"
 #include "synth/synthesizer.hpp"
 #include "testkit/transform.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace ns::testkit {
@@ -232,6 +239,12 @@ struct Runner {
     if (options.with_batch) {
       report.stage = "batch";
       CheckBatchDeterminism(solved);
+    }
+
+    // ------------------------------------------------------------ serve
+    if (options.with_serve_diff) {
+      report.stage = "serve";
+      CheckServeDifferential(solved);
     }
 
     // ----------------------------------------------------------- rename
@@ -493,6 +506,140 @@ struct Runner {
         Fail("batch-determinism",
              "request #" + std::to_string(i) +
                  ": parallel answer is not byte-identical to sequential");
+        return;
+      }
+    }
+  }
+
+  /// Served answers must match explain::AnswerRequest exactly, whatever
+  /// the byte framing on the wire: the scenario is rendered to the same
+  /// texts a `load` request carries, replayed through a live epoll server
+  /// over a real loopback socket in rng-sized chunks (sometimes mid-line
+  /// drips, sometimes multi-line pipelined bursts), and each response is
+  /// diffed against the sequential ground truth on the reparsed texts.
+  void CheckServeDifferential(const config::NetworkConfig& solved) {
+    const std::string topo_text = net::ToText(scenario.topo);
+    const std::string spec_text = scenario.spec.ToString();
+    const std::string config_text =
+        config::RenderNetwork(solved, &scenario.topo);
+
+    // The serving contract is defined over the rendered texts. If the
+    // local parsers reject the roundtrip the generator over-approximated
+    // what the text formats can carry — not a serve bug, since the server
+    // runs these very parsers.
+    auto topo2 = net::ParseTopology(topo_text);
+    auto spec2 = spec::ParseSpec(spec_text);
+    auto solved2 = config::ParseNetworkConfig(config_text);
+    if (!topo2.ok() || !spec2.ok() || !solved2.ok()) return;
+
+    std::vector<explain::BatchRequest> requests =
+        explain::RequestsForAllRouters(solved2.value(), scenario.mode);
+    if (requests.size() > 3) requests.resize(3);
+    if (requests.empty()) return;
+
+    serve::ServerOptions server_options;
+    server_options.threads = 2;
+    serve::Server server(server_options);
+    if (auto started = server.Start(); !started.ok()) {
+      Fail("serve-differential",
+           "server failed to start: " + started.ToString());
+      return;
+    }
+    auto client = serve::Client::Connect(server.port());
+    if (!client.ok()) {
+      Fail("serve-differential", client.error().ToString());
+      return;
+    }
+
+    util::Json load = util::Json::MakeObject();
+    load.Set("cmd", "load");
+    load.Set("topo", topo_text);
+    load.Set("spec", spec_text);
+    load.Set("config", config_text);
+    std::string stream = load.Dump(0) + "\n";
+    for (const explain::BatchRequest& request : requests) {
+      util::Json question = util::Json::MakeObject();
+      question.Set("cmd", "explain");
+      question.Set("router", request.selection.router);
+      if (request.selection.complement) question.Set("rest", true);
+      question.Set("mode", request.mode == explain::LiftMode::kExact
+                               ? "exact"
+                               : "faithful");
+      stream += question.Dump(0) + "\n";
+    }
+
+    // Randomized wire framing over the whole exchange.
+    std::size_t sent = 0;
+    while (sent < stream.size()) {
+      const std::size_t remaining = stream.size() - sent;
+      std::size_t chunk =
+          1 + rng.Below(rng.Coin() ? std::min<std::size_t>(remaining, 7)
+                                   : remaining);
+      chunk = std::min(chunk, remaining);
+      if (auto status = client.value().SendRaw(
+              std::string_view(stream).substr(sent, chunk));
+          !status.ok()) {
+        Fail("serve-differential", "send failed: " + status.ToString());
+        return;
+      }
+      sent += chunk;
+    }
+
+    auto loaded = client.value().ReadResponse();
+    if (!loaded.ok() || loaded.value().Find("ok") == nullptr ||
+        !loaded.value().Find("ok")->AsBool()) {
+      Fail("serve-differential",
+           "load failed on texts the local parsers accept: " +
+               (loaded.ok() ? loaded.value().Dump(0)
+                            : loaded.error().ToString()));
+      return;
+    }
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      auto response = client.value().ReadResponse();
+      if (!response.ok()) {
+        Fail("serve-differential", "request #" + std::to_string(i) + ": " +
+                                       response.error().ToString());
+        return;
+      }
+      const util::Json& body = response.value();
+      const auto expected = explain::AnswerRequest(
+          topo2.value(), spec2.value(), solved2.value(), requests[i]);
+      const bool served_ok =
+          body.Find("ok") != nullptr && body.Find("ok")->AsBool();
+      if (served_ok != expected.ok()) {
+        Fail("serve-differential",
+             "request #" + std::to_string(i) +
+                 ": served success differs from explain::AnswerRequest (" +
+                 body.Dump(0) + ")");
+        return;
+      }
+      if (!expected.ok()) {
+        const util::Json* error = body.Find("error");
+        const util::Json* code =
+            error != nullptr ? error->Find("code") : nullptr;
+        const util::Json* message =
+            error != nullptr ? error->Find("message") : nullptr;
+        if (code == nullptr || message == nullptr ||
+            code->AsString() !=
+                util::ErrorCodeName(expected.error().code()) ||
+            message->AsString() != expected.error().message()) {
+          Fail("serve-differential",
+               "request #" + std::to_string(i) +
+                   ": served error differs from explain::AnswerRequest (" +
+                   body.Dump(0) + ")");
+          return;
+        }
+        continue;
+      }
+      if (body.Find("report")->AsString() != expected.value().report ||
+          body.Find("subspec")->AsString() != expected.value().subspec_text ||
+          body.Find("empty")->AsBool() != expected.value().empty ||
+          body.Find("unsat")->AsBool() != expected.value().unsat) {
+        Fail("serve-differential",
+             "request #" + std::to_string(i) +
+                 ": served answer is not byte-identical to "
+                 "explain::AnswerRequest");
         return;
       }
     }

@@ -16,6 +16,10 @@
 //                fast path) produces byte-identical lift and verify
 //                answers
 //     -> oracle: parallel batch-explain byte-identical to sequential
+//     -> oracle: serve-differential — replaying the scenario through a
+//                live epoll serve front end over a real socket (with
+//                randomized chunking and pipelining) yields exactly the
+//                explain::AnswerRequest answers
 //     -> oracle: order-preserving router renaming yields an isomorphic
 //                answer
 //
@@ -61,6 +65,11 @@ struct RunOptions {
   /// default (fast-path) answer — text, completeness, statement order,
   /// candidate count; plus fresh-vs-fastpath encoder verification.
   bool with_solver_diff = true;
+  /// Run the serve-differential oracle: boot an epoll `netsubspec serve`
+  /// server in-process, replay the scenario over a real loopback socket
+  /// with randomized chunking/pipelining, and fail if any served answer
+  /// differs from explain::AnswerRequest on the same texts.
+  bool with_serve_diff = true;
   /// Random full models for the eval-equivalence oracles.
   int eval_models = 6;
 };

@@ -1,0 +1,257 @@
+// loadgen — sustained-load driver for the explanation service.
+//
+//   loadgen [--port P]                 drive a live server (sends `load` first)
+//           [--frontend epoll|blocking] [--threads N] [--reactors R]
+//           [--max-queue Q] [--cache-entries K] [--deadline-ms D]
+//                                      ... or spawn an in-process server
+//           [--connections C]          concurrent connections    (default 8)
+//           [--duration-s S]           generation window         (default 5)
+//           [--rate R]                 per-connection open-loop arrivals/s;
+//                                      0 = closed loop           (default 0)
+//           [--seed S]                 request-mix shuffle       (default 1)
+//           [--json FILE]              write the report as JSON
+//           [--max-p99-ms X]           exit 1 if p99 exceeds X   (CI sanity)
+//           [--allow-shed]             don't fail on shed responses
+//
+// The question mix is scenario 1 (paper Fig. 1) with its fixed
+// configuration: every policy-carrying router in both lift modes — the
+// same mix the serve tests assert byte-identity on. Exit status: 0 ok,
+// 1 gate violated (protocol errors, unexpected sheds, p99 over budget),
+// 2 usage/setup error.
+//
+// CI uses this twice: a 30 s smoke against the real `netsubspec serve`
+// binary (zero protocol errors, sane p99) and bench/bench_serve's
+// in-process A/B for BENCH_SERVE.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/parse.hpp"
+#include "config/render.hpp"
+#include "explain/batch.hpp"
+#include "net/topo_text.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "synth/scenarios.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using ns::util::Json;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P | --frontend epoll|blocking] "
+               "[--threads N] [--reactors R] [--max-queue Q] "
+               "[--cache-entries K] [--deadline-ms D] [--connections C] "
+               "[--duration-s S] [--rate R] [--seed S] [--json FILE] "
+               "[--max-p99-ms X] [--allow-shed]\n",
+               argv0);
+  return 2;
+}
+
+struct RequestMix {
+  std::string load_line;
+  std::vector<std::string> explain_lines;
+};
+
+/// Scenario 1 with the paper's fixed configuration — deterministic texts,
+/// the same mix tests/serve_test.cpp answers byte-identically.
+RequestMix BuildRequestMix() {
+  const ns::synth::Scenario scenario = ns::synth::Scenario1();
+  const std::string topo = ns::net::ToText(scenario.topo);
+  const std::string spec = scenario.spec.ToString();
+  const std::string config = ns::config::RenderNetwork(
+      ns::synth::Scenario1PaperConfig(), &scenario.topo);
+
+  RequestMix mix;
+  Json load = Json::MakeObject();
+  load.Set("cmd", "load");
+  load.Set("topo", topo);
+  load.Set("spec", spec);
+  load.Set("config", config);
+  mix.load_line = load.Dump(0);
+
+  auto solved = ns::config::ParseNetworkConfig(config);
+  if (!solved.ok()) return mix;  // impossible for the built-in scenario
+  for (const auto& request :
+       ns::explain::RequestsForAllRouters(solved.value())) {
+    for (const char* mode : {"exact", "faithful"}) {
+      Json explain = Json::MakeObject();
+      explain.Set("cmd", "explain");
+      explain.Set("router", request.selection.router);
+      explain.Set("mode", mode);
+      mix.explain_lines.push_back(explain.Dump(0));
+    }
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage(argv[0]);
+    arg = arg.substr(2);
+    if (arg == "allow-shed") {
+      flags[arg] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) return Usage(argv[0]);
+    flags[arg] = argv[++i];
+  }
+
+  ns::serve::LoadgenOptions options;
+  if (flags.count("connections")) {
+    options.connections = std::atoi(flags["connections"].c_str());
+  }
+  if (flags.count("duration-s")) {
+    options.duration_s = std::atof(flags["duration-s"].c_str());
+  }
+  if (flags.count("rate")) options.rate_per_s = std::atof(flags["rate"].c_str());
+  if (flags.count("seed")) {
+    options.seed = std::strtoull(flags["seed"].c_str(), nullptr, 10);
+  }
+
+  const RequestMix mix = BuildRequestMix();
+  if (mix.explain_lines.empty()) {
+    std::fprintf(stderr, "loadgen: could not build the request mix\n");
+    return 2;
+  }
+
+  // Target: a live server, or an in-process one for self-contained runs.
+  std::unique_ptr<ns::serve::Server> server;
+  if (flags.count("port")) {
+    options.port = std::atoi(flags["port"].c_str());
+  } else {
+    ns::serve::ServerOptions server_options;
+    if (flags.count("threads")) {
+      server_options.threads = std::atoi(flags["threads"].c_str());
+    }
+    if (flags.count("reactors")) {
+      server_options.reactors = std::atoi(flags["reactors"].c_str());
+    }
+    if (flags.count("max-queue")) {
+      server_options.max_queue =
+          static_cast<std::size_t>(std::atoll(flags["max-queue"].c_str()));
+    }
+    if (flags.count("cache-entries")) {
+      server_options.cache_entries =
+          static_cast<std::size_t>(std::atoll(flags["cache-entries"].c_str()));
+    }
+    if (flags.count("deadline-ms")) {
+      server_options.deadline_ms = std::atoi(flags["deadline-ms"].c_str());
+    }
+    if (flags.count("frontend")) {
+      if (flags["frontend"] == "epoll") {
+        server_options.frontend = ns::serve::Frontend::kEpoll;
+      } else if (flags["frontend"] == "blocking") {
+        server_options.frontend = ns::serve::Frontend::kBlocking;
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    server = std::make_unique<ns::serve::Server>(server_options);
+    if (auto started = server->Start(); !started.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", started.ToString().c_str());
+      return 2;
+    }
+    options.port = server->port();
+  }
+
+  // Install the scenario before generating load.
+  {
+    auto loader = ns::serve::Client::Connect(options.port);
+    if (!loader.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", loader.error().ToString().c_str());
+      return 2;
+    }
+    if (auto sent = loader.value().SendLine(mix.load_line); !sent.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", sent.ToString().c_str());
+      return 2;
+    }
+    auto loaded = loader.value().ReadResponse();
+    if (!loaded.ok() || loaded.value().Find("ok") == nullptr ||
+        !loaded.value().Find("ok")->AsBool()) {
+      std::fprintf(stderr, "loadgen: load request failed: %s\n",
+                   loaded.ok() ? loaded.value().Dump(0).c_str()
+                               : loaded.error().ToString().c_str());
+      return 2;
+    }
+  }
+
+  auto report = ns::serve::RunLoadgen(options, mix.explain_lines);
+  if (!report.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", report.error().ToString().c_str());
+    return 2;
+  }
+  const ns::serve::LoadgenReport& r = report.value();
+
+  std::printf(
+      "loadgen: %llu requests in %.1f s over %d connections "
+      "(%s loop)\n"
+      "  throughput  %.1f resp/s\n"
+      "  latency     p50 %.2f ms   p95 %.2f ms   p99 %.2f ms   max %.2f ms\n"
+      "  outcomes    ok %llu (cached %llu)   shed %llu (rate %.3f)   "
+      "deadline %llu   errors %llu   protocol %llu\n",
+      static_cast<unsigned long long>(r.requests_sent), r.wall_s,
+      options.connections, options.rate_per_s > 0 ? "open" : "closed",
+      r.throughput_rps, r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms,
+      static_cast<unsigned long long>(r.answers_ok),
+      static_cast<unsigned long long>(r.answers_cached),
+      static_cast<unsigned long long>(r.shed), r.shed_rate,
+      static_cast<unsigned long long>(r.deadline_exceeded),
+      static_cast<unsigned long long>(r.answer_errors),
+      static_cast<unsigned long long>(r.protocol_errors));
+
+  if (flags.count("json")) {
+    const Json doc = ns::serve::LoadgenReportToJson(r);
+    if (auto written = ns::util::WriteFile(flags["json"], doc.Dump() + "\n");
+        !written.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n", written.ToString().c_str());
+      return 2;
+    }
+    std::printf("  report      %s\n", flags["json"].c_str());
+  }
+
+  if (server != nullptr) server->Shutdown();
+
+  int gate_failures = 0;
+  if (r.protocol_errors > 0) {
+    std::fprintf(stderr, "loadgen: GATE: %llu protocol errors (want 0)\n",
+                 static_cast<unsigned long long>(r.protocol_errors));
+    ++gate_failures;
+  }
+  if (r.answer_errors > 0) {
+    std::fprintf(stderr, "loadgen: GATE: %llu unexpected error responses\n",
+                 static_cast<unsigned long long>(r.answer_errors));
+    ++gate_failures;
+  }
+  if (r.shed > 0 && !flags.count("allow-shed")) {
+    std::fprintf(stderr,
+                 "loadgen: GATE: %llu shed responses (pass --allow-shed if "
+                 "overload is intended)\n",
+                 static_cast<unsigned long long>(r.shed));
+    ++gate_failures;
+  }
+  if (flags.count("max-p99-ms")) {
+    const double budget = std::atof(flags["max-p99-ms"].c_str());
+    if (r.p99_ms > budget) {
+      std::fprintf(stderr, "loadgen: GATE: p99 %.2f ms over the %.2f ms budget\n",
+                   r.p99_ms, budget);
+      ++gate_failures;
+    }
+  }
+  if (r.answers_ok == 0) {
+    std::fprintf(stderr, "loadgen: GATE: no successful answers\n");
+    ++gate_failures;
+  }
+  return gate_failures == 0 ? 0 : 1;
+}

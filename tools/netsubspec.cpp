@@ -13,7 +13,8 @@
 //                         [--req Req1]... [--mode faithful] [--baselines]
 //                         [--solver NAME] [--stats] [--json out.json]
 //   netsubspec serve      [--port P] [--threads N] [--cache-entries K]
-//                         [--deadline-ms D]
+//                         [--deadline-ms D] [--frontend epoll|blocking]
+//                         [--reactors R] [--max-queue Q]
 //                         [--topo F --spec F --config F]   (preload)
 //
 // File formats: topologies per net/topo_text.hpp, specifications per
@@ -68,8 +69,9 @@ int Usage(const char* argv0) {
                "                [--baselines] [--solver NAME] [--stats]\n"
                "                [--json FILE]\n"
                "  serve:        [--port P] [--threads N] [--cache-entries K]\n"
-               "                [--deadline-ms D] [--topo F --spec F\n"
-               "                --config F]  (see docs/SERVE.md)\n",
+               "                [--deadline-ms D] [--frontend epoll|blocking]\n"
+               "                [--reactors R] [--max-queue Q] [--topo F\n"
+               "                --spec F --config F]  (see docs/SERVE.md)\n",
                argv0);
   return 2;
 }
@@ -434,21 +436,40 @@ int CmdServe(const Flags& flags) {
   for (const auto& [flag, target] :
        {std::pair<const char*, int*>{"port", &options.port},
         {"threads", &options.threads},
-        {"deadline-ms", &options.deadline_ms}}) {
+        {"deadline-ms", &options.deadline_ms},
+        {"reactors", &options.reactors}}) {
     if (flags.Has(flag)) {
       auto value = ParseIntFlag(flags, flag);
       if (!value) return Fail(value.error());
       *target = value.value();
     }
   }
-  if (flags.Has("cache-entries")) {
-    auto value = ParseIntFlag(flags, "cache-entries");
-    if (!value) return Fail(value.error());
-    if (value.value() < 0) {
-      return Fail(util::Error(util::ErrorCode::kInvalidArgument,
-                              "--cache-entries must be >= 0"));
+  for (const auto& [flag, target] :
+       {std::pair<const char*, std::size_t*>{"cache-entries",
+                                             &options.cache_entries},
+        {"max-queue", &options.max_queue}}) {
+    if (flags.Has(flag)) {
+      auto value = ParseIntFlag(flags, flag);
+      if (!value) return Fail(value.error());
+      if (value.value() < 0) {
+        return Fail(util::Error(util::ErrorCode::kInvalidArgument,
+                                std::string("--") + flag + " must be >= 0"));
+      }
+      *target = static_cast<std::size_t>(value.value());
     }
-    options.cache_entries = static_cast<std::size_t>(value.value());
+  }
+  if (flags.Has("frontend")) {
+    auto value = flags.One("frontend");
+    if (!value) return Fail(value.error());
+    if (value.value() == "epoll") {
+      options.frontend = serve::Frontend::kEpoll;
+    } else if (value.value() == "blocking") {
+      options.frontend = serve::Frontend::kBlocking;
+    } else {
+      return Fail(util::Error(util::ErrorCode::kInvalidArgument,
+                              "--frontend must be 'epoll' or 'blocking', got '" +
+                                  value.value() + "'"));
+    }
   }
 
   serve::Server server(options);
