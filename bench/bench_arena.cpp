@@ -1,0 +1,292 @@
+// bench_arena — the frozen-arena answer trajectory. A warm request seeds
+// its Session from a shared frozen arena (the replayed symbolize → encode
+// → simplify → eliminate prefix, hash-consed and immutable) and runs only
+// the lift suffix in a thin copy-on-write overlay pool; the baseline
+// re-runs the whole pipeline in a fresh ExprPool. This bench A/Bs both
+// granularities per question:
+//
+//   * encode+simplify — the stage the arena removes: a fresh
+//     Explainer::Explain versus the warm seed (registry hit + overlay
+//     pool construction). This is where the headline speedup lives.
+//   * whole answer — end-to-end AnswerRequest fresh versus warm, with the
+//     lift suffix (solver-bound, shared by both paths) included; the
+//     rendered answers are asserted byte-identical while measuring.
+//
+//   bench_arena --json BENCH_ARENA.json [--benchmark_filter=NONE]
+//
+// The committed BENCH_ARENA.json at the repo root is regenerated with
+// exactly that invocation (see TESTING.md); CI re-runs the bench and
+// fails if the warm whole-answer median (record "median", key opt_ms —
+// millisecond scale, stable) regresses >1.5x against the committed
+// numbers (tools/bench_json_check --baseline). The "median-encode" record
+// carries the encode+simplify A/B; the "memory" record reuses the ref/opt
+// keys for node *counts* (fresh-pool nodes vs frozen + overlay nodes
+// across the run) and its "speedup" is the footprint ratio.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "explain/arena.hpp"
+#include "explain/batch.hpp"
+#include "explain/report.hpp"
+
+namespace {
+
+using namespace ns;
+
+struct Problem {
+  std::string label;
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig solved;
+  explain::BatchRequest request;
+};
+
+/// One row per policy-carrying router of each paper scenario — the same
+/// question population the batch driver and the serve workers answer.
+std::vector<Problem> Sweep() {
+  std::vector<Problem> out;
+  const struct {
+    const char* label;
+    synth::Scenario scenario;
+  } scenarios[] = {{"scenario1", synth::Scenario1()},
+                   {"scenario2", synth::Scenario2()},
+                   {"scenario3", synth::Scenario3()}};
+  for (const auto& entry : scenarios) {
+    config::NetworkConfig solved = bench::MustSynthesize(entry.scenario);
+    for (explain::BatchRequest& request :
+         explain::RequestsForAllRouters(solved)) {
+      Problem problem{std::string(entry.label) + "/" +
+                          request.selection.router,
+                      entry.scenario.topo, entry.scenario.spec, solved,
+                      std::move(request)};
+      out.push_back(std::move(problem));
+    }
+  }
+  return out;
+}
+
+explain::BatchAnswer MustAnswer(
+    const Problem& problem,
+    const std::shared_ptr<explain::ArenaRegistry>& registry) {
+  auto answer = explain::AnswerRequest(problem.topo, problem.spec,
+                                       problem.solved, problem.request,
+                                       registry);
+  NS_ASSERT_MSG(answer.ok(), "bench problem failed to answer");
+  return std::move(answer).value();
+}
+
+/// The fresh-pool encode+simplify prefix: everything Explain runs before
+/// the lift suffix (symbolize → encode → simplify → eliminate).
+double TimeFreshEncode(const Problem& problem) {
+  return bench::TimeMs([&] {
+    explain::Explainer explainer(problem.topo, problem.spec, problem.solved);
+    explain::SubspecOptions options;
+    options.requirements = problem.request.requirements;
+    options.solver = problem.request.solver;
+    auto subspec =
+        explainer.Explain(problem.request.selection, options);
+    NS_ASSERT_MSG(subspec.ok(), "bench problem failed to explain");
+    benchmark::DoNotOptimize(subspec.value().constraints.size());
+  });
+}
+
+/// The warm replacement for that prefix: a registry hit plus standing up
+/// the request's copy-on-write overlay pool (what AskViaArena does before
+/// handing off to the lift).
+double TimeWarmSeed(const Problem& problem,
+                    const std::shared_ptr<explain::ArenaRegistry>& registry) {
+  return bench::TimeMs([&] {
+    auto question = registry->GetOrBuild(problem.topo, problem.spec,
+                                         problem.solved,
+                                         problem.request.selection,
+                                         problem.request.requirements);
+    NS_ASSERT_MSG(question.ok(), "bench registry lookup failed");
+    smt::ExprPool overlay(question.value()->arena);
+    benchmark::DoNotOptimize(overlay.NumFrozenNodes());
+  });
+}
+
+double Median(std::vector<double> values) {
+  NS_ASSERT(!values.empty());
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+util::Json PrintTable() {
+  std::printf("arena answers | enc ref/opt = encode+simplify: fresh ExprPool "
+              "vs warm arena seed\n              | (registry hit + overlay); "
+              "ans ref/opt = whole answer including the\n              | "
+              "lift suffix — cold = first request, which builds the arena\n");
+  bench::Rule('=');
+  std::printf("%-14s | %8s %8s %8s | %8s %8s %8s %7s | %7s %7s\n", "question",
+              "enc ref", "enc opt", "speedup", "ans ref", "cold", "ans opt",
+              "speedup", "frozen", "overlay");
+  bench::Rule();
+
+  constexpr int kReps = 5;
+  util::Json records = util::Json::MakeArray();
+  std::vector<double> encode_ref_series;
+  std::vector<double> encode_opt_series;
+  std::vector<double> answer_ref_series;
+  std::vector<double> answer_opt_series;
+  // Node-count totals over every answer the run produced: the fresh path
+  // pays a full pool per answer; the arena path pays each question's
+  // frozen tier once plus an overlay per answer.
+  std::uint64_t fresh_nodes_total = 0;
+  std::uint64_t arena_nodes_total = 0;
+  for (const Problem& problem : Sweep()) {
+    double answer_ref_ms = 0;
+    explain::BatchAnswer fresh;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double sample =
+          bench::TimeMs([&] { fresh = MustAnswer(problem, nullptr); });
+      answer_ref_ms = rep == 0 ? sample : std::min(answer_ref_ms, sample);
+    }
+
+    auto registry = std::make_shared<explain::ArenaRegistry>();
+    explain::BatchAnswer warm;
+    const double cold_ms =
+        bench::TimeMs([&] { warm = MustAnswer(problem, registry); });
+    double answer_opt_ms = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double sample =
+          bench::TimeMs([&] { warm = MustAnswer(problem, registry); });
+      answer_opt_ms = rep == 0 ? sample : std::min(answer_opt_ms, sample);
+    }
+
+    double encode_ref_ms = 0;
+    double encode_opt_ms = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double ref_sample = TimeFreshEncode(problem);
+      const double opt_sample = TimeWarmSeed(problem, registry);
+      encode_ref_ms =
+          rep == 0 ? ref_sample : std::min(encode_ref_ms, ref_sample);
+      encode_opt_ms =
+          rep == 0 ? opt_sample : std::min(encode_opt_ms, opt_sample);
+    }
+
+    // The determinism contract (DESIGN.md §11): the arena path replays
+    // the fresh path's node-creation sequence exactly, so the rendered
+    // answer may not differ by a byte.
+    NS_ASSERT_MSG(fresh.report == warm.report &&
+                      fresh.subspec_text == warm.subspec_text &&
+                      fresh.empty == warm.empty && fresh.unsat == warm.unsat,
+                  "warm arena answer diverged from the fresh-pool baseline");
+    NS_ASSERT_MSG(warm.stats.arena.used, "warm answer bypassed the arena");
+
+    const double encode_speedup =
+        encode_opt_ms > 0 ? encode_ref_ms / encode_opt_ms : 0;
+    const double answer_speedup =
+        answer_opt_ms > 0 ? answer_ref_ms / answer_opt_ms : 0;
+    const std::uint64_t frozen = warm.stats.arena.frozen_nodes;
+    const std::uint64_t overlay = warm.stats.arena.overlay_nodes;
+    std::printf("%-14s | %8.2f %8.3f %7.1fx | %8.2f %8.2f %8.2f %6.2fx | "
+                "%7llu %7llu\n",
+                problem.label.c_str(), encode_ref_ms, encode_opt_ms,
+                encode_speedup, answer_ref_ms, cold_ms, answer_opt_ms,
+                answer_speedup, static_cast<unsigned long long>(frozen),
+                static_cast<unsigned long long>(overlay));
+    encode_ref_series.push_back(encode_ref_ms);
+    encode_opt_series.push_back(encode_opt_ms);
+    answer_ref_series.push_back(answer_ref_ms);
+    answer_opt_series.push_back(answer_opt_ms);
+    const std::uint64_t answers = 1 + kReps;  // one cold + kReps warm
+    fresh_nodes_total += answers * (frozen + overlay);
+    arena_nodes_total += frozen + answers * overlay;
+
+    util::Json record = util::Json::MakeObject();
+    record.Set("label", problem.label);
+    record.Set("ref_ms", answer_ref_ms);
+    record.Set("opt_ms", answer_opt_ms);
+    record.Set("speedup", answer_speedup);
+    record.Set("cold_ms", cold_ms);
+    record.Set("encode_ref_ms", encode_ref_ms);
+    record.Set("encode_opt_ms", encode_opt_ms);
+    record.Set("encode_speedup", encode_speedup);
+    record.Set("frozen_nodes", static_cast<std::int64_t>(frozen));
+    record.Set("frozen_symbols",
+               static_cast<std::int64_t>(warm.stats.arena.frozen_symbols));
+    record.Set("overlay_nodes", static_cast<std::int64_t>(overlay));
+    records.Append(std::move(record));
+  }
+  bench::Rule();
+
+  // Summary records. CI gates on "median" (whole-answer warm median, key
+  // opt_ms — millisecond scale, so the 1.5x ratio is meaningful);
+  // "median-encode" is the headline encode+simplify trajectory.
+  const double answer_ref_median = Median(answer_ref_series);
+  const double answer_opt_median = Median(answer_opt_series);
+  const double answer_median_speedup =
+      answer_opt_median > 0 ? answer_ref_median / answer_opt_median : 0;
+  const double encode_ref_median = Median(encode_ref_series);
+  const double encode_opt_median = Median(encode_opt_series);
+  const double encode_median_speedup =
+      encode_opt_median > 0 ? encode_ref_median / encode_opt_median : 0;
+  std::printf("median encode+simplify: fresh %.3f ms, warm arena seed "
+              "%.3f ms (%.1fx)\n",
+              encode_ref_median, encode_opt_median, encode_median_speedup);
+  std::printf("median whole answer:    fresh %.3f ms, warm %.3f ms "
+              "(%.2fx)\n",
+              answer_ref_median, answer_opt_median, answer_median_speedup);
+
+  util::Json median = util::Json::MakeObject();
+  median.Set("label", "median");
+  median.Set("ref_ms", answer_ref_median);
+  median.Set("opt_ms", answer_opt_median);
+  median.Set("speedup", answer_median_speedup);
+  records.Append(std::move(median));
+
+  util::Json encode_median = util::Json::MakeObject();
+  encode_median.Set("label", "median-encode");
+  encode_median.Set("ref_ms", encode_ref_median);
+  encode_median.Set("opt_ms", encode_opt_median);
+  encode_median.Set("speedup", encode_median_speedup);
+  records.Append(std::move(encode_median));
+
+  // Memory footprint over the whole run (counts, not milliseconds — the
+  // shared ref/opt keys keep the artifact schema uniform).
+  const double ratio =
+      arena_nodes_total > 0 ? static_cast<double>(fresh_nodes_total) /
+                                  static_cast<double>(arena_nodes_total)
+                            : 0;
+  std::printf("pool nodes allocated: fresh %llu, arena+overlays %llu "
+              "(%.2fx smaller)\n\n",
+              static_cast<unsigned long long>(fresh_nodes_total),
+              static_cast<unsigned long long>(arena_nodes_total), ratio);
+  util::Json memory = util::Json::MakeObject();
+  memory.Set("label", "memory");
+  memory.Set("ref_ms", static_cast<double>(fresh_nodes_total));
+  memory.Set("opt_ms", static_cast<double>(arena_nodes_total));
+  memory.Set("speedup", ratio);
+  records.Append(std::move(memory));
+  return records;
+}
+
+void BM_AnswerScenario1(benchmark::State& state) {
+  const Problem problem = Sweep().front();
+  const bool warm = state.range(0) != 0;
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  if (warm) MustAnswer(problem, registry);  // prime the arena
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustAnswer(problem, warm ? registry : nullptr).metrics);
+  }
+}
+BENCHMARK(BM_AnswerScenario1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ns::bench::ExtractJsonPath(argc, argv);
+  util::Json records = PrintTable();
+  ns::bench::WriteBenchJson(json_path, "bench_arena", std::move(records));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "explain/arena.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace ns::explain {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+void AppendField(std::string& key, const std::string& field) {
+  key += std::to_string(field.size());
+  key += ':';
+  key += field;
+}
+
+/// Replays the deterministic prefix on a fresh root pool and freezes it.
+Result<std::shared_ptr<const FrozenQuestion>> BuildQuestion(
+    const net::Topology& topo, const spec::Spec& spec,
+    const config::NetworkConfig& solved, const Selection& selection,
+    const std::vector<std::string>& requirements) {
+  Explainer explainer(topo, spec, solved);
+  SubspecOptions options;
+  options.requirements = requirements;
+  auto subspec = explainer.Explain(selection, options);
+  if (!subspec) return subspec.error();
+
+  auto question = std::make_shared<FrozenQuestion>();
+  question->subspec = std::move(subspec).value();
+  question->arena = explainer.pool().Freeze();
+  question->fixpoints =
+      std::make_shared<simplify::FixpointCache>(question->arena->NumNodes());
+  NS_INFO << "froze arena for " << selection.ToString() << ": "
+          << question->arena->NumNodes() << " nodes, "
+          << question->arena->NumSymbols() << " symbols";
+  return Result<std::shared_ptr<const FrozenQuestion>>(std::move(question));
+}
+
+}  // namespace
+
+std::string ArenaRegistry::KeyOf(
+    const Selection& selection,
+    const std::vector<std::string>& requirements) {
+  // Length-prefixed fields (same idea as the serve cache key): unambiguous
+  // whatever characters router/map/requirement names contain. Requirement
+  // order is part of the key — the encoder projects in the given order.
+  std::string key;
+  AppendField(key, selection.router);
+  AppendField(key, selection.route_map ? *selection.route_map : "\x01");
+  AppendField(key, selection.seq ? std::to_string(*selection.seq) : "\x01");
+  AppendField(key, selection.slot ? *selection.slot : "\x01");
+  AppendField(key, selection.complement ? "1" : "0");
+  for (const std::string& requirement : requirements) {
+    AppendField(key, requirement);
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const FrozenQuestion>> ArenaRegistry::GetOrBuild(
+    const net::Topology& topo, const spec::Spec& spec,
+    const config::NetworkConfig& solved, const Selection& selection,
+    const std::vector<std::string>& requirements) {
+  const std::string key = KeyOf(selection, requirements);
+
+  std::shared_ptr<Slot> slot;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      builder = true;
+      ++builds_;
+    } else {
+      slot = it->second;
+      ++reuses_;
+    }
+  }
+
+  if (builder) {
+    auto built = BuildQuestion(topo, spec, solved, selection, requirements);
+    const bool failed = !built.ok();
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->result = std::move(built);
+      slot->ready = true;
+    }
+    slot->cv.notify_all();
+    if (failed) {
+      // Don't pin memory for keys that can't build (each retry fails
+      // identically anyway): drop the slot so the map holds only arenas.
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = slots_.find(key);
+      if (it != slots_.end() && it->second == slot) slots_.erase(it);
+      --builds_;
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    return slot->result;
+  }
+
+  std::unique_lock<std::mutex> lock(slot->mu);
+  slot->cv.wait(lock, [&] { return slot->ready; });
+  return slot->result;
+}
+
+ArenaRegistryStats ArenaRegistry::stats() const {
+  ArenaRegistryStats stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.builds = builds_;
+  stats.reuses = reuses_;
+  for (const auto& [key, slot] : slots_) {
+    // Slots in the map are either ready successes or still building;
+    // sample only the landed ones (ready is guarded by the slot mutex).
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    if (!slot->ready || !slot->result.ok()) continue;
+    const FrozenQuestion& question = *slot->result.value();
+    ++stats.entries;
+    stats.frozen_nodes += question.arena->NumNodes();
+    stats.frozen_symbols += question.arena->NumSymbols();
+    stats.memo_entries += question.fixpoints->size();
+    stats.memo_hits += question.fixpoints->hits();
+    stats.memo_misses += question.fixpoints->misses();
+  }
+  return stats;
+}
+
+}  // namespace ns::explain

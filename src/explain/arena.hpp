@@ -1,0 +1,110 @@
+// Scenario-level registry of frozen expression arenas (DESIGN.md §11).
+//
+// A loaded scenario answers the same questions over and over (serve cache
+// misses on new selections, batch fans out across routers, fuzz drivers
+// re-ask). The deterministic prefix of every answer — symbolize → encode →
+// simplify → eliminate, i.e. everything before the lift search — depends
+// only on (scenario, selection, requirements). The registry replays that
+// prefix exactly once per key on a fresh root pool, freezes the pool into
+// an immutable smt::ExprArena, and stores the resulting Subspec (whose
+// Exprs point into the arena) plus a shared simplify::FixpointCache.
+// Subsequent requests attach a thin copy-on-write overlay pool and run
+// only the lift suffix.
+//
+// Determinism contract: the frozen prefix is the *same node-creation
+// sequence* a fresh pool would have produced, so overlay node ids continue
+// exactly where the fresh path's would — Eq/Add/Mul orientation, rendered
+// constraints, and lifted reports are byte-identical to the fresh-pool
+// path. Requests that compute baselines bypass the registry entirely
+// (baseline engines create pool nodes *before* the main simplify, changing
+// the creation order), which callers enforce by falling back to the fresh
+// path; see Session::Ask.
+//
+// One registry per loaded scenario: keys do not include the scenario
+// itself. Thread-safe; concurrent requests for one key build it once
+// (first builder wins, the rest wait). Failed builds are not cached.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explain/subspec.hpp"
+#include "simplify/engine.hpp"
+#include "util/status.hpp"
+
+namespace ns::explain {
+
+/// One question's frozen prefix: the arena holding the replayed seed
+/// encoding, the Subspec computed over it, and the shared clean-node memo
+/// for simplify runs on overlays of this arena.
+struct FrozenQuestion {
+  std::shared_ptr<const smt::ExprArena> arena;
+  Subspec subspec;  ///< constraints/domains point into *arena
+  std::shared_ptr<simplify::FixpointCache> fixpoints;
+};
+
+/// Aggregate registry counters (serve stats endpoint, batch summaries).
+/// These are scheduling-dependent — which request builds, who hits the
+/// shared memo — and therefore deliberately NOT part of any per-answer
+/// output that determinism tests compare.
+struct ArenaRegistryStats {
+  std::uint64_t builds = 0;  ///< questions whose prefix was replayed+frozen
+  std::uint64_t reuses = 0;  ///< requests served from an existing arena
+  std::uint64_t entries = 0;
+  std::uint64_t frozen_nodes = 0;    ///< summed over entries
+  std::uint64_t frozen_symbols = 0;  ///< summed over entries
+  std::uint64_t memo_entries = 0;    ///< clean nodes published, summed
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+
+  /// Shared-memo hit rate in [0,1]; 0 when nothing was looked up.
+  double MemoHitRate() const noexcept {
+    const std::uint64_t total = memo_hits + memo_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(memo_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class ArenaRegistry {
+ public:
+  ArenaRegistry() = default;
+  ArenaRegistry(const ArenaRegistry&) = delete;
+  ArenaRegistry& operator=(const ArenaRegistry&) = delete;
+
+  /// Returns the frozen prefix for (selection, requirements), replaying
+  /// and freezing it first if this is the key's first request. Concurrent
+  /// first requests build once; the others block until the build lands.
+  /// Build failures are returned verbatim (byte-identical to the fresh
+  /// path's error) and are not cached.
+  util::Result<std::shared_ptr<const FrozenQuestion>> GetOrBuild(
+      const net::Topology& topo, const spec::Spec& spec,
+      const config::NetworkConfig& solved, const Selection& selection,
+      const std::vector<std::string>& requirements);
+
+  ArenaRegistryStats stats() const;
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;  // guarded by mu
+    util::Result<std::shared_ptr<const FrozenQuestion>> result =
+        util::Error(util::ErrorCode::kInternal, "arena build pending");
+  };
+
+  static std::string KeyOf(const Selection& selection,
+                           const std::vector<std::string>& requirements);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace ns::explain

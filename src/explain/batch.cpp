@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "explain/arena.hpp"
+
 namespace ns::explain {
 
 using util::Error;
@@ -24,10 +26,20 @@ Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
                                   const spec::Spec& spec,
                                   const config::NetworkConfig& solved,
                                   const BatchRequest& request) {
+  return AnswerRequest(topo, spec, solved, request, nullptr);
+}
+
+Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
+                                  const spec::Spec& spec,
+                                  const config::NetworkConfig& solved,
+                                  const BatchRequest& request,
+                                  const std::shared_ptr<ArenaRegistry>& registry) {
   // Fresh Session (fresh ExprPool + Engine) per request; see batch.hpp for
   // why this is both the thread-safety story and the determinism story.
+  // The registry, if any, only shares immutable frozen arenas.
   try {
     Session session(topo, spec, solved);
+    if (registry != nullptr) session.UseArenaRegistry(registry);
     auto explanation = session.Ask(request.selection, request.mode,
                                    request.requirements,
                                    request.compute_baselines, request.solver);
@@ -78,7 +90,8 @@ BatchOutcome BatchExplain(const net::Topology& topo, const spec::Spec& spec,
       BatchItem& item = outcome.items[i];
       item.worker = worker_id;
       const auto start = std::chrono::steady_clock::now();
-      item.result = AnswerRequest(topo, spec, solved, item.request);
+      item.result =
+          AnswerRequest(topo, spec, solved, item.request, options.registry);
       item.wall_ms = MsSince(start);
     }
   };

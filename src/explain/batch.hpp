@@ -7,7 +7,10 @@
 // give every *request* its own fresh `Session` (hence its own ExprPool and
 // Engine), so no two threads ever touch the same pool. Requests are
 // independent questions, so nothing is shared but the immutable inputs
-// (topology, spec, solved configuration).
+// (topology, spec, solved configuration) — and, when an ArenaRegistry is
+// supplied, the frozen arenas it holds, which are immutable after their
+// one-time build and safe to read concurrently (DESIGN.md §11). Overlay
+// pools on top of a frozen arena stay strictly request-local.
 //
 // Determinism — Eq/Add/Mul orientation depends on node *creation order*
 // inside a pool, so reusing one warm pool for several requests would make
@@ -20,6 +23,7 @@
 // handles: the per-request pool dies with the worker's Session.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +31,8 @@
 #include "util/status.hpp"
 
 namespace ns::explain {
+
+class ArenaRegistry;
 
 /// One question: mirrors the parameters of Session::Ask.
 struct BatchRequest {
@@ -61,6 +67,11 @@ struct BatchItem {
 struct BatchOptions {
   /// Worker threads; 0 = hardware concurrency (capped by request count).
   int num_threads = 0;
+  /// Frozen-arena registry shared across the batch's workers. When set,
+  /// each request seeds from the registry's frozen encoding instead of
+  /// re-encoding (baseline-computing requests fall back automatically).
+  /// Answers stay byte-identical either way.
+  std::shared_ptr<ArenaRegistry> registry;
 };
 
 struct BatchOutcome {
@@ -78,6 +89,13 @@ util::Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
                                         const spec::Spec& spec,
                                         const config::NetworkConfig& solved,
                                         const BatchRequest& request);
+
+/// Same, but seeds the Session from a shared frozen-arena registry when
+/// `registry` is non-null (nullptr behaves exactly like the 4-arg form).
+util::Result<BatchAnswer> AnswerRequest(
+    const net::Topology& topo, const spec::Spec& spec,
+    const config::NetworkConfig& solved, const BatchRequest& request,
+    const std::shared_ptr<ArenaRegistry>& registry);
 
 /// Answers every request. Per-request failures (unknown router, unsat
 /// synthesis artifacts) land in the item's `result`; the batch itself

@@ -131,7 +131,7 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
   // statement is then projected by a single substitution + simplification
   // instead of a fresh run over the whole seed.
   const std::unordered_map<std::string, Expr> closed =
-      CloseAuxDefinitions(pool_, definitions);
+      CloseAuxDefinitions(pool_, definitions, options.shared_fixpoints);
 
   // ------------------------------------------------ candidate statements
 
@@ -362,7 +362,9 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
     for (Expr c : candidate.compiled) {
       substituted.push_back(smt::Substitute(pool_, c, closed));
     }
-    simplify::Engine engine(pool_);
+    simplify::EngineOptions engine_options;
+    engine_options.shared_fixpoints = options.shared_fixpoints;
+    simplify::Engine engine(pool_, engine_options);
     std::vector<Expr> residual =
         engine.SimplifyConstraints(std::move(substituted));
     const Expr meaning = residual.empty() ? pool_.True() : pool_.And(residual);

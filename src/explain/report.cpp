@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "explain/arena.hpp"
 #include "explain/pretty.hpp"
 #include "util/strings.hpp"
 
@@ -18,6 +19,11 @@ std::string ExplainStats::ToString() const {
      << " z3=" << lift.z3_queries << " frame_reuse=" << lift.frame_reuse
      << " asserts=" << lift.assertions << " wall_ms=" << std::fixed
      << std::setprecision(2) << lift.wall_ms;
+  if (arena.used) {
+    os << "\narena: frozen_nodes=" << arena.frozen_nodes
+       << " frozen_symbols=" << arena.frozen_symbols
+       << " overlay_nodes=" << arena.overlay_nodes;
+  }
   return os.str();
 }
 
@@ -114,10 +120,65 @@ Result<std::vector<SurveyRow>> Session::Survey(
   return rows;
 }
 
+void Session::UseArenaRegistry(std::shared_ptr<ArenaRegistry> registry) {
+  registry_ = std::move(registry);
+}
+
+Result<Explanation> Session::AskViaArena(
+    const Selection& selection, LiftMode mode,
+    std::vector<std::string> requirements, const smt::SolverOptions& solver) {
+  auto question = registry_->GetOrBuild(topo_, spec_, explainer_.solved(),
+                                        selection, requirements);
+  if (!question) return question.error();
+  const FrozenQuestion& frozen = *question.value();
+
+  // The overlay continues the frozen prefix's node-id sequence exactly
+  // where a fresh pool's would be after Explain, so the lift suffix below
+  // replays the fresh path's creation order node for node.
+  auto overlay = std::make_unique<smt::ExprPool>(frozen.arena);
+
+  Explanation explanation;
+  explanation.selection = selection;
+  explanation.requirements = std::move(requirements);
+  explanation.mode = mode;
+  explanation.stats.backend = solver.backend;
+  explanation.stats.arena.used = true;
+  explanation.stats.arena.frozen_nodes = frozen.arena->NumNodes();
+  explanation.stats.arena.frozen_symbols = frozen.arena->NumSymbols();
+  explanation.subspec = frozen.subspec;
+
+  if (selection.complement) {
+    // Rest-of-network summaries span several components; no single-scope
+    // lift exists — present the low-level constraints.
+    explanation.lifted.requirement.name = "rest-of-network";
+    explanation.lifted.complete = false;
+  } else {
+    SubspecOptions options;
+    options.requirements = explanation.requirements;
+    options.solver = solver;
+    options.shared_fixpoints = frozen.fixpoints.get();
+    Lifter lifter(*overlay, topo_, spec_, explainer_.solved());
+    auto lifted = lifter.Lift(explanation.subspec, mode, options);
+    if (!lifted) return lifted.error();
+    explanation.lifted = std::move(lifted).value();
+    explanation.stats.lift = explanation.lifted.solver_stats;
+  }
+
+  explanation.stats.arena.overlay_nodes = overlay->NumOverlayNodes();
+  overlays_.push_back(std::move(overlay));
+  return explanation;
+}
+
 Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
                                  std::vector<std::string> requirements,
                                  bool compute_baselines,
                                  const smt::SolverOptions& solver) {
+  // Arena-seeded fast path: skip the re-encode entirely. Baselines bypass
+  // it — their engines create pool nodes before the main simplify, so the
+  // frozen prefix would not match the fresh path's creation order.
+  if (registry_ != nullptr && !compute_baselines) {
+    return AskViaArena(selection, mode, std::move(requirements), solver);
+  }
   SubspecOptions options;
   options.requirements = requirements;
   options.compute_baselines = compute_baselines;

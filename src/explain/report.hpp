@@ -4,6 +4,8 @@
 // lifted subspecification — as a readable report.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,21 @@
 
 namespace ns::explain {
 
+class ArenaRegistry;
+
+/// Frozen-arena counters for one answered question. Only fields that are
+/// a pure function of (scenario, request) live here, so per-answer stats
+/// stay deterministic wherever they are compared (batch JSON rows, the
+/// 1-vs-N-thread determinism tests). Scheduling-dependent aggregates —
+/// which request built an arena, shared-memo hit rates — live on the
+/// registry (ArenaRegistryStats) instead.
+struct ArenaAnswerStats {
+  bool used = false;  ///< answered via a frozen arena + overlay pool
+  std::uint64_t frozen_nodes = 0;    ///< nodes in the question's arena
+  std::uint64_t frozen_symbols = 0;  ///< symbols in the question's arena
+  std::uint64_t overlay_nodes = 0;   ///< request-local nodes allocated
+};
+
 /// Solver-layer counters for one answered question. Deliberately NOT part
 /// of Report() — the report text is byte-pinned by tests/golden/ and must
 /// stay independent of the backend; stats travel separately (CLI --stats,
@@ -19,8 +36,10 @@ namespace ns::explain {
 struct ExplainStats {
   smt::SolverBackend backend = smt::SolverOptions{}.backend;
   smt::SolverStats lift;  ///< lift-search query counters
+  ArenaAnswerStats arena;
 
-  /// One-line "solver: backend=... queries=..." summary.
+  /// One-line "solver: backend=... queries=..." summary; a second
+  /// "arena: ..." line is appended when the answer used a frozen arena.
   std::string ToString() const;
 };
 
@@ -58,6 +77,14 @@ class Session {
         spec_(spec),
         explainer_(topo, spec, std::move(solved)) {}
 
+  /// Seed answers from a shared frozen-arena registry (DESIGN.md §11):
+  /// Ask attaches a copy-on-write overlay pool to the question's frozen
+  /// prefix and runs only the lift suffix. Answers are byte-identical to
+  /// the fresh-pool path; baseline-computing asks fall back to it
+  /// automatically (baselines change the node-creation order). The
+  /// registry must belong to this Session's scenario.
+  void UseArenaRegistry(std::shared_ptr<ArenaRegistry> registry);
+
   /// "If I want to make changes to <selection>, what should I keep in
   /// mind?" — optionally restricted to some requirements (scenario 3).
   util::Result<Explanation> Ask(const Selection& selection,
@@ -77,9 +104,19 @@ class Session {
   }
 
  private:
+  util::Result<Explanation> AskViaArena(const Selection& selection,
+                                        LiftMode mode,
+                                        std::vector<std::string> requirements,
+                                        const smt::SolverOptions& solver);
+
   const net::Topology& topo_;
   const spec::Spec& spec_;
   Explainer explainer_;
+  std::shared_ptr<ArenaRegistry> registry_;
+  /// Overlay pools backing arena-seeded answers. Retained so returned
+  /// Explanations (which hold Exprs into their overlay) stay valid for
+  /// the Session's lifetime — the same contract as the fresh pool.
+  std::vector<std::unique_ptr<smt::ExprPool>> overlays_;
 };
 
 /// Renders pipeline metrics as an aligned table fragment.

@@ -117,7 +117,8 @@ std::vector<Expr> EliminateAuxVars(ExprPool& pool,
 }
 
 std::unordered_map<std::string, Expr> CloseAuxDefinitions(
-    ExprPool& pool, const std::vector<Expr>& definitions) {
+    ExprPool& pool, const std::vector<Expr>& definitions,
+    simplify::FixpointCache* shared_fixpoints) {
   std::unordered_map<std::string, Expr> env;
   for (Expr c : definitions) {
     // An equation between two state variables (e.g. `lp_new = lp_prev`,
@@ -150,7 +151,9 @@ std::unordered_map<std::string, Expr> CloseAuxDefinitions(
   }
   // Close under itself; keep right-hand sides small by simplifying as we
   // go (everything concrete folds away immediately).
-  simplify::Engine engine(pool);
+  simplify::EngineOptions engine_options;
+  engine_options.shared_fixpoints = shared_fixpoints;
+  simplify::Engine engine(pool, engine_options);
   for (std::size_t iter = 0; iter < env.size() + 1; ++iter) {
     bool changed = false;
     for (auto& [name, rhs] : env) {

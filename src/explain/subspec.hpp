@@ -43,6 +43,11 @@ struct SubspecOptions {
   /// (lift search, baseline metrics). All backends are verdict-identical;
   /// the default (boolean fast path over incremental Z3) is the fast one.
   smt::SolverOptions solver;
+  /// Shared clean-node memo for the frozen arena the working pool
+  /// overlays, if any (non-owning; see simplify::FixpointCache). Set by
+  /// the arena-seeded answer path so lift-time simplification skips
+  /// re-traversing frozen subtrees other requests already settled.
+  simplify::FixpointCache* shared_fixpoints = nullptr;
 };
 
 /// Size/effort measurements across the pipeline stages.
@@ -118,8 +123,10 @@ std::vector<smt::Expr> EliminateAuxVars(smt::ExprPool& pool,
 /// a simplified expression over the Var_* explanation variables only.
 /// Computed once per partially symbolic configuration, it lets the lifter
 /// project a candidate statement in one substitution instead of a full
-/// simplification run over the whole seed.
+/// simplification run over the whole seed. `shared_fixpoints` (optional)
+/// is consulted for frozen nodes when the pool overlays an arena.
 std::unordered_map<std::string, smt::Expr> CloseAuxDefinitions(
-    smt::ExprPool& pool, const std::vector<smt::Expr>& definitions);
+    smt::ExprPool& pool, const std::vector<smt::Expr>& definitions,
+    simplify::FixpointCache* shared_fixpoints = nullptr);
 
 }  // namespace ns::explain

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "config/device.hpp"
+#include "explain/arena.hpp"
 #include "explain/batch.hpp"
 #include "net/topology.hpp"
 #include "spec/ast.hpp"
@@ -40,6 +41,11 @@ struct Scenario {
   spec::Spec spec;
   config::NetworkConfig solved;
   std::string digest;
+  /// Frozen-arena registry for this scenario: one frozen encoding per
+  /// distinct question, shared by every worker and both front ends.
+  /// Created per `load` (a new snapshot gets a new registry) and immutable
+  /// in structure thereafter — safe to use from any worker thread.
+  std::shared_ptr<explain::ArenaRegistry> registry;
 };
 
 /// One queued explain question.

@@ -165,6 +165,7 @@ Status Server::Load(const std::string& topo_text, const std::string& spec_text,
   scenario->spec = std::move(spec).value();
   scenario->solved = std::move(solved).value();
   scenario->digest = ScenarioDigest(topo_text, spec_text, config_text);
+  scenario->registry = std::make_shared<explain::ArenaRegistry>();
   {
     std::lock_guard<std::mutex> lock(scenario_mu_);
     scenario_ = std::move(scenario);
@@ -514,9 +515,9 @@ void Server::WorkerLoop() {
     if (job->debug_sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(job->debug_sleep_ms));
     }
-    auto result = explain::AnswerRequest(job->scenario->topo,
-                                         job->scenario->spec,
-                                         job->scenario->solved, job->request);
+    auto result = explain::AnswerRequest(
+        job->scenario->topo, job->scenario->spec, job->scenario->solved,
+        job->request, job->scenario->registry);
     if (result.ok()) {
       cache_.Insert(job->cache_key, result.value());
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -571,7 +572,12 @@ ServerStats Server::Stats() const {
   stats.connections_closed = connections_closed();
   {
     std::lock_guard<std::mutex> lock(scenario_mu_);
-    if (scenario_ != nullptr) stats.scenario_digest = scenario_->digest;
+    if (scenario_ != nullptr) {
+      stats.scenario_digest = scenario_->digest;
+      if (scenario_->registry != nullptr) {
+        stats.arena = scenario_->registry->stats();
+      }
+    }
   }
   return stats;
 }
@@ -609,6 +615,18 @@ Json Server::StatsResponse() const {
   solver.Set("frame_reuse", stats.solver.frame_reuse);
   solver.Set("wall_ms", stats.solver.wall_ms);
   response.Set("solver", std::move(solver));
+
+  Json arena = Json::MakeObject();
+  arena.Set("builds", stats.arena.builds);
+  arena.Set("reuses", stats.arena.reuses);
+  arena.Set("entries", stats.arena.entries);
+  arena.Set("frozen_nodes", stats.arena.frozen_nodes);
+  arena.Set("frozen_symbols", stats.arena.frozen_symbols);
+  arena.Set("memo_entries", stats.arena.memo_entries);
+  arena.Set("memo_hits", stats.arena.memo_hits);
+  arena.Set("memo_misses", stats.arena.memo_misses);
+  arena.Set("memo_hit_rate", stats.arena.MemoHitRate());
+  response.Set("arena", std::move(arena));
 
   Json latency = Json::MakeObject();
   latency.Set("count", stats.latency_count);

@@ -104,6 +104,9 @@ struct ServerStats {
   /// Solver-layer counters summed over every explain answer computed by
   /// the workers (cache hits recompute nothing, so they add nothing).
   smt::SolverStats solver;
+  /// Frozen-arena registry counters for the current scenario (each `load`
+  /// starts a fresh registry, so these reset with the scenario).
+  explain::ArenaRegistryStats arena;
   int worker_threads = 0;
   std::string scenario_digest;  ///< empty until a scenario is loaded
 };

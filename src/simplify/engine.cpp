@@ -75,7 +75,11 @@ Expr ReferenceSubstitute(ExprPool& pool, Expr e,
 }  // namespace
 
 Engine::Engine(ExprPool& pool, EngineOptions options)
-    : pool_(pool), options_(options) {}
+    : pool_(pool), options_(options) {
+  if (options_.cross_pass_memo && options_.propagate_units) {
+    shared_ = options_.shared_fixpoints;
+  }
+}
 
 std::string TraceEntry::ToString() const {
   return std::string(RuleName(rule)) + ": " + before.ToString() + "  ==>  " +
@@ -125,6 +129,17 @@ const Engine::MemoEntry& Engine::PassOnceEntry(Expr e) {
   const auto it = pass_memo_.find(e.raw());
   if (it != pass_memo_.end()) return it->second;
 
+  // Shared frozen tier: a node another request already proved clean maps
+  // to itself with zero rule hits — adopting that entry is observably
+  // identical to re-traversing the subtree.
+  const bool frozen =
+      shared_ != nullptr && e.id() < shared_->frozen_limit();
+  if (frozen && shared_->Lookup(e.raw())) {
+    const auto [pos, unused] =
+        pass_memo_.emplace(e.raw(), MemoEntry{e, true});
+    return pos->second;
+  }
+
   const std::size_t hits_before = TotalRuleHits();
   bool children_clean = true;
   Expr result = e;
@@ -170,6 +185,7 @@ const Engine::MemoEntry& Engine::PassOnceEntry(Expr e) {
   result = RewriteNode(result);
   const bool clean =
       children_clean && result == e && TotalRuleHits() == hits_before;
+  if (clean && frozen) shared_->Insert(e.raw());
   const auto [pos, inserted] =
       pass_memo_.emplace(e.raw(), MemoEntry{result, clean});
   if (!clean) dirty_.push_back(e.raw());

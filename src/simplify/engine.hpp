@@ -23,14 +23,80 @@
 // the first) disappears.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "simplify/rules.hpp"
 #include "smt/expr.hpp"
 
 namespace ns::simplify {
+
+/// Shared memo tier for frozen-arena nodes (DESIGN.md §11): a thread-safe
+/// set of nodes known to be *clean* — already at simplify fixpoint, with
+/// zero rules firing anywhere in their subtree — under default-semantics
+/// EngineOptions (propagate_units on). Engines over overlays of one arena
+/// consult it on memo misses for frozen nodes (id < frozen_limit) and
+/// publish clean frozen entries back, so the at-fixpoint bulk of a frozen
+/// seed encoding is traversed once per arena rather than once per request.
+///
+/// A hit is observably a no-op by the same argument as the cross-pass
+/// memo: clean entries map a node to itself with no rule hits and no trace
+/// entries, so fixpoints, rule-hit counts, and traces stay bit-identical.
+/// One cache per arena; sharing across arenas would confuse node ids.
+class FixpointCache {
+ public:
+  explicit FixpointCache(std::size_t frozen_limit)
+      : frozen_limit_(frozen_limit) {}
+  FixpointCache(const FixpointCache&) = delete;
+  FixpointCache& operator=(const FixpointCache&) = delete;
+
+  /// First id past the frozen tier: only nodes with id < frozen_limit()
+  /// may be looked up or inserted (overlay nodes are request-local).
+  std::size_t frozen_limit() const noexcept { return frozen_limit_; }
+
+  /// True iff `node` is known clean. Counts a hit or a miss.
+  bool Lookup(const smt::Node* node) const {
+    {
+      std::shared_lock lock(mu_);
+      if (clean_.count(node) > 0) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Publishes a node proven clean by a default-semantics engine.
+  void Insert(const smt::Node* node) {
+    std::unique_lock lock(mu_);
+    clean_.insert(node);
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return clean_.size();
+  }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t frozen_limit_;
+  mutable std::shared_mutex mu_;
+  std::unordered_set<const smt::Node*> clean_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
 
 struct EngineOptions {
   /// Upper bound on full passes; the scenarios converge in < 10.
@@ -54,6 +120,12 @@ struct EngineOptions {
   /// bound variable, without copying the unit environment per conjunct.
   /// Off = the reference O(units × conjuncts) substitution scan.
   bool indexed_propagation = true;
+  /// Shared clean-node memo over the frozen arena this engine's pool
+  /// overlays (non-owning; must outlive the engine). Consulted only when
+  /// the engine runs default semantics (cross_pass_memo and
+  /// propagate_units both on) — a cache built under unit propagation says
+  /// nothing about an engine that disables it.
+  FixpointCache* shared_fixpoints = nullptr;
 };
 
 /// Reference (pre-optimization) engine configuration: per-pass memo and
@@ -125,6 +197,9 @@ class Engine {
 
   smt::ExprPool& pool_;
   EngineOptions options_;
+  /// options_.shared_fixpoints iff this engine runs default semantics,
+  /// else null (see EngineOptions::shared_fixpoints).
+  FixpointCache* shared_ = nullptr;
   RuleStats stats_{};
   int last_passes_ = 0;
   std::vector<TraceEntry> trace_;

@@ -46,15 +46,53 @@ std::uint64_t NodeHash(const Node& node) noexcept {
 
 }  // namespace
 
+ExprArena::ExprArena() = default;
+
+ExprArena::~ExprArena() = default;
+
 ExprPool::ExprPool() {
   true_ = Intern(Op::kBoolConst, Sort::kBool, 1, {}, {});
   false_ = Intern(Op::kBoolConst, Sort::kBool, 0, {}, {});
 }
 
+ExprPool::ExprPool(std::shared_ptr<const ExprArena> arena)
+    : arena_(std::move(arena)),
+      base_nodes_(arena_->NumNodes()),
+      base_symbols_(static_cast<std::uint32_t>(arena_->NumSymbols())),
+      true_(arena_->True()),
+      false_(arena_->False()) {}
+
 ExprPool::~ExprPool() = default;
+
+std::shared_ptr<const ExprArena> ExprPool::Freeze() {
+  NS_ASSERT_MSG(arena_ == nullptr, "cannot freeze an overlay pool");
+  NS_ASSERT_MSG(!frozen_, "pool was already frozen");
+  // Settle the lazy caches while still single-threaded: node ids order
+  // children before parents, so one in-order pass computes each node's
+  // tree size and free-var set in O(children).
+  for (const auto& node : nodes_) {
+    const Expr e = Expr::FromRaw(node.get());
+    e.TreeSize();
+    e.FreeVarNodes();
+  }
+  auto arena = std::shared_ptr<ExprArena>(new ExprArena());
+  arena->nodes_ = std::move(nodes_);
+  arena->interned_ = std::move(interned_);
+  arena->symbol_ids_ = std::move(symbol_ids_);
+  arena->vars_by_symbol_ = std::move(vars_by_symbol_);
+  arena->true_ = true_;
+  arena->false_ = false_;
+  nodes_.clear();
+  interned_.clear();
+  symbol_ids_.clear();
+  vars_by_symbol_.clear();
+  frozen_ = true;
+  return arena;
+}
 
 Expr ExprPool::Intern(Op op, Sort sort, std::int64_t value, std::string name,
                       std::vector<const Node*> children) {
+  NS_ASSERT_MSG(!frozen_, "pool was frozen into an arena");
   auto node = std::make_unique<Node>();
   node->op = op;
   node->sort = sort;
@@ -63,10 +101,13 @@ Expr ExprPool::Intern(Op op, Sort sort, std::int64_t value, std::string name,
   node->children = std::move(children);
   node->hash = NodeHash(*node);
 
+  if (arena_ != nullptr) {
+    if (const Node* hit = arena_->Lookup(node.get())) return Expr(hit);
+  }
   const auto it = interned_.find(node.get());
   if (it != interned_.end()) return Expr(it->second);
 
-  node->id = static_cast<std::uint32_t>(nodes_.size());
+  node->id = static_cast<std::uint32_t>(base_nodes_ + nodes_.size());
   if (op == Op::kVar) {
     node->var_mask = VarMaskBit(static_cast<std::uint32_t>(value));
   } else {
@@ -83,17 +124,35 @@ Expr ExprPool::Int(std::int64_t value) {
 }
 
 Expr ExprPool::Var(std::string_view name, Sort sort) {
+  // Frozen tier first: a name the arena knows keeps its frozen symbol id
+  // (and, usually, its frozen node).
+  if (arena_ != nullptr) {
+    if (const auto frozen = arena_->FindSymbol(name)) {
+      if (const Node* slot = arena_->VarSlot(*frozen, sort)) {
+        return Expr(slot);
+      }
+      // Frozen name, unfrozen sort: intern a request-local var node that
+      // reuses the frozen symbol id.
+      const std::uint64_t key =
+          (std::uint64_t{*frozen} << 1) | static_cast<std::uint64_t>(sort);
+      const Node*& slot = arena_symbol_slots_[key];
+      if (slot == nullptr) {
+        slot = Intern(Op::kVar, sort, *frozen, std::string(name), {}).raw();
+      }
+      return Expr(slot);
+    }
+  }
   std::uint32_t symbol;
   const auto it = symbol_ids_.find(name);
   if (it != symbol_ids_.end()) {
     symbol = it->second;
   } else {
-    symbol = static_cast<std::uint32_t>(vars_by_symbol_.size());
+    symbol = base_symbols_ + static_cast<std::uint32_t>(vars_by_symbol_.size());
     symbol_ids_.emplace(std::string(name), symbol);
     vars_by_symbol_.push_back({nullptr, nullptr});
   }
   const Node*& slot =
-      vars_by_symbol_[symbol][static_cast<std::size_t>(sort)];
+      vars_by_symbol_[symbol - base_symbols_][static_cast<std::size_t>(sort)];
   if (slot == nullptr) {
     slot = Intern(Op::kVar, sort, symbol, std::string(name), {}).raw();
   }
@@ -102,6 +161,9 @@ Expr ExprPool::Var(std::string_view name, Sort sort) {
 
 std::optional<std::uint32_t> ExprPool::FindSymbol(
     std::string_view name) const {
+  if (arena_ != nullptr) {
+    if (const auto frozen = arena_->FindSymbol(name)) return frozen;
+  }
   const auto it = symbol_ids_.find(name);
   if (it == symbol_ids_.end()) return std::nullopt;
   return it->second;
@@ -200,8 +262,12 @@ std::vector<Expr> Expr::Children() const {
 }
 
 std::size_t Expr::DagSize() const {
-  if (node_->dag_size != 0) {
-    return static_cast<std::size_t>(node_->dag_size);
+  // Relaxed atomics: frozen nodes may be sized concurrently, and every
+  // racer computes (and stores) the same value.
+  const std::uint64_t cached =
+      node_->dag_size.load(std::memory_order_relaxed);
+  if (cached != 0) {
+    return static_cast<std::size_t>(cached);
   }
   std::unordered_set<const Node*> seen;
   std::vector<const Node*> stack{node_};
@@ -211,7 +277,7 @@ std::size_t Expr::DagSize() const {
     if (!seen.insert(n).second) continue;
     for (const Node* child : n->children) stack.push_back(child);
   }
-  node_->dag_size = seen.size();
+  node_->dag_size.store(seen.size(), std::memory_order_relaxed);
   return seen.size();
 }
 

@@ -14,9 +14,20 @@
 // size, and exact free-variable set. The caches live on the (pool-owned)
 // nodes, so they share the pool's lifetime and its single-threaded
 // discipline: one pool — and therefore one set of caches — per worker.
+//
+// Two-tier sharing (DESIGN.md §11): a finished pool can be Freeze()-d into
+// an immutable, shareable ExprArena whose nodes are safe for lock-free
+// concurrent reads (tree sizes and free-var sets are settled at freeze
+// time; the DAG-size cache is a relaxed atomic). Per-request pools are
+// then constructed as thin copy-on-write overlays over one arena: their
+// intern tables consult the frozen tier first and allocate only
+// request-local nodes, with node ids and symbol ids continuing exactly
+// where the arena's stop — so an overlay replays the same id sequence a
+// fresh pool would, and downstream output stays byte-identical.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -75,10 +86,15 @@ struct Node {
   std::uint32_t id = 0;        // creation index within the pool
   // Bloom mask over free-variable symbol ids, computed at intern time.
   std::uint64_t var_mask = 0;
-  // Lazily computed caches (0 / null = not yet computed). The owning pool
-  // is single-threaded, so plain mutable members suffice.
+  // Lazily computed caches (0 / null = not yet computed). Overlay-owned
+  // nodes are single-threaded, so plain mutable members suffice there;
+  // frozen (arena-owned) nodes have tree_size and free_vars settled at
+  // freeze time and are never written again. dag_size is the one cache
+  // still computed lazily on frozen nodes under concurrency: it is a
+  // relaxed atomic, and the write is idempotent (every racer stores the
+  // same deterministic value).
   mutable std::uint64_t tree_size = 0;
-  mutable std::uint64_t dag_size = 0;
+  mutable std::atomic<std::uint64_t> dag_size{0};
   mutable std::shared_ptr<const std::vector<const Node*>> free_vars;
 };
 
@@ -157,11 +173,95 @@ struct ExprHash {
   }
 };
 
+namespace detail {
+
+struct NodeKeyHash {
+  std::size_t operator()(const Node* node) const noexcept {
+    return node->hash;
+  }
+};
+struct NodeKeyEq {
+  // Variable identity is the interned symbol id carried in `value`, so
+  // no std::string compares happen on the intern hot path.
+  bool operator()(const Node* a, const Node* b) const noexcept {
+    return a->op == b->op && a->sort == b->sort && a->value == b->value &&
+           a->children == b->children;
+  }
+};
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace detail
+
+/// Frozen tier of the two-tier pool design: an immutable snapshot of a
+/// finished ExprPool, produced by ExprPool::Freeze(). Owns its nodes for
+/// as long as any overlay (or stored Expr) references them; all accessors
+/// are const and safe for lock-free concurrent reads. Node ids are the
+/// dense range [0, NumNodes()) and symbol ids the dense range
+/// [0, NumSymbols()), which overlay pools continue from.
+class ExprArena {
+ public:
+  ExprArena(const ExprArena&) = delete;
+  ExprArena& operator=(const ExprArena&) = delete;
+  ~ExprArena();
+
+  Expr True() const noexcept { return true_; }
+  Expr False() const noexcept { return false_; }
+
+  std::size_t NumNodes() const noexcept { return nodes_.size(); }
+  std::size_t NumSymbols() const noexcept { return vars_by_symbol_.size(); }
+
+  /// Frozen-tier intern lookup for a probe node whose hash/children are
+  /// already set. Returns nullptr when the shape is not frozen here.
+  const Node* Lookup(const Node* probe) const {
+    const auto it = interned_.find(probe);
+    return it == interned_.end() ? nullptr : it->second;
+  }
+  /// Symbol id for a variable name interned in the frozen tier, if any.
+  std::optional<std::uint32_t> FindSymbol(std::string_view name) const {
+    const auto it = symbol_ids_.find(name);
+    if (it == symbol_ids_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// The frozen kVar node for (symbol, sort), or nullptr when that sort
+  /// was never interned for the symbol before the freeze.
+  const Node* VarSlot(std::uint32_t symbol, Sort sort) const {
+    return vars_by_symbol_[symbol][static_cast<std::size_t>(sort)];
+  }
+
+ private:
+  friend class ExprPool;
+  ExprArena();
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<const Node*, const Node*, detail::NodeKeyHash,
+                     detail::NodeKeyEq>
+      interned_;
+  std::unordered_map<std::string, std::uint32_t, detail::StringHash,
+                     std::equal_to<>>
+      symbol_ids_;
+  std::vector<std::array<const Node*, 2>> vars_by_symbol_;
+  Expr true_;
+  Expr false_;
+};
+
 /// Owns nodes and guarantees structural uniqueness (hash-consing).
 /// Not thread-safe; one pool per pipeline run / per worker thread.
+/// An overlay pool (constructed over a frozen ExprArena) adds only the
+/// single-threaded request-local tier on top of the arena's lock-free
+/// frozen tier.
 class ExprPool {
  public:
   ExprPool();
+  /// Copy-on-write overlay over a frozen arena: interning consults the
+  /// frozen tier first and allocates only nodes (and symbols) the arena
+  /// does not already hold, with ids continuing from the arena's. The
+  /// overlay keeps the arena alive.
+  explicit ExprPool(std::shared_ptr<const ExprArena> arena);
   ExprPool(const ExprPool&) = delete;
   ExprPool& operator=(const ExprPool&) = delete;
   ~ExprPool();
@@ -193,45 +293,59 @@ class ExprPool {
   Expr Sub(Expr a, Expr b);
   Expr Mul(Expr a, Expr b);
 
-  /// Symbol id for a variable name already interned in this pool, if any.
+  /// Symbol id for a variable name already interned in this pool (or, for
+  /// an overlay, in its frozen arena), if any.
   std::optional<std::uint32_t> FindSymbol(std::string_view name) const;
-  /// Number of distinct variable names interned.
-  std::size_t NumSymbols() const noexcept { return vars_by_symbol_.size(); }
+  /// Number of distinct variable names interned (frozen + local tiers).
+  std::size_t NumSymbols() const noexcept {
+    return base_symbols_ + vars_by_symbol_.size();
+  }
 
-  /// Capacity introspection (bench metrics).
-  std::size_t NumNodes() const noexcept { return nodes_.size(); }
+  /// Capacity introspection (bench metrics): total nodes reachable through
+  /// this pool — for an overlay, frozen + request-local.
+  std::size_t NumNodes() const noexcept {
+    return base_nodes_ + nodes_.size();
+  }
+  /// Nodes owned by this pool itself (excluding any frozen arena's).
+  std::size_t NumOverlayNodes() const noexcept { return nodes_.size(); }
+  /// Nodes held by the frozen arena under this overlay (0 for root pools).
+  std::size_t NumFrozenNodes() const noexcept { return base_nodes_; }
+
+  /// The frozen arena this overlay reads through (null for root pools).
+  const std::shared_ptr<const ExprArena>& arena() const noexcept {
+    return arena_;
+  }
+
+  /// Freezes a root pool into an immutable, shareable arena. Moves the
+  /// node store out: this pool must not be used afterwards. Settles every
+  /// lazy per-node cache (tree sizes, free-var sets) so concurrent
+  /// readers of the frozen tier never write.
+  std::shared_ptr<const ExprArena> Freeze();
 
  private:
   Expr Intern(Op op, Sort sort, std::int64_t value, std::string name,
               std::vector<const Node*> children);
 
-  struct KeyHash {
-    std::size_t operator()(const Node* node) const noexcept {
-      return node->hash;
-    }
-  };
-  struct KeyEq {
-    // Variable identity is the interned symbol id carried in `value`, so
-    // no std::string compares happen on the intern hot path.
-    bool operator()(const Node* a, const Node* b) const noexcept {
-      return a->op == b->op && a->sort == b->sort && a->value == b->value &&
-             a->children == b->children;
-    }
-  };
-  struct StringHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
+  std::shared_ptr<const ExprArena> arena_;  // null for root pools
+  std::size_t base_nodes_ = 0;              // arena_->NumNodes() or 0
+  std::uint32_t base_symbols_ = 0;          // arena_->NumSymbols() or 0
+  bool frozen_ = false;                     // Freeze() was called
 
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<const Node*, const Node*, KeyHash, KeyEq> interned_;
+  std::unordered_map<const Node*, const Node*, detail::NodeKeyHash,
+                     detail::NodeKeyEq>
+      interned_;
   // Variable-name interning: name -> dense symbol id, plus a per-sort
-  // fast path so repeated Var() calls skip hashing a probe node.
-  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+  // fast path so repeated Var() calls skip hashing a probe node. An
+  // overlay's tables hold only symbols the arena does not know;
+  // vars_by_symbol_ is indexed by (symbol - base_symbols_).
+  std::unordered_map<std::string, std::uint32_t, detail::StringHash,
+                     std::equal_to<>>
       symbol_ids_;
   std::vector<std::array<const Node*, 2>> vars_by_symbol_;
+  // Per-sort var slots for *arena* symbols whose other sort was never
+  // frozen (rare: the overlay interns a new sort for a frozen name).
+  std::unordered_map<std::uint64_t, const Node*> arena_symbol_slots_;
   Expr true_;
   Expr false_;
 };

@@ -10,6 +10,7 @@
 
 #include "config/parse.hpp"
 #include "config/render.hpp"
+#include "explain/arena.hpp"
 #include "explain/batch.hpp"
 #include "explain/lift.hpp"
 #include "explain/subspec.hpp"
@@ -239,6 +240,12 @@ struct Runner {
     if (options.with_batch) {
       report.stage = "batch";
       CheckBatchDeterminism(solved);
+    }
+
+    // ------------------------------------------------------------ arena
+    if (options.with_arena_diff) {
+      report.stage = "arena";
+      CheckArenaDifferential(solved);
     }
 
     // ------------------------------------------------------------ serve
@@ -507,6 +514,88 @@ struct Runner {
              "request #" + std::to_string(i) +
                  ": parallel answer is not byte-identical to sequential");
         return;
+      }
+    }
+  }
+
+  /// Answers computed through a frozen arena + copy-on-write overlay must
+  /// be byte-identical to the fresh-pool path. Each question is answered
+  /// three ways — fresh pool, cold registry (first request builds the
+  /// arena), warm registry (second request reuses it) — and everything a
+  /// client can see is diffed: report, subspec text, verdict flags, error
+  /// text. The warm answer must also record the same overlay-node count as
+  /// the cold one (the overlay suffix is deterministic per question).
+  void CheckArenaDifferential(const config::NetworkConfig& solved) {
+    std::vector<explain::BatchRequest> requests;
+    {
+      explain::BatchRequest ours;
+      ours.selection = scenario.selection;
+      ours.mode = scenario.mode;
+      requests.push_back(std::move(ours));
+    }
+    std::vector<explain::BatchRequest> routers =
+        explain::RequestsForAllRouters(solved, scenario.mode);
+    if (routers.size() > 3) routers.resize(3);
+    for (explain::BatchRequest& request : routers) {
+      requests.push_back(std::move(request));
+    }
+
+    auto registry = std::make_shared<explain::ArenaRegistry>();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto fresh = explain::AnswerRequest(scenario.topo, scenario.spec,
+                                                solved, requests[i]);
+      const auto cold = explain::AnswerRequest(scenario.topo, scenario.spec,
+                                               solved, requests[i], registry);
+      const auto warm = explain::AnswerRequest(scenario.topo, scenario.spec,
+                                               solved, requests[i], registry);
+      const auto diff = [&](const util::Result<explain::BatchAnswer>& other,
+                            const char* label) -> std::string {
+        if (fresh.ok() != other.ok()) {
+          return std::string(label) + " path disagrees on success";
+        }
+        if (!fresh.ok()) {
+          if (fresh.error().ToString() != other.error().ToString()) {
+            return std::string(label) + " path reports a different error";
+          }
+          return "";
+        }
+        if (other.value().report != fresh.value().report) {
+          return std::string(label) + " report differs";
+        }
+        if (other.value().subspec_text != fresh.value().subspec_text) {
+          return std::string(label) + " subspec text differs";
+        }
+        if (other.value().empty != fresh.value().empty ||
+            other.value().unsat != fresh.value().unsat) {
+          return std::string(label) + " verdict flags differ";
+        }
+        return "";
+      };
+      for (const std::string& detail : {diff(cold, "cold"), diff(warm, "warm")}) {
+        if (!detail.empty()) {
+          Fail("arena-differential",
+               "request #" + std::to_string(i) + ": " + detail);
+          return;
+        }
+      }
+      if (fresh.ok()) {
+        if (!warm.value().stats.arena.used) {
+          Fail("arena-differential",
+               "request #" + std::to_string(i) +
+                   ": warm answer did not use the frozen arena");
+          return;
+        }
+        if (warm.value().stats.arena.overlay_nodes !=
+            cold.value().stats.arena.overlay_nodes) {
+          Fail("arena-differential",
+               "request #" + std::to_string(i) +
+                   ": warm overlay allocated a different node count (" +
+                   std::to_string(warm.value().stats.arena.overlay_nodes) +
+                   " vs " +
+                   std::to_string(cold.value().stats.arena.overlay_nodes) +
+                   ")");
+          return;
+        }
       }
     }
   }

@@ -16,6 +16,9 @@
 //                fast path) produces byte-identical lift and verify
 //                answers
 //     -> oracle: parallel batch-explain byte-identical to sequential
+//     -> oracle: arena-differential — answering through a frozen arena +
+//                copy-on-write overlay (cold build and warm reuse) is
+//                byte-identical to the fresh-pool path
 //     -> oracle: serve-differential — replaying the scenario through a
 //                live epoll serve front end over a real socket (with
 //                randomized chunking and pipelining) yields exactly the
@@ -56,6 +59,11 @@ struct RunOptions {
   bool with_z3 = true;
   /// Run the batch-explain determinism oracle.
   bool with_batch = true;
+  /// Run the arena-differential oracle: answer each question via the
+  /// fresh-pool path and via a shared frozen-arena registry (cold build,
+  /// then warm reuse) and fail unless all three answers are byte-identical
+  /// — report, subspec text, verdict flags, and error text alike.
+  bool with_arena_diff = true;
   /// Run the rename-isomorphism oracle (re-runs the explain pipeline).
   bool with_rename = true;
   /// Run the lifter and its implication oracle.

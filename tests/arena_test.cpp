@@ -1,0 +1,428 @@
+// Two-tier expression-arena tests (DESIGN.md §11): overlay interning
+// across the frozen boundary, cache correctness on mixed frozen/overlay
+// trees, the shared fixpoint memo, the scenario-level registry, and the
+// warm-path byte-identity contract against the fresh-pool path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explain/arena.hpp"
+#include "explain/batch.hpp"
+#include "explain/report.hpp"
+#include "explain/symbolize.hpp"
+#include "simplify/engine.hpp"
+#include "smt/expr.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace ns {
+namespace {
+
+using smt::Expr;
+using smt::ExprArena;
+using smt::ExprPool;
+using smt::Sort;
+
+// ------------------------------------------------------------ smt tier
+
+TEST(ExprArenaTest, OverlayInternsFrozenShapesToFrozenNodes) {
+  ExprPool root;
+  const Expr x = root.Var("x", Sort::kInt);
+  const Expr y = root.Var("y", Sort::kInt);
+  const Expr sum = root.Add(x, y);
+  const Expr zero = root.Int(0);
+  const Expr guard = root.Le(zero, sum);
+  const std::size_t frozen_nodes = root.NumNodes();
+  auto arena = root.Freeze();
+  ASSERT_EQ(arena->NumNodes(), frozen_nodes);
+
+  ExprPool overlay(arena);
+  EXPECT_EQ(overlay.NumNodes(), frozen_nodes);
+  EXPECT_EQ(overlay.NumOverlayNodes(), 0u);
+  EXPECT_EQ(overlay.NumFrozenNodes(), frozen_nodes);
+
+  // Re-interning frozen shapes yields the very same nodes — pointer
+  // equality is structural equality across the tier boundary.
+  EXPECT_EQ(overlay.Var("x", Sort::kInt).raw(), x.raw());
+  EXPECT_EQ(overlay.Int(0).raw(), zero.raw());
+  const Expr sum2 = overlay.Add(overlay.Var("x", Sort::kInt),
+                                overlay.Var("y", Sort::kInt));
+  EXPECT_EQ(sum2.raw(), sum.raw());
+  const Expr guard2 = overlay.Le(overlay.Int(0), sum2);
+  EXPECT_EQ(guard2.raw(), guard.raw());
+  EXPECT_EQ(overlay.NumOverlayNodes(), 0u);
+
+  // True/False are shared with the arena.
+  EXPECT_EQ(overlay.True().raw(), arena->True().raw());
+  EXPECT_EQ(overlay.False().raw(), arena->False().raw());
+}
+
+TEST(ExprArenaTest, OverlayNodeIdsContinueTheFrozenSequence) {
+  ExprPool root;
+  const Expr x = root.Var("x", Sort::kInt);
+  (void)root.Add(x, root.Int(1));
+  const std::size_t frozen_nodes = root.NumNodes();
+  auto arena = root.Freeze();
+
+  ExprPool overlay(arena);
+  const Expr z = overlay.Var("z", Sort::kInt);  // new node
+  EXPECT_EQ(z.id(), frozen_nodes);
+  const Expr sum = overlay.Add(overlay.Var("x", Sort::kInt), z);
+  EXPECT_EQ(sum.id(), frozen_nodes + 1);
+  EXPECT_EQ(overlay.NumOverlayNodes(), 2u);
+  EXPECT_EQ(overlay.NumNodes(), frozen_nodes + 2);
+
+  // A second, independent overlay replays the same id sequence: node
+  // creation order — and thus Eq/Add/Mul orientation — is reproducible.
+  ExprPool overlay2(arena);
+  const Expr z2 = overlay2.Var("z", Sort::kInt);
+  EXPECT_EQ(z2.id(), frozen_nodes);
+  EXPECT_EQ(overlay2.Add(overlay2.Var("x", Sort::kInt), z2).id(),
+            frozen_nodes + 1);
+}
+
+TEST(ExprArenaTest, OverlaySymbolIdsContinueTheFrozenSequence) {
+  ExprPool root;
+  (void)root.Var("a", Sort::kBool);
+  (void)root.Var("b", Sort::kInt);
+  const std::size_t frozen_symbols = root.NumSymbols();
+  auto arena = root.Freeze();
+
+  ExprPool overlay(arena);
+  // Frozen names keep their frozen symbol ids (and nodes).
+  EXPECT_EQ(overlay.FindSymbol("a"),
+            std::optional<std::uint32_t>{arena->FindSymbol("a")});
+  const Expr fresh = overlay.Var("c", Sort::kInt);
+  EXPECT_EQ(fresh.symbol(), frozen_symbols);
+  EXPECT_EQ(overlay.NumSymbols(), frozen_symbols + 1);
+  EXPECT_EQ(overlay.FindSymbol("c"),
+            std::optional<std::uint32_t>{
+                static_cast<std::uint32_t>(frozen_symbols)});
+  // A frozen name interned at a sort the arena never saw allocates a
+  // fresh node but keeps the frozen symbol id.
+  const Expr a_int = overlay.Var("a", Sort::kInt);
+  EXPECT_EQ(a_int.symbol(), arena->FindSymbol("a").value());
+  EXPECT_GE(a_int.id(), arena->NumNodes());
+  // And is itself interned: asking again returns the same node.
+  EXPECT_EQ(overlay.Var("a", Sort::kInt).raw(), a_int.raw());
+}
+
+TEST(ExprArenaTest, MixedTreeFreeVarsAndBloomAreCorrect) {
+  ExprPool root;
+  const Expr x = root.Var("x", Sort::kInt);
+  const Expr y = root.Var("y", Sort::kInt);
+  (void)root.Add(x, y);
+  auto arena = root.Freeze();
+
+  ExprPool overlay(arena);
+  const Expr fx = overlay.Var("x", Sort::kInt);     // frozen node
+  const Expr z = overlay.Var("z", Sort::kInt);      // overlay node
+  const Expr mixed = overlay.Lt(overlay.Add(fx, z), overlay.Int(7));
+
+  // Bloom mask covers both tiers' symbols.
+  EXPECT_NE(mixed.VarMask() & smt::VarMaskBit(fx.symbol()), 0u);
+  EXPECT_NE(mixed.VarMask() & smt::VarMaskBit(z.symbol()), 0u);
+
+  std::set<const smt::Node*> free;
+  for (const smt::Node* var : mixed.FreeVarNodes()) free.insert(var);
+  EXPECT_EQ(free.size(), 2u);
+  EXPECT_TRUE(free.count(fx.raw()));
+  EXPECT_TRUE(free.count(z.raw()));
+
+  // Sizes across the boundary.
+  EXPECT_EQ(mixed.TreeSize(), 5u);
+  EXPECT_EQ(mixed.DagSize(), 5u);
+}
+
+TEST(ExprArenaTest, SubstituteOverFrozenNodesBuildsInTheOverlay) {
+  ExprPool root;
+  const Expr x = root.Var("x", Sort::kInt);
+  const Expr frozen = root.Add(x, root.Int(3));
+  auto arena = root.Freeze();
+
+  ExprPool overlay(arena);
+  std::unordered_map<std::string, Expr> env;
+  env.emplace("x", overlay.Int(4));
+  const Expr result =
+      smt::Substitute(overlay, Expr::FromRaw(frozen.raw()), env);
+  // 4 + 3 was never frozen: the substituted tree is an overlay node over
+  // the frozen constants.
+  ASSERT_EQ(result.op(), smt::Op::kAdd);
+  EXPECT_GE(result.id(), arena->NumNodes());
+  // Substituting nothing leaves the frozen node untouched (mask cutoff).
+  const std::unordered_map<std::string, Expr> empty_env;
+  EXPECT_EQ(
+      smt::Substitute(overlay, Expr::FromRaw(frozen.raw()), empty_env).raw(),
+      frozen.raw());
+}
+
+TEST(ExprArenaTest, OverlayTeardownLeavesArenaUntouched) {
+  ExprPool root;
+  (void)root.Var("x", Sort::kInt);
+  auto arena = root.Freeze();
+  const std::size_t frozen_nodes = arena->NumNodes();
+  const std::size_t frozen_symbols = arena->NumSymbols();
+
+  {
+    ExprPool overlay(arena);
+    (void)overlay.Var("t1", Sort::kBool);
+    (void)overlay.Add(overlay.Var("x", Sort::kInt), overlay.Int(9));
+    EXPECT_GT(overlay.NumOverlayNodes(), 0u);
+  }  // overlay dies here
+
+  EXPECT_EQ(arena->NumNodes(), frozen_nodes);
+  EXPECT_EQ(arena->NumSymbols(), frozen_symbols);
+
+  // Two live overlays are fully independent; each sees only its own
+  // request-local tier.
+  ExprPool a(arena), b(arena);
+  (void)a.Var("only_in_a", Sort::kBool);
+  EXPECT_EQ(a.NumOverlayNodes(), 1u);
+  EXPECT_EQ(b.NumOverlayNodes(), 0u);
+  EXPECT_FALSE(b.FindSymbol("only_in_a").has_value());
+}
+
+TEST(ExprArenaTest, ConcurrentOverlayReadsAreSafe) {
+  // Exercised under TSan in CI: many threads read the frozen tier (free
+  // vars, tree/DAG sizes, intern lookups) while building private overlay
+  // nodes on top of it.
+  ExprPool root;
+  std::vector<Expr> frozen;
+  for (int i = 0; i < 16; ++i) {
+    const Expr v = root.Var("v" + std::to_string(i), Sort::kInt);
+    frozen.push_back(root.Le(root.Int(i), root.Add(v, root.Int(i + 1))));
+  }
+  const Expr all = root.And(frozen);
+  frozen.push_back(all);
+  auto arena = root.Freeze();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&arena, &frozen, t] {
+      ExprPool overlay(arena);
+      for (int round = 0; round < 50; ++round) {
+        for (const Expr e : frozen) {
+          const Expr handle = Expr::FromRaw(e.raw());
+          (void)handle.DagSize();    // relaxed-atomic lazy cache
+          (void)handle.TreeSize();   // settled at freeze
+          (void)handle.FreeVarNodes();
+        }
+        const Expr mine = overlay.Var("w" + std::to_string(t), Sort::kInt);
+        (void)overlay.Eq(mine, overlay.Int(round % 5));
+        // Frozen shapes intern to frozen nodes even under concurrency.
+        ASSERT_EQ(overlay.Var("v0", Sort::kInt).raw(), frozen[0].Child(1).Child(0).raw());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+// ------------------------------------------------------- simplify tier
+
+TEST(FixpointCacheTest, SharedCacheKeepsEngineOutputBitIdentical) {
+  // Build a frozen constraint set, then simplify it through overlays with
+  // and without the shared fixpoint cache: results, rule-hit counts, and
+  // pass counts must be bit-identical, and a second cached run must hit.
+  ExprPool root;
+  std::vector<Expr> constraints;
+  for (int i = 0; i < 6; ++i) {
+    const Expr v = root.Var("k" + std::to_string(i), Sort::kInt);
+    constraints.push_back(root.Le(root.Int(0), v));
+    constraints.push_back(
+        root.Eq(root.Add(v, root.Int(0)), v));  // simplifies to true
+  }
+  auto arena = root.Freeze();
+  simplify::FixpointCache cache(arena->NumNodes());
+  EXPECT_EQ(cache.frozen_limit(), arena->NumNodes());
+
+  const auto run = [&](simplify::FixpointCache* shared,
+                       simplify::RuleStats* stats_out,
+                       int* passes_out) {
+    ExprPool overlay(arena);
+    simplify::EngineOptions options;
+    options.shared_fixpoints = shared;
+    simplify::Engine engine(overlay, options);
+    std::vector<Expr> in;
+    for (const Expr c : constraints) in.push_back(Expr::FromRaw(c.raw()));
+    std::vector<Expr> out = engine.SimplifyConstraints(in);
+    if (stats_out != nullptr) *stats_out = engine.stats();
+    if (passes_out != nullptr) *passes_out = engine.last_passes();
+    std::vector<const smt::Node*> raw;
+    for (const Expr e : out) raw.push_back(e.raw());
+    return raw;
+  };
+
+  simplify::RuleStats plain_stats, cached_stats, warm_stats;
+  int plain_passes = 0, cached_passes = 0, warm_passes = 0;
+  const auto plain = run(nullptr, &plain_stats, &plain_passes);
+  const auto cached = run(&cache, &cached_stats, &cached_passes);
+  EXPECT_EQ(plain, cached);
+  EXPECT_EQ(plain_stats, cached_stats);
+  EXPECT_EQ(plain_passes, cached_passes);
+  EXPECT_GT(cache.size(), 0u);  // clean frozen nodes were published
+
+  const std::uint64_t hits_before = cache.hits();
+  const auto warm = run(&cache, &warm_stats, &warm_passes);
+  EXPECT_EQ(plain, warm);
+  EXPECT_EQ(plain_stats, warm_stats);
+  EXPECT_EQ(plain_passes, warm_passes);
+  EXPECT_GT(cache.hits(), hits_before);  // the second run consulted it
+}
+
+TEST(FixpointCacheTest, ReferenceEngineIgnoresSharedCache) {
+  // Engines without the optimized semantics (ReferenceEngineOptions turns
+  // off cross-pass memoing) must not consult a cache built under default
+  // semantics.
+  ExprPool root;
+  const Expr v = root.Var("v", Sort::kInt);
+  (void)root.Le(root.Int(0), v);
+  auto arena = root.Freeze();
+  simplify::FixpointCache cache(arena->NumNodes());
+
+  ExprPool overlay(arena);
+  simplify::EngineOptions options = simplify::ReferenceEngineOptions();
+  options.shared_fixpoints = &cache;
+  simplify::Engine engine(overlay, options);
+  std::vector<Expr> in{overlay.Le(overlay.Int(0),
+                                  overlay.Var("v", Sort::kInt))};
+  (void)engine.SimplifyConstraints(in);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------------- explain tier
+
+TEST(ArenaRegistryTest, GetOrBuildDedupesPerQuestion) {
+  const synth::Scenario s = synth::Scenario1();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+  explain::ArenaRegistry registry;
+  const explain::Selection selection = explain::Selection::Router("R1");
+  auto first = registry.GetOrBuild(s.topo, s.spec, solved.value().network,
+                                   selection, {});
+  ASSERT_TRUE(first.ok()) << first.error().ToString();
+  auto second = registry.GetOrBuild(s.topo, s.spec, solved.value().network,
+                                    selection, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+
+  // A different requirement projection is a different question.
+  auto projected = registry.GetOrBuild(s.topo, s.spec, solved.value().network,
+                                       selection, {"Req1"});
+  ASSERT_TRUE(projected.ok()) << projected.error().ToString();
+  EXPECT_NE(first.value().get(), projected.value().get());
+
+  const explain::ArenaRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.frozen_nodes, 0u);
+  EXPECT_GT(stats.frozen_symbols, 0u);
+}
+
+TEST(ArenaRegistryTest, WarmAnswersAreByteIdenticalToFreshPath) {
+  const synth::Scenario s = synth::Scenario1();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+  const config::NetworkConfig& network = solved.value().network;
+
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  std::vector<explain::BatchRequest> requests =
+      explain::RequestsForAllRouters(network);
+  {
+    explain::BatchRequest rest;  // complement questions skip the lift
+    rest.selection = explain::Selection::Rest("R3");
+    requests.push_back(std::move(rest));
+  }
+  ASSERT_FALSE(requests.empty());
+
+  for (const explain::BatchRequest& request : requests) {
+    const auto fresh =
+        explain::AnswerRequest(s.topo, s.spec, network, request);
+    const auto cold =
+        explain::AnswerRequest(s.topo, s.spec, network, request, registry);
+    const auto warm =
+        explain::AnswerRequest(s.topo, s.spec, network, request, registry);
+    ASSERT_TRUE(fresh.ok()) << fresh.error().ToString();
+    ASSERT_TRUE(cold.ok()) << cold.error().ToString();
+    ASSERT_TRUE(warm.ok()) << warm.error().ToString();
+    EXPECT_EQ(fresh.value().report, cold.value().report);
+    EXPECT_EQ(fresh.value().report, warm.value().report);
+    EXPECT_EQ(fresh.value().subspec_text, warm.value().subspec_text);
+    EXPECT_EQ(fresh.value().empty, warm.value().empty);
+    EXPECT_EQ(fresh.value().unsat, warm.value().unsat);
+
+    EXPECT_FALSE(fresh.value().stats.arena.used);
+    EXPECT_TRUE(cold.value().stats.arena.used);
+    EXPECT_TRUE(warm.value().stats.arena.used);
+    EXPECT_GT(warm.value().stats.arena.frozen_nodes, 0u);
+    // The overlay suffix is deterministic per question.
+    EXPECT_EQ(cold.value().stats.arena.overlay_nodes,
+              warm.value().stats.arena.overlay_nodes);
+  }
+}
+
+TEST(ArenaRegistryTest, BaselineRequestsBypassTheArena) {
+  const synth::Scenario s = synth::Scenario1();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+
+  explain::Session session(s.topo, s.spec, solved.value().network);
+  session.UseArenaRegistry(std::make_shared<explain::ArenaRegistry>());
+  auto with_baselines =
+      session.Ask(explain::Selection::Router("R1"), explain::LiftMode::kExact,
+                  {}, /*compute_baselines=*/true);
+  ASSERT_TRUE(with_baselines.ok()) << with_baselines.error().ToString();
+  EXPECT_FALSE(with_baselines.value().stats.arena.used);
+  EXPECT_GT(with_baselines.value().subspec.metrics.baseline_z3_size, 0u);
+
+  auto without =
+      session.Ask(explain::Selection::Router("R1"), explain::LiftMode::kExact);
+  ASSERT_TRUE(without.ok()) << without.error().ToString();
+  EXPECT_TRUE(without.value().stats.arena.used);
+  // Arena metrics reach the stats line but never the golden-pinned report.
+  EXPECT_NE(without.value().stats.ToString().find("arena: frozen_nodes="),
+            std::string::npos);
+  EXPECT_EQ(without.value().Report().find("arena:"), std::string::npos);
+}
+
+TEST(ArenaRegistryTest, ConcurrentGetOrBuildBuildsOnce) {
+  const synth::Scenario s = synth::Scenario1();
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  ASSERT_TRUE(solved.ok()) << solved.error().ToString();
+  const config::NetworkConfig& network = solved.value().network;
+
+  explain::ArenaRegistry registry;
+  const explain::Selection selection = explain::Selection::Router("R1");
+  std::vector<std::shared_ptr<const explain::FrozenQuestion>> results(8);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      auto question =
+          registry.GetOrBuild(s.topo, s.spec, network, selection, {});
+      ASSERT_TRUE(question.ok()) << question.error().ToString();
+      results[t] = question.value();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result.get(), results[0].get());
+  }
+  const explain::ArenaRegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.reuses, 7u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+}  // namespace
+}  // namespace ns

@@ -42,7 +42,8 @@ int Usage(const char* argv0) {
       "                     to F instead of an auto-named file\n"
       "  --no-minimize      report failures without shrinking them\n"
       "  --no-z3 / --no-batch / --no-rename / --no-solver-diff /\n"
-      "  --no-serve-diff    disable oracle groups\n"
+      "  --no-serve-diff / --no-arena-diff\n"
+      "                     disable oracle groups\n"
       "  --quiet            only print failures and the final summary\n",
       argv0);
   return 2;
@@ -63,7 +64,7 @@ class Flags {
       arg = arg.substr(2);
       if (arg == "no-minimize" || arg == "no-z3" || arg == "no-batch" ||
           arg == "no-rename" || arg == "no-solver-diff" ||
-          arg == "no-serve-diff" || arg == "quiet") {
+          arg == "no-serve-diff" || arg == "no-arena-diff" || arg == "quiet") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -169,6 +170,7 @@ int main(int argc, char** argv) {
   run_options.with_rename = !flags.Has("no-rename");
   run_options.with_solver_diff = !flags.Has("no-solver-diff");
   run_options.with_serve_diff = !flags.Has("no-serve-diff");
+  run_options.with_arena_diff = !flags.Has("no-arena-diff");
 
   if (flags.Has("inject-rule")) {
     auto rule = RuleByName(flags.OneOr("inject-rule", ""));

@@ -34,6 +34,7 @@
 #include "bgp/simulator.hpp"
 #include "config/parse.hpp"
 #include "config/render.hpp"
+#include "explain/arena.hpp"
 #include "explain/batch.hpp"
 #include "explain/report.hpp"
 #include "explain/verify.hpp"
@@ -63,11 +64,13 @@ int Usage(const char* argv0) {
                "                [--mode exact|faithful] [--rest] [--baselines]\n"
                "                [--solver fresh|incremental|fastpath] "
                "[--stats]\n"
+               "                [--no-arena]  (fresh-pool path, no frozen "
+               "arena)\n"
                "  batch-explain: --config FILE [--router NAME]... (default:\n"
                "                all routers with route-maps) [--threads N]\n"
                "                [--sequential] [--req NAME]... [--mode MODE]\n"
                "                [--baselines] [--solver NAME] [--stats]\n"
-               "                [--json FILE]\n"
+               "                [--json FILE] [--no-arena]\n"
                "  serve:        [--port P] [--threads N] [--cache-entries K]\n"
                "                [--deadline-ms D] [--frontend epoll|blocking]\n"
                "                [--reactors R] [--max-queue Q] [--topo F\n"
@@ -90,7 +93,7 @@ class Flags {
       }
       arg = arg.substr(2);
       if (arg == "rest" || arg == "baselines" || arg == "sequential" ||
-          arg == "stats") {
+          arg == "stats" || arg == "no-arena") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -296,6 +299,11 @@ int CmdExplain(const Flags& flags) {
 
   explain::Session session(topo.value(), spec.value(),
                            std::move(network).value());
+  // Frozen-arena answering is the default (byte-identical to the fresh
+  // path); --no-arena forces the fresh-pool path for A/B comparisons.
+  if (!flags.Has("no-arena")) {
+    session.UseArenaRegistry(std::make_shared<explain::ArenaRegistry>());
+  }
   auto answer = session.Ask(selection, mode.value(), flags.All("req"),
                             flags.Has("baselines"), solver.value());
   if (!answer) return Fail(answer.error());
@@ -346,6 +354,9 @@ int CmdBatchExplain(const Flags& flags) {
   }
 
   explain::BatchOptions options;
+  if (!flags.Has("no-arena")) {
+    options.registry = std::make_shared<explain::ArenaRegistry>();
+  }
   if (flags.Has("sequential")) {
     options.num_threads = 1;
   } else if (flags.Has("threads")) {
@@ -404,6 +415,19 @@ int CmdBatchExplain(const Flags& flags) {
                                          answer.stats.lift.z3_queries));
         solver_row.Set("wall_ms", answer.stats.lift.wall_ms);
         row.Set("solver", std::move(solver_row));
+        if (answer.stats.arena.used) {
+          // Deterministic per-answer fields only (registry aggregates are
+          // scheduling-dependent and stay out of comparable output).
+          util::Json arena_row = util::Json::MakeObject();
+          arena_row.Set("frozen_nodes", static_cast<std::int64_t>(
+                                            answer.stats.arena.frozen_nodes));
+          arena_row.Set("frozen_symbols",
+                        static_cast<std::int64_t>(
+                            answer.stats.arena.frozen_symbols));
+          arena_row.Set("overlay_nodes", static_cast<std::int64_t>(
+                                             answer.stats.arena.overlay_nodes));
+          row.Set("arena", std::move(arena_row));
+        }
         row.Set("subspec", answer.subspec_text);
       } else {
         row.Set("error", item.result.error().ToString());
