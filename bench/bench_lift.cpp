@@ -1,17 +1,23 @@
-// bench_lift — the lift-search solver trajectory (the tentpole of the
-// incremental solver layer). The lift search discharges O(candidates)
-// implication queries against the same domain ∧ target prefix; this bench
-// times that search under the fresh-session baseline (a z3::solver stood
-// up per query — the pre-interface behavior, kept as kFreshZ3) versus the
-// incremental fast-path default (shared push/pop prefix + boolean DPLL
-// over the pool IR, kFastPath), asserting byte-identical answers.
+// bench_lift — the lift-search trajectory. Two axes per problem:
+//
+//  - solver: the O(candidates) implication queries under the
+//    fresh-session baseline (a z3::solver stood up per query, kFreshZ3)
+//    versus the incremental fast-path default (shared push/pop prefix +
+//    boolean DPLL over the pool IR, kFastPath);
+//  - pipeline: the whole sequential Lift() (prefix + inline compile +
+//    greedy) versus the arena-seeded two-phase pipeline (DESIGN.md §12)
+//    at 4 compile workers — cold CompileCache, warm repeat, and the
+//    full strategy-portfolio race.
+//
+// Every variant is asserted byte-identical before a number is reported.
 //
 //   bench_lift --json BENCH_LIFT.json [--benchmark_filter=NONE]
 //
 // The committed BENCH_LIFT.json at the repo root is regenerated with
 // exactly that invocation (see TESTING.md); CI re-runs the bench and
-// fails if the fast-path median regresses >1.5x against the committed
-// numbers (tools/bench_json_check --baseline).
+// fails if the fast-path per-query median or the median parallel lift
+// (lift_total_opt_ms) regresses >1.5x against the committed numbers
+// (tools/bench_json_check --baseline).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,9 +26,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "explain/arena.hpp"
 #include "explain/lift.hpp"
 #include "explain/subspec.hpp"
 #include "net/builders.hpp"
+#include "smt/expr.hpp"
 #include "smt/solver.hpp"
 #include "spec/parser.hpp"
 
@@ -105,6 +113,7 @@ struct LiftRun {
   bool complete = false;
   int candidates = 0;
   smt::SolverStats stats;
+  explain::LiftStats pipeline;
 };
 
 LiftRun RunLift(const Problem& problem, smt::SolverBackend backend) {
@@ -126,6 +135,47 @@ LiftRun RunLift(const Problem& problem, smt::SolverBackend backend) {
   run.complete = lifted.value().complete;
   run.candidates = lifted.value().candidates_tried;
   run.stats = lifted.value().solver_stats;
+  run.pipeline = lifted.value().stats;
+  return run;
+}
+
+/// One arena-seeded lift through the two-phase pipeline (DESIGN.md §12):
+/// the question's encode + frozen lift prefix come from the registry
+/// (untimed, amortized across every lift of the question), then the timed
+/// Lift() compiles candidates on `threads` workers through the question's
+/// CompileCache and assembles — racing the strategy portfolio when asked.
+LiftRun RunArenaLift(const Problem& problem, explain::ArenaRegistry& registry,
+                     int threads, bool portfolio) {
+  auto question =
+      registry.GetOrBuild(problem.topo, problem.spec, problem.solved,
+                          explain::Selection::Router(problem.router), {});
+  NS_ASSERT_MSG(question.ok(), "bench problem failed to build its question");
+  const explain::FrozenQuestion& frozen = *question.value();
+  smt::ExprPool overlay(frozen.arena);
+
+  explain::SubspecOptions options;
+  options.shared_fixpoints = frozen.fixpoints.get();
+  options.lift_threads = threads;
+  options.lift_portfolio = portfolio;
+  explain::LiftContext context;
+  if (frozen.lift_prefix.has_value()) {
+    context.prefix = &*frozen.lift_prefix;
+    context.cache = frozen.compile_cache.get();
+  }
+  explain::Lifter lifter(overlay, problem.topo, problem.spec, problem.solved,
+                         context);
+  LiftRun run;
+  util::Result<explain::LiftResult> lifted =
+      util::Error(util::ErrorCode::kInternal, "not run");
+  run.lift_ms = bench::TimeMs([&] {
+    lifted = lifter.Lift(frozen.subspec, explain::LiftMode::kExact, options);
+  });
+  NS_ASSERT_MSG(lifted.ok(), "bench problem failed to lift via the arena");
+  run.text = lifted.value().ToString();
+  run.complete = lifted.value().complete;
+  run.candidates = lifted.value().candidates_tried;
+  run.stats = lifted.value().solver_stats;
+  run.pipeline = lifted.value().stats;
   return run;
 }
 
@@ -136,60 +186,100 @@ double Median(std::vector<double> values) {
 }
 
 util::Json PrintTable() {
-  std::printf("lift search | solver time: fresh z3::solver per query "
-              "(baseline) vs incremental\n            | fast path — "
-              "ref/opt = time inside the solver layer (stats.wall_ms),\n"
-              "            | total = whole Lift() including candidate "
-              "compilation\n");
+  std::printf("lift search | slv ref/opt = solver wall, fresh z3::solver "
+              "per query vs incremental fast path\n            | seq = "
+              "whole sequential Lift() (prefix + inline compile + greedy)\n"
+              "            | par4 = arena-seeded two-phase Lift(), 4 "
+              "compile workers, cold cache\n            | warm = repeat on "
+              "the warmed CompileCache; pf = portfolio race wall\n");
   bench::Rule('=');
-  std::printf("%-12s %6s %5s | %9s %9s %8s | %9s %9s %6s %6s\n", "problem",
-              "cand", "qrys", "slv ref", "slv opt", "speedup", "total ref",
-              "total opt", "z3", "reuse");
+  std::printf("%-12s %5s %5s | %8s %8s %7s | %8s %8s %7s %8s | %6s %8s "
+              "%3s %3s\n",
+              "problem", "cand", "qrys", "slv ref", "slv opt", "speedup",
+              "seq", "par4", "speedup", "compile", "warm", "hit rate", "win",
+              "cxl");
   bench::Rule();
 
   constexpr int kReps = 3;
   util::Json records = util::Json::MakeArray();
   std::vector<double> ref_query_series;
   std::vector<double> opt_query_series;
+  std::vector<double> par_total_series;
   for (const Problem& problem : Sweep()) {
     double ref_ms = 0;
     double opt_ms = 0;
     double total_ref_ms = 0;
-    double total_opt_ms = 0;
+    double total_seq_ms = 0;
+    double par_ms = 0;
+    double warm_ms = 0;
+    double portfolio_ms = 0;
     LiftRun baseline;
     LiftRun fast;
+    LiftRun par;
+    LiftRun warm;
+    LiftRun raced;
     for (int rep = 0; rep < kReps; ++rep) {
       baseline = RunLift(problem, smt::SolverBackend::kFreshZ3);
       fast = RunLift(problem, smt::SolverBackend::kFastPath);
+      // Fresh registries per rep: `par` measures a cold CompileCache,
+      // `warm` the repeat on the cache `par` just filled, `raced` the
+      // full portfolio from cold on its own registry.
+      explain::ArenaRegistry registry;
+      par = RunArenaLift(problem, registry, /*threads=*/4,
+                         /*portfolio=*/false);
+      warm = RunArenaLift(problem, registry, /*threads=*/4,
+                          /*portfolio=*/false);
+      explain::ArenaRegistry raced_registry;
+      raced = RunArenaLift(problem, raced_registry, /*threads=*/4,
+                           /*portfolio=*/true);
       const auto best = [rep](double acc, double sample) {
         return rep == 0 ? sample : std::min(acc, sample);
       };
       ref_ms = best(ref_ms, baseline.stats.wall_ms);
       opt_ms = best(opt_ms, fast.stats.wall_ms);
       total_ref_ms = best(total_ref_ms, baseline.lift_ms);
-      total_opt_ms = best(total_opt_ms, fast.lift_ms);
+      total_seq_ms = best(total_seq_ms, fast.lift_ms);
+      par_ms = best(par_ms, par.lift_ms);
+      warm_ms = best(warm_ms, warm.lift_ms);
+      portfolio_ms = best(portfolio_ms, raced.lift_ms);
     }
-    // The whole point of the solver interface: the answer must not depend
-    // on the backend.
+    // The whole point of the solver interface and the two-phase pipeline:
+    // the answer must depend on neither the backend nor the schedule.
     NS_ASSERT_MSG(baseline.text == fast.text &&
                       baseline.complete == fast.complete &&
                       baseline.candidates == fast.candidates &&
                       baseline.stats.queries == fast.stats.queries,
                   "fast-path lift diverged from the fresh-session baseline");
+    NS_ASSERT_MSG(fast.text == par.text && fast.text == warm.text &&
+                      fast.text == raced.text &&
+                      fast.candidates == par.candidates &&
+                      fast.candidates == raced.candidates,
+                  "parallel lift diverged from the sequential pipeline");
 
     const double speedup = opt_ms > 0 ? ref_ms / opt_ms : 0;
-    std::printf("%-12s %6d %5llu | %9.2f %9.2f %7.2fx | %9.2f %9.2f %6llu "
-                "%6llu\n",
+    const double par_speedup = par_ms > 0 ? total_seq_ms / par_ms : 0;
+    const std::uint64_t warm_lookups =
+        warm.pipeline.compile_cache_hits + warm.pipeline.compile_cache_misses;
+    const double warm_hit_rate =
+        warm_lookups > 0
+            ? static_cast<double>(warm.pipeline.compile_cache_hits) /
+                  static_cast<double>(warm_lookups)
+            : 0;
+    std::printf("%-12s %5d %5llu | %8.2f %8.2f %6.2fx | %8.2f %8.2f %6.2fx "
+                "%8.2f | %6.2f %7.0f%% %3d %3llu\n",
                 problem.label.c_str(), fast.candidates,
                 static_cast<unsigned long long>(fast.stats.queries), ref_ms,
-                opt_ms, speedup, total_ref_ms, total_opt_ms,
-                static_cast<unsigned long long>(fast.stats.z3_queries),
-                static_cast<unsigned long long>(fast.stats.frame_reuse));
+                opt_ms, speedup, total_seq_ms, par_ms, par_speedup,
+                par.pipeline.compile_ms, warm_ms, warm_hit_rate * 100,
+                raced.pipeline.winner,
+                static_cast<unsigned long long>(
+                    raced.pipeline.strategies_cancelled));
     const auto queries = static_cast<double>(fast.stats.queries);
     if (queries > 0) {
       ref_query_series.push_back(ref_ms / queries);
       opt_query_series.push_back(opt_ms / queries);
     }
+    par_total_series.push_back(par_ms);
 
     util::Json record = util::Json::MakeObject();
     record.Set("label", problem.label);
@@ -197,11 +287,28 @@ util::Json PrintTable() {
     record.Set("opt_ms", opt_ms);
     record.Set("speedup", speedup);
     record.Set("lift_total_ref_ms", total_ref_ms);
-    record.Set("lift_total_opt_ms", total_opt_ms);
+    record.Set("lift_total_seq_ms", total_seq_ms);
+    // The end-to-end headline CI gates on: arena-seeded two-phase Lift()
+    // wall at 4 compile workers, cold cache.
+    record.Set("lift_total_opt_ms", par_ms);
+    record.Set("parallel_speedup", par_speedup);
+    record.Set("compile_ms", par.pipeline.compile_ms);
+    record.Set("compile_cache_hits",
+               static_cast<std::int64_t>(par.pipeline.compile_cache_hits));
+    record.Set("compile_cache_misses",
+               static_cast<std::int64_t>(par.pipeline.compile_cache_misses));
+    record.Set("warm_total_ms", warm_ms);
+    record.Set("warm_hit_rate", warm_hit_rate);
+    record.Set("portfolio_total_ms", portfolio_ms);
+    record.Set("portfolio_winner", raced.pipeline.winner);
+    record.Set("portfolio_cancelled",
+               static_cast<std::int64_t>(raced.pipeline.strategies_cancelled));
     record.Set("candidates", fast.candidates);
     record.Set("queries", static_cast<std::int64_t>(fast.stats.queries));
     record.Set("fast_path_hits",
                static_cast<std::int64_t>(fast.stats.fast_path_hits));
+    record.Set("fast_path_ineligible",
+               static_cast<std::int64_t>(fast.stats.fast_path_ineligible));
     record.Set("z3_queries",
                static_cast<std::int64_t>(fast.stats.z3_queries));
     record.Set("frame_reuse",
@@ -210,20 +317,23 @@ util::Json PrintTable() {
   }
   bench::Rule();
 
-  // Summary record CI compares against the committed BENCH_LIFT.json: the
-  // per-query median (solver wall over query count) may not regress,
-  // whatever the per-problem noise.
+  // Summary record CI compares against the committed BENCH_LIFT.json:
+  // neither the per-query median (solver wall over query count) nor the
+  // median end-to-end parallel lift may regress, whatever the per-problem
+  // noise.
   const double ref_median = Median(ref_query_series);
   const double opt_median = Median(opt_query_series);
+  const double par_median = Median(par_total_series);
   const double median_speedup = opt_median > 0 ? ref_median / opt_median : 0;
   std::printf("median query time: fresh %.3f ms, incremental fast path "
-              "%.3f ms (%.2fx)\n\n",
-              ref_median, opt_median, median_speedup);
+              "%.3f ms (%.2fx); median parallel lift %.2f ms\n\n",
+              ref_median, opt_median, median_speedup, par_median);
   util::Json median = util::Json::MakeObject();
   median.Set("label", "median");
   median.Set("ref_ms", ref_median);
   median.Set("opt_ms", opt_median);
   median.Set("speedup", median_speedup);
+  median.Set("lift_total_opt_ms", par_median);
   records.Append(std::move(median));
   return records;
 }

@@ -31,6 +31,24 @@ Result<std::shared_ptr<const FrozenQuestion>> BuildQuestion(
 
   auto question = std::make_shared<FrozenQuestion>();
   question->subspec = std::move(subspec).value();
+
+  // Replay the lift's deterministic front half into the same root pool
+  // before freezing, so candidate expressions get stable arena ids and
+  // warm lifts start straight at the compile stage. Skipped when the
+  // lifter answers without a search (empty/unsatisfiable subspecs) or
+  // refuses the question (complement scopes) — exactly the cases the
+  // fresh path never builds a prefix for, keeping the node-creation
+  // sequence identical. `shared_fixpoints` stays null here: the memo is
+  // keyed by arena node and the arena does not exist yet.
+  if (!selection.complement && !question->subspec.IsEmpty() &&
+      !question->subspec.IsUnsatisfiable()) {
+    auto prefix = BuildLiftPrefix(explainer.pool(), topo, spec, solved,
+                                  question->subspec, options);
+    if (!prefix) return prefix.error();
+    question->lift_prefix = std::move(prefix).value();
+    question->compile_cache = std::make_shared<CompileCache>();
+  }
+
   question->arena = explainer.pool().Freeze();
   question->fixpoints =
       std::make_shared<simplify::FixpointCache>(question->arena->NumNodes());
@@ -125,6 +143,12 @@ ArenaRegistryStats ArenaRegistry::stats() const {
     stats.memo_entries += question.fixpoints->size();
     stats.memo_hits += question.fixpoints->hits();
     stats.memo_misses += question.fixpoints->misses();
+    if (question.compile_cache != nullptr) {
+      const CompileCacheStats compile = question.compile_cache->stats();
+      stats.compile_entries += compile.entries;
+      stats.compile_hits += compile.hits;
+      stats.compile_misses += compile.misses;
+    }
   }
   return stats;
 }

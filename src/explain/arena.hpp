@@ -29,10 +29,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "explain/lift.hpp"
 #include "explain/subspec.hpp"
 #include "simplify/engine.hpp"
 #include "util/status.hpp"
@@ -41,11 +43,18 @@ namespace ns::explain {
 
 /// One question's frozen prefix: the arena holding the replayed seed
 /// encoding, the Subspec computed over it, and the shared clean-node memo
-/// for simplify runs on overlays of this arena.
+/// for simplify runs on overlays of this arena. Since PR 9 the lift's own
+/// deterministic front half rides along: the candidate prefix (closed
+/// definitions + sorted candidates, all at stable arena ids) and the
+/// residual compile cache shared by every lift of this question
+/// (DESIGN.md §12). `lift_prefix` is absent for questions the lifter
+/// answers without a search (empty or unsatisfiable subspecs).
 struct FrozenQuestion {
   std::shared_ptr<const smt::ExprArena> arena;
   Subspec subspec;  ///< constraints/domains point into *arena
   std::shared_ptr<simplify::FixpointCache> fixpoints;
+  std::optional<LiftPrefix> lift_prefix;  ///< candidates point into *arena
+  std::shared_ptr<CompileCache> compile_cache;
 };
 
 /// Aggregate registry counters (serve stats endpoint, batch summaries).
@@ -61,6 +70,9 @@ struct ArenaRegistryStats {
   std::uint64_t memo_entries = 0;    ///< clean nodes published, summed
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
+  std::uint64_t compile_entries = 0;  ///< memoized lift residuals, summed
+  std::uint64_t compile_hits = 0;
+  std::uint64_t compile_misses = 0;
 
   /// Shared-memo hit rate in [0,1]; 0 when nothing was looked up.
   double MemoHitRate() const noexcept {

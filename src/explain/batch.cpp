@@ -40,6 +40,7 @@ Result<BatchAnswer> AnswerRequest(const net::Topology& topo,
   try {
     Session session(topo, spec, solved);
     if (registry != nullptr) session.UseArenaRegistry(registry);
+    session.SetLiftOptions(request.lift_threads, request.lift_portfolio);
     auto explanation = session.Ask(request.selection, request.mode,
                                    request.requirements,
                                    request.compute_baselines, request.solver);

@@ -43,6 +43,11 @@ struct BatchRequest {
   /// Solver backend for this question. All backends answer byte-
   /// identically; the choice affects only speed (and the stats).
   smt::SolverOptions solver;
+  /// Compile workers for the lift's phase A (effective on arena-seeded
+  /// answers; see SubspecOptions::lift_threads). Byte-identical answers.
+  int lift_threads = 1;
+  /// Race the phase-B strategy portfolio (SubspecOptions::lift_portfolio).
+  bool lift_portfolio = false;
 };
 
 /// One answer, fully rendered (safe to keep after the worker's pool died).

@@ -1,0 +1,175 @@
+#include "explain/compile_cache.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace ns::explain {
+
+using smt::Expr;
+using smt::Node;
+using smt::Op;
+
+FlatResidual FlattenResidual(std::span<const Expr> residual,
+                             std::size_t frozen_limit) {
+  FlatResidual flat;
+  std::unordered_map<const Node*, std::uint32_t> index;
+
+  const auto emit = [&](const Node* root) -> std::uint32_t {
+    struct Frame {
+      const Node* node;
+      bool expanded;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, false});
+    while (!stack.empty()) {
+      const Node* node = stack.back().node;
+      if (index.count(node) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      if (node->id < frozen_limit) {
+        FlatResidual::Instr instr;
+        instr.ref = true;
+        instr.value = node->id;
+        index.emplace(node, static_cast<std::uint32_t>(flat.instrs.size()));
+        flat.instrs.push_back(std::move(instr));
+        stack.pop_back();
+        continue;
+      }
+      if (!stack.back().expanded) {
+        stack.back().expanded = true;
+        for (const Node* child : node->children) {
+          if (index.count(child) == 0) stack.push_back({child, false});
+        }
+        continue;
+      }
+      FlatResidual::Instr instr;
+      instr.op = node->op;
+      instr.sort = node->sort;
+      instr.value = node->value;
+      instr.name = node->name;
+      instr.args.reserve(node->children.size());
+      for (const Node* child : node->children) {
+        instr.args.push_back(index.at(child));
+      }
+      index.emplace(node, static_cast<std::uint32_t>(flat.instrs.size()));
+      flat.instrs.push_back(std::move(instr));
+      stack.pop_back();
+    }
+    return index.at(root);
+  };
+
+  flat.roots.reserve(residual.size());
+  for (Expr e : residual) flat.roots.push_back(emit(e.raw()));
+  return flat;
+}
+
+std::vector<Expr> MaterializeResidual(smt::ExprPool& pool,
+                                      const FlatResidual& flat) {
+  std::vector<Expr> built;
+  built.reserve(flat.instrs.size());
+  for (const FlatResidual::Instr& instr : flat.instrs) {
+    if (instr.ref) {
+      built.push_back(Expr::FromRaw(
+          pool.NodeById(static_cast<std::size_t>(instr.value))));
+      continue;
+    }
+    const auto arg = [&](std::size_t i) { return built[instr.args[i]]; };
+    switch (instr.op) {
+      case Op::kBoolConst:
+        built.push_back(pool.Bool(instr.value != 0));
+        break;
+      case Op::kIntConst:
+        built.push_back(pool.Int(instr.value));
+        break;
+      case Op::kVar:
+        built.push_back(pool.Var(instr.name, instr.sort));
+        break;
+      case Op::kNot:
+        built.push_back(pool.Not(arg(0)));
+        break;
+      case Op::kAnd:
+      case Op::kOr: {
+        std::vector<Expr> operands;
+        operands.reserve(instr.args.size());
+        for (std::size_t i = 0; i < instr.args.size(); ++i) {
+          operands.push_back(arg(i));
+        }
+        built.push_back(instr.op == Op::kAnd ? pool.And(operands)
+                                             : pool.Or(operands));
+        break;
+      }
+      case Op::kImplies:
+        built.push_back(pool.Implies(arg(0), arg(1)));
+        break;
+      case Op::kIte:
+        built.push_back(pool.Ite(arg(0), arg(1), arg(2)));
+        break;
+      case Op::kEq:
+        built.push_back(pool.Eq(arg(0), arg(1)));
+        break;
+      case Op::kLt:
+        built.push_back(pool.Lt(arg(0), arg(1)));
+        break;
+      case Op::kLe:
+        built.push_back(pool.Le(arg(0), arg(1)));
+        break;
+      case Op::kAdd:
+        built.push_back(pool.Add(arg(0), arg(1)));
+        break;
+      case Op::kSub:
+        built.push_back(pool.Sub(arg(0), arg(1)));
+        break;
+      case Op::kMul:
+        built.push_back(pool.Mul(arg(0), arg(1)));
+        break;
+    }
+  }
+  std::vector<Expr> out;
+  out.reserve(flat.roots.size());
+  for (std::uint32_t root : flat.roots) out.push_back(built[root]);
+  return out;
+}
+
+CompileCache::Key CompileCache::KeyFor(const std::vector<Expr>& compiled) {
+  Key key;
+  key.reserve(compiled.size());
+  for (Expr e : compiled) key.push_back(e.raw()->id);
+  return key;
+}
+
+std::shared_ptr<const FlatResidual> CompileCache::Lookup(
+    const Key& key) const {
+  std::shared_lock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const FlatResidual> CompileCache::Insert(
+    const Key& key, std::shared_ptr<const FlatResidual> flat) {
+  NS_ASSERT(flat != nullptr);
+  std::unique_lock lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  return entries_.emplace(key, std::move(flat)).first->second;
+}
+
+CompileCacheStats CompileCache::stats() const {
+  CompileCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(mu_);
+    stats.entries = entries_.size();
+  }
+  return stats;
+}
+
+}  // namespace ns::explain

@@ -1,0 +1,140 @@
+// Memoized candidate compilation for the lift search (DESIGN.md §12).
+//
+// Per-candidate compilation — substitute through the closed definitions,
+// then simplify to the residual — dominates end-to-end lift time
+// (BENCH_LIFT.json's lift_total columns). Once a question's prefix is
+// frozen into an ExprArena (arena.hpp), that work becomes cacheable and
+// parallelizable: every candidate's inputs (its compiled constraints and
+// the closure) are frozen nodes with stable arena ids, so a residual can
+// be compiled once in a scratch overlay pool, snapshotted in a
+// pool-independent form, and replayed into any later overlay of the same
+// arena — across exact/faithful modes, across the redundancy-prune pass,
+// and across repeated lifts of the scenario via ArenaRegistry.
+//
+// The snapshot (FlatResidual) references frozen nodes by arena id and
+// copies only the overlay structure. Materializing replays it through the
+// ordinary ExprPool constructors, so the rebuilt expressions are interned
+// and canonically oriented in the target pool: pool state after
+// materializing candidates 0..i in order is a deterministic function of
+// (arena, candidates, i) — independent of which worker compiled what and
+// of the thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/expr.hpp"
+#include "spec/ast.hpp"
+
+namespace ns::explain {
+
+/// A candidate statement with its compiled (pre-projection) constraints.
+/// Priority groups order the greedy pass so the output takes the paper's
+/// presentation forms: preferences (Fig. 4) first, then traffic-direction
+/// forbids for declared destinations (Fig. 4's drops), then announcement-
+/// direction forbids (Figs. 2/5), then allows; length breaks ties.
+struct LiftCandidate {
+  spec::Statement statement;
+  std::vector<smt::Expr> compiled;
+  std::string rendered;
+  int priority = 2;
+};
+
+/// The deterministic front half of a lift over one question: the closed
+/// st.* definitions and the generated + sorted candidate statements.
+/// Built once per question (inline on the fresh path; replayed into the
+/// frozen arena by ArenaRegistry so every warm lift reuses it and the
+/// compiled expressions carry stable arena ids).
+struct LiftPrefix {
+  std::unordered_map<std::string, smt::Expr> closed;
+  std::vector<LiftCandidate> candidates;
+};
+
+/// A pool-independent snapshot of one compiled candidate residual.
+/// Frozen nodes (id < the arena's NumNodes()) appear as references;
+/// overlay structure is copied instruction by instruction in child-first
+/// order.
+struct FlatResidual {
+  struct Instr {
+    smt::Op op = smt::Op::kBoolConst;
+    smt::Sort sort = smt::Sort::kBool;
+    /// kBoolConst/kIntConst payload — or, when `ref`, the arena node id.
+    std::int64_t value = 0;
+    std::string name;  ///< kVar only
+    bool ref = false;  ///< true: reference to frozen node `value`
+    std::vector<std::uint32_t> args;  ///< indices of earlier instrs
+  };
+  std::vector<Instr> instrs;
+  std::vector<std::uint32_t> roots;  ///< one per residual constraint
+};
+
+/// Flattens `residual` into a pool-independent snapshot: nodes with
+/// id < frozen_limit become arena references, everything else is copied
+/// structurally.
+FlatResidual FlattenResidual(std::span<const smt::Expr> residual,
+                             std::size_t frozen_limit);
+
+/// Replays a snapshot into `pool` (an overlay of the arena the snapshot
+/// was taken against) through the ordinary constructors, so the rebuilt
+/// expressions are interned and canonically oriented for that pool.
+std::vector<smt::Expr> MaterializeResidual(smt::ExprPool& pool,
+                                           const FlatResidual& flat);
+
+struct CompileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+/// Thread-safe memo of compiled candidate residuals for one frozen
+/// question. Keyed by the candidate's compiled root ids — stable arena
+/// ids, so the key is identical across sessions, modes, threads, and
+/// repeated lifts of the scenario. First insert wins; all entries are
+/// immutable snapshots behind shared_ptr, so lookups can outlive the
+/// overlay that compiled them.
+class CompileCache {
+ public:
+  using Key = std::vector<std::uint64_t>;
+
+  /// The cache key of a candidate: its compiled constraints' arena ids.
+  /// Requires every compiled root to be a frozen node (the prefix was
+  /// built into the arena).
+  static Key KeyFor(const std::vector<smt::Expr>& compiled);
+
+  /// The cached snapshot, or nullptr.
+  std::shared_ptr<const FlatResidual> Lookup(const Key& key) const;
+
+  /// Inserts (first writer wins) and returns the entry that ended up in
+  /// the cache — callers continue with the returned snapshot so racing
+  /// inserters converge on one object.
+  std::shared_ptr<const FlatResidual> Insert(
+      const Key& key, std::shared_ptr<const FlatResidual> flat);
+
+  CompileCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+      for (std::uint64_t word : key) {
+        h ^= word;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const FlatResidual>, KeyHash>
+      entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace ns::explain

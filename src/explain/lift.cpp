@@ -1,8 +1,15 @@
 #include "explain/lift.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "smt/eval.hpp"
 #include "spec/matcher.hpp"
@@ -22,19 +29,21 @@ const char* LiftModeName(LiftMode mode) noexcept {
   return mode == LiftMode::kExact ? "exact" : "faithful";
 }
 
-namespace {
+LiftStats& LiftStats::operator+=(const LiftStats& other) noexcept {
+  threads = std::max(threads, other.threads);
+  portfolio = portfolio || other.portfolio;
+  strategies = std::max(strategies, other.strategies);
+  winner = std::max(winner, other.winner);
+  compile_cache_hits += other.compile_cache_hits;
+  compile_cache_misses += other.compile_cache_misses;
+  candidates_compiled += other.candidates_compiled;
+  strategies_cancelled += other.strategies_cancelled;
+  compile_ms += other.compile_ms;
+  assemble_ms += other.assemble_ms;
+  return *this;
+}
 
-/// A candidate statement with its compiled (pre-projection) constraints.
-/// Priority groups order the greedy pass so the output takes the paper's
-/// presentation forms: preferences (Fig. 4) first, then traffic-direction
-/// forbids for declared destinations (Fig. 4's drops), then announcement-
-/// direction forbids (Figs. 2/5), then allows; length breaks ties.
-struct RawCandidate {
-  spec::Statement statement;
-  std::vector<Expr> compiled;
-  std::string rendered;
-  int priority = 2;
-};
+namespace {
 
 /// Pulls "R2 to P2"-style scope out of the conventional map names.
 std::optional<std::string> PeerFromMapName(const std::string& router,
@@ -55,7 +64,347 @@ spec::PathPattern ConcretePattern(const std::vector<std::string>& nodes) {
   return pattern;
 }
 
+// ----------------------------------------------------- test-only stalls
+
+std::mutex g_delay_mu;
+std::unordered_map<int, int> g_strategy_delays;
+
+void MaybeStallForTest(int strategy) {
+  int ms = 0;
+  {
+    std::lock_guard lock(g_delay_mu);
+    const auto it = g_strategy_delays.find(strategy);
+    if (it == g_strategy_delays.end()) return;
+    ms = it->second;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// -------------------------------------------------- phase A: compilation
+
+/// Supplies candidate residuals (and their conjunction, the "meaning") in
+/// deterministic candidate order. Two modes:
+///
+///  - inline (fresh path, no compile cache): candidates compile directly
+///    into the main pool on demand — byte-for-byte the historical
+///    sequential pipeline, preserved so residuals stay pointer-identical
+///    for the solver-differential oracle.
+///  - cached (arena-seeded path): each candidate compiles in a fresh
+///    scratch overlay of the frozen arena, keyed through the question's
+///    CompileCache, optionally prefetched by a worker pool; the snapshot
+///    is materialized into the main pool on first use, strictly in
+///    candidate order. Pool state after materializing candidates 0..i is
+///    a deterministic function of (arena, candidates, i) — independent of
+///    worker count and scheduling — so downstream answers are
+///    byte-identical across {1, N} threads.
+class CompileStage {
+ public:
+  CompileStage(ExprPool& pool, const LiftPrefix& prefix, CompileCache* cache,
+               const SubspecOptions& options)
+      : pool_(pool),
+        prefix_(prefix),
+        cache_(cache),
+        options_(options),
+        n_(prefix.candidates.size()) {
+    residuals_.resize(n_);
+    meanings_.resize(n_);
+    if (cache_ != nullptr) flats_.resize(n_);
+  }
+
+  ~CompileStage() { Finish(); }
+  CompileStage(const CompileStage&) = delete;
+  CompileStage& operator=(const CompileStage&) = delete;
+
+  /// Spawns `threads` prefetch workers (cached mode only). Workers only
+  /// fill the flat-snapshot slots and the cache; the main thread alone
+  /// touches the main pool.
+  void StartWorkers(int threads) {
+    if (cache_ == nullptr || threads <= 1 || n_ == 0) return;
+    const std::size_t count =
+        std::min<std::size_t>(static_cast<std::size_t>(threads), n_);
+    workers_.reserve(count);
+    for (std::size_t w = 0; w < count; ++w) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Stops and joins the prefetch workers (idempotent). Must be called
+  /// before reading the counters.
+  void Finish() {
+    stop_.store(true, std::memory_order_relaxed);
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  /// Guarantees candidates [0, idx] are materialized (in order).
+  void EnsureThrough(std::size_t idx) {
+    if (next_ready_ > idx) return;
+    const auto start = std::chrono::steady_clock::now();
+    while (next_ready_ <= idx) Advance();
+    compile_ms_ += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  }
+
+  void EnsureAll() {
+    if (n_ > 0) EnsureThrough(n_ - 1);
+  }
+
+  const std::vector<Expr>& residual(std::size_t i) const {
+    return residuals_[i];
+  }
+  Expr meaning(std::size_t i) const { return *meanings_[i]; }
+
+  std::uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t compiled() const {
+    return compiled_.load(std::memory_order_relaxed);
+  }
+  double compile_ms() const { return compile_ms_; }
+
+ private:
+  /// Materializes the next candidate (main thread only).
+  void Advance() {
+    const std::size_t j = next_ready_;
+    if (cache_ == nullptr) {
+      CompileInline(j);
+      ++next_ready_;
+      return;
+    }
+    std::shared_ptr<const FlatResidual> flat;
+    if (workers_.empty()) {
+      flat = CompileFlat(j);
+    } else {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock,
+               [&] { return flats_[j] != nullptr || failure_ != nullptr; });
+      if (failure_ != nullptr) std::rethrow_exception(failure_);
+      flat = flats_[j];
+    }
+    residuals_[j] = MaterializeResidual(pool_, *flat);
+    meanings_[j] =
+        residuals_[j].empty() ? pool_.True() : pool_.And(residuals_[j]);
+    ++next_ready_;
+  }
+
+  /// Fresh-path compile, directly into the main pool — the historical
+  /// per-candidate pipeline: substitute through the closed definitions,
+  /// then simplify to the residual.
+  void CompileInline(std::size_t j) {
+    const LiftCandidate& candidate = prefix_.candidates[j];
+    std::vector<Expr> substituted;
+    substituted.reserve(candidate.compiled.size());
+    for (Expr c : candidate.compiled) {
+      substituted.push_back(smt::Substitute(pool_, c, prefix_.closed));
+    }
+    simplify::EngineOptions engine_options;
+    engine_options.shared_fixpoints = options_.shared_fixpoints;
+    simplify::Engine engine(pool_, engine_options);
+    residuals_[j] = engine.SimplifyConstraints(std::move(substituted));
+    meanings_[j] =
+        residuals_[j].empty() ? pool_.True() : pool_.And(residuals_[j]);
+    compiled_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Cache-or-compile one candidate's snapshot. Every compile runs in a
+  /// fresh scratch overlay so the snapshot is a pure function of (arena,
+  /// candidate, closure) — identical no matter which worker produced it
+  /// or in which order.
+  std::shared_ptr<const FlatResidual> CompileFlat(std::size_t j) {
+    const CompileCache::Key key =
+        CompileCache::KeyFor(prefix_.candidates[j].compiled);
+    if (auto flat = cache_->Lookup(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return flat;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    compiled_.fetch_add(1, std::memory_order_relaxed);
+    smt::ExprPool scratch(pool_.arena());
+    const LiftCandidate& candidate = prefix_.candidates[j];
+    std::vector<Expr> substituted;
+    substituted.reserve(candidate.compiled.size());
+    for (Expr c : candidate.compiled) {
+      substituted.push_back(smt::Substitute(scratch, c, prefix_.closed));
+    }
+    simplify::EngineOptions engine_options;
+    engine_options.shared_fixpoints = options_.shared_fixpoints;
+    simplify::Engine engine(scratch, engine_options);
+    const std::vector<Expr> residual =
+        engine.SimplifyConstraints(std::move(substituted));
+    auto flat = std::make_shared<FlatResidual>(
+        FlattenResidual(residual, pool_.arena()->NumNodes()));
+    return cache_->Insert(key, std::move(flat));
+  }
+
+  void WorkerLoop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const std::size_t j = next_claim_.fetch_add(1, std::memory_order_relaxed);
+      if (j >= n_) return;
+      try {
+        auto flat = CompileFlat(j);
+        {
+          std::lock_guard lock(mu_);
+          flats_[j] = std::move(flat);
+        }
+      } catch (...) {
+        std::lock_guard lock(mu_);
+        if (failure_ == nullptr) failure_ = std::current_exception();
+      }
+      cv_.notify_all();
+    }
+  }
+
+  ExprPool& pool_;
+  const LiftPrefix& prefix_;
+  CompileCache* cache_;  // null => inline mode
+  const SubspecOptions& options_;
+  const std::size_t n_;
+
+  // Main-thread state.
+  std::vector<std::vector<Expr>> residuals_;
+  std::vector<std::optional<Expr>> meanings_;
+  std::size_t next_ready_ = 0;
+  double compile_ms_ = 0;
+
+  // Worker machinery (cached mode).
+  std::vector<std::shared_ptr<const FlatResidual>> flats_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::exception_ptr failure_;
+  std::atomic<std::size_t> next_claim_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> compiled_{0};
+};
+
+// --------------------------------------------- phase B: greedy assembly
+
+struct AssemblyOutcome {
+  bool complete = false;
+  int candidates_tried = 0;
+  std::vector<std::size_t> used;  ///< candidate indices, post-prune
+  smt::SolverStats solver_stats;
+  bool finished = false;  ///< ran to the end without being interrupted
+};
+
+/// One greedy assembly pass over the compiled candidates, in `order`.
+///
+/// Three sessions over one shared solver, one per reusable prefix:
+///   dt: domain ∧ target    — exactness / necessity queries
+///   da: domain ∧ accepted  — redundancy / completeness (grows with acc)
+///   d:  domain only        — sufficiency / pruning queries
+/// Each prefix is asserted (and, on the Z3 backends, translated) once;
+/// every candidate query then runs against the warm stack instead of
+/// replaying the conjunction from scratch. The sessions never create pool
+/// nodes, so the result is the same under every backend — and, since the
+/// acceptance criteria are per-candidate (order-independent given the
+/// accumulated set is re-checked), every uninterrupted strategy agrees on
+/// completeness (DESIGN.md §12).
+AssemblyOutcome RunAssembly(smt::Solver& solver, const Subspec& subspec,
+                            LiftMode mode, Expr target,
+                            const smt::Assignment& solved_values,
+                            const std::vector<std::size_t>& order,
+                            CompileStage& stage, bool demand_materialize) {
+  const auto dt = solver.NewSession();
+  const auto da = solver.NewSession();
+  const auto d = solver.NewSession();
+  for (Expr c : subspec.domains) {
+    dt->Assert(c);
+    da->Assert(c);
+    d->Assert(c);
+  }
+  for (Expr c : subspec.constraints) dt->Assert(c);
+
+  AssemblyOutcome out;
+  for (const std::size_t idx : order) {
+    if (solver.interrupted()) {
+      out.solver_stats = solver.stats();
+      return out;  // cancelled: the outcome is discarded
+    }
+    ++out.candidates_tried;
+    if (demand_materialize) stage.EnsureThrough(idx);
+    const Expr meaning = stage.meaning(idx);
+    if (meaning.IsTrue()) continue;   // vacuous here
+    if (meaning.IsFalse()) continue;  // unenforceable by these fields
+
+    // Soundness per mode.
+    if (mode == LiftMode::kExact) {
+      if (!dt->Implies(meaning)) continue;
+    } else {
+      // Faithful: the statement must describe the solved configuration...
+      const auto holds = smt::Eval(meaning, solved_values);
+      if (!holds.ok() || holds.value() == 0) continue;
+      // ...and be on-topic: either sufficient for the subspec by itself
+      // (possibly stronger than necessary — Fig. 2's "drop ALL routes"),
+      // or a consequence of it (a necessary fragment).
+      const std::span<const Expr> meaning_span(&meaning, 1);
+      const bool sufficient = d->Implies(meaning_span, target);
+      const bool necessary = dt->Implies(meaning);
+      if (!sufficient && !necessary) continue;
+    }
+
+    // Skip statements already implied by what we have. The accumulated
+    // conjunction lives on the `da` stack: accepting a statement asserts
+    // it once instead of rebuilding (and re-asserting) the conjunction
+    // for every candidate tried after it.
+    if (da->Implies(meaning)) continue;
+
+    da->Assert(meaning);
+    out.used.push_back(idx);
+
+    if (da->Implies(target)) {
+      out.complete = true;
+      break;
+    }
+  }
+
+  if (!out.complete) {
+    out.complete = da->Implies(target);
+  }
+
+  // Prune redundant statements (longest first) while completeness holds.
+  // The rest-of-set conjunction is passed as flattened query-local
+  // conjuncts over the domain-only prefix — no pool nodes are built.
+  if (out.complete && out.used.size() > 1) {
+    for (std::size_t i = out.used.size(); i-- > 0;) {
+      std::vector<Expr> rest;
+      for (std::size_t j = 0; j < out.used.size(); ++j) {
+        if (j == i) continue;
+        const auto& residual = stage.residual(out.used[j]);
+        rest.insert(rest.end(), residual.begin(), residual.end());
+      }
+      if (d->Implies(rest, target)) {
+        out.used.erase(out.used.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+
+  out.solver_stats = solver.stats();
+  out.finished = !solver.interrupted();
+  return out;
+}
+
 }  // namespace
+
+namespace lift_testing {
+
+void SetStrategyDelayForTest(int index, int ms) {
+  std::lock_guard lock(g_delay_mu);
+  g_strategy_delays[index] = ms;
+}
+
+void ClearStrategyDelaysForTest() {
+  std::lock_guard lock(g_delay_mu);
+  g_strategy_delays.clear();
+}
+
+}  // namespace lift_testing
 
 std::string LiftResult::ToString() const {
   std::ostringstream os;
@@ -67,54 +416,27 @@ std::string LiftResult::ToString() const {
   return os.str();
 }
 
-Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
-                                const SubspecOptions& options) {
-  if (subspec.selection.complement) {
-    return Error(ErrorCode::kUnsupported,
-                 "lifting a rest-of-network summary is not supported: its "
-                 "scope spans several components (present the low-level "
-                 "constraints instead)");
-  }
+Result<LiftPrefix> BuildLiftPrefix(ExprPool& pool, const net::Topology& topo,
+                                   const spec::Spec& spec,
+                                   const config::NetworkConfig& solved,
+                                   const Subspec& subspec,
+                                   const SubspecOptions& options) {
   const std::string& scope_router = subspec.selection.router;
-
-  LiftResult result;
-  result.requirement.name = scope_router;
-  result.requirement.scope_router = scope_router;
-  if (subspec.selection.route_map) {
-    result.requirement.scope_peer =
-        PeerFromMapName(scope_router, *subspec.selection.route_map);
-  }
-
-  if (subspec.IsUnsatisfiable()) {
-    // Nothing the component can do satisfies the projected spec; there is
-    // no statement set to lift.
-    result.complete = false;
-    return result;
-  }
-
-  if (subspec.IsEmpty()) {
-    // "Can do anything" (paper scenario 3): the empty statement set is the
-    // complete answer in both modes. Without this exit the faithful-mode
-    // search would decorate the answer with statements the configuration
-    // happens to satisfy but the specification never demanded.
-    result.complete = true;
-    return result;
-  }
 
   // Re-derive the protocol-mechanics encoding for the same partially
   // symbolic configuration (same pool => identical variables).
-  config::NetworkConfig partial = solved_;
+  config::NetworkConfig partial = solved;
   if (auto holes = Symbolize(partial, subspec.selection); !holes) {
     return holes.error();
   }
-  auto destinations = synth::BuildDestinations(topo_, partial, spec_);
+  auto destinations = synth::BuildDestinations(topo, partial, spec);
   if (!destinations) return destinations.error();
   synth::EnsureOriginated(partial, destinations.value());
 
   synth::EncoderOptions encoder_options = options.encoder;
   encoder_options.skip_requirements = true;
   encoder_options.only_requirements.clear();
-  auto encoded = synth::Encode(pool_, topo_, partial, spec_, encoder_options);
+  auto encoded = synth::Encode(pool, topo, partial, spec, encoder_options);
   if (!encoded) return encoded.error();
   const synth::Encoding& encoding = encoded.value();
 
@@ -127,44 +449,47 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
     if (!is_domain) definitions.push_back(c);
   }
 
+  LiftPrefix prefix;
+
   // One-time closure of the state-variable definitions: each candidate
   // statement is then projected by a single substitution + simplification
   // instead of a fresh run over the whole seed.
-  const std::unordered_map<std::string, Expr> closed =
-      CloseAuxDefinitions(pool_, definitions, options.shared_fixpoints);
+  prefix.closed =
+      CloseAuxDefinitions(pool, definitions, options.shared_fixpoints);
 
   // ------------------------------------------------ candidate statements
 
-  const auto dest_of = [&](const synth::Candidate& c) -> const synth::Destination& {
+  const auto dest_of =
+      [&](const synth::Candidate& c) -> const synth::Destination& {
     return encoding.destinations[static_cast<std::size_t>(c.dest_index)];
   };
 
   const auto compile_forbid = [&](const spec::PathPattern& pattern) {
     std::vector<Expr> compiled;
     for (const synth::Candidate& candidate : encoding.candidates) {
-      if (!synth::PatternHitsCandidate(spec_, pattern, candidate,
+      if (!synth::PatternHitsCandidate(spec, pattern, candidate,
                                        dest_of(candidate))) {
         continue;
       }
       compiled.push_back(
-          pool_.Not(encoding.alive_vars.at(candidate.Label(dest_of(candidate)))));
+          pool.Not(encoding.alive_vars.at(candidate.Label(dest_of(candidate)))));
     }
     return compiled;
   };
 
-  std::vector<RawCandidate> pool_candidates;
+  std::vector<LiftCandidate>& pool_candidates = prefix.candidates;
   const auto add_forbid = [&](spec::PathPattern pattern, int priority) {
     auto compiled = compile_forbid(pattern);
     if (compiled.empty()) return;  // pattern matches nothing: vacuous
     spec::Statement stmt{spec::ForbidStmt{std::move(pattern)}};
     std::string rendered = spec::ToString(stmt);
-    pool_candidates.push_back(RawCandidate{std::move(stmt), std::move(compiled),
-                                           std::move(rendered), priority});
+    pool_candidates.push_back(LiftCandidate{std::move(stmt), std::move(compiled),
+                                            std::move(rendered), priority});
   };
   const auto add_allow = [&](spec::PathPattern pattern) {
     std::vector<Expr> alive_options;
     for (const synth::Candidate& candidate : encoding.candidates) {
-      if (synth::PatternHitsCandidate(spec_, pattern, candidate,
+      if (synth::PatternHitsCandidate(spec, pattern, candidate,
                                       dest_of(candidate))) {
         alive_options.push_back(
             encoding.alive_vars.at(candidate.Label(dest_of(candidate))));
@@ -173,18 +498,18 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
     if (alive_options.empty()) return;
     spec::Statement stmt{spec::AllowStmt{std::move(pattern)}};
     std::string rendered = spec::ToString(stmt);
-    pool_candidates.push_back(RawCandidate{std::move(stmt),
-                                           {pool_.Or(alive_options)},
-                                           std::move(rendered), 3});
+    pool_candidates.push_back(LiftCandidate{std::move(stmt),
+                                            {pool.Or(alive_options)},
+                                            std::move(rendered), 3});
   };
 
   // (a) Deny-everything across one adjacency: !(R->N) and !(N->R).
-  const net::RouterId scope_id = topo_.FindRouter(scope_router);
+  const net::RouterId scope_id = topo.FindRouter(scope_router);
   if (scope_id == net::kInvalidRouter) {
     return Error(ErrorCode::kNotFound, "unknown router " + scope_router);
   }
-  for (const net::RouterId neighbor : topo_.Neighbors(scope_id)) {
-    const std::string& peer = topo_.NameOf(neighbor);
+  for (const net::RouterId neighbor : topo.Neighbors(scope_id)) {
+    const std::string& peer = topo.NameOf(neighbor);
     add_forbid(ConcretePattern({scope_router, peer}), 2);
     add_forbid(ConcretePattern({peer, scope_router}), 2);
   }
@@ -216,7 +541,7 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
 
   // (c) Local preferences: global `>>` statements truncated at the scope
   // router (Fig. 4's `preference { (R3->...) >> (R3->...) }`).
-  for (const spec::Requirement& req : spec_.requirements) {
+  for (const spec::Requirement& req : spec.requirements) {
     if (req.IsLocalized()) continue;
     for (const spec::Statement& stmt : req.statements) {
       const auto* prefer = std::get_if<spec::PreferStmt>(&stmt);
@@ -281,18 +606,18 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
               const Expr med_b = encoding.med_vars.at(lb);
               const Expr len_a = encoding.len_vars.at(la);
               const Expr len_b = encoding.len_vars.at(lb);
-              const Expr lex = pool_.Bool(a->via < b->via);
-              const Expr med_tie = pool_.Or(
-                  {pool_.Lt(med_a, med_b),
-                   pool_.And({pool_.Eq(med_a, med_b), lex})});
-              const Expr len_tie = pool_.Or(
-                  {pool_.Lt(len_a, len_b),
-                   pool_.And({pool_.Eq(len_a, len_b), med_tie})});
+              const Expr lex = pool.Bool(a->via < b->via);
+              const Expr med_tie = pool.Or(
+                  {pool.Lt(med_a, med_b),
+                   pool.And({pool.Eq(med_a, med_b), lex})});
+              const Expr len_tie = pool.Or(
+                  {pool.Lt(len_a, len_b),
+                   pool.And({pool.Eq(len_a, len_b), med_tie})});
               const Expr better =
-                  pool_.Or({pool_.Gt(lp_a, lp_b),
-                            pool_.And({pool_.Eq(lp_a, lp_b), len_tie})});
+                  pool.Or({pool.Gt(lp_a, lp_b),
+                           pool.And({pool.Eq(lp_a, lp_b), len_tie})});
               compiled.push_back(
-                  pool_.Implies(pool_.And({alive_a, alive_b}), better));
+                  pool.Implies(pool.And({alive_a, alive_b}), better));
             }
           }
         }
@@ -300,43 +625,84 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
       if (compiled.empty()) continue;
       spec::Statement local_stmt{std::move(local)};
       std::string rendered = spec::ToString(local_stmt);
-      pool_candidates.push_back(RawCandidate{std::move(local_stmt),
-                                             std::move(compiled),
-                                             std::move(rendered), 0});
+      pool_candidates.push_back(LiftCandidate{std::move(local_stmt),
+                                              std::move(compiled),
+                                              std::move(rendered), 0});
     }
   }
 
   // Priority groups first, shortest statements within a group ("!(R1->P1)"
   // before an enumeration of paths).
   std::stable_sort(pool_candidates.begin(), pool_candidates.end(),
-                   [](const RawCandidate& a, const RawCandidate& b) {
+                   [](const LiftCandidate& a, const LiftCandidate& b) {
                      if (a.priority != b.priority) {
                        return a.priority < b.priority;
                      }
                      return a.rendered.size() < b.rendered.size();
                    });
 
-  // --------------------------------------------------- greedy assembly
-  //
-  // Three sessions over one shared solver, one per reusable prefix:
-  //   dt: domain ∧ target    — exactness / necessity queries
-  //   da: domain ∧ accepted  — redundancy / completeness (grows with acc)
-  //   d:  domain only        — sufficiency / pruning queries
-  // Each prefix is asserted (and, on the Z3 backends, translated) once;
-  // every candidate query then runs against the warm stack instead of
-  // replaying the conjunction from scratch. The sessions never create
-  // pool nodes, so the projection pipeline below sees the exact same pool
-  // state — and produces byte-identical residuals — under every backend.
-  smt::Solver solver(options.solver);
-  const auto dt = solver.NewSession();
-  const auto da = solver.NewSession();
-  const auto d = solver.NewSession();
-  for (Expr c : subspec.domains) {
-    dt->Assert(c);
-    da->Assert(c);
-    d->Assert(c);
+  return prefix;
+}
+
+Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
+                                const SubspecOptions& options) {
+  if (subspec.selection.complement) {
+    return Error(ErrorCode::kUnsupported,
+                 "lifting a rest-of-network summary is not supported: its "
+                 "scope spans several components (present the low-level "
+                 "constraints instead)");
   }
-  for (Expr c : subspec.constraints) dt->Assert(c);
+  const std::string& scope_router = subspec.selection.router;
+
+  LiftResult result;
+  result.requirement.name = scope_router;
+  result.requirement.scope_router = scope_router;
+  if (subspec.selection.route_map) {
+    result.requirement.scope_peer =
+        PeerFromMapName(scope_router, *subspec.selection.route_map);
+  }
+
+  if (subspec.IsUnsatisfiable()) {
+    // Nothing the component can do satisfies the projected spec; there is
+    // no statement set to lift.
+    result.complete = false;
+    return result;
+  }
+
+  if (subspec.IsEmpty()) {
+    // "Can do anything" (paper scenario 3): the empty statement set is the
+    // complete answer in both modes. Without this exit the faithful-mode
+    // search would decorate the answer with statements the configuration
+    // happens to satisfy but the specification never demanded.
+    result.complete = true;
+    return result;
+  }
+
+  // ------------------------------------------- phase A: compile stage
+
+  // The deterministic prefix: supplied frozen (arena-seeded path) or
+  // built inline into the pool (fresh path — same creation sequence).
+  const LiftPrefix* prefix = context_.prefix;
+  LiftPrefix local_prefix;
+  if (prefix == nullptr) {
+    auto built = BuildLiftPrefix(pool_, topo_, spec_, solved_, subspec,
+                                 options);
+    if (!built) return built.error();
+    local_prefix = std::move(built.value());
+    prefix = &local_prefix;
+  }
+
+  // The memoized scratch-compile route needs every prefix expression at a
+  // stable arena id; otherwise candidates compile inline.
+  const bool cached = context_.cache != nullptr && context_.prefix != nullptr &&
+                      pool_.arena() != nullptr;
+  CompileStage stage(pool_, *prefix, cached ? context_.cache : nullptr,
+                     options);
+  const int threads = cached ? std::max(1, options.lift_threads) : 1;
+  result.stats.threads = threads;
+
+  // Target before any candidate compiles: node-creation order must match
+  // the sequential pipeline.
   const Expr target = subspec.constraints.empty()
                           ? pool_.True()
                           : pool_.And(subspec.constraints);
@@ -352,78 +718,119 @@ Result<LiftResult> Lifter::Lift(const Subspec& subspec, LiftMode mode,
     }
   }
 
-  for (const RawCandidate& candidate : pool_candidates) {
-    ++result.candidates_tried;
+  std::vector<std::size_t> canonical(prefix->candidates.size());
+  std::iota(canonical.begin(), canonical.end(), std::size_t{0});
 
-    // Project the candidate onto the explanation variables via the closed
-    // definitions.
-    std::vector<Expr> substituted;
-    substituted.reserve(candidate.compiled.size());
-    for (Expr c : candidate.compiled) {
-      substituted.push_back(smt::Substitute(pool_, c, closed));
+  if (threads > 1) stage.StartWorkers(threads);
+
+  // ------------------------------------------- phase B: greedy assembly
+
+  const auto phase_b_start = std::chrono::steady_clock::now();
+  AssemblyOutcome winner;
+  if (!options.lift_portfolio) {
+    smt::Solver solver(options.solver);
+    winner = RunAssembly(solver, subspec, mode, target, solved_values,
+                         canonical, stage, /*demand_materialize=*/true);
+    stage.Finish();
+  } else {
+    // Portfolio race. Materialize every candidate and settle the pool's
+    // lazy node caches first: the racing strategies read the pool
+    // concurrently and must never write. The canonical strategy's answer
+    // is the deterministic winner by construction — any complete
+    // strategy implies the canonical one is complete too (acceptance is
+    // order-independent; DESIGN.md §12) — so the others act as a live
+    // cross-check and are cancelled once it finishes.
+    stage.EnsureAll();
+    stage.Finish();
+    pool_.SettleCaches();
+
+    struct Strategy {
+      std::vector<std::size_t> order;
+      smt::SolverOptions solver;
+    };
+    std::vector<Strategy> strategies;
+    strategies.push_back({canonical, options.solver});
+    {
+      smt::SolverOptions alt = options.solver;
+      alt.backend = alt.backend == smt::SolverBackend::kIncrementalZ3
+                        ? smt::SolverBackend::kFastPath
+                        : smt::SolverBackend::kIncrementalZ3;
+      strategies.push_back({canonical, alt});
     }
-    simplify::EngineOptions engine_options;
-    engine_options.shared_fixpoints = options.shared_fixpoints;
-    simplify::Engine engine(pool_, engine_options);
-    std::vector<Expr> residual =
-        engine.SimplifyConstraints(std::move(substituted));
-    const Expr meaning = residual.empty() ? pool_.True() : pool_.And(residual);
-    if (meaning.IsTrue()) continue;  // vacuous here
-    if (meaning.IsFalse()) continue;  // unenforceable by these fields
-
-    // Soundness per mode.
-    if (mode == LiftMode::kExact) {
-      if (!dt->Implies(meaning)) continue;
-    } else {
-      // Faithful: the statement must describe the solved configuration...
-      const auto holds = smt::Eval(meaning, solved_values);
-      if (!holds.ok() || holds.value() == 0) continue;
-      // ...and be on-topic: either sufficient for the subspec by itself
-      // (possibly stronger than necessary — Fig. 2's "drop ALL routes"),
-      // or a consequence of it (a necessary fragment).
-      const std::span<const Expr> meaning_span(&meaning, 1);
-      const bool sufficient = d->Implies(meaning_span, target);
-      const bool necessary = dt->Implies(meaning);
-      if (!sufficient && !necessary) continue;
+    strategies.push_back(
+        {{canonical.rbegin(), canonical.rend()}, options.solver});
+    {
+      std::vector<std::size_t> by_size = canonical;
+      std::stable_sort(by_size.begin(), by_size.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return prefix->candidates[a].rendered.size() <
+                                prefix->candidates[b].rendered.size();
+                       });
+      strategies.push_back({std::move(by_size), options.solver});
     }
 
-    // Skip statements already implied by what we have. The accumulated
-    // conjunction lives on the `da` stack: accepting a statement asserts
-    // it once instead of rebuilding (and re-asserting) the conjunction
-    // for every candidate tried after it.
-    if (da->Implies(meaning)) continue;
-
-    da->Assert(meaning);
-    result.used.push_back(LiftedStatement{candidate.statement, residual});
-
-    if (da->Implies(target)) {
-      result.complete = true;
-      break;
+    const std::size_t num = strategies.size();
+    std::vector<std::unique_ptr<smt::Solver>> solvers;
+    solvers.reserve(num);
+    for (const Strategy& strategy : strategies) {
+      solvers.push_back(std::make_unique<smt::Solver>(strategy.solver));
     }
-  }
+    std::vector<AssemblyOutcome> outcomes(num);
+    std::vector<std::thread> racers;
+    racers.reserve(num - 1);
+    for (std::size_t s = 1; s < num; ++s) {
+      racers.emplace_back([&, s] {
+        MaybeStallForTest(static_cast<int>(s));
+        outcomes[s] =
+            RunAssembly(*solvers[s], subspec, mode, target, solved_values,
+                        strategies[s].order, stage,
+                        /*demand_materialize=*/false);
+      });
+    }
+    MaybeStallForTest(0);
+    outcomes[0] =
+        RunAssembly(*solvers[0], subspec, mode, target, solved_values,
+                    strategies[0].order, stage, /*demand_materialize=*/false);
+    // The canonical strategy finished: the race is decided; stop the
+    // stragglers cooperatively.
+    for (std::size_t s = 1; s < num; ++s) solvers[s]->Interrupt();
+    for (std::thread& racer : racers) racer.join();
 
-  if (!result.complete) {
-    result.complete = da->Implies(target);
-  }
-
-  // Prune redundant statements (longest first) while completeness holds.
-  // The rest-of-set conjunction is passed as flattened query-local
-  // conjuncts over the domain-only prefix — no pool nodes are built.
-  if (result.complete && result.used.size() > 1) {
-    for (std::size_t i = result.used.size(); i-- > 0;) {
-      std::vector<Expr> rest;
-      for (std::size_t j = 0; j < result.used.size(); ++j) {
-        if (j == i) continue;
-        const auto& residual = result.used[j].residual;
-        rest.insert(rest.end(), residual.begin(), residual.end());
+    for (std::size_t s = 1; s < num; ++s) {
+      if (!outcomes[s].finished) {
+        ++result.stats.strategies_cancelled;
+        continue;
       }
-      if (d->Implies(rest, target)) {
-        result.used.erase(result.used.begin() + static_cast<std::ptrdiff_t>(i));
+      if (outcomes[s].complete != outcomes[0].complete) {
+        NS_WARN << "portfolio lift strategy " << s
+                << " disagrees on completeness with the canonical pass ("
+                << outcomes[s].complete << " vs " << outcomes[0].complete
+                << ") — order-independence violated";
       }
     }
+    result.stats.portfolio = true;
+    result.stats.strategies = static_cast<int>(num);
+    winner = std::move(outcomes[0]);
   }
 
-  result.solver_stats = solver.stats();
+  const double phase_b_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() -
+                                phase_b_start)
+                                .count();
+
+  result.complete = winner.complete;
+  result.candidates_tried = winner.candidates_tried;
+  result.solver_stats = winner.solver_stats;
+  result.used.reserve(winner.used.size());
+  for (const std::size_t idx : winner.used) {
+    result.used.push_back(LiftedStatement{prefix->candidates[idx].statement,
+                                          stage.residual(idx)});
+  }
+  result.stats.compile_cache_hits = stage.cache_hits();
+  result.stats.compile_cache_misses = stage.cache_misses();
+  result.stats.candidates_compiled = stage.compiled();
+  result.stats.compile_ms = stage.compile_ms();
+  result.stats.assemble_ms = std::max(0.0, phase_b_ms - stage.compile_ms());
 
   // Assemble the requirement: preferences first (Fig. 4 layout).
   for (const LiftedStatement& lifted : result.used) {

@@ -15,11 +15,20 @@
 //                satisfies every lifted statement (describes what the
 //                config actually guarantees; paper Fig. 2's
 //                "drop ALL routes to Provider1")
+//
+// Since PR 9 the search is an explicit two-phase pipeline (DESIGN.md §12):
+// phase A compiles candidate residuals — in parallel scratch overlays
+// through the question's CompileCache when an arena-seeded LiftContext is
+// supplied, inline into the pool otherwise — and phase B assembles the
+// statement set greedily, optionally racing a portfolio of strategies.
+// Answers are byte-identical across thread counts, strategies and solver
+// backends.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "explain/compile_cache.hpp"
 #include "explain/subspec.hpp"
 #include "spec/ast.hpp"
 
@@ -35,6 +44,30 @@ struct LiftedStatement {
   std::vector<smt::Expr> residual;
 };
 
+/// Counters for the two-phase lift pipeline (DESIGN.md §12). The
+/// configuration fields (threads, portfolio, strategies, winner) are
+/// deterministic. The compile-cache and cancellation counters depend on
+/// scheduling once prefetch workers or the portfolio are on (workers may
+/// compile past the greedy break point; cancellation lands wherever the
+/// race stood), so — like ArenaRegistryStats — they are reported but
+/// excluded from determinism comparisons.
+struct LiftStats {
+  int threads = 1;         ///< compile workers used by phase A
+  bool portfolio = false;  ///< phase B raced the strategy portfolio
+  int strategies = 1;      ///< assembly strategies run (1 = plain greedy)
+  int winner = 0;  ///< answering strategy — always 0, the canonical one
+  std::uint64_t compile_cache_hits = 0;
+  std::uint64_t compile_cache_misses = 0;
+  std::uint64_t candidates_compiled = 0;   ///< residuals compiled this lift
+  std::uint64_t strategies_cancelled = 0;  ///< losers interrupted mid-run
+  double compile_ms = 0;   ///< phase A wall on the answering path
+  double assemble_ms = 0;  ///< phase B wall (greedy assembly + prune)
+
+  /// Aggregation across answers (batch --stats, serve): counters sum,
+  /// configuration fields take the maximum seen.
+  LiftStats& operator+=(const LiftStats& other) noexcept;
+};
+
 struct LiftResult {
   /// The localized subspecification in the DSL (paper Figs. 2/4/5).
   spec::Requirement requirement;
@@ -47,18 +80,53 @@ struct LiftResult {
   std::vector<LiftedStatement> used;
   int candidates_tried = 0;
   /// Per-query solver counters for this lift run (see SolverStats).
+  /// Under the portfolio these are the canonical strategy's alone.
   smt::SolverStats solver_stats;
+  /// Two-phase pipeline counters (see LiftStats).
+  LiftStats stats;
 
   std::string ToString() const;
+};
+
+/// Builds the deterministic front half of a lift over one explained
+/// question: re-derives the protocol-mechanics encoding, closes the st.*
+/// definition chain, and generates + sorts the candidate statements.
+/// ArenaRegistry replays this into the question's root pool before
+/// freezing, so warm lifts skip it entirely and every compiled candidate
+/// carries stable arena ids.
+util::Result<LiftPrefix> BuildLiftPrefix(smt::ExprPool& pool,
+                                         const net::Topology& topo,
+                                         const spec::Spec& spec,
+                                         const config::NetworkConfig& solved,
+                                         const Subspec& subspec,
+                                         const SubspecOptions& options);
+
+/// Frozen-prefix context for arena-seeded lifts: the question's replayed
+/// prefix and its residual memo, both owned by the FrozenQuestion and
+/// shared across every lift of the question. When absent, the lifter
+/// builds the prefix inline and compiles candidates directly into the
+/// pool (the fresh path — byte-for-byte the historical sequential
+/// pipeline).
+struct LiftContext {
+  const LiftPrefix* prefix = nullptr;
+  CompileCache* cache = nullptr;
 };
 
 class Lifter {
  public:
   /// `pool` must be the pool the subspec's expressions live in — i.e. the
-  /// Explainer's pool (Explainer::pool()).
+  /// Explainer's pool (Explainer::pool()), or the overlay pool of the
+  /// question's arena. `context` (optional) enables the memoized parallel
+  /// compile stage; its prefix/cache must belong to the arena `pool`
+  /// overlays.
   Lifter(smt::ExprPool& pool, const net::Topology& topo,
-         const spec::Spec& spec, const config::NetworkConfig& solved)
-      : pool_(pool), topo_(topo), spec_(spec), solved_(solved) {}
+         const spec::Spec& spec, const config::NetworkConfig& solved,
+         LiftContext context = {})
+      : pool_(pool),
+        topo_(topo),
+        spec_(spec),
+        solved_(solved),
+        context_(context) {}
 
   /// Lifts `subspec` (produced by Explainer::Explain with `options` —
   /// pass the same options so the projection matches).
@@ -70,6 +138,17 @@ class Lifter {
   const net::Topology& topo_;
   const spec::Spec& spec_;
   const config::NetworkConfig& solved_;
+  LiftContext context_;
 };
+
+namespace lift_testing {
+
+/// Test-only: stalls the start of portfolio strategy `index` by `ms`
+/// milliseconds on subsequent lifts, to pin that the answer does not
+/// depend on which strategy finishes first.
+void SetStrategyDelayForTest(int index, int ms);
+void ClearStrategyDelaysForTest();
+
+}  // namespace lift_testing
 
 }  // namespace ns::explain

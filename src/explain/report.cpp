@@ -15,7 +15,8 @@ std::string ExplainStats::ToString() const {
   std::ostringstream os;
   os << "solver: backend=" << smt::SolverBackendName(backend)
      << " queries=" << lift.queries << " fast_path=" << lift.fast_path_hits
-     << "/" << lift.fast_path_fallbacks << " memo=" << lift.memo_hits
+     << "/" << lift.fast_path_fallbacks << "/" << lift.fast_path_ineligible
+     << " memo=" << lift.memo_hits
      << " z3=" << lift.z3_queries << " frame_reuse=" << lift.frame_reuse
      << " asserts=" << lift.assertions << " wall_ms=" << std::fixed
      << std::setprecision(2) << lift.wall_ms;
@@ -23,6 +24,18 @@ std::string ExplainStats::ToString() const {
     os << "\narena: frozen_nodes=" << arena.frozen_nodes
        << " frozen_symbols=" << arena.frozen_symbols
        << " overlay_nodes=" << arena.overlay_nodes;
+  }
+  if (pipeline.threads > 1 || pipeline.portfolio ||
+      pipeline.compile_cache_hits + pipeline.compile_cache_misses > 0) {
+    os << "\nlift: threads=" << pipeline.threads
+       << " portfolio=" << (pipeline.portfolio ? "on" : "off")
+       << " strategies=" << pipeline.strategies
+       << " cancelled=" << pipeline.strategies_cancelled
+       << " compile_cache=" << pipeline.compile_cache_hits << "/"
+       << pipeline.compile_cache_misses
+       << " compiled=" << pipeline.candidates_compiled
+       << " compile_ms=" << std::fixed << std::setprecision(2)
+       << pipeline.compile_ms << " assemble_ms=" << pipeline.assemble_ms;
   }
   return os.str();
 }
@@ -157,11 +170,19 @@ Result<Explanation> Session::AskViaArena(
     options.requirements = explanation.requirements;
     options.solver = solver;
     options.shared_fixpoints = frozen.fixpoints.get();
-    Lifter lifter(*overlay, topo_, spec_, explainer_.solved());
+    options.lift_threads = lift_threads_;
+    options.lift_portfolio = lift_portfolio_;
+    LiftContext context;
+    if (frozen.lift_prefix.has_value()) {
+      context.prefix = &*frozen.lift_prefix;
+      context.cache = frozen.compile_cache.get();
+    }
+    Lifter lifter(*overlay, topo_, spec_, explainer_.solved(), context);
     auto lifted = lifter.Lift(explanation.subspec, mode, options);
     if (!lifted) return lifted.error();
     explanation.lifted = std::move(lifted).value();
     explanation.stats.lift = explanation.lifted.solver_stats;
+    explanation.stats.pipeline = explanation.lifted.stats;
   }
 
   explanation.stats.arena.overlay_nodes = overlay->NumOverlayNodes();
@@ -202,6 +223,8 @@ Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
     return explanation;
   }
 
+  options.lift_threads = lift_threads_;
+  options.lift_portfolio = lift_portfolio_;
   Lifter lifter(explainer_.pool(), topo_, spec_, explainer_.solved());
   auto lifted = lifter.Lift(subspec.value(), mode, options);
   if (!lifted) return lifted.error();
@@ -209,6 +232,7 @@ Result<Explanation> Session::Ask(const Selection& selection, LiftMode mode,
   explanation.subspec = std::move(subspec).value();
   explanation.lifted = std::move(lifted).value();
   explanation.stats.lift = explanation.lifted.solver_stats;
+  explanation.stats.pipeline = explanation.lifted.stats;
   return explanation;
 }
 

@@ -37,9 +37,11 @@ struct ExplainStats {
   smt::SolverBackend backend = smt::SolverOptions{}.backend;
   smt::SolverStats lift;  ///< lift-search query counters
   ArenaAnswerStats arena;
+  LiftStats pipeline;  ///< two-phase lift pipeline counters (DESIGN.md §12)
 
-  /// One-line "solver: backend=... queries=..." summary; a second
-  /// "arena: ..." line is appended when the answer used a frozen arena.
+  /// One-line "solver: backend=... queries=..." summary; an "arena: ..."
+  /// line is appended when the answer used a frozen arena, and a
+  /// "lift: ..." line when the two-phase pipeline did any work.
   std::string ToString() const;
 };
 
@@ -85,6 +87,15 @@ class Session {
   /// registry must belong to this Session's scenario.
   void UseArenaRegistry(std::shared_ptr<ArenaRegistry> registry);
 
+  /// Configures the lift's two-phase pipeline (DESIGN.md §12) for
+  /// subsequent Asks: `threads` compile workers (effective only on the
+  /// arena-seeded path) and the portfolio race of assembly strategies.
+  /// Answers are byte-identical across every setting.
+  void SetLiftOptions(int threads, bool portfolio) {
+    lift_threads_ = threads;
+    lift_portfolio_ = portfolio;
+  }
+
   /// "If I want to make changes to <selection>, what should I keep in
   /// mind?" — optionally restricted to some requirements (scenario 3).
   util::Result<Explanation> Ask(const Selection& selection,
@@ -113,6 +124,8 @@ class Session {
   const spec::Spec& spec_;
   Explainer explainer_;
   std::shared_ptr<ArenaRegistry> registry_;
+  int lift_threads_ = 1;
+  bool lift_portfolio_ = false;
   /// Overlay pools backing arena-seeded answers. Retained so returned
   /// Explanations (which hold Exprs into their overlay) stay valid for
   /// the Session's lifetime — the same contract as the fresh pool.

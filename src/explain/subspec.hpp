@@ -48,6 +48,17 @@ struct SubspecOptions {
   /// the arena-seeded answer path so lift-time simplification skips
   /// re-traversing frozen subtrees other requests already settled.
   simplify::FixpointCache* shared_fixpoints = nullptr;
+  /// Worker threads for the lift's candidate-compile stage (DESIGN.md
+  /// §12). Only effective on the arena-seeded path, where candidates
+  /// compile in scratch overlay pools; >1 prefetches residuals in
+  /// parallel. Answers are byte-identical across thread counts.
+  int lift_threads = 1;
+  /// Race the portfolio of greedy-assembly strategies (candidate
+  /// orderings × solver backends) after compiling all candidates. The
+  /// canonical strategy's answer is always the one returned (deterministic
+  /// winner); the others serve as a live cross-check and are cancelled
+  /// cooperatively once it finishes.
+  bool lift_portfolio = false;
 };
 
 /// Size/effort measurements across the pipeline stages.

@@ -424,6 +424,10 @@ LineOutcome Server::StartExplain(const ExplainRequest& request) {
 
   auto job = std::make_shared<Job>();
   job->request = request.request;
+  // Server-wide lift pipeline settings; byte-identical answers, so the
+  // cache key above deliberately ignores them.
+  job->request.lift_threads = options_.lift_threads;
+  job->request.lift_portfolio = options_.lift_portfolio;
   job->scenario = scenario;
   job->cache_key = key;
   job->debug_sleep_ms = request.debug_sleep_ms;
@@ -522,6 +526,7 @@ void Server::WorkerLoop() {
       cache_.Insert(job->cache_key, result.value());
       std::lock_guard<std::mutex> lock(stats_mu_);
       counters_.solver += result.value().stats.lift;
+      counters_.lift += result.value().stats.pipeline;
     }
     std::function<void(const std::shared_ptr<Job>&)> on_done;
     {
@@ -610,6 +615,7 @@ Json Server::StatsResponse() const {
   solver.Set("assertions", stats.solver.assertions);
   solver.Set("fast_path_hits", stats.solver.fast_path_hits);
   solver.Set("fast_path_fallbacks", stats.solver.fast_path_fallbacks);
+  solver.Set("fast_path_ineligible", stats.solver.fast_path_ineligible);
   solver.Set("memo_hits", stats.solver.memo_hits);
   solver.Set("z3_queries", stats.solver.z3_queries);
   solver.Set("frame_reuse", stats.solver.frame_reuse);
@@ -626,7 +632,22 @@ Json Server::StatsResponse() const {
   arena.Set("memo_hits", stats.arena.memo_hits);
   arena.Set("memo_misses", stats.arena.memo_misses);
   arena.Set("memo_hit_rate", stats.arena.MemoHitRate());
+  arena.Set("compile_entries", stats.arena.compile_entries);
+  arena.Set("compile_hits", stats.arena.compile_hits);
+  arena.Set("compile_misses", stats.arena.compile_misses);
   response.Set("arena", std::move(arena));
+
+  Json lift = Json::MakeObject();
+  lift.Set("threads", stats.lift.threads);
+  lift.Set("portfolio", stats.lift.portfolio);
+  lift.Set("strategies", stats.lift.strategies);
+  lift.Set("strategies_cancelled", stats.lift.strategies_cancelled);
+  lift.Set("compile_cache_hits", stats.lift.compile_cache_hits);
+  lift.Set("compile_cache_misses", stats.lift.compile_cache_misses);
+  lift.Set("candidates_compiled", stats.lift.candidates_compiled);
+  lift.Set("compile_ms", stats.lift.compile_ms);
+  lift.Set("assemble_ms", stats.lift.assemble_ms);
+  response.Set("lift", std::move(lift));
 
   Json latency = Json::MakeObject();
   latency.Set("count", stats.latency_count);

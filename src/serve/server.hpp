@@ -80,6 +80,12 @@ struct ServerOptions {
   int reactors = 2;             ///< epoll reactor threads; <=0 = 2
   std::size_t max_queue = 256;  ///< admission bound; 0 = unbounded (no shed)
   std::size_t max_line_bytes = 64u << 20;  ///< request-line cap
+  /// Compile workers for each answer's lift phase A (DESIGN.md §12);
+  /// applied to every explain. Answers stay byte-identical, so cache keys
+  /// and responses are unaffected — only latency and the stats counters.
+  int lift_threads = 1;
+  /// Race the lift's phase-B strategy portfolio on every explain.
+  bool lift_portfolio = false;
 };
 
 /// Point-in-time service counters (the `stats` response carries the same
@@ -104,6 +110,8 @@ struct ServerStats {
   /// Solver-layer counters summed over every explain answer computed by
   /// the workers (cache hits recompute nothing, so they add nothing).
   smt::SolverStats solver;
+  /// Two-phase lift pipeline counters, summed the same way.
+  explain::LiftStats lift;
   /// Frozen-arena registry counters for the current scenario (each `load`
   /// starts a fresh registry, so these reset with the scenario).
   explain::ArenaRegistryStats arena;

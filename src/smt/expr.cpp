@@ -64,17 +64,22 @@ ExprPool::ExprPool(std::shared_ptr<const ExprArena> arena)
 
 ExprPool::~ExprPool() = default;
 
-std::shared_ptr<const ExprArena> ExprPool::Freeze() {
-  NS_ASSERT_MSG(arena_ == nullptr, "cannot freeze an overlay pool");
-  NS_ASSERT_MSG(!frozen_, "pool was already frozen");
-  // Settle the lazy caches while still single-threaded: node ids order
-  // children before parents, so one in-order pass computes each node's
-  // tree size and free-var set in O(children).
+void ExprPool::SettleCaches() const {
+  // Node ids order children before parents (frozen-tier children were
+  // settled at Freeze() time), so one in-order pass over the local tier
+  // computes each node's tree size and free-var set in O(children).
   for (const auto& node : nodes_) {
     const Expr e = Expr::FromRaw(node.get());
     e.TreeSize();
     e.FreeVarNodes();
   }
+}
+
+std::shared_ptr<const ExprArena> ExprPool::Freeze() {
+  NS_ASSERT_MSG(arena_ == nullptr, "cannot freeze an overlay pool");
+  NS_ASSERT_MSG(!frozen_, "pool was already frozen");
+  // Settle the lazy caches while still single-threaded.
+  SettleCaches();
   auto arena = std::shared_ptr<ExprArena>(new ExprArena());
   arena->nodes_ = std::move(nodes_);
   arena->interned_ = std::move(interned_);

@@ -232,6 +232,12 @@ class ExprArena {
   const Node* VarSlot(std::uint32_t symbol, Sort sort) const {
     return vars_by_symbol_[symbol][static_cast<std::size_t>(sort)];
   }
+  /// The frozen node with creation index `id`; requires id < NumNodes().
+  /// Node ids are dense, so this is how pool-independent snapshots (the
+  /// lift compile cache's flattened residuals) resolve frozen references.
+  const Node* NodeById(std::size_t id) const noexcept {
+    return nodes_[id].get();
+  }
 
  private:
   friend class ExprPool;
@@ -315,6 +321,20 @@ class ExprPool {
   const std::shared_ptr<const ExprArena>& arena() const noexcept {
     return arena_;
   }
+
+  /// The node with creation index `id` across both tiers (frozen arena
+  /// first, then local); requires id < NumNodes().
+  const Node* NodeById(std::size_t id) const noexcept {
+    if (id < base_nodes_) return arena_->NodeById(id);
+    return nodes_[id - base_nodes_].get();
+  }
+
+  /// Settles the lazy per-node caches (tree sizes, free-var sets) of the
+  /// local tier — the same in-order sweep Freeze() runs — so this pool's
+  /// nodes can be read from multiple threads afterwards, provided nothing
+  /// interns further nodes while those readers run. Used by the portfolio
+  /// lift driver before racing solver strategies over one overlay.
+  void SettleCaches() const;
 
   /// Freezes a root pool into an immutable, shareable arena. Moves the
   /// node store out: this pool must not be used afterwards. Settles every

@@ -1,9 +1,11 @@
 #include "smt/solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -38,6 +40,7 @@ SolverStats& SolverStats::operator+=(const SolverStats& other) noexcept {
   assertions += other.assertions;
   fast_path_hits += other.fast_path_hits;
   fast_path_fallbacks += other.fast_path_fallbacks;
+  fast_path_ineligible += other.fast_path_ineligible;
   memo_hits += other.memo_hits;
   z3_queries += other.z3_queries;
   frame_reuse += other.frame_reuse;
@@ -113,8 +116,10 @@ constexpr std::int8_t kU = -1;
 /// skipped without re-walking it.
 class BoolEngine {
  public:
-  BoolEngine(std::vector<Lit> lits, std::uint32_t max_decisions)
-      : lits_(std::move(lits)), max_decisions_(max_decisions) {
+  BoolEngine(std::vector<Lit> lits, std::uint32_t max_decisions,
+             const std::atomic<bool>* cancel)
+      : lits_(std::move(lits)), max_decisions_(max_decisions),
+        cancel_(cancel) {
     settled_.assign(lits_.size(), 0);
     seen_.assign(lits_.size(), 0);
   }
@@ -337,6 +342,11 @@ class BoolEngine {
   }
 
   Outcome Search() {
+    // Cooperative cancellation: an interrupted search is abandoned work,
+    // so kUnknown (never memoized by the caller) is the honest verdict.
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return Outcome::kUnknown;
+    }
     // Propagate to fixpoint: evaluate every live constraint, settle the
     // satisfied ones, force units from the undetermined ones.
     while (true) {
@@ -428,6 +438,7 @@ class BoolEngine {
   bool progress_ = false;
   std::uint32_t decisions_ = 0;
   std::uint32_t max_decisions_;
+  const std::atomic<bool>* cancel_;
 };
 
 }  // namespace
@@ -440,6 +451,15 @@ struct Solver::Impl {
   std::unordered_map<const Node*, bool> pure;
   std::unordered_map<std::vector<std::uint64_t>, Outcome, QueryKeyHash>
       bool_memo;
+  /// Satisfiability of the impure (integer-touching) slice of a session's
+  /// stack, keyed by its node ids. The lift sessions re-query against one
+  /// fixed impure prefix (the integer domain constraints), so this is one
+  /// Z3 check per session, not per query.
+  std::unordered_map<std::vector<std::uint64_t>, Outcome, QueryKeyHash>
+      impure_sat_memo;
+  /// Set by Solver::Interrupt() (possibly from another thread): queries
+  /// return conservative verdicts and the memo tables stop recording.
+  std::atomic<bool> interrupted{false};
 
   class FreshSession;
   class IncrementalSession;
@@ -615,11 +635,45 @@ struct Solver::Impl {
       return it->second;
     }
 
-    BoolEngine engine(std::move(lits), options.max_decisions);
+    BoolEngine engine(std::move(lits), options.max_decisions, &interrupted);
     const Outcome out = engine.Solve();
     // kUnknown is memoizable too: the budget is fixed per solver, so the
-    // search is deterministic.
-    bool_memo.emplace(std::move(key), out);
+    // search is deterministic. An interrupted search is not — its
+    // kUnknown reflects where the cancellation landed, so it must never
+    // reach the memo.
+    if (!interrupted.load(std::memory_order_relaxed)) {
+      bool_memo.emplace(std::move(key), out);
+    }
+    return out;
+  }
+
+  /// Satisfiability of the impure slice of a stack, memoized on its node
+  /// ids. One Z3 query per distinct slice.
+  Outcome ImpureSat(const std::vector<Expr>& impure) {
+    std::vector<std::uint64_t> key;
+    key.reserve(impure.size());
+    for (Expr e : impure) key.push_back(e.raw()->id);
+    const auto it = impure_sat_memo.find(key);
+    if (it != impure_sat_memo.end()) {
+      ++stats.memo_hits;
+      return it->second;
+    }
+    ++stats.z3_queries;
+    Outcome out = Outcome::kUnknown;
+    try {
+      z3::solver solver(ctx);
+      for (Expr e : impure) solver.add(Translate(e));
+      out = FromZ3(solver.check());
+    } catch (const z3::exception&) {
+      // Interrupt() cancels whatever Z3 call is in flight on this context;
+      // the abandoned session answers conservatively instead of throwing.
+      if (!interrupted.load(std::memory_order_relaxed)) throw;
+      return Outcome::kUnknown;
+    }
+    if (out != Outcome::kUnknown &&
+        !interrupted.load(std::memory_order_relaxed)) {
+      impure_sat_memo.emplace(std::move(key), out);
+    }
     return out;
   }
 };
@@ -642,24 +696,40 @@ class Solver::Impl::FreshSession final : public SolverSession {
   }
 
   Outcome CheckSat(std::span<const Expr> extra) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return Outcome::kUnknown;
+    }
     ScopedTimer timer(&impl_.stats.wall_ms);
     ++impl_.stats.queries;
     ++impl_.stats.z3_queries;
-    z3::solver solver(impl_.ctx);
-    for (Expr e : stack_) solver.add(impl_.Translate(e));
-    for (Expr e : extra) solver.add(impl_.Translate(e));
-    return FromZ3(solver.check());
+    try {
+      z3::solver solver(impl_.ctx);
+      for (Expr e : stack_) solver.add(impl_.Translate(e));
+      for (Expr e : extra) solver.add(impl_.Translate(e));
+      return FromZ3(solver.check());
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return Outcome::kUnknown;  // cancelled mid-call by Interrupt()
+    }
   }
 
   bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return false;  // conservative: "not implied"
+    }
     ScopedTimer timer(&impl_.stats.wall_ms);
     ++impl_.stats.queries;
     ++impl_.stats.z3_queries;
-    z3::solver solver(impl_.ctx);
-    for (Expr e : stack_) solver.add(impl_.Translate(e));
-    for (Expr e : antecedent) solver.add(impl_.Translate(e));
-    solver.add(!impl_.Translate(consequent));
-    return solver.check() == z3::unsat;
+    try {
+      z3::solver solver(impl_.ctx);
+      for (Expr e : stack_) solver.add(impl_.Translate(e));
+      for (Expr e : antecedent) solver.add(impl_.Translate(e));
+      solver.add(!impl_.Translate(consequent));
+      return solver.check() == z3::unsat;
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return false;  // conservative: "not implied"
+    }
   }
 
   Result<Assignment> Solve(std::span<const Expr> extra,
@@ -667,10 +737,15 @@ class Solver::Impl::FreshSession final : public SolverSession {
     ScopedTimer timer(&impl_.stats.wall_ms);
     ++impl_.stats.queries;
     ++impl_.stats.z3_queries;
-    z3::solver solver(impl_.ctx);
-    for (Expr e : stack_) solver.add(impl_.Translate(e));
-    for (Expr e : extra) solver.add(impl_.Translate(e));
-    return ExtractModel(impl_, solver, vars);
+    try {
+      z3::solver solver(impl_.ctx);
+      for (Expr e : stack_) solver.add(impl_.Translate(e));
+      for (Expr e : extra) solver.add(impl_.Translate(e));
+      return ExtractModel(impl_, solver, vars);
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return Error(ErrorCode::kInternal, "solver interrupted");
+    }
   }
 
   /// Shared model extraction; error behavior matches Z3Session::Solve.
@@ -715,43 +790,75 @@ class Solver::Impl::IncrementalSession final : public SolverSession {
   IncrementalSession(Impl& impl, bool secondary)
       : impl_(impl), solver_(impl.ctx), secondary_(secondary) {}
 
+  // Push/Pop/Assert swallow Z3 cancellation artifacts: Interrupt() makes
+  // the shared context throw from whatever call is in flight (e.g. "push
+  // canceled"), and an interrupted session is abandoned wholesale — its
+  // Z3 frame bookkeeping no longer needs to stay balanced.
   void Push() override {
     frames_.push_back(num_asserted_);
-    solver_.push();
+    try {
+      solver_.push();
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+    }
   }
   void Pop() override {
     num_asserted_ = frames_.back();
     frames_.pop_back();
-    solver_.pop();
+    try {
+      solver_.pop();
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+    }
   }
   void Assert(Expr e) override {
     if (!secondary_) ++impl_.stats.assertions;
     ++num_asserted_;
-    solver_.add(impl_.Translate(e));
+    try {
+      solver_.add(impl_.Translate(e));
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+    }
   }
 
   Outcome CheckSat(std::span<const Expr> extra) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return Outcome::kUnknown;
+    }
     ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
     Enter();
     ++impl_.stats.z3_queries;
-    if (extra.empty()) return FromZ3(solver_.check());
-    solver_.push();
-    for (Expr e : extra) solver_.add(impl_.Translate(e));
-    const Outcome out = FromZ3(solver_.check());
-    solver_.pop();
-    return out;
+    try {
+      if (extra.empty()) return FromZ3(solver_.check());
+      solver_.push();
+      for (Expr e : extra) solver_.add(impl_.Translate(e));
+      const Outcome out = FromZ3(solver_.check());
+      solver_.pop();
+      return out;
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return Outcome::kUnknown;
+    }
   }
 
   bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return false;  // conservative: "not implied"
+    }
     ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
     Enter();
     ++impl_.stats.z3_queries;
-    solver_.push();
-    for (Expr e : antecedent) solver_.add(impl_.Translate(e));
-    solver_.add(!impl_.Translate(consequent));
-    const bool implied = solver_.check() == z3::unsat;
-    solver_.pop();
-    return implied;
+    try {
+      solver_.push();
+      for (Expr e : antecedent) solver_.add(impl_.Translate(e));
+      solver_.add(!impl_.Translate(consequent));
+      const bool implied = solver_.check() == z3::unsat;
+      solver_.pop();
+      return implied;
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return false;  // conservative: "not implied"
+    }
   }
 
   Result<Assignment> Solve(std::span<const Expr> extra,
@@ -759,11 +866,16 @@ class Solver::Impl::IncrementalSession final : public SolverSession {
     ScopedTimer timer(secondary_ ? nullptr : &impl_.stats.wall_ms);
     Enter();
     ++impl_.stats.z3_queries;
-    solver_.push();
-    for (Expr e : extra) solver_.add(impl_.Translate(e));
-    auto result = FreshSession::ExtractModel(impl_, solver_, vars);
-    solver_.pop();
-    return result;
+    try {
+      solver_.push();
+      for (Expr e : extra) solver_.add(impl_.Translate(e));
+      auto result = FreshSession::ExtractModel(impl_, solver_, vars);
+      solver_.pop();
+      return result;
+    } catch (const z3::exception&) {
+      if (!impl_.interrupted.load(std::memory_order_relaxed)) throw;
+      return Error(ErrorCode::kInternal, "solver interrupted");
+    }
   }
 
  private:
@@ -811,40 +923,48 @@ class Solver::Impl::FastPathSession final : public SolverSession {
   }
 
   Outcome CheckSat(std::span<const Expr> extra) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return Outcome::kUnknown;
+    }
     ScopedTimer timer(&impl_.stats.wall_ms);
     Enter();
-    if (impure_ == 0 && AllPure(extra)) {
-      std::vector<Lit> lits;
-      lits.reserve(stack_.size() + extra.size());
-      for (Expr e : stack_) lits.push_back({e.raw(), false});
-      for (Expr e : extra) lits.push_back({e.raw(), false});
-      const Outcome out = impl_.TryBool(std::move(lits));
+    bool ineligible = !AllPure(extra);
+    if (!ineligible) {
+      const Outcome out = TrySplit(extra, /*neg_consequent=*/nullptr,
+                                   &ineligible);
       if (out != Outcome::kUnknown) {
         ++impl_.stats.fast_path_hits;
         return out;
       }
     }
-    ++impl_.stats.fast_path_fallbacks;
+    if (ineligible) {
+      ++impl_.stats.fast_path_ineligible;
+    } else {
+      ++impl_.stats.fast_path_fallbacks;
+    }
     return inner_.CheckSat(extra);
   }
 
   bool Implies(std::span<const Expr> antecedent, Expr consequent) override {
+    if (impl_.interrupted.load(std::memory_order_relaxed)) {
+      return false;  // conservative: "not implied"
+    }
     ScopedTimer timer(&impl_.stats.wall_ms);
     Enter();
-    if (impure_ == 0 && AllPure(antecedent) &&
-        impl_.IsPure(consequent.raw())) {
-      std::vector<Lit> lits;
-      lits.reserve(stack_.size() + antecedent.size() + 1);
-      for (Expr e : stack_) lits.push_back({e.raw(), false});
-      for (Expr e : antecedent) lits.push_back({e.raw(), false});
-      lits.push_back({consequent.raw(), /*neg=*/true});
-      const Outcome out = impl_.TryBool(std::move(lits));
+    bool ineligible =
+        !AllPure(antecedent) || !impl_.IsPure(consequent.raw());
+    if (!ineligible) {
+      const Outcome out = TrySplit(antecedent, consequent.raw(), &ineligible);
       if (out != Outcome::kUnknown) {
         ++impl_.stats.fast_path_hits;
         return out == Outcome::kUnsat;
       }
     }
-    ++impl_.stats.fast_path_fallbacks;
+    if (ineligible) {
+      ++impl_.stats.fast_path_ineligible;
+    } else {
+      ++impl_.stats.fast_path_fallbacks;
+    }
     return inner_.Implies(antecedent, consequent);
   }
 
@@ -868,6 +988,74 @@ class Solver::Impl::FastPathSession final : public SolverSession {
       if (!impl_.IsPure(e.raw())) return false;
     }
     return true;
+  }
+
+  /// Attempts stack ∧ operands (∧ ¬consequent) through the boolean engine
+  /// by splitting the stack into its pure and impure slices. The split is
+  /// sound when the slices share no variables: the conjunction is then
+  /// satisfiable iff both slices are, so with the impure slice known SAT
+  /// (one memoized Z3 check, shared across every query of the session),
+  /// the pure slice alone decides the query. This is exactly the lift
+  /// search's shape — integer preference domains in the stack, boolean
+  /// residuals as operands — which a whole-stack purity gate rejects
+  /// wholesale. Returns kUnknown when undecided (decision budget, unknown
+  /// impure slice); sets *ineligible when the split does not apply
+  /// (shared variables across the slices).
+  Outcome TrySplit(std::span<const Expr> operands, const Node* neg_consequent,
+                   bool* ineligible) {
+    std::vector<Lit> lits;
+    lits.reserve(stack_.size() + operands.size() + 1);
+    std::vector<Expr> impure;
+    impure.reserve(impure_);
+    std::uint64_t pure_mask = 0;
+    std::uint64_t impure_mask = 0;
+    for (Expr e : stack_) {
+      if (impl_.IsPure(e.raw())) {
+        lits.push_back({e.raw(), false});
+        pure_mask |= e.raw()->var_mask;
+      } else {
+        impure.push_back(e);
+        impure_mask |= e.raw()->var_mask;
+      }
+    }
+    for (Expr e : operands) {
+      lits.push_back({e.raw(), false});
+      pure_mask |= e.raw()->var_mask;
+    }
+    if (neg_consequent != nullptr) {
+      lits.push_back({neg_consequent, /*neg=*/true});
+      pure_mask |= neg_consequent->var_mask;
+    }
+    if (!impure.empty()) {
+      // Bloom masks first; the exact free-var sets only on a
+      // may-intersect collision.
+      if ((pure_mask & impure_mask) != 0 && SharesVariables(lits, impure)) {
+        *ineligible = true;
+        return Outcome::kUnknown;
+      }
+      const Outcome impure_sat = impl_.ImpureSat(impure);
+      if (impure_sat == Outcome::kUnknown) return Outcome::kUnknown;
+      // An unsat impure slice sinks the whole conjunction, pure part
+      // regardless.
+      if (impure_sat == Outcome::kUnsat) return Outcome::kUnsat;
+    }
+    return impl_.TryBool(std::move(lits));
+  }
+
+  bool SharesVariables(const std::vector<Lit>& pure_lits,
+                       const std::vector<Expr>& impure) {
+    std::unordered_set<std::int64_t> impure_syms;
+    for (Expr e : impure) {
+      for (const Node* var : e.FreeVarNodes()) {
+        impure_syms.insert(var->value);
+      }
+    }
+    for (const Lit& lit : pure_lits) {
+      for (const Node* var : Expr::FromRaw(lit.node).FreeVarNodes()) {
+        if (impure_syms.count(var->value) != 0) return true;
+      }
+    }
+    return false;
   }
 
   struct Mark {
@@ -906,6 +1094,18 @@ const SolverOptions& Solver::options() const noexcept {
 }
 
 const SolverStats& Solver::stats() const noexcept { return impl_->stats; }
+
+void Solver::Interrupt() {
+  impl_->interrupted.store(true, std::memory_order_relaxed);
+  // Aborts any check already inside Z3 (the next result comes back
+  // unknown). Z3_interrupt is documented safe to call from another
+  // thread.
+  impl_->ctx.interrupt();
+}
+
+bool Solver::interrupted() const noexcept {
+  return impl_->interrupted.load(std::memory_order_relaxed);
+}
 
 std::size_t Solver::GenericSimplifiedSize(std::span<const Expr> constraints) {
   return Impl::AstSize(impl_->Conjunction(constraints).simplify());

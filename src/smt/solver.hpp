@@ -74,7 +74,14 @@ struct SolverStats {
   std::uint64_t queries = 0;         ///< CheckSat/Implies/Solve discharged
   std::uint64_t assertions = 0;      ///< persistent Assert() calls
   std::uint64_t fast_path_hits = 0;  ///< answered by the boolean engine
-  std::uint64_t fast_path_fallbacks = 0;  ///< punted to Z3 (ints / budget)
+  std::uint64_t fast_path_fallbacks = 0;  ///< tried the engine, punted to
+                                          ///< Z3 (decision budget, unknown
+                                          ///< impure slice)
+  std::uint64_t fast_path_ineligible = 0;  ///< never tried: impure query
+                                           ///< operands, or the stack's
+                                           ///< integer slice shares
+                                           ///< variables with the boolean
+                                           ///< part
   std::uint64_t memo_hits = 0;       ///< boolean queries answered from memo
   std::uint64_t z3_queries = 0;      ///< checks that reached a Z3 solver
   std::uint64_t frame_reuse = 0;     ///< queries discharged on a session
@@ -134,6 +141,17 @@ class Solver {
   const SolverOptions& options() const noexcept;
   /// Counters aggregated across every session of this solver.
   const SolverStats& stats() const noexcept;
+
+  /// Cooperative cancellation (thread-safe, callable from another thread):
+  /// in-flight and future queries on this solver return conservative
+  /// verdicts (kUnknown / "not implied") as soon as possible, and the
+  /// boolean memo stops recording so an interrupted search never poisons
+  /// it. Once interrupted a solver's answers are only good for abandoning
+  /// the work — the portfolio lift driver uses this to stop losing
+  /// strategies; a solver whose verdicts still matter must never be
+  /// interrupted.
+  void Interrupt();
+  bool interrupted() const noexcept;
 
   /// Baseline metric for E8 (kept API-compatible with Z3Session): Z3's
   /// generic `simplify` over the conjunction, measured as tree size.

@@ -248,6 +248,12 @@ struct Runner {
       CheckArenaDifferential(solved);
     }
 
+    // ------------------------------------------------------- portfolio
+    if (options.with_portfolio_diff) {
+      report.stage = "portfolio";
+      CheckPortfolioDifferential(solved);
+    }
+
     // ------------------------------------------------------------ serve
     if (options.with_serve_diff) {
       report.stage = "serve";
@@ -596,6 +602,66 @@ struct Runner {
                    ")");
           return;
         }
+      }
+    }
+  }
+
+  /// The portfolio lift must be pure speculation: compile workers and the
+  /// racing assembly strategies may not change anything observable about
+  /// the answer. Both sides share one frozen-arena registry (so the racing
+  /// side also exercises warm compile-cache reuse) and are diffed on the
+  /// rendered report, the subspec text, completeness, and the canonical
+  /// strategy's candidates_tried accounting.
+  void CheckPortfolioDifferential(const config::NetworkConfig& solved) {
+    std::vector<explain::Selection> selections{scenario.selection};
+    {
+      std::vector<explain::BatchRequest> routers =
+          explain::RequestsForAllRouters(solved, scenario.mode);
+      if (routers.size() > 2) routers.resize(2);
+      for (explain::BatchRequest& request : routers) {
+        selections.push_back(std::move(request.selection));
+      }
+    }
+
+    auto registry = std::make_shared<explain::ArenaRegistry>();
+    explain::Session sequential(scenario.topo, scenario.spec, solved);
+    sequential.UseArenaRegistry(registry);
+    sequential.SetLiftOptions(/*threads=*/1, /*portfolio=*/false);
+    explain::Session racing(scenario.topo, scenario.spec, solved);
+    racing.UseArenaRegistry(registry);
+    racing.SetLiftOptions(/*threads=*/4, /*portfolio=*/true);
+
+    for (std::size_t i = 0; i < selections.size(); ++i) {
+      auto base = sequential.Ask(selections[i], scenario.mode);
+      auto race = racing.Ask(selections[i], scenario.mode);
+      std::string detail;
+      if (base.ok() != race.ok()) {
+        detail = "success differs";
+      } else if (!base.ok()) {
+        if (base.error().ToString() != race.error().ToString()) {
+          detail = "error text differs";
+        }
+      } else if (race.value().Report() != base.value().Report()) {
+        detail = "report differs";
+      } else if (race.value().SubspecText() != base.value().SubspecText()) {
+        detail = "subspec text differs";
+      } else if (race.value().lifted.complete != base.value().lifted.complete) {
+        detail = "completeness differs";
+      } else if (race.value().lifted.candidates_tried !=
+                 base.value().lifted.candidates_tried) {
+        detail = "candidates_tried differs (" +
+                 std::to_string(race.value().lifted.candidates_tried) +
+                 " vs " +
+                 std::to_string(base.value().lifted.candidates_tried) + ")";
+      } else if (race.value().lifted.stats.winner != 0) {
+        detail = "a non-canonical strategy answered (winner=" +
+                 std::to_string(race.value().lifted.stats.winner) + ")";
+      }
+      if (!detail.empty()) {
+        Fail("portfolio-differential",
+             "question #" + std::to_string(i) + " (" +
+                 selections[i].ToString() + "): " + detail);
+        return;
       }
     }
   }

@@ -19,6 +19,10 @@
 //     -> oracle: arena-differential — answering through a frozen arena +
 //                copy-on-write overlay (cold build and warm reuse) is
 //                byte-identical to the fresh-pool path
+//     -> oracle: portfolio-differential — the two-phase lift pipeline
+//                racing 4 compile threads and the full strategy
+//                portfolio answers byte-identically to the sequential
+//                1-thread plain-greedy path
 //     -> oracle: serve-differential — replaying the scenario through a
 //                live epoll serve front end over a real socket (with
 //                randomized chunking and pipelining) yields exactly the
@@ -78,6 +82,12 @@ struct RunOptions {
   /// with randomized chunking/pipelining, and fail if any served answer
   /// differs from explain::AnswerRequest on the same texts.
   bool with_serve_diff = true;
+  /// Run the portfolio-differential oracle: answer each question through
+  /// a shared frozen-arena registry sequentially (1 compile thread, plain
+  /// greedy) and racing (4 threads, full strategy portfolio) and fail
+  /// unless the answers agree — report, subspec text, completeness, and
+  /// candidates_tried accounting alike.
+  bool with_portfolio_diff = true;
   /// Random full models for the eval-equivalence oracles.
   int eval_models = 6;
 };

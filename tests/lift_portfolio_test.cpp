@@ -1,0 +1,195 @@
+// Two-phase lift pipeline tests (DESIGN.md §12): byte-identity of the
+// parallel compile stage and the strategy portfolio against the
+// sequential path, compile-cache warm-hit and reload behavior, winner
+// determinism under forced strategy delays, and balanced overlay
+// accounting when losing strategies are cancelled mid-run.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explain/arena.hpp"
+#include "explain/batch.hpp"
+#include "explain/lift.hpp"
+#include "explain/report.hpp"
+#include "explain/symbolize.hpp"
+#include "synth/scenarios.hpp"
+#include "synth/synthesizer.hpp"
+#include "testkit/gen.hpp"
+
+namespace ns {
+namespace {
+
+config::NetworkConfig Solve(const synth::Scenario& s) {
+  synth::Synthesizer synthesizer(s.topo, s.spec);
+  auto solved = synthesizer.Synthesize(s.sketch);
+  EXPECT_TRUE(solved.ok()) << solved.error().ToString();
+  return solved.value().network;
+}
+
+/// Every (threads, portfolio) configuration of a request, answered through
+/// one shared registry, must match the fresh sequential answer byte for
+/// byte — report, lifted DSL block, and verdict flags alike.
+void ExpectConfigurationsAgree(const net::Topology& topo,
+                               const spec::Spec& spec,
+                               const config::NetworkConfig& solved,
+                               explain::BatchRequest request) {
+  request.lift_threads = 1;
+  request.lift_portfolio = false;
+  const auto fresh = explain::AnswerRequest(topo, spec, solved, request);
+  ASSERT_TRUE(fresh.ok()) << fresh.error().ToString();
+
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  const int threads[] = {1, 4};
+  const bool portfolios[] = {false, true};
+  for (int t : threads) {
+    for (bool p : portfolios) {
+      request.lift_threads = t;
+      request.lift_portfolio = p;
+      const auto got =
+          explain::AnswerRequest(topo, spec, solved, request, registry);
+      ASSERT_TRUE(got.ok()) << got.error().ToString();
+      EXPECT_EQ(fresh.value().report, got.value().report)
+          << "threads=" << t << " portfolio=" << p;
+      EXPECT_EQ(fresh.value().subspec_text, got.value().subspec_text)
+          << "threads=" << t << " portfolio=" << p;
+      EXPECT_EQ(fresh.value().empty, got.value().empty);
+      EXPECT_EQ(fresh.value().unsat, got.value().unsat);
+      EXPECT_EQ(got.value().stats.pipeline.winner, 0);
+    }
+  }
+}
+
+TEST(LiftPortfolioTest, GoldenScenariosAreByteIdenticalAcrossConfigs) {
+  for (const synth::Scenario& s :
+       {synth::Scenario1(), synth::Scenario3(), synth::Scenario1Refined()}) {
+    const config::NetworkConfig solved = Solve(s);
+    for (explain::BatchRequest& request :
+         explain::RequestsForAllRouters(solved)) {
+      ExpectConfigurationsAgree(s.topo, s.spec, solved, request);
+    }
+  }
+}
+
+TEST(LiftPortfolioTest, GeneratedScenariosAreByteIdenticalAcrossConfigs) {
+  for (const std::uint64_t seed : {3ull, 9ull, 21ull}) {
+    const testkit::FuzzScenario s = testkit::GenerateScenario(seed);
+    synth::Synthesizer synthesizer(s.topo, s.spec);
+    auto solved = synthesizer.Synthesize(s.sketch);
+    if (!solved.ok()) continue;  // unsat sketch — valid generator outcome
+    explain::BatchRequest request;
+    request.selection = s.selection;
+    request.mode = s.mode;
+    ExpectConfigurationsAgree(s.topo, s.spec, solved.value().network,
+                              request);
+  }
+}
+
+TEST(LiftPortfolioTest, WarmRepeatHitsTheCompileCache) {
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(s);
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  explain::BatchRequest request;
+  request.selection = explain::Selection::Router("R1");
+  request.lift_threads = 1;  // no prefetch: counters are deterministic
+
+  const auto cold =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, registry);
+  ASSERT_TRUE(cold.ok()) << cold.error().ToString();
+  const explain::LiftStats& first = cold.value().stats.pipeline;
+  EXPECT_GT(first.compile_cache_misses, 0u);
+  EXPECT_GT(first.candidates_compiled, 0u);
+
+  // Same question, same registry: every residual the greedy pass demands
+  // was memoized by the cold run, so nothing recompiles.
+  const auto warm =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, registry);
+  ASSERT_TRUE(warm.ok()) << warm.error().ToString();
+  const explain::LiftStats& second = warm.value().stats.pipeline;
+  EXPECT_GT(second.compile_cache_hits, 0u);
+  EXPECT_EQ(second.compile_cache_misses, 0u);
+  EXPECT_EQ(second.candidates_compiled, 0u);
+  EXPECT_EQ(cold.value().report, warm.value().report);
+
+  // A reloaded scenario gets a fresh question (and a fresh cache): the
+  // compile stage starts cold again instead of reusing stale residuals.
+  auto reloaded = std::make_shared<explain::ArenaRegistry>();
+  const auto recold =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, reloaded);
+  ASSERT_TRUE(recold.ok()) << recold.error().ToString();
+  EXPECT_GT(recold.value().stats.pipeline.compile_cache_misses, 0u);
+  EXPECT_EQ(recold.value().report, cold.value().report);
+}
+
+TEST(LiftPortfolioTest, WinnerIsCanonicalUnderForcedStrategyDelays) {
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(s);
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  explain::BatchRequest request;
+  request.selection = explain::Selection::Router("R1");
+  request.lift_threads = 4;
+  request.lift_portfolio = true;
+
+  const auto baseline =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, registry);
+  ASSERT_TRUE(baseline.ok()) << baseline.error().ToString();
+
+  // Stall the canonical strategy: the racers all finish first, yet the
+  // answer (and the winner) must not change — strategy 0 always answers.
+  explain::lift_testing::SetStrategyDelayForTest(0, 120);
+  const auto slow_canonical =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, registry);
+  explain::lift_testing::ClearStrategyDelaysForTest();
+  ASSERT_TRUE(slow_canonical.ok()) << slow_canonical.error().ToString();
+  EXPECT_EQ(baseline.value().report, slow_canonical.value().report);
+  EXPECT_EQ(baseline.value().subspec_text,
+            slow_canonical.value().subspec_text);
+  EXPECT_EQ(slow_canonical.value().stats.pipeline.winner, 0);
+
+  // Stall a racer far past the canonical finish: it is interrupted, and
+  // the cancellation must not perturb the answer.
+  explain::lift_testing::SetStrategyDelayForTest(3, 250);
+  const auto slow_racer =
+      explain::AnswerRequest(s.topo, s.spec, solved, request, registry);
+  explain::lift_testing::ClearStrategyDelaysForTest();
+  ASSERT_TRUE(slow_racer.ok()) << slow_racer.error().ToString();
+  EXPECT_EQ(baseline.value().report, slow_racer.value().report);
+  EXPECT_EQ(slow_racer.value().stats.pipeline.winner, 0);
+  EXPECT_GE(slow_racer.value().stats.pipeline.strategies_cancelled, 1u);
+}
+
+TEST(LiftPortfolioTest, CancellationLeavesBalancedOverlayAccounting) {
+  const synth::Scenario s = synth::Scenario1();
+  const config::NetworkConfig solved = Solve(s);
+
+  // Force a cancellation on every lift, then ask the same question
+  // repeatedly through one registry: if an interrupted strategy leaked
+  // nodes into the shared pool, the overlay size (and eventually the
+  // report, via Eq/Add orientation) would drift between repeats.
+  explain::lift_testing::SetStrategyDelayForTest(2, 200);
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  explain::Session session(s.topo, s.spec, solved);
+  session.UseArenaRegistry(registry);
+  session.SetLiftOptions(/*threads=*/4, /*portfolio=*/true);
+
+  std::string report;
+  std::uint64_t overlay_nodes = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto got = session.Ask(explain::Selection::Router("R1"),
+                           explain::LiftMode::kExact);
+    ASSERT_TRUE(got.ok()) << got.error().ToString();
+    EXPECT_EQ(got.value().stats.pipeline.strategies, 4);
+    if (i == 0) {
+      report = got.value().Report();
+      overlay_nodes = got.value().stats.arena.overlay_nodes;
+    } else {
+      EXPECT_EQ(report, got.value().Report());
+      EXPECT_EQ(overlay_nodes, got.value().stats.arena.overlay_nodes);
+    }
+  }
+  explain::lift_testing::ClearStrategyDelaysForTest();
+}
+
+}  // namespace
+}  // namespace ns

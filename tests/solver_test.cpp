@@ -199,10 +199,105 @@ TEST(BoolFastPathTest, MixedArithmeticFallsBackToZ3AndStaysCorrect) {
               fresh_session->Implies(extra, cons))
         << "implication #" << i;
   }
-  // The integer atoms force the fallback route through the mirrored
-  // incremental session.
-  EXPECT_GT(fast.stats().fast_path_fallbacks, 0u);
+  // The query operands themselves mix sorts, so the engine is never even
+  // tried: these queries are ineligible, not fallbacks (fallbacks now
+  // count only tried-but-punted searches, e.g. decision-budget exhaustion).
+  EXPECT_GT(fast.stats().fast_path_ineligible, 0u);
   EXPECT_GT(fast.stats().z3_queries, 0u);
+}
+
+TEST(BoolFastPathTest, DisjointIntegerSliceStillHitsTheEngine) {
+  // The lift's session stacks mix pure boolean constraints with integer
+  // domain side conditions over *different* variables. The disjoint-split
+  // eligibility rule decides the boolean part with the DPLL engine and
+  // discharges the integer slice with one memoized Z3 query, instead of
+  // shipping every query to Z3.
+  ExprPool pool;
+  util::Rng rng(515);
+  const std::vector<Expr> vars = MakeBoolVars(pool, 6);
+  const Expr n = pool.Var("n", Sort::kInt);
+  Solver fast(SolverOptions{.backend = SolverBackend::kFastPath});
+  Solver fresh(SolverOptions{.backend = SolverBackend::kFreshZ3});
+  auto fast_session = fast.NewSession();
+  auto fresh_session = fresh.NewSession();
+  // Satisfiable integer slice, variable-disjoint from the booleans.
+  const Expr domain =
+      pool.And({pool.Le(pool.Int(0), n), pool.Le(n, pool.Int(200))});
+  fast_session->Assert(domain);
+  fresh_session->Assert(domain);
+  for (int i = 0; i < 60; ++i) {
+    const Expr f = RandomBool(pool, rng, vars, 4);
+    const std::vector<Expr> extra{f};
+    EXPECT_EQ(fast_session->CheckSat(extra), fresh_session->CheckSat(extra))
+        << "formula #" << i;
+    const Expr cons = RandomBool(pool, rng, vars, 3);
+    EXPECT_EQ(fast_session->Implies(extra, cons),
+              fresh_session->Implies(extra, cons))
+        << "implication #" << i;
+  }
+  EXPECT_GT(fast.stats().fast_path_hits, 0u);
+  EXPECT_EQ(fast.stats().fast_path_ineligible, 0u);
+  // The integer slice is checked once and memoized, never per query.
+  EXPECT_LE(fast.stats().z3_queries, 1u);
+}
+
+TEST(BoolFastPathTest, UnsatIntegerSliceSinksTheConjunction) {
+  ExprPool pool;
+  const Expr b = pool.Var("b", Sort::kBool);
+  const Expr n = pool.Var("n", Sort::kInt);
+  Solver solver(SolverOptions{.backend = SolverBackend::kFastPath});
+  auto session = solver.NewSession();
+  session->Assert(pool.Lt(n, pool.Int(0)));
+  session->Assert(pool.Le(pool.Int(0), n));  // n < 0 ∧ 0 <= n: unsat slice
+  const std::vector<Expr> extra{b};
+  EXPECT_EQ(session->CheckSat(extra), Outcome::kUnsat);
+  // An unsat integer slice makes every implication over it vacuously true.
+  EXPECT_TRUE(session->Implies(extra, pool.Not(b)));
+  EXPECT_GT(solver.stats().fast_path_hits, 0u);
+}
+
+TEST(BoolFastPathTest, SharedVariablesAcrossSortsAreIneligible) {
+  // An Ite couples the boolean and integer slices through one variable:
+  // the split would be unsound, so the query must go to Z3 and be counted
+  // as ineligible.
+  ExprPool pool;
+  const Expr b = pool.Var("b", Sort::kBool);
+  const Expr n = pool.Var("n", Sort::kInt);
+  Solver fast(SolverOptions{.backend = SolverBackend::kFastPath});
+  Solver fresh(SolverOptions{.backend = SolverBackend::kFreshZ3});
+  auto fast_session = fast.NewSession();
+  auto fresh_session = fresh.NewSession();
+  const Expr coupled =
+      pool.Eq(pool.Ite(b, pool.Int(1), pool.Int(0)), pool.Int(1));
+  fast_session->Assert(coupled);
+  fresh_session->Assert(coupled);
+  const std::vector<Expr> extra{b};
+  EXPECT_EQ(fast_session->CheckSat(extra), fresh_session->CheckSat(extra));
+  EXPECT_EQ(fast_session->Implies(extra, b), fresh_session->Implies(extra, b));
+  EXPECT_GT(fast.stats().fast_path_ineligible, 0u);
+  EXPECT_EQ(fast.stats().fast_path_hits, 0u);
+}
+
+TEST(SolverInterruptTest, InterruptedSessionsAnswerConservatively) {
+  for (const SolverBackend backend :
+       {SolverBackend::kFreshZ3, SolverBackend::kIncrementalZ3,
+        SolverBackend::kFastPath}) {
+    SCOPED_TRACE(SolverBackendName(backend));
+    ExprPool pool;
+    const Expr b = pool.Var("b", Sort::kBool);
+    Solver solver(SolverOptions{.backend = backend});
+    auto session = solver.NewSession();
+    session->Assert(b);
+    EXPECT_FALSE(solver.interrupted());
+    EXPECT_EQ(session->CheckSat(), Outcome::kSat);
+    solver.Interrupt();
+    EXPECT_TRUE(solver.interrupted());
+    // Conservative verdicts only: kUnknown sat, "not implied" — never a
+    // definite answer a cancelled search can't vouch for.
+    EXPECT_EQ(session->CheckSat(), Outcome::kUnknown);
+    const std::vector<Expr> antecedent{b};
+    EXPECT_FALSE(session->Implies(antecedent, b));
+  }
 }
 
 TEST(BoolFastPathTest, ExhaustedDecisionBudgetFallsBackToZ3) {

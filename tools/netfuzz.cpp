@@ -42,7 +42,7 @@ int Usage(const char* argv0) {
       "                     to F instead of an auto-named file\n"
       "  --no-minimize      report failures without shrinking them\n"
       "  --no-z3 / --no-batch / --no-rename / --no-solver-diff /\n"
-      "  --no-serve-diff / --no-arena-diff\n"
+      "  --no-serve-diff / --no-arena-diff / --no-portfolio-diff\n"
       "                     disable oracle groups\n"
       "  --quiet            only print failures and the final summary\n",
       argv0);
@@ -64,7 +64,8 @@ class Flags {
       arg = arg.substr(2);
       if (arg == "no-minimize" || arg == "no-z3" || arg == "no-batch" ||
           arg == "no-rename" || arg == "no-solver-diff" ||
-          arg == "no-serve-diff" || arg == "no-arena-diff" || arg == "quiet") {
+          arg == "no-serve-diff" || arg == "no-arena-diff" ||
+          arg == "no-portfolio-diff" || arg == "quiet") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -171,6 +172,7 @@ int main(int argc, char** argv) {
   run_options.with_solver_diff = !flags.Has("no-solver-diff");
   run_options.with_serve_diff = !flags.Has("no-serve-diff");
   run_options.with_arena_diff = !flags.Has("no-arena-diff");
+  run_options.with_portfolio_diff = !flags.Has("no-portfolio-diff");
 
   if (flags.Has("inject-rule")) {
     auto rule = RuleByName(flags.OneOr("inject-rule", ""));

@@ -66,14 +66,17 @@ int Usage(const char* argv0) {
                "[--stats]\n"
                "                [--no-arena]  (fresh-pool path, no frozen "
                "arena)\n"
+               "                [--lift-threads N] [--lift-portfolio]\n"
                "  batch-explain: --config FILE [--router NAME]... (default:\n"
                "                all routers with route-maps) [--threads N]\n"
                "                [--sequential] [--req NAME]... [--mode MODE]\n"
                "                [--baselines] [--solver NAME] [--stats]\n"
                "                [--json FILE] [--no-arena]\n"
+               "                [--lift-threads N] [--lift-portfolio]\n"
                "  serve:        [--port P] [--threads N] [--cache-entries K]\n"
                "                [--deadline-ms D] [--frontend epoll|blocking]\n"
-               "                [--reactors R] [--max-queue Q] [--topo F\n"
+               "                [--reactors R] [--max-queue Q]\n"
+               "                [--lift-threads N] [--lift-portfolio] [--topo F\n"
                "                --spec F --config F]  (see docs/SERVE.md)\n",
                argv0);
   return 2;
@@ -93,7 +96,7 @@ class Flags {
       }
       arg = arg.substr(2);
       if (arg == "rest" || arg == "baselines" || arg == "sequential" ||
-          arg == "stats" || arg == "no-arena") {
+          arg == "stats" || arg == "no-arena" || arg == "lift-portfolio") {
         flags.values_[arg].push_back("true");
         continue;
       }
@@ -297,6 +300,13 @@ int CmdExplain(const Flags& flags) {
   auto solver = ParseSolverFlag(flags);
   if (!solver) return Fail(solver.error());
 
+  int lift_threads = 1;
+  if (flags.Has("lift-threads")) {
+    auto value = ParseIntFlag(flags, "lift-threads");
+    if (!value) return Fail(value.error());
+    lift_threads = value.value();
+  }
+
   explain::Session session(topo.value(), spec.value(),
                            std::move(network).value());
   // Frozen-arena answering is the default (byte-identical to the fresh
@@ -304,6 +314,7 @@ int CmdExplain(const Flags& flags) {
   if (!flags.Has("no-arena")) {
     session.UseArenaRegistry(std::make_shared<explain::ArenaRegistry>());
   }
+  session.SetLiftOptions(lift_threads, flags.Has("lift-portfolio"));
   auto answer = session.Ask(selection, mode.value(), flags.All("req"),
                             flags.Has("baselines"), solver.value());
   if (!answer) return Fail(answer.error());
@@ -344,9 +355,17 @@ int CmdBatchExplain(const Flags& flags) {
     requests = explain::RequestsForAllRouters(network.value(), mode.value(),
                                               flags.All("req"));
   }
+  int lift_threads = 1;
+  if (flags.Has("lift-threads")) {
+    auto value = ParseIntFlag(flags, "lift-threads");
+    if (!value) return Fail(value.error());
+    lift_threads = value.value();
+  }
   for (explain::BatchRequest& request : requests) {
     request.compute_baselines = flags.Has("baselines");
     request.solver = solver.value();
+    request.lift_threads = lift_threads;
+    request.lift_portfolio = flags.Has("lift-portfolio");
   }
   if (requests.empty()) {
     return Fail(util::Error(util::ErrorCode::kNotFound,
@@ -385,7 +404,9 @@ int CmdBatchExplain(const Flags& flags) {
     explain::ExplainStats total;
     total.backend = solver.value().backend;
     for (const explain::BatchItem& item : outcome.items) {
-      if (item.result.ok()) total.lift += item.result.value().stats.lift;
+      if (!item.result.ok()) continue;
+      total.lift += item.result.value().stats.lift;
+      total.pipeline += item.result.value().stats.pipeline;
     }
     std::printf("%s\n", total.ToString().c_str());
   }
@@ -415,6 +436,22 @@ int CmdBatchExplain(const Flags& flags) {
                                          answer.stats.lift.z3_queries));
         solver_row.Set("wall_ms", answer.stats.lift.wall_ms);
         row.Set("solver", std::move(solver_row));
+        util::Json lift_row = util::Json::MakeObject();
+        lift_row.Set("threads", answer.stats.pipeline.threads);
+        lift_row.Set("portfolio", answer.stats.pipeline.portfolio);
+        lift_row.Set("strategies", answer.stats.pipeline.strategies);
+        lift_row.Set("compile_cache_hits",
+                     static_cast<std::int64_t>(
+                         answer.stats.pipeline.compile_cache_hits));
+        lift_row.Set("compile_cache_misses",
+                     static_cast<std::int64_t>(
+                         answer.stats.pipeline.compile_cache_misses));
+        lift_row.Set("candidates_compiled",
+                     static_cast<std::int64_t>(
+                         answer.stats.pipeline.candidates_compiled));
+        lift_row.Set("compile_ms", answer.stats.pipeline.compile_ms);
+        lift_row.Set("assemble_ms", answer.stats.pipeline.assemble_ms);
+        row.Set("lift", std::move(lift_row));
         if (answer.stats.arena.used) {
           // Deterministic per-answer fields only (registry aggregates are
           // scheduling-dependent and stay out of comparable output).
@@ -461,7 +498,8 @@ int CmdServe(const Flags& flags) {
        {std::pair<const char*, int*>{"port", &options.port},
         {"threads", &options.threads},
         {"deadline-ms", &options.deadline_ms},
-        {"reactors", &options.reactors}}) {
+        {"reactors", &options.reactors},
+        {"lift-threads", &options.lift_threads}}) {
     if (flags.Has(flag)) {
       auto value = ParseIntFlag(flags, flag);
       if (!value) return Fail(value.error());
@@ -495,6 +533,7 @@ int CmdServe(const Flags& flags) {
                                   value.value() + "'"));
     }
   }
+  options.lift_portfolio = flags.Has("lift-portfolio");
 
   serve::Server server(options);
 
