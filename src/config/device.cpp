@@ -85,9 +85,20 @@ NetworkConfig SkeletonFor(const net::Topology& topo) {
     config.asn = router.asn;
     if (router.external) {
       // Give each external AS a stable originated prefix so announcements
-      // exist without further setup: 10.(200 + id).0.0/24.
-      config.networks.push_back(net::Prefix(
-          net::Ipv4Addr(10, static_cast<std::uint8_t>(200 + id), 0, 0), 24));
+      // exist without further setup. Ids 0..55 keep the historical
+      // 10.(200 + id).0.0/24; beyond that the second octet would wrap past
+      // 255 and collide with the auto-assigned 10.x link /30s, so larger
+      // ids (fat-tree/WAN-scale topologies) move to 172.16/12 space.
+      if (id <= 55) {
+        config.networks.push_back(net::Prefix(
+            net::Ipv4Addr(10, static_cast<std::uint8_t>(200 + id), 0, 0),
+            24));
+      } else {
+        config.networks.push_back(net::Prefix(
+            net::Ipv4Addr(172, static_cast<std::uint8_t>(16 + id / 256),
+                          static_cast<std::uint8_t>(id % 256), 0),
+            24));
+      }
     }
     for (net::RouterId nbr : topo.Neighbors(id)) {
       config.neighbors.push_back(Neighbor{topo.NameOf(nbr), std::nullopt,

@@ -1,7 +1,9 @@
 #include "net/builders.hpp"
 
+#include <algorithm>
 #include <string>
 
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace ns::net {
@@ -82,6 +84,197 @@ Topology Fabric(int spines, int leaves) {
                                          static_cast<Asn>(500 + l),
                                          /*external=*/true);
     topo.AddLink(peer, leaf_ids[static_cast<std::size_t>(l - 1)]);
+  }
+  return topo;
+}
+
+Topology Clos(const ClosParams& params) {
+  NS_ASSERT_MSG(params.pods >= 1, "clos needs >=1 pod");
+  NS_ASSERT_MSG(params.edges_per_pod >= 1 && params.aggs_per_pod >= 1,
+                "clos pods need >=1 edge and >=1 agg router");
+  NS_ASSERT_MSG(params.cores >= 1, "clos needs >=1 core");
+  NS_ASSERT_MSG(params.externals_per_pod >= 0, "negative externals");
+  Topology topo;
+  // Internal routers first so external ids come last (keeps the skeleton's
+  // originated-prefix ids compact regardless of fabric size).
+  std::vector<std::vector<RouterId>> edges(
+      static_cast<std::size_t>(params.pods));
+  std::vector<std::vector<RouterId>> aggs(
+      static_cast<std::size_t>(params.pods));
+  for (int p = 0; p < params.pods; ++p) {
+    for (int i = 0; i < params.edges_per_pod; ++i) {
+      edges[static_cast<std::size_t>(p)].push_back(topo.AddRouter(
+          "T" + std::to_string(p + 1) + "_" + std::to_string(i + 1), 100));
+    }
+    for (int i = 0; i < params.aggs_per_pod; ++i) {
+      aggs[static_cast<std::size_t>(p)].push_back(topo.AddRouter(
+          "A" + std::to_string(p + 1) + "_" + std::to_string(i + 1), 100));
+    }
+  }
+  std::vector<RouterId> core_ids;
+  for (int c = 0; c < params.cores; ++c) {
+    core_ids.push_back(topo.AddRouter("C" + std::to_string(c + 1), 100));
+  }
+  for (int p = 0; p < params.pods; ++p) {
+    for (RouterId edge : edges[static_cast<std::size_t>(p)]) {
+      for (RouterId agg : aggs[static_cast<std::size_t>(p)]) {
+        topo.AddLink(edge, agg);
+      }
+    }
+  }
+  // Core c homes onto agg (c mod aggs_per_pod) in every pod: with
+  // cores == aggs_per_pod * groups this is the canonical fat-tree wiring
+  // where each agg "column" owns its own core group.
+  for (int c = 0; c < params.cores; ++c) {
+    const int column = c % params.aggs_per_pod;
+    for (int p = 0; p < params.pods; ++p) {
+      topo.AddLink(core_ids[static_cast<std::size_t>(c)],
+                   aggs[static_cast<std::size_t>(p)]
+                       [static_cast<std::size_t>(column)]);
+    }
+  }
+  int ext = 0;
+  for (int p = 0; p < params.pods; ++p) {
+    for (int i = 0; i < params.externals_per_pod; ++i) {
+      const RouterId peer = topo.AddRouter(
+          "X" + std::to_string(p + 1) + "_" + std::to_string(i + 1),
+          static_cast<Asn>(500 + ++ext), /*external=*/true);
+      // Round-robin over the pod's ToRs.
+      const auto& pod_edges = edges[static_cast<std::size_t>(p)];
+      topo.AddLink(peer, pod_edges[static_cast<std::size_t>(
+                             i % params.edges_per_pod)]);
+    }
+  }
+  return topo;
+}
+
+Topology FatTree(int k, int externals_per_pod) {
+  NS_ASSERT_MSG(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >=2");
+  ClosParams params;
+  params.pods = k;
+  params.edges_per_pod = k / 2;
+  params.aggs_per_pod = k / 2;
+  params.cores = (k / 2) * (k / 2);
+  params.externals_per_pod = externals_per_pod;
+  return Clos(params);
+}
+
+Topology Wan(int nodes, int externals, std::uint64_t seed) {
+  NS_ASSERT_MSG(nodes >= 2, "wan needs >=2 routers");
+  NS_ASSERT_MSG(externals >= 0 && externals <= nodes,
+                "wan externals must fit on distinct routers");
+  Topology topo;
+  util::Rng rng(seed ^ 0x57414eull);  // "WAN" — decouple from caller streams
+  std::vector<RouterId> ids;
+  std::vector<int> degree;
+  ids.push_back(topo.AddRouter("W1", 100));
+  degree.push_back(0);
+  // Preferential attachment: router n+1 links to an existing router chosen
+  // with probability proportional to degree+1, giving the heavy-tailed
+  // degree distribution typical of Topology Zoo WANs, and keeping the
+  // graph connected by construction.
+  for (int n = 2; n <= nodes; ++n) {
+    const RouterId id = topo.AddRouter("W" + std::to_string(n), 100);
+    int total = 0;
+    for (int d : degree) total += d + 1;
+    int pick = static_cast<int>(rng.Below(static_cast<std::uint64_t>(total)));
+    std::size_t target = 0;
+    for (std::size_t i = 0; i < degree.size(); ++i) {
+      pick -= degree[i] + 1;
+      if (pick < 0) {
+        target = i;
+        break;
+      }
+    }
+    topo.AddLink(id, ids[target]);
+    degree[target] += 1;
+    ids.push_back(id);
+    degree.push_back(1);
+  }
+  // Triangle-closing chords: link two neighbors of a common hub. This
+  // raises clustering the way shared geography does in real WAN maps.
+  const int chords = nodes / 3;
+  for (int c = 0; c < chords; ++c) {
+    const std::size_t hub = static_cast<std::size_t>(
+        rng.Below(static_cast<std::uint64_t>(nodes)));
+    const auto& nbrs = topo.Neighbors(ids[hub]);
+    if (nbrs.size() < 2) continue;
+    const RouterId a = nbrs[static_cast<std::size_t>(rng.Below(nbrs.size()))];
+    const RouterId b = nbrs[static_cast<std::size_t>(rng.Below(nbrs.size()))];
+    if (a == b || topo.Adjacent(a, b)) continue;
+    topo.AddLink(a, b);
+    degree[static_cast<std::size_t>(a)] += 1;
+    degree[static_cast<std::size_t>(b)] += 1;
+  }
+  // Attach externals to the highest-degree (most "international") routers,
+  // one per router, each in its own AS.
+  std::vector<std::size_t> order(ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return degree[a] > degree[b];
+                   });
+  for (int e = 0; e < externals; ++e) {
+    const RouterId peer =
+        topo.AddRouter("XW" + std::to_string(e + 1),
+                       static_cast<Asn>(500 + 100 * (e + 1)),
+                       /*external=*/true);
+    topo.AddLink(peer, ids[order[static_cast<std::size_t>(e)]]);
+  }
+  return topo;
+}
+
+Topology ProviderMesh(const MeshParams& params) {
+  NS_ASSERT_MSG(params.cores >= 2, "mesh needs >=2 core routers");
+  NS_ASSERT_MSG(params.providers >= 1, "mesh needs >=1 provider");
+  NS_ASSERT_MSG(params.customers >= 0, "negative customers");
+  Topology topo;
+  std::vector<RouterId> cores;
+  for (int i = 0; i < params.cores; ++i) {
+    cores.push_back(topo.AddRouter("M" + std::to_string(i + 1), 100));
+  }
+  if (params.cores <= 4) {
+    for (int i = 0; i < params.cores; ++i) {
+      for (int j = i + 1; j < params.cores; ++j) {
+        topo.AddLink(cores[static_cast<std::size_t>(i)],
+                     cores[static_cast<std::size_t>(j)]);
+      }
+    }
+  } else {
+    for (int i = 0; i < params.cores; ++i) {
+      topo.AddLink(cores[static_cast<std::size_t>(i)],
+                   cores[static_cast<std::size_t>((i + 1) % params.cores)]);
+    }
+    // Skip-two chords keep the diameter small without the full-mesh
+    // path blowup.
+    for (int i = 0; i < params.cores; i += 2) {
+      const int j = (i + 2) % params.cores;
+      if (!topo.Adjacent(cores[static_cast<std::size_t>(i)],
+                         cores[static_cast<std::size_t>(j)])) {
+        topo.AddLink(cores[static_cast<std::size_t>(i)],
+                     cores[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  // Providers are dual-homed to consecutive cores — the ECMP/multi-path
+  // shape the multi-AS specs exercise.
+  for (int p = 0; p < params.providers; ++p) {
+    const RouterId peer = topo.AddRouter("P" + std::to_string(p + 1),
+                                         static_cast<Asn>(2000 + p + 1),
+                                         /*external=*/true);
+    topo.AddLink(peer, cores[static_cast<std::size_t>(p % params.cores)]);
+    if (params.cores >= 2) {
+      topo.AddLink(peer,
+                   cores[static_cast<std::size_t>((p + 1) % params.cores)]);
+    }
+  }
+  // Customers single-home on the far side of the mesh.
+  for (int c = 0; c < params.customers; ++c) {
+    const RouterId peer = topo.AddRouter("CU" + std::to_string(c + 1),
+                                         static_cast<Asn>(3000 + c + 1),
+                                         /*external=*/true);
+    topo.AddLink(peer, cores[static_cast<std::size_t>(
+                           (c + params.cores / 2) % params.cores)]);
   }
   return topo;
 }

@@ -41,4 +41,45 @@ Topology Ring(int n);
 /// routers; one external peer per leaf. Denser topologies for scaling tests.
 Topology Fabric(int spines, int leaves);
 
+/// Parameters for a generalized pod-structured Clos fabric (the data-center
+/// family of the NetComplete evaluations).
+struct ClosParams {
+  int pods = 2;
+  int edges_per_pod = 1;      ///< top-of-rack tier, "T<p>_<i>"
+  int aggs_per_pod = 1;       ///< aggregation tier, "A<p>_<i>"
+  int cores = 1;              ///< core tier, "C<i>"
+  int externals_per_pod = 1;  ///< peers "X<p>_<i>", round-robin on the ToRs
+};
+
+/// Builds the Clos fabric: inside each pod every edge (ToR) router links to
+/// every aggregation router; core c links to aggregation (c mod
+/// aggs_per_pod) of every pod, so FatTree() below gets the canonical k-ary
+/// wiring. All fabric routers are AS 100; each external peer is its own AS.
+Topology Clos(const ClosParams& params);
+
+/// Canonical k-ary fat-tree (k even, >= 2): k pods of k/2 edge + k/2
+/// aggregation routers, (k/2)^2 cores, `externals_per_pod` peers per pod.
+Topology FatTree(int k, int externals_per_pod = 1);
+
+/// Topology-Zoo-style WAN: seeded preferential-attachment growth (heavy-
+/// tailed degree distribution) plus triangle-closing chords for
+/// geographic-style clustering; connected by construction. Internal
+/// routers "W1..Wn" (AS 100); `externals` peers "XW1.." (one AS each)
+/// attached to the highest-degree nodes. Deterministic in (nodes,
+/// externals, seed).
+Topology Wan(int nodes, int externals, std::uint64_t seed);
+
+/// Parameters for a multi-AS provider mesh (the provider/customer family).
+struct MeshParams {
+  int cores = 3;      ///< mesh routers "M<i>" (AS 100); full mesh up to 4,
+                      ///< ring + skip-chords beyond
+  int providers = 2;  ///< provider peers "P<i>" (AS 2000+i), dual-homed
+  int customers = 1;  ///< customer peers "CU<i>" (AS 3000+i), single-homed
+};
+
+/// Builds the provider mesh: providers are dual-homed to consecutive core
+/// routers (multi-path/ECMP shape), customers hang off cores on the far
+/// side of the ring.
+Topology ProviderMesh(const MeshParams& params);
+
 }  // namespace ns::net

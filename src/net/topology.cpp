@@ -1,6 +1,8 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <map>
 #include <sstream>
 
 #include "util/status.hpp"
@@ -22,9 +24,14 @@ RouterId Topology::AddRouter(std::string name, Asn asn, bool external) {
 }
 
 void Topology::AddLink(RouterId a, RouterId b) {
-  // Auto-assign a /30: 10.<link>.0.1 and 10.<link>.0.2.
-  const auto link_index = static_cast<std::uint8_t>(links_.size() + 1);
-  AddLink(a, b, Ipv4Addr(10, link_index, 0, 1), Ipv4Addr(10, link_index, 0, 2));
+  // Auto-assign a /30. Links 1..255 keep the historical 10.<link>.0.x
+  // form (checked-in corpus files render these); larger indices spill
+  // into the third octet, which indices 1..255 never use, so addresses
+  // stay unique up to 65535 links instead of silently wrapping a byte.
+  const std::size_t index = links_.size() + 1;
+  const auto lo = static_cast<std::uint8_t>(index & 0xff);
+  const auto hi = static_cast<std::uint8_t>((index >> 8) & 0xff);
+  AddLink(a, b, Ipv4Addr(10, lo, hi, 1), Ipv4Addr(10, lo, hi, 2));
 }
 
 void Topology::AddLink(RouterId a, RouterId b, Ipv4Addr addr_a,
@@ -185,6 +192,22 @@ std::vector<RouterId> Topology::AllRouters() const {
 void Topology::CheckId(RouterId id) const {
   NS_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < routers_.size(),
                 "router id out of range: " + std::to_string(id));
+}
+
+std::size_t Distance(const Topology& topo, RouterId from, RouterId to) {
+  constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+  if (from == kInvalidRouter || to == kInvalidRouter) return kUnreachable;
+  std::map<RouterId, std::size_t> dist{{from, 0}};
+  std::deque<RouterId> frontier{from};
+  while (!frontier.empty()) {
+    const RouterId at = frontier.front();
+    frontier.pop_front();
+    if (at == to) return dist[at];
+    for (const RouterId next : topo.Neighbors(at)) {
+      if (dist.emplace(next, dist[at] + 1).second) frontier.push_back(next);
+    }
+  }
+  return kUnreachable;
 }
 
 }  // namespace ns::net

@@ -109,4 +109,8 @@ class Topology {
   std::map<std::string, RouterId, std::less<>> by_name_;
 };
 
+/// Unweighted hop distance between two routers (BFS); SIZE_MAX when
+/// disconnected or either id is invalid.
+std::size_t Distance(const Topology& topo, RouterId from, RouterId to);
+
 }  // namespace ns::net

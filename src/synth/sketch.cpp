@@ -80,4 +80,25 @@ RouteMapEntry& AddActionHoleEntry(RouteMap& map, int seq,
   return map.entries.back();
 }
 
+RouteMapEntry& AddCommunityTagEntry(RouteMap& map, int seq,
+                                    config::Community community) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = RmAction::kPermit;
+  entry.sets.add_community = Field<config::Community>(community);
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
+RouteMapEntry& AddCommunityScreenEntry(RouteMap& map, int seq,
+                                       config::Community community) {
+  RouteMapEntry entry;
+  entry.seq = seq;
+  entry.action = Field<RmAction>::Hole(HoleName(map.name, seq, "action"));
+  entry.match.field = MatchField::kCommunity;
+  entry.match.community = Field<config::Community>(community);
+  map.entries.push_back(std::move(entry));
+  return map.entries.back();
+}
+
 }  // namespace ns::synth

@@ -46,4 +46,16 @@ config::RouteMapEntry& AddActionHoleEntry(config::RouteMap& map, int seq,
 /// knob scenario 2 gives R3 to drop detour routes at its import interfaces.
 config::RouteMapEntry& AddViaScreenEntry(config::RouteMap& map, int seq);
 
+/// Appends a concrete permit-all entry that tags routes with `community`
+/// (the provider-mesh import idiom: mark where a route entered the AS).
+config::RouteMapEntry& AddCommunityTagEntry(config::RouteMap& map, int seq,
+                                            config::Community community);
+
+/// Appends a community screening entry: `<?action> match community <c>` —
+/// the action is a hole, so synthesis decides whether routes carrying the
+/// tag are released or dropped at this session (community-driven
+/// no-transit, the multi-AS counterpart of AddViaScreenEntry).
+config::RouteMapEntry& AddCommunityScreenEntry(config::RouteMap& map, int seq,
+                                               config::Community community);
+
 }  // namespace ns::synth

@@ -1,0 +1,500 @@
+#include "testkit/families.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "config/routemap.hpp"
+#include "net/builders.hpp"
+#include "ospf/synth.hpp"
+#include "spec/parser.hpp"
+#include "synth/sketch.hpp"
+
+namespace ns::testkit {
+
+namespace {
+
+using net::RouterId;
+
+spec::PathPattern WildcardPattern(const std::string& from,
+                                  const std::string& to) {
+  spec::PathPattern pattern;
+  pattern.elems.push_back(spec::PathElem::Node(from));
+  pattern.elems.push_back(spec::PathElem::Wildcard());
+  pattern.elems.push_back(spec::PathElem::Node(to));
+  return pattern;
+}
+
+spec::PathPattern ConcretePattern(const net::Topology& topo,
+                                  const net::Path& path) {
+  spec::PathPattern pattern;
+  for (const RouterId id : path) {
+    pattern.elems.push_back(spec::PathElem::Node(topo.NameOf(id)));
+  }
+  return pattern;
+}
+
+/// Traffic-direction preference pattern: concrete source->...->origin hops
+/// followed by `...->Dk` (the Fig. 3 shape, same as gen.cpp's).
+spec::PathPattern PreferencePattern(const net::Topology& topo,
+                                    const net::Path& traffic_path,
+                                    const std::string& dest) {
+  spec::PathPattern pattern = ConcretePattern(topo, traffic_path);
+  pattern.elems.push_back(spec::PathElem::Wildcard());
+  pattern.elems.push_back(spec::PathElem::Node(dest));
+  return pattern;
+}
+
+std::vector<std::string> ExternalNames(const net::Topology& topo) {
+  std::vector<std::string> out;
+  for (RouterId id : topo.AllRouters()) {
+    if (topo.GetRouter(id).external) out.push_back(topo.NameOf(id));
+  }
+  return out;
+}
+
+std::vector<std::string> InternalNames(const net::Topology& topo) {
+  std::vector<std::string> out;
+  for (RouterId id : topo.AllRouters()) {
+    if (!topo.GetRouter(id).external) out.push_back(topo.NameOf(id));
+  }
+  return out;
+}
+
+/// Ensures every session towards `peer` carries an export sketch (a fully
+/// symbolic blocking entry + permit tail). The family specs anchor on
+/// no-transit forbids towards specific peers; without a knob on those
+/// sessions the anchor is trivially unsynthesizable and the fuzz run
+/// degenerates to unsat statistics.
+void EnsureExportSketch(FuzzScenario& scenario, const std::string& peer) {
+  const RouterId id = scenario.topo.FindRouter(peer);
+  for (RouterId nbr : scenario.topo.Neighbors(id)) {
+    config::RouterConfig& cfg =
+        *scenario.sketch.FindRouter(scenario.topo.NameOf(nbr));
+    if (cfg.FindNeighbor(peer)->export_map) continue;
+    config::RouteMap& map = config::EnsureExportMap(cfg, peer);
+    synth::AddSymbolicEntry(map, 10);
+    map.entries.push_back(config::PermitAll(100));
+  }
+}
+
+/// Finishes a family scenario: random sketch over the family topology
+/// (with export knobs guaranteed on the sessions towards `anchor_peers`),
+/// random question, random lift mode — the shared back half of every
+/// family generator.
+void FinishScenario(util::Rng& rng, FuzzScenario& scenario,
+                    const SketchStyle& style,
+                    const std::vector<std::string>& anchor_peers) {
+  scenario.sketch = RandomSketchFor(rng, scenario.topo, scenario.spec, style);
+  for (const std::string& peer : anchor_peers) {
+    EnsureExportSketch(scenario, peer);
+  }
+  scenario.selection = RandomSelectionFor(rng, scenario.sketch);
+  scenario.mode =
+      rng.Coin() ? explain::LiftMode::kExact : explain::LiftMode::kFaithful;
+}
+
+// ------------------------------------------------- fuzz-scale generators
+
+/// Tiny Clos: two pods, 1-2 ToRs and one agg each, 1-2 cores, one external
+/// per pod. Spec anchors on the family structure: cross-pod no-transit
+/// between the pod externals, plus an occasional cross-pod reachability
+/// allow.
+FuzzScenario FatTreeScenario(util::Rng& rng, std::uint64_t seed) {
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  net::ClosParams params;
+  params.pods = 2;
+  params.edges_per_pod = rng.Range(1, 2);
+  params.aggs_per_pod = 1;
+  params.cores = rng.Range(1, 2);
+  params.externals_per_pod = 1;
+  scenario.topo = net::Clos(params);
+
+  spec::Requirement req;
+  req.name = "Req1";
+  req.statements.push_back(
+      spec::ForbidStmt{WildcardPattern("X1_1", "X2_1")});
+  if (rng.Coin()) {
+    req.statements.push_back(
+        spec::ForbidStmt{WildcardPattern("X2_1", "X1_1")});
+  }
+  scenario.spec.requirements.push_back(std::move(req));
+  if (rng.Coin()) {
+    // Reachability across pods: routes from pod 2's peer must still reach
+    // a fabric router (the no-transit forbids must not overshoot).
+    const std::vector<std::string> internal = InternalNames(scenario.topo);
+    spec::Requirement reach;
+    reach.name = "Req2";
+    reach.statements.push_back(spec::AllowStmt{WildcardPattern(
+        "X2_1",
+        internal[static_cast<std::size_t>(rng.Below(internal.size()))])});
+    scenario.spec.requirements.push_back(std::move(reach));
+  }
+  FinishScenario(rng, scenario, SketchStyle{}, {"X1_1", "X2_1"});
+  return scenario;
+}
+
+/// Small Topology-Zoo-style WAN with the generic random spec machinery:
+/// the family's value is the degree-skewed, clustered wiring under every
+/// statement shape the paper generator produces.
+FuzzScenario WanScenario(util::Rng& rng, std::uint64_t seed,
+                         const GenOptions& options) {
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  const int nodes = rng.Range(3, 5);
+  const int externals = rng.Range(2, 3);
+  scenario.topo = net::Wan(nodes, externals, rng.Next());
+  scenario.spec = RandomSpecFor(rng, scenario.topo, options);
+  FinishScenario(rng, scenario, SketchStyle{}, {});
+  return scenario;
+}
+
+/// Tiny provider mesh: no-transit between the dual-homed providers,
+/// customer reachability, and (coin) an ECMP-shaped preference over the
+/// two provider attachment paths. The sketch gets the community pass, so
+/// synthesis can solve the no-transit with tag+screen entries.
+FuzzScenario MultiAsScenario(util::Rng& rng, std::uint64_t seed) {
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  net::MeshParams params;
+  params.cores = rng.Range(2, 3);
+  params.providers = 2;
+  params.customers = rng.Range(0, 1);
+  scenario.topo = net::ProviderMesh(params);
+
+  spec::Requirement req;
+  req.name = "Req1";
+  req.statements.push_back(spec::ForbidStmt{WildcardPattern("P1", "P2")});
+  if (rng.Coin()) {
+    req.statements.push_back(spec::ForbidStmt{WildcardPattern("P2", "P1")});
+  }
+  scenario.spec.requirements.push_back(std::move(req));
+  if (params.customers >= 1 && rng.Coin()) {
+    spec::Requirement reach;
+    reach.name = "Req2";
+    reach.statements.push_back(
+        spec::AllowStmt{WildcardPattern("P1", "CU1")});
+    scenario.spec.requirements.push_back(std::move(reach));
+  }
+  if (rng.Coin()) {
+    // ECMP-shaped multi-path preference: rank the concrete paths from a
+    // far vantage point to dual-homed P1's destination.
+    spec::DestDecl decl;
+    decl.name = "D1";
+    decl.prefix = net::Prefix(net::Ipv4Addr(128, 0, 1, 0), 24);
+    decl.origins.push_back("P1");
+    const std::string source = params.customers >= 1
+                                   ? "CU1"
+                                   : "M" + std::to_string(params.cores);
+    std::vector<spec::PathPattern> viable;
+    for (const net::Path& path : scenario.topo.SimplePaths(
+             scenario.topo.FindRouter(source), scenario.topo.FindRouter("P1"),
+             static_cast<int>(scenario.topo.NumRouters()))) {
+      viable.push_back(PreferencePattern(scenario.topo, path, decl.name));
+    }
+    if (viable.size() >= 2) {
+      scenario.spec.destinations.push_back(std::move(decl));
+      spec::PreferStmt prefer;
+      const std::size_t first =
+          static_cast<std::size_t>(rng.Below(viable.size()));
+      prefer.ranking.push_back(viable[first]);
+      viable.erase(viable.begin() + static_cast<std::ptrdiff_t>(first));
+      prefer.ranking.push_back(
+          viable[static_cast<std::size_t>(rng.Below(viable.size()))]);
+      spec::Requirement pref_req;
+      pref_req.name =
+          "Req" + std::to_string(scenario.spec.requirements.size() + 1);
+      pref_req.statements.push_back(std::move(prefer));
+      scenario.spec.requirements.push_back(std::move(pref_req));
+    }
+  }
+  FinishScenario(rng, scenario, SketchStyle{.communities = true}, {"P1", "P2"});
+  return scenario;
+}
+
+/// Ring with OSPF in the loop: synthesize link weights making one arc
+/// between the two attachment routers the unique shortest path, then spec
+/// the BGP side along that IGP corridor (a concrete no-transit forbid).
+/// The weights only inform generation — the scenario itself stays within
+/// the corpus v1 format.
+FuzzScenario OspfMixScenario(util::Rng& rng, std::uint64_t seed) {
+  FuzzScenario scenario;
+  scenario.seed = seed;
+  const int n = rng.Range(3, 5);
+  scenario.topo = net::Ring(n);
+
+  // The ring's externals attach at R1 and R(n/2+1); the required arc walks
+  // one side of the ring between them.
+  net::Path arc;
+  for (int i = 0; i <= n / 2; ++i) {
+    arc.push_back(scenario.topo.FindRouter("R" + std::to_string(i + 1)));
+  }
+  spec::Spec ospf_spec;
+  spec::Requirement ospf_req;
+  ospf_req.name = "Igp1";
+  ospf_req.statements.push_back(
+      spec::AllowStmt{ConcretePattern(scenario.topo, arc)});
+  ospf_spec.requirements.push_back(std::move(ospf_req));
+
+  net::Path corridor = arc;
+  ospf::OspfSynthesizer synthesizer(scenario.topo, ospf_spec);
+  auto weights =
+      synthesizer.Synthesize(ospf::WeightConfig::SketchFor(scenario.topo));
+  if (weights.ok()) {
+    auto tree = ospf::ShortestPaths(scenario.topo, weights.value(),
+                                    arc.front());
+    if (tree.ok()) {
+      const auto it = tree.value().path.find(arc.back());
+      if (it != tree.value().path.end()) corridor = it->second;
+    }
+  }
+
+  spec::Requirement req;
+  req.name = "Req1";
+  net::Path forbidden;
+  forbidden.push_back(scenario.topo.FindRouter("PeerA"));
+  forbidden.insert(forbidden.end(), corridor.begin(), corridor.end());
+  forbidden.push_back(scenario.topo.FindRouter("PeerB"));
+  req.statements.push_back(
+      spec::ForbidStmt{ConcretePattern(scenario.topo, forbidden)});
+  if (rng.Coin()) {
+    req.statements.push_back(
+        spec::ForbidStmt{WildcardPattern("PeerB", "PeerA")});
+  }
+  scenario.spec.requirements.push_back(std::move(req));
+  if (rng.Coin()) {
+    spec::Requirement reach;
+    reach.name = "Req2";
+    reach.statements.push_back(spec::AllowStmt{WildcardPattern(
+        "PeerA", "R" + std::to_string(rng.Range(1, n)))});
+    scenario.spec.requirements.push_back(std::move(reach));
+  }
+  FinishScenario(rng, scenario, SketchStyle{}, {"PeerA", "PeerB"});
+  return scenario;
+}
+
+// ------------------------------------------------ bench-scale problems
+
+/// The bench_scaling MakeProblem pattern: a no-transit spec between `e1`
+/// and `e2` solved by deny-all exports at their attachment routers.
+/// Renders `dest` declarations for the externals' skeleton-originated
+/// prefixes so both the encoder and the independent simulator checker
+/// project routes for them (the checker only sees declared destinations).
+std::string DestDecls(const config::NetworkConfig& solved,
+                      std::initializer_list<std::string> externals) {
+  std::string text;
+  int index = 0;
+  for (const std::string& ext : externals) {
+    ++index;
+    const config::RouterConfig* cfg = solved.FindRouter(ext);
+    NS_ASSERT(cfg != nullptr && !cfg->networks.empty());
+    text += "dest D" + std::to_string(index) + " = " +
+            cfg->networks.front().ToString() + " at " + ext + "\n";
+  }
+  return text;
+}
+
+void SolveNoTransit(FamilyProblem& problem, const std::string& e1,
+                    const std::string& e2) {
+  problem.solved = config::SkeletonFor(problem.topo);
+  auto spec = spec::ParseSpec(DestDecls(problem.solved, {e1, e2}) +
+                              "Req1 {\n  !(" + e1 + "->...->" + e2 +
+                              ")\n  !(" + e2 + "->...->" + e1 + ")\n}");
+  NS_ASSERT(spec.ok());
+  problem.spec = std::move(spec).value();
+  for (const std::string& ext : {e1, e2}) {
+    const RouterId ext_id = problem.topo.FindRouter(ext);
+    for (RouterId nbr : problem.topo.Neighbors(ext_id)) {
+      config::RouterConfig& attach =
+          *problem.solved.FindRouter(problem.topo.NameOf(nbr));
+      config::RouteMap& map = config::EnsureExportMap(attach, ext);
+      if (map.entries.empty()) map.entries.push_back(config::DenyAll(10));
+      if (problem.question_router.empty()) {
+        problem.question_router = attach.router;
+        problem.question_map = map.name;
+      }
+    }
+  }
+}
+
+FamilyProblem FatTreeProblem(int k) {
+  NS_ASSERT_MSG(k >= 2 && k % 2 == 0, "fat-tree size must be even");
+  FamilyProblem problem;
+  net::ClosParams params;
+  params.pods = k;
+  params.edges_per_pod = k / 2;
+  params.aggs_per_pod = k / 2;
+  params.cores = (k / 2) * (k / 2);
+  params.externals_per_pod = 0;  // exactly two peers, added below
+  problem.topo = net::Clos(params);
+  const RouterId x1 = problem.topo.AddRouter("X1", 500, /*external=*/true);
+  const RouterId x2 = problem.topo.AddRouter("X2", 600, /*external=*/true);
+  problem.topo.AddLink(x1, problem.topo.FindRouter("T1_1"));
+  problem.topo.AddLink(x2, problem.topo.FindRouter("T2_1"));
+  // Peer->ToR->agg->core->agg->ToR->peer is the longest useful corridor.
+  problem.max_hops = 6;
+  SolveNoTransit(problem, "X1", "X2");
+  return problem;
+}
+
+FamilyProblem WanProblem(int nodes, std::uint64_t seed) {
+  FamilyProblem problem;
+  problem.topo = net::Wan(nodes, 2, seed);
+  problem.max_hops = 8;
+  SolveNoTransit(problem, "XW1", "XW2");
+  return problem;
+}
+
+FamilyProblem MultiAsProblem(int cores) {
+  FamilyProblem problem;
+  net::MeshParams params;
+  params.cores = cores;
+  params.providers = 2;
+  params.customers = 1;
+  problem.topo = net::ProviderMesh(params);
+  // The mesh is dense, so an unbounded hop limit explodes the candidate
+  // paths without adding usable routes. Bound by the P1->CU1 corridor
+  // (the longest distance any requirement needs) plus one hop of slack
+  // for the alternate dual-homed entry.
+  problem.max_hops =
+      static_cast<int>(net::Distance(problem.topo,
+                                     problem.topo.FindRouter("P1"),
+                                     problem.topo.FindRouter("CU1"))) +
+      1;
+
+  // Community-driven solution: tag provider routes where they enter the
+  // mesh, drop the other provider's tag at every exit towards a provider.
+  // Unlike the deny-all pattern this keeps provider->customer reachability
+  // (Req2) while blocking provider->provider transit (Req1).
+  problem.solved = config::SkeletonFor(problem.topo);
+  auto spec = spec::ParseSpec(
+      DestDecls(problem.solved, {"P1", "P2"}) +
+      "Req1 {\n  !(P1->...->P2)\n  !(P2->...->P1)\n}\n"
+      "Req2 {\n  (P1->...->CU1)\n}");
+  NS_ASSERT(spec.ok());
+  problem.spec = std::move(spec).value();
+  const config::Community tag_p1 = config::MakeCommunity(100, 1);
+  const config::Community tag_p2 = config::MakeCommunity(100, 2);
+  for (const auto& [provider, own_tag, other_tag] :
+       {std::tuple{std::string("P1"), tag_p1, tag_p2},
+        std::tuple{std::string("P2"), tag_p2, tag_p1}}) {
+    const RouterId ext_id = problem.topo.FindRouter(provider);
+    for (RouterId nbr : problem.topo.Neighbors(ext_id)) {
+      config::RouterConfig& attach =
+          *problem.solved.FindRouter(problem.topo.NameOf(nbr));
+      config::RouteMap& imp = config::EnsureImportMap(attach, provider);
+      if (imp.entries.empty()) {
+        synth::AddCommunityTagEntry(imp, 10, own_tag);
+      }
+      config::RouteMap& exp = config::EnsureExportMap(attach, provider);
+      if (exp.entries.empty()) {
+        config::RouteMapEntry screen;
+        screen.seq = 10;
+        screen.action = config::RmAction::kDeny;
+        screen.match.field = config::MatchField::kCommunity;
+        screen.match.community = other_tag;
+        exp.entries.push_back(std::move(screen));
+        exp.entries.push_back(config::PermitAll(100));
+      }
+      if (problem.question_router.empty()) {
+        problem.question_router = attach.router;
+        problem.question_map = exp.name;
+      }
+    }
+  }
+  return problem;
+}
+
+FamilyProblem OspfMixProblem(int ring) {
+  NS_ASSERT_MSG(ring >= 3, "ospf ring needs >=3 routers");
+  FamilyProblem problem;
+  problem.topo = net::Ring(ring);
+  problem.max_hops = ring + 2;
+
+  net::Path arc;
+  for (int i = 0; i <= ring / 2; ++i) {
+    arc.push_back(problem.topo.FindRouter("R" + std::to_string(i + 1)));
+  }
+  spec::Spec ospf_spec;
+  spec::Requirement req;
+  req.name = "Igp1";
+  req.statements.push_back(
+      spec::AllowStmt{ConcretePattern(problem.topo, arc)});
+  ospf_spec.requirements.push_back(std::move(req));
+  ospf::OspfSynthesizer synthesizer(problem.topo, ospf_spec);
+  auto weights =
+      synthesizer.Synthesize(ospf::WeightConfig::SketchFor(problem.topo));
+  NS_ASSERT_MSG(weights.ok(), "ospf arc requirement must be satisfiable");
+  problem.weights = std::move(weights).value();
+  problem.ospf_spec = std::move(ospf_spec);
+
+  SolveNoTransit(problem, "PeerA", "PeerB");
+  return problem;
+}
+
+}  // namespace
+
+const char* FamilyName(Family family) noexcept {
+  switch (family) {
+    case Family::kPaper: return "paper";
+    case Family::kFatTree: return "fattree";
+    case Family::kWan: return "wan";
+    case Family::kMultiAs: return "multias";
+    case Family::kOspfMix: return "ospfmix";
+  }
+  return "?";
+}
+
+util::Result<Family> ParseFamily(std::string_view name) {
+  for (Family family : AllFamilies()) {
+    if (name == FamilyName(family)) return family;
+  }
+  return util::Error(util::ErrorCode::kInvalidArgument,
+                     "unknown family '" + std::string(name) +
+                         "' (expected paper|fattree|wan|multias|ospfmix)");
+}
+
+std::vector<Family> AllFamilies() {
+  return {Family::kPaper, Family::kFatTree, Family::kWan, Family::kMultiAs,
+          Family::kOspfMix};
+}
+
+FuzzScenario GenerateFamilyScenario(Family family, std::uint64_t seed,
+                                    const GenOptions& options) {
+  if (family == Family::kPaper) return GenerateScenario(seed, options);
+  // Decouple the family streams: the same seed explores different corners
+  // in different families.
+  util::Rng rng(seed ^ (static_cast<std::uint64_t>(family) << 56));
+  switch (family) {
+    case Family::kFatTree: return FatTreeScenario(rng, seed);
+    case Family::kWan: return WanScenario(rng, seed, options);
+    case Family::kMultiAs: return MultiAsScenario(rng, seed);
+    case Family::kOspfMix: return OspfMixScenario(rng, seed);
+    case Family::kPaper: break;
+  }
+  return GenerateScenario(seed, options);
+}
+
+FamilyProblem MakeFamilyProblem(Family family, int size, std::uint64_t seed) {
+  FamilyProblem problem;
+  switch (family) {
+    case Family::kPaper: {
+      problem.topo = net::PaperFig1b();
+      const auto externals = ExternalNames(problem.topo);
+      SolveNoTransit(problem, externals[0], externals[1]);
+      break;
+    }
+    case Family::kFatTree: problem = FatTreeProblem(size); break;
+    case Family::kWan: problem = WanProblem(size, seed); break;
+    case Family::kMultiAs: problem = MultiAsProblem(size); break;
+    case Family::kOspfMix: problem = OspfMixProblem(size); break;
+  }
+  problem.family = family;
+  problem.size = size;
+  problem.label =
+      std::string(FamilyName(family)) + "(" + std::to_string(size) + ")";
+  return problem;
+}
+
+}  // namespace ns::testkit

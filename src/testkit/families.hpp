@@ -1,0 +1,84 @@
+// Topology-family generators (ROADMAP item 4): the realistic topology
+// classes the NetComplete line of work evaluates on — k-ary fat-tree /
+// Clos data centers, Topology-Zoo-style WANs, and multi-AS provider
+// meshes — plus mixed OSPF+BGP scenarios reusing the OSPF weight
+// synthesizer.
+//
+// Each family comes in two scales:
+//  - fuzz scale (GenerateFamilyScenario): small instances of the family
+//    shape, with family-flavored specs (cross-pod no-transit, provider
+//    no-transit via communities, IGP-informed forbids), cheap enough that
+//    every netfuzz oracle — including the Z3-backed ones — runs per seed.
+//    Scenarios are pure functions of (family, seed) and round-trip
+//    through the corpus text format like any other FuzzScenario.
+//  - bench scale (MakeFamilyProblem): solved-by-construction no-transit
+//    problems over arbitrarily large family instances (no solver in the
+//    loop), the input of the bench_scaling size sweep and of the
+//    paper-scale-assumption tests in tests/families_test.cpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ospf/weights.hpp"
+#include "testkit/gen.hpp"
+
+namespace ns::testkit {
+
+enum class Family {
+  kPaper,    ///< the historical random Fig. 1b-scale generator
+  kFatTree,  ///< pod-structured Clos / k-ary fat-tree fabrics
+  kWan,      ///< Topology-Zoo-style WANs (preferential attachment)
+  kMultiAs,  ///< provider meshes: communities + dual-homed peers
+  kOspfMix,  ///< OSPF-weight-informed BGP scenarios on rings
+};
+
+/// Canonical flag spelling: "paper", "fattree", "wan", "multias",
+/// "ospfmix".
+const char* FamilyName(Family family) noexcept;
+
+/// Inverse of FamilyName; kInvalidArgument on unknown names.
+util::Result<Family> ParseFamily(std::string_view name);
+
+/// All families, in enum order.
+std::vector<Family> AllFamilies();
+
+/// Deterministically generates the fuzz-scale scenario for `seed` within
+/// `family`. kPaper delegates to GenerateScenario unchanged; the other
+/// families build their family topology and grow family-flavored specs
+/// plus the usual random sketch and question over it.
+FuzzScenario GenerateFamilyScenario(Family family, std::uint64_t seed,
+                                    const GenOptions& options = {});
+
+/// A bench-scale problem instance: a solved no-transit configuration over
+/// a family topology of the requested size, valid against `spec` by
+/// construction (the bench_scaling MakeProblem pattern — no solver runs).
+struct FamilyProblem {
+  std::string label;  ///< e.g. "fattree(4)"
+  Family family = Family::kFatTree;
+  int size = 0;  ///< family size parameter (fat-tree arity, WAN nodes, ...)
+  net::Topology topo;
+  spec::Spec spec;
+  config::NetworkConfig solved;
+  std::string question_router;
+  std::string question_map;
+  /// Encoder candidate-path bound appropriate for this family and size
+  /// (0 = every simple path). Pass as SubspecOptions::encoder.max_hops /
+  /// EncoderOptions::max_hops; unbounded enumeration is exponential on
+  /// the dense families.
+  int max_hops = 0;
+  /// kOspfMix only: the synthesized IGP weights and the weight spec they
+  /// satisfy (ValidateOspf-checkable).
+  std::optional<ospf::WeightConfig> weights;
+  std::optional<spec::Spec> ospf_spec;
+};
+
+/// Builds the problem for (family, size, seed). `size` is the fat-tree
+/// arity k (even), WAN node count, provider-mesh core count, or OSPF ring
+/// length; kPaper ignores `size` and returns the Fig. 1b problem. `seed`
+/// only matters for the randomized families (WAN wiring).
+FamilyProblem MakeFamilyProblem(Family family, int size,
+                                std::uint64_t seed = 1);
+
+}  // namespace ns::testkit

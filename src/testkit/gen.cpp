@@ -295,13 +295,27 @@ struct SpecBuilder {
   }
 };
 
+}  // namespace
+
+// ----------------------------------------------------------------- spec
+
+spec::Spec RandomSpecFor(util::Rng& rng, const net::Topology& topo,
+                         const GenOptions& options) {
+  SpecBuilder builder{rng, topo, options, {}, {}, {}, {}};
+  for (const net::RouterId id : topo.AllRouters()) {
+    const net::Router& router = topo.GetRouter(id);
+    builder.everyone.push_back(router.name);
+    if (router.external) builder.externals.push_back(router.name);
+  }
+  return builder.Build();
+}
+
 // --------------------------------------------------------------- sketch
 
-/// Randomly sketches the session policies: symbolic blocking entries on
-/// external-facing exports (the Fig. 1c shape), screening/preference
-/// entries on imports, occasional policy on internal sessions.
-config::NetworkConfig RandomSketch(util::Rng& rng, const net::Topology& topo,
-                                   const spec::Spec& spec) {
+config::NetworkConfig RandomSketchFor(util::Rng& rng,
+                                      const net::Topology& topo,
+                                      const spec::Spec& spec,
+                                      const SketchStyle& style) {
   config::NetworkConfig network = config::SkeletonFor(topo);
 
   const auto random_dest_prefix = [&]() -> net::Prefix {
@@ -368,14 +382,60 @@ config::NetworkConfig RandomSketch(util::Rng& rng, const net::Topology& topo,
   if (symbolic_maps == 0) {
     // Guarantee at least one symbolic map: sketch the first external-facing
     // export (every generated topology has one).
+    bool guaranteed = false;
     for (auto& [name, cfg] : network.routers) {
+      if (guaranteed) break;
       if (topo.GetRouter(topo.FindRouter(name)).external) continue;
       for (const config::Neighbor& session : cfg.neighbors) {
         if (!topo.GetRouter(topo.FindRouter(session.peer)).external) continue;
         config::RouteMap& map = config::EnsureExportMap(cfg, session.peer);
         synth::AddSymbolicEntry(map, 10);
         map.entries.push_back(config::PermitAll(100));
-        return network;
+        guaranteed = true;
+        break;
+      }
+    }
+  }
+
+  if (style.communities) {
+    // Community pass (runs strictly after the base pass so the default
+    // style reproduces the historical rng stream byte for byte). First tag
+    // routes where they enter the AS: permit-all + add-community entries
+    // on external imports the base pass left unsketched.
+    std::vector<config::Community> tags;
+    for (auto& [name, cfg] : network.routers) {
+      if (topo.GetRouter(topo.FindRouter(name)).external) continue;
+      for (config::Neighbor& session : cfg.neighbors) {
+        const net::Router& peer =
+            topo.GetRouter(topo.FindRouter(session.peer));
+        if (!peer.external || session.import_map) continue;
+        if (!rng.Chance(2, 3)) continue;
+        const auto tag = config::MakeCommunity(
+            100, static_cast<std::uint16_t>(peer.asn & 0xffff));
+        synth::AddCommunityTagEntry(
+            config::EnsureImportMap(cfg, session.peer), 10, tag);
+        tags.push_back(tag);
+      }
+    }
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    if (!tags.empty()) {
+      // Then screen on the way out: action-hole entries over the tagged
+      // communities on unsketched external exports — synthesis decides
+      // which tags are released to which peer (community no-transit).
+      for (auto& [name, cfg] : network.routers) {
+        if (topo.GetRouter(topo.FindRouter(name)).external) continue;
+        for (config::Neighbor& session : cfg.neighbors) {
+          const net::Router& peer =
+              topo.GetRouter(topo.FindRouter(session.peer));
+          if (!peer.external || session.export_map) continue;
+          if (!rng.Chance(1, 2)) continue;
+          config::RouteMap& map =
+              config::EnsureExportMap(cfg, session.peer);
+          synth::AddCommunityScreenEntry(
+              map, 10, tags[static_cast<std::size_t>(rng.Below(tags.size()))]);
+          map.entries.push_back(config::PermitAll(100));
+        }
       }
     }
   }
@@ -384,8 +444,8 @@ config::NetworkConfig RandomSketch(util::Rng& rng, const net::Topology& topo,
 
 // ------------------------------------------------------------ selection
 
-explain::Selection RandomSelection(util::Rng& rng,
-                                   const config::NetworkConfig& sketch) {
+explain::Selection RandomSelectionFor(util::Rng& rng,
+                                      const config::NetworkConfig& sketch) {
   // Candidate (router, map) pairs, in deterministic map order.
   std::vector<std::pair<std::string, std::string>> maps;
   std::set<std::string> routers_with_maps;
@@ -418,8 +478,6 @@ explain::Selection RandomSelection(util::Rng& rng,
   }
 }
 
-}  // namespace
-
 std::vector<std::string> FuzzScenario::RoutersWithMaps() const {
   std::vector<std::string> out;
   for (const auto& [name, cfg] : sketch.routers) {
@@ -437,15 +495,9 @@ FuzzScenario GenerateScenario(std::uint64_t seed, const GenOptions& options) {
   int num_external = 0;
   scenario.topo = RandomTopology(rng, options, &num_internal, &num_external);
 
-  SpecBuilder builder{rng, scenario.topo, options, {}, {}, {}, {}};
-  for (const net::RouterId id : scenario.topo.AllRouters()) {
-    const net::Router& router = scenario.topo.GetRouter(id);
-    builder.everyone.push_back(router.name);
-    if (router.external) builder.externals.push_back(router.name);
-  }
-  scenario.spec = builder.Build();
-  scenario.sketch = RandomSketch(rng, scenario.topo, scenario.spec);
-  scenario.selection = RandomSelection(rng, scenario.sketch);
+  scenario.spec = RandomSpecFor(rng, scenario.topo, options);
+  scenario.sketch = RandomSketchFor(rng, scenario.topo, scenario.spec);
+  scenario.selection = RandomSelectionFor(rng, scenario.sketch);
   scenario.mode =
       rng.Coin() ? explain::LiftMode::kExact : explain::LiftMode::kFaithful;
   return scenario;

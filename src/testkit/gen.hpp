@@ -51,4 +51,38 @@ struct FuzzScenario {
 FuzzScenario GenerateScenario(std::uint64_t seed,
                               const GenOptions& options = {});
 
+// Building blocks of GenerateScenario, exposed so the topology-family
+// generators (testkit/families.hpp) can grow specs, sketches, and
+// selections over *their* topologies with the same machinery. All three
+// are pure functions of the rng stream and their inputs.
+
+/// Random specification grown from actual paths of `topo` (so it always
+/// passes the linter): destination declarations plus forbid / allow /
+/// preference requirement blocks within `options`' bounds. Never empty.
+spec::Spec RandomSpecFor(util::Rng& rng, const net::Topology& topo,
+                         const GenOptions& options);
+
+/// Flavor knobs for RandomSketchFor beyond the historical default.
+struct SketchStyle {
+  /// Additionally grow community machinery: tag-on-import entries on
+  /// otherwise unsketched external imports, and community screening
+  /// entries (action holes over the tagged communities) on otherwise
+  /// unsketched external exports — the provider-mesh idiom.
+  bool communities = false;
+};
+
+/// Random sketch over a skeleton of `topo`: symbolic blocking entries on
+/// external-facing exports, screening/preference entries on imports,
+/// occasional internal-session policy; at least one symbolic map is
+/// guaranteed. With `style.communities` the community pass runs after the
+/// base pass (the default style draws exactly the historical rng stream).
+config::NetworkConfig RandomSketchFor(util::Rng& rng,
+                                      const net::Topology& topo,
+                                      const spec::Spec& spec,
+                                      const SketchStyle& style = {});
+
+/// Random explain question over a sketch with at least one route-map.
+explain::Selection RandomSelectionFor(util::Rng& rng,
+                                      const config::NetworkConfig& sketch);
+
 }  // namespace ns::testkit

@@ -68,9 +68,35 @@ spec::Spec RenameSpec(const spec::Spec& spec, const RenameMap& renames) {
 }
 
 std::string RenameMapName(const std::string& name, const RenameMap& renames) {
-  std::vector<std::string> tokens = util::Split(name, '_');
-  for (std::string& token : tokens) token = Renamed(token, renames);
-  return util::Join(tokens, "_");
+  // Router names may themselves contain underscores (the fat-tree family's
+  // "T2_1"), so token-wise renaming would silently miss them inside
+  // "T2_1_to_X2_1". Greedily match the longest run of tokens that joins
+  // back into a renamed router name.
+  const std::vector<std::string> tokens = util::Split(name, '_');
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    std::size_t matched = 0;
+    std::string replacement;
+    std::string joined;
+    for (std::size_t j = i; j < tokens.size(); ++j) {
+      if (j > i) joined += '_';
+      joined += tokens[j];
+      const auto it = renames.find(joined);
+      if (it != renames.end()) {
+        matched = j - i + 1;
+        replacement = it->second;
+      }
+    }
+    if (matched > 0) {
+      out.push_back(std::move(replacement));
+      i += matched;
+    } else {
+      out.push_back(tokens[i]);
+      ++i;
+    }
+  }
+  return util::Join(out, "_");
 }
 
 config::NetworkConfig RenameConfig(const config::NetworkConfig& network,

@@ -54,6 +54,35 @@ TEST(RouteMapTest, FindEntryBySeq) {
   EXPECT_EQ(map.FindEntry(15), nullptr);
 }
 
+TEST(DeviceTest, SkeletonPrefixesStayDistinctForManyExternals) {
+  // Regression: the originated prefix used 10.(200 + router id).0.0/24,
+  // so external ids past 55 wrapped the octet into link address space
+  // (and into each other). Family-scale topologies hit this.
+  net::Topology topo;
+  const net::RouterId hub = topo.AddRouter("Hub", 100, false);
+  for (int i = 0; i < 300; ++i) {
+    const net::RouterId ext =
+        topo.AddRouter("X" + std::to_string(i), 500 + i, true);
+    topo.AddLink(hub, ext);
+  }
+  const NetworkConfig network = SkeletonFor(topo);
+  std::vector<net::Prefix> prefixes;
+  for (const auto& [name, cfg] : network.routers) {
+    for (const net::Prefix& prefix : cfg.networks) {
+      for (const net::Prefix& other : prefixes) {
+        EXPECT_FALSE(prefix.Overlaps(other))
+            << name << " originates " << prefix.ToString();
+      }
+      prefixes.push_back(prefix);
+      // Originated space must stay clear of the auto-assigned 10.x/30
+      // link addresses.
+      EXPECT_FALSE(prefix.Contains(net::Ipv4Addr(10, 44, 1, 1)))
+          << prefix.ToString();
+    }
+  }
+  EXPECT_EQ(prefixes.size(), 300u);
+}
+
 TEST(DeviceTest, SkeletonMatchesTopology) {
   const net::Topology topo = net::PaperFig1b();
   const NetworkConfig network = SkeletonFor(topo);

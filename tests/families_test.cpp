@@ -1,0 +1,243 @@
+// Tests for the topology-family generators (ROADMAP item 4): structural
+// invariants of the family builders, determinism and corpus round-trips
+// of the fuzz-scale scenarios, spec-validity of the solved bench-scale
+// problems (checked with the independent control-plane simulator), and
+// byte-identity of the explain/lift pipeline on a fat-tree across fresh
+// vs warm-arena sessions and 1 vs 4 lift threads.
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.hpp"
+#include "explain/arena.hpp"
+#include "explain/batch.hpp"
+#include "net/builders.hpp"
+#include "net/topo_text.hpp"
+#include "ospf/synth.hpp"
+#include "spec/checker.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/families.hpp"
+
+namespace ns::testkit {
+namespace {
+
+std::vector<std::string> RouterNames(const net::Topology& topo) {
+  std::vector<std::string> names;
+  for (const net::RouterId id : topo.AllRouters()) {
+    names.push_back(topo.GetRouter(id).name);
+  }
+  return names;
+}
+
+std::size_t Degree(const net::Topology& topo, const std::string& name) {
+  return topo.Neighbors(topo.FindRouter(name)).size();
+}
+
+bool Connected(const net::Topology& topo) {
+  const auto routers = topo.AllRouters();
+  if (routers.empty()) return true;
+  std::set<net::RouterId> seen{routers.front()};
+  std::queue<net::RouterId> frontier;
+  frontier.push(routers.front());
+  while (!frontier.empty()) {
+    const net::RouterId at = frontier.front();
+    frontier.pop();
+    for (const net::RouterId next : topo.Neighbors(at)) {
+      if (seen.insert(next).second) frontier.push(next);
+    }
+  }
+  return seen.size() == routers.size();
+}
+
+TEST(Families, NamesRoundTrip) {
+  for (const Family family : AllFamilies()) {
+    const auto parsed = ParseFamily(FamilyName(family));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), family);
+  }
+  EXPECT_FALSE(ParseFamily("mesh-of-doom").ok());
+}
+
+TEST(Families, PaperFamilyIsTheLegacyGenerator) {
+  // The --family plumbing must not disturb the historical stream: every
+  // existing corpus seed and golden transcript depends on it.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(SaveScenario(GenerateFamilyScenario(Family::kPaper, seed)),
+              SaveScenario(GenerateScenario(seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Families, GeneratorsAreDeterministic) {
+  for (const Family family : AllFamilies()) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      EXPECT_EQ(SaveScenario(GenerateFamilyScenario(family, seed)),
+                SaveScenario(GenerateFamilyScenario(family, seed)))
+          << FamilyName(family) << " seed " << seed;
+    }
+    EXPECT_NE(SaveScenario(GenerateFamilyScenario(family, 1)),
+              SaveScenario(GenerateFamilyScenario(family, 2)))
+        << FamilyName(family);
+  }
+}
+
+TEST(Families, FamiliesDivergeFromEachOther) {
+  std::set<std::string> texts;
+  for (const Family family : AllFamilies()) {
+    texts.insert(SaveScenario(GenerateFamilyScenario(family, 3)));
+  }
+  EXPECT_EQ(texts.size(), AllFamilies().size());
+}
+
+TEST(Families, ScenariosRoundTripThroughCorpusFormat) {
+  for (const Family family : AllFamilies()) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const FuzzScenario scenario = GenerateFamilyScenario(family, seed);
+      const std::string text = SaveScenario(scenario);
+      const auto loaded = LoadScenario(text);
+      ASSERT_TRUE(loaded.ok())
+          << FamilyName(family) << " seed " << seed << ": "
+          << loaded.error().message();
+      EXPECT_EQ(SaveScenario(loaded.value()), text)
+          << FamilyName(family) << " seed " << seed;
+    }
+  }
+}
+
+TEST(Builders, FatTreeStructure) {
+  const int k = 4;
+  const net::Topology topo = net::FatTree(k);
+  // k pods of k/2 edge + k/2 agg routers, (k/2)^2 cores, one external per
+  // pod.
+  const std::size_t internal = k * k + (k / 2) * (k / 2);
+  EXPECT_EQ(topo.NumRouters(), internal + k);
+  for (int p = 1; p <= k; ++p) {
+    for (int e = 1; e <= k / 2; ++e) {
+      const std::string edge = "T" + std::to_string(p) + "_" +
+                               std::to_string(e);
+      const net::RouterId id = topo.FindRouter(edge);
+      ASSERT_NE(id, net::kInvalidRouter) << edge;
+      // Every edge router reaches every aggregation router of its pod.
+      for (int a = 1; a <= k / 2; ++a) {
+        const std::string agg = "A" + std::to_string(p) + "_" +
+                                std::to_string(a);
+        EXPECT_TRUE(topo.Adjacent(id, topo.FindRouter(agg)))
+            << edge << " <-> " << agg;
+      }
+    }
+  }
+  // Each core router connects exactly one aggregation router per pod.
+  for (int c = 1; c <= (k / 2) * (k / 2); ++c) {
+    EXPECT_EQ(Degree(topo, "C" + std::to_string(c)), static_cast<size_t>(k));
+  }
+  EXPECT_TRUE(Connected(topo));
+}
+
+TEST(Builders, WanIsConnectedAndDeterministic) {
+  const net::Topology topo = net::Wan(16, 2, /*seed=*/3);
+  EXPECT_EQ(topo.NumRouters(), 18u);
+  EXPECT_TRUE(Connected(topo));
+  EXPECT_EQ(net::ToText(topo), net::ToText(net::Wan(16, 2, 3)));
+  EXPECT_NE(net::ToText(topo), net::ToText(net::Wan(16, 2, 4)));
+  // Externals carry distinct private-range AS numbers.
+  std::set<int> external_asns;
+  for (const std::string& name : RouterNames(topo)) {
+    const net::Router& router = topo.GetRouter(topo.FindRouter(name));
+    if (router.external) external_asns.insert(router.asn);
+  }
+  EXPECT_EQ(external_asns.size(), 2u);
+}
+
+TEST(Builders, ProviderMeshStructure) {
+  const net::Topology topo =
+      net::ProviderMesh({.cores = 4, .providers = 2, .customers = 1});
+  // Every non-core AS appears exactly once.
+  std::map<int, int> asn_count;
+  for (const std::string& name : RouterNames(topo)) {
+    const net::Router& router = topo.GetRouter(topo.FindRouter(name));
+    if (router.asn != 100) ++asn_count[router.asn];
+  }
+  EXPECT_EQ(asn_count.size(), 3u);  // P1, P2, CU1
+  for (const auto& [asn, count] : asn_count) {
+    EXPECT_EQ(count, 1) << "AS " << asn;
+  }
+  // Providers are dual-homed; the customer is single-homed.
+  EXPECT_EQ(Degree(topo, "P1"), 2u);
+  EXPECT_EQ(Degree(topo, "P2"), 2u);
+  EXPECT_EQ(Degree(topo, "CU1"), 1u);
+  EXPECT_TRUE(Connected(topo));
+}
+
+TEST(Families, SolvedProblemsSatisfyTheirSpecs) {
+  const std::vector<std::pair<Family, int>> points = {
+      {Family::kFatTree, 2},
+      {Family::kWan, 8},
+      {Family::kMultiAs, 4},
+      {Family::kOspfMix, 6},
+  };
+  for (const auto& [family, size] : points) {
+    const FamilyProblem problem = MakeFamilyProblem(family, size);
+    // The simulator shares no code with the encoder, so this is an
+    // independent check that the solved configs really are solutions.
+    const auto sim = bgp::Simulate(problem.topo, problem.solved);
+    ASSERT_TRUE(sim.ok()) << problem.label << ": " << sim.error().message();
+    const spec::RoutingOutcome outcome =
+        bgp::ToRoutingOutcome(sim.value(), problem.spec);
+    const spec::CheckResult check = spec::Check(problem.spec, outcome);
+    EXPECT_TRUE(check.ok()) << problem.label << ":\n" << check.ToString();
+    EXPECT_FALSE(problem.solved.routers.count(problem.question_router) == 0);
+    const auto& cfg = problem.solved.routers.at(problem.question_router);
+    EXPECT_EQ(cfg.route_maps.count(problem.question_map), 1u)
+        << problem.label;
+  }
+}
+
+TEST(Families, OspfMixWeightsSatisfyTheIgpSpec) {
+  const FamilyProblem problem = MakeFamilyProblem(Family::kOspfMix, 6);
+  ASSERT_TRUE(problem.weights.has_value());
+  ASSERT_TRUE(problem.ospf_spec.has_value());
+  const auto check =
+      ospf::ValidateOspf(problem.topo, *problem.weights, *problem.ospf_spec);
+  ASSERT_TRUE(check.ok()) << check.error().message();
+  EXPECT_TRUE(check.value().ok()) << check.value().ToString();
+}
+
+// Satellite: the explanation pipeline answers byte-identically on a
+// fat-tree whether the session is fresh or seeded from a warm frozen
+// arena, and whether the lift compiles with 1 or 4 threads.
+TEST(Families, FatTreeExplainIsByteIdenticalAcrossArenaAndThreads) {
+  const FamilyProblem problem = MakeFamilyProblem(Family::kFatTree, 2);
+  explain::BatchRequest request;
+  request.selection =
+      explain::Selection::Map(problem.question_router, problem.question_map);
+  request.mode = explain::LiftMode::kFaithful;
+
+  const auto fresh =
+      explain::AnswerRequest(problem.topo, problem.spec, problem.solved,
+                             request);
+  ASSERT_TRUE(fresh.ok()) << fresh.error().message();
+  ASSERT_FALSE(fresh.value().unsat);
+
+  auto registry = std::make_shared<explain::ArenaRegistry>();
+  for (int round = 0; round < 2; ++round) {  // round 2 hits the warm arena
+    for (const int threads : {1, 4}) {
+      explain::BatchRequest warm = request;
+      warm.lift_threads = threads;
+      const auto answer = explain::AnswerRequest(
+          problem.topo, problem.spec, problem.solved, warm, registry);
+      ASSERT_TRUE(answer.ok()) << answer.error().message();
+      EXPECT_EQ(answer.value().report, fresh.value().report)
+          << "round " << round << " threads " << threads;
+      EXPECT_EQ(answer.value().subspec_text, fresh.value().subspec_text)
+          << "round " << round << " threads " << threads;
+    }
+  }
+  EXPECT_GT(registry->stats().reuses, 0u);
+}
+
+}  // namespace
+}  // namespace ns::testkit

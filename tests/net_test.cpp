@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "net/builders.hpp"
 #include "net/prefix.hpp"
@@ -178,6 +179,30 @@ TEST(BuildersTest, FabricDensity) {
   // 2 spines + 3 leaves + 3 peers; links: 2*3 + 3.
   EXPECT_EQ(topo.NumRouters(), 8u);
   EXPECT_EQ(topo.NumLinks(), 9u);
+}
+
+TEST(TopologyTest, AutoAssignedLinkAddressesStayUniquePast255Links) {
+  // Regression: the auto-assigned /30 used to store the link index in a
+  // single octet, so link 257 silently reused link 1's subnet. Family-
+  // scale topologies (fat-trees, WANs) exceed 255 links routinely.
+  Topology topo;
+  const int hubs = 30;
+  for (int i = 0; i < hubs; ++i) {
+    topo.AddRouter("H" + std::to_string(i), 100, false);
+  }
+  for (int a = 0; a < hubs; ++a) {       // complete graph: 435 links
+    for (int b = a + 1; b < hubs; ++b) {
+      topo.AddLink(static_cast<RouterId>(a), static_cast<RouterId>(b));
+    }
+  }
+  ASSERT_GT(topo.NumLinks(), 255u);
+  std::set<std::uint32_t> seen;
+  for (const Link& link : topo.links()) {
+    EXPECT_TRUE(seen.insert(link.addr_a.bits()).second)
+        << link.addr_a.ToString();
+    EXPECT_TRUE(seen.insert(link.addr_b.bits()).second)
+        << link.addr_b.ToString();
+  }
 }
 
 TEST(TopologyTest, DotOutputMentionsEveryRouter) {

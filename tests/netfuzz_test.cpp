@@ -12,6 +12,7 @@
 #include "simplify/rules.hpp"
 #include "spec/lint.hpp"
 #include "testkit/corpus.hpp"
+#include "testkit/families.hpp"
 #include "testkit/gen.hpp"
 #include "testkit/minimize.hpp"
 #include "testkit/oracles.hpp"
@@ -138,6 +139,34 @@ TEST(Transform, RenameRoundTrips) {
   EXPECT_EQ(net::ToText(topo2), net::ToText(scenario.topo));
   const spec::Spec spec2 = RenameSpec(RenameSpec(scenario.spec, there), back);
   EXPECT_EQ(spec2, scenario.spec);
+  const config::NetworkConfig sketch2 =
+      RenameConfig(RenameConfig(scenario.sketch, there), back);
+  EXPECT_EQ(sketch2, scenario.sketch);
+}
+
+TEST(Transform, RenameMapNameHandlesUnderscoredRouterNames) {
+  // Regression: map names join router names with '_', and fat-tree
+  // routers ("T2_1") themselves contain '_'. Token-wise renaming left
+  // them untouched inside "T2_1_to_X2_1", which broke the rename-
+  // isomorphism oracle on the fattree family.
+  const RenameMap renames = {{"T2_1", "QT2_1"}, {"X2_1", "QX2_1"}};
+  EXPECT_EQ(RenameMapName("T2_1_to_X2_1", renames), "QT2_1_to_QX2_1");
+  // Unrelated tokens and partial names stay as-is.
+  EXPECT_EQ(RenameMapName("T2_9_to_other", renames), "T2_9_to_other");
+  // Plain single-token names still rename.
+  EXPECT_EQ(RenameMapName("X2_1_in", renames), "QX2_1_in");
+}
+
+TEST(Transform, FatTreeScenarioRenameRoundTrips) {
+  const FuzzScenario scenario =
+      GenerateFamilyScenario(Family::kFatTree, 1);
+  RenameMap there;
+  RenameMap back;
+  for (const net::RouterId id : scenario.topo.AllRouters()) {
+    const std::string& name = scenario.topo.NameOf(id);
+    there[name] = "Q" + name;
+    back["Q" + name] = name;
+  }
   const config::NetworkConfig sketch2 =
       RenameConfig(RenameConfig(scenario.sketch, there), back);
   EXPECT_EQ(sketch2, scenario.sketch);

@@ -2,6 +2,7 @@
 // explain pipeline (see TESTING.md for the oracle catalog).
 //
 //   netfuzz --runs 500 --seed 1            # the nightly CI invocation
+//   netfuzz --runs 200 --seed 1 --family fattree   # one topology family
 //   netfuzz --runs 50 --seed 7 --budget-s 300 --out repros/
 //   netfuzz --replay tests/corpus/seed3.scenario [--replay ...]
 //   netfuzz --print-seed 42                # dump the generated scenario
@@ -16,6 +17,7 @@
 
 #include "simplify/rules.hpp"
 #include "testkit/corpus.hpp"
+#include "testkit/families.hpp"
 #include "testkit/gen.hpp"
 #include "testkit/minimize.hpp"
 #include "testkit/oracles.hpp"
@@ -31,6 +33,8 @@ int Usage(const char* argv0) {
       "usage: %s [flags]\n"
       "  --runs N           scenarios to generate and check (default 20)\n"
       "  --seed S           first seed; run i uses seed S+i (default 1)\n"
+      "  --family F         topology family to generate: paper (default),\n"
+      "                     fattree, wan, multias, ospfmix\n"
       "  --budget-s T       stop starting new runs after T seconds\n"
       "  --replay FILE      replay a corpus scenario instead of generating\n"
       "                     (repeatable; ignores --runs/--seed)\n"
@@ -183,10 +187,18 @@ int main(int argc, char** argv) {
     simplify::testing::InjectRuleFault(rule.value());
   }
 
+  auto family = testkit::ParseFamily(flags.OneOr("family", "paper"));
+  if (!family.ok()) {
+    std::fprintf(stderr, "%s\n", family.error().ToString().c_str());
+    return Usage(argv[0]);
+  }
+
   if (flags.Has("print-seed")) {
     const std::uint64_t seed =
         std::strtoull(flags.OneOr("print-seed", "1").c_str(), nullptr, 10);
-    std::fputs(testkit::SaveScenario(testkit::GenerateScenario(seed)).c_str(),
+    std::fputs(testkit::SaveScenario(testkit::GenerateFamilyScenario(
+                                         family.value(), seed))
+                   .c_str(),
                stdout);
     return 0;
   }
@@ -248,7 +260,7 @@ int main(int argc, char** argv) {
         }
       }
       const std::uint64_t seed = first + static_cast<std::uint64_t>(i);
-      run_one(testkit::GenerateScenario(seed),
+      run_one(testkit::GenerateFamilyScenario(family.value(), seed),
               "seed " + std::to_string(seed));
     }
   }
